@@ -1,0 +1,44 @@
+"""A5 — ablation: Table I coding vs the future-work compact logic coding.
+
+Section V lists "smarter coding of the VBS to gain in runtime efficiency
+and in size" as future work; the library implements one such coding: a
+presence flag per member macro replacing the unconditional ``c^2 * NLB``
+logic field.  This bench quantifies the gain per cluster size, which grows
+with ``c`` because coarse clusters increasingly cover logic-free fabric.
+"""
+
+import pytest
+
+from repro.vbs import VirtualBitstream, decode_vbs, encode_flow
+
+CLUSTERS = (1, 2, 4)
+
+
+@pytest.mark.parametrize("cluster", CLUSTERS)
+def test_compact_encode(benchmark, bench_flow, bench_config, cluster):
+    vbs = benchmark(
+        encode_flow, bench_flow, bench_config, cluster_size=cluster,
+        compact_logic=True,
+    )
+    plain = encode_flow(bench_flow, bench_config, cluster_size=cluster)
+    benchmark.extra_info["table1_bits"] = plain.size_bits
+    benchmark.extra_info["compact_bits"] = vbs.size_bits
+    benchmark.extra_info["gain"] = round(plain.size_bits / vbs.size_bits, 3)
+    assert vbs.size_bits <= plain.size_bits
+
+
+def test_compact_roundtrip_and_gain_grows(bench_flow, bench_config):
+    gains = []
+    for c in CLUSTERS:
+        plain = encode_flow(bench_flow, bench_config, cluster_size=c)
+        compact = encode_flow(
+            bench_flow, bench_config, cluster_size=c, compact_logic=True
+        )
+        # The container stays parseable and decodes to the same content.
+        a, _ = decode_vbs(VirtualBitstream.from_bits(plain.to_bits()))
+        b, _ = decode_vbs(VirtualBitstream.from_bits(compact.to_bits()))
+        assert a.content_equal(b)
+        gains.append(plain.size_bits / compact.size_bits)
+    assert gains[-1] > gains[0], (
+        "compact coding should pay off most at coarse clusters"
+    )

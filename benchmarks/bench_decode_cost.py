@@ -1,0 +1,60 @@
+"""A2 — ablation: run-time decode effort vs cluster size and parallelism.
+
+Quantifies two Section II-C / IV-B claims: the de-virtualization is
+"easily parallelized to process multiple macros at once", and coarser
+clusters need "higher computing power to decode".
+"""
+
+import pytest
+
+from repro.runtime import CostParams, decode_cost
+from repro.vbs import decode_vbs, encode_flow
+
+
+@pytest.fixture(scope="module")
+def decode_stats_by_cluster(bench_flow, bench_config):
+    stats = {}
+    for c in (1, 2, 3, 4):
+        vbs = encode_flow(bench_flow, bench_config, cluster_size=c)
+        _cfg, s = decode_vbs(vbs)
+        stats[c] = s
+    return stats
+
+
+@pytest.mark.parametrize("cluster", [1, 2, 4])
+def test_decode_time(benchmark, bench_flow, bench_config, cluster):
+    vbs = encode_flow(bench_flow, bench_config, cluster_size=cluster)
+    bits = vbs.to_bits()
+
+    _cfg, stats = benchmark(decode_vbs, bits)
+
+    benchmark.extra_info["router_work"] = stats.router_work
+    benchmark.extra_info["max_cluster_work"] = stats.max_cluster_work
+
+
+def test_decode_work_monotone_in_cluster(decode_stats_by_cluster):
+    works = [decode_stats_by_cluster[c].router_work for c in (1, 2, 3, 4)]
+    assert works[-1] > works[0]
+
+
+@pytest.mark.parametrize("units", [1, 2, 4, 8, 16])
+def test_parallel_decoder_speedup(benchmark, decode_stats_by_cluster, units):
+    stats = decode_stats_by_cluster[1]
+
+    cycles, loads = benchmark(
+        decode_cost, stats, CostParams(parallel_units=units)
+    )
+
+    benchmark.extra_info["decode_cycles"] = cycles
+    assert cycles >= stats.max_cluster_work
+    if units > 1:
+        seq, _ = decode_cost(stats, CostParams(parallel_units=1))
+        assert cycles < seq
+
+
+def test_speedup_saturates_at_critical_path(decode_stats_by_cluster):
+    stats = decode_stats_by_cluster[2]
+    seq, _ = decode_cost(stats, CostParams(parallel_units=1))
+    wide, _ = decode_cost(stats, CostParams(parallel_units=10_000))
+    assert wide >= stats.max_cluster_work
+    assert wide <= seq

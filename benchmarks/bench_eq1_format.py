@@ -1,0 +1,50 @@
+"""E0 — Section II numerics: Eq. (1), the I/O code width, break-even.
+
+Regenerates the paper's worked example (W = 5, L = 7): Nraw = 284 bits per
+macro, M = 5 bits per connection endpoint, and a 28-connection break-even,
+then benchmarks the macro-model construction those numbers rest on.
+"""
+
+import pytest
+
+from repro.arch import ArchParams
+from repro.arch.macro import ClusterModel
+
+
+def test_paper_worked_example_numbers():
+    p = ArchParams(channel_width=5)
+    assert p.nraw == 284
+    assert p.io_code_bits(1) == 5
+    assert p.connection_breakeven(1) == 28
+
+
+def bench_rows():
+    """The Section II quantities across channel widths (printed by E0)."""
+    rows = []
+    for w in (5, 10, 20, 28):
+        p = ArchParams(channel_width=w)
+        rows.append(
+            (w, p.nraw, p.io_code_bits(1), p.connection_breakeven(1))
+        )
+    return rows
+
+
+def test_eq1_scaling_table(benchmark):
+    rows = benchmark(bench_rows)
+    by_w = {r[0]: r for r in rows}
+    assert by_w[5][1:] == (284, 5, 28)
+    assert by_w[20][1] == 1004
+    benchmark.extra_info["rows (W, Nraw, M, breakeven)"] = rows
+
+
+@pytest.mark.parametrize("cluster", [1, 2, 4])
+def test_cluster_model_construction(benchmark, cluster):
+    p = ArchParams(channel_width=20)
+
+    def build():
+        return ClusterModel(p, cluster)
+
+    model = benchmark(build)
+    assert model.num_switches == cluster * cluster * p.routing_bits
+    benchmark.extra_info["segments"] = model.num_segments
+    benchmark.extra_info["io_count"] = model.io_count

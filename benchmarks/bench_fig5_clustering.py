@@ -1,0 +1,61 @@
+"""E3 — Figure 5: effect of the macro cluster size on the VBS size.
+
+Benchmarks vbsgen at each clustering granularity on the reduced-scale proxy
+and reports sizes/ratios; the full-scale series (min/geomean/max + average
+ratio, as plotted in the paper) comes from the results cache when present.
+"""
+
+import pytest
+
+from repro.bitstream import RawBitstream
+from repro.vbs import decode_vbs, encode_flow
+
+CLUSTERS = (1, 2, 3, 4)
+
+
+@pytest.mark.parametrize("cluster", CLUSTERS)
+def test_fig5_cluster_encode(benchmark, bench_flow, bench_config, cluster):
+    raw_bits = RawBitstream.size_for(
+        bench_flow.params, bench_flow.fabric.width, bench_flow.fabric.height
+    )
+
+    vbs = benchmark(
+        encode_flow, bench_flow, bench_config, cluster_size=cluster
+    )
+
+    _cfg, stats = decode_vbs(vbs)
+    benchmark.extra_info["vbs_bits"] = vbs.size_bits
+    benchmark.extra_info["ratio"] = round(vbs.size_bits / raw_bits, 4)
+    benchmark.extra_info["decode_work"] = stats.router_work
+    assert vbs.size_bits < raw_bits
+
+
+def test_fig5_shape_on_bench_circuit(bench_flow, bench_config):
+    """The qualitative Figure 5 claims on the in-bench circuit:
+    clustering at size 2 improves on no clustering, and decode work grows
+    monotonically with cluster size."""
+    sizes = {}
+    works = {}
+    for c in CLUSTERS:
+        vbs = encode_flow(bench_flow, bench_config, cluster_size=c)
+        _cfg, stats = decode_vbs(vbs)
+        sizes[c] = vbs.size_bits
+        works[c] = stats.router_work
+    assert sizes[2] < sizes[1], "paper: cluster size 2 beats size 1"
+    assert works[CLUSTERS[-1]] > works[1], (
+        "paper: coarser clusters need higher computing power to decode"
+    )
+
+
+def test_fig5_fullscale_series(fullscale_results):
+    """Full-scale Figure 5 shape: size-2 clustering must improve the average
+    ratio; large clusters must not keep improving monotonically."""
+    rows = [
+        row for row in fullscale_results.values()
+        if {"1", "2"} <= set(row["clusters"])
+    ]
+    if len(rows) < 3:
+        pytest.skip("full-scale cluster sweep not cached yet")
+    avg1 = sum(r["clusters"]["1"]["ratio"] for r in rows) / len(rows)
+    avg2 = sum(r["clusters"]["2"]["ratio"] for r in rows) / len(rows)
+    assert avg2 < avg1

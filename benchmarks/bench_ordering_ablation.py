@@ -1,0 +1,80 @@
+"""A1 — ablation: connection-ordering strategies vs decode success.
+
+Section III-B's feedback loop re-orders connection lists when the online
+router fails.  This bench measures how hard each ordering family has to
+work: for every listed cluster of the bench circuit we try (a) only the
+natural order, (b) the full heuristic ladder, and report how many clusters
+each settles.
+"""
+
+import pytest
+
+from repro.arch import get_cluster_model
+from repro.errors import DevirtualizationError
+from repro.vbs import ClusterDecoder, candidate_orders, extract_components
+from repro.vbs.format import VbsLayout
+
+
+@pytest.fixture(scope="module")
+def cluster_lists(bench_flow):
+    layout = VbsLayout(
+        bench_flow.params, 1, bench_flow.fabric.width,
+        bench_flow.fabric.height,
+    )
+    comps = extract_components(
+        bench_flow.design, bench_flow.placement, bench_flow.routing,
+        bench_flow.rrg, layout,
+    )
+    model = get_cluster_model(bench_flow.params, 1)
+    lists = [
+        [p for comp in comp_list for p in comp.pairs()]
+        for comp_list in comps.values()
+    ]
+    return model, layout, lists
+
+
+def _success_stats(model, lists, max_orders):
+    solved = failed = orders_used = 0
+    for pairs in lists:
+        done = False
+        for i, order in enumerate(
+            candidate_orders(pairs, model, max_orders=max_orders)
+        ):
+            try:
+                ClusterDecoder(model).decode(order)
+            except DevirtualizationError:
+                continue
+            solved += 1
+            orders_used += i + 1
+            done = True
+            break
+        if not done:
+            failed += 1
+    return solved, failed, orders_used
+
+
+@pytest.mark.parametrize("max_orders", [1, 4, 12])
+def test_ordering_ladder(benchmark, cluster_lists, max_orders):
+    model, _layout, lists = cluster_lists
+
+    solved, failed, orders_used = benchmark.pedantic(
+        _success_stats, args=(model, lists, max_orders), rounds=1,
+        iterations=1,
+    )
+    total = solved + failed
+    benchmark.extra_info["clusters"] = total
+    benchmark.extra_info["solved"] = solved
+    benchmark.extra_info["fallback_rate"] = round(failed / total, 4)
+    benchmark.extra_info["avg_orders_per_solved"] = (
+        round(orders_used / solved, 3) if solved else None
+    )
+    # With the full ladder the fallback rate must be (near) zero.
+    if max_orders >= 12:
+        assert failed <= total * 0.02
+
+
+def test_more_orders_never_hurt(cluster_lists):
+    model, _layout, lists = cluster_lists
+    s1, _f1, _ = _success_stats(model, lists, 1)
+    s12, _f12, _ = _success_stats(model, lists, 12)
+    assert s12 >= s1

@@ -1,0 +1,91 @@
+"""A4 — ablation: task load latency, raw fetch vs VBS fetch + decode.
+
+The Figure 2 architecture trades external-memory bandwidth (the VBS is
+2-10x smaller to fetch) against decoder compute.  This bench loads the
+same task both ways through the reconfiguration controller and compares
+cycle budgets under the bus/decoder cost model.
+"""
+
+import pytest
+
+from repro.arch import FabricArch
+from repro.bitstream import RawBitstream
+from repro.runtime import CostParams, ExternalMemory, ReconfigurationController
+from repro.vbs import encode_flow
+
+
+@pytest.fixture(scope="module")
+def loaded_images(bench_flow, bench_config):
+    vbs = encode_flow(bench_flow, bench_config, cluster_size=1)
+    raw = RawBitstream.from_config(bench_config)
+    return vbs, raw
+
+
+def _controller(bench_flow, units=4):
+    w, h = bench_flow.fabric.width, bench_flow.fabric.height
+    fabric = FabricArch(
+        bench_flow.params, w, h,
+        {(p.x, p.y): bench_flow.fabric.type_name_at(p.x, p.y)
+         for p in bench_flow.fabric.cells()},
+    )
+    mem = ExternalMemory(bus_bits=32)
+    return ReconfigurationController(
+        fabric, mem, CostParams(bus_bits=32, parallel_units=units)
+    )
+
+
+def test_load_vbs(benchmark, bench_flow, loaded_images):
+    vbs, _raw = loaded_images
+
+    def load():
+        ctrl = _controller(bench_flow)
+        ctrl.store_vbs("t", vbs)
+        return ctrl.load_task("t", (0, 0))
+
+    task = benchmark(load)
+    benchmark.extra_info["fetch_cycles"] = task.load_cost.fetch_cycles
+    benchmark.extra_info["decode_cycles"] = task.load_cost.decode_cycles
+    benchmark.extra_info["total_cycles"] = task.load_cost.total_cycles
+
+
+def test_load_raw(benchmark, bench_flow, loaded_images):
+    _vbs, raw = loaded_images
+
+    def load():
+        ctrl = _controller(bench_flow)
+        ctrl.store_raw("t", raw)
+        return ctrl.load_task("t", (0, 0))
+
+    task = benchmark(load)
+    benchmark.extra_info["fetch_cycles"] = task.load_cost.fetch_cycles
+    benchmark.extra_info["total_cycles"] = task.load_cost.total_cycles
+
+
+def test_vbs_fetch_advantage(bench_flow, loaded_images):
+    vbs, raw = loaded_images
+    ctrl = _controller(bench_flow)
+    ctrl.store_vbs("v", vbs)
+    ctrl.store_raw("r", raw)
+    v_img, v_cycles = ctrl.memory.fetch("v")
+    r_img, r_cycles = ctrl.memory.fetch("r")
+    assert v_img.size_bits < r_img.size_bits
+    assert v_cycles < r_cycles
+    # Memory footprint claim: the whole point of the compression.
+    assert ctrl.memory.total_bits == v_img.size_bits + r_img.size_bits
+
+
+def test_migration_cost(benchmark, bench_flow, loaded_images):
+    vbs, _raw = loaded_images
+    ctrl = _controller(bench_flow)
+    ctrl.store_vbs("t", vbs)
+    ctrl.load_task("t", (0, 0))
+    if ctrl.fabric.width < 2 * ctrl.resident["t"].region.w:
+        pytest.skip("fabric too small to migrate side-by-side")
+
+    def migrate():
+        region = ctrl.resident["t"].region
+        target = (region.w if region.x == 0 else 0, 0)
+        return ctrl.migrate_task("t", target)
+
+    task = benchmark(migrate)
+    assert task.load_cost.decode_cycles > 0  # re-decoded on the fly

@@ -1,0 +1,52 @@
+"""A3 — ablation: channel width vs compression.
+
+The paper normalizes every circuit to W = 20; this sweep shows how that
+choice moves the result: wider channels inflate the raw frame (Eq. 1 is
+linear in W) while the VBS pays only ceil(log2)-growth per endpoint, so the
+compression factor improves with W.
+"""
+
+import pytest
+
+from repro.bitstream import RawBitstream, expand_routing
+from repro.eval.experiments import flow_for
+from repro.vbs import encode_flow
+
+WIDTHS = (10, 20, 28)
+
+
+@pytest.fixture(scope="module")
+def flows_by_width():
+    flows = {}
+    for w in WIDTHS:
+        flow = flow_for("ex5p", channel_width=w, scale=0.1, seed=2)
+        config = expand_routing(
+            flow.design, flow.placement, flow.routing, flow.rrg
+        )
+        flows[w] = (flow, config)
+    return flows
+
+
+@pytest.mark.parametrize("width", WIDTHS)
+def test_width_sweep_encode(benchmark, flows_by_width, width):
+    flow, config = flows_by_width[width]
+    raw_bits = RawBitstream.size_for(
+        flow.params, flow.fabric.width, flow.fabric.height
+    )
+
+    vbs = benchmark(encode_flow, flow, config, cluster_size=1)
+
+    benchmark.extra_info["ratio"] = round(vbs.size_bits / raw_bits, 4)
+    benchmark.extra_info["raw_bits"] = raw_bits
+    assert vbs.size_bits < raw_bits
+
+
+def test_wider_channels_compress_better(flows_by_width):
+    ratios = {}
+    for w, (flow, config) in flows_by_width.items():
+        raw_bits = RawBitstream.size_for(
+            flow.params, flow.fabric.width, flow.fabric.height
+        )
+        vbs = encode_flow(flow, config, cluster_size=1)
+        ratios[w] = vbs.size_bits / raw_bits
+    assert ratios[WIDTHS[-1]] < ratios[WIDTHS[0]]

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""BLIF front-end demo: a hand-written circuit through vbsgen.
+
+Users with real MCNC BLIF files can feed them through the same API; this
+example inlines a 4-bit ripple-carry adder in BLIF, maps it to 6-LUTs,
+runs the flow, and checks the decoded configuration adds correctly.
+
+Run:  python examples/blif_flow.py
+"""
+
+from repro import (
+    ArchParams,
+    decode_vbs,
+    encode_flow,
+    expand_routing,
+    parse_blif,
+    run_flow,
+)
+from repro.fabric import extract_circuit
+
+ADDER4 = """
+.model adder4
+.inputs a0 a1 a2 a3 b0 b1 b2 b3
+.outputs s0 s1 s2 s3 cout
+.names a0 b0 s0
+10 1
+01 1
+.names a0 b0 c1
+11 1
+.names a1 b1 c1 s1
+100 1
+010 1
+001 1
+111 1
+.names a1 b1 c1 c2
+11- 1
+1-1 1
+-11 1
+.names a2 b2 c2 s2
+100 1
+010 1
+001 1
+111 1
+.names a2 b2 c2 c3
+11- 1
+1-1 1
+-11 1
+.names a3 b3 c3 s3
+100 1
+010 1
+001 1
+111 1
+.names a3 b3 c3 cout
+11- 1
+1-1 1
+-11 1
+.end
+"""
+
+
+def main() -> None:
+    netlist = parse_blif(ADDER4)
+    print(f"parsed:  {netlist!r}")
+
+    flow = run_flow(netlist, ArchParams(channel_width=8), seed=5)
+    print(f"flow:    {flow.summary()}")
+
+    config = expand_routing(flow.design, flow.placement, flow.routing,
+                            flow.rrg)
+    vbs = encode_flow(flow, config, cluster_size=1)
+    print(f"vbs:     {vbs!r}")
+
+    decoded, _stats = decode_vbs(vbs.to_bits())
+    fabric_circuit = extract_circuit(decoded, flow.fabric)
+    fabric_circuit.check_no_shorts()
+
+    # Exercise the configured fabric as an actual adder.
+    site = {}
+    for pad in flow.design.pads:
+        x, y, sub = flow.placement.site_of(pad.name)
+        site[pad.net] = ((x, y), sub)
+
+    print("checking 256 input combinations on the decoded fabric...")
+    for a in range(16):
+        for b in range(16):
+            stimulus = {}
+            for i in range(4):
+                stimulus[site[f"a{i}"]] = (a >> i) & 1
+                stimulus[site[f"b{i}"]] = (b >> i) & 1
+            out = fabric_circuit.simulate([stimulus])[0]
+            total = sum(out[site[f"s{i}"]] << i for i in range(4))
+            total |= out[site["cout"]] << 4
+            assert total == a + b, f"{a}+{b} gave {total}"
+    print("the relocatable bitstream adds: 4-bit adder verified exhaustively")
+
+
+if __name__ == "__main__":
+    main()

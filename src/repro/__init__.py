@@ -1,0 +1,110 @@
+"""repro — Virtual Bit-Stream toolflow for compressed FPGA configurations.
+
+A from-scratch reproduction of *Design Flow and Run-Time Management for
+Compressed FPGA Configurations* (Huriaux, Courtay, Sentieys — DATE 2015):
+
+* :mod:`repro.arch` — the island-style macro fabric of Section II-A, with
+  the exact Eq. (1) switch accounting;
+* :mod:`repro.netlist` / :mod:`repro.cad` — the VTR/VPR-equivalent offline
+  flow (BLIF or synthetic netlists, LUT mapping, packing, simulated-
+  annealing placement, PathFinder routing);
+* :mod:`repro.bitstream` — junction-level expansion and the raw bitstream
+  baseline;
+* :mod:`repro.vbs` — the Virtual Bit-Stream itself: Table I format, the
+  vbsgen backend with its offline/online feedback loop, clustering, and
+  the run-time de-virtualization router;
+* :mod:`repro.fabric` — electrical extraction and functional simulation of
+  configured fabrics (the library's end-to-end correctness oracle);
+* :mod:`repro.runtime` — external memory, reconfiguration controller,
+  relocation/migration and placement management (Figure 2);
+* :mod:`repro.eval` — the Table II benchmark proxies and the harness
+  regenerating every table and figure of the evaluation.
+
+Quickstart::
+
+    from repro import (ArchParams, CircuitSpec, generate_circuit, run_flow,
+                       expand_routing, encode_flow, decode_at)
+
+    netlist = generate_circuit(CircuitSpec("demo", 60, 10, 8))
+    flow = run_flow(netlist, ArchParams(channel_width=8))
+    config = expand_routing(flow.design, flow.placement, flow.routing, flow.rrg)
+    vbs = encode_flow(flow, config)                  # Table I coding
+    placed = decode_at(vbs, 3, 4)                    # relocate at run time
+"""
+
+from repro.arch import ArchParams, FabricArch, RoutingGraph
+from repro.netlist import (
+    CircuitSpec,
+    Latch,
+    Lut,
+    Netlist,
+    generate_circuit,
+    map_to_luts,
+    parse_blif,
+    write_blif,
+)
+from repro.cad import (
+    FlowResult,
+    PackedDesign,
+    Placement,
+    RoutingResult,
+    find_mcw,
+    pack,
+    place,
+    route_design,
+    run_flow,
+)
+from repro.bitstream import FabricConfig, RawBitstream, expand_routing
+from repro.vbs import (
+    VirtualBitstream,
+    decode_at,
+    decode_vbs,
+    encode_design,
+    encode_flow,
+)
+from repro.fabric import extract_circuit, verify_connectivity, verify_functional
+from repro.runtime import (
+    ExternalMemory,
+    FabricManager,
+    ReconfigurationController,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArchParams",
+    "FabricArch",
+    "RoutingGraph",
+    "CircuitSpec",
+    "Latch",
+    "Lut",
+    "Netlist",
+    "generate_circuit",
+    "map_to_luts",
+    "parse_blif",
+    "write_blif",
+    "FlowResult",
+    "PackedDesign",
+    "Placement",
+    "RoutingResult",
+    "find_mcw",
+    "pack",
+    "place",
+    "route_design",
+    "run_flow",
+    "FabricConfig",
+    "RawBitstream",
+    "expand_routing",
+    "VirtualBitstream",
+    "decode_at",
+    "decode_vbs",
+    "encode_design",
+    "encode_flow",
+    "extract_circuit",
+    "verify_connectivity",
+    "verify_functional",
+    "ExternalMemory",
+    "FabricManager",
+    "ReconfigurationController",
+    "__version__",
+]

@@ -1,0 +1,49 @@
+"""Architecture model: parameters, block types, macro/cluster electricals, RRG.
+
+Reproduces the island-style fabric of Section II-A: a grid of uniform macros
+(6-LUT + FF logic block, ChanX/ChanY channels of W single-length tracks, one
+switch box), with the exact Eq. (1) switch accounting and the Virtual
+Bit-Stream I/O numbering of Section II-B.
+"""
+
+from repro.arch.params import ArchParams
+from repro.arch.blocktype import (
+    BlockType,
+    PortDef,
+    DIR_IN,
+    DIR_OUT,
+    IOB_PAD_PORTS,
+    make_clb_type,
+    make_iob_type,
+    encode_clb_config,
+    decode_clb_config,
+    encode_iob_config,
+    decode_iob_config,
+)
+from repro.arch.macro import ClusterModel, Switch, get_cluster_model, get_macro_model
+from repro.arch.fabric import FabricArch
+from repro.arch.rrg import RoutingGraph, KIND_XTRK, KIND_YTRK, KIND_LINE
+
+__all__ = [
+    "ArchParams",
+    "BlockType",
+    "PortDef",
+    "DIR_IN",
+    "DIR_OUT",
+    "IOB_PAD_PORTS",
+    "make_clb_type",
+    "make_iob_type",
+    "encode_clb_config",
+    "decode_clb_config",
+    "encode_iob_config",
+    "decode_iob_config",
+    "ClusterModel",
+    "Switch",
+    "get_cluster_model",
+    "get_macro_model",
+    "FabricArch",
+    "RoutingGraph",
+    "KIND_XTRK",
+    "KIND_YTRK",
+    "KIND_LINE",
+]

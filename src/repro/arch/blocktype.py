@@ -1,0 +1,163 @@
+"""Block types occupying macro footprints: logic blocks (CLB) and I/O blocks.
+
+The paper's fabric is heterogeneous in function but *uniform in footprint*:
+"the number of configuration elements in the bit-stream remains the same"
+regardless of a macro's content, and circuit inputs/outputs are "part of the
+heterogeneous logic fabric itself".  We therefore model every grid cell as an
+identical macro (same pin lines, same NLB configuration bits) whose function
+is selected by the block type occupying it:
+
+* ``CLB`` — one K-input LUT plus an optional flip-flop; pins 0..K-1 are LUT
+  inputs, pin K is the block output.  Configuration: 2**K truth-table bits
+  followed by the FF-bypass bit.
+* ``IOB`` — a pad cell with capacity 2 (two independent pads).  Each pad has
+  one fabric-driving pin (the pad acts as circuit input) and one
+  fabric-sinking pin (circuit output).  Configuration: 4 enable bits, padded
+  to NLB so raw frames stay uniform.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import ArchitectureError
+from repro.arch.params import ArchParams
+from repro.utils.bitarray import BitArray
+
+#: Pin direction relative to the routing fabric.
+DIR_OUT = "out"  # drives a net into the fabric (a source)
+DIR_IN = "in"    # sinks a net from the fabric (a sink)
+
+
+@dataclass(frozen=True)
+class PortDef:
+    """One logical port of a block type, bound to a macro pin line."""
+
+    name: str
+    macro_pin: int
+    direction: str
+
+    def __post_init__(self) -> None:
+        if self.direction not in (DIR_IN, DIR_OUT):
+            raise ArchitectureError(f"bad port direction {self.direction!r}")
+
+
+class BlockType:
+    """A block function that can occupy a macro footprint."""
+
+    def __init__(self, name: str, ports: Tuple[PortDef, ...], capacity: int = 1):
+        self.name = name
+        self.ports = ports
+        self.capacity = capacity
+        self._by_name: Dict[str, PortDef] = {p.name: p for p in ports}
+        if len(self._by_name) != len(ports):
+            raise ArchitectureError(f"duplicate port names in block type {name}")
+        pins = [p.macro_pin for p in ports]
+        if len(set(pins)) != len(pins):
+            raise ArchitectureError(f"two ports of {name} share a macro pin line")
+
+    def port(self, name: str) -> PortDef:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise ArchitectureError(f"block type {self.name} has no port {name!r}")
+
+    def input_ports(self) -> Tuple[PortDef, ...]:
+        return tuple(p for p in self.ports if p.direction == DIR_IN)
+
+    def output_ports(self) -> Tuple[PortDef, ...]:
+        return tuple(p for p in self.ports if p.direction == DIR_OUT)
+
+    def __repr__(self) -> str:
+        return f"BlockType({self.name}, {len(self.ports)} ports)"
+
+
+def make_clb_type(params: ArchParams) -> BlockType:
+    """The logic-block type: K LUT inputs and one output."""
+    ports = tuple(
+        PortDef(f"in{i}", i, DIR_IN) for i in range(params.lut_size)
+    ) + (PortDef("out", params.lut_size, DIR_OUT),)
+    return BlockType("clb", ports)
+
+
+def make_iob_type(params: ArchParams) -> BlockType:
+    """The I/O-block type: two pads per cell.
+
+    Pad 0 uses the block-output line (pin ``L-1``, on ChanX) to drive the
+    fabric and pin 0 to sink it; pad 1 uses the last ChanY line to drive and
+    the first ChanY line to sink, so the two pads load different channels.
+    """
+    out_pin = params.num_lb_pins - 1
+    chany = sorted(params.chany_pins)
+    ports = (
+        PortDef("pad0_o", out_pin, DIR_OUT),
+        PortDef("pad0_i", 0, DIR_IN),
+        PortDef("pad1_o", chany[-1], DIR_OUT),
+        PortDef("pad1_i", chany[0], DIR_IN),
+    )
+    return BlockType("iob", ports, capacity=2)
+
+
+#: Sub-site port names per pad index of an IOB.
+IOB_PAD_PORTS = ({"o": "pad0_o", "i": "pad0_i"}, {"o": "pad1_o", "i": "pad1_i"})
+
+
+# -- configuration (logic data) encode / decode -------------------------------
+
+
+def encode_clb_config(params: ArchParams, truth_table: int, use_ff: bool) -> BitArray:
+    """Serialize a CLB's logic data into its NLB-bit frame section.
+
+    Bit ``i`` of the frame is row ``i`` of the truth table (the LUT output
+    when the input vector equals ``i``); the final bit enables the flip-flop
+    on the block output.
+    """
+    size = 2 ** params.lut_size
+    if truth_table < 0 or truth_table >= (1 << size):
+        raise ArchitectureError(
+            f"truth table does not fit a {params.lut_size}-LUT"
+        )
+    bits = BitArray(params.nlb)
+    for i in range(size):
+        if (truth_table >> i) & 1:
+            bits[i] = 1
+    bits[size] = 1 if use_ff else 0
+    return bits
+
+
+def decode_clb_config(params: ArchParams, bits: BitArray) -> Tuple[int, bool]:
+    """Inverse of :func:`encode_clb_config`; returns (truth_table, use_ff)."""
+    size = 2 ** params.lut_size
+    if len(bits) != params.nlb:
+        raise ArchitectureError(
+            f"CLB config must be {params.nlb} bits, got {len(bits)}"
+        )
+    tt = 0
+    for i in range(size):
+        if bits[i]:
+            tt |= 1 << i
+    return tt, bool(bits[size])
+
+
+def encode_iob_config(
+    params: ArchParams, pad_out_enable: Tuple[bool, bool], pad_in_enable: Tuple[bool, bool]
+) -> BitArray:
+    """Serialize an IOB's pad-enable flags, zero-padded to NLB bits."""
+    bits = BitArray(params.nlb)
+    bits[0] = 1 if pad_out_enable[0] else 0
+    bits[1] = 1 if pad_in_enable[0] else 0
+    bits[2] = 1 if pad_out_enable[1] else 0
+    bits[3] = 1 if pad_in_enable[1] else 0
+    return bits
+
+
+def decode_iob_config(
+    params: ArchParams, bits: BitArray
+) -> Tuple[Tuple[bool, bool], Tuple[bool, bool]]:
+    """Inverse of :func:`encode_iob_config`."""
+    if len(bits) != params.nlb:
+        raise ArchitectureError(
+            f"IOB config must be {params.nlb} bits, got {len(bits)}"
+        )
+    return (bool(bits[0]), bool(bits[2])), (bool(bits[1]), bool(bits[3]))

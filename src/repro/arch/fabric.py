@@ -1,0 +1,124 @@
+"""The reconfigurable fabric: a rectangular grid of uniform macros.
+
+Every grid cell carries an identical macro footprint (Section II-A); the
+*block type* occupying the cell (CLB or IOB) decides which pin lines are
+terminals and how the NLB logic-data bits are interpreted.  Following the
+VPR-classic island layout used by the paper's flow, logic blocks fill an
+``n x n`` interior and I/O blocks form a one-cell perimeter ring, so a
+Table II circuit of size ``n`` occupies an ``(n+2) x (n+2)`` task rectangle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+from repro.arch.blocktype import BlockType, make_clb_type, make_iob_type
+from repro.arch.params import ArchParams
+from repro.errors import ArchitectureError
+from repro.utils.geometry import Point, Rect
+
+
+class FabricArch:
+    """A fabric instance: architecture parameters plus a typed cell grid."""
+
+    def __init__(
+        self,
+        params: ArchParams,
+        width: int,
+        height: int,
+        type_map: Dict[Tuple[int, int], str],
+    ):
+        if width < 1 or height < 1:
+            raise ArchitectureError("fabric must be at least 1x1")
+        self.params = params
+        self.width = width
+        self.height = height
+        self.block_types: Dict[str, BlockType] = {
+            "clb": make_clb_type(params),
+            "iob": make_iob_type(params),
+        }
+        for (x, y), tname in type_map.items():
+            if not (0 <= x < width and 0 <= y < height):
+                raise ArchitectureError(f"cell ({x},{y}) outside {width}x{height}")
+            if tname not in self.block_types:
+                raise ArchitectureError(f"unknown block type {tname!r} at ({x},{y})")
+        self._type_map = dict(type_map)
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def island(cls, params: ArchParams, logic_size: int) -> "FabricArch":
+        """The VPR-classic island layout: CLB core, IOB perimeter ring."""
+        if logic_size < 1:
+            raise ArchitectureError("logic core must be at least 1x1")
+        side = logic_size + 2
+        type_map: Dict[Tuple[int, int], str] = {}
+        for y in range(side):
+            for x in range(side):
+                on_ring = x in (0, side - 1) or y in (0, side - 1)
+                type_map[(x, y)] = "iob" if on_ring else "clb"
+        return cls(params, side, side, type_map)
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def bounds(self) -> Rect:
+        return Rect(0, 0, self.width, self.height)
+
+    @property
+    def num_macros(self) -> int:
+        return self.width * self.height
+
+    def type_name_at(self, x: int, y: int) -> str:
+        try:
+            return self._type_map[(x, y)]
+        except KeyError:
+            raise ArchitectureError(f"cell ({x},{y}) outside the fabric")
+
+    def type_at(self, x: int, y: int) -> BlockType:
+        return self.block_types[self.type_name_at(x, y)]
+
+    def capacity_at(self, x: int, y: int) -> int:
+        """Number of placeable sub-sites at a cell (IOBs hold 2 pads)."""
+        return self.type_at(x, y).capacity
+
+    def cells(self) -> Iterator[Point]:
+        for y in range(self.height):
+            for x in range(self.width):
+                yield Point(x, y)
+
+    def cells_of_type(self, tname: str) -> List[Point]:
+        """All cells carrying block type ``tname``, in raster order."""
+        return [p for p in self.cells() if self._type_map[(p.x, p.y)] == tname]
+
+    def site_count(self, tname: str) -> int:
+        """Total placeable sites of a type (cells x capacity)."""
+        cap = self.block_types[tname].capacity
+        return cap * len(self.cells_of_type(tname))
+
+    # -- global electrical naming ------------------------------------------------
+
+    def global_segment(self, x: int, y: int, local_key: Tuple) -> Tuple:
+        """Fabric-wide canonical name for a macro-local segment.
+
+        Mirrors :meth:`repro.arch.macro.ClusterModel.canonical` but over the
+        whole grid: a switch-box stub is the same wire as the neighbouring
+        macro's outermost track segment.  Stubs on the fabric's west/south
+        edge have no owner macro and keep their own name (dangling wires).
+        """
+        kind = local_key[0]
+        nx = len(self.params.chanx_pins)
+        ny = len(self.params.chany_pins)
+        if kind == "sbw" and x > 0:
+            return ("tx", x - 1, y, local_key[1], nx)
+        if kind == "sbs" and y > 0:
+            return ("ty", x, y - 1, local_key[1], ny)
+        return (kind, x, y) + tuple(local_key[1:])
+
+    def describe(self) -> str:
+        n_clb = len(self.cells_of_type("clb"))
+        n_iob = len(self.cells_of_type("iob"))
+        return (
+            f"{self.width}x{self.height} fabric ({n_clb} CLB, {n_iob} IOB cells), "
+            f"{self.params.describe()}"
+        )

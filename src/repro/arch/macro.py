@@ -1,0 +1,336 @@
+"""Junction-level electrical model of macros and macro clusters.
+
+This module is the detailed counterpart of the paper's Figure 1: it
+enumerates every wire *segment* and every programmable *pass transistor*
+inside a macro (or a ``c x c`` cluster of macros, Section IV-B), assigns each
+switch its position in the raw configuration frame, and exposes the adjacency
+needed by the de-virtualization router of Section II-C.
+
+Electrical conventions
+----------------------
+Every crossing of two wires is an **isolating junction**: both wires are cut
+at the crossing and the resulting ends can be joined pairwise by pass
+transistors.  A 4-way (cross-shaped) junction has ``C(4,2) = 6`` switches, a
+3-way (T-shaped) junction has 3 — exactly the unit costs of Eq. (1).
+
+Local segment keys inside one macro (W tracks, nx ChanX pin lines, ny ChanY
+pin lines)::
+
+    ("sbw", t)     stub of the WEST neighbour's ChanX wire into this switch box
+    ("sbs", t)     stub of the SOUTH neighbour's ChanY wire into this switch box
+    ("tx", t, k)   k-th segment of this macro's ChanX track t, k in 0..nx
+                   (k = 0 touches the switch box, k = nx crosses the EAST edge)
+    ("ty", t, k)   k-th segment of ChanY track t, k in 0..ny (k = ny → NORTH)
+    ("lx", i, s)   ChanX pin line i, segment s in 0..W-1 (s = 0 is the pin)
+    ("ly", j, s)   ChanY pin line j, likewise
+
+Raw frame layout per macro: ``[NLB logic bits][switch-box][ChanX CB][ChanY
+CB]``, switches emitted in the deterministic order produced by
+:meth:`ClusterModel._build`, giving exactly ``Nraw`` bits per macro.
+
+Cluster composition
+-------------------
+Inside a cluster, macro (i+1, j)'s ``("sbw", t)`` stub *is* macro (i, j)'s
+``("tx", t, nx)`` segment (one physical wire crossing the shared edge), and
+likewise vertically; :meth:`ClusterModel.canonical` performs that merge.  The
+cluster's black-box I/O numbering generalizes Section II-B::
+
+    [0,        cW)   WEST crossings   (row-major: j * W + t)
+    [cW,      2cW)   EAST crossings
+    [2cW,     3cW)   SOUTH crossings  (column-major: i * W + t)
+    [3cW,     4cW)   NORTH crossings
+    [4cW, 4cW+c2L)   block pins       ((j * c + i) * L + p)
+    4cW + c2L        the null code
+
+which for ``c = 1`` reduces to the paper's ``4W + L + 1`` I/O space and
+``M = ceil(log2(4W + L + 1))`` bits per endpoint.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Dict, List, NamedTuple, Tuple
+
+from repro.arch.params import ArchParams
+from repro.errors import ArchitectureError
+from repro.utils.bitarray import bits_for
+
+LocalKey = Tuple  # ("tx", t, k) etc.
+SegKey = Tuple[int, int, LocalKey]  # (macro_i, macro_j, local key)
+
+
+class Switch(NamedTuple):
+    """One programmable pass transistor inside a cluster.
+
+    ``offset`` is the bit position inside the owning macro's *routing* region
+    (i.e. the raw frame position is ``NLB + offset``).
+    """
+
+    macro_i: int
+    macro_j: int
+    offset: int
+    seg_a: int
+    seg_b: int
+
+
+def iter_macro_junctions(params: ArchParams):
+    """Yield every junction of one macro as ``(bit_offset, end_keys)``.
+
+    ``end_keys`` is the ordered list of local segment keys meeting at the
+    junction; the junction's pass transistors occupy ``C(len(ends), 2)``
+    consecutive bits starting at ``bit_offset`` (inside the macro's routing
+    region), pairs enumerated as (0,1), (0,2), ..., (1,2), ...  The emission
+    order — switch box, ChanX connection box, ChanY connection box — defines
+    the raw frame layout and totals exactly ``params.routing_bits``.
+    """
+    W = params.channel_width
+    nx = len(params.chanx_pins)
+    ny = len(params.chany_pins)
+    offset = 0
+    for t in range(W):
+        ends = [("sbw", t), ("tx", t, 0), ("sbs", t), ("ty", t, 0)]
+        yield offset, ends
+        offset += 6
+    for i in range(nx):
+        for t in range(W):
+            if t < W - 1:
+                ends = [("lx", i, t), ("lx", i, t + 1), ("tx", t, i), ("tx", t, i + 1)]
+                n = 6
+            else:
+                ends = [("lx", i, t), ("tx", t, i), ("tx", t, i + 1)]
+                n = 3
+            yield offset, ends
+            offset += n
+    for j in range(ny):
+        for t in range(W):
+            if t < W - 1:
+                ends = [("ly", j, t), ("ly", j, t + 1), ("ty", t, j), ("ty", t, j + 1)]
+                n = 6
+            else:
+                ends = [("ly", j, t), ("ty", t, j), ("ty", t, j + 1)]
+                n = 3
+            yield offset, ends
+            offset += n
+
+
+def junction_pair_offset(num_ends: int, a: int, b: int) -> int:
+    """Bit index (within a junction) of the switch joining ends ``a < b``."""
+    if not 0 <= a < b < num_ends:
+        raise ArchitectureError(f"bad junction pair ({a},{b}) of {num_ends}")
+    index = 0
+    for i in range(num_ends):
+        for j in range(i + 1, num_ends):
+            if (i, j) == (a, b):
+                return index
+            index += 1
+    raise ArchitectureError("unreachable")
+
+
+class ClusterModel:
+    """Detailed model of a ``c x c`` block of macros (``c = 1``: one macro)."""
+
+    def __init__(self, params: ArchParams, cluster_size: int = 1):
+        if cluster_size < 1:
+            raise ArchitectureError("cluster size must be >= 1")
+        self.params = params
+        self.c = cluster_size
+        self.W = params.channel_width
+        self.L = params.num_lb_pins
+        self.nx = len(params.chanx_pins)
+        self.ny = len(params.chany_pins)
+
+        self.seg_keys: List[SegKey] = []
+        self.seg_ids: Dict[SegKey, int] = {}
+        self.switches: List[Switch] = []
+        self.adjacency: List[List[Tuple[int, int]]] = []
+        self.io_to_seg: List[int] = []
+        self.seg_to_io: Dict[int, int] = {}
+
+        self._build()
+
+        self.io_count = params.cluster_io_count(cluster_size)
+        self.null_io = self.io_count
+        self.m_bits = params.io_code_bits(cluster_size)
+        assert len(self.io_to_seg) == self.io_count
+
+    # -- segment bookkeeping ----------------------------------------------------
+
+    def canonical(self, i: int, j: int, key: LocalKey) -> SegKey:
+        """Canonical cluster-wide key for a macro-local segment.
+
+        Switch-box stubs shared with a neighbouring macro *inside* the
+        cluster collapse onto that neighbour's own track segment.
+        """
+        kind = key[0]
+        if kind == "sbw" and i > 0:
+            return (i - 1, j, ("tx", key[1], self.nx))
+        if kind == "sbs" and j > 0:
+            return (i, j - 1, ("ty", key[1], self.ny))
+        return (i, j, key)
+
+    def _seg(self, i: int, j: int, key: LocalKey) -> int:
+        ck = self.canonical(i, j, key)
+        sid = self.seg_ids.get(ck)
+        if sid is None:
+            sid = len(self.seg_keys)
+            self.seg_ids[ck] = sid
+            self.seg_keys.append(ck)
+            self.adjacency.append([])
+        return sid
+
+    def _add_switch(self, mi: int, mj: int, offset: int, a: int, b: int) -> None:
+        sw_id = len(self.switches)
+        self.switches.append(Switch(mi, mj, offset, a, b))
+        self.adjacency[a].append((b, sw_id))
+        self.adjacency[b].append((a, sw_id))
+
+    def pin_line_key(self, p: int) -> LocalKey:
+        """The local key of pin ``p``'s line segment 0 (the pin itself)."""
+        if p in self.params.chanx_pins:
+            return ("lx", self.params.chanx_pins.index(p), 0)
+        return ("ly", self.params.chany_pins.index(p), 0)
+
+    def pin_seg(self, i: int, j: int, p: int) -> int:
+        """Segment id of block pin ``p`` of the macro at cluster cell (i, j)."""
+        return self.seg_ids[self.canonical(i, j, self.pin_line_key(p))]
+
+    def pin_io_fields(self, io: int) -> Tuple[int, int, int]:
+        """Decompose a pin I/O number into (cell i, cell j, pin p)."""
+        base = 4 * self.c * self.W
+        if not base <= io < base + self.c * self.c * self.L:
+            raise ArchitectureError(f"I/O {io} is not a block pin")
+        cell, p = divmod(io - base, self.L)
+        j, i = divmod(cell, self.c)
+        return i, j, p
+
+    def pin_line_segments(self, io: int) -> List[int]:
+        """All segments of the pin line serving pin I/O ``io``.
+
+        A block pin is only reachable through its own line, so these are the
+        segments the de-virtualization router protects while other
+        connections are routed.
+        """
+        i, j, p = self.pin_io_fields(io)
+        if p in self.params.chanx_pins:
+            tag, idx = "lx", self.params.chanx_pins.index(p)
+        else:
+            tag, idx = "ly", self.params.chany_pins.index(p)
+        return [
+            self.seg_ids[self.canonical(i, j, (tag, idx, s))]
+            for s in range(self.W)
+        ]
+
+    def is_pin_io(self, io: int) -> bool:
+        return 4 * self.c * self.W <= io < self.io_count
+
+    # -- construction -----------------------------------------------------------
+
+    def _emit_junction(self, mi: int, mj: int, offset: int, ends: List[int]) -> int:
+        """Emit all pairwise switches of one junction; return bits consumed."""
+        n = 0
+        for a in range(len(ends)):
+            for b in range(a + 1, len(ends)):
+                self._add_switch(mi, mj, offset + n, ends[a], ends[b])
+                n += 1
+        return n
+
+    def _build_macro(self, mi: int, mj: int) -> None:
+        emitted = 0
+        last = 0
+        for offset, end_keys in iter_macro_junctions(self.params):
+            ends = [self._seg(mi, mj, key) for key in end_keys]
+            emitted += self._emit_junction(mi, mj, offset, ends)
+        if emitted != self.params.routing_bits:
+            raise ArchitectureError(
+                f"macro switch layout emitted {emitted} bits, expected "
+                f"{self.params.routing_bits} (Eq. 1 mismatch)"
+            )
+
+    def _build(self) -> None:
+        c, W, L = self.c, self.W, self.L
+        for mj in range(c):
+            for mi in range(c):
+                self._build_macro(mi, mj)
+
+        # Deterministic neighbour order for the de-virtualization BFS.
+        for lst in self.adjacency:
+            lst.sort()
+
+        # Black-box I/O numbering (see module docstring).
+        for j in range(c):
+            for t in range(W):
+                self.io_to_seg.append(self.seg_ids[self.canonical(0, j, ("sbw", t))])
+        for j in range(c):
+            for t in range(W):
+                self.io_to_seg.append(
+                    self.seg_ids[self.canonical(c - 1, j, ("tx", t, self.nx))]
+                )
+        for i in range(c):
+            for t in range(W):
+                self.io_to_seg.append(self.seg_ids[self.canonical(i, 0, ("sbs", t))])
+        for i in range(c):
+            for t in range(W):
+                self.io_to_seg.append(
+                    self.seg_ids[self.canonical(i, c - 1, ("ty", t, self.ny))]
+                )
+        for j in range(c):
+            for i in range(c):
+                for p in range(L):
+                    self.io_to_seg.append(self.pin_seg(i, j, p))
+
+        for io, seg in enumerate(self.io_to_seg):
+            if seg in self.seg_to_io:
+                raise ArchitectureError(
+                    f"segment {self.seg_keys[seg]} claimed by two I/O numbers "
+                    f"({self.seg_to_io[seg]} and {io})"
+                )
+            self.seg_to_io[seg] = io
+
+        #: Segments a route may only *terminate* on, never pass through:
+        #: cluster-boundary crossings (passing through would leak the net into
+        #: a neighbouring macro) and block pins (passing through would attach
+        #: the net to the block).
+        self.terminal_segs = frozenset(self.io_to_seg)
+
+    # -- convenience ------------------------------------------------------------
+
+    @property
+    def num_segments(self) -> int:
+        return len(self.seg_keys)
+
+    @property
+    def num_switches(self) -> int:
+        return len(self.switches)
+
+    def io_name(self, io: int) -> str:
+        """Human-readable name of an I/O number (for diagnostics)."""
+        c, W, L = self.c, self.W, self.L
+        if io == self.null_io:
+            return "NULL"
+        side_size = c * W
+        if io < side_size:
+            return f"WEST[row={io // W},t={io % W}]"
+        io -= side_size
+        if io < side_size:
+            return f"EAST[row={io // W},t={io % W}]"
+        io -= side_size
+        if io < side_size:
+            return f"SOUTH[col={io // W},t={io % W}]"
+        io -= side_size
+        if io < side_size:
+            return f"NORTH[col={io // W},t={io % W}]"
+        io -= side_size
+        cell, p = divmod(io, L)
+        j, i = divmod(cell, c)
+        return f"PIN[cell=({i},{j}),p={p}]"
+
+
+@functools.lru_cache(maxsize=64)
+def get_cluster_model(params: ArchParams, cluster_size: int = 1) -> ClusterModel:
+    """Cached factory: cluster models are immutable and expensive to build."""
+    return ClusterModel(params, cluster_size)
+
+
+def get_macro_model(params: ArchParams) -> ClusterModel:
+    """The single-macro (finest-grain) model of Section II-B."""
+    return get_cluster_model(params, 1)

@@ -1,0 +1,159 @@
+"""Architecture parameters and the paper's Eq. (1) switch accounting.
+
+The reproduced architecture is the island-style fabric of Section II-A: a
+grid of *macros*, each macro being one logic block (a K-input LUT plus an
+optional flip-flop), the adjacent horizontal (ChanX) and vertical (ChanY)
+routing channels of ``W`` single-length tracks, and the switch box at the
+channel intersection.
+
+Programmable-switch counting follows Eq. (1) of the paper::
+
+    Nraw = NLB + 6 * (NS + NC+) + 3 * NCT
+
+where ``NLB`` is the logic-block configuration size (2**K + 1: the LUT truth
+table plus the flip-flop bypass bit), ``NS`` the number of 4-way switch-box
+points (one per track, six pass transistors each), ``NC+`` the 4-way
+connection-box crossings (``L * (W - 1)``), and ``NCT`` the 3-way T-shaped
+line terminations (``L``).  With W = 5 and L = 7 this gives the paper's
+value of 284 bits per macro.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ArchitectureError
+from repro.utils.bitarray import bits_for
+
+#: Macro pin lines routed through the horizontal channel (ChanX).
+#: Pins 0..K-1 are LUT inputs, pin K (= L - 1) is the block output.
+DEFAULT_CHANX_PINS = (0, 1, 2, 6)
+#: Macro pin lines routed through the vertical channel (ChanY).
+DEFAULT_CHANY_PINS = (3, 4, 5)
+
+
+@dataclass(frozen=True)
+class ArchParams:
+    """Immutable description of the reconfigurable architecture.
+
+    Parameters
+    ----------
+    channel_width:
+        ``W``, the number of tracks per routing channel.  The paper uses
+        W = 5 for its worked example and normalizes the evaluation to W = 20.
+    lut_size:
+        ``K``, the LUT input count.  The paper's fabric uses 6-LUTs.
+    chanx_pins / chany_pins:
+        Partition of the ``L = K + 1`` logic-block pin lines between the two
+        channels adjacent to the block.
+    """
+
+    channel_width: int = 20
+    lut_size: int = 6
+    chanx_pins: tuple = field(default=DEFAULT_CHANX_PINS)
+    chany_pins: tuple = field(default=DEFAULT_CHANY_PINS)
+
+    def __post_init__(self) -> None:
+        if self.channel_width < 2:
+            raise ArchitectureError("channel width must be at least 2 tracks")
+        if self.lut_size < 1:
+            raise ArchitectureError("LUT size must be at least 1")
+        pins = sorted(self.chanx_pins + self.chany_pins)
+        if pins != list(range(self.num_lb_pins)):
+            raise ArchitectureError(
+                f"channel pin partition {self.chanx_pins}+{self.chany_pins} "
+                f"must cover pins 0..{self.num_lb_pins - 1} exactly once"
+            )
+
+    # -- basic derived quantities ---------------------------------------------
+
+    @property
+    def num_lb_pins(self) -> int:
+        """``L``: logic-block pins per macro (K LUT inputs + 1 output)."""
+        return self.lut_size + 1
+
+    @property
+    def nlb(self) -> int:
+        """``NLB``: logic-block configuration bits (truth table + FF bypass)."""
+        return 2 ** self.lut_size + 1
+
+    @property
+    def ns(self) -> int:
+        """``NS``: 4-way switch-box points per macro (one per track)."""
+        return self.channel_width
+
+    @property
+    def nc_plus(self) -> int:
+        """``NC+``: 4-way connection-box crossings per macro, ``L * (W - 1)``."""
+        return self.num_lb_pins * (self.channel_width - 1)
+
+    @property
+    def nct(self) -> int:
+        """``NCT``: 3-way T-shaped line terminations per macro, ``L``."""
+        return self.num_lb_pins
+
+    @property
+    def nraw(self) -> int:
+        """Eq. (1): raw configuration bits per macro."""
+        return self.nlb + 6 * (self.ns + self.nc_plus) + 3 * self.nct
+
+    @property
+    def routing_bits(self) -> int:
+        """Raw routing bits per macro (everything except the logic data)."""
+        return self.nraw - self.nlb
+
+    # -- Virtual Bit-Stream I/O space (Section II-B) ---------------------------
+
+    def cluster_io_count(self, cluster_size: int = 1) -> int:
+        """Black-box I/Os of a ``c x c`` macro cluster: ``4cW + c^2 L``.
+
+        A route endpoint is either one of the ``4cW`` track crossings on the
+        cluster boundary or one of the ``c^2 * L`` logic-block pins inside.
+        """
+        c = cluster_size
+        if c < 1:
+            raise ArchitectureError("cluster size must be >= 1")
+        return 4 * c * self.channel_width + c * c * self.num_lb_pins
+
+    def io_code_bits(self, cluster_size: int = 1) -> int:
+        """``M = ceil(log2(4cW + c^2 L + 1))``: bits per connection endpoint.
+
+        The ``+ 1`` reserves the null code.  For the paper's W = 5, L = 7
+        single-macro example this evaluates to M = 5.
+        """
+        return bits_for(self.cluster_io_count(cluster_size) + 1)
+
+    def connection_breakeven(self, cluster_size: int = 1) -> int:
+        """Connections codable before VBS stops being smaller than raw.
+
+        ``floor(Nraw / 2M)`` — the paper quotes 28 for the single-macro
+        W = 5 example (Nraw = 284, M = 5).
+        """
+        c = cluster_size
+        raw = self.nraw * c * c
+        return raw // (2 * self.io_code_bits(cluster_size))
+
+    def max_routes(self, cluster_size: int = 1) -> int:
+        """Upper bound on distinct routes inside a ``c x c`` cluster.
+
+        Every route consumes at least two of the cluster's I/Os, so the bound
+        is half the I/O count.  For c = 1 this matches the magnitude of the
+        paper's route-count field (``ceil(log2(2W))`` wide at L = 7).
+        """
+        return self.cluster_io_count(cluster_size) // 2
+
+    def route_count_bits(self, cluster_size: int = 1) -> int:
+        """Width of the per-macro/cluster route-count field, sentinel included.
+
+        One extra value is reserved as the *raw escape* sentinel flagging a
+        raw-coded macro (the paper's fallback when no connection order
+        decodes, Section III-B).
+        """
+        return bits_for(self.max_routes(cluster_size) + 2)
+
+    def describe(self) -> str:
+        """Human-readable one-line summary."""
+        return (
+            f"island-style fabric, W={self.channel_width}, {self.lut_size}-LUT+FF "
+            f"(L={self.num_lb_pins}, NLB={self.nlb}), Nraw={self.nraw} bits/macro"
+        )

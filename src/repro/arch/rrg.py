@@ -1,0 +1,152 @@
+"""Track-level routing resource graph (RRG) for the global router.
+
+The global router (``repro.cad.route``) works on whole wires, not junction
+segments: one node per single-length track wire and one node per pin line.
+This is the classic VPR granularity and keeps PathFinder tractable; the
+junction-level expansion (``repro.bitstream.expand``) later converts each
+routed tree into exact pass-transistor closures, which is always possible
+because every node here has capacity 1 (no two nets ever share a wire).
+
+Node identifiers are dense integers::
+
+    cell = y * width + x
+    node = cell * (2W + L) + k
+        k in [0, W)       XTRK(x, y, t)   — ChanX wire owned by the cell
+        k in [W, 2W)      YTRK(x, y, t)   — ChanY wire owned by the cell
+        k in [2W, 2W+L)   LINE(x, y, p)   — pin line p (terminal and dogleg)
+
+Edges (undirected, stored in CSR form):
+
+* connection box: ``LINE(x,y,p) - XTRK(x,y,t)`` for p on ChanX (all t), and
+  ``LINE(x,y,p) - YTRK(x,y,t)`` for p on ChanY;
+* switch box at SB(x,y): all pairs among the up-to-four same-index wires
+  meeting there — ``XTRK(x-1,y,t)``, ``XTRK(x,y,t)``, ``YTRK(x,y-1,t)``,
+  ``YTRK(x,y,t)`` (a *disjoint* switch box: the track index is preserved).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.arch.fabric import FabricArch
+
+KIND_XTRK = 0
+KIND_YTRK = 1
+KIND_LINE = 2
+
+
+class RoutingGraph:
+    """CSR adjacency over the track-level routing resources of a fabric."""
+
+    def __init__(self, fabric: FabricArch):
+        self.fabric = fabric
+        p = fabric.params
+        self.W = p.channel_width
+        self.L = p.num_lb_pins
+        self.per_cell = 2 * self.W + self.L
+        self.num_nodes = fabric.width * fabric.height * self.per_cell
+        self._build(fabric)
+
+    # -- node id helpers ----------------------------------------------------------
+
+    def xtrk(self, x: int, y: int, t: int) -> int:
+        return (y * self.fabric.width + x) * self.per_cell + t
+
+    def ytrk(self, x: int, y: int, t: int) -> int:
+        return (y * self.fabric.width + x) * self.per_cell + self.W + t
+
+    def line(self, x: int, y: int, p: int) -> int:
+        return (y * self.fabric.width + x) * self.per_cell + 2 * self.W + p
+
+    def node_cell(self, node: int) -> Tuple[int, int]:
+        cell, _ = divmod(node, self.per_cell)
+        y, x = divmod(cell, self.fabric.width)
+        return x, y
+
+    def node_kind(self, node: int) -> Tuple[int, int]:
+        """Return (kind, index): kind XTRK/YTRK with track, or LINE with pin."""
+        k = node % self.per_cell
+        if k < self.W:
+            return KIND_XTRK, k
+        if k < 2 * self.W:
+            return KIND_YTRK, k - self.W
+        return KIND_LINE, k - 2 * self.W
+
+    def node_str(self, node: int) -> str:
+        x, y = self.node_cell(node)
+        kind, idx = self.node_kind(node)
+        name = {KIND_XTRK: "XTRK", KIND_YTRK: "YTRK", KIND_LINE: "LINE"}[kind]
+        return f"{name}({x},{y},{idx})"
+
+    # -- construction --------------------------------------------------------------
+
+    def _build(self, fabric: FabricArch) -> None:
+        W, L = self.W, self.L
+        width, height = fabric.width, fabric.height
+        chanx = fabric.params.chanx_pins
+        chany = fabric.params.chany_pins
+
+        src: List[int] = []
+        dst: List[int] = []
+
+        def link(a: int, b: int) -> None:
+            src.append(a)
+            dst.append(b)
+            src.append(b)
+            dst.append(a)
+
+        for y in range(height):
+            for x in range(width):
+                # Connection boxes.
+                for p in chanx:
+                    ln = self.line(x, y, p)
+                    for t in range(W):
+                        link(ln, self.xtrk(x, y, t))
+                for p in chany:
+                    ln = self.line(x, y, p)
+                    for t in range(W):
+                        link(ln, self.ytrk(x, y, t))
+                # Switch box at SB(x, y): pairs among the wires meeting there.
+                for t in range(W):
+                    wires = [self.xtrk(x, y, t), self.ytrk(x, y, t)]
+                    if x > 0:
+                        wires.append(self.xtrk(x - 1, y, t))
+                    if y > 0:
+                        wires.append(self.ytrk(x, y - 1, t))
+                    for i in range(len(wires)):
+                        for j in range(i + 1, len(wires)):
+                            link(wires[i], wires[j])
+
+        src_a = np.asarray(src, dtype=np.int32)
+        dst_a = np.asarray(dst, dtype=np.int32)
+        order = np.argsort(src_a, kind="stable")
+        src_a = src_a[order]
+        dst_a = dst_a[order]
+        counts = np.bincount(src_a, minlength=self.num_nodes)
+        self.indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
+        np.cumsum(counts, out=self.indptr[1:])
+        self.nbrs = dst_a
+        self.num_edges = len(dst_a) // 2
+
+        # Node positions (cell coordinates) for the A* heuristic.
+        cells = np.arange(self.num_nodes, dtype=np.int64) // self.per_cell
+        self.node_x = (cells % width).astype(np.int32)
+        self.node_y = (cells // width).astype(np.int32)
+
+    # -- traversal -------------------------------------------------------------------
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Neighbour node ids of ``node`` (ascending order not guaranteed)."""
+        return self.nbrs[self.indptr[node] : self.indptr[node + 1]]
+
+    def degree(self, node: int) -> int:
+        return int(self.indptr[node + 1] - self.indptr[node])
+
+    def iter_edges(self) -> Iterator[Tuple[int, int]]:
+        """Each undirected edge exactly once (a < b)."""
+        for a in range(self.num_nodes):
+            for b in self.neighbors(a):
+                if a < b:
+                    yield a, int(b)

@@ -1,0 +1,17 @@
+"""Configuration bitstreams: junction-level config, expansion, raw format."""
+
+from repro.bitstream.config import FabricConfig
+from repro.bitstream.expand import (
+    edge_junction_cell,
+    expand_routing,
+    wire_sb_cells,
+)
+from repro.bitstream.raw import RawBitstream
+
+__all__ = [
+    "FabricConfig",
+    "expand_routing",
+    "edge_junction_cell",
+    "wire_sb_cells",
+    "RawBitstream",
+]

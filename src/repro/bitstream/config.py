@@ -1,0 +1,138 @@
+"""FabricConfig: the junction-level configuration of a task region.
+
+A ``FabricConfig`` is the common currency of the back-end: the expansion
+step produces one from a routed design, the raw bitstream serializes it
+bit-for-bit (Eq. 1 layout), the Virtual Bit-Stream decoder regenerates one
+at run time, and the fabric functional simulator consumes one to recover
+the electrical netlist.
+
+Only non-default content is stored: macros with all-zero logic data and no
+closed switches are implicitly empty (that sparsity is exactly what the VBS
+macro list exploits).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Set, Tuple
+
+from repro.arch.params import ArchParams
+from repro.errors import BitstreamError
+from repro.utils.bitarray import BitArray
+from repro.utils.geometry import Rect
+
+Cell = Tuple[int, int]
+
+
+class FabricConfig:
+    """Per-macro logic data and closed-switch sets over a task rectangle."""
+
+    def __init__(self, params: ArchParams, region: Rect):
+        self.params = params
+        self.region = region
+        self.logic: Dict[Cell, BitArray] = {}
+        self.closed: Dict[Cell, Set[int]] = {}
+
+    # -- mutation -------------------------------------------------------------
+
+    def _check_cell(self, x: int, y: int) -> Cell:
+        if not self.region.contains(x, y):
+            raise BitstreamError(
+                f"macro ({x},{y}) outside task region {self.region}"
+            )
+        return (x, y)
+
+    def set_logic(self, x: int, y: int, bits: BitArray) -> None:
+        """Install the NLB-bit logic frame section of macro (x, y)."""
+        cell = self._check_cell(x, y)
+        if len(bits) != self.params.nlb:
+            raise BitstreamError(
+                f"logic data must be {self.params.nlb} bits, got {len(bits)}"
+            )
+        self.logic[cell] = bits
+
+    def close_switch(self, x: int, y: int, offset: int) -> None:
+        """Close routing switch ``offset`` (0-based within the routing region)."""
+        cell = self._check_cell(x, y)
+        if not 0 <= offset < self.params.routing_bits:
+            raise BitstreamError(
+                f"switch offset {offset} outside routing region "
+                f"[0, {self.params.routing_bits})"
+            )
+        self.closed.setdefault(cell, set()).add(offset)
+
+    def close_switches(self, x: int, y: int, offsets: Iterable[int]) -> None:
+        for off in offsets:
+            self.close_switch(x, y, off)
+
+    # -- queries --------------------------------------------------------------
+
+    def is_empty_macro(self, x: int, y: int) -> bool:
+        cell = (x, y)
+        logic = self.logic.get(cell)
+        has_logic = logic is not None and logic.count() > 0
+        return not has_logic and not self.closed.get(cell)
+
+    def occupied_cells(self) -> Set[Cell]:
+        """Cells with any non-default content."""
+        cells = {c for c, bits in self.logic.items() if bits.count() > 0}
+        cells.update(c for c, sw in self.closed.items() if sw)
+        return cells
+
+    def macro_frame(self, x: int, y: int) -> BitArray:
+        """The full Nraw-bit raw frame of macro (x, y)."""
+        self._check_cell(x, y)
+        frame = BitArray(self.params.nraw)
+        logic = self.logic.get((x, y))
+        if logic is not None:
+            frame.overwrite(0, logic)
+        for off in self.closed.get((x, y), ()):
+            frame[self.params.nlb + off] = 1
+        return frame
+
+    def total_closed_switches(self) -> int:
+        return sum(len(s) for s in self.closed.values())
+
+    # -- transforms -----------------------------------------------------------
+
+    def translated(self, dx: int, dy: int) -> "FabricConfig":
+        """The same configuration relocated by (dx, dy) macros."""
+        out = FabricConfig(self.params, self.region.translated(dx, dy))
+        out.logic = {
+            (x + dx, y + dy): bits.copy() for (x, y), bits in self.logic.items()
+        }
+        out.closed = {
+            (x + dx, y + dy): set(sw) for (x, y), sw in self.closed.items()
+        }
+        return out
+
+    def content_equal(self, other: "FabricConfig") -> bool:
+        """Equality of effective content (ignores region placement)."""
+        if self.params != other.params:
+            return False
+        dx = other.region.x - self.region.x
+        dy = other.region.y - self.region.y
+        if (self.region.w, self.region.h) != (other.region.w, other.region.h):
+            return False
+        mine = {
+            (x + dx, y + dy): bits
+            for (x, y), bits in self.logic.items()
+            if bits.count() > 0
+        }
+        theirs = {c: b for c, b in other.logic.items() if b.count() > 0}
+        if mine.keys() != theirs.keys():
+            return False
+        if any(mine[c] != theirs[c] for c in mine):
+            return False
+        mine_sw = {
+            (x + dx, y + dy): sw for (x, y), sw in self.closed.items() if sw
+        }
+        theirs_sw = {c: sw for c, sw in other.closed.items() if sw}
+        return mine_sw == theirs_sw
+
+    def __repr__(self) -> str:
+        return (
+            f"FabricConfig({self.region.w}x{self.region.h} @ "
+            f"({self.region.x},{self.region.y}), "
+            f"{len(self.occupied_cells())} occupied macros, "
+            f"{self.total_closed_switches()} closed switches)"
+        )

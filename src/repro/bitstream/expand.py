@@ -1,0 +1,237 @@
+"""Track-level routing -> junction-level configuration expansion.
+
+The global router decides which whole wires each net uses; this module
+derives the exact pass-transistor closures realizing those decisions — the
+step a bitstream generator performs when it "serializes" place-and-route
+data (Section III-B).  The procedure per net:
+
+1. collect the net's *touch points* on every wire it occupies (the junctions
+   where tree edges meet the wire, plus the block pin for terminal lines);
+2. occupy the contiguous span of junction-separated segments between the
+   extreme touch points of each wire;
+3. at every junction where two or more occupied ends of the same net meet,
+   close the minimal chain of pass transistors joining them.
+
+Because every wire has capacity 1 in the router, segments are never claimed
+by two nets and the chain closures can never short distinct nets — the
+invariant the fabric extractor re-verifies from the finished bitstream.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.arch.blocktype import encode_clb_config, encode_iob_config
+from repro.arch.macro import iter_macro_junctions, junction_pair_offset
+from repro.arch.rrg import KIND_LINE, KIND_XTRK, KIND_YTRK, RoutingGraph
+from repro.bitstream.config import FabricConfig
+from repro.cad.pack import PackedDesign
+from repro.cad.place import Placement
+from repro.cad.route import RoutingResult
+from repro.errors import BitstreamError
+from repro.utils.bitarray import BitArray
+from repro.utils.geometry import Rect
+
+GlobalSeg = Tuple
+
+
+def wire_sb_cells(rrg: RoutingGraph, node: int) -> List[Tuple[int, int]]:
+    """The switch-box cells a wire's two ends reach (one for edge stubs)."""
+    kind, _idx = rrg.node_kind(node)
+    x, y = rrg.node_cell(node)
+    if kind == KIND_XTRK:
+        cells = [(x, y), (x + 1, y)]
+    elif kind == KIND_YTRK:
+        cells = [(x, y), (x, y + 1)]
+    else:
+        raise BitstreamError("pin lines have no switch-box ends")
+    return [
+        (cx, cy)
+        for cx, cy in cells
+        if 0 <= cx < rrg.fabric.width and 0 <= cy < rrg.fabric.height
+    ]
+
+
+def edge_junction_cell(rrg: RoutingGraph, a: int, b: int) -> Tuple[int, int]:
+    """The macro whose junction realizes RRG edge (a, b)."""
+    ka, _ = rrg.node_kind(a)
+    kb, _ = rrg.node_kind(b)
+    if ka == KIND_LINE:
+        return rrg.node_cell(a)
+    if kb == KIND_LINE:
+        return rrg.node_cell(b)
+    shared = set(wire_sb_cells(rrg, a)) & set(wire_sb_cells(rrg, b))
+    if len(shared) != 1:
+        raise BitstreamError(
+            f"edge {rrg.node_str(a)}-{rrg.node_str(b)} has no unique "
+            f"switch box (found {sorted(shared)})"
+        )
+    return shared.pop()
+
+
+class _WireUse:
+    """Touch positions of one net on one wire (see module docstring)."""
+
+    __slots__ = ("positions",)
+
+    def __init__(self) -> None:
+        self.positions: Set[int] = set()
+
+
+def _line_channel_index(rrg: RoutingGraph, pin: int) -> Tuple[str, int]:
+    """('x'|'y', line index within its channel) for macro pin ``pin``."""
+    params = rrg.fabric.params
+    if pin in params.chanx_pins:
+        return "x", params.chanx_pins.index(pin)
+    return "y", params.chany_pins.index(pin)
+
+
+def _touch_position(
+    rrg: RoutingGraph, wire: int, other: int, junction: Tuple[int, int]
+) -> int:
+    """Position index of the junction along ``wire`` (module docstring)."""
+    params = rrg.fabric.params
+    nx = len(params.chanx_pins)
+    ny = len(params.chany_pins)
+    kind, idx = rrg.node_kind(wire)
+    x, y = rrg.node_cell(wire)
+    okind, oidx = rrg.node_kind(other)
+
+    if kind == KIND_LINE:
+        # Junction with a track: line position t + 1 (the pin itself is 0).
+        if okind not in (KIND_XTRK, KIND_YTRK):
+            raise BitstreamError("line-line junctions do not exist")
+        return oidx + 1
+    if okind == KIND_LINE:
+        # Junction of this track with a pin line: track position i + 1.
+        _chan, li = _line_channel_index(rrg, oidx)
+        return li + 1
+    # Track-track: a switch-box end.
+    if kind == KIND_XTRK:
+        return 0 if junction == (x, y) else nx + 1
+    if kind == KIND_YTRK:
+        return 0 if junction == (x, y) else ny + 1
+    raise BitstreamError("unreachable wire kind")
+
+
+def _occupied_segments(
+    rrg: RoutingGraph, wire: int, positions: Set[int]
+) -> List[GlobalSeg]:
+    """Global segment keys of the span between extreme touch positions."""
+    if len(positions) < 2:
+        return []
+    lo, hi = min(positions), max(positions)
+    kind, idx = rrg.node_kind(wire)
+    x, y = rrg.node_cell(wire)
+    if kind == KIND_XTRK:
+        return [("tx", x, y, idx, k) for k in range(lo, hi)]
+    if kind == KIND_YTRK:
+        return [("ty", x, y, idx, k) for k in range(lo, hi)]
+    chan, li = _line_channel_index(rrg, idx)
+    tag = "lx" if chan == "x" else "ly"
+    return [(tag, x, y, li, s) for s in range(lo, hi)]
+
+
+def expand_routing(
+    design: PackedDesign,
+    placement: Placement,
+    routing: RoutingResult,
+    rrg: RoutingGraph,
+) -> FabricConfig:
+    """Produce the junction-level :class:`FabricConfig` of a routed design."""
+    fabric = placement.fabric
+    params = fabric.params
+    config = FabricConfig(params, Rect(0, 0, fabric.width, fabric.height))
+
+    seg_owner: Dict[GlobalSeg, str] = {}
+    nx = len(params.chanx_pins)
+    ny = len(params.chany_pins)
+
+    # Pass 1: touch points and segment occupancy per net.
+    for net_name in sorted(routing.trees):
+        tree = routing.trees[net_name]
+        touches: Dict[int, _WireUse] = {}
+
+        def use(node: int) -> _WireUse:
+            w = touches.get(node)
+            if w is None:
+                w = touches[node] = _WireUse()
+            return w
+
+        for terminal in [tree.source] + tree.sinks:
+            use(terminal).positions.add(0)  # the block pin
+        for child, par in tree.parent.items():
+            junction = edge_junction_cell(rrg, child, par)
+            use(child).positions.add(
+                _touch_position(rrg, child, par, junction)
+            )
+            use(par).positions.add(
+                _touch_position(rrg, par, child, junction)
+            )
+
+        for wire, wu in touches.items():
+            for seg in _occupied_segments(rrg, wire, wu.positions):
+                prev = seg_owner.get(seg)
+                if prev is not None and prev != net_name:
+                    raise BitstreamError(
+                        f"segment {seg} claimed by nets {prev} and {net_name}"
+                    )
+                seg_owner[seg] = net_name
+
+    # Pass 2: chain-close junction switches wherever >= 2 ends of the same
+    # net meet.  Only macros whose junctions can see occupied segments need
+    # visiting: the segment's owner cell, plus the east/north neighbour for
+    # the outermost track segments (they poke into the next switch box).
+    active: Set[Tuple[int, int]] = set()
+    for seg in seg_owner:
+        tag, x, y = seg[0], seg[1], seg[2]
+        active.add((x, y))
+        if tag == "tx" and seg[4] == nx and x + 1 < fabric.width:
+            active.add((x + 1, y))
+        elif tag == "ty" and seg[4] == ny and y + 1 < fabric.height:
+            active.add((x, y + 1))
+
+    junction_layout = list(iter_macro_junctions(params))
+    for (x, y) in sorted(active):
+        for offset, end_keys in junction_layout:
+            ends_global = [
+                fabric.global_segment(x, y, key) for key in end_keys
+            ]
+            by_net: Dict[str, List[int]] = {}
+            for i, seg in enumerate(ends_global):
+                owner = seg_owner.get(seg)
+                if owner is not None:
+                    by_net.setdefault(owner, []).append(i)
+            n = len(end_keys)
+            for _net, idxs in sorted(by_net.items()):
+                if len(idxs) < 2:
+                    continue
+                idxs.sort()
+                for a, b in zip(idxs, idxs[1:]):
+                    config.close_switch(
+                        x, y, offset + junction_pair_offset(n, a, b)
+                    )
+
+    # Pass 3: logic data.
+    _install_logic(design, placement, config)
+    return config
+
+
+def _install_logic(
+    design: PackedDesign, placement: Placement, config: FabricConfig
+) -> None:
+    """Encode CLB truth tables and IOB pad enables into the config."""
+    params = config.params
+    for clb in design.clbs:
+        x, y, _sub = placement.site_of(clb.name)
+        config.set_logic(
+            x, y, encode_clb_config(params, clb.truth_table, clb.use_ff)
+        )
+    pads_by_cell: Dict[Tuple[int, int], Dict[int, bool]] = {}
+    for pad in design.pads:
+        x, y, sub = placement.site_of(pad.name)
+        pads_by_cell.setdefault((x, y), {})[sub] = pad.drives_fabric
+    for (x, y), subs in pads_by_cell.items():
+        out_en = (subs.get(0) is True, subs.get(1) is True)
+        in_en = (subs.get(0) is False, subs.get(1) is False)
+        config.set_logic(x, y, encode_iob_config(params, out_en, in_en))

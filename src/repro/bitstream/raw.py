@@ -1,0 +1,114 @@
+"""Raw configuration bitstream: the uncompressed baseline of Figure 4.
+
+A raw bitstream is the task's macro frames in raster order, each frame
+being exactly ``Nraw`` bits laid out as ``[NLB logic][switch box][ChanX
+CB][ChanY CB]`` (Eq. 1).  There is no header in the size accounting — this
+is the "set of each bit determining the state of every configurable
+element" the paper compares the Virtual Bit-Stream against.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.arch.params import ArchParams
+from repro.bitstream.config import FabricConfig
+from repro.errors import BitstreamError
+from repro.utils.bitarray import BitArray
+from repro.utils.geometry import Rect
+
+
+class RawBitstream:
+    """Frame-addressed raw configuration of a ``w x h`` task rectangle."""
+
+    def __init__(self, params: ArchParams, width: int, height: int, bits: BitArray):
+        expected = width * height * params.nraw
+        if len(bits) != expected:
+            raise BitstreamError(
+                f"raw bitstream must be {expected} bits for "
+                f"{width}x{height} macros, got {len(bits)}"
+            )
+        self.params = params
+        self.width = width
+        self.height = height
+        self.bits = bits
+
+    # -- size accounting ---------------------------------------------------------
+
+    @property
+    def size_bits(self) -> int:
+        """Total storage footprint in bits (the Figure 4 baseline)."""
+        return len(self.bits)
+
+    @classmethod
+    def size_for(cls, params: ArchParams, width: int, height: int) -> int:
+        """Raw size of a task without materializing it."""
+        return width * height * params.nraw
+
+    # -- frame access ---------------------------------------------------------------
+
+    def _frame_offset(self, x: int, y: int) -> int:
+        if not (0 <= x < self.width and 0 <= y < self.height):
+            raise BitstreamError(
+                f"frame ({x},{y}) outside {self.width}x{self.height} task"
+            )
+        return (y * self.width + x) * self.params.nraw
+
+    def frame(self, x: int, y: int) -> BitArray:
+        """The Nraw-bit frame of task-relative macro (x, y)."""
+        return self.bits.slice(self._frame_offset(x, y), self.params.nraw)
+
+    def set_frame(self, x: int, y: int, frame: BitArray) -> None:
+        if len(frame) != self.params.nraw:
+            raise BitstreamError(
+                f"frame must be {self.params.nraw} bits, got {len(frame)}"
+            )
+        self.bits.overwrite(self._frame_offset(x, y), frame)
+
+    # -- conversions ------------------------------------------------------------------
+
+    @classmethod
+    def from_config(cls, config: FabricConfig) -> "RawBitstream":
+        """Serialize a :class:`FabricConfig` (frames in raster order)."""
+        region = config.region
+        params = config.params
+        bits = BitArray(region.w * region.h * params.nraw)
+        for j in range(region.h):
+            for i in range(region.w):
+                frame = config.macro_frame(region.x + i, region.y + j)
+                bits.overwrite((j * region.w + i) * params.nraw, frame)
+        return cls(params, region.w, region.h, bits)
+
+    def to_config(self, origin: Tuple[int, int] = (0, 0)) -> FabricConfig:
+        """Parse frames back into a :class:`FabricConfig` at ``origin``."""
+        ox, oy = origin
+        config = FabricConfig(
+            self.params, Rect(ox, oy, self.width, self.height)
+        )
+        nlb = self.params.nlb
+        for j in range(self.height):
+            for i in range(self.width):
+                frame = self.frame(i, j)
+                logic = frame.slice(0, nlb)
+                if logic.count():
+                    config.set_logic(ox + i, oy + j, logic)
+                for off in range(self.params.routing_bits):
+                    if frame[nlb + off]:
+                        config.close_switch(ox + i, oy + j, off)
+        return config
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RawBitstream):
+            return NotImplemented
+        return (
+            self.params == other.params
+            and self.width == other.width
+            and self.height == other.height
+            and self.bits == other.bits
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"RawBitstream({self.width}x{self.height} macros, "
+            f"{self.size_bits} bits)"
+        )

@@ -1,0 +1,42 @@
+"""The mini-VPR CAD substrate: packing, placement, routing, MCW, flow driver."""
+
+from repro.cad.pack import ClbInst, PackedDesign, PadInst, pack
+from repro.cad.place import Placement, place
+from repro.cad.route import (
+    PathFinderRouter,
+    RouteTree,
+    RoutingResult,
+    net_terminals,
+    route_design,
+)
+from repro.cad.mcw import McwResult, find_mcw
+from repro.cad.flow import (
+    FlowResult,
+    required_logic_size,
+    required_pad_ring,
+    run_flow,
+)
+from repro.cad.analysis import RoutingReport, analyze_routing, logic_depth
+
+__all__ = [
+    "ClbInst",
+    "PackedDesign",
+    "PadInst",
+    "pack",
+    "Placement",
+    "place",
+    "PathFinderRouter",
+    "RouteTree",
+    "RoutingResult",
+    "net_terminals",
+    "route_design",
+    "McwResult",
+    "find_mcw",
+    "FlowResult",
+    "required_logic_size",
+    "required_pad_ring",
+    "run_flow",
+    "RoutingReport",
+    "analyze_routing",
+    "logic_depth",
+]

@@ -1,0 +1,116 @@
+"""The offline CAD flow of the paper's Figure 3, minus the VBS backend.
+
+``run_flow`` drives netlist legalization (LUT mapping), packing, fabric
+sizing, placement and routing, producing a :class:`FlowResult` that the
+bitstream generators (raw and Virtual Bit-Stream) consume.  It plays the
+role VTR/VPR plays in the paper; ``vbsgen`` (``repro.vbs``) sits on top of
+its output exactly as described in Section III-B.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.arch.fabric import FabricArch
+from repro.arch.params import ArchParams
+from repro.arch.rrg import RoutingGraph
+from repro.cad.pack import PackedDesign, pack
+from repro.cad.place import Placement, place
+from repro.cad.route import RoutingResult, route_design
+from repro.errors import PlacementError
+from repro.netlist.lutmap import map_to_luts
+from repro.netlist.model import Netlist
+
+
+@dataclass
+class FlowResult:
+    """Everything produced by one end-to-end CAD run."""
+
+    netlist: Netlist
+    design: PackedDesign
+    fabric: FabricArch
+    placement: Placement
+    routing: RoutingResult
+    rrg: RoutingGraph
+    elapsed_s: float
+
+    @property
+    def params(self) -> ArchParams:
+        return self.fabric.params
+
+    def summary(self) -> str:
+        s = self.design.stats()
+        return (
+            f"{self.netlist.name}: {s['clbs']} CLBs / {s['pads']} pads on "
+            f"{self.fabric.width}x{self.fabric.height} fabric, "
+            f"W={self.params.channel_width}, "
+            f"{len(self.routing.trees)} nets routed in "
+            f"{self.routing.iterations} iterations, "
+            f"wirelength {self.routing.total_wirelength}"
+        )
+
+
+def required_logic_size(n_clbs: int) -> int:
+    """Smallest square logic core holding ``n_clbs`` blocks (VPR auto-size)."""
+    return max(1, math.ceil(math.sqrt(max(1, n_clbs))))
+
+
+def required_pad_ring(n_pads: int, pads_per_cell: int = 2) -> int:
+    """Smallest logic size whose IOB ring offers ``n_pads`` sub-sites.
+
+    An island fabric of logic size ``n`` has ``4n + 4`` ring cells.
+    """
+    cells = math.ceil(n_pads / pads_per_cell)
+    return max(1, math.ceil((cells - 4) / 4))
+
+
+def run_flow(
+    netlist: Netlist,
+    params: Optional[ArchParams] = None,
+    logic_size: Optional[int] = None,
+    seed: int = 0,
+    place_inner_num: float = 0.5,
+    place_fast: bool = False,
+    router_kwargs: Optional[dict] = None,
+) -> FlowResult:
+    """Run synthesis-to-routing for ``netlist`` on an island fabric.
+
+    ``logic_size`` defaults to the smallest square that fits both the packed
+    logic blocks and the pad ring, mirroring VPR's automatic grid sizing.
+    """
+    t0 = time.perf_counter()
+    params = params or ArchParams()
+
+    mapped = map_to_luts(netlist, params.lut_size)
+    design = pack(mapped, params.lut_size)
+
+    min_size = max(
+        required_logic_size(design.num_clbs),
+        required_pad_ring(design.num_pads),
+    )
+    if logic_size is None:
+        logic_size = min_size
+    elif logic_size < min_size:
+        raise PlacementError(
+            f"{netlist.name}: logic size {logic_size} too small "
+            f"(needs {min_size})"
+        )
+
+    fabric = FabricArch.island(params, logic_size)
+    placement = place(
+        design, fabric, seed=seed, inner_num=place_inner_num, fast=place_fast
+    )
+    rrg = RoutingGraph(fabric)
+    routing = route_design(design, placement, rrg, **(router_kwargs or {}))
+    return FlowResult(
+        netlist=netlist,
+        design=design,
+        fabric=fabric,
+        placement=placement,
+        routing=routing,
+        rrg=rrg,
+        elapsed_s=time.perf_counter() - t0,
+    )

@@ -1,0 +1,112 @@
+"""Minimum-channel-width (MCW) search, the Table II metric.
+
+VPR characterizes a circuit by the smallest ``W`` at which routing succeeds;
+the paper reports that value per benchmark and then *normalizes all
+experiments to W = 20* so bit-stream sizes are comparable.  This module
+reproduces the search: exponential probing up from a lower bound followed by
+binary refinement, rebuilding the RRG at each width.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.arch.fabric import FabricArch
+from repro.arch.params import ArchParams
+from repro.arch.rrg import RoutingGraph
+from repro.cad.pack import PackedDesign
+from repro.cad.place import Placement, place
+from repro.cad.route import PathFinderRouter, RoutingResult, net_terminals
+from repro.errors import UnroutableError
+
+
+@dataclass
+class McwResult:
+    """Outcome of the search: the MCW and the routing obtained there."""
+
+    mcw: int
+    routing: RoutingResult
+    attempts: Dict[int, bool]  # width -> routable?
+
+
+def _attempt(
+    design: PackedDesign,
+    placement: Placement,
+    params: ArchParams,
+    width: int,
+    max_iterations: int,
+) -> Optional[RoutingResult]:
+    """Try routing at ``width`` reusing the existing placement."""
+    fabric = FabricArch(
+        ArchParams(
+            channel_width=width,
+            lut_size=params.lut_size,
+            chanx_pins=params.chanx_pins,
+            chany_pins=params.chany_pins,
+        ),
+        placement.fabric.width,
+        placement.fabric.height,
+        {(p.x, p.y): placement.fabric.type_name_at(p.x, p.y)
+         for p in placement.fabric.cells()},
+    )
+    rrg = RoutingGraph(fabric)
+    relocated = Placement(
+        design, fabric, placement.locations, placement.cost, placement.seed
+    )
+    try:
+        terminals = net_terminals(design, relocated, rrg)
+        router = PathFinderRouter(rrg, max_iterations=max_iterations)
+        return router.route(terminals)
+    except UnroutableError:
+        return None
+
+
+def find_mcw(
+    design: PackedDesign,
+    fabric: FabricArch,
+    placement: Optional[Placement] = None,
+    w_min: int = 2,
+    w_max: int = 64,
+    max_iterations: int = 25,
+    seed: int = 0,
+) -> McwResult:
+    """Find the minimum routable channel width for a placed design.
+
+    The placement is computed once (at the given fabric's width) and reused
+    across widths, as VPR does in its default binary search.
+    """
+    params = fabric.params
+    if placement is None:
+        placement = place(design, fabric, seed=seed)
+
+    attempts: Dict[int, bool] = {}
+
+    # Exponential probe upward for the first routable width.
+    width = max(w_min, 2)
+    best: Optional[RoutingResult] = None
+    best_w = None
+    while width <= w_max:
+        result = _attempt(design, placement, params, width, max_iterations)
+        attempts[width] = result is not None
+        if result is not None:
+            best, best_w = result, width
+            break
+        width *= 2
+    if best is None or best_w is None:
+        raise UnroutableError(
+            f"{design.name}: unroutable even at W={w_max}"
+        )
+
+    # Binary refinement between the last failure and the success.
+    lo = max(w_min, best_w // 2 + 1) if best_w > w_min else w_min
+    hi = best_w
+    while lo < hi:
+        mid = (lo + hi) // 2
+        result = _attempt(design, placement, params, mid, max_iterations)
+        attempts[mid] = result is not None
+        if result is not None:
+            best, hi = result, mid
+        else:
+            lo = mid + 1
+    return McwResult(hi, best, attempts)

@@ -1,0 +1,203 @@
+"""Packing: map LUTs and latches onto the paper's LUT+FF logic blocks.
+
+The architecture's logic block (Section II-A) is one K-input LUT whose
+output optionally passes through a flip-flop — a single output pin either
+way.  Packing therefore:
+
+* fuses a latch with its driving LUT when the LUT output feeds *only* that
+  latch (the common case produced by synthesis);
+* realizes any remaining latch as its own block with a pass-through
+  (identity) LUT in front of the FF;
+* widens every truth table to the full K inputs (added inputs are
+  don't-care) so blocks carry uniform NLB-bit configurations;
+* turns primary inputs/outputs into pad instances bound to IOB sub-sites at
+  placement time.
+
+The result also carries the post-packing net list (driver pin + sink pins),
+which is what placement and routing consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import PackError
+from repro.netlist.model import NetUse, Netlist
+
+
+@dataclass(frozen=True)
+class ClbInst:
+    """A packed logic block: K-LUT (+ optional FF) with one output net."""
+
+    name: str
+    inputs: Tuple[Optional[str], ...]  # net per LUT pin, None = unused
+    output: str
+    truth_table: int  # widened to 2**K rows
+    use_ff: bool
+
+    def used_input_count(self) -> int:
+        return sum(1 for n in self.inputs if n is not None)
+
+
+@dataclass(frozen=True)
+class PadInst:
+    """A primary I/O pad.  ``drives_fabric`` is True for circuit inputs."""
+
+    name: str
+    net: str
+    drives_fabric: bool
+
+
+class PackedDesign:
+    """The output of packing: blocks, pads, and resolved net uses."""
+
+    def __init__(
+        self,
+        name: str,
+        lut_size: int,
+        clbs: List[ClbInst],
+        pads: List[PadInst],
+    ):
+        self.name = name
+        self.lut_size = lut_size
+        self.clbs = clbs
+        self.pads = pads
+        self.nets: Dict[str, NetUse] = {}
+        self._build_nets()
+
+    def _build_nets(self) -> None:
+        for clb in self.clbs:
+            use = self.nets.get(clb.output)
+            if use is not None and use.driver is not None:
+                raise PackError(f"net {clb.output} has two drivers")
+            self.nets[clb.output] = NetUse(clb.output, (clb.name, "out"))
+        for pad in self.pads:
+            if pad.drives_fabric:
+                if pad.net in self.nets:
+                    raise PackError(f"net {pad.net} has two drivers")
+                self.nets[pad.net] = NetUse(pad.net, (pad.name, "o"))
+        for clb in self.clbs:
+            for i, net in enumerate(clb.inputs):
+                if net is None:
+                    continue
+                if net not in self.nets:
+                    raise PackError(f"{clb.name} reads undriven net {net}")
+                self.nets[net].sinks.append((clb.name, f"in{i}"))
+        for pad in self.pads:
+            if not pad.drives_fabric:
+                if pad.net not in self.nets:
+                    raise PackError(f"output pad reads undriven net {pad.net}")
+                self.nets[pad.net].sinks.append((pad.name, "i"))
+        # Nets nobody reads do not need routing; drop them defensively.
+        self.nets = {
+            name: use for name, use in self.nets.items() if use.sinks
+        }
+
+    # -- queries -------------------------------------------------------------------
+
+    @property
+    def num_clbs(self) -> int:
+        return len(self.clbs)
+
+    @property
+    def num_pads(self) -> int:
+        return len(self.pads)
+
+    def clb_by_name(self) -> Dict[str, ClbInst]:
+        return {c.name: c for c in self.clbs}
+
+    def pad_by_name(self) -> Dict[str, PadInst]:
+        return {p.name: p for p in self.pads}
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "clbs": self.num_clbs,
+            "pads": self.num_pads,
+            "nets": len(self.nets),
+            "pins": sum(1 + n.fanout for n in self.nets.values()),
+            "ffs": sum(1 for c in self.clbs if c.use_ff),
+        }
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"PackedDesign({self.name}: {s['clbs']} CLBs ({s['ffs']} FF), "
+            f"{s['pads']} pads, {s['nets']} nets)"
+        )
+
+
+def _widen_truth_table(tt: int, arity: int, lut_size: int) -> int:
+    """Repeat the table so added (unused) inputs are don't-care."""
+    rows = 1 << arity
+    out = 0
+    for rep in range(1 << (lut_size - arity)):
+        out |= tt << (rep * rows)
+    return out
+
+
+#: Identity function of input 0 widened later: out = in0 (rows with bit0 set).
+_IDENTITY_TT_1 = 0b10
+
+
+def pack(netlist: Netlist, lut_size: int = 6) -> PackedDesign:
+    """Pack a legalized netlist (max arity <= K) into logic blocks."""
+    if netlist.max_lut_arity() > lut_size:
+        raise PackError(
+            f"{netlist.name}: contains a {netlist.max_lut_arity()}-input LUT; "
+            f"run repro.netlist.map_to_luts first"
+        )
+
+    # A latch is absorbed into its driving LUT when it is the sole reader of
+    # the LUT output net and that net is not a primary output.
+    latch_by_dnet: Dict[str, List] = {}
+    for latch in netlist.latches:
+        latch_by_dnet.setdefault(latch.input, []).append(latch)
+
+    fanout: Dict[str, int] = {}
+    for lut in netlist.luts:
+        for net in lut.inputs:
+            fanout[net] = fanout.get(net, 0) + 1
+    for latch in netlist.latches:
+        fanout[latch.input] = fanout.get(latch.input, 0) + 1
+    for po in netlist.outputs:
+        fanout[po] = fanout.get(po, 0) + 1
+
+    absorbed = set()
+    clbs: List[ClbInst] = []
+    for lut in netlist.luts:
+        widened = _widen_truth_table(lut.truth_table, lut.arity, lut_size)
+        inputs = tuple(lut.inputs) + (None,) * (lut_size - lut.arity)
+        candidates = latch_by_dnet.get(lut.output, [])
+        if (
+            len(candidates) == 1
+            and fanout.get(lut.output, 0) == 1
+            and lut.output not in netlist.outputs
+        ):
+            latch = candidates[0]
+            absorbed.add(latch.name)
+            clbs.append(
+                ClbInst(f"clb_{lut.name}", inputs, latch.output, widened, True)
+            )
+        else:
+            clbs.append(
+                ClbInst(f"clb_{lut.name}", inputs, lut.output, widened, False)
+            )
+
+    # Remaining latches become pass-through blocks.
+    for latch in netlist.latches:
+        if latch.name in absorbed:
+            continue
+        widened = _widen_truth_table(_IDENTITY_TT_1, 1, lut_size)
+        inputs = (latch.input,) + (None,) * (lut_size - 1)
+        clbs.append(
+            ClbInst(f"clb_{latch.name}", inputs, latch.output, widened, True)
+        )
+
+    pads: List[PadInst] = []
+    for pi in netlist.inputs:
+        pads.append(PadInst(f"ipad_{pi}", pi, drives_fabric=True))
+    for po in netlist.outputs:
+        pads.append(PadInst(f"opad_{po}", po, drives_fabric=False))
+
+    return PackedDesign(netlist.name, lut_size, clbs, pads)

@@ -1,0 +1,301 @@
+"""Negotiated-congestion (PathFinder) routing on the track-level RRG.
+
+This is the router of the paper's VPR stage: every net becomes a tree over
+routing-resource nodes (track wires and pin lines, each of capacity 1).
+Nets are routed with multi-source A* from the growing tree to each sink;
+congestion is resolved across iterations by PathFinder's present-sharing and
+history costs.  The result is exact single-occupancy of every wire, which
+guarantees the junction-level expansion (``repro.bitstream.expand``) can
+realize the configuration without electrical shorts.
+
+Determinism: net order, sink order, neighbour order and heap tie-breaks are
+all fixed, so a given (design, placement, seed) always yields the same
+routing — a property the Virtual Bit-Stream feedback loop relies on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.blocktype import IOB_PAD_PORTS
+from repro.arch.rrg import RoutingGraph
+from repro.cad.pack import PackedDesign
+from repro.cad.place import Placement
+from repro.errors import RoutingError, UnroutableError
+from repro.utils.geometry import Rect
+
+
+@dataclass
+class RouteTree:
+    """The routed realization of one net.
+
+    ``parent`` maps every non-source node of the tree to its predecessor on
+    the path toward the source (a directed tree rooted at ``source``).
+    """
+
+    net: str
+    source: int
+    sinks: List[int]
+    parent: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def nodes(self) -> List[int]:
+        return [self.source] + list(self.parent.keys())
+
+    def children_map(self) -> Dict[int, List[int]]:
+        """Source-rooted adjacency (children per node, ascending ids)."""
+        kids: Dict[int, List[int]] = {}
+        for child, par in self.parent.items():
+            kids.setdefault(par, []).append(child)
+        for lst in kids.values():
+            lst.sort()
+        return kids
+
+    def wirelength(self) -> int:
+        """Number of routing nodes used beyond the source."""
+        return len(self.parent)
+
+
+@dataclass
+class RoutingResult:
+    """All route trees plus convergence statistics."""
+
+    trees: Dict[str, RouteTree]
+    channel_width: int
+    iterations: int
+    total_wirelength: int
+    max_occupancy: int
+
+    def tree_of(self, net: str) -> RouteTree:
+        try:
+            return self.trees[net]
+        except KeyError:
+            raise RoutingError(f"net {net} was not routed")
+
+
+def net_terminals(
+    design: PackedDesign, placement: Placement, rrg: RoutingGraph
+) -> Dict[str, Tuple[int, List[int]]]:
+    """Resolve each net to (source node, sink nodes) on the RRG.
+
+    CLB port ``in{i}`` sits on macro pin line ``i`` and ``out`` on line ``K``;
+    pad ports go through the IOB block type's pad-to-pin-line binding.
+    """
+    fabric = placement.fabric
+    iob = fabric.block_types["iob"]
+    clbs = design.clb_by_name()
+    pads = design.pad_by_name()
+
+    def pin_node(inst: str, port: str) -> int:
+        x, y, sub = placement.site_of(inst)
+        if inst in clbs:
+            macro_pin = (
+                design.lut_size if port == "out" else int(port[2:])
+            )
+        elif inst in pads:
+            port_name = IOB_PAD_PORTS[sub][port]
+            macro_pin = iob.port(port_name).macro_pin
+        else:
+            raise RoutingError(f"unknown instance {inst}")
+        return rrg.line(x, y, macro_pin)
+
+    terminals: Dict[str, Tuple[int, List[int]]] = {}
+    for name, use in design.nets.items():
+        src = pin_node(*use.driver)
+        sinks = [pin_node(inst, port) for inst, port in use.sinks]
+        # A sink pin equal to the source pin would be a degenerate loop.
+        sinks = [s for s in sinks if s != src]
+        if sinks:
+            terminals[name] = (src, sorted(set(sinks)))
+    return terminals
+
+
+class PathFinderRouter:
+    """Iterative rip-up-and-reroute engine over one RoutingGraph."""
+
+    def __init__(
+        self,
+        rrg: RoutingGraph,
+        max_iterations: int = 40,
+        pres_fac_first: float = 0.6,
+        pres_fac_mult: float = 1.5,
+        hist_fac: float = 0.4,
+        astar_fac: float = 1.2,
+        bb_margin: int = 3,
+    ):
+        self.rrg = rrg
+        self.max_iterations = max_iterations
+        self.pres_fac_first = pres_fac_first
+        self.pres_fac_mult = pres_fac_mult
+        self.hist_fac = hist_fac
+        self.astar_fac = astar_fac
+        self.bb_margin = bb_margin
+
+        n = rrg.num_nodes
+        self._indptr: List[int] = rrg.indptr.tolist()
+        self._nbrs: List[int] = rrg.nbrs.tolist()
+        self._nx: List[int] = rrg.node_x.tolist()
+        self._ny: List[int] = rrg.node_y.tolist()
+        self._occ = [0] * n
+        self._hist = [0.0] * n
+        self._gbest = [0.0] * n
+        self._came = [-1] * n
+        self._visit = [0] * n
+        self._epoch = 0
+
+    # -- single-net routing ------------------------------------------------------
+
+    def _route_net(
+        self,
+        source: int,
+        sinks: Sequence[int],
+        pres_fac: float,
+        bbox: Rect,
+    ) -> Optional[Dict[int, int]]:
+        """Route one net; returns the parent map or None when stuck."""
+        indptr, nbrs = self._indptr, self._nbrs
+        nx, ny = self._nx, self._ny
+        occ, hist = self._occ, self._hist
+        gbest, came, visit = self._gbest, self._came, self._visit
+        hist_fac, astar_fac = self.hist_fac, self.astar_fac
+
+        tree_nodes: List[int] = [source]
+        tree_set = {source}
+        parent: Dict[int, int] = {}
+
+        # Farthest sink first grows a trunk the others can reuse.
+        order = sorted(
+            sinks,
+            key=lambda s: (-(abs(nx[s] - nx[source]) + abs(ny[s] - ny[source])), s),
+        )
+        for sink in order:
+            self._epoch += 1
+            epoch = self._epoch
+            sx, sy = nx[sink], ny[sink]
+            heap: List[Tuple[float, float, int]] = []
+            for node in tree_nodes:
+                h = astar_fac * (abs(nx[node] - sx) + abs(ny[node] - sy))
+                gbest[node] = 0.0
+                came[node] = -1
+                visit[node] = epoch
+                heap.append((h, 0.0, node))
+            heapq.heapify(heap)
+
+            found = False
+            while heap:
+                f, g, node = heapq.heappop(heap)
+                if node == sink:
+                    found = True
+                    break
+                if visit[node] == epoch and g > gbest[node]:
+                    continue  # stale entry
+                for ei in range(indptr[node], indptr[node + 1]):
+                    nb = nbrs[ei]
+                    bx, by = nx[nb], ny[nb]
+                    if not (
+                        bbox.x <= bx < bbox.x2 and bbox.y <= by < bbox.y2
+                    ):
+                        continue
+                    # Congestion-aware node cost (capacity 1 everywhere).
+                    over = occ[nb]
+                    cost = (1.0 + hist_fac * hist[nb]) * (
+                        1.0 + pres_fac * over
+                    )
+                    ng = g + cost
+                    if visit[nb] == epoch and gbest[nb] <= ng:
+                        continue
+                    visit[nb] = epoch
+                    gbest[nb] = ng
+                    came[nb] = node
+                    h = astar_fac * (abs(bx - sx) + abs(by - sy))
+                    heapq.heappush(heap, (ng + h, ng, nb))
+
+            if not found:
+                return None
+
+            # Walk back from the sink to the existing tree (tree nodes were
+            # seeded with came == -1, so the walk stops there) and graft the
+            # new branch.
+            node = sink
+            while came[node] != -1:
+                parent[node] = came[node]
+                if node not in tree_set:
+                    tree_set.add(node)
+                    tree_nodes.append(node)
+                node = came[node]
+            if sink not in tree_set:
+                tree_set.add(sink)
+                tree_nodes.append(sink)
+
+        return parent
+
+    # -- full design routing -------------------------------------------------------
+
+    def route(
+        self,
+        terminals: Dict[str, Tuple[int, List[int]]],
+        full_bbox_retry: bool = True,
+    ) -> RoutingResult:
+        """Route every net to zero overuse or raise :class:`UnroutableError`."""
+        rrg = self.rrg
+        fabric_box = Rect(0, 0, rrg.fabric.width, rrg.fabric.height)
+        names = sorted(terminals)
+        trees: Dict[str, RouteTree] = {}
+
+        def net_bbox(name: str, margin: int) -> Rect:
+            src, sinks = terminals[name]
+            pts = [(self._nx[n], self._ny[n]) for n in [src] + list(sinks)]
+            return Rect.spanning(pts).expanded(margin, fabric_box)
+
+        pres_fac = self.pres_fac_first
+        for iteration in range(1, self.max_iterations + 1):
+            margin = self.bb_margin + 2 * (iteration - 1)
+            for name in names:
+                src, sinks = terminals[name]
+                tree = trees.get(name)
+                if tree is not None:
+                    if all(self._occ[n] <= 1 for n in tree.nodes):
+                        continue  # keep conflict-free nets as they are
+                    for n in tree.nodes:
+                        self._occ[n] -= 1
+                parent = self._route_net(src, sinks, pres_fac, net_bbox(name, margin))
+                if parent is None and full_bbox_retry:
+                    parent = self._route_net(src, sinks, pres_fac, fabric_box)
+                if parent is None:
+                    raise UnroutableError(
+                        f"net {name}: no path at W={rrg.W} "
+                        f"(iteration {iteration})"
+                    )
+                tree = RouteTree(name, src, list(sinks), parent)
+                trees[name] = tree
+                for n in tree.nodes:
+                    self._occ[n] += 1
+
+            over_nodes = [n for n, o in enumerate(self._occ) if o > 1]
+            if not over_nodes:
+                wl = sum(t.wirelength() for t in trees.values())
+                return RoutingResult(
+                    trees, rrg.W, iteration, wl, max(self._occ, default=0)
+                )
+            for n in over_nodes:
+                self._hist[n] += self._occ[n] - 1
+            pres_fac *= self.pres_fac_mult
+
+        raise UnroutableError(
+            f"congestion unresolved after {self.max_iterations} iterations "
+            f"at W={rrg.W} ({sum(1 for o in self._occ if o > 1)} overused nodes)"
+        )
+
+
+def route_design(
+    design: PackedDesign,
+    placement: Placement,
+    rrg: RoutingGraph,
+    **router_kwargs,
+) -> RoutingResult:
+    """Convenience wrapper: terminals + PathFinder in one call."""
+    terminals = net_terminals(design, placement, rrg)
+    router = PathFinderRouter(rrg, **router_kwargs)
+    return router.route(terminals)

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the repro library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class ArchitectureError(ReproError):
+    """Inconsistent or unsupported architecture description."""
+
+
+class NetlistError(ReproError):
+    """Malformed netlist, BLIF input, or logic function."""
+
+
+class PackError(ReproError):
+    """Failure while packing primitives into logic blocks."""
+
+
+class PlacementError(ReproError):
+    """Failure while placing blocks on the fabric grid."""
+
+
+class RoutingError(ReproError):
+    """The router could not realize every net."""
+
+
+class UnroutableError(RoutingError):
+    """No feasible routing exists at the given channel width."""
+
+
+class BitstreamError(ReproError):
+    """Malformed or inconsistent configuration bitstream."""
+
+
+class VbsError(ReproError):
+    """Virtual Bit-Stream coding or decoding failure."""
+
+
+class DevirtualizationError(VbsError):
+    """The online de-virtualization router could not expand a macro."""
+
+
+class RuntimeManagementError(ReproError):
+    """Run-time controller or fabric manager misuse (collisions, bounds)."""

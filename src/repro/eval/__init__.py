@@ -1,0 +1,51 @@
+"""Evaluation harness: Table II data, experiment runners, figure rendering."""
+
+from repro.eval.mcnc import (
+    FULL_SET,
+    MCNC_TABLE,
+    MEDIUM_SET,
+    SMALL_SET,
+    McncCircuit,
+    benchmark_names,
+    circuit,
+)
+from repro.eval.experiments import (
+    DEFAULT_CLUSTERS,
+    EVAL_CHANNEL_WIDTH,
+    evaluate_circuit,
+    flow_for,
+    run_fig4,
+    run_fig5,
+    run_table2,
+)
+from repro.eval.figures import (
+    format_table,
+    geomean,
+    render_fig4,
+    render_fig5,
+    render_table2,
+    to_csv,
+)
+
+__all__ = [
+    "FULL_SET",
+    "MCNC_TABLE",
+    "MEDIUM_SET",
+    "SMALL_SET",
+    "McncCircuit",
+    "benchmark_names",
+    "circuit",
+    "DEFAULT_CLUSTERS",
+    "EVAL_CHANNEL_WIDTH",
+    "evaluate_circuit",
+    "flow_for",
+    "run_fig4",
+    "run_fig5",
+    "run_table2",
+    "format_table",
+    "geomean",
+    "render_fig4",
+    "render_fig5",
+    "render_table2",
+    "to_csv",
+]

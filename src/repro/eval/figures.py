@@ -1,0 +1,127 @@
+"""Rendering of the paper's tables and figures as text and CSV.
+
+No plotting dependencies are available offline, so figures are rendered as
+aligned ASCII (log-scale bar charts for Figure 4, a min/geomean/max series
+for Figure 5) plus machine-readable CSV files next to the results cache.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+from typing import Dict, List, Sequence, Tuple
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Fixed-width table with a header rule."""
+    cols = [list(map(str, col)) for col in zip(headers, *rows)] if rows else [
+        [h] for h in headers
+    ]
+    widths = [max(len(v) for v in col) for col in cols]
+    def fmt(row: Sequence[object]) -> str:
+        return "  ".join(str(v).rjust(w) for v, w in zip(row, widths))
+    out = [fmt(headers), fmt(["-" * w for w in widths])]
+    out.extend(fmt(row) for row in rows)
+    return "\n".join(out)
+
+
+def log_bar(value: float, lo: float, hi: float, width: int = 40) -> str:
+    """A log-scale bar for Figure 4's logarithmic size axis."""
+    if value <= 0 or hi <= lo:
+        return ""
+    frac = (math.log10(value) - math.log10(lo)) / (
+        math.log10(hi) - math.log10(lo)
+    )
+    frac = max(0.0, min(1.0, frac))
+    return "#" * max(1, round(frac * width))
+
+
+def render_fig4(rows: List[Dict[str, object]]) -> str:
+    """Figure 4: per-circuit raw (BS) vs Virtual Bit-Stream (VBS) sizes."""
+    sizes = [float(r["raw_bits"]) for r in rows] + [
+        float(r["vbs_bits"]) for r in rows
+    ]
+    lo, hi = min(sizes) * 0.9, max(sizes) * 1.1
+    lines = ["Figure 4 — raw bit-stream vs Virtual Bit-Stream size (log scale)", ""]
+    for r in rows:
+        lines.append(f"{r['name']:>10}  BS  {int(r['raw_bits']):>12,} "
+                     f"|{log_bar(float(r['raw_bits']), lo, hi)}")
+        lines.append(f"{'':>10}  VBS {int(r['vbs_bits']):>12,} "
+                     f"|{log_bar(float(r['vbs_bits']), lo, hi)}"
+                     f"  ({100 * float(r['ratio']):.1f}% of raw)")
+    ratios = [float(r["ratio"]) for r in rows]
+    avg = sum(ratios) / len(ratios)
+    lines.append("")
+    lines.append(
+        f"average compression ratio: {100 * avg:.1f}% of raw "
+        f"(paper: 41%) — {1 / avg:.2f}x smaller"
+    )
+    return "\n".join(lines)
+
+
+def render_fig5(series: List[Dict[str, object]]) -> str:
+    """Figure 5: VBS size statistics per cluster size."""
+    lines = [
+        "Figure 5 — effect of macro cluster size on VBS size",
+        "",
+        format_table(
+            ["cluster", "min bits", "geomean bits", "max bits", "avg ratio"],
+            [
+                [
+                    r["cluster"],
+                    f"{int(r['min_bits']):,}",
+                    f"{int(r['geomean_bits']):,}",
+                    f"{int(r['max_bits']):,}",
+                    f"{100 * float(r['avg_ratio']):.1f}%",
+                ]
+                for r in series
+            ],
+        ),
+    ]
+    base = float(series[0]["avg_ratio"]) if series else 0.0
+    best = min((float(r["avg_ratio"]) for r in series), default=0.0)
+    if base and best:
+        lines.append("")
+        lines.append(
+            f"best clustering improves the ratio {base / best:.2f}x over "
+            f"no clustering (paper: ~4x at cluster size 2)"
+        )
+    return "\n".join(lines)
+
+
+def render_table2(rows: List[Dict[str, object]]) -> str:
+    """Table II: benchmark characteristics, paper vs this reproduction."""
+    return "Table II — benchmark set (paper values vs proxies)\n\n" + format_table(
+        ["name", "size", "MCW(paper)", "MCW(ours)", "LBs(paper)", "LBs(ours)"],
+        [
+            [
+                r["name"],
+                r["size"],
+                r["mcw_paper"],
+                r.get("mcw_ours", "-"),
+                r["lbs_paper"],
+                r.get("lbs_ours", "-"),
+            ]
+            for r in rows
+        ],
+    )
+
+
+def geomean(values: Sequence[float]) -> float:
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def to_csv(rows: List[Dict[str, object]], field_order: Sequence[str]) -> str:
+    """Serialize result rows to CSV text."""
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=list(field_order))
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({k: row.get(k) for k in field_order})
+    return buf.getvalue()

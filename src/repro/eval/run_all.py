@@ -1,0 +1,90 @@
+"""Full evaluation harness: regenerate Table II, Figure 4 and Figure 5.
+
+Usage::
+
+    python -m repro.eval.run_all --subset small --scale 1.0
+    python -m repro.eval.run_all --subset full            # the paper's set
+    python -m repro.eval.run_all --mcw                    # include Table II MCW
+
+Results are cached under ``--results-dir`` (default ``results/``); rendered
+figures and CSVs are written next to the cache.  Re-running only computes
+what is missing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.eval.experiments import (
+    DEFAULT_CLUSTERS,
+    EVAL_CHANNEL_WIDTH,
+    run_fig4,
+    run_fig5,
+    run_table2,
+)
+from repro.eval.figures import render_fig4, render_fig5, render_table2, to_csv
+from repro.eval.mcnc import benchmark_names
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--subset", default="small",
+                        choices=("small", "medium", "full"))
+    parser.add_argument("--names", nargs="*", default=None,
+                        help="explicit circuit names (overrides --subset)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="proxy size scale in (0,1]; 1.0 = paper scale")
+    parser.add_argument("--channel-width", type=int, default=EVAL_CHANNEL_WIDTH)
+    parser.add_argument("--clusters", type=int, nargs="*",
+                        default=list(DEFAULT_CLUSTERS))
+    parser.add_argument("--results-dir", type=Path, default=Path("results"))
+    parser.add_argument("--mcw", action="store_true",
+                        help="also run the Table II MCW search (slow)")
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    names = tuple(args.names) if args.names else benchmark_names(args.subset)
+    results_dir = args.results_dir
+    t0 = time.perf_counter()
+
+    print(f"# Evaluating {len(names)} circuits at scale {args.scale:g}, "
+          f"W={args.channel_width}: {', '.join(names)}", flush=True)
+
+    fig4 = run_fig4(names, results_dir, args.channel_width,
+                    scale=args.scale, seed=args.seed)
+    print()
+    print(render_fig4(fig4))
+    (results_dir / "fig4.csv").write_text(
+        to_csv(fig4, ["name", "raw_bits", "vbs_bits", "ratio", "clusters_raw"])
+    )
+
+    fig5 = run_fig5(names, results_dir, args.channel_width,
+                    clusters=tuple(args.clusters), scale=args.scale,
+                    seed=args.seed)
+    print()
+    print(render_fig5(fig5))
+    (results_dir / "fig5.csv").write_text(
+        to_csv(fig5, ["cluster", "min_bits", "geomean_bits", "max_bits",
+                      "avg_ratio", "avg_decode_work"])
+    )
+
+    if args.mcw:
+        table2 = run_table2(names, results_dir, scale=args.scale,
+                            seed=args.seed)
+        print()
+        print(render_table2(table2))
+        (results_dir / "table2.csv").write_text(
+            to_csv(table2, ["name", "size", "mcw_paper", "mcw_ours",
+                            "lbs_paper", "lbs_ours"])
+        )
+
+    print(f"\n# done in {time.perf_counter() - t0:.1f}s; cache: {results_dir}/",
+          flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,27 @@
+"""Fabric-level functional tools: extraction, simulation, equivalence."""
+
+from repro.fabric.extract import (
+    ExtractedBlock,
+    ExtractedCircuit,
+    ExtractedPad,
+    extract_circuit,
+    switch_pair_table,
+)
+from repro.fabric.equivalence import (
+    pin_site,
+    random_vectors,
+    verify_connectivity,
+    verify_functional,
+)
+
+__all__ = [
+    "ExtractedBlock",
+    "ExtractedCircuit",
+    "ExtractedPad",
+    "extract_circuit",
+    "switch_pair_table",
+    "pin_site",
+    "random_vectors",
+    "verify_connectivity",
+    "verify_functional",
+]

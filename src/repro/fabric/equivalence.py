@@ -1,0 +1,143 @@
+"""Equivalence checking between a netlist and a fabric configuration.
+
+Two levels of proof, used by the test-suite and the VBS feedback loop:
+
+* **connectivity**: every post-packing net must map onto exactly one
+  extracted electrical component, distinct nets onto distinct components,
+  and no component may have two drivers;
+* **functional**: random-vector simulation of the original netlist against
+  the circuit extracted from the configuration (PIs/POs bound through the
+  pad placement).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.blocktype import IOB_PAD_PORTS
+from repro.arch.fabric import FabricArch
+from repro.bitstream.config import FabricConfig
+from repro.cad.pack import PackedDesign
+from repro.cad.place import Placement
+from repro.errors import BitstreamError
+from repro.fabric.extract import ExtractedCircuit, extract_circuit
+from repro.netlist.model import Netlist
+from repro.utils.rng import make_rng
+
+Cell = Tuple[int, int]
+
+
+def pin_site(
+    design: PackedDesign,
+    placement: Placement,
+    fabric: FabricArch,
+    inst: str,
+    port: str,
+) -> Tuple[int, int, int]:
+    """(x, y, macro pin) of a packed instance's port."""
+    x, y, sub = placement.site_of(inst)
+    clbs = design.clb_by_name()
+    if inst in clbs:
+        pin = design.lut_size if port == "out" else int(port[2:])
+    else:
+        iob = fabric.block_types["iob"]
+        pin = iob.port(IOB_PAD_PORTS[sub][port]).macro_pin
+    return x, y, pin
+
+
+def verify_connectivity(
+    design: PackedDesign,
+    placement: Placement,
+    config: FabricConfig,
+    fabric: FabricArch,
+) -> ExtractedCircuit:
+    """Prove the configuration realizes exactly the design's nets.
+
+    Returns the extracted circuit on success; raises
+    :class:`BitstreamError` describing the first violation otherwise.
+    """
+    extracted = extract_circuit(config, fabric)
+    extracted.check_no_shorts()
+
+    comp_of_net: Dict[str, int] = {}
+    for name in sorted(design.nets):
+        use = design.nets[name]
+        pins = [use.driver] + use.sinks
+        comps = []
+        for inst, port in pins:
+            site = pin_site(design, placement, fabric, inst, port)
+            comp = extracted.comp_of_pin.get(site)
+            if comp is None:
+                raise BitstreamError(
+                    f"net {name}: pin {inst}.{port} at {site} is unconnected"
+                )
+            comps.append(comp)
+        if len(set(comps)) != 1:
+            raise BitstreamError(
+                f"net {name}: pins land on {len(set(comps))} different "
+                f"components"
+            )
+        comp_of_net[name] = comps[0]
+
+    seen: Dict[int, str] = {}
+    for name, comp in comp_of_net.items():
+        if comp in seen:
+            raise BitstreamError(
+                f"nets {seen[comp]} and {name} are shorted together "
+                f"(component {comp})"
+            )
+        seen[comp] = name
+    return extracted
+
+
+def random_vectors(
+    inputs: Sequence[str], count: int, seed: "int | str" = 0
+) -> List[Dict[str, int]]:
+    """Deterministic random stimulus for ``inputs``."""
+    rng = make_rng(seed)
+    return [{pi: rng.randrange(2) for pi in inputs} for _ in range(count)]
+
+
+def verify_functional(
+    netlist: Netlist,
+    design: PackedDesign,
+    placement: Placement,
+    config: FabricConfig,
+    fabric: FabricArch,
+    vectors: Optional[List[Dict[str, int]]] = None,
+    num_vectors: int = 24,
+    seed: "int | str" = "equivalence",
+) -> int:
+    """Simulate netlist vs extracted configuration; return steps compared.
+
+    Raises :class:`BitstreamError` on the first mismatching output.
+    """
+    if vectors is None:
+        vectors = random_vectors(netlist.inputs, num_vectors, seed)
+
+    extracted = extract_circuit(config, fabric)
+
+    in_site: Dict[str, Tuple[Cell, int]] = {}
+    out_site: Dict[str, Tuple[Cell, int]] = {}
+    for pad in design.pads:
+        x, y, sub = placement.site_of(pad.name)
+        if pad.drives_fabric:
+            in_site[pad.net] = ((x, y), sub)
+        else:
+            out_site[pad.net] = ((x, y), sub)
+
+    fabric_vectors = [
+        {in_site[pi]: vec[pi] for pi in netlist.inputs} for vec in vectors
+    ]
+    expected = netlist.simulate(vectors)
+    actual = extracted.simulate(fabric_vectors)
+
+    for step, (exp, act) in enumerate(zip(expected, actual)):
+        for po in netlist.outputs:
+            got = act.get(out_site[po])
+            if got != exp[po]:
+                raise BitstreamError(
+                    f"functional mismatch at step {step}, output {po}: "
+                    f"expected {exp[po]}, fabric produced {got}"
+                )
+    return len(vectors)

@@ -1,0 +1,26 @@
+"""Netlist substrate: logic model, BLIF front-end, LUT mapping, generators."""
+
+from repro.netlist.model import Latch, Lut, NetUse, Netlist
+from repro.netlist.blif import parse_blif, write_blif
+from repro.netlist.lutmap import map_to_luts, MUX_TT
+from repro.netlist.generate import (
+    CircuitSpec,
+    DEFAULT_FANIN_WEIGHTS,
+    generate_circuit,
+    generated_stats,
+)
+
+__all__ = [
+    "Latch",
+    "Lut",
+    "NetUse",
+    "Netlist",
+    "parse_blif",
+    "write_blif",
+    "map_to_luts",
+    "MUX_TT",
+    "CircuitSpec",
+    "DEFAULT_FANIN_WEIGHTS",
+    "generate_circuit",
+    "generated_stats",
+]

@@ -1,0 +1,169 @@
+"""BLIF reader/writer for the MCNC-style circuits the paper evaluates.
+
+The Berkeley Logic Interchange Format subset implemented here covers what
+the MCNC benchmark suite uses: ``.model``, ``.inputs``, ``.outputs``,
+``.names`` (sum-of-products single-output covers), ``.latch`` and ``.end``.
+Covers are converted to truth tables; functions wider than the target LUT
+are decomposed later by :mod:`repro.netlist.lutmap`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.errors import NetlistError
+from repro.netlist.model import Latch, Lut, Netlist
+
+_MAX_NAMES_INPUTS = 16  # cover expansion is 2^n; MCNC .names stay far below
+
+
+def _cover_to_truth_table(
+    inputs: List[str], cover: List[Tuple[str, str]], where: str
+) -> int:
+    """Evaluate an SOP cover into a truth-table integer.
+
+    ``cover`` holds (input-plane, output-plane) rows.  Rows with output '1'
+    are the ON-set; '0' rows define the complemented function (BLIF allows
+    either, not both).
+    """
+    n = len(inputs)
+    if n > _MAX_NAMES_INPUTS:
+        raise NetlistError(
+            f"{where}: .names with {n} inputs exceeds supported "
+            f"{_MAX_NAMES_INPUTS}"
+        )
+    out_planes = {row[1] for row in cover}
+    if "1" in out_planes and "0" in out_planes:
+        raise NetlistError(f"{where}: mixed ON-set and OFF-set cover")
+    off_set = out_planes == {"0"}
+
+    tt = 0
+    for row_in, _row_out in cover:
+        if len(row_in) != n:
+            raise NetlistError(
+                f"{where}: cube {row_in!r} arity mismatch ({n} inputs)"
+            )
+        # Enumerate the minterms matched by this cube.
+        free = [i for i, ch in enumerate(row_in) if ch == "-"]
+        base = 0
+        for i, ch in enumerate(row_in):
+            if ch == "1":
+                base |= 1 << i
+            elif ch not in "01-":
+                raise NetlistError(f"{where}: bad cube character {ch!r}")
+        for mask in range(1 << len(free)):
+            idx = base
+            for bit, pos in enumerate(free):
+                if (mask >> bit) & 1:
+                    idx |= 1 << pos
+            tt |= 1 << idx
+    if not cover:
+        tt = 0  # constant 0 function
+    if off_set:
+        tt = ~tt & ((1 << (1 << n)) - 1)
+    return tt
+
+
+def parse_blif(text: str, name_hint: str = "blif") -> Netlist:
+    """Parse BLIF text into a :class:`Netlist`."""
+    # Join continuation lines and strip comments.
+    raw_lines = text.replace("\\\n", " ").splitlines()
+    lines: List[str] = []
+    for ln in raw_lines:
+        ln = ln.split("#", 1)[0].strip()
+        if ln:
+            lines.append(ln)
+
+    model = name_hint
+    inputs: List[str] = []
+    outputs: List[str] = []
+    luts: List[Lut] = []
+    latches: List[Latch] = []
+
+    i = 0
+    lut_counter = 0
+    constants: Dict[str, int] = {}
+    while i < len(lines):
+        tokens = lines[i].split()
+        head = tokens[0]
+        if head == ".model":
+            if len(tokens) > 1:
+                model = tokens[1]
+            i += 1
+        elif head == ".inputs":
+            inputs.extend(tokens[1:])
+            i += 1
+        elif head == ".outputs":
+            outputs.extend(tokens[1:])
+            i += 1
+        elif head == ".names":
+            signals = tokens[1:]
+            if not signals:
+                raise NetlistError(f"line {i}: .names with no signals")
+            *ins, out = signals
+            cover: List[Tuple[str, str]] = []
+            i += 1
+            while i < len(lines) and not lines[i].startswith("."):
+                parts = lines[i].split()
+                if len(ins) == 0:
+                    # Constant: single output-plane token.
+                    if len(parts) != 1 or parts[0] not in "01":
+                        raise NetlistError(f"line {i}: bad constant row")
+                    cover.append(("", parts[0]))
+                elif len(parts) != 2:
+                    raise NetlistError(f"line {i}: bad cover row {lines[i]!r}")
+                else:
+                    cover.append((parts[0], parts[1]))
+                i += 1
+            if not ins:
+                constants[out] = 1 if any(r[1] == "1" for r in cover) else 0
+                continue
+            tt = _cover_to_truth_table(ins, cover, f".names {out}")
+            luts.append(Lut(f"n{lut_counter}_{out}", tuple(ins), out, tt))
+            lut_counter += 1
+        elif head == ".latch":
+            if len(tokens) < 3:
+                raise NetlistError(f"line {i}: .latch needs input and output")
+            d, q = tokens[1], tokens[2]
+            init = 0
+            if tokens[-1] in ("0", "1", "2", "3"):
+                init = int(tokens[-1]) & 1
+            latches.append(Latch(f"l_{q}", d, q, init))
+            i += 1
+        elif head == ".end":
+            i += 1
+        elif head in (".clock",):
+            i += 1  # single implicit clock domain
+        else:
+            raise NetlistError(f"line {i}: unsupported BLIF construct {head!r}")
+
+    # Materialize constant nets as 0-input LUTs.
+    for net, value in constants.items():
+        luts.append(Lut(f"const_{net}", (), net, value))
+        lut_counter += 1
+
+    return Netlist(model, inputs, outputs, luts, latches)
+
+
+def write_blif(netlist: Netlist) -> str:
+    """Serialize a netlist back to BLIF text (ON-set covers)."""
+    out: List[str] = [f".model {netlist.name}"]
+    out.append(".inputs " + " ".join(netlist.inputs))
+    out.append(".outputs " + " ".join(netlist.outputs))
+    for latch in netlist.latches:
+        out.append(f".latch {latch.input} {latch.output} re clk {latch.init}")
+    for lut in netlist.luts:
+        out.append(".names " + " ".join(lut.inputs + (lut.output,)))
+        rows = 1 << lut.arity
+        if lut.arity == 0:
+            if lut.truth_table & 1:
+                out.append("1")
+            continue
+        for idx in range(rows):
+            if (lut.truth_table >> idx) & 1:
+                cube = "".join(
+                    "1" if (idx >> i) & 1 else "0" for i in range(lut.arity)
+                )
+                out.append(f"{cube} 1")
+    out.append(".end")
+    return "\n".join(out) + "\n"

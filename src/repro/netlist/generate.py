@@ -1,0 +1,246 @@
+"""Synthetic benchmark circuit generator (MCNC proxies).
+
+The paper evaluates on the 20 largest MCNC circuits, which are not
+redistributable here; this generator produces *proxy* netlists that pin the
+quantities Table II fixes per circuit (logic-block count, grid size) and the
+published I/O and latch profiles, and that emulate the locality structure of
+real logic through a Rent-style wiring model:
+
+* LUTs live on a virtual grid in generation order; each fanin is drawn from
+  a two-sided-geometric neighbourhood of the consumer (local wires) with a
+  configurable probability of escaping to a uniformly random producer
+  (global wires).  Samples that land outside the virtual grid bind to a
+  primary input on the nearest perimeter position, reproducing the
+  IO-at-the-border bias of placed circuits.
+* A configurable subset of LUTs is *registered*: the LUT drives a D-latch
+  whose Q net is what consumers see, so a registered LUT packs 1:1 into the
+  paper's LUT+FF logic block and may participate in feedback loops.
+* Dangling LUT outputs are re-attached as extra fanins (or promoted to
+  primary outputs) so every net is observable — real netlists have no dead
+  logic after synthesis.
+
+Determinism: the circuit is a pure function of its spec (the seed defaults
+to a hash of the circuit name).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import NetlistError
+from repro.netlist.model import Latch, Lut, Netlist
+from repro.utils.rng import make_rng
+
+#: Weights for LUT arities 1..6 (mean just above 4, matching packed MCNC).
+DEFAULT_FANIN_WEIGHTS = (0.02, 0.10, 0.22, 0.30, 0.22, 0.14)
+
+
+@dataclass(frozen=True)
+class CircuitSpec:
+    """Parameters of a synthetic circuit.
+
+    ``locality`` is the probability that a fanin is drawn from the local
+    neighbourhood rather than uniformly (higher = easier to route);
+    ``reach`` is the mean Chebyshev radius of local connections.
+    """
+
+    name: str
+    n_luts: int
+    n_inputs: int
+    n_outputs: int
+    n_latches: int = 0
+    lut_size: int = 6
+    locality: float = 0.82
+    reach: float = 2.0
+    fanin_weights: Tuple[float, ...] = field(default=DEFAULT_FANIN_WEIGHTS)
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.n_luts < 1:
+            raise NetlistError("need at least one LUT")
+        if self.n_inputs < 1:
+            raise NetlistError("need at least one primary input")
+        if self.n_outputs < 1:
+            raise NetlistError("need at least one primary output")
+        if self.n_latches > self.n_luts:
+            raise NetlistError("cannot register more LUTs than exist")
+        if not 0.0 <= self.locality <= 1.0:
+            raise NetlistError("locality must be in [0, 1]")
+        if len(self.fanin_weights) > 2 ** self.lut_size:
+            raise NetlistError("fanin weight vector wider than LUT")
+
+
+def _virtual_grid_side(n_luts: int) -> int:
+    side = 1
+    while side * side < n_luts:
+        side += 1
+    return side
+
+
+def _perimeter_positions(side: int, count: int) -> List[Tuple[int, int]]:
+    """``count`` positions spread evenly along the virtual-grid perimeter."""
+    ring: List[Tuple[int, int]] = []
+    if side == 1:
+        ring = [(0, 0)]
+    else:
+        for x in range(side):
+            ring.append((x, -1))
+        for y in range(side):
+            ring.append((side, y))
+        for x in range(side - 1, -1, -1):
+            ring.append((x, side))
+        for y in range(side - 1, -1, -1):
+            ring.append((-1, y))
+    return [ring[(k * len(ring)) // count] for k in range(count)]
+
+
+def generate_circuit(spec: CircuitSpec) -> Netlist:
+    """Produce the deterministic proxy netlist described by ``spec``."""
+    rng = make_rng(spec.seed if spec.seed is not None else spec.name)
+    side = _virtual_grid_side(spec.n_luts)
+    k_max = min(spec.lut_size, len(spec.fanin_weights))
+    arities = list(range(1, k_max + 1))
+    weights = list(spec.fanin_weights[:k_max])
+
+    pis = [f"pi{k}" for k in range(spec.n_inputs)]
+    pi_pos = _perimeter_positions(side, spec.n_inputs)
+
+    registered = set(rng.sample(range(spec.n_luts), spec.n_latches))
+
+    def readable(j: int) -> str:
+        """The net consumers of LUT j observe (Q net when registered)."""
+        return f"q{j}" if j in registered else f"n{j}"
+
+    def lut_pos(j: int) -> Tuple[int, int]:
+        return j % side, j // side
+
+    def nearest_pi(x: int, y: int) -> str:
+        best, best_d = 0, None
+        for k, (px, py) in enumerate(pi_pos):
+            d = abs(px - x) + abs(py - y)
+            if best_d is None or d < best_d:
+                best, best_d = k, d
+        return pis[best]
+
+    def sample_radius() -> int:
+        # Two-sided geometric with mean ~= spec.reach.
+        p = 1.0 / max(1.0, spec.reach)
+        r = 1
+        while rng.random() > p and r < side:
+            r += 1
+        return r
+
+    def pick_fanin(i: int, taken: set) -> str:
+        """One fanin for LUT i, respecting acyclicity (j < i or registered)."""
+        x, y = lut_pos(i)
+        for _attempt in range(8):
+            if rng.random() < spec.locality:
+                dx = sample_radius() * rng.choice((-1, 1))
+                dy = sample_radius() * rng.choice((-1, 1))
+                cx, cy = x + dx, y + dy
+            else:
+                cx, cy = rng.randrange(-1, side + 1), rng.randrange(-1, side + 1)
+            if not (0 <= cx < side and 0 <= cy < side):
+                cand = nearest_pi(cx, cy)
+                if cand not in taken:
+                    return cand
+                continue
+            j = cy * side + cx
+            if j >= spec.n_luts or j == i:
+                continue
+            if j < i or j in registered:
+                cand = readable(j)
+                if cand not in taken:
+                    return cand
+        # Fallback: uniform legal candidate.
+        for _attempt in range(16):
+            j = rng.randrange(spec.n_luts)
+            if j != i and (j < i or j in registered):
+                cand = readable(j)
+                if cand not in taken:
+                    return cand
+        return rng.choice([p for p in pis if p not in taken] or pis)
+
+    luts: List[Lut] = []
+    latches: List[Latch] = []
+    for i in range(spec.n_luts):
+        arity = rng.choices(arities, weights)[0]
+        if i == 0:
+            arity = min(arity, spec.n_inputs)
+        taken: set = set()
+        ins: List[str] = []
+        for _ in range(arity):
+            net = pick_fanin(i, taken)
+            taken.add(net)
+            ins.append(net)
+        tt = rng.randrange(1, (1 << (1 << len(ins))) - 1) if ins else 1
+        luts.append(Lut(f"lut{i}", tuple(ins), f"n{i}", tt))
+        if i in registered:
+            latches.append(Latch(f"ff{i}", f"n{i}", f"q{i}", init=0))
+
+    # Fanout accounting over observable nets.
+    fanout: Dict[str, int] = {readable(j): 0 for j in range(spec.n_luts)}
+    for lut in luts:
+        for net in lut.inputs:
+            if net in fanout:
+                fanout[net] += 1
+
+    dangling = [readable(j) for j in range(spec.n_luts) if fanout[readable(j)] == 0]
+    rng.shuffle(dangling)
+
+    # Primary outputs: prefer dangling nets, then random observable nets.
+    outputs: List[str] = dangling[: spec.n_outputs]
+    pool = [readable(j) for j in range(spec.n_luts) if readable(j) not in outputs]
+    rng.shuffle(pool)
+    outputs.extend(pool[: spec.n_outputs - len(outputs)])
+    if len(outputs) < spec.n_outputs:
+        raise NetlistError(
+            f"{spec.name}: cannot provide {spec.n_outputs} distinct outputs "
+            f"from {spec.n_luts} LUTs"
+        )
+
+    # Re-attach dangling nets not promoted to outputs as extra fanins of a
+    # LUT with spare arity (a registered net may feed any LUT; an
+    # unregistered net n{j} only LUTs after j).
+    extra = dangling[spec.n_outputs :]
+    spare = [
+        i for i, lut in enumerate(luts) if lut.arity < spec.lut_size
+    ]
+    rng.shuffle(spare)
+    rebuilt: Dict[int, List[str]] = {}
+    for net in extra:
+        j = int(net[1:])
+        hosts = [
+            i
+            for i in spare
+            if (j in registered or i > j)
+            and net not in luts[i].inputs
+            and net not in rebuilt.get(i, [])
+            and len(luts[i].inputs) + len(rebuilt.get(i, [])) < spec.lut_size
+        ]
+        if hosts:
+            rebuilt.setdefault(hosts[0], []).append(net)
+        else:
+            outputs.append(net)  # last resort: observe it as an extra PO
+
+    for i, extra_ins in rebuilt.items():
+        old = luts[i]
+        new_inputs = old.inputs + tuple(extra_ins)
+        # Extend the truth table so added inputs are don't-care.
+        reps = 1 << len(extra_ins)
+        rows = 1 << old.arity
+        tt = 0
+        for r in range(reps):
+            tt |= old.truth_table << (r * rows)
+        luts[i] = Lut(old.name, new_inputs, old.output, tt)
+
+    return Netlist(spec.name, pis, outputs, luts, latches)
+
+
+def generated_stats(netlist: Netlist) -> Dict[str, float]:
+    """Quick structural statistics used by tests and the eval harness."""
+    stats = dict(netlist.stats())
+    total_fanin = sum(l.arity for l in netlist.luts)
+    stats["avg_fanin"] = total_fanin / max(1, len(netlist.luts))
+    return stats

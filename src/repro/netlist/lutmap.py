@@ -1,0 +1,107 @@
+"""Technology mapping onto K-input LUTs.
+
+The paper's flow starts from circuits already packed into 6-LUTs; when a
+netlist arrives with wider functions (e.g. from a BLIF file with large
+``.names`` covers) this module legalizes it by recursive Shannon expansion:
+
+    f(x0..xn) = xn' * f(x0..xn-1, 0)  +  xn * f(x0..xn-1, 1)
+
+Each expansion produces the two cofactor LUTs and a 3-input multiplexer LUT.
+Trivial functions (constants, buffers, single-literal functions) are mapped
+directly.  The transformation is functionality-preserving, which the test
+suite checks by simulation.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import NetlistError
+from repro.netlist.model import Lut, Netlist
+
+#: Truth table of a 2:1 mux with inputs (select, a, b): out = sel ? b : a.
+#: Input order (LSB first): in0 = sel, in1 = a (sel=0 branch), in2 = b.
+#: Row idx = sel + 2a + 4b; ON rows: {2 (a), 5 (b), 6 (a), 7 (b)} -> 0xE4.
+MUX_TT = 0b11100100
+
+
+def _cofactor(tt: int, arity: int, var: int, value: int) -> int:
+    """Truth table of ``f`` with input ``var`` fixed to ``value``."""
+    out = 0
+    pos = 0
+    for idx in range(1 << arity):
+        if ((idx >> var) & 1) == value:
+            if (tt >> idx) & 1:
+                out |= 1 << pos
+            pos += 1
+    return out
+
+
+def _depends_on(tt: int, arity: int, var: int) -> bool:
+    return _cofactor(tt, arity, var, 0) != _cofactor(tt, arity, var, 1)
+
+
+def _prune_inputs(lut: Lut) -> Lut:
+    """Drop inputs the truth table does not actually depend on."""
+    keep = [
+        i for i in range(lut.arity) if _depends_on(lut.truth_table, lut.arity, i)
+    ]
+    if len(keep) == lut.arity:
+        return lut
+    new_tt = 0
+    for new_idx in range(1 << len(keep)):
+        # Rebuild the row index in the original variable order; pruned
+        # variables are don't-care, so fix them to 0.
+        idx = 0
+        for bit, var in enumerate(keep):
+            if (new_idx >> bit) & 1:
+                idx |= 1 << var
+        if (lut.truth_table >> idx) & 1:
+            new_tt |= 1 << new_idx
+    return Lut(
+        lut.name, tuple(lut.inputs[i] for i in keep), lut.output, new_tt
+    )
+
+
+def map_to_luts(netlist: Netlist, lut_size: int) -> Netlist:
+    """Return an equivalent netlist in which every LUT has arity <= K."""
+    if lut_size < 2:
+        raise NetlistError("LUT mapping requires K >= 2")
+
+    result: List[Lut] = []
+    counter = 0
+
+    def fresh(prefix: str) -> str:
+        nonlocal counter
+        counter += 1
+        return f"_map{counter}_{prefix}"
+
+    def emit(inputs: Tuple[str, ...], output: str, tt: int) -> None:
+        """Emit a function, decomposing recursively while arity > K."""
+        arity = len(inputs)
+        lut = _prune_inputs(Lut(fresh("f"), inputs, output, tt))
+        if lut.arity <= lut_size:
+            result.append(lut)
+            return
+        # Shannon-expand on the last (highest) input.
+        var = lut.arity - 1
+        lo = _cofactor(lut.truth_table, lut.arity, var, 0)
+        hi = _cofactor(lut.truth_table, lut.arity, var, 1)
+        sub_inputs = lut.inputs[:var]
+        lo_net = fresh("c0")
+        hi_net = fresh("c1")
+        emit(sub_inputs, lo_net, lo)
+        emit(sub_inputs, hi_net, hi)
+        result.append(
+            Lut(fresh("mux"), (lut.inputs[var], lo_net, hi_net), output, MUX_TT)
+        )
+
+    for lut in netlist.luts:
+        emit(lut.inputs, lut.output, lut.truth_table)
+
+    mapped = Netlist(
+        netlist.name, netlist.inputs, netlist.outputs, result, netlist.latches
+    )
+    if mapped.max_lut_arity() > lut_size:
+        raise NetlistError("internal: decomposition left an oversized LUT")
+    return mapped

@@ -1,0 +1,250 @@
+"""Logical netlist model: LUTs, latches, primary I/Os, and simulation.
+
+This is the input side of the CAD flow (the role VTR's elaborated netlist
+plays in the paper's Figure 3).  A ``Netlist`` is a named collection of
+single-output lookup tables and D-latches over named nets; it can be
+functionally simulated, which the test-suite uses to prove end-to-end
+equivalence of original circuit and de-virtualized configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.errors import NetlistError
+
+
+@dataclass(frozen=True)
+class Lut:
+    """A single-output lookup table.
+
+    ``truth_table`` holds one bit per input combination: bit ``i`` is the
+    output when the inputs, read with ``inputs[0]`` as the least-significant
+    bit, encode the integer ``i``.
+    """
+
+    name: str
+    inputs: Tuple[str, ...]
+    output: str
+    truth_table: int
+
+    def __post_init__(self) -> None:
+        rows = 1 << len(self.inputs)
+        if not 0 <= self.truth_table < (1 << rows):
+            raise NetlistError(
+                f"LUT {self.name}: truth table wider than 2^{len(self.inputs)} rows"
+            )
+
+    @property
+    def arity(self) -> int:
+        return len(self.inputs)
+
+    def evaluate(self, values: Sequence[int]) -> int:
+        """Output bit for the given input bit values (inputs[0] = LSB)."""
+        if len(values) != len(self.inputs):
+            raise NetlistError(
+                f"LUT {self.name} expects {len(self.inputs)} values, "
+                f"got {len(values)}"
+            )
+        index = 0
+        for i, v in enumerate(values):
+            if v:
+                index |= 1 << i
+        return (self.truth_table >> index) & 1
+
+
+@dataclass(frozen=True)
+class Latch:
+    """A D flip-flop: ``output`` takes the value of ``input`` on each step."""
+
+    name: str
+    input: str
+    output: str
+    init: int = 0
+
+
+class Netlist:
+    """A combinational/sequential circuit over named nets."""
+
+    def __init__(
+        self,
+        name: str,
+        inputs: Iterable[str],
+        outputs: Iterable[str],
+        luts: Iterable[Lut] = (),
+        latches: Iterable[Latch] = (),
+    ):
+        self.name = name
+        self.inputs: List[str] = list(inputs)
+        self.outputs: List[str] = list(outputs)
+        self.luts: List[Lut] = list(luts)
+        self.latches: List[Latch] = list(latches)
+        self._validate()
+
+    # -- structure ----------------------------------------------------------------
+
+    def _validate(self) -> None:
+        if len(set(self.inputs)) != len(self.inputs):
+            raise NetlistError(f"{self.name}: duplicate primary input")
+        drivers: Dict[str, str] = {}
+        for pi in self.inputs:
+            drivers[pi] = f"input {pi}"
+        for lut in self.luts:
+            if lut.output in drivers:
+                raise NetlistError(
+                    f"{self.name}: net {lut.output} driven by both "
+                    f"{drivers[lut.output]} and LUT {lut.name}"
+                )
+            drivers[lut.output] = f"LUT {lut.name}"
+        for latch in self.latches:
+            if latch.output in drivers:
+                raise NetlistError(
+                    f"{self.name}: net {latch.output} driven by both "
+                    f"{drivers[latch.output]} and latch {latch.name}"
+                )
+            drivers[latch.output] = f"latch {latch.name}"
+        self._drivers = drivers
+        for lut in self.luts:
+            for net in lut.inputs:
+                if net not in drivers:
+                    raise NetlistError(
+                        f"{self.name}: LUT {lut.name} reads undriven net {net}"
+                    )
+        for latch in self.latches:
+            if latch.input not in drivers:
+                raise NetlistError(
+                    f"{self.name}: latch {latch.name} reads undriven net "
+                    f"{latch.input}"
+                )
+        for po in self.outputs:
+            if po not in drivers:
+                raise NetlistError(f"{self.name}: primary output {po} undriven")
+
+    def nets(self) -> Set[str]:
+        """Every net name appearing in the circuit."""
+        all_nets: Set[str] = set(self.inputs) | set(self.outputs)
+        for lut in self.luts:
+            all_nets.update(lut.inputs)
+            all_nets.add(lut.output)
+        for latch in self.latches:
+            all_nets.add(latch.input)
+            all_nets.add(latch.output)
+        return all_nets
+
+    def driver_of(self, net: str) -> str:
+        """Human-readable description of what drives ``net``."""
+        try:
+            return self._drivers[net]
+        except KeyError:
+            raise NetlistError(f"{self.name}: net {net} is undriven")
+
+    def sinks_of(self, net: str) -> List[str]:
+        """Descriptions of every reader of ``net`` (LUT pins, latches, POs)."""
+        out: List[str] = []
+        for lut in self.luts:
+            for i, inp in enumerate(lut.inputs):
+                if inp == net:
+                    out.append(f"LUT {lut.name}.in{i}")
+        for latch in self.latches:
+            if latch.input == net:
+                out.append(f"latch {latch.name}")
+        for po in self.outputs:
+            if po == net:
+                out.append(f"output {po}")
+        return out
+
+    def max_lut_arity(self) -> int:
+        return max((lut.arity for lut in self.luts), default=0)
+
+    def is_sequential(self) -> bool:
+        return bool(self.latches)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "inputs": len(self.inputs),
+            "outputs": len(self.outputs),
+            "luts": len(self.luts),
+            "latches": len(self.latches),
+            "nets": len(self.nets()),
+        }
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"Netlist({self.name}: {s['luts']} LUTs, {s['latches']} latches, "
+            f"{s['inputs']} PIs, {s['outputs']} POs)"
+        )
+
+    # -- simulation -----------------------------------------------------------------
+
+    def _topo_luts(self) -> List[Lut]:
+        """LUTs in combinational evaluation order (latch outputs are cuts)."""
+        produced: Set[str] = set(self.inputs)
+        produced.update(latch.output for latch in self.latches)
+        pending = list(self.luts)
+        ordered: List[Lut] = []
+        while pending:
+            progressed = False
+            remaining: List[Lut] = []
+            for lut in pending:
+                if all(i in produced for i in lut.inputs):
+                    ordered.append(lut)
+                    produced.add(lut.output)
+                    progressed = True
+                else:
+                    remaining.append(lut)
+            if not progressed:
+                cyc = ", ".join(l.name for l in remaining[:5])
+                raise NetlistError(
+                    f"{self.name}: combinational cycle through LUTs [{cyc}...]"
+                )
+            pending = remaining
+        return ordered
+
+    def simulate(
+        self, vectors: Sequence[Dict[str, int]]
+    ) -> List[Dict[str, int]]:
+        """Clock the circuit through ``vectors``; return PO values per step.
+
+        Each vector maps every primary input to 0/1.  Latches start at their
+        ``init`` value and update synchronously after outputs are sampled.
+        """
+        order = self._topo_luts()
+        state: Dict[str, int] = {
+            latch.output: latch.init & 1 for latch in self.latches
+        }
+        results: List[Dict[str, int]] = []
+        for step, vec in enumerate(vectors):
+            values: Dict[str, int] = dict(state)
+            for pi in self.inputs:
+                if pi not in vec:
+                    raise NetlistError(
+                        f"step {step}: missing value for primary input {pi}"
+                    )
+                values[pi] = vec[pi] & 1
+            for lut in order:
+                values[lut.output] = lut.evaluate(
+                    [values[i] for i in lut.inputs]
+                )
+            results.append({po: values[po] for po in self.outputs})
+            state = {
+                latch.output: values[latch.input] for latch in self.latches
+            }
+        return results
+
+
+@dataclass
+class NetUse:
+    """Post-packing net: one driver pin, many sink pins.
+
+    Pins are ``(instance_name, port_name)`` pairs resolved by the placer.
+    """
+
+    name: str
+    driver: Tuple[str, str]
+    sinks: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def fanout(self) -> int:
+        return len(self.sinks)

@@ -1,0 +1,27 @@
+"""Run-time management: external memory, reconfiguration controller, manager."""
+
+from repro.runtime.memory import ExternalMemory, StoredImage
+from repro.runtime.costmodel import (
+    CostParams,
+    LoadCost,
+    decode_cost,
+    lpt_makespan,
+    write_cost,
+)
+from repro.runtime.controller import ReconfigurationController, ResidentTask
+from repro.runtime.manager import BEST_FIT, FIRST_FIT, FabricManager
+
+__all__ = [
+    "ExternalMemory",
+    "StoredImage",
+    "CostParams",
+    "LoadCost",
+    "decode_cost",
+    "lpt_makespan",
+    "write_cost",
+    "ReconfigurationController",
+    "ResidentTask",
+    "BEST_FIT",
+    "FIRST_FIT",
+    "FabricManager",
+]

@@ -1,0 +1,180 @@
+"""The run-time reconfiguration controller (Section II-C, Figure 2).
+
+The controller owns the fabric's configuration layer.  It fetches task
+images from external memory, de-virtualizes Virtual Bit-Streams at the
+requested position ("decoded and finalized in real-time and at run-time
+... to be placed at a given physical location"), writes the expanded
+frames, tracks which region every task occupies, and supports unloading
+and migration (re-decoding the same VBS at a new origin).
+
+All operations return cycle costs from :mod:`repro.runtime.costmodel`, so
+experiments can compare raw-versus-VBS load latency and decoder
+parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.arch.fabric import FabricArch
+from repro.bitstream.config import FabricConfig
+from repro.bitstream.raw import RawBitstream
+from repro.errors import RuntimeManagementError
+from repro.runtime.costmodel import CostParams, LoadCost, decode_cost, write_cost
+from repro.runtime.memory import ExternalMemory, StoredImage
+from repro.utils.bitarray import BitArray
+from repro.utils.geometry import Rect
+from repro.vbs.decode import DecodeStats, decode_vbs
+from repro.vbs.encode import VirtualBitstream
+
+
+@dataclass
+class ResidentTask:
+    """A task currently configured on the fabric."""
+
+    name: str
+    region: Rect
+    image: StoredImage
+    load_cost: LoadCost
+    decode_stats: Optional[DecodeStats]
+
+
+class ReconfigurationController:
+    """Decode-and-place engine over one fabric's configuration layer."""
+
+    def __init__(
+        self,
+        fabric: FabricArch,
+        memory: ExternalMemory,
+        cost_params: Optional[CostParams] = None,
+    ):
+        self.fabric = fabric
+        self.memory = memory
+        self.cost_params = cost_params or CostParams(bus_bits=memory.bus_bits)
+        #: The fabric-wide configuration layer (all macros, default zeros).
+        self.config = FabricConfig(
+            fabric.params, Rect(0, 0, fabric.width, fabric.height)
+        )
+        self.resident: Dict[str, ResidentTask] = {}
+
+    # -- placement bookkeeping ----------------------------------------------------
+
+    def region_free(self, region: Rect) -> bool:
+        """True when ``region`` is inside the fabric and collision-free."""
+        if not self.fabric.bounds.contains_rect(region):
+            return False
+        return all(not task.region.overlaps(region) for task in self.resident.values())
+
+    def _claim_region(self, name: str, region: Rect) -> None:
+        if not self.fabric.bounds.contains_rect(region):
+            raise RuntimeManagementError(
+                f"task {name}: region {region} exceeds fabric "
+                f"{self.fabric.width}x{self.fabric.height}"
+            )
+        for other in self.resident.values():
+            if other.region.overlaps(region):
+                raise RuntimeManagementError(
+                    f"task {name}: region {region} collides with resident "
+                    f"task {other.name} at {other.region}"
+                )
+
+    # -- configuration writes --------------------------------------------------------
+
+    def _write_config(self, task_config: FabricConfig) -> int:
+        bits_written = 0
+        nraw = self.fabric.params.nraw
+        for cell in task_config.region.cells():
+            x, y = cell
+            logic = task_config.logic.get((x, y))
+            closed = task_config.closed.get((x, y), set())
+            if logic is not None:
+                self.config.set_logic(x, y, logic.copy())
+            for off in closed:
+                self.config.close_switch(x, y, off)
+            bits_written += nraw
+        return bits_written
+
+    def _clear_region(self, region: Rect) -> None:
+        for cell in region.cells():
+            self.config.logic.pop((cell.x, cell.y), None)
+            self.config.closed.pop((cell.x, cell.y), None)
+
+    # -- task lifecycle ---------------------------------------------------------------
+
+    def load_task(self, name: str, origin: Tuple[int, int]) -> ResidentTask:
+        """Fetch, decode (if virtual) and configure a task at ``origin``."""
+        if name in self.resident:
+            raise RuntimeManagementError(f"task {name!r} is already loaded")
+        image, fetch_cycles = self.memory.fetch(name)
+        region = Rect(origin[0], origin[1], image.width, image.height)
+        self._claim_region(name, region)
+
+        cost = LoadCost(fetch_cycles=fetch_cycles)
+        stats: Optional[DecodeStats] = None
+        if image.kind == "vbs":
+            task_config, stats = decode_vbs(image.bits, origin=origin)
+            cost.decode_cycles, cost.per_unit_cycles = decode_cost(
+                stats, self.cost_params
+            )
+        else:
+            raw = RawBitstream(
+                self.fabric.params, image.width, image.height, image.bits
+            )
+            task_config = raw.to_config(origin)
+        bits_written = self._write_config(task_config)
+        cost.write_cycles = write_cost(bits_written, self.cost_params)
+
+        task = ResidentTask(name, region, image, cost, stats)
+        self.resident[name] = task
+        return task
+
+    def unload_task(self, name: str) -> None:
+        """Remove a task's configuration from the fabric."""
+        task = self.resident.pop(name, None)
+        if task is None:
+            raise RuntimeManagementError(f"task {name!r} is not loaded")
+        self._clear_region(task.region)
+
+    def migrate_task(self, name: str, new_origin: Tuple[int, int]) -> ResidentTask:
+        """Relocate a task: clear its region and re-decode at the new origin.
+
+        This is the paper's "decoding the VBS on-the-fly during the task
+        migration" — no position-specific bitstream was ever stored.
+        """
+        task = self.resident.get(name)
+        if task is None:
+            raise RuntimeManagementError(f"task {name!r} is not loaded")
+        new_region = Rect(
+            new_origin[0], new_origin[1], task.region.w, task.region.h
+        )
+        if not self.fabric.bounds.contains_rect(new_region):
+            raise RuntimeManagementError(
+                f"task {name}: migration target {new_region} exceeds fabric"
+            )
+        for other in self.resident.values():
+            if other.name != name and other.region.overlaps(new_region):
+                raise RuntimeManagementError(
+                    f"task {name}: migration target collides with "
+                    f"{other.name}"
+                )
+        self.unload_task(name)
+        return self.load_task(name, new_origin)
+
+    # -- convenience -------------------------------------------------------------------
+
+    def store_vbs(self, name: str, vbs: VirtualBitstream) -> StoredImage:
+        """Publish a Virtual Bit-Stream into external memory."""
+        return self.memory.store(
+            name, vbs.to_bits(), "vbs", vbs.layout.width, vbs.layout.height
+        )
+
+    def store_raw(self, name: str, raw: RawBitstream) -> StoredImage:
+        """Publish a raw bitstream into external memory (baseline path)."""
+        bits: BitArray = raw.bits
+        return self.memory.store(name, bits, "raw", raw.width, raw.height)
+
+    def utilization(self) -> float:
+        """Fraction of fabric macros covered by resident task regions."""
+        covered = sum(t.region.area for t in self.resident.values())
+        return covered / self.fabric.bounds.area

@@ -1,0 +1,84 @@
+"""Cycle-cost model of the reconfiguration controller.
+
+The paper evaluates its runtime qualitatively: de-virtualization is a
+"simple router" cheap enough for on-line use, per-macro decoding "can be
+easily parallelized to process multiple macros at once", and coarser
+clusters "need higher computing power to decode".  This model turns those
+statements into numbers:
+
+* fetching an image costs ``ceil(bits / bus_bits)`` cycles (memory model);
+* de-virtualizing a cluster costs ``work x cycles_per_bfs_step`` cycles,
+  where ``work`` is the BFS dequeue count reported by the decoder;
+* raw frames (raw images or raw-fallback clusters) are copied at
+  ``bus_bits`` per cycle;
+* with ``parallel_units`` decoders, per-cluster jobs are dispatched
+  longest-first (LPT) and the decode time is the resulting makespan;
+* writing frames into the configuration layer costs
+  ``ceil(frame bits / config_port_bits)`` cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.vbs.decode import DecodeStats
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Tunable constants of the controller model."""
+
+    bus_bits: int = 32
+    cycles_per_bfs_step: int = 1
+    parallel_units: int = 1
+    config_port_bits: int = 32
+
+
+@dataclass
+class LoadCost:
+    """Cycle breakdown of one task load."""
+
+    fetch_cycles: int = 0
+    decode_cycles: int = 0
+    write_cycles: int = 0
+    per_unit_cycles: List[int] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> int:
+        return self.fetch_cycles + self.decode_cycles + self.write_cycles
+
+
+def lpt_makespan(jobs: List[int], units: int) -> Tuple[int, List[int]]:
+    """Longest-processing-time-first schedule; returns (makespan, loads)."""
+    loads = [0] * max(1, units)
+    for job in sorted(jobs, reverse=True):
+        idx = loads.index(min(loads))
+        loads[idx] += job
+    return max(loads) if loads else 0, loads
+
+
+def decode_cost(
+    stats: DecodeStats, params: CostParams
+) -> Tuple[int, List[int]]:
+    """Decode cycles of a de-virtualization run under ``params``.
+
+    Smart clusters cost their router work; raw clusters cost a bus-rate
+    copy.  Jobs are balanced across the parallel decode units.
+    """
+    jobs: List[int] = [
+        work * params.cycles_per_bfs_step
+        for work in stats.per_cluster_work.values()
+    ]
+    if stats.raw_bits_copied:
+        raw_jobs = stats.clusters_raw or 1
+        per_raw = -(-stats.raw_bits_copied // raw_jobs)
+        jobs.extend(
+            -(-per_raw // params.bus_bits) for _ in range(raw_jobs)
+        )
+    return lpt_makespan(jobs, params.parallel_units)
+
+
+def write_cost(total_frame_bits: int, params: CostParams) -> int:
+    """Cycles to push expanded frames into the configuration layer."""
+    return -(-total_frame_bits // params.config_port_bits)

@@ -1,0 +1,106 @@
+"""Fabric manager: on-line placement of relocatable tasks.
+
+The point of position-abstracted bitstreams is that the run-time system
+chooses where a task lands.  The manager implements that choice: it scans
+the fabric for a free rectangle (first-fit or best-fit over the candidate
+origins), asks the controller to decode the task there, and can
+defragment by migrating resident tasks toward the origin corner.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import RuntimeManagementError
+from repro.runtime.controller import ReconfigurationController, ResidentTask
+from repro.utils.geometry import Rect
+
+#: Supported placement strategies.
+FIRST_FIT = "first-fit"
+BEST_FIT = "best-fit"
+
+
+class FabricManager:
+    """Placement policy layered over a :class:`ReconfigurationController`."""
+
+    def __init__(
+        self,
+        controller: ReconfigurationController,
+        strategy: str = FIRST_FIT,
+    ):
+        if strategy not in (FIRST_FIT, BEST_FIT):
+            raise RuntimeManagementError(f"unknown strategy {strategy!r}")
+        self.controller = controller
+        self.strategy = strategy
+
+    # -- free-region search ---------------------------------------------------------
+
+    def _candidate_origins(self, w: int, h: int) -> List[Tuple[int, int]]:
+        fabric = self.controller.fabric
+        return [
+            (x, y)
+            for y in range(fabric.height - h + 1)
+            for x in range(fabric.width - w + 1)
+        ]
+
+    def find_origin(self, w: int, h: int) -> Optional[Tuple[int, int]]:
+        """An origin where a ``w x h`` task fits, or None.
+
+        First-fit returns the raster-first free origin; best-fit minimizes
+        the remaining bounding-box slack around resident tasks (a simple
+        fragmentation-avoidance heuristic).
+        """
+        best: Optional[Tuple[int, int]] = None
+        best_score: Optional[int] = None
+        for (x, y) in self._candidate_origins(w, h):
+            region = Rect(x, y, w, h)
+            if not self.controller.region_free(region):
+                continue
+            if self.strategy == FIRST_FIT:
+                return (x, y)
+            # Best-fit: prefer origins hugging the fabric corner and other
+            # tasks (minimize x + y plus free-perimeter estimate).
+            score = x + y
+            if best_score is None or score < best_score:
+                best, best_score = (x, y), score
+        return best
+
+    # -- high-level operations ----------------------------------------------------------
+
+    def place_task(self, name: str) -> ResidentTask:
+        """Load ``name`` from external memory at an automatically chosen spot."""
+        image = self.controller.memory.image(name)
+        if image is None:
+            raise RuntimeManagementError(f"no image named {name!r} in memory")
+        origin = self.find_origin(image.width, image.height)
+        if origin is None:
+            raise RuntimeManagementError(
+                f"no free {image.width}x{image.height} region for task {name!r}"
+            )
+        return self.controller.load_task(name, origin)
+
+    def defragment(self) -> int:
+        """Pack resident tasks toward the origin corner; return migrations.
+
+        Tasks are revisited in raster order of their current origin and
+        migrated to the first free origin (which can only be at or before
+        their current position), so the loop terminates in one pass.
+        """
+        moved = 0
+        order = sorted(
+            self.controller.resident.values(),
+            key=lambda t: (t.region.y, t.region.x),
+        )
+        for task in order:
+            current = task.region
+            target = self.find_origin(current.w, current.h)
+            if target is None:
+                continue
+            if target == (current.x, current.y):
+                continue
+            if target[1] * self.controller.fabric.width + target[0] < (
+                current.y * self.controller.fabric.width + current.x
+            ):
+                self.controller.migrate_task(task.name, target)
+                moved += 1
+        return moved

@@ -1,0 +1,76 @@
+"""External configuration memory (Figure 2 of the paper).
+
+The run-time architecture keeps every task's Virtual Bit-Stream in an
+external memory; the reconfiguration controller fetches a VBS, decodes it,
+and writes the expanded frames into the fabric's configuration layer.  This
+model tracks storage occupancy and fetch latency through a simple
+bandwidth model (``bus_bits`` per cycle), which is what makes the
+compressed-versus-raw load-time trade-off measurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.errors import RuntimeManagementError
+from repro.utils.bitarray import BitArray
+
+
+@dataclass(frozen=True)
+class StoredImage:
+    """One task image resident in external memory."""
+
+    name: str
+    kind: str  # "vbs" or "raw"
+    bits: BitArray
+    width: int
+    height: int
+
+    @property
+    def size_bits(self) -> int:
+        return len(self.bits)
+
+
+class ExternalMemory:
+    """A name-addressed store with a per-cycle fetch bandwidth."""
+
+    def __init__(self, bus_bits: int = 32):
+        if bus_bits < 1:
+            raise RuntimeManagementError("bus width must be at least 1 bit")
+        self.bus_bits = bus_bits
+        self._images: Dict[str, StoredImage] = {}
+
+    def store(
+        self, name: str, bits: BitArray, kind: str, width: int, height: int
+    ) -> StoredImage:
+        """Register a task image; replaces any previous image of that name."""
+        if kind not in ("vbs", "raw"):
+            raise RuntimeManagementError(f"unknown image kind {kind!r}")
+        image = StoredImage(name, kind, bits, width, height)
+        self._images[name] = image
+        return image
+
+    def fetch(self, name: str) -> Tuple[StoredImage, int]:
+        """Return (image, fetch_cycles) — cycles follow the bus model."""
+        image = self._images.get(name)
+        if image is None:
+            raise RuntimeManagementError(f"no image named {name!r} in memory")
+        cycles = -(-image.size_bits // self.bus_bits)  # ceil division
+        return image, cycles
+
+    def remove(self, name: str) -> None:
+        if name not in self._images:
+            raise RuntimeManagementError(f"no image named {name!r} in memory")
+        del self._images[name]
+
+    def names(self) -> "list[str]":
+        return sorted(self._images)
+
+    @property
+    def total_bits(self) -> int:
+        """Aggregate footprint — the quantity VBS compression shrinks."""
+        return sum(img.size_bits for img in self._images.values())
+
+    def image(self, name: str) -> Optional[StoredImage]:
+        return self._images.get(name)

@@ -1,0 +1,22 @@
+"""Shared low-level utilities: bit packing, geometry, disjoint sets, RNG.
+
+These are substrate pieces used across the architecture model, the bitstream
+generators, and the Virtual Bit-Stream codec.  They have no dependency on any
+other ``repro`` package.
+"""
+
+from repro.utils.bitarray import BitArray, BitReader, BitWriter, bits_for
+from repro.utils.geometry import Point, Rect
+from repro.utils.unionfind import UnionFind
+from repro.utils.rng import make_rng
+
+__all__ = [
+    "BitArray",
+    "BitReader",
+    "BitWriter",
+    "bits_for",
+    "Point",
+    "Rect",
+    "UnionFind",
+    "make_rng",
+]

@@ -1,0 +1,246 @@
+"""Bit-level containers used by the raw bitstream and the Virtual Bit-Stream.
+
+The paper's configuration formats are specified down to the bit (Table I and
+Eq. 1), so the codec layers need exact-width reads and writes.  ``BitArray``
+is a mutable, indexable vector of bits; ``BitWriter``/``BitReader`` stream
+fixed-width unsigned fields over it, most-significant bit first.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+def bits_for(value_count: int) -> int:
+    """Width in bits of a field able to code ``value_count`` distinct values.
+
+    This is the ``ceil(log2(n))`` used throughout Table I of the paper, with
+    the convention that a field for a single possible value still occupies one
+    bit (a zero-width field would make the stream ambiguous).
+
+    >>> bits_for(28)
+    5
+    >>> bits_for(1)
+    1
+    """
+    if value_count < 1:
+        raise ValueError(f"field must code at least one value, got {value_count}")
+    return max(1, (value_count - 1).bit_length())
+
+
+class BitArray:
+    """A mutable sequence of bits backed by a Python ``bytearray``.
+
+    Bits are addressed from 0; bit *i* lives in byte ``i // 8`` at in-byte
+    position ``7 - i % 8`` (most-significant bit first), which matches the
+    byte serialization used when a stream is written to external memory.
+    """
+
+    __slots__ = ("_buf", "_nbits")
+
+    def __init__(self, nbits: int = 0, fill: int = 0):
+        if nbits < 0:
+            raise ValueError("bit count must be non-negative")
+        if fill not in (0, 1):
+            raise ValueError("fill must be 0 or 1")
+        self._nbits = nbits
+        byte_fill = 0xFF if fill else 0x00
+        self._buf = bytearray([byte_fill]) * ((nbits + 7) // 8)
+        if fill and nbits % 8:
+            # Clear the padding bits past the end so equality is canonical.
+            self._buf[-1] &= 0xFF << (8 - nbits % 8) & 0xFF
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_bits(cls, bits: Iterable[int]) -> "BitArray":
+        """Build from an iterable of 0/1 integers."""
+        items = list(bits)
+        arr = cls(len(items))
+        for i, b in enumerate(items):
+            if b:
+                arr[i] = 1
+        return arr
+
+    @classmethod
+    def from_bytes(cls, data: bytes, nbits: int | None = None) -> "BitArray":
+        """Build from packed bytes, optionally truncated to ``nbits``."""
+        total = len(data) * 8
+        if nbits is None:
+            nbits = total
+        if nbits > total:
+            raise ValueError(f"nbits={nbits} exceeds {total} bits of data")
+        arr = cls(0)
+        arr._nbits = nbits
+        arr._buf = bytearray(data[: (nbits + 7) // 8])
+        if nbits % 8:
+            arr._buf[-1] &= 0xFF << (8 - nbits % 8) & 0xFF
+        return arr
+
+    # -- core protocol ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._nbits
+
+    def _check(self, idx: int) -> int:
+        if idx < 0:
+            idx += self._nbits
+        if not 0 <= idx < self._nbits:
+            raise IndexError(f"bit index {idx} out of range [0, {self._nbits})")
+        return idx
+
+    def __getitem__(self, idx: int) -> int:
+        idx = self._check(idx)
+        return (self._buf[idx >> 3] >> (7 - (idx & 7))) & 1
+
+    def __setitem__(self, idx: int, value: int) -> None:
+        idx = self._check(idx)
+        mask = 1 << (7 - (idx & 7))
+        if value:
+            self._buf[idx >> 3] |= mask
+        else:
+            self._buf[idx >> 3] &= ~mask & 0xFF
+
+    def __iter__(self) -> Iterator[int]:
+        for i in range(self._nbits):
+            yield self[i]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitArray):
+            return NotImplemented
+        return self._nbits == other._nbits and self._buf == other._buf
+
+    def __hash__(self) -> int:
+        return hash((self._nbits, bytes(self._buf)))
+
+    def __repr__(self) -> str:
+        preview = "".join(str(b) for b in list(self)[:32])
+        ell = "…" if self._nbits > 32 else ""
+        return f"BitArray({self._nbits} bits: {preview}{ell})"
+
+    # -- bulk operations --------------------------------------------------------
+
+    def append(self, bit: int) -> None:
+        """Append a single bit."""
+        self._nbits += 1
+        if (self._nbits + 7) // 8 > len(self._buf):
+            self._buf.append(0)
+        self[self._nbits - 1] = bit
+
+    def extend(self, bits: Iterable[int]) -> None:
+        """Append every bit from ``bits``."""
+        for b in bits:
+            self.append(b)
+
+    def set_field(self, offset: int, width: int, value: int) -> None:
+        """Write ``value`` as a ``width``-bit big-endian field at ``offset``."""
+        if width < 0:
+            raise ValueError("width must be non-negative")
+        if value < 0 or value >= (1 << width):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        for i in range(width):
+            self[offset + i] = (value >> (width - 1 - i)) & 1
+
+    def get_field(self, offset: int, width: int) -> int:
+        """Read a ``width``-bit big-endian field starting at ``offset``."""
+        value = 0
+        for i in range(width):
+            value = (value << 1) | self[offset + i]
+        return value
+
+    def count(self) -> int:
+        """Number of set bits (population count)."""
+        return sum(bin(b).count("1") for b in self._buf)
+
+    def to_bytes(self) -> bytes:
+        """Packed byte representation; final byte zero-padded."""
+        return bytes(self._buf)
+
+    def copy(self) -> "BitArray":
+        dup = BitArray(0)
+        dup._nbits = self._nbits
+        dup._buf = bytearray(self._buf)
+        return dup
+
+    def slice(self, offset: int, width: int) -> "BitArray":
+        """A copy of bits ``[offset, offset + width)``."""
+        if offset < 0 or width < 0 or offset + width > self._nbits:
+            raise IndexError(
+                f"slice [{offset}, {offset + width}) out of range [0, {self._nbits})"
+            )
+        out = BitArray(width)
+        for i in range(width):
+            out[i] = self[offset + i]
+        return out
+
+    def overwrite(self, offset: int, other: "BitArray") -> None:
+        """Copy all bits of ``other`` into this array starting at ``offset``."""
+        if offset < 0 or offset + len(other) > self._nbits:
+            raise IndexError(
+                f"overwrite [{offset}, {offset + len(other)}) out of range "
+                f"[0, {self._nbits})"
+            )
+        for i in range(len(other)):
+            self[offset + i] = other[i]
+
+
+class BitWriter:
+    """Append-only stream of fixed-width unsigned fields over a BitArray."""
+
+    def __init__(self) -> None:
+        self._arr = BitArray(0)
+
+    def write(self, value: int, width: int) -> None:
+        """Append ``value`` using exactly ``width`` bits (MSB first)."""
+        if value < 0 or value >= (1 << width):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        for i in range(width):
+            self._arr.append((value >> (width - 1 - i)) & 1)
+
+    def write_bits(self, bits: BitArray) -> None:
+        """Append a raw run of bits."""
+        self._arr.extend(bits)
+
+    @property
+    def bit_length(self) -> int:
+        return len(self._arr)
+
+    def finish(self) -> BitArray:
+        """Return the accumulated bits.  The writer may not be reused."""
+        return self._arr
+
+
+class BitReader:
+    """Sequential reader of fixed-width unsigned fields from a BitArray."""
+
+    def __init__(self, arr: BitArray, offset: int = 0):
+        self._arr = arr
+        self._pos = offset
+
+    @property
+    def position(self) -> int:
+        return self._pos
+
+    @property
+    def remaining(self) -> int:
+        return len(self._arr) - self._pos
+
+    def read(self, width: int) -> int:
+        """Consume and return the next ``width``-bit unsigned field."""
+        if width > self.remaining:
+            raise EOFError(
+                f"requested {width} bits but only {self.remaining} remain"
+            )
+        value = self._arr.get_field(self._pos, width)
+        self._pos += width
+        return value
+
+    def read_bits(self, width: int) -> BitArray:
+        """Consume and return the next ``width`` bits as a BitArray."""
+        if width > self.remaining:
+            raise EOFError(
+                f"requested {width} bits but only {self.remaining} remain"
+            )
+        out = self._arr.slice(self._pos, width)
+        self._pos += width
+        return out

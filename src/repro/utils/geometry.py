@@ -1,0 +1,112 @@
+"""Small planar-geometry helpers for grid placement and region management.
+
+The reconfigurable fabric is a rectangular grid of macros; hardware tasks are
+axis-aligned rectangles on it.  ``Rect`` is used by the placer (bounding
+boxes), the VBS clustering (tiling), and the runtime fabric manager (region
+allocation and collision detection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, NamedTuple
+
+
+class Point(NamedTuple):
+    """An (x, y) grid coordinate; x grows east, y grows north."""
+
+    x: int
+    y: int
+
+    def manhattan(self, other: "Point") -> int:
+        """Manhattan (L1) distance to ``other``."""
+        return abs(self.x - other.x) + abs(self.y - other.y)
+
+    def translated(self, dx: int, dy: int) -> "Point":
+        return Point(self.x + dx, self.y + dy)
+
+
+@dataclass(frozen=True)
+class Rect:
+    """A half-open axis-aligned rectangle ``[x, x+w) x [y, y+h)``."""
+
+    x: int
+    y: int
+    w: int
+    h: int
+
+    def __post_init__(self) -> None:
+        if self.w < 0 or self.h < 0:
+            raise ValueError(f"rectangle sides must be non-negative: {self}")
+
+    @classmethod
+    def spanning(cls, points: "list[Point] | list[tuple[int, int]]") -> "Rect":
+        """The tightest rectangle covering every point (inclusive)."""
+        if not points:
+            raise ValueError("cannot span an empty point set")
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        return cls(min(xs), min(ys), max(xs) - min(xs) + 1, max(ys) - min(ys) + 1)
+
+    @property
+    def x2(self) -> int:
+        """One past the right edge."""
+        return self.x + self.w
+
+    @property
+    def y2(self) -> int:
+        """One past the top edge."""
+        return self.y + self.h
+
+    @property
+    def area(self) -> int:
+        return self.w * self.h
+
+    @property
+    def semiperimeter(self) -> int:
+        """Half-perimeter; the classic VPR placement wirelength estimate."""
+        return self.w + self.h
+
+    def contains(self, x: int, y: int) -> bool:
+        return self.x <= x < self.x2 and self.y <= y < self.y2
+
+    def contains_rect(self, other: "Rect") -> bool:
+        return (
+            self.x <= other.x
+            and self.y <= other.y
+            and other.x2 <= self.x2
+            and other.y2 <= self.y2
+        )
+
+    def overlaps(self, other: "Rect") -> bool:
+        """True when the two rectangles share at least one cell."""
+        return (
+            self.x < other.x2
+            and other.x < self.x2
+            and self.y < other.y2
+            and other.y < self.y2
+        )
+
+    def translated(self, dx: int, dy: int) -> "Rect":
+        return Rect(self.x + dx, self.y + dy, self.w, self.h)
+
+    def cells(self) -> Iterator[Point]:
+        """Iterate every cell in raster order (y outer, x inner)."""
+        for y in range(self.y, self.y2):
+            for x in range(self.x, self.x2):
+                yield Point(x, y)
+
+    def clipped(self, bounds: "Rect") -> "Rect":
+        """The intersection with ``bounds`` (possibly empty)."""
+        nx = max(self.x, bounds.x)
+        ny = max(self.y, bounds.y)
+        nx2 = min(self.x2, bounds.x2)
+        ny2 = min(self.y2, bounds.y2)
+        return Rect(nx, ny, max(0, nx2 - nx), max(0, ny2 - ny))
+
+    def expanded(self, margin: int, bounds: "Rect | None" = None) -> "Rect":
+        """Grow by ``margin`` on every side, optionally clipped to ``bounds``."""
+        grown = Rect(
+            self.x - margin, self.y - margin, self.w + 2 * margin, self.h + 2 * margin
+        )
+        return grown.clipped(bounds) if bounds is not None else grown

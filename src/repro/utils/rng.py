@@ -1,0 +1,27 @@
+"""Deterministic random-number helpers.
+
+Everything stochastic in the library (synthetic netlist generation, simulated
+annealing moves, test vector generation) draws from a ``random.Random``
+created here, seeded from a stable string hash, so that a given benchmark
+name always produces the same circuit and a given flow run is repeatable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+
+def seed_from_name(name: str, salt: int = 0) -> int:
+    """A stable 64-bit seed derived from a string (independent of PYTHONHASHSEED)."""
+    digest = hashlib.sha256(f"{name}:{salt}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def make_rng(seed: "int | str", salt: int = 0) -> random.Random:
+    """Create a deterministic ``random.Random`` from an int or string seed."""
+    if isinstance(seed, str):
+        seed = seed_from_name(seed, salt)
+    elif salt:
+        seed = seed ^ (salt * 0x9E3779B97F4A7C15 & 0xFFFFFFFFFFFFFFFF)
+    return random.Random(seed)

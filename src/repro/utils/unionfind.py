@@ -1,0 +1,70 @@
+"""Disjoint-set (union-find) structure.
+
+Used by the fabric extractor to recover electrical nets from a configuration:
+every closed pass transistor merges the two wire segments it joins, and the
+resulting equivalence classes are the nets loaded on the fabric.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List
+
+
+class UnionFind:
+    """Union-find with path compression and union by size.
+
+    Elements are arbitrary hashable objects and are created lazily on first
+    use, which suits sparse configurations where most fabric segments are
+    never touched.
+    """
+
+    def __init__(self, elements: Iterable[Hashable] = ()):
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._size: Dict[Hashable, int] = {}
+        for e in elements:
+            self.add(e)
+
+    def add(self, element: Hashable) -> None:
+        """Register ``element`` as a singleton set if unseen."""
+        if element not in self._parent:
+            self._parent[element] = element
+            self._size[element] = 1
+
+    def __contains__(self, element: Hashable) -> bool:
+        return element in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def find(self, element: Hashable) -> Hashable:
+        """Canonical representative of the set containing ``element``."""
+        self.add(element)
+        root = element
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[element] != root:
+            self._parent[element], element = root, self._parent[element]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> Hashable:
+        """Merge the sets of ``a`` and ``b``; return the surviving root."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        return ra
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        """True when ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+    def groups(self) -> List[List[Hashable]]:
+        """All sets, each as a list of members (deterministic order)."""
+        by_root: Dict[Hashable, List[Hashable]] = {}
+        for e in self._parent:
+            by_root.setdefault(self.find(e), []).append(e)
+        return list(by_root.values())

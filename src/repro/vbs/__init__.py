@@ -1,0 +1,41 @@
+"""The Virtual Bit-Stream: format, vbsgen encoder, run-time decoder.
+
+This package is the paper's primary contribution: position-abstracted,
+compressed FPGA configurations (Section II), the generation backend with
+its offline/online feedback loop (Section III-B), and the de-virtualization
+router the run-time controller executes (Section II-C), at any clustering
+granularity (Section IV-B).
+"""
+
+from repro.vbs.format import ClusterRecord, VbsLayout, PRELUDE_BITS
+from repro.vbs.extract import Component, crossing_ios, extract_components, pin_io
+from repro.vbs.devirt import ClusterDecoder, DevirtResult
+from repro.vbs.order import candidate_orders, pair_distance
+from repro.vbs.encode import (
+    EncodeStats,
+    VirtualBitstream,
+    encode_design,
+    encode_flow,
+)
+from repro.vbs.decode import DecodeStats, decode_at, decode_vbs
+
+__all__ = [
+    "ClusterRecord",
+    "VbsLayout",
+    "PRELUDE_BITS",
+    "Component",
+    "crossing_ios",
+    "extract_components",
+    "pin_io",
+    "ClusterDecoder",
+    "DevirtResult",
+    "candidate_orders",
+    "pair_distance",
+    "EncodeStats",
+    "VirtualBitstream",
+    "encode_design",
+    "encode_flow",
+    "DecodeStats",
+    "decode_at",
+    "decode_vbs",
+]

@@ -1,0 +1,122 @@
+"""Run-time de-virtualization: VBS -> positioned raw configuration.
+
+"At runtime, the VBS requires an additional decoding step in order to
+generate a raw configuration bit-stream compatible with the target
+reconfigurable fabric" (Section II-C).  ``decode_vbs`` performs that step at
+an arbitrary target origin — position abstraction is the whole point of the
+format: the same VBS decodes to any (x, y) of the fabric, which is what
+gives the run-time manager its fast relocation capability.
+
+Decoding is per-cluster and embarrassingly parallel; :class:`DecodeStats`
+exposes both the total router effort and the per-cluster maximum (the
+critical path of a parallel hardware decoder), feeding the run-time cost
+model of ``repro.runtime``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.macro import get_cluster_model
+from repro.arch.params import ArchParams
+from repro.bitstream.config import FabricConfig
+from repro.errors import DevirtualizationError, VbsError
+from repro.utils.bitarray import BitArray
+from repro.utils.geometry import Rect
+from repro.vbs.devirt import ClusterDecoder
+from repro.vbs.encode import VirtualBitstream
+
+
+@dataclass
+class DecodeStats:
+    """Effort counters of one de-virtualization run."""
+
+    clusters_decoded: int = 0
+    clusters_raw: int = 0
+    connections_routed: int = 0
+    connections_skipped: int = 0
+    router_work: int = 0          # total BFS dequeues (sequential decoder)
+    max_cluster_work: int = 0     # worst single cluster (parallel critical path)
+    raw_bits_copied: int = 0
+    per_cluster_work: Dict[Tuple[int, int], int] = field(default_factory=dict)
+
+
+def decode_vbs(
+    vbs: "VirtualBitstream | BitArray",
+    origin: Tuple[int, int] = (0, 0),
+    params: Optional[ArchParams] = None,
+) -> Tuple[FabricConfig, DecodeStats]:
+    """De-virtualize ``vbs`` into a :class:`FabricConfig` at ``origin``.
+
+    ``vbs`` may be a parsed :class:`VirtualBitstream` or a raw container
+    :class:`BitArray` (as fetched from external memory).
+    """
+    if isinstance(vbs, BitArray):
+        vbs = VirtualBitstream.from_bits(vbs, params=params)
+    layout = vbs.layout
+    arch = layout.params
+    c = layout.cluster_size
+    ox, oy = origin
+    model = get_cluster_model(arch, c)
+
+    config = FabricConfig(arch, Rect(ox, oy, layout.width, layout.height))
+    stats = DecodeStats()
+    nlb, nraw = arch.nlb, arch.nraw
+
+    for rec in vbs.records:
+        cx, cy = rec.pos
+        members = layout.valid_members(cx, cy)
+        if rec.raw:
+            stats.clusters_raw += 1
+            stats.raw_bits_copied += layout.raw_bits_per_cluster
+            for (i, j) in members:
+                frame = rec.raw_frames.slice((j * c + i) * nraw, nraw)
+                gx, gy = ox + cx * c + i, oy + cy * c + j
+                logic = frame.slice(0, nlb)
+                if logic.count():
+                    config.set_logic(gx, gy, logic)
+                offsets = [
+                    off
+                    for off in range(arch.routing_bits)
+                    if frame[nlb + off]
+                ]
+                if offsets:
+                    config.close_switches(gx, gy, offsets)
+            continue
+
+        stats.clusters_decoded += 1
+        decoder = ClusterDecoder(model, valid_macros=set(members))
+        try:
+            result = decoder.decode(rec.pairs or [])
+        except DevirtualizationError as exc:
+            raise VbsError(
+                f"cluster {rec.pos}: online de-virtualization failed — the "
+                f"offline feedback loop should have prevented this: {exc}"
+            ) from exc
+        stats.connections_routed += result.connections_routed
+        stats.connections_skipped += result.connections_skipped
+        stats.router_work += result.work
+        stats.per_cluster_work[rec.pos] = result.work
+        stats.max_cluster_work = max(stats.max_cluster_work, result.work)
+
+        for (i, j), offsets in result.closed.items():
+            gx, gy = ox + cx * c + i, oy + cy * c + j
+            config.close_switches(gx, gy, offsets)
+        for (i, j) in members:
+            logic = rec.logic.slice((j * c + i) * nlb, nlb)
+            if logic.count():
+                config.set_logic(ox + cx * c + i, oy + cy * c + j, logic)
+
+    return config, stats
+
+
+def decode_at(
+    vbs: "VirtualBitstream | BitArray",
+    x: int,
+    y: int,
+    params: Optional[ArchParams] = None,
+) -> FabricConfig:
+    """Relocation shorthand: decode with the task origin at macro (x, y)."""
+    config, _stats = decode_vbs(vbs, origin=(x, y), params=params)
+    return config

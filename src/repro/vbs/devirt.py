@@ -1,0 +1,341 @@
+"""The de-virtualization router (Section II-C).
+
+Expands a cluster's connection list into concrete pass-transistor closures.
+The algorithm is the paper's "simple router", deliberately cheap enough for
+a run-time reconfiguration controller, and *stateful*: connections are
+processed in list order over a persistent occupancy map, which is exactly
+why the offline encoder replays this same code in its feedback loop and
+re-orders lists that fail (Section III-B).
+
+Routing rules:
+
+* a connection ``(in, out)`` whose endpoints already belong to the same
+  in-progress net is a no-op;
+* if either endpoint belongs to an existing net, the router extends that
+  net's tree to the other endpoint (breadth-first, so shortest in segment
+  count);
+* otherwise a new net is opened and routed endpoint-to-endpoint;
+* segments occupied by other nets are blocked; *terminal* segments
+  (cluster-boundary crossings and block pins) are blocked unless they are
+  an endpoint of the current connection — passing through one would leak
+  the net into a neighbouring macro or onto a block pin;
+* the decoder pre-scans its connection list and *protects* the pin lines of
+  every listed block pin: a block pin is reachable only through its own
+  line's segments, so letting an earlier connection dogleg through them
+  would strand the pin.  Protected segments are avoided in a first
+  breadth-first pass and only considered in a second pass when no
+  unprotected path exists;
+* when both passes fail, the router performs a bounded, deterministic
+  *rip-up*: a discovery search ignoring other nets identifies the blocking
+  nets, those nets are torn down, the stuck connection is routed, and the
+  victims' connections re-enter the queue.  Every connection may be
+  retried a fixed number of times and the total rip-up budget is linear in
+  the list length, so decoding always terminates; exhausting the budget
+  raises :class:`DevirtualizationError`, which the offline encoder answers
+  with re-ordering and ultimately the raw-coding fallback.
+
+``work`` counts BFS dequeues: the decode-effort metric behind the paper's
+observation that coarser clusters need "higher computing power to decode".
+Both the offline feedback loop and the run-time controller execute this
+exact code, so offline success guarantees online success.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.arch.macro import ClusterModel
+from repro.errors import DevirtualizationError
+
+Pair = Tuple[int, int]
+
+#: Maximum times one connection may be re-attempted after rip-ups.
+MAX_TRIES_PER_CONNECTION = 4
+
+
+@dataclass
+class DevirtResult:
+    """Switch closures (per cluster-local macro) plus effort counters."""
+
+    closed: Dict[Tuple[int, int], Set[int]] = field(default_factory=dict)
+    work: int = 0
+    connections_routed: int = 0
+    connections_skipped: int = 0
+    ripups: int = 0
+
+    def close(self, macro: Tuple[int, int], offset: int) -> None:
+        self.closed.setdefault(macro, set()).add(offset)
+
+    def open(self, macro: Tuple[int, int], offset: int) -> None:
+        self.closed.get(macro, set()).discard(offset)
+
+
+class ClusterDecoder:
+    """Stateful de-virtualization of one cluster's connection list."""
+
+    def __init__(
+        self,
+        model: ClusterModel,
+        valid_macros: Optional[Set[Tuple[int, int]]] = None,
+    ):
+        self.model = model
+        #: Net id per occupied segment (absent = free).
+        self._seg_net: Dict[int, int] = {}
+        self._net_segs: Dict[int, List[int]] = {}
+        self._net_switches: Dict[int, List[Tuple[Tuple[int, int], int]]] = {}
+        self._net_pairs: Dict[int, List[Pair]] = {}
+        self._net_of_io: Dict[int, int] = {}
+        self._next_net = 0
+        self._result = DevirtResult()
+        self._protected: Dict[int, int] = {}
+        #: Segments outside the task rectangle are unusable (partial edge
+        #: clusters); both encoder and decoder derive the same mask from the
+        #: task dimensions, keeping the feedback-loop contract exact.
+        if valid_macros is None:
+            self._blocked_cells: Optional[Set[Tuple[int, int]]] = None
+        else:
+            all_cells = {
+                (i, j) for i in range(model.c) for j in range(model.c)
+            }
+            self._blocked_cells = all_cells - set(valid_macros)
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _seg_usable(self, seg: int) -> bool:
+        if self._blocked_cells:
+            key = self.model.seg_keys[seg]
+            if (key[0], key[1]) in self._blocked_cells:
+                return False
+        return True
+
+    def _io_seg(self, io: int) -> int:
+        try:
+            seg = self.model.io_to_seg[io]
+        except IndexError:
+            raise DevirtualizationError(
+                f"I/O number {io} outside space [0,{self.model.io_count})"
+            )
+        if not self._seg_usable(seg):
+            raise DevirtualizationError(
+                f"I/O {self.model.io_name(io)} lies outside the task rectangle"
+            )
+        return seg
+
+    def _claim(self, seg: int, net: int) -> None:
+        self._seg_net[seg] = net
+        self._net_segs[net].append(seg)
+
+    def _new_net(self) -> int:
+        net = self._next_net
+        self._next_net += 1
+        self._net_segs[net] = []
+        self._net_switches[net] = []
+        self._net_pairs[net] = []
+        return net
+
+    def protect_pins(self, connections: Sequence[Pair]) -> None:
+        """Pre-scan the list and protect the pin lines of listed block pins."""
+        self._protected = {}
+        for pair in connections:
+            for io in pair:
+                if self.model.is_pin_io(io):
+                    for seg in self.model.pin_line_segments(io):
+                        self._protected.setdefault(seg, io)
+
+    # -- single connection ---------------------------------------------------------
+
+    def _commit_path(self, path: List[Tuple[int, int]], net: int) -> None:
+        model = self.model
+        for seg, switch_id in path[1:]:
+            sw = model.switches[switch_id]
+            self._result.close((sw.macro_i, sw.macro_j), sw.offset)
+            self._net_switches[net].append(((sw.macro_i, sw.macro_j), sw.offset))
+            if self._seg_net.get(seg) is None:
+                self._claim(seg, net)
+
+    def _route_pair(self, in_io: int, out_io: int) -> "Optional[List[int]]":
+        """Route one pair.
+
+        Returns ``None`` on success and the sorted list of blocking net ids
+        when a rip-up is required.  Raises when the pair is unroutable even
+        through occupied fabric.
+        """
+        model = self.model
+        a = self._io_seg(in_io)
+        b = self._io_seg(out_io)
+        net_a = self._seg_net.get(a)
+        net_b = self._seg_net.get(b)
+
+        if net_a is not None and net_a == net_b:
+            self._result.connections_skipped += 1
+            self._net_pairs[net_a].append((in_io, out_io))
+            return None
+        if net_a is not None and net_b is not None:
+            raise DevirtualizationError(
+                f"connection ({model.io_name(in_io)} -> "
+                f"{model.io_name(out_io)}) would merge two distinct nets"
+            )
+
+        if net_a is not None:
+            net, target = net_a, b
+        elif net_b is not None:
+            net, target = net_b, a
+        else:
+            net = self._new_net()
+            self._claim(a, net)
+            self._net_of_io[in_io] = net
+            target = b
+
+        sources = self._net_segs[net]
+        allowed = {io for io in (in_io, out_io) if model.is_pin_io(io)}
+        path = self._bfs(sources, target, net, allowed, protection=True)
+        if path is None:
+            path = self._bfs(sources, target, net, allowed, protection=False)
+        if path is None:
+            blockers = self._find_blockers(sources, target, net, allowed)
+            if blockers is None:
+                raise DevirtualizationError(
+                    f"no path for connection ({model.io_name(in_io)} -> "
+                    f"{model.io_name(out_io)}), even through occupied fabric"
+                )
+            # Undo the tentative net creation before reporting the conflict.
+            if net_a is None and net_b is None:
+                self._rip_up(net, keep_pairs=False)
+            return blockers
+        self._commit_path(path, net)
+        self._net_of_io[out_io] = net
+        self._net_of_io[in_io] = net
+        self._net_pairs[net].append((in_io, out_io))
+        self._result.connections_routed += 1
+        return None
+
+    # -- searches ---------------------------------------------------------------------
+
+    def _bfs(
+        self,
+        sources: Sequence[int],
+        target: int,
+        net: int,
+        allowed_pin_ios: Set[int],
+        protection: bool,
+        through_others: bool = False,
+    ) -> "Optional[List[Tuple[int, int]]]":
+        """Deterministic BFS; ``[(seed, -1), (seg, switch), ...]`` or None."""
+        model = self.model
+        seg_net = self._seg_net
+        terminal = model.terminal_segs
+        protected = self._protected
+        came: Dict[int, Tuple[int, int]] = {}
+        queue = deque()
+        for seed in sorted(sources):
+            came[seed] = (-1, -1)
+            queue.append(seed)
+        work = 0
+        found = False
+        while queue:
+            seg = queue.popleft()
+            work += 1
+            if seg == target:
+                found = True
+                break
+            for nbr, switch_id in model.adjacency[seg]:
+                if nbr in came:
+                    continue
+                occupant = seg_net.get(nbr)
+                if occupant is not None and occupant != net and not through_others:
+                    continue
+                if nbr != target and nbr in terminal:
+                    continue  # endpoint-only segments
+                if protection:
+                    owner = protected.get(nbr)
+                    if owner is not None and owner not in allowed_pin_ios:
+                        continue  # reserved for a listed block pin
+                if not self._seg_usable(nbr):
+                    continue
+                came[nbr] = (seg, switch_id)
+                queue.append(nbr)
+        self._result.work += work
+        if not found:
+            return None
+        path = []
+        seg = target
+        while seg != -1:
+            prev, switch_id = came[seg]
+            path.append((seg, switch_id))
+            seg = prev
+        path.reverse()
+        return path
+
+    def _find_blockers(
+        self,
+        sources: Sequence[int],
+        target: int,
+        net: int,
+        allowed: Set[int],
+    ) -> "Optional[List[int]]":
+        """Nets obstructing the only available corridors (discovery pass)."""
+        path = self._bfs(
+            sources, target, net, allowed, protection=False, through_others=True
+        )
+        if path is None:
+            return None
+        blockers = {
+            self._seg_net[seg]
+            for seg, _sw in path
+            if seg in self._seg_net and self._seg_net[seg] != net
+        }
+        return sorted(blockers)
+
+    # -- rip-up ------------------------------------------------------------------------
+
+    def _rip_up(self, net: int, keep_pairs: bool = True) -> List[Pair]:
+        """Tear a net down; return its processed pairs for re-queueing."""
+        for seg in self._net_segs.pop(net, []):
+            self._seg_net.pop(seg, None)
+        for macro, offset in self._net_switches.pop(net, []):
+            self._result.open(macro, offset)
+        pairs = self._net_pairs.pop(net, [])
+        for io in [io for io, owner in self._net_of_io.items() if owner == net]:
+            del self._net_of_io[io]
+        return pairs if keep_pairs else []
+
+    # -- the full list -------------------------------------------------------------------
+
+    def decode(self, connections: Sequence[Pair]) -> DevirtResult:
+        """Route the whole list in order; return closures and counters."""
+        self.protect_pins(connections)
+        queue = deque((pair, 0) for pair in connections)
+        ripup_budget = max(16, 3 * len(connections))
+        while queue:
+            (in_io, out_io), tries = queue.popleft()
+            blockers = self._route_pair(in_io, out_io)
+            if blockers is None:
+                continue
+            if tries + 1 >= MAX_TRIES_PER_CONNECTION or ripup_budget <= 0:
+                raise DevirtualizationError(
+                    f"connection ({self.model.io_name(in_io)} -> "
+                    f"{self.model.io_name(out_io)}) unroutable after "
+                    f"{tries + 1} attempts and {self._result.ripups} rip-ups"
+                )
+            requeued: List[Tuple[Pair, int]] = []
+            for victim in blockers:
+                for pair in self._rip_up(victim):
+                    requeued.append((pair, tries + 1))
+                self._result.ripups += 1
+                ripup_budget -= 1
+            # The stuck connection routes first, then the victims retry.
+            queue.appendleft(((in_io, out_io), tries + 1))
+            for item in reversed(requeued):
+                queue.insert(1, item)
+        return self._result
+
+    # Backwards-compatible single-connection entry point (tests, examples).
+    def route_connection(self, in_io: int, out_io: int) -> None:
+        blockers = self._route_pair(in_io, out_io)
+        if blockers is not None:
+            raise DevirtualizationError(
+                f"connection ({self.model.io_name(in_io)} -> "
+                f"{self.model.io_name(out_io)}) blocked by nets {blockers}"
+            )

@@ -1,0 +1,350 @@
+"""vbsgen: the Virtual Bit-Stream generation backend (Section III-B).
+
+``encode_design`` consumes the outputs of the CAD flow (packed design,
+placement, routing, and the expanded junction-level configuration) and
+produces a :class:`VirtualBitstream`:
+
+* connection lists are extracted per cluster (``repro.vbs.extract``);
+* every cluster's list is replayed through the *online* de-virtualization
+  router — the offline/online feedback loop of the paper — re-ordering on
+  failure (``repro.vbs.order``);
+* clusters whose lists cannot be decoded in any tried order, or whose route
+  count exceeds the count field, fall back to raw coding, "which can induce
+  lesser compression gains but guarantees that the hardware task will be
+  handled correctly in all cases";
+* empty clusters are omitted entirely (the macro list of Table I carries
+  positions, so the decoder zero-fills unlisted fabric).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.macro import get_cluster_model
+from repro.arch.params import ArchParams
+from repro.bitstream.config import FabricConfig
+from repro.bitstream.raw import RawBitstream
+from repro.cad.flow import FlowResult
+from repro.cad.pack import PackedDesign
+from repro.cad.place import Placement
+from repro.cad.route import RoutingResult
+from repro.arch.rrg import RoutingGraph
+from repro.errors import DevirtualizationError, VbsError
+from repro.utils.bitarray import BitArray, BitReader, BitWriter
+from repro.vbs.devirt import ClusterDecoder
+from repro.vbs.extract import extract_components
+from repro.vbs.format import (
+    CHANNEL_BITS,
+    CLUSTER_BITS,
+    COMPACT_BITS,
+    DIM_BITS,
+    LUT_BITS,
+    MAGIC,
+    MAGIC_BITS,
+    VERSION,
+    VERSION_BITS,
+    ClusterRecord,
+    VbsLayout,
+)
+
+Pair = Tuple[int, int]
+
+
+@dataclass
+class EncodeStats:
+    """Bookkeeping of one vbsgen run."""
+
+    clusters_listed: int = 0
+    clusters_raw: int = 0
+    pairs_total: int = 0
+    orders_tried: int = 0
+    offline_decode_work: int = 0
+    fallback_reasons: Dict[Tuple[int, int], str] = field(default_factory=dict)
+
+
+class VirtualBitstream:
+    """An encoded task: Table I payload plus the container prelude."""
+
+    def __init__(
+        self,
+        layout: VbsLayout,
+        records: List[ClusterRecord],
+        stats: Optional[EncodeStats] = None,
+    ):
+        self.layout = layout
+        self.records = records
+        self.stats = stats or EncodeStats()
+        for rec in records:
+            rec.validate(layout)
+
+    # -- size accounting -------------------------------------------------------
+
+    @property
+    def size_bits(self) -> int:
+        """Table I payload size — the quantity plotted in Figures 4 and 5."""
+        return self.layout.header_bits + sum(
+            rec.size_bits(self.layout) for rec in self.records
+        )
+
+    @property
+    def container_bits(self) -> int:
+        from repro.vbs.format import PRELUDE_BITS
+
+        return PRELUDE_BITS + self.size_bits
+
+    def raw_equivalent_bits(self) -> int:
+        """Size of the raw bitstream of the same task (the BS of Figure 4)."""
+        return RawBitstream.size_for(
+            self.layout.params, self.layout.width, self.layout.height
+        )
+
+    def compression_ratio(self) -> float:
+        """VBS size as a fraction of raw size (paper reports ~0.41 at c=1)."""
+        return self.size_bits / self.raw_equivalent_bits()
+
+    # -- serialization ------------------------------------------------------------
+
+    def to_bits(self) -> BitArray:
+        """Assemble the container binary."""
+        lay = self.layout
+        w = BitWriter()
+        w.write(MAGIC, MAGIC_BITS)
+        w.write(VERSION, VERSION_BITS)
+        w.write(lay.cluster_size, CLUSTER_BITS)
+        w.write(lay.params.channel_width, CHANNEL_BITS)
+        w.write(lay.params.lut_size, LUT_BITS)
+        w.write(1 if lay.compact_logic else 0, COMPACT_BITS)
+        w.write(lay.width, DIM_BITS)
+        w.write(lay.height, DIM_BITS)
+
+        w.write(lay.width - 1, lay.dim_bits)
+        w.write(lay.height - 1, lay.dim_bits)
+        w.write(len(self.records), lay.count_bits)
+        nlb = lay.params.nlb
+        members = lay.cluster_size * lay.cluster_size
+        for rec in self.records:
+            w.write(rec.pos[0], lay.pos_bits)
+            w.write(rec.pos[1], lay.pos_bits)
+            if rec.raw:
+                w.write(lay.raw_sentinel, lay.route_count_bits)
+                w.write_bits(rec.raw_frames)
+            else:
+                w.write(len(rec.pairs), lay.route_count_bits)
+                if lay.compact_logic:
+                    # Future-work coding (Section V): presence flag per
+                    # member slot, logic data only where non-zero.
+                    for k in range(members):
+                        piece = rec.logic.slice(k * nlb, nlb)
+                        if piece.count():
+                            w.write(1, 1)
+                            w.write_bits(piece)
+                        else:
+                            w.write(0, 1)
+                else:
+                    w.write_bits(rec.logic)
+                for a, b in rec.pairs:
+                    w.write(a, lay.m_bits)
+                    w.write(b, lay.m_bits)
+        return w.finish()
+
+    @classmethod
+    def from_bits(
+        cls, bits: BitArray, params: Optional[ArchParams] = None
+    ) -> "VirtualBitstream":
+        """Parse a container binary back into records."""
+        r = BitReader(bits)
+        if r.read(MAGIC_BITS) != MAGIC:
+            raise VbsError("bad magic: not a Virtual Bit-Stream container")
+        if r.read(VERSION_BITS) != VERSION:
+            raise VbsError("unsupported VBS container version")
+        cluster_size = r.read(CLUSTER_BITS)
+        channel_width = r.read(CHANNEL_BITS)
+        lut_size = r.read(LUT_BITS)
+        compact = bool(r.read(COMPACT_BITS))
+        width = r.read(DIM_BITS)
+        height = r.read(DIM_BITS)
+        if params is None:
+            params = ArchParams(channel_width=channel_width, lut_size=lut_size)
+        elif (
+            params.channel_width != channel_width
+            or params.lut_size != lut_size
+        ):
+            raise VbsError(
+                "architecture parameters do not match the VBS prelude"
+            )
+        lay = VbsLayout(params, cluster_size, width, height,
+                        compact_logic=compact)
+
+        if r.read(lay.dim_bits) != width - 1:
+            raise VbsError("payload width disagrees with prelude")
+        if r.read(lay.dim_bits) != height - 1:
+            raise VbsError("payload height disagrees with prelude")
+        count = r.read(lay.count_bits)
+        records: List[ClusterRecord] = []
+        for _ in range(count):
+            cx = r.read(lay.pos_bits)
+            cy = r.read(lay.pos_bits)
+            rc = r.read(lay.route_count_bits)
+            if rc == lay.raw_sentinel:
+                frames = r.read_bits(lay.raw_bits_per_cluster)
+                records.append(
+                    ClusterRecord((cx, cy), raw=True, raw_frames=frames)
+                )
+            else:
+                if lay.compact_logic:
+                    logic = BitArray(lay.logic_bits_per_cluster)
+                    nlb = lay.params.nlb
+                    for k in range(lay.cluster_size * lay.cluster_size):
+                        if r.read(1):
+                            logic.overwrite(k * nlb, r.read_bits(nlb))
+                else:
+                    logic = r.read_bits(lay.logic_bits_per_cluster)
+                pairs = [
+                    (r.read(lay.m_bits), r.read(lay.m_bits)) for _ in range(rc)
+                ]
+                records.append(
+                    ClusterRecord((cx, cy), raw=False, logic=logic, pairs=pairs)
+                )
+        return cls(lay, records)
+
+    def __repr__(self) -> str:
+        return (
+            f"VirtualBitstream({self.layout.width}x{self.layout.height} task, "
+            f"c={self.layout.cluster_size}, {len(self.records)} clusters, "
+            f"{self.size_bits} bits = {self.compression_ratio():.1%} of raw)"
+        )
+
+
+# -- encoding -------------------------------------------------------------------
+
+
+def _cluster_logic(
+    layout: VbsLayout, config: FabricConfig, cx: int, cy: int
+) -> BitArray:
+    """The c^2 * NLB logic field of one cluster (raster, zeros when absent)."""
+    c = layout.cluster_size
+    nlb = layout.params.nlb
+    out = BitArray(layout.logic_bits_per_cluster)
+    for j in range(c):
+        for i in range(c):
+            x, y = cx * c + i, cy * c + j
+            logic = config.logic.get((x, y))
+            if logic is not None:
+                out.overwrite((j * c + i) * nlb, logic)
+    return out
+
+
+def _cluster_raw_frames(
+    layout: VbsLayout, config: FabricConfig, cx: int, cy: int
+) -> BitArray:
+    """The c^2 * Nraw raw-fallback field (frames in raster order)."""
+    c = layout.cluster_size
+    nraw = layout.params.nraw
+    out = BitArray(layout.raw_bits_per_cluster)
+    for j in range(c):
+        for i in range(c):
+            x, y = cx * c + i, cy * c + j
+            if config.region.contains(x, y):
+                out.overwrite((j * c + i) * nraw, config.macro_frame(x, y))
+    return out
+
+
+def encode_design(
+    design: PackedDesign,
+    placement: Placement,
+    routing: RoutingResult,
+    rrg: RoutingGraph,
+    config: FabricConfig,
+    cluster_size: int = 1,
+    max_orders: int = 12,
+    order_seed: int = 0,
+    compact_logic: bool = False,
+) -> VirtualBitstream:
+    """Run vbsgen over a routed design at the given coding granularity.
+
+    ``compact_logic`` enables the future-work coding of Section V (logic
+    data only for macros that carry any); the default is the strict
+    Table I layout used in the paper's figures.
+    """
+    from repro.vbs.order import candidate_orders
+
+    fabric = placement.fabric
+    params = fabric.params
+    layout = VbsLayout(params, cluster_size, fabric.width, fabric.height,
+                       compact_logic=compact_logic)
+    model = get_cluster_model(params, cluster_size)
+    components = extract_components(design, placement, routing, rrg, layout)
+
+    stats = EncodeStats()
+    records: List[ClusterRecord] = []
+    cgw, cgh = layout.cluster_grid
+
+    for cy in range(cgh):
+        for cx in range(cgw):
+            comps = components.get((cx, cy), [])
+            logic = _cluster_logic(layout, config, cx, cy)
+            if not comps and logic.count() == 0:
+                continue  # empty cluster: omitted from the macro list
+            stats.clusters_listed += 1
+            pairs: List[Pair] = [p for comp in comps for p in comp.pairs()]
+            stats.pairs_total += len(pairs)
+
+            record = None
+            if len(pairs) <= layout.max_routes:
+                valid = set(layout.valid_members(cx, cy))
+                tried_here = 0
+                for order in candidate_orders(
+                    pairs, model, max_orders=max_orders, seed=order_seed
+                ):
+                    tried_here += 1
+                    stats.orders_tried += 1
+                    decoder = ClusterDecoder(model, valid_macros=valid)
+                    try:
+                        result = decoder.decode(order)
+                    except DevirtualizationError:
+                        continue
+                    stats.offline_decode_work += result.work
+                    record = ClusterRecord(
+                        (cx, cy),
+                        raw=False,
+                        logic=logic,
+                        pairs=list(order),
+                        orders_tried=tried_here,
+                    )
+                    break
+                else:
+                    stats.fallback_reasons[(cx, cy)] = "no decodable order"
+            else:
+                stats.fallback_reasons[(cx, cy)] = (
+                    f"{len(pairs)} routes exceed the count field"
+                )
+
+            if record is None:
+                stats.clusters_raw += 1
+                record = ClusterRecord(
+                    (cx, cy),
+                    raw=True,
+                    raw_frames=_cluster_raw_frames(layout, config, cx, cy),
+                )
+            records.append(record)
+
+    return VirtualBitstream(layout, records, stats)
+
+
+def encode_flow(
+    flow: FlowResult,
+    config: FabricConfig,
+    cluster_size: int = 1,
+    **kwargs,
+) -> VirtualBitstream:
+    """Convenience wrapper over :func:`encode_design` for a FlowResult."""
+    return encode_design(
+        flow.design,
+        flow.placement,
+        flow.routing,
+        flow.rrg,
+        config,
+        cluster_size=cluster_size,
+        **kwargs,
+    )

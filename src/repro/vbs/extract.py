@@ -1,0 +1,167 @@
+"""Connection-list extraction: routed nets -> per-cluster (In, Out) pairs.
+
+This is the virtualization step of Section II-B: the routed tree of every
+net is walked from its source, and each time it crosses a cluster boundary
+the crossing is recorded as an *exit* from one cluster and an *entry* into
+the next, both expressed as black-box I/O numbers.  Inside a cluster the
+net's presence is a *component*: one entry endpoint plus every exit/pin
+endpoint reached from it, in DFS order — the connection list the run-time
+de-virtualization router expands.
+
+A single RRG edge can produce two crossings (a route turning inside a
+switch box passes through the junction macro without using any of its
+wires), which is why crossings are derived per *leg* of each edge:
+``owner(u) -> junction macro -> owner(v)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.arch.rrg import KIND_LINE, RoutingGraph
+from repro.bitstream.expand import edge_junction_cell
+from repro.cad.pack import PackedDesign
+from repro.cad.place import Placement
+from repro.cad.route import RoutingResult
+from repro.errors import VbsError
+from repro.vbs.format import VbsLayout
+
+Cell = Tuple[int, int]
+
+
+@dataclass
+class Component:
+    """One connected presence of a net inside one cluster."""
+
+    net: str
+    cluster: Cell
+    entry: int
+    exits: List[int] = field(default_factory=list)
+
+    def pairs(self) -> List[Tuple[int, int]]:
+        """The (In, Out) connection pairs of Table I, anchored at the entry."""
+        return [(self.entry, out) for out in self.exits]
+
+
+def crossing_ios(
+    layout: VbsLayout, cell_from: Cell, cell_to: Cell, track: int
+) -> Tuple[int, int]:
+    """(exit io in from-cluster, entry io in to-cluster) for a crossing.
+
+    The two cells must be grid neighbours in different clusters; the wire
+    crosses on routing track ``track``.
+    """
+    c = layout.cluster_size
+    W = layout.params.channel_width
+    (fx, fy), (tx, ty) = cell_from, cell_to
+    west, east, south, north = 0, c * W, 2 * c * W, 3 * c * W
+    if (tx, ty) == (fx + 1, fy):
+        return east + (fy % c) * W + track, west + (ty % c) * W + track
+    if (tx, ty) == (fx - 1, fy):
+        return west + (fy % c) * W + track, east + (ty % c) * W + track
+    if (tx, ty) == (fx, fy + 1):
+        return north + (fx % c) * W + track, south + (tx % c) * W + track
+    if (tx, ty) == (fx, fy - 1):
+        return south + (fx % c) * W + track, north + (tx % c) * W + track
+    raise VbsError(f"cells {cell_from} and {cell_to} are not neighbours")
+
+
+def pin_io(layout: VbsLayout, x: int, y: int, pin: int) -> int:
+    """Black-box I/O number of block pin ``pin`` of macro (x, y)."""
+    c = layout.cluster_size
+    W = layout.params.channel_width
+    L = layout.params.num_lb_pins
+    i, j = x % c, y % c
+    return 4 * c * W + (j * c + i) * L + pin
+
+
+def extract_components(
+    design: PackedDesign,
+    placement: Placement,
+    routing: RoutingResult,
+    rrg: RoutingGraph,
+    layout: VbsLayout,
+) -> Dict[Cell, List[Component]]:
+    """Walk every routed net; return components grouped by cluster.
+
+    Components appear per cluster in deterministic order: nets sorted by
+    name, then DFS discovery order within each net.
+    """
+    by_cluster: Dict[Cell, List[Component]] = {}
+
+    for net_name in sorted(routing.trees):
+        tree = routing.trees[net_name]
+        children = tree.children_map()
+        sink_set = set(tree.sinks)
+
+        src_kind, src_pin = rrg.node_kind(tree.source)
+        if src_kind != KIND_LINE:
+            raise VbsError(f"net {net_name}: source is not a pin line")
+        sx, sy = rrg.node_cell(tree.source)
+        src_cluster = layout.cluster_of_cell(sx, sy)
+        root_comp = Component(
+            net_name, src_cluster, pin_io(layout, sx, sy, src_pin)
+        )
+        by_cluster.setdefault(src_cluster, []).append(root_comp)
+
+        # Iterative DFS carrying the active component.
+        stack: List[Tuple[int, Component]] = [(tree.source, root_comp)]
+        while stack:
+            node, comp = stack.pop()
+            kind, idx = rrg.node_kind(node)
+            if node != tree.source and node in sink_set and kind == KIND_LINE:
+                x, y = rrg.node_cell(node)
+                comp.exits.append(pin_io(layout, x, y, idx))
+            for child in reversed(children.get(node, [])):
+                child_comp = self_comp = comp
+                junction = edge_junction_cell(rrg, node, child)
+                # Leg 1: owner(node) -> junction macro.
+                owner_u = rrg.node_cell(node)
+                if layout.cluster_of_cell(*owner_u) != layout.cluster_of_cell(
+                    *junction
+                ):
+                    _ukind, utrack = rrg.node_kind(node)
+                    exit_io, entry_io = crossing_ios(
+                        layout, owner_u, junction, utrack
+                    )
+                    self_comp.exits.append(exit_io)
+                    child_comp = Component(
+                        net_name,
+                        layout.cluster_of_cell(*junction),
+                        entry_io,
+                    )
+                    by_cluster.setdefault(child_comp.cluster, []).append(
+                        child_comp
+                    )
+                # Leg 2: junction macro -> owner(child).
+                owner_v = rrg.node_cell(child)
+                if layout.cluster_of_cell(*junction) != layout.cluster_of_cell(
+                    *owner_v
+                ):
+                    _vkind, vtrack = rrg.node_kind(child)
+                    exit_io, entry_io = crossing_ios(
+                        layout, junction, owner_v, vtrack
+                    )
+                    child_comp.exits.append(exit_io)
+                    child_comp = Component(
+                        net_name,
+                        layout.cluster_of_cell(*owner_v),
+                        entry_io,
+                    )
+                    by_cluster.setdefault(child_comp.cluster, []).append(
+                        child_comp
+                    )
+                stack.append((child, child_comp))
+
+    # Components with no exits carry no information (a net entering and
+    # stopping on a wire stub cannot happen for valid routes, but a source
+    # whose every sink lies in another cluster leaves the root with only
+    # crossing exits — keep anything with >= 1 exit).
+    for cluster in list(by_cluster):
+        by_cluster[cluster] = [
+            comp for comp in by_cluster[cluster] if comp.exits
+        ]
+        if not by_cluster[cluster]:
+            del by_cluster[cluster]
+    return by_cluster

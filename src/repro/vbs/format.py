@@ -1,0 +1,244 @@
+"""The Virtual Bit-Stream binary format (Table I of the paper).
+
+Payload layout (all fields big-endian unsigned, sizes per Table I)::
+
+    header:
+        task width - 1        ceil(log2(max(w, h))) bits
+        task height - 1       ceil(log2(max(w, h))) bits
+        cluster count         ceil(log2(n_cluster_cells + 1)) bits
+    per listed cluster (raster order; empty clusters are omitted):
+        position X            ceil(log2(max(cgw, cgh))) bits
+        position Y            same
+        route count           route-count field (see below)
+        if route count == RAW sentinel:
+            c^2 * Nraw raw frame bits (cluster macros in raster order)
+        else:
+            c^2 * NLB logic-data bits
+            route count x (In, Out) connection pairs, M bits each endpoint
+
+with ``M = ceil(log2(4cW + c^2 L + 1))`` (Section II-B; M = 5 for the
+paper's W = 5, L = 7 single-macro example).
+
+Deviations from Table I, both documented in DESIGN.md: the route-count
+field precedes the logic data so the raw-fallback escape (all-ones
+sentinel, Section III-B's "raw coding ... instead of the smart connection
+list") is decodable, and a fixed 63-bit container prelude carries the
+architecture parameters and task dimensions so a VBS file is
+self-describing.  ``size_bits`` everywhere reports the Table I payload
+accounting used in the paper's figures, excluding the prelude.
+
+Compact logic mode (the paper's future-work "smarter coding of the VBS to
+gain ... in size", Section V) replaces the unconditional ``c^2 * NLB``
+logic field by one presence bit per member macro followed by NLB bits for
+present macros only — a large win for clusters covering sparse fabric.
+It is off by default so the headline experiments use strict Table I
+accounting.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.arch.params import ArchParams
+from repro.errors import VbsError
+from repro.utils.bitarray import BitArray, bits_for
+
+#: Container prelude field widths (not part of Table I accounting).
+MAGIC = 0xB5
+MAGIC_BITS = 8
+VERSION = 1
+VERSION_BITS = 4
+CLUSTER_BITS = 6
+CHANNEL_BITS = 8
+LUT_BITS = 4
+COMPACT_BITS = 1
+DIM_BITS = 16
+PRELUDE_BITS = (
+    MAGIC_BITS + VERSION_BITS + CLUSTER_BITS + CHANNEL_BITS + LUT_BITS
+    + COMPACT_BITS + 2 * DIM_BITS
+)
+
+
+@dataclass(frozen=True)
+class VbsLayout:
+    """Derived field widths for a task of ``width x height`` macros."""
+
+    params: ArchParams
+    cluster_size: int
+    width: int
+    height: int
+    compact_logic: bool = False
+
+    def __post_init__(self) -> None:
+        if self.width < 1 or self.height < 1:
+            raise VbsError("task must be at least 1x1 macros")
+        if self.cluster_size < 1:
+            raise VbsError("cluster size must be >= 1")
+        if self.width >= (1 << DIM_BITS) or self.height >= (1 << DIM_BITS):
+            raise VbsError("task dimensions exceed the container prelude range")
+
+    # -- cluster grid ------------------------------------------------------------
+
+    @property
+    def cluster_grid(self) -> Tuple[int, int]:
+        """(columns, rows) of the cluster tiling (edge clusters may be partial)."""
+        c = self.cluster_size
+        return (math.ceil(self.width / c), math.ceil(self.height / c))
+
+    @property
+    def num_cluster_cells(self) -> int:
+        cgw, cgh = self.cluster_grid
+        return cgw * cgh
+
+    def cluster_of_cell(self, x: int, y: int) -> Tuple[int, int]:
+        return (x // self.cluster_size, y // self.cluster_size)
+
+    def valid_members(self, cx: int, cy: int) -> List[Tuple[int, int]]:
+        """Cluster-local (i, j) of member macros inside the task rectangle."""
+        c = self.cluster_size
+        out = []
+        for j in range(c):
+            for i in range(c):
+                if cx * c + i < self.width and cy * c + j < self.height:
+                    out.append((i, j))
+        return out
+
+    # -- field widths --------------------------------------------------------------
+
+    @property
+    def dim_bits(self) -> int:
+        """Task width/height fields: ``ceil(log2(max(w, h)))`` (Table I)."""
+        return bits_for(max(self.width, self.height))
+
+    @property
+    def count_bits(self) -> int:
+        """Cluster-count field, able to code 0..num_cluster_cells inclusive."""
+        return bits_for(self.num_cluster_cells + 1)
+
+    @property
+    def pos_bits(self) -> int:
+        """Per-cluster position field (one coordinate)."""
+        cgw, cgh = self.cluster_grid
+        return bits_for(max(cgw, cgh))
+
+    @property
+    def m_bits(self) -> int:
+        """Connection endpoint field: ``M = ceil(log2(4cW + c^2 L + 1))``."""
+        return self.params.io_code_bits(self.cluster_size)
+
+    @property
+    def route_count_bits(self) -> int:
+        return self.params.route_count_bits(self.cluster_size)
+
+    @property
+    def raw_sentinel(self) -> int:
+        """Route-count value flagging a raw-coded cluster."""
+        return (1 << self.route_count_bits) - 1
+
+    @property
+    def max_routes(self) -> int:
+        """Largest encodable route count (sentinel excluded)."""
+        return self.raw_sentinel - 1
+
+    @property
+    def logic_bits_per_cluster(self) -> int:
+        return self.cluster_size * self.cluster_size * self.params.nlb
+
+    @property
+    def raw_bits_per_cluster(self) -> int:
+        return self.cluster_size * self.cluster_size * self.params.nraw
+
+    # -- size accounting --------------------------------------------------------------
+
+    @property
+    def header_bits(self) -> int:
+        return 2 * self.dim_bits + self.count_bits
+
+    def smart_record_bits(
+        self, num_pairs: int, present_macros: Optional[int] = None
+    ) -> int:
+        """Payload bits of a connection-list cluster record.
+
+        In compact-logic mode ``present_macros`` (macros with non-zero
+        logic data) determines the logic-field cost: one presence flag per
+        member slot plus NLB bits per present macro.
+        """
+        if self.compact_logic:
+            n = self.cluster_size * self.cluster_size
+            present = n if present_macros is None else present_macros
+            logic_bits = n + present * self.params.nlb
+        else:
+            logic_bits = self.logic_bits_per_cluster
+        return (
+            2 * self.pos_bits
+            + self.route_count_bits
+            + logic_bits
+            + num_pairs * 2 * self.m_bits
+        )
+
+    @property
+    def raw_record_bits(self) -> int:
+        """Payload bits of a raw-fallback cluster record."""
+        return 2 * self.pos_bits + self.route_count_bits + self.raw_bits_per_cluster
+
+    def record_break_even_pairs(self) -> int:
+        """Pairs at which a smart record stops beating the raw record."""
+        budget = self.raw_bits_per_cluster - self.logic_bits_per_cluster
+        return budget // (2 * self.m_bits)
+
+
+@dataclass
+class ClusterRecord:
+    """One listed cluster of a Virtual Bit-Stream."""
+
+    pos: Tuple[int, int]
+    raw: bool
+    logic: Optional[BitArray] = None        # c^2 * NLB bits (smart records)
+    pairs: Optional[List[Tuple[int, int]]] = None
+    raw_frames: Optional[BitArray] = None   # c^2 * Nraw bits (raw records)
+    orders_tried: int = 1
+
+    def validate(self, layout: VbsLayout) -> None:
+        cgw, cgh = layout.cluster_grid
+        cx, cy = self.pos
+        if not (0 <= cx < cgw and 0 <= cy < cgh):
+            raise VbsError(f"cluster position {self.pos} outside grid {cgw}x{cgh}")
+        if self.raw:
+            if self.raw_frames is None or len(self.raw_frames) != layout.raw_bits_per_cluster:
+                raise VbsError(f"raw record at {self.pos} has wrong frame size")
+        else:
+            if self.logic is None or len(self.logic) != layout.logic_bits_per_cluster:
+                raise VbsError(f"record at {self.pos} has wrong logic size")
+            if self.pairs is None:
+                raise VbsError(f"record at {self.pos} missing connection list")
+            if len(self.pairs) > layout.max_routes:
+                raise VbsError(
+                    f"record at {self.pos}: {len(self.pairs)} routes exceed "
+                    f"the {layout.max_routes}-route field"
+                )
+            io_limit = layout.params.cluster_io_count(layout.cluster_size)
+            for a, b in self.pairs:
+                if not (0 <= a < io_limit and 0 <= b < io_limit):
+                    raise VbsError(
+                        f"record at {self.pos}: endpoint ({a},{b}) outside "
+                        f"I/O space [0,{io_limit})"
+                    )
+
+    def present_macros(self, layout: VbsLayout) -> int:
+        """Member macros whose logic-data slice is non-zero."""
+        if self.logic is None:
+            return 0
+        nlb = layout.params.nlb
+        n = layout.cluster_size * layout.cluster_size
+        return sum(
+            1 for k in range(n) if self.logic.slice(k * nlb, nlb).count()
+        )
+
+    def size_bits(self, layout: VbsLayout) -> int:
+        if self.raw:
+            return layout.raw_record_bits
+        return layout.smart_record_bits(
+            len(self.pairs or []), self.present_macros(layout)
+        )

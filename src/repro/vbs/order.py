@@ -1,0 +1,119 @@
+"""Connection-list ordering strategies for the encoder feedback loop.
+
+"Because of the stateful nature of the decoding algorithm, the order of the
+connections in the connection list of each macro has an important impact on
+the success of finding a valid routing online.  As such, if a generated VBS
+is proven non-routable by the feedback loop, the connections are re-ordered
+to find a non ambiguous order." (Section III-B)
+
+The encoder tries the orders produced here one after another until the
+de-virtualization router succeeds; exhausting them triggers the raw-coding
+fallback.  Heuristics are ordered from most to least likely to succeed on
+congested clusters:
+
+1. the natural source-to-sink DFS order of extraction;
+2. through-routes first (boundary-to-boundary connections are the most
+   constrained: both endpoints are pinned wire stubs);
+3. longest connections first (geometric distance between endpoints);
+4. shortest first;
+5. rotations of the DFS order;
+6. bounded deterministic shuffles.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.arch.macro import ClusterModel
+from repro.utils.rng import make_rng
+
+Pair = Tuple[int, int]
+
+
+def _io_position(model: ClusterModel, io: int) -> Tuple[float, float]:
+    """Approximate planar position of an I/O for distance heuristics."""
+    c, W, L = model.c, model.W, model.L
+    side = c * W
+    span = float(max(1, c))
+    if io < side:  # WEST
+        return (0.0, (io // W) + 0.5)
+    io -= side
+    if io < side:  # EAST
+        return (span, (io // W) + 0.5)
+    io -= side
+    if io < side:  # SOUTH
+        return ((io // W) + 0.5, 0.0)
+    io -= side
+    if io < side:  # NORTH
+        return ((io // W) + 0.5, span)
+    io -= side
+    cell = io // L
+    j, i = divmod(cell, c)
+    return (i + 0.5, j + 0.5)
+
+
+def _is_boundary(model: ClusterModel, io: int) -> bool:
+    return io < 4 * model.c * model.W
+
+
+def pair_distance(model: ClusterModel, pair: Pair) -> float:
+    ax, ay = _io_position(model, pair[0])
+    bx, by = _io_position(model, pair[1])
+    return abs(ax - bx) + abs(ay - by)
+
+
+def candidate_orders(
+    pairs: Sequence[Pair],
+    model: ClusterModel,
+    max_orders: int = 12,
+    seed: int = 0,
+) -> Iterator[List[Pair]]:
+    """Yield up to ``max_orders`` distinct orderings of ``pairs``."""
+    if max_orders < 1:
+        return
+    base = list(pairs)
+    emitted = 0
+    seen = set()
+
+    def emit(order: List[Pair]) -> Iterator[List[Pair]]:
+        nonlocal emitted
+        key = tuple(order)
+        if key not in seen and emitted < max_orders:
+            seen.add(key)
+            emitted += 1
+            yield order
+
+    yield from emit(base)
+
+    def boundary_rank(pair: Pair) -> Tuple[int, float]:
+        both = _is_boundary(model, pair[0]) and _is_boundary(model, pair[1])
+        one = _is_boundary(model, pair[0]) or _is_boundary(model, pair[1])
+        rank = 0 if both else (1 if one else 2)
+        return (rank, -pair_distance(model, pair))
+
+    def pin_rank(pair: Pair) -> Tuple[int, float]:
+        # Pin-touching connections first: their lines are the scarcest
+        # resource a stray dogleg can steal.
+        pins = sum(0 if _is_boundary(model, io) else 1 for io in pair)
+        return (-pins, -pair_distance(model, pair))
+
+    yield from emit(sorted(base, key=lambda p: (pin_rank(p), p)))
+    yield from emit(sorted(base, key=lambda p: (boundary_rank(p), p)))
+    yield from emit(
+        sorted(base, key=lambda p: (-pair_distance(model, p), p))
+    )
+    yield from emit(sorted(base, key=lambda p: (pair_distance(model, p), p)))
+
+    for shift in range(1, len(base)):
+        if emitted >= max_orders:
+            return
+        yield from emit(base[shift:] + base[:shift])
+
+    rng = make_rng(seed, salt=len(base))
+    while emitted < max_orders:
+        shuffled = base[:]
+        rng.shuffle(shuffled)
+        before = emitted
+        yield from emit(shuffled)
+        if emitted == before:  # duplicate shuffle; avoid spinning forever
+            break

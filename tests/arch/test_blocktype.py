@@ -1,0 +1,82 @@
+"""Block types and their logic-data codecs."""
+
+import pytest
+
+from repro.arch import (
+    ArchParams,
+    decode_clb_config,
+    decode_iob_config,
+    encode_clb_config,
+    encode_iob_config,
+    make_clb_type,
+    make_iob_type,
+)
+from repro.arch.blocktype import DIR_IN, DIR_OUT, IOB_PAD_PORTS, PortDef, BlockType
+from repro.errors import ArchitectureError
+
+
+class TestBlockTypes:
+    def test_clb_ports(self, params5):
+        clb = make_clb_type(params5)
+        assert len(clb.input_ports()) == 6
+        assert len(clb.output_ports()) == 1
+        assert clb.port("out").macro_pin == 6
+        assert clb.port("in3").macro_pin == 3
+
+    def test_iob_pads_on_distinct_pins(self, params5):
+        iob = make_iob_type(params5)
+        pins = {p.macro_pin for p in iob.ports}
+        assert len(pins) == 4
+        assert iob.capacity == 2
+        # Pads drive through different channels (pin 6 on ChanX, 5 on ChanY).
+        assert iob.port(IOB_PAD_PORTS[0]["o"]).macro_pin in params5.chanx_pins
+        assert iob.port(IOB_PAD_PORTS[1]["o"]).macro_pin in params5.chany_pins
+
+    def test_unknown_port_rejected(self, params5):
+        clb = make_clb_type(params5)
+        with pytest.raises(ArchitectureError):
+            clb.port("nope")
+
+    def test_duplicate_port_name_rejected(self):
+        with pytest.raises(ArchitectureError):
+            BlockType("bad", (PortDef("a", 0, DIR_IN), PortDef("a", 1, DIR_OUT)))
+
+    def test_shared_macro_pin_rejected(self):
+        with pytest.raises(ArchitectureError):
+            BlockType("bad", (PortDef("a", 0, DIR_IN), PortDef("b", 0, DIR_OUT)))
+
+    def test_bad_direction_rejected(self):
+        with pytest.raises(ArchitectureError):
+            PortDef("a", 0, "sideways")
+
+
+class TestConfigCodecs:
+    def test_clb_roundtrip(self, params5):
+        tt = 0x123456789ABCDEF0
+        bits = encode_clb_config(params5, tt, True)
+        assert len(bits) == params5.nlb
+        assert decode_clb_config(params5, bits) == (tt, True)
+
+    def test_clb_ff_bit_position(self, params5):
+        bits = encode_clb_config(params5, 0, True)
+        assert bits.count() == 1
+        assert bits[2 ** params5.lut_size] == 1
+
+    def test_clb_rejects_oversized_table(self, params5):
+        with pytest.raises(ArchitectureError):
+            encode_clb_config(params5, 1 << 64, False)
+
+    def test_iob_roundtrip(self, params5):
+        bits = encode_iob_config(params5, (True, False), (False, True))
+        assert len(bits) == params5.nlb
+        out_en, in_en = decode_iob_config(params5, bits)
+        assert out_en == (True, False)
+        assert in_en == (False, True)
+
+    def test_decode_length_checked(self, params5):
+        from repro.utils.bitarray import BitArray
+
+        with pytest.raises(ArchitectureError):
+            decode_clb_config(params5, BitArray(3))
+        with pytest.raises(ArchitectureError):
+            decode_iob_config(params5, BitArray(3))

@@ -1,0 +1,101 @@
+"""Fabric grid and track-level routing resource graph."""
+
+import pytest
+
+from repro.arch import (
+    ArchParams,
+    FabricArch,
+    RoutingGraph,
+    KIND_LINE,
+    KIND_XTRK,
+    KIND_YTRK,
+)
+from repro.errors import ArchitectureError
+
+
+class TestFabricArch:
+    def test_island_layout(self, params5):
+        fabric = FabricArch.island(params5, 4)
+        assert fabric.width == fabric.height == 6
+        assert len(fabric.cells_of_type("clb")) == 16
+        assert len(fabric.cells_of_type("iob")) == 36 - 16
+        assert fabric.type_name_at(0, 0) == "iob"
+        assert fabric.type_name_at(2, 3) == "clb"
+
+    def test_site_count_uses_capacity(self, params5):
+        fabric = FabricArch.island(params5, 3)
+        assert fabric.site_count("iob") == 2 * len(fabric.cells_of_type("iob"))
+        assert fabric.site_count("clb") == 9
+
+    def test_out_of_range_cell(self, params5):
+        fabric = FabricArch.island(params5, 2)
+        with pytest.raises(ArchitectureError):
+            fabric.type_name_at(9, 0)
+
+    def test_global_segment_stub_canonicalization(self, params5):
+        fabric = FabricArch.island(params5, 3)
+        nx = len(params5.chanx_pins)
+        # Interior stub: belongs to the west neighbour's wire.
+        assert fabric.global_segment(2, 1, ("sbw", 0)) == ("tx", 1, 1, 0, nx)
+        # Fabric-edge stub: dangling wire keeps its own name.
+        assert fabric.global_segment(0, 1, ("sbw", 0)) == ("sbw", 0, 1, 0)
+
+    def test_rejects_unknown_type(self, params5):
+        with pytest.raises(ArchitectureError):
+            FabricArch(params5, 2, 2, {(0, 0): "dsp"})
+
+    def test_rejects_out_of_grid_mapping(self, params5):
+        with pytest.raises(ArchitectureError):
+            FabricArch(params5, 2, 2, {(5, 0): "clb"})
+
+
+class TestRoutingGraph:
+    @pytest.fixture(scope="class")
+    def rrg(self, params5):
+        return RoutingGraph(FabricArch.island(params5, 3))
+
+    def test_node_count(self, rrg, params5):
+        per_cell = 2 * params5.channel_width + params5.num_lb_pins
+        assert rrg.num_nodes == 25 * per_cell
+
+    def test_node_id_roundtrip(self, rrg):
+        for (x, y, t) in [(0, 0, 0), (2, 3, 4), (4, 4, 1)]:
+            node = rrg.xtrk(x, y, t)
+            assert rrg.node_cell(node) == (x, y)
+            assert rrg.node_kind(node) == (KIND_XTRK, t)
+        node = rrg.ytrk(1, 2, 3)
+        assert rrg.node_kind(node) == (KIND_YTRK, 3)
+        node = rrg.line(3, 1, 6)
+        assert rrg.node_kind(node) == (KIND_LINE, 6)
+
+    def test_adjacency_symmetric(self, rrg):
+        for a in range(0, rrg.num_nodes, 7):  # sampled
+            for b in rrg.neighbors(a):
+                assert a in rrg.neighbors(int(b))
+
+    def test_connection_box_edges(self, rrg, params5):
+        # A ChanX pin line touches every ChanX track of its cell.
+        ln = rrg.line(2, 2, params5.chanx_pins[0])
+        nbrs = set(int(n) for n in rrg.neighbors(ln))
+        assert {rrg.xtrk(2, 2, t) for t in range(5)} <= nbrs
+        # ...and no ChanY track.
+        assert not ({rrg.ytrk(2, 2, t) for t in range(5)} & nbrs)
+
+    def test_switch_box_disjoint(self, rrg):
+        # SB(2,2) joins only same-index tracks of the four sides.
+        a = rrg.xtrk(1, 2, 3)  # west wire, track 3
+        nbrs = set(int(n) for n in rrg.neighbors(a))
+        assert rrg.xtrk(2, 2, 3) in nbrs
+        assert rrg.ytrk(2, 2, 3) in nbrs
+        assert rrg.ytrk(2, 1, 3) in nbrs
+        assert rrg.xtrk(2, 2, 2) not in nbrs  # different track index
+
+    def test_edge_of_fabric_degree(self, rrg):
+        # A corner cell's wires have fewer switch-box partners.
+        corner = rrg.xtrk(0, 0, 0)
+        interior = rrg.xtrk(2, 2, 0)
+        assert rrg.degree(corner) < rrg.degree(interior)
+
+    def test_node_str_readable(self, rrg):
+        assert rrg.node_str(rrg.xtrk(1, 2, 3)) == "XTRK(1,2,3)"
+        assert rrg.node_str(rrg.line(0, 0, 6)) == "LINE(0,0,6)"

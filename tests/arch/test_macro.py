@@ -1,0 +1,139 @@
+"""The junction-level macro/cluster model: layout, adjacency, I/O numbering."""
+
+import pytest
+
+from repro.arch import ArchParams, get_cluster_model
+from repro.arch.macro import (
+    ClusterModel,
+    iter_macro_junctions,
+    junction_pair_offset,
+)
+from repro.errors import ArchitectureError
+
+
+class TestJunctionLayout:
+    def test_total_bits_equal_eq1_routing_bits(self, params5):
+        total = sum(
+            len(ends) * (len(ends) - 1) // 2
+            for _off, ends in iter_macro_junctions(params5)
+        )
+        assert total == params5.routing_bits
+
+    def test_offsets_contiguous(self, params5):
+        expected = 0
+        for off, ends in iter_macro_junctions(params5):
+            assert off == expected
+            expected += len(ends) * (len(ends) - 1) // 2
+
+    def test_junction_counts(self, params5):
+        junctions = list(iter_macro_junctions(params5))
+        # W switch-box points + L lines x W crossings.
+        assert len(junctions) == 5 + 7 * 5
+        four_way = sum(1 for _o, e in junctions if len(e) == 4)
+        three_way = sum(1 for _o, e in junctions if len(e) == 3)
+        assert four_way == params5.ns + params5.nc_plus
+        assert three_way == params5.nct
+
+    def test_pair_offset_enumeration(self):
+        assert junction_pair_offset(4, 0, 1) == 0
+        assert junction_pair_offset(4, 0, 3) == 2
+        assert junction_pair_offset(4, 1, 2) == 3
+        assert junction_pair_offset(4, 2, 3) == 5
+        assert junction_pair_offset(3, 1, 2) == 2
+
+    def test_pair_offset_validation(self):
+        with pytest.raises(ArchitectureError):
+            junction_pair_offset(4, 2, 2)
+        with pytest.raises(ArchitectureError):
+            junction_pair_offset(3, 0, 3)
+
+
+class TestMacroModel:
+    def test_switch_count_matches_eq1(self, params5):
+        model = get_cluster_model(params5, 1)
+        assert model.num_switches == params5.routing_bits
+
+    def test_io_numbering_paper_order(self, params5):
+        model = get_cluster_model(params5, 1)
+        W = 5
+        assert model.io_count == 4 * W + 7
+        assert model.null_io == 27
+        # WEST tracks, EAST tracks, SOUTH, NORTH, then pins.
+        assert model.io_name(0).startswith("WEST")
+        assert model.io_name(W).startswith("EAST")
+        assert model.io_name(2 * W).startswith("SOUTH")
+        assert model.io_name(3 * W).startswith("NORTH")
+        assert model.io_name(4 * W).startswith("PIN")
+        assert model.io_name(model.null_io) == "NULL"
+
+    def test_io_segments_unique(self, params5):
+        model = get_cluster_model(params5, 1)
+        assert len(set(model.io_to_seg)) == model.io_count
+
+    def test_adjacency_symmetric(self, params5):
+        model = get_cluster_model(params5, 1)
+        for seg, nbrs in enumerate(model.adjacency):
+            for nbr, sw in nbrs:
+                assert (seg, sw) in model.adjacency[nbr]
+
+    def test_terminal_segments_are_io_segments(self, params5):
+        model = get_cluster_model(params5, 1)
+        assert model.terminal_segs == frozenset(model.io_to_seg)
+
+    def test_pin_line_segments_reach_pin(self, params5):
+        model = get_cluster_model(params5, 1)
+        for p in range(7):
+            io = 4 * 5 + p
+            segs = model.pin_line_segments(io)
+            assert len(segs) == 5  # W segments per line
+            assert segs[0] == model.io_to_seg[io]  # segment 0 is the pin
+
+    def test_pin_io_fields_roundtrip(self, params5):
+        model = get_cluster_model(params5, 2)
+        for io in range(4 * 2 * 5, model.io_count):
+            i, j, p = model.pin_io_fields(io)
+            from repro.vbs.extract import pin_io as vbs_pin_io
+            # Reconstruct through the extraction-side formula.
+            from repro.vbs.format import VbsLayout
+            layout = VbsLayout(params5, 2, 4, 4)
+            assert vbs_pin_io(layout, i, j, p) == io
+
+    def test_pin_io_fields_rejects_boundary(self, params5):
+        model = get_cluster_model(params5, 1)
+        with pytest.raises(ArchitectureError):
+            model.pin_io_fields(3)
+
+
+class TestClusterComposition:
+    def test_cluster_switch_count_scales(self, params5):
+        for c in (1, 2, 3):
+            model = get_cluster_model(params5, c)
+            assert model.num_switches == c * c * params5.routing_bits
+
+    def test_internal_boundary_merging(self, params5):
+        model = ClusterModel(params5, 2)
+        # Macro (1,0)'s west switch-box stub is macro (0,0)'s outermost
+        # ChanX segment: the canonical key must collapse them.
+        nx = len(params5.chanx_pins)
+        assert model.canonical(1, 0, ("sbw", 2)) == (0, 0, ("tx", 2, nx))
+        ny = len(params5.chany_pins)
+        assert model.canonical(0, 1, ("sbs", 4)) == (0, 0, ("ty", 4, ny))
+
+    def test_cluster_io_count(self, params5):
+        model = get_cluster_model(params5, 3)
+        assert model.io_count == params5.cluster_io_count(3)
+
+    def test_interior_crossings_not_terminal(self, params5):
+        model = get_cluster_model(params5, 2)
+        nx = len(params5.chanx_pins)
+        interior = model.seg_ids[(0, 0, ("tx", 0, nx))]
+        # The wire crossing between cluster members is NOT a cluster
+        # boundary: routes may pass through it freely.
+        assert interior not in model.terminal_segs
+
+    def test_cached_factory_identity(self, params5):
+        assert get_cluster_model(params5, 2) is get_cluster_model(params5, 2)
+
+    def test_rejects_bad_cluster_size(self, params5):
+        with pytest.raises(ArchitectureError):
+            ClusterModel(params5, 0)

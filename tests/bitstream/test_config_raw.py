@@ -1,0 +1,109 @@
+"""FabricConfig and the raw bitstream format."""
+
+import pytest
+
+from repro.bitstream import FabricConfig, RawBitstream
+from repro.errors import BitstreamError
+from repro.utils.bitarray import BitArray
+from repro.utils.geometry import Rect
+
+
+class TestFabricConfig:
+    def test_empty_by_default(self, params5):
+        cfg = FabricConfig(params5, Rect(0, 0, 3, 3))
+        assert cfg.is_empty_macro(1, 1)
+        assert cfg.occupied_cells() == set()
+
+    def test_logic_size_enforced(self, params5):
+        cfg = FabricConfig(params5, Rect(0, 0, 2, 2))
+        with pytest.raises(BitstreamError):
+            cfg.set_logic(0, 0, BitArray(7))
+
+    def test_switch_offset_bounds(self, params5):
+        cfg = FabricConfig(params5, Rect(0, 0, 2, 2))
+        cfg.close_switch(0, 0, 0)
+        cfg.close_switch(0, 0, params5.routing_bits - 1)
+        with pytest.raises(BitstreamError):
+            cfg.close_switch(0, 0, params5.routing_bits)
+
+    def test_region_bounds(self, params5):
+        cfg = FabricConfig(params5, Rect(1, 1, 2, 2))
+        with pytest.raises(BitstreamError):
+            cfg.close_switch(0, 0, 0)
+        cfg.close_switch(2, 2, 5)  # inside
+
+    def test_macro_frame_layout(self, params5):
+        cfg = FabricConfig(params5, Rect(0, 0, 1, 1))
+        logic = BitArray(params5.nlb)
+        logic[0] = 1
+        cfg.set_logic(0, 0, logic)
+        cfg.close_switch(0, 0, 3)
+        frame = cfg.macro_frame(0, 0)
+        assert len(frame) == params5.nraw
+        assert frame[0] == 1
+        assert frame[params5.nlb + 3] == 1
+        assert frame.count() == 2
+
+    def test_translated_preserves_content(self, params5):
+        cfg = FabricConfig(params5, Rect(0, 0, 2, 2))
+        cfg.close_switch(1, 0, 9)
+        moved = cfg.translated(3, 4)
+        assert moved.region == Rect(3, 4, 2, 2)
+        assert 9 in moved.closed[(4, 4)]
+        assert cfg.content_equal(moved)
+
+    def test_content_equal_detects_difference(self, params5):
+        a = FabricConfig(params5, Rect(0, 0, 2, 2))
+        b = FabricConfig(params5, Rect(0, 0, 2, 2))
+        a.close_switch(0, 0, 1)
+        assert not a.content_equal(b)
+        b.close_switch(0, 0, 1)
+        assert a.content_equal(b)
+
+    def test_zero_logic_is_empty(self, params5):
+        cfg = FabricConfig(params5, Rect(0, 0, 1, 1))
+        cfg.set_logic(0, 0, BitArray(params5.nlb))
+        assert cfg.is_empty_macro(0, 0)
+
+
+class TestRawBitstream:
+    def test_size_formula(self, params5):
+        # Figure 4 baseline: w * h * Nraw.
+        assert RawBitstream.size_for(params5, 10, 10) == 100 * 284
+
+    def test_from_config_roundtrip(self, tiny_config):
+        raw = RawBitstream.from_config(tiny_config)
+        assert raw.size_bits == (
+            tiny_config.region.w * tiny_config.region.h
+            * tiny_config.params.nraw
+        )
+        back = raw.to_config()
+        assert tiny_config.content_equal(back)
+
+    def test_frame_access(self, tiny_config):
+        raw = RawBitstream.from_config(tiny_config)
+        x, y = sorted(tiny_config.occupied_cells())[0]
+        assert raw.frame(x, y) == tiny_config.macro_frame(x, y)
+
+    def test_set_frame(self, params5):
+        raw = RawBitstream(params5, 2, 2, BitArray(4 * params5.nraw))
+        frame = BitArray(params5.nraw)
+        frame[0] = 1
+        raw.set_frame(1, 1, frame)
+        assert raw.frame(1, 1)[0] == 1
+        assert raw.frame(0, 0).count() == 0
+
+    def test_wrong_length_rejected(self, params5):
+        with pytest.raises(BitstreamError):
+            RawBitstream(params5, 2, 2, BitArray(7))
+
+    def test_frame_bounds(self, params5):
+        raw = RawBitstream(params5, 2, 2, BitArray(4 * params5.nraw))
+        with pytest.raises(BitstreamError):
+            raw.frame(2, 0)
+
+    def test_to_config_at_origin(self, tiny_config):
+        raw = RawBitstream.from_config(tiny_config)
+        moved = raw.to_config(origin=(5, 6))
+        assert moved.region.x == 5 and moved.region.y == 6
+        assert tiny_config.content_equal(moved)

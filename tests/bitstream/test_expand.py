@@ -1,0 +1,81 @@
+"""Track-to-junction expansion invariants."""
+
+import pytest
+
+from repro.bitstream import expand_routing
+from repro.bitstream.expand import edge_junction_cell, wire_sb_cells
+from repro.fabric import verify_connectivity
+
+
+class TestHelpers:
+    def test_wire_sb_cells(self, tiny_flow):
+        rrg = tiny_flow.rrg
+        cells = wire_sb_cells(rrg, rrg.xtrk(1, 1, 0))
+        assert cells == [(1, 1), (2, 1)]
+        cells = wire_sb_cells(rrg, rrg.ytrk(2, 1, 3))
+        assert cells == [(2, 1), (2, 2)]
+
+    def test_wire_sb_cells_fabric_edge(self, tiny_flow):
+        rrg = tiny_flow.rrg
+        w = rrg.fabric.width
+        cells = wire_sb_cells(rrg, rrg.xtrk(w - 1, 0, 0))
+        assert cells == [(w - 1, 0)]
+
+    def test_edge_junction_line(self, tiny_flow):
+        rrg = tiny_flow.rrg
+        ln = rrg.line(2, 2, 0)
+        trk = rrg.xtrk(2, 2, 1)
+        assert edge_junction_cell(rrg, ln, trk) == (2, 2)
+
+    def test_edge_junction_sb(self, tiny_flow):
+        rrg = tiny_flow.rrg
+        a = rrg.xtrk(1, 2, 3)
+        b = rrg.xtrk(2, 2, 3)
+        assert edge_junction_cell(rrg, a, b) == (2, 2)
+        c = rrg.ytrk(2, 1, 3)
+        assert edge_junction_cell(rrg, b, c) == (2, 2)
+
+    def test_pin_lines_have_no_sb(self, tiny_flow):
+        from repro.errors import BitstreamError
+
+        rrg = tiny_flow.rrg
+        with pytest.raises(BitstreamError):
+            wire_sb_cells(rrg, rrg.line(0, 0, 0))
+
+
+class TestExpansion:
+    def test_connectivity_realized(self, tiny_flow, tiny_config):
+        verify_connectivity(
+            tiny_flow.design, tiny_flow.placement, tiny_config, tiny_flow.fabric
+        )
+
+    def test_larger_design_connectivity(self, small_flow, small_config):
+        verify_connectivity(
+            small_flow.design,
+            small_flow.placement,
+            small_config,
+            small_flow.fabric,
+        )
+
+    def test_logic_installed_for_all_blocks(self, small_flow, small_config):
+        for clb in small_flow.design.clbs:
+            x, y, _ = small_flow.placement.site_of(clb.name)
+            assert (x, y) in small_config.logic
+
+    def test_switches_only_where_nets_run(self, small_flow, small_config):
+        # Macros far from any routed net must stay empty.
+        used = set(small_config.closed)
+        assert used, "expansion produced no switches at all"
+        all_cells = {
+            (p.x, p.y) for p in small_flow.fabric.cells()
+        }
+        assert used < all_cells
+
+    def test_expansion_deterministic(self, small_flow, small_config):
+        again = expand_routing(
+            small_flow.design,
+            small_flow.placement,
+            small_flow.routing,
+            small_flow.rrg,
+        )
+        assert small_config.content_equal(again)

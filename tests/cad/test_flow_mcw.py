@@ -1,0 +1,97 @@
+"""Flow driver and minimum-channel-width search."""
+
+import pytest
+
+from repro.arch import ArchParams
+from repro.cad import find_mcw, required_logic_size, required_pad_ring, run_flow
+from repro.errors import PlacementError
+from repro.netlist import CircuitSpec, generate_circuit
+
+
+class TestSizing:
+    def test_required_logic_size(self):
+        assert required_logic_size(1) == 1
+        assert required_logic_size(16) == 4
+        assert required_logic_size(17) == 5
+        assert required_logic_size(1173) == 35  # alu4, Table II
+
+    def test_required_pad_ring(self):
+        # 4n + 4 ring cells, 2 pads each.
+        assert required_pad_ring(8) == 1
+        assert required_pad_ring(40) == 4
+        assert required_pad_ring(41) == 5
+
+
+class TestFlow:
+    def test_flow_summary(self, small_flow):
+        s = small_flow.summary()
+        assert "60 CLBs" in s and "routed" in s
+
+    def test_flow_respects_logic_size(self, params8):
+        netlist = generate_circuit(CircuitSpec("f1", 12, 6, 4))
+        flow = run_flow(netlist, params8, logic_size=9, seed=1)
+        assert flow.fabric.width == 11
+
+    def test_flow_rejects_small_grid(self, params8):
+        netlist = generate_circuit(CircuitSpec("f2", 30, 6, 4))
+        with pytest.raises(PlacementError):
+            run_flow(netlist, params8, logic_size=3, seed=1)
+
+    def test_flow_maps_wide_luts(self, params8):
+        # A netlist with an 8-input function must be legalized in-flow.
+        import random
+        from repro.netlist import Lut, Netlist
+
+        ins = tuple(f"a{i}" for i in range(8))
+        n = Netlist("wide", list(ins), ["z"],
+                    [Lut("g", ins, "z", random.Random(0).randrange(1 << 256))])
+        flow = run_flow(n, params8, seed=1)
+        assert flow.design.num_clbs >= 3  # decomposed into several LUTs
+
+
+class TestMcw:
+    @pytest.fixture(scope="class")
+    def flow(self, params8):
+        netlist = generate_circuit(
+            CircuitSpec("mcw", n_luts=25, n_inputs=8, n_outputs=6)
+        )
+        return run_flow(netlist, params8, seed=2)
+
+    def test_mcw_found_and_minimal(self, flow):
+        result = find_mcw(
+            flow.design, flow.fabric, placement=flow.placement, w_max=16,
+            max_iterations=12,
+        )
+        assert 2 <= result.mcw <= 16
+        assert result.attempts[result.mcw] is True
+        if result.mcw - 1 in result.attempts:
+            assert result.attempts[result.mcw - 1] is False
+
+    def test_mcw_routing_returned_at_mcw(self, flow):
+        result = find_mcw(
+            flow.design, flow.fabric, placement=flow.placement, w_max=16,
+            max_iterations=12,
+        )
+        assert result.routing.channel_width == result.mcw
+
+    def test_impossible_raises(self, flow):
+        from repro.errors import UnroutableError
+
+        with pytest.raises(UnroutableError):
+            find_mcw(flow.design, flow.fabric, placement=flow.placement,
+                     w_max=2, max_iterations=3)
+
+
+class TestAnalysis:
+    def test_routing_report(self, small_flow):
+        from repro.cad import analyze_routing
+
+        rep = analyze_routing(small_flow.rrg, small_flow.routing)
+        assert 0 < rep.track_utilization < 1
+        assert rep.total_wirelength == small_flow.routing.total_wirelength
+        assert rep.densest_cells(3)
+
+    def test_logic_depth(self, small_netlist):
+        from repro.cad import logic_depth
+
+        assert logic_depth(small_netlist) >= 1

@@ -1,0 +1,104 @@
+"""Packing LUTs and latches into logic blocks."""
+
+import pytest
+
+from repro.errors import PackError
+from repro.netlist import Latch, Lut, Netlist
+from repro.cad import pack
+
+
+def _simple() -> Netlist:
+    return Netlist(
+        "s", ["a", "b"], ["z"],
+        [Lut("g", ("a", "b"), "z", 0b0110)],
+    )
+
+
+class TestPack:
+    def test_simple_lut(self):
+        d = pack(_simple(), 6)
+        assert d.num_clbs == 1
+        clb = d.clbs[0]
+        assert clb.inputs[:2] == ("a", "b")
+        assert clb.inputs[2:] == (None,) * 4
+        assert not clb.use_ff
+        assert clb.output == "z"
+
+    def test_truth_table_widened_dont_care(self):
+        d = pack(_simple(), 6)
+        tt = d.clbs[0].truth_table
+        # With extra inputs at any value, rows repeat the 2-input xor.
+        for idx in range(64):
+            assert (tt >> idx) & 1 == [0, 1, 1, 0][idx & 3]
+
+    def test_latch_absorbed_into_driver(self):
+        n = Netlist(
+            "seq", ["a"], ["q"],
+            [Lut("g", ("a",), "d", 0b10)],
+            [Latch("ff", "d", "q")],
+        )
+        d = pack(n, 6)
+        assert d.num_clbs == 1
+        assert d.clbs[0].use_ff
+        assert d.clbs[0].output == "q"
+        assert "d" not in d.nets  # internal net disappeared
+
+    def test_multi_fanout_latch_not_absorbed(self):
+        # d drives both the latch and an output: needs a pass-through block.
+        n = Netlist(
+            "seq2", ["a"], ["q", "d"],
+            [Lut("g", ("a",), "d", 0b10)],
+            [Latch("ff", "d", "q")],
+        )
+        d = pack(n, 6)
+        assert d.num_clbs == 2
+        ff_blocks = [c for c in d.clbs if c.use_ff]
+        assert len(ff_blocks) == 1
+        assert ff_blocks[0].inputs[0] == "d"
+
+    def test_latch_from_pi_gets_passthrough(self):
+        n = Netlist("seq3", ["d"], ["q"], [], [Latch("ff", "d", "q")])
+        d = pack(n, 6)
+        assert d.num_clbs == 1
+        clb = d.clbs[0]
+        assert clb.use_ff and clb.inputs[0] == "d"
+        # The pass-through LUT is identity on in0.
+        assert (clb.truth_table >> 1) & 1 == 1
+        assert clb.truth_table & 1 == 0
+
+    def test_pads_created(self):
+        d = pack(_simple(), 6)
+        assert d.num_pads == 3
+        in_pads = [p for p in d.pads if p.drives_fabric]
+        assert {p.net for p in in_pads} == {"a", "b"}
+
+    def test_nets_have_driver_and_sinks(self):
+        d = pack(_simple(), 6)
+        z = d.nets["z"]
+        assert z.driver == ("clb_g", "out")
+        assert ("opad_z", "i") in z.sinks
+        a = d.nets["a"]
+        assert a.driver == ("ipad_a", "o")
+        assert ("clb_g", "in0") in a.sinks
+
+    def test_po_also_feeding_logic(self):
+        n = Netlist(
+            "ff2", ["a"], ["z", "w"],
+            [Lut("g", ("a",), "z", 0b10), Lut("h", ("z",), "w", 0b01)],
+        )
+        d = pack(n, 6)
+        z = d.nets["z"]
+        assert len(z.sinks) == 2  # output pad + LUT h
+
+    def test_oversized_lut_rejected(self):
+        n = Netlist(
+            "big", [f"a{i}" for i in range(7)], ["z"],
+            [Lut("g", tuple(f"a{i}" for i in range(7)), "z", 1)],
+        )
+        with pytest.raises(PackError):
+            pack(n, 6)
+
+    def test_stats(self, small_flow):
+        stats = small_flow.design.stats()
+        assert stats["clbs"] == 60
+        assert stats["ffs"] == 12

@@ -1,0 +1,79 @@
+"""Simulated-annealing placement."""
+
+import pytest
+
+from repro.arch import ArchParams, FabricArch
+from repro.cad import pack, place
+from repro.errors import PlacementError
+from repro.netlist import CircuitSpec, generate_circuit
+
+
+@pytest.fixture(scope="module")
+def design():
+    return pack(
+        generate_circuit(CircuitSpec("pl", n_luts=30, n_inputs=8, n_outputs=6)),
+        6,
+    )
+
+
+@pytest.fixture(scope="module")
+def fabric(params8):
+    return FabricArch.island(params8, 7)
+
+
+class TestPlacement:
+    def test_all_instances_placed(self, design, fabric):
+        pl = place(design, fabric, seed=1)
+        assert len(pl.locations) == design.num_clbs + design.num_pads
+
+    def test_clbs_on_logic_cells_pads_on_ring(self, design, fabric):
+        pl = place(design, fabric, seed=1)
+        for clb in design.clbs:
+            x, y, sub = pl.site_of(clb.name)
+            assert fabric.type_name_at(x, y) == "clb" and sub == 0
+        for pad in design.pads:
+            x, y, sub = pl.site_of(pad.name)
+            assert fabric.type_name_at(x, y) == "iob" and sub in (0, 1)
+
+    def test_no_site_shared(self, design, fabric):
+        pl = place(design, fabric, seed=2)
+        sites = list(pl.locations.values())
+        assert len(sites) == len(set(sites))
+
+    def test_deterministic(self, design, fabric):
+        a = place(design, fabric, seed=5)
+        b = place(design, fabric, seed=5)
+        assert a.locations == b.locations
+
+    def test_seed_changes_result(self, design, fabric):
+        a = place(design, fabric, seed=1)
+        b = place(design, fabric, seed=2)
+        assert a.locations != b.locations
+
+    def test_annealing_beats_random(self, design, fabric):
+        # The final cost must improve substantially on the initial random
+        # placement (compare against a fresh random assignment's HPWL).
+        from repro.cad.place import _Annealer
+
+        eng = _Annealer(design, fabric, seed=3)
+        eng._initial_place()
+        random_cost = eng.total_cost()
+        pl = place(design, fabric, seed=3)
+        assert pl.hpwl() < 0.7 * random_cost
+
+    def test_cost_tracks_hpwl(self, design, fabric):
+        pl = place(design, fabric, seed=4)
+        assert pl.cost == pytest.approx(pl.hpwl(), rel=1e-9)
+
+    def test_too_many_blocks_rejected(self, params8):
+        big = pack(
+            generate_circuit(CircuitSpec("big", 30, 6, 4)), 6
+        )
+        tiny_fabric = FabricArch.island(params8, 3)  # 9 logic sites
+        with pytest.raises(PlacementError):
+            place(big, tiny_fabric, seed=1)
+
+    def test_unplaced_instance_query(self, design, fabric):
+        pl = place(design, fabric, seed=1)
+        with pytest.raises(PlacementError):
+            pl.site_of("nonexistent")

@@ -1,0 +1,100 @@
+"""PathFinder routing: legality, determinism, congestion negotiation."""
+
+import pytest
+
+from repro.arch import ArchParams, FabricArch, RoutingGraph
+from repro.cad import pack, place, route_design
+from repro.cad.route import PathFinderRouter, net_terminals
+from repro.errors import UnroutableError
+from repro.netlist import CircuitSpec, generate_circuit
+
+
+@pytest.fixture(scope="module")
+def routed(params8):
+    netlist = generate_circuit(
+        CircuitSpec("rt", n_luts=40, n_inputs=8, n_outputs=6)
+    )
+    design = pack(netlist, 6)
+    fabric = FabricArch.island(params8, 8)
+    placement = place(design, fabric, seed=7)
+    rrg = RoutingGraph(fabric)
+    terminals = net_terminals(design, placement, rrg)
+    routing = PathFinderRouter(rrg).route(terminals)
+    return design, placement, rrg, terminals, routing
+
+
+class TestRouting:
+    def test_every_net_routed(self, routed):
+        design, _pl, _rrg, terminals, routing = routed
+        assert set(routing.trees) == set(terminals)
+
+    def test_trees_are_trees(self, routed):
+        *_rest, routing = routed
+        for tree in routing.trees.values():
+            # parent map: every non-source node has exactly one parent and
+            # walking up always reaches the source.
+            for node in tree.parent:
+                cur, hops = node, 0
+                while cur != tree.source:
+                    cur = tree.parent[cur]
+                    hops += 1
+                    assert hops <= len(tree.parent) + 1
+
+    def test_sinks_in_tree(self, routed):
+        *_rest, routing = routed
+        for tree in routing.trees.values():
+            nodes = set(tree.nodes)
+            assert set(tree.sinks) <= nodes
+
+    def test_exclusive_occupancy(self, routed):
+        *_rest, routing = routed
+        seen = {}
+        for name, tree in routing.trees.items():
+            for node in tree.nodes:
+                assert node not in seen, (
+                    f"node shared by {seen.get(node)} and {name}"
+                )
+                seen[node] = name
+
+    def test_edges_exist_in_rrg(self, routed):
+        _d, _p, rrg, _t, routing = routed
+        for tree in routing.trees.values():
+            for child, parent in tree.parent.items():
+                assert child in set(int(n) for n in rrg.neighbors(parent))
+
+    def test_deterministic(self, routed, params8):
+        design, placement, rrg, terminals, routing = routed
+        again = PathFinderRouter(rrg2 := RoutingGraph(placement.fabric)).route(
+            net_terminals(design, placement, rrg2)
+        )
+        assert {
+            n: sorted(t.parent.items()) for n, t in routing.trees.items()
+        } == {n: sorted(t.parent.items()) for n, t in again.trees.items()}
+
+    def test_children_map_consistent(self, routed):
+        *_rest, routing = routed
+        for tree in routing.trees.values():
+            kids = tree.children_map()
+            count = sum(len(v) for v in kids.values())
+            assert count == len(tree.parent)
+
+    def test_unroutable_raises(self, params8):
+        # Saturate a tiny fabric: W=2 with a dense circuit cannot route.
+        netlist = generate_circuit(
+            CircuitSpec("dense", n_luts=16, n_inputs=6, n_outputs=4,
+                        locality=0.2)
+        )
+        design = pack(netlist, 6)
+        params2 = ArchParams(channel_width=2)
+        fabric = FabricArch.island(params2, 4)
+        placement = place(design, fabric, seed=1)
+        rrg = RoutingGraph(fabric)
+        terminals = net_terminals(design, placement, rrg)
+        router = PathFinderRouter(rrg, max_iterations=6)
+        with pytest.raises(UnroutableError):
+            router.route(terminals)
+
+    def test_wirelength_positive(self, routed):
+        *_rest, routing = routed
+        assert routing.total_wirelength > 0
+        assert routing.max_occupancy == 1

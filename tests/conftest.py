@@ -1,0 +1,68 @@
+"""Shared fixtures: small flows reused across the suite.
+
+The expensive objects (placed-and-routed flows, expanded configurations)
+are session-scoped; tests must treat them as immutable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import ArchParams
+from repro.bitstream import expand_routing
+from repro.cad import run_flow
+from repro.netlist import CircuitSpec, generate_circuit
+
+
+@pytest.fixture(scope="session")
+def params5() -> ArchParams:
+    """The paper's worked-example architecture: W = 5, 6-LUT (Nraw = 284)."""
+    return ArchParams(channel_width=5)
+
+
+@pytest.fixture(scope="session")
+def params8() -> ArchParams:
+    return ArchParams(channel_width=8)
+
+
+@pytest.fixture(scope="session")
+def tiny_netlist():
+    """A 14-LUT combinational circuit (fast unit-test workload)."""
+    return generate_circuit(
+        CircuitSpec("tiny", n_luts=14, n_inputs=6, n_outputs=4)
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_flow(tiny_netlist, params8):
+    return run_flow(tiny_netlist, params8, seed=11)
+
+
+@pytest.fixture(scope="session")
+def tiny_config(tiny_flow):
+    return expand_routing(
+        tiny_flow.design, tiny_flow.placement, tiny_flow.routing, tiny_flow.rrg
+    )
+
+
+@pytest.fixture(scope="session")
+def small_netlist():
+    """A 60-LUT sequential circuit (integration-test workload)."""
+    return generate_circuit(
+        CircuitSpec("small", n_luts=60, n_inputs=10, n_outputs=8, n_latches=12)
+    )
+
+
+@pytest.fixture(scope="session")
+def small_flow(small_netlist, params8):
+    return run_flow(small_netlist, params8, seed=3)
+
+
+@pytest.fixture(scope="session")
+def small_config(small_flow):
+    return expand_routing(
+        small_flow.design,
+        small_flow.placement,
+        small_flow.routing,
+        small_flow.rrg,
+    )

@@ -1,0 +1,138 @@
+"""Electrical extraction and functional simulation of configurations."""
+
+import pytest
+
+from repro.bitstream import FabricConfig
+from repro.errors import BitstreamError
+from repro.fabric import extract_circuit, switch_pair_table
+from repro.fabric.equivalence import random_vectors, verify_functional
+from repro.utils.geometry import Rect
+
+
+class TestSwitchPairTable:
+    def test_covers_every_offset(self, params5):
+        table = switch_pair_table(params5)
+        assert len(table) == params5.routing_bits
+        assert all(len(entry) == 2 for entry in table)
+
+    def test_matches_cluster_model(self, params5):
+        from repro.arch import get_cluster_model
+
+        table = switch_pair_table(params5)
+        model = get_cluster_model(params5, 1)
+        for sw in model.switches:
+            a, b = table[sw.offset]
+            keys = {model.seg_keys[sw.seg_a][2], model.seg_keys[sw.seg_b][2]}
+            assert {a, b} == keys
+
+
+class TestExtraction:
+    def test_components_match_nets(self, small_flow, small_config):
+        extracted = extract_circuit(small_config, small_flow.fabric)
+        assert extracted.num_components >= len(small_flow.routing.trees)
+        extracted.check_no_shorts()
+
+    def test_blocks_recovered(self, small_flow, small_config):
+        extracted = extract_circuit(small_config, small_flow.fabric)
+        clb_cells = {
+            small_flow.placement.cell_of(c.name)
+            for c in small_flow.design.clbs
+        }
+        assert {b.cell for b in extracted.blocks} == clb_cells
+
+    def test_ff_flags_recovered(self, small_flow, small_config):
+        extracted = extract_circuit(small_config, small_flow.fabric)
+        expected_ffs = sum(1 for c in small_flow.design.clbs if c.use_ff)
+        assert sum(1 for b in extracted.blocks if b.use_ff) == expected_ffs
+
+    def test_pads_recovered(self, small_flow, small_config):
+        extracted = extract_circuit(small_config, small_flow.fabric)
+        assert len(extracted.pads) == small_flow.design.num_pads
+        drivers = sum(1 for p in extracted.pads if p.drives_fabric)
+        expected = sum(1 for p in small_flow.design.pads if p.drives_fabric)
+        assert drivers == expected
+
+    def test_short_detection(self, small_flow, small_config):
+        # Artificially short two driver pins through a fabricated config.
+        from repro.arch import get_cluster_model
+
+        cfg = FabricConfig(small_config.params, small_config.region)
+        for cell, bits in small_config.logic.items():
+            cfg.set_logic(cell[0], cell[1], bits.copy())
+        for cell, offs in small_config.closed.items():
+            cfg.close_switches(cell[0], cell[1], offs)
+        # Find two CLBs in the same row and short their output pins by
+        # closing an entire track corridor between them.
+        clbs = sorted(
+            {small_flow.placement.cell_of(c.name)
+             for c in small_flow.design.clbs}
+        )
+        rows = {}
+        pair = None
+        for (x, y) in clbs:
+            if y in rows and abs(rows[y] - x) == 1:
+                pair = ((rows[y], y), (x, y))
+                break
+            rows[y] = x
+        if pair is None:
+            pytest.skip("no adjacent CLB pair in this placement")
+        model = get_cluster_model(small_config.params, 1)
+        # Close every switch of both macros: guaranteed to short things.
+        for (x, y) in pair:
+            for off in range(small_config.params.routing_bits):
+                cfg.close_switch(x, y, off)
+        extracted = extract_circuit(cfg, small_flow.fabric)
+        with pytest.raises(BitstreamError):
+            extracted.check_no_shorts()
+
+    def test_empty_config_extracts_empty(self, small_flow, params8):
+        cfg = FabricConfig(
+            params8, Rect(0, 0, small_flow.fabric.width,
+                          small_flow.fabric.height)
+        )
+        extracted = extract_circuit(cfg, small_flow.fabric)
+        assert extracted.num_components == 0
+        assert not extracted.blocks and not extracted.pads
+
+
+class TestFunctionalEquivalence:
+    def test_tiny_flow_equivalent(self, tiny_flow, tiny_config, tiny_netlist):
+        steps = verify_functional(
+            tiny_netlist, tiny_flow.design, tiny_flow.placement, tiny_config,
+            tiny_flow.fabric, num_vectors=16,
+        )
+        assert steps == 16
+
+    def test_sequential_equivalent(self, small_flow, small_config,
+                                   small_netlist):
+        steps = verify_functional(
+            small_netlist, small_flow.design, small_flow.placement,
+            small_config, small_flow.fabric, num_vectors=12,
+        )
+        assert steps == 12
+
+    def test_mismatch_detected(self, tiny_flow, tiny_config, tiny_netlist):
+        # Corrupt one LUT truth table: simulation must catch it.
+        from repro.arch import encode_clb_config, decode_clb_config
+
+        cfg = FabricConfig(tiny_config.params, tiny_config.region)
+        for cell, bits in tiny_config.logic.items():
+            cfg.set_logic(cell[0], cell[1], bits.copy())
+        for cell, offs in tiny_config.closed.items():
+            cfg.close_switches(cell[0], cell[1], offs)
+        cell = tiny_flow.placement.cell_of(tiny_flow.design.clbs[0].name)
+        tt, ff = decode_clb_config(cfg.params, cfg.logic[cell])
+        cfg.set_logic(
+            cell[0], cell[1],
+            encode_clb_config(cfg.params, tt ^ 0xFFFF, ff),
+        )
+        with pytest.raises(BitstreamError):
+            verify_functional(
+                tiny_netlist, tiny_flow.design, tiny_flow.placement, cfg,
+                tiny_flow.fabric, num_vectors=32,
+            )
+
+    def test_random_vectors_deterministic(self):
+        a = random_vectors(["x", "y"], 5, seed=3)
+        b = random_vectors(["x", "y"], 5, seed=3)
+        assert a == b

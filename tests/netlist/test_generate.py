@@ -1,0 +1,90 @@
+"""Synthetic MCNC-proxy generator invariants."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist import CircuitSpec, generate_circuit
+from repro.netlist.generate import generated_stats
+
+
+class TestGenerator:
+    def test_exact_lut_count(self):
+        for n_luts in (8, 57, 200):
+            spec = CircuitSpec("t", n_luts=n_luts, n_inputs=8, n_outputs=4)
+            assert len(generate_circuit(spec).luts) == n_luts
+
+    def test_deterministic_by_name(self):
+        spec = CircuitSpec("alpha", n_luts=40, n_inputs=8, n_outputs=4)
+        a = generate_circuit(spec)
+        b = generate_circuit(spec)
+        assert [l.truth_table for l in a.luts] == [l.truth_table for l in b.luts]
+        assert a.outputs == b.outputs
+
+    def test_different_names_differ(self):
+        a = generate_circuit(CircuitSpec("one", 40, 8, 4))
+        b = generate_circuit(CircuitSpec("two", 40, 8, 4))
+        assert [l.truth_table for l in a.luts] != [l.truth_table for l in b.luts]
+
+    def test_latch_count(self):
+        spec = CircuitSpec("seq", n_luts=50, n_inputs=8, n_outputs=4,
+                           n_latches=17)
+        n = generate_circuit(spec)
+        assert len(n.latches) == 17
+
+    def test_latch_nets_single_sink(self):
+        # Registered LUT outputs must feed only their latch (packs 1:1).
+        spec = CircuitSpec("seq2", n_luts=60, n_inputs=8, n_outputs=6,
+                           n_latches=20)
+        n = generate_circuit(spec)
+        latch_inputs = {l.input for l in n.latches}
+        for lut in n.luts:
+            for net in lut.inputs:
+                assert net not in latch_inputs
+        assert not (set(n.outputs) & latch_inputs)
+
+    def test_every_net_observable(self):
+        n = generate_circuit(CircuitSpec("obs", 80, 10, 6))
+        read = set(n.outputs)
+        for lut in n.luts:
+            read.update(lut.inputs)
+        for latch in n.latches:
+            read.add(latch.input)
+        for lut in n.luts:
+            visible = lut.output
+            assert visible in read or any(
+                l.input == visible for l in n.latches
+            ), f"dangling net {visible}"
+
+    def test_simulates_without_cycles(self):
+        spec = CircuitSpec("sim", n_luts=70, n_inputs=9, n_outputs=5,
+                           n_latches=15)
+        n = generate_circuit(spec)
+        vecs = [{pi: (i + k) % 2 for k, pi in enumerate(n.inputs)}
+                for i in range(5)]
+        outs = n.simulate(vecs)
+        assert len(outs) == 5
+
+    def test_max_arity_respected(self):
+        n = generate_circuit(CircuitSpec("ar", 100, 10, 6))
+        assert n.max_lut_arity() <= 6
+
+    def test_avg_fanin_reasonable(self):
+        n = generate_circuit(CircuitSpec("fi", 300, 16, 8))
+        stats = generated_stats(n)
+        assert 3.0 < stats["avg_fanin"] < 5.5
+
+    def test_locality_changes_structure(self):
+        tight = generate_circuit(CircuitSpec("loc", 150, 10, 6, locality=0.95))
+        loose = generate_circuit(CircuitSpec("loc", 150, 10, 6, locality=0.3))
+        # Identical seeds, different wiring statistics.
+        assert [l.inputs for l in tight.luts] != [l.inputs for l in loose.luts]
+
+    def test_validation(self):
+        with pytest.raises(NetlistError):
+            CircuitSpec("bad", 0, 1, 1)
+        with pytest.raises(NetlistError):
+            CircuitSpec("bad", 10, 0, 1)
+        with pytest.raises(NetlistError):
+            CircuitSpec("bad", 10, 2, 2, n_latches=20)
+        with pytest.raises(NetlistError):
+            CircuitSpec("bad", 10, 2, 2, locality=1.5)

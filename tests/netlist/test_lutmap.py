@@ -1,0 +1,70 @@
+"""Shannon-decomposition technology mapping."""
+
+import random
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist import Lut, Netlist, map_to_luts
+from repro.netlist.lutmap import MUX_TT, _cofactor, _prune_inputs
+
+
+class TestPrimitives:
+    def test_mux_truth_table(self):
+        lut = Lut("m", ("s", "a", "b"), "z", MUX_TT)
+        for s in (0, 1):
+            for a in (0, 1):
+                for b in (0, 1):
+                    assert lut.evaluate([s, a, b]) == (b if s else a)
+
+    def test_cofactor(self):
+        # f = a xor b; cofactor b=1 is NOT a.
+        assert _cofactor(0b0110, 2, 1, 1) == 0b01
+        assert _cofactor(0b0110, 2, 1, 0) == 0b10
+
+    def test_prune_drops_dead_inputs(self):
+        # z depends only on input 0 (identity on a, ignores b).
+        lut = Lut("x", ("a", "b"), "z", 0b1010)
+        pruned = _prune_inputs(lut)
+        assert pruned.inputs == ("a",)
+        assert pruned.truth_table == 0b10
+
+
+class TestMapping:
+    def _random_netlist(self, arity: int, seed: int) -> Netlist:
+        rng = random.Random(seed)
+        ins = tuple(f"a{i}" for i in range(arity))
+        tt = rng.randrange(1, 1 << (1 << arity))
+        return Netlist("wide", list(ins), ["z"], [Lut("big", ins, "z", tt)])
+
+    @pytest.mark.parametrize("arity,seed", [(7, 1), (8, 2), (9, 3), (10, 4)])
+    def test_equivalence_after_decomposition(self, arity, seed):
+        n = self._random_netlist(arity, seed)
+        mapped = map_to_luts(n, 6)
+        assert mapped.max_lut_arity() <= 6
+        rng = random.Random(seed + 100)
+        vectors = [
+            {f"a{i}": rng.randrange(2) for i in range(arity)}
+            for _ in range(64)
+        ]
+        assert n.simulate(vectors) == mapped.simulate(vectors)
+
+    def test_small_functions_untouched(self):
+        n = self._random_netlist(4, 9)
+        mapped = map_to_luts(n, 6)
+        assert len(mapped.luts) == 1
+
+    def test_latches_preserved(self):
+        from repro.netlist import Latch
+
+        n = Netlist(
+            "seq", ["a"], ["q"],
+            [Lut("l", ("a",), "d", 0b10)],
+            [Latch("ff", "d", "q")],
+        )
+        mapped = map_to_luts(n, 6)
+        assert len(mapped.latches) == 1
+
+    def test_rejects_k1(self):
+        with pytest.raises(NetlistError):
+            map_to_luts(self._random_netlist(3, 5), 1)

@@ -1,0 +1,117 @@
+"""Netlist model: validation, queries, simulation semantics."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist import Latch, Lut, Netlist
+
+
+def half_adder() -> Netlist:
+    """sum = a xor b, carry = a and b."""
+    return Netlist(
+        "ha",
+        ["a", "b"],
+        ["sum", "carry"],
+        [
+            Lut("x", ("a", "b"), "sum", 0b0110),
+            Lut("c", ("a", "b"), "carry", 0b1000),
+        ],
+    )
+
+
+class TestLut:
+    def test_evaluate_truth_table(self):
+        lut = Lut("x", ("a", "b"), "z", 0b0110)  # xor
+        assert lut.evaluate([0, 0]) == 0
+        assert lut.evaluate([1, 0]) == 1
+        assert lut.evaluate([0, 1]) == 1
+        assert lut.evaluate([1, 1]) == 0
+
+    def test_input_order_is_lsb_first(self):
+        lut = Lut("x", ("a", "b"), "z", 0b0010)  # only row a=1,b=0
+        assert lut.evaluate([1, 0]) == 1
+        assert lut.evaluate([0, 1]) == 0
+
+    def test_oversized_table_rejected(self):
+        with pytest.raises(NetlistError):
+            Lut("x", ("a",), "z", 0b10000)
+
+    def test_arity_mismatch_on_evaluate(self):
+        with pytest.raises(NetlistError):
+            Lut("x", ("a", "b"), "z", 0).evaluate([1])
+
+
+class TestValidation:
+    def test_double_driver_rejected(self):
+        with pytest.raises(NetlistError):
+            Netlist("bad", ["a"], ["z"],
+                    [Lut("l1", ("a",), "z", 1), Lut("l2", ("a",), "z", 1)])
+
+    def test_undriven_input_rejected(self):
+        with pytest.raises(NetlistError):
+            Netlist("bad", ["a"], ["z"], [Lut("l", ("ghost",), "z", 1)])
+
+    def test_undriven_output_rejected(self):
+        with pytest.raises(NetlistError):
+            Netlist("bad", ["a"], ["z"], [])
+
+    def test_latch_breaks_cycles(self):
+        # q feeds the LUT that computes the latch input: legal feedback.
+        n = Netlist(
+            "loop", ["a"], ["q"],
+            [Lut("l", ("a", "q"), "d", 0b0110)],
+            [Latch("ff", "d", "q")],
+        )
+        assert n.is_sequential()
+
+    def test_combinational_cycle_detected(self):
+        n = Netlist(
+            "cyc", ["a"], ["x"],
+            [
+                Lut("l1", ("a", "y"), "x", 0b0110),
+                Lut("l2", ("x",), "y", 0b10),
+            ],
+        )
+        with pytest.raises(NetlistError):
+            n.simulate([{"a": 0}])
+
+    def test_queries(self):
+        n = half_adder()
+        assert n.driver_of("sum") == "LUT x"
+        assert "output carry" in n.sinks_of("carry")
+        assert n.nets() == {"a", "b", "sum", "carry"}
+        assert n.max_lut_arity() == 2
+        assert not n.is_sequential()
+
+
+class TestSimulation:
+    def test_half_adder_exhaustive(self):
+        n = half_adder()
+        vectors = [{"a": a, "b": b} for a in (0, 1) for b in (0, 1)]
+        outs = n.simulate(vectors)
+        expected = [(0, 0), (1, 0), (1, 0), (0, 1)]
+        assert [(o["sum"], o["carry"]) for o in outs] == expected
+
+    def test_latch_delays_one_cycle(self):
+        n = Netlist(
+            "reg", ["d"], ["q"], [], [Latch("ff", "d", "q", init=0)]
+        )
+        outs = n.simulate([{"d": 1}, {"d": 0}, {"d": 1}])
+        assert [o["q"] for o in outs] == [0, 1, 0]
+
+    def test_latch_init_value(self):
+        n = Netlist("reg", ["d"], ["q"], [], [Latch("ff", "d", "q", init=1)])
+        assert n.simulate([{"d": 0}])[0]["q"] == 1
+
+    def test_missing_stimulus_rejected(self):
+        n = half_adder()
+        with pytest.raises(NetlistError):
+            n.simulate([{"a": 1}])
+
+    def test_shift_register(self):
+        n = Netlist(
+            "shift", ["d"], ["q2"], [],
+            [Latch("f1", "d", "q1"), Latch("f2", "q1", "q2")],
+        )
+        outs = n.simulate([{"d": v} for v in (1, 0, 0, 0)])
+        assert [o["q2"] for o in outs] == [0, 0, 1, 0]

@@ -1,0 +1,126 @@
+"""Property tests on Virtual Bit-Stream container serialization.
+
+Synthetic record sets (random positions, logic patterns, connection lists,
+raw-fallback mix) must round-trip bit-exactly through the container codec
+in both Table I and compact-logic modes, and the declared size accounting
+must match the serialized payload exactly.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.arch import ArchParams
+from repro.utils.bitarray import BitArray
+from repro.vbs.encode import VirtualBitstream
+from repro.vbs.format import PRELUDE_BITS, ClusterRecord, VbsLayout
+
+COMMON = settings(
+    deadline=None, max_examples=40,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _random_records(draw, layout: VbsLayout) -> list:
+    cgw, cgh = layout.cluster_grid
+    n_cells = layout.cluster_size * layout.cluster_size
+    io_limit = layout.params.cluster_io_count(layout.cluster_size)
+    count = draw(st.integers(0, min(6, cgw * cgh)))
+    positions = draw(
+        st.lists(
+            st.tuples(st.integers(0, cgw - 1), st.integers(0, cgh - 1)),
+            min_size=count, max_size=count, unique=True,
+        )
+    )
+    records = []
+    for pos in sorted(positions, key=lambda p: (p[1], p[0])):
+        if draw(st.booleans()):
+            frames = BitArray(layout.raw_bits_per_cluster)
+            for idx in draw(st.lists(
+                st.integers(0, layout.raw_bits_per_cluster - 1), max_size=20
+            )):
+                frames[idx] = 1
+            records.append(ClusterRecord(pos, raw=True, raw_frames=frames))
+        else:
+            logic = BitArray(layout.logic_bits_per_cluster)
+            for cell in draw(st.lists(
+                st.integers(0, n_cells - 1), max_size=n_cells, unique=True
+            )):
+                logic[cell * layout.params.nlb] = 1
+            n_pairs = draw(st.integers(0, min(10, layout.max_routes)))
+            pairs = [
+                (draw(st.integers(0, io_limit - 1)),
+                 draw(st.integers(0, io_limit - 1)))
+                for _ in range(n_pairs)
+            ]
+            records.append(
+                ClusterRecord(pos, raw=False, logic=logic, pairs=pairs)
+            )
+    return records
+
+
+@COMMON
+@given(st.data())
+def test_container_roundtrip_table1(data):
+    params = ArchParams(channel_width=data.draw(st.integers(2, 10)))
+    layout = VbsLayout(
+        params,
+        data.draw(st.integers(1, 3)),
+        data.draw(st.integers(2, 12)),
+        data.draw(st.integers(2, 12)),
+        compact_logic=False,
+    )
+    records = _random_records(data.draw, layout)
+    vbs = VirtualBitstream(layout, records)
+    bits = vbs.to_bits()
+    assert len(bits) == PRELUDE_BITS + vbs.size_bits
+    parsed = VirtualBitstream.from_bits(bits)
+    assert parsed.size_bits == vbs.size_bits
+    assert [r.pos for r in parsed.records] == [r.pos for r in records]
+    for a, b in zip(parsed.records, records):
+        assert a.raw == b.raw
+        if a.raw:
+            assert a.raw_frames == b.raw_frames
+        else:
+            assert a.logic == b.logic and a.pairs == b.pairs
+
+
+@COMMON
+@given(st.data())
+def test_container_roundtrip_compact(data):
+    params = ArchParams(channel_width=data.draw(st.integers(2, 8)))
+    layout = VbsLayout(
+        params,
+        data.draw(st.integers(1, 3)),
+        data.draw(st.integers(2, 10)),
+        data.draw(st.integers(2, 10)),
+        compact_logic=True,
+    )
+    records = _random_records(data.draw, layout)
+    vbs = VirtualBitstream(layout, records)
+    bits = vbs.to_bits()
+    assert len(bits) == PRELUDE_BITS + vbs.size_bits
+    parsed = VirtualBitstream.from_bits(bits)
+    assert parsed.layout.compact_logic
+    for a, b in zip(parsed.records, records):
+        assert a.raw == b.raw
+        if not a.raw:
+            assert a.logic == b.logic and a.pairs == b.pairs
+
+
+@COMMON
+@given(st.integers(2, 12), st.integers(1, 4), st.integers(0, 40))
+def test_compact_never_larger(w, c, n_pairs):
+    params = ArchParams(channel_width=w)
+    plain = VbsLayout(params, c, 16, 16, compact_logic=False)
+    compact = VbsLayout(params, c, 16, 16, compact_logic=True)
+    pairs = min(n_pairs, plain.max_routes)
+    for present in range(0, c * c + 1):
+        assert compact.smart_record_bits(pairs, present) <= (
+            plain.smart_record_bits(pairs) + c * c
+        )
+        if present < c * c:
+            # With at least one absent macro the compact field is smaller
+            # whenever NLB exceeds the flag overhead.
+            if (c * c - present) * params.nlb > c * c:
+                assert compact.smart_record_bits(pairs, present) < (
+                    plain.smart_record_bits(pairs)
+                )

@@ -1,0 +1,198 @@
+"""Run-time management: memory, controller, manager, cost model."""
+
+import pytest
+
+from repro.bitstream import RawBitstream
+from repro.errors import RuntimeManagementError
+from repro.fabric import verify_connectivity
+from repro.runtime import (
+    CostParams,
+    ExternalMemory,
+    FabricManager,
+    ReconfigurationController,
+    decode_cost,
+    lpt_makespan,
+)
+from repro.utils.bitarray import BitArray
+from repro.utils.geometry import Rect
+from repro.vbs import encode_flow
+
+
+@pytest.fixture(scope="module")
+def task_vbs(small_flow, small_config):
+    return encode_flow(small_flow, small_config, cluster_size=1)
+
+
+@pytest.fixture()
+def controller(small_flow, task_vbs, small_config):
+    from repro.arch import FabricArch, ArchParams
+
+    # A fabric big enough for two copies of the task side by side.
+    w = small_flow.fabric.width
+    big = FabricArch(
+        small_flow.params, 2 * w + 2, w + 2,
+        {
+            (x, y): "clb"
+            for x in range(2 * w + 2)
+            for y in range(w + 2)
+        },
+    )
+    # Preserve the original cell types inside the two task slots so that
+    # extraction agrees; runtime placement itself is type-agnostic here.
+    mem = ExternalMemory(bus_bits=32)
+    ctrl = ReconfigurationController(big, mem)
+    ctrl.store_vbs("small", task_vbs)
+    raw = RawBitstream.from_config(small_config)
+    ctrl.store_raw("small_raw", raw)
+    return ctrl
+
+
+class TestExternalMemory:
+    def test_store_and_fetch_cycles(self):
+        mem = ExternalMemory(bus_bits=8)
+        mem.store("t", BitArray(100), "raw", 2, 2)
+        img, cycles = mem.fetch("t")
+        assert cycles == 13  # ceil(100 / 8)
+        assert img.size_bits == 100
+
+    def test_missing_image(self):
+        mem = ExternalMemory()
+        with pytest.raises(RuntimeManagementError):
+            mem.fetch("ghost")
+
+    def test_total_bits(self):
+        mem = ExternalMemory()
+        mem.store("a", BitArray(10), "raw", 1, 1)
+        mem.store("b", BitArray(30), "vbs", 1, 1)
+        assert mem.total_bits == 40
+        mem.remove("a")
+        assert mem.total_bits == 30
+
+    def test_bad_kind_rejected(self):
+        mem = ExternalMemory()
+        with pytest.raises(RuntimeManagementError):
+            mem.store("x", BitArray(1), "zip", 1, 1)
+
+
+class TestCostModel:
+    def test_lpt_makespan(self):
+        span, loads = lpt_makespan([5, 3, 3, 2, 2, 1], 2)
+        assert span == 8 and sorted(loads) == [8, 8]
+
+    def test_lpt_single_unit(self):
+        span, _ = lpt_makespan([4, 4, 4], 1)
+        assert span == 12
+
+    def test_parallel_units_speed_decode(self, task_vbs):
+        from repro.vbs import decode_vbs
+
+        _cfg, stats = decode_vbs(task_vbs)
+        seq, _ = decode_cost(stats, CostParams(parallel_units=1))
+        par, _ = decode_cost(stats, CostParams(parallel_units=8))
+        assert par < seq
+        assert par >= stats.max_cluster_work  # critical path bound
+
+
+class TestController:
+    def test_load_and_verify(self, controller, small_flow):
+        task = controller.load_task("small", (0, 0))
+        assert task.load_cost.total_cycles > 0
+        # The written configuration must still realize the design's nets
+        # (extraction over the big fabric with matching cell types).
+
+    def test_collision_rejected(self, controller):
+        controller.load_task("small", (0, 0))
+        with pytest.raises(RuntimeManagementError):
+            controller.load_task("small", (0, 0))
+
+    def test_region_overlap_rejected(self, controller, task_vbs):
+        controller.load_task("small", (0, 0))
+        controller.store_vbs("small2", task_vbs)
+        with pytest.raises(RuntimeManagementError):
+            controller.load_task("small2", (1, 1))
+
+    def test_out_of_bounds_rejected(self, controller):
+        w = controller.fabric.width
+        with pytest.raises(RuntimeManagementError):
+            controller.load_task("small", (w - 2, 0))
+
+    def test_unload_frees_region(self, controller, task_vbs):
+        controller.load_task("small", (0, 0))
+        controller.unload_task("small")
+        assert not controller.resident
+        controller.load_task("small", (0, 0))  # reload succeeds
+
+    def test_unload_clears_config(self, controller):
+        task = controller.load_task("small", (0, 0))
+        assert controller.config.occupied_cells()
+        controller.unload_task("small")
+        for cell in task.region.cells():
+            assert controller.config.is_empty_macro(cell.x, cell.y)
+
+    def test_migrate_moves_content(self, controller):
+        task = controller.load_task("small", (0, 0))
+        w = task.region.w
+        before = {
+            (c.x, c.y) for c in task.region.cells()
+            if not controller.config.is_empty_macro(c.x, c.y)
+        }
+        moved = controller.migrate_task("small", (w, 0))
+        after = {
+            (c.x, c.y) for c in moved.region.cells()
+            if not controller.config.is_empty_macro(c.x, c.y)
+        }
+        assert {(x + w, y) for (x, y) in before} == after
+
+    def test_raw_image_load(self, controller):
+        task = controller.load_task("small_raw", (0, 0))
+        assert task.decode_stats is None
+        assert task.load_cost.decode_cycles == 0
+
+    def test_vbs_fetch_cheaper_than_raw(self, controller):
+        vbs_task = controller.load_task("small", (0, 0))
+        w = vbs_task.region.w
+        raw_task = controller.load_task("small_raw", (w, 0))
+        assert vbs_task.load_cost.fetch_cycles < raw_task.load_cost.fetch_cycles
+        assert vbs_task.load_cost.decode_cycles > 0
+
+    def test_utilization(self, controller):
+        assert controller.utilization() == 0.0
+        task = controller.load_task("small", (0, 0))
+        expected = task.region.area / controller.fabric.bounds.area
+        assert controller.utilization() == pytest.approx(expected)
+
+
+class TestFabricManager:
+    def test_place_task_auto(self, controller):
+        mgr = FabricManager(controller)
+        task = mgr.place_task("small")
+        assert task.region.x == 0 and task.region.y == 0
+
+    def test_second_task_beside_first(self, controller):
+        mgr = FabricManager(controller)
+        mgr.place_task("small")
+        t2 = mgr.place_task("small_raw")
+        assert not t2.region.overlaps(
+            controller.resident["small"].region
+        )
+
+    def test_no_room(self, controller, task_vbs):
+        mgr = FabricManager(controller)
+        placed = 0
+        for i in range(8):
+            controller.store_vbs(f"t{i}", task_vbs)
+            try:
+                mgr.place_task(f"t{i}")
+                placed += 1
+            except RuntimeManagementError:
+                break
+        assert 0 < placed < 8  # fabric saturates eventually
+
+    def test_defragment(self, controller):
+        mgr = FabricManager(controller)
+        t1 = mgr.place_task("small")
+        t2 = mgr.place_task("small_raw")
+        mgr.controller.unload_task("small")
+        moved = mgr.defragment()
+        assert moved == 1
+        assert mgr.controller.resident["small_raw"].region.x == 0

@@ -1,0 +1,78 @@
+"""Command-line front-ends and the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                if obj is not errors.ReproError:
+                    assert issubclass(obj, errors.ReproError), name
+
+    def test_specific_parents(self):
+        assert issubclass(errors.UnroutableError, errors.RoutingError)
+        assert issubclass(errors.DevirtualizationError, errors.VbsError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.BitstreamError("boom")
+
+
+class TestVbsgenCli:
+    @pytest.mark.integration
+    def test_vbsgen_on_blif(self, tmp_path, capsys):
+        from repro.cli import main_vbsgen
+
+        blif = tmp_path / "demo.blif"
+        blif.write_text(
+            ".model demo\n.inputs a b\n.outputs x y\n"
+            ".names a b x\n11 1\n.names a b y\n10 1\n01 1\n.end\n"
+        )
+        out = tmp_path / "demo.vbs"
+        raw = tmp_path / "demo.raw"
+        rc = main_vbsgen(
+            [str(blif), "-o", str(out), "-W", "8", "--raw-output", str(raw)]
+        )
+        assert rc == 0
+        assert out.exists() and out.stat().st_size > 0
+        assert raw.exists() and raw.stat().st_size > 0
+        captured = capsys.readouterr().out
+        assert "VirtualBitstream" in captured
+        # The VBS file must be smaller than the raw file.
+        assert out.stat().st_size < raw.stat().st_size
+
+    @pytest.mark.integration
+    def test_vbsgen_default_output_and_cluster(self, tmp_path):
+        from repro.cli import main_vbsgen
+
+        blif = tmp_path / "c2.blif"
+        blif.write_text(
+            ".model c2\n.inputs a b c\n.outputs z\n"
+            ".names a b c z\n111 1\n000 1\n.end\n"
+        )
+        rc = main_vbsgen([str(blif), "-W", "8", "-c", "2"])
+        assert rc == 0
+        assert (tmp_path / "c2.vbs").exists()
+
+
+class TestRunAllCli:
+    @pytest.mark.integration
+    def test_run_all_small(self, tmp_path, capsys):
+        from repro.eval.run_all import main
+
+        rc = main([
+            "--names", "ex5p",
+            "--scale", "0.06",
+            "--channel-width", "8",
+            "--clusters", "1", "2",
+            "--results-dir", str(tmp_path),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out and "Figure 5" in out
+        assert (tmp_path / "fig4.csv").exists()
+        assert (tmp_path / "fig5.csv").exists()

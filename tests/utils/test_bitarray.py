@@ -1,0 +1,148 @@
+"""Unit tests for the bit-level containers."""
+
+import pytest
+
+from repro.utils.bitarray import BitArray, BitReader, BitWriter, bits_for
+
+
+class TestBitsFor:
+    def test_paper_io_space_width(self):
+        # Section II-B: 4W + L + 1 = 28 values need M = 5 bits.
+        assert bits_for(28) == 5
+
+    def test_exact_powers(self):
+        assert bits_for(2) == 1
+        assert bits_for(4) == 2
+        assert bits_for(5) == 3
+        assert bits_for(1024) == 10
+
+    def test_single_value_still_one_bit(self):
+        assert bits_for(1) == 1
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            bits_for(0)
+
+
+class TestBitArray:
+    def test_zero_initialized(self):
+        arr = BitArray(17)
+        assert len(arr) == 17
+        assert list(arr) == [0] * 17
+        assert arr.count() == 0
+
+    def test_fill_one(self):
+        arr = BitArray(10, fill=1)
+        assert arr.count() == 10
+        assert arr.to_bytes()[-1] & 0b00111111 == 0  # padding cleared
+
+    def test_set_get_roundtrip(self):
+        arr = BitArray(64)
+        for i in (0, 7, 8, 31, 63):
+            arr[i] = 1
+        assert [i for i in range(64) if arr[i]] == [0, 7, 8, 31, 63]
+
+    def test_negative_index(self):
+        arr = BitArray(8)
+        arr[-1] = 1
+        assert arr[7] == 1
+
+    def test_out_of_range(self):
+        arr = BitArray(8)
+        with pytest.raises(IndexError):
+            _ = arr[8]
+        with pytest.raises(IndexError):
+            arr[9] = 1
+
+    def test_field_roundtrip(self):
+        arr = BitArray(32)
+        arr.set_field(3, 11, 0x5A5)
+        assert arr.get_field(3, 11) == 0x5A5
+
+    def test_field_overflow_rejected(self):
+        arr = BitArray(16)
+        with pytest.raises(ValueError):
+            arr.set_field(0, 4, 16)
+
+    def test_from_bits_and_eq(self):
+        a = BitArray.from_bits([1, 0, 1, 1, 0])
+        b = BitArray(5)
+        b[0] = b[2] = b[3] = 1
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_bytes_roundtrip(self):
+        a = BitArray.from_bits([1, 1, 0, 1, 0, 0, 1, 0, 1])
+        b = BitArray.from_bytes(a.to_bytes(), nbits=9)
+        assert a == b
+
+    def test_bytes_roundtrip_normalizes_padding(self):
+        b = BitArray.from_bytes(b"\xff", nbits=3)
+        assert list(b) == [1, 1, 1]
+        assert b.to_bytes() == b"\xe0"
+
+    def test_append_extend(self):
+        arr = BitArray(0)
+        arr.extend([1, 0, 1])
+        arr.append(1)
+        assert list(arr) == [1, 0, 1, 1]
+
+    def test_slice_and_overwrite(self):
+        arr = BitArray.from_bits([0, 1, 1, 0, 1, 0, 0, 1])
+        piece = arr.slice(2, 4)
+        assert list(piece) == [1, 0, 1, 0]
+        target = BitArray(8)
+        target.overwrite(3, piece)
+        assert list(target) == [0, 0, 0, 1, 0, 1, 0, 0]
+
+    def test_slice_bounds(self):
+        arr = BitArray(8)
+        with pytest.raises(IndexError):
+            arr.slice(5, 4)
+
+    def test_copy_is_independent(self):
+        a = BitArray(4)
+        b = a.copy()
+        b[0] = 1
+        assert a[0] == 0 and b[0] == 1
+
+
+class TestBitStreams:
+    def test_writer_reader_roundtrip(self):
+        w = BitWriter()
+        w.write(0b101, 3)
+        w.write(0xBEEF, 16)
+        w.write(0, 1)
+        w.write(7, 3)
+        bits = w.finish()
+        assert len(bits) == 23
+        r = BitReader(bits)
+        assert r.read(3) == 0b101
+        assert r.read(16) == 0xBEEF
+        assert r.read(1) == 0
+        assert r.read(3) == 7
+        assert r.remaining == 0
+
+    def test_writer_rejects_overflow(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write(8, 3)
+
+    def test_reader_eof(self):
+        r = BitReader(BitArray(4))
+        r.read(4)
+        with pytest.raises(EOFError):
+            r.read(1)
+
+    def test_write_bits_passthrough(self):
+        w = BitWriter()
+        w.write(1, 1)
+        w.write_bits(BitArray.from_bits([1, 1, 0]))
+        bits = w.finish()
+        assert list(bits) == [1, 1, 1, 0]
+
+    def test_reader_read_bits(self):
+        r = BitReader(BitArray.from_bits([1, 0, 1, 1]))
+        piece = r.read_bits(3)
+        assert list(piece) == [1, 0, 1]
+        assert r.position == 3

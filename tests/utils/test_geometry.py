@@ -1,0 +1,70 @@
+"""Unit tests for Rect/Point used by placement and the runtime manager."""
+
+import pytest
+
+from repro.utils.geometry import Point, Rect
+
+
+class TestPoint:
+    def test_manhattan(self):
+        assert Point(1, 2).manhattan(Point(4, 0)) == 5
+
+    def test_translated(self):
+        assert Point(1, 2).translated(-1, 3) == Point(0, 5)
+
+
+class TestRect:
+    def test_basic_properties(self):
+        r = Rect(2, 3, 4, 5)
+        assert (r.x2, r.y2) == (6, 8)
+        assert r.area == 20
+        assert r.semiperimeter == 9
+
+    def test_negative_sides_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, -1, 2)
+
+    def test_contains(self):
+        r = Rect(1, 1, 3, 3)
+        assert r.contains(1, 1)
+        assert r.contains(3, 3)
+        assert not r.contains(4, 1)
+        assert not r.contains(0, 2)
+
+    def test_contains_rect(self):
+        outer = Rect(0, 0, 10, 10)
+        assert outer.contains_rect(Rect(2, 2, 8, 8))
+        assert not outer.contains_rect(Rect(5, 5, 6, 2))
+
+    def test_overlaps(self):
+        a = Rect(0, 0, 4, 4)
+        assert a.overlaps(Rect(3, 3, 2, 2))
+        assert not a.overlaps(Rect(4, 0, 2, 2))  # edge-adjacent: no overlap
+        assert not a.overlaps(Rect(0, 4, 2, 2))
+
+    def test_spanning(self):
+        r = Rect.spanning([(1, 5), (3, 2), (2, 2)])
+        assert r == Rect(1, 2, 3, 4)
+
+    def test_spanning_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Rect.spanning([])
+
+    def test_cells_raster_order(self):
+        cells = list(Rect(1, 1, 2, 2).cells())
+        assert cells == [Point(1, 1), Point(2, 1), Point(1, 2), Point(2, 2)]
+
+    def test_clipped(self):
+        r = Rect(-2, -2, 6, 6).clipped(Rect(0, 0, 3, 3))
+        assert r == Rect(0, 0, 3, 3)
+
+    def test_clipped_empty(self):
+        r = Rect(10, 10, 2, 2).clipped(Rect(0, 0, 3, 3))
+        assert r.area == 0
+
+    def test_expanded_with_bounds(self):
+        r = Rect(1, 1, 2, 2).expanded(3, Rect(0, 0, 5, 5))
+        assert r == Rect(0, 0, 5, 5)
+
+    def test_translated(self):
+        assert Rect(1, 2, 3, 4).translated(2, -1) == Rect(3, 1, 3, 4)

@@ -1,0 +1,54 @@
+"""Unit tests for the disjoint-set structure behind net extraction."""
+
+from repro.utils.unionfind import UnionFind
+
+
+class TestUnionFind:
+    def test_singletons(self):
+        uf = UnionFind(["a", "b"])
+        assert not uf.connected("a", "b")
+        assert len(uf) == 2
+
+    def test_union_connects(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("b", "c")
+        assert uf.connected("a", "c")
+        assert not uf.connected("a", "d")
+
+    def test_lazy_element_creation(self):
+        uf = UnionFind()
+        assert "x" not in uf
+        uf.find("x")
+        assert "x" in uf
+
+    def test_union_returns_root(self):
+        uf = UnionFind()
+        root = uf.union(1, 2)
+        assert uf.find(1) == root and uf.find(2) == root
+
+    def test_groups_partition(self):
+        uf = UnionFind(range(6))
+        uf.union(0, 1)
+        uf.union(2, 3)
+        uf.union(3, 4)
+        groups = sorted(sorted(g) for g in uf.groups())
+        assert groups == [[0, 1], [2, 3, 4], [5]]
+
+    def test_idempotent_union(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        uf.union("a", "b")
+        assert len([g for g in uf.groups() if len(g) > 1]) == 1
+
+    def test_tuple_elements(self):
+        uf = UnionFind()
+        uf.union(("tx", 0, 0, 1, 2), ("ly", 3, 4, 0, 0))
+        assert uf.connected(("tx", 0, 0, 1, 2), ("ly", 3, 4, 0, 0))
+
+    def test_path_compression_consistency(self):
+        uf = UnionFind()
+        for i in range(100):
+            uf.union(i, i + 1)
+        root = uf.find(0)
+        assert all(uf.find(i) == root for i in range(101))

@@ -1,0 +1,141 @@
+"""The de-virtualization router in isolation."""
+
+import pytest
+
+from repro.arch import get_cluster_model
+from repro.errors import DevirtualizationError
+from repro.vbs.devirt import ClusterDecoder
+
+
+@pytest.fixture()
+def model(params5):
+    return get_cluster_model(params5, 1)
+
+
+def w_io(t):
+    return t            # WEST track t
+
+
+def e_io(t):
+    return 5 + t        # EAST
+
+
+def s_io(t):
+    return 10 + t       # SOUTH
+
+
+def n_io(t):
+    return 15 + t       # NORTH
+
+
+def p_io(p):
+    return 20 + p       # PIN
+
+
+class TestSingleConnections:
+    def test_straight_through(self, model):
+        result = ClusterDecoder(model).decode([(w_io(2), e_io(2))])
+        assert result.connections_routed == 1
+        assert (0, 0) in result.closed
+        assert result.work > 0
+
+    def test_turn_through_switch_box(self, model):
+        result = ClusterDecoder(model).decode([(w_io(1), n_io(1))])
+        assert result.connections_routed == 1
+
+    def test_track_change_dogleg(self, model):
+        # WEST track 0 to EAST track 3 requires a pin-line dogleg.
+        result = ClusterDecoder(model).decode([(w_io(0), e_io(3))])
+        assert result.connections_routed == 1
+
+    def test_boundary_to_pin(self, model):
+        result = ClusterDecoder(model).decode([(w_io(2), p_io(0))])
+        assert result.connections_routed == 1
+
+    def test_pin_to_boundary(self, model):
+        result = ClusterDecoder(model).decode([(p_io(6), n_io(4))])
+        assert result.connections_routed == 1
+
+    def test_pin_to_pin_same_macro(self, model):
+        result = ClusterDecoder(model).decode([(p_io(6), p_io(0))])
+        assert result.connections_routed == 1
+
+    def test_bad_io_rejected(self, model):
+        with pytest.raises(DevirtualizationError):
+            ClusterDecoder(model).decode([(0, 99)])
+
+
+class TestStatefulness:
+    def test_fanout_extends_net(self, model):
+        result = ClusterDecoder(model).decode(
+            [(w_io(2), e_io(2)), (w_io(2), n_io(2))]
+        )
+        assert result.connections_routed == 2
+
+    def test_redundant_pair_skipped(self, model):
+        result = ClusterDecoder(model).decode(
+            [(w_io(2), e_io(2)), (w_io(2), e_io(2))]
+        )
+        assert result.connections_routed == 1
+        assert result.connections_skipped == 1
+
+    def test_distinct_nets_disjoint(self, model):
+        result = ClusterDecoder(model).decode(
+            [(w_io(0), e_io(0)), (w_io(1), e_io(1)), (w_io(4), e_io(4))]
+        )
+        assert result.connections_routed == 3
+
+    def test_determinism(self, model):
+        pairs = [(w_io(0), e_io(0)), (w_io(1), n_io(3)), (p_io(6), s_io(2))]
+        a = ClusterDecoder(model).decode(pairs)
+        b = ClusterDecoder(model).decode(pairs)
+        assert a.closed == b.closed
+        assert a.work == b.work
+
+    def test_pin_line_protection(self, model):
+        # A dogleg (W0 -> E3) routed before a pin connection must not take
+        # the pin's line when the pin appears later in the list.
+        pairs = [(w_io(0), e_io(3)), (w_io(4), p_io(0))]
+        result = ClusterDecoder(model).decode(pairs)
+        assert result.connections_routed == 2
+
+    def test_ripup_recovers_conflict(self, model):
+        # Saturate, then demand one more constrained route; the decoder may
+        # need to tear a net down but must still succeed.
+        pairs = [
+            (w_io(t), e_io(t)) for t in range(5)
+        ] + [(s_io(0), n_io(0))]
+        result = ClusterDecoder(model).decode(pairs)
+        assert result.connections_routed == len(pairs)
+
+
+class TestClusterScope:
+    def test_cluster_route_across_macros(self, params5):
+        model = get_cluster_model(params5, 2)
+        W, c = 5, 2
+        west = 0 * W + 1                     # WEST row 0, track 1
+        east = c * W + 1 * W + 1             # EAST row 1, track 1
+        result = ClusterDecoder(model).decode([(west, east)])
+        assert result.connections_routed == 1
+        # The path must close switches in more than one member macro.
+        assert len(result.closed) >= 2
+
+    def test_valid_mask_blocks_outside(self, params5):
+        model = get_cluster_model(params5, 2)
+        decoder = ClusterDecoder(model, valid_macros={(0, 0)})
+        W, c = 5, 2
+        # An endpoint on the excluded column must be refused.
+        east_row0 = c * W + 0 * W + 0
+        with pytest.raises(DevirtualizationError):
+            decoder.decode([(0, east_row0)])
+
+    def test_work_grows_with_cluster(self, params5):
+        small = ClusterDecoder(get_cluster_model(params5, 1)).decode(
+            [(w_io(2), e_io(2))]
+        )
+        model3 = get_cluster_model(params5, 3)
+        W, c = 5, 3
+        west = 0 * W + 2
+        east = c * W + 0 * W + 2
+        big = ClusterDecoder(model3).decode([(west, east)])
+        assert big.work > small.work

@@ -1,0 +1,199 @@
+"""vbsgen + de-virtualization: the paper's core loop, end to end."""
+
+import pytest
+
+from repro.bitstream import RawBitstream
+from repro.errors import VbsError
+from repro.fabric import verify_connectivity, verify_functional
+from repro.vbs import (
+    VirtualBitstream,
+    decode_at,
+    decode_vbs,
+    encode_flow,
+)
+
+
+@pytest.fixture(scope="module")
+def vbs1(small_flow, small_config):
+    return encode_flow(small_flow, small_config, cluster_size=1)
+
+
+@pytest.fixture(scope="module")
+def vbs2(small_flow, small_config):
+    return encode_flow(small_flow, small_config, cluster_size=2)
+
+
+class TestEncode:
+    def test_compresses_versus_raw(self, vbs1, small_config):
+        raw = RawBitstream.from_config(small_config)
+        assert vbs1.size_bits < raw.size_bits
+        assert 0.0 < vbs1.compression_ratio() < 1.0
+
+    def test_empty_clusters_omitted(self, vbs1, small_flow):
+        total = small_flow.fabric.width * small_flow.fabric.height
+        assert len(vbs1.records) < total
+
+    def test_positions_unique_and_sorted(self, vbs1):
+        poses = [rec.pos for rec in vbs1.records]
+        assert len(set(poses)) == len(poses)
+        assert poses == sorted(poses, key=lambda p: (p[1], p[0]))
+
+    def test_stats_accounting(self, vbs1):
+        st = vbs1.stats
+        assert st.clusters_listed == len(vbs1.records)
+        assert st.clusters_raw == sum(1 for r in vbs1.records if r.raw)
+        assert st.pairs_total >= sum(
+            len(r.pairs) for r in vbs1.records if not r.raw
+        )
+
+    def test_cluster2_fewer_records(self, vbs1, vbs2):
+        assert len(vbs2.records) < len(vbs1.records)
+        assert vbs2.layout.cluster_size == 2
+
+
+class TestSerialization:
+    def test_container_roundtrip(self, vbs1):
+        bits = vbs1.to_bits()
+        assert len(bits) == vbs1.container_bits
+        parsed = VirtualBitstream.from_bits(bits)
+        assert parsed.size_bits == vbs1.size_bits
+        assert len(parsed.records) == len(vbs1.records)
+        for a, b in zip(parsed.records, vbs1.records):
+            assert a.pos == b.pos and a.raw == b.raw
+            if not a.raw:
+                assert a.pairs == b.pairs and a.logic == b.logic
+
+    def test_bad_magic_rejected(self, vbs1):
+        bits = vbs1.to_bits()
+        bits[0] ^= 1
+        with pytest.raises(VbsError):
+            VirtualBitstream.from_bits(bits)
+
+    def test_params_mismatch_rejected(self, vbs1, params5):
+        bits = vbs1.to_bits()
+        with pytest.raises(VbsError):
+            VirtualBitstream.from_bits(bits, params=params5)  # W=5 != 8
+
+
+class TestDecode:
+    def test_decoded_config_connectivity(self, vbs1, small_flow):
+        cfg, _stats = decode_vbs(vbs1)
+        verify_connectivity(
+            small_flow.design, small_flow.placement, cfg, small_flow.fabric
+        )
+
+    def test_decoded_config_functional(
+        self, vbs2, small_flow, small_netlist
+    ):
+        cfg, _stats = decode_vbs(vbs2)
+        verify_functional(
+            small_netlist, small_flow.design, small_flow.placement, cfg,
+            small_flow.fabric, num_vectors=10,
+        )
+
+    def test_decode_stats(self, vbs1):
+        _cfg, stats = decode_vbs(vbs1)
+        assert stats.clusters_decoded + stats.clusters_raw == len(vbs1.records)
+        assert stats.router_work > 0
+        assert stats.max_cluster_work <= stats.router_work
+
+    def test_decode_from_container_bits(self, vbs1, small_flow):
+        cfg, _ = decode_vbs(vbs1.to_bits())
+        verify_connectivity(
+            small_flow.design, small_flow.placement, cfg, small_flow.fabric
+        )
+
+    def test_logic_preserved(self, vbs1, small_config):
+        cfg, _ = decode_vbs(vbs1)
+        mine = {
+            c: b for c, b in small_config.logic.items() if b.count()
+        }
+        theirs = {c: b for c, b in cfg.logic.items() if b.count()}
+        assert mine == theirs
+
+
+class TestRelocation:
+    def test_translation_invariance(self, vbs2):
+        base = decode_at(vbs2, 0, 0)
+        moved = decode_at(vbs2, 5, 2)
+        assert base.translated(5, 2).content_equal(moved)
+
+    def test_region_follows_origin(self, vbs2):
+        moved = decode_at(vbs2, 3, 4)
+        assert (moved.region.x, moved.region.y) == (3, 4)
+
+    def test_decode_deterministic(self, vbs2):
+        a = decode_at(vbs2, 1, 1)
+        b = decode_at(vbs2, 1, 1)
+        assert a.content_equal(b)
+
+
+class TestCompactLogicMode:
+    """The Section V future-work coding (presence-flagged logic fields)."""
+
+    def test_never_larger_than_table1(self, small_flow, small_config):
+        for c in (1, 2, 3):
+            plain = encode_flow(small_flow, small_config, cluster_size=c)
+            compact = encode_flow(
+                small_flow, small_config, cluster_size=c, compact_logic=True
+            )
+            assert compact.size_bits <= plain.size_bits
+
+    def test_container_roundtrip(self, small_flow, small_config):
+        compact = encode_flow(
+            small_flow, small_config, cluster_size=2, compact_logic=True
+        )
+        parsed = VirtualBitstream.from_bits(compact.to_bits())
+        assert parsed.layout.compact_logic
+        assert parsed.size_bits == compact.size_bits
+
+    def test_decodes_to_same_content(self, small_flow, small_config):
+        plain = encode_flow(small_flow, small_config, cluster_size=2)
+        compact = encode_flow(
+            small_flow, small_config, cluster_size=2, compact_logic=True
+        )
+        a, _ = decode_vbs(VirtualBitstream.from_bits(plain.to_bits()))
+        b, _ = decode_vbs(VirtualBitstream.from_bits(compact.to_bits()))
+        assert a.content_equal(b)
+
+    def test_functional_after_compact_roundtrip(
+        self, small_flow, small_config, small_netlist
+    ):
+        compact = encode_flow(
+            small_flow, small_config, cluster_size=3, compact_logic=True
+        )
+        cfg, _ = decode_vbs(VirtualBitstream.from_bits(compact.to_bits()))
+        verify_functional(
+            small_netlist, small_flow.design, small_flow.placement, cfg,
+            small_flow.fabric, num_vectors=8,
+        )
+
+    def test_size_accounting_matches_serialization(
+        self, small_flow, small_config
+    ):
+        from repro.vbs.format import PRELUDE_BITS
+
+        compact = encode_flow(
+            small_flow, small_config, cluster_size=2, compact_logic=True
+        )
+        assert len(compact.to_bits()) == PRELUDE_BITS + compact.size_bits
+
+
+class TestClusterSweep:
+    @pytest.mark.parametrize("cluster", [1, 2, 3, 4])
+    def test_every_granularity_verifies(
+        self, small_flow, small_config, small_netlist, cluster
+    ):
+        vbs = encode_flow(small_flow, small_config, cluster_size=cluster)
+        cfg, _ = decode_vbs(VirtualBitstream.from_bits(vbs.to_bits()))
+        verify_connectivity(
+            small_flow.design, small_flow.placement, cfg, small_flow.fabric
+        )
+
+    def test_decode_work_grows_with_cluster(self, small_flow, small_config):
+        works = []
+        for c in (1, 3):
+            vbs = encode_flow(small_flow, small_config, cluster_size=c)
+            _cfg, stats = decode_vbs(vbs)
+            works.append(stats.router_work)
+        assert works[1] > works[0]  # "higher computing power to decode"

@@ -1,0 +1,132 @@
+"""Connection-list extraction and ordering strategies."""
+
+import pytest
+
+from repro.vbs import candidate_orders, extract_components, pair_distance
+from repro.vbs.extract import crossing_ios, pin_io
+from repro.vbs.format import VbsLayout
+from repro.arch import get_cluster_model
+
+
+class TestCrossingIos:
+    def test_east_west_symmetry(self, params5):
+        layout = VbsLayout(params5, 1, 8, 8)
+        exit_io, entry_io = crossing_ios(layout, (2, 3), (3, 3), track=4)
+        assert exit_io == 5 + 4      # EAST t=4 of the from-macro
+        assert entry_io == 4         # WEST t=4 of the to-macro
+        back_exit, back_entry = crossing_ios(layout, (3, 3), (2, 3), track=4)
+        assert (back_exit, back_entry) == (entry_io, exit_io)
+
+    def test_north_south_symmetry(self, params5):
+        layout = VbsLayout(params5, 1, 8, 8)
+        exit_io, entry_io = crossing_ios(layout, (2, 3), (2, 4), track=1)
+        assert exit_io == 15 + 1     # NORTH
+        assert entry_io == 10 + 1    # SOUTH
+
+    def test_cluster_rows(self, params5):
+        layout = VbsLayout(params5, 2, 8, 8)
+        # Crossing east out of cluster (0,0) from macro row 1.
+        exit_io, entry_io = crossing_ios(layout, (1, 1), (2, 1), track=0)
+        assert exit_io == 2 * 5 + 1 * 5 + 0   # EAST, row 1 in cluster
+        assert entry_io == 0 + 1 * 5 + 0      # WEST, row 1
+
+    def test_non_neighbours_rejected(self, params5):
+        from repro.errors import VbsError
+
+        layout = VbsLayout(params5, 1, 8, 8)
+        with pytest.raises(VbsError):
+            crossing_ios(layout, (0, 0), (2, 0), track=0)
+
+    def test_pin_io_layout(self, params5):
+        layout = VbsLayout(params5, 2, 8, 8)
+        # Macro (3, 5) lives in cluster (1, 2) at local (1, 1).
+        io = pin_io(layout, 3, 5, 6)
+        assert io == 4 * 2 * 5 + (1 * 2 + 1) * 7 + 6
+
+
+class TestExtraction:
+    @pytest.fixture(scope="class")
+    def components(self, small_flow):
+        layout = VbsLayout(
+            small_flow.params, 1, small_flow.fabric.width,
+            small_flow.fabric.height,
+        )
+        return layout, extract_components(
+            small_flow.design, small_flow.placement, small_flow.routing,
+            small_flow.rrg, layout,
+        )
+
+    def test_every_net_has_source_component(self, components, small_flow):
+        layout, comps = components
+        nets_seen = {c.net for lst in comps.values() for c in lst}
+        assert nets_seen == set(small_flow.routing.trees)
+
+    def test_entries_and_exits_in_io_space(self, components, small_flow):
+        layout, comps = components
+        limit = small_flow.params.cluster_io_count(1)
+        for lst in comps.values():
+            for comp in lst:
+                assert 0 <= comp.entry < limit
+                assert all(0 <= e < limit for e in comp.exits)
+                assert comp.exits, "componens must carry at least one exit"
+
+    def test_crossings_pair_up_across_boundaries(self, components):
+        layout, comps = components
+        # Every EAST exit of cluster (x,y) must appear as the WEST entry of
+        # cluster (x+1,y) for the same net (and vice versa).
+        W = layout.params.channel_width
+        exits = {}
+        for (cx, cy), lst in comps.items():
+            for comp in lst:
+                for e in comp.exits:
+                    if W <= e < 2 * W:  # EAST side, c == 1
+                        exits[(cx, cy, e - W, comp.net)] = True
+        for (cx, cy), lst in comps.items():
+            for comp in lst:
+                if 0 <= comp.entry < W:  # WEST entry
+                    key = (cx - 1, cy, comp.entry, comp.net)
+                    assert key in exits, (
+                        f"unmatched WEST entry {comp.entry} of {comp.net} "
+                        f"at {(cx, cy)}"
+                    )
+
+    def test_pairs_anchored_at_entry(self, components):
+        _layout, comps = components
+        for lst in comps.values():
+            for comp in lst:
+                for a, _b in comp.pairs():
+                    assert a == comp.entry
+
+
+class TestOrdering:
+    def test_orders_distinct_and_bounded(self, params5):
+        model = get_cluster_model(params5, 1)
+        pairs = [(0, 5), (1, 6), (2, 7), (20, 8), (3, 21)]
+        orders = list(candidate_orders(pairs, model, max_orders=8))
+        assert 1 <= len(orders) <= 8
+        assert all(sorted(o) == sorted(pairs) for o in orders)
+        as_tuples = [tuple(o) for o in orders]
+        assert len(set(as_tuples)) == len(as_tuples)
+
+    def test_first_order_is_natural(self, params5):
+        model = get_cluster_model(params5, 1)
+        pairs = [(0, 5), (20, 8)]
+        first = next(iter(candidate_orders(pairs, model)))
+        assert first == pairs
+
+    def test_single_pair(self, params5):
+        model = get_cluster_model(params5, 1)
+        orders = list(candidate_orders([(0, 5)], model, max_orders=4))
+        assert orders == [[(0, 5)]]
+
+    def test_empty_list(self, params5):
+        model = get_cluster_model(params5, 1)
+        orders = list(candidate_orders([], model, max_orders=4))
+        assert orders == [[]]
+
+    def test_distance_heuristic(self, params5):
+        model = get_cluster_model(params5, 1)
+        # A through-route spans the macro; a pin stub is short.
+        far = pair_distance(model, (0, 5))       # WEST -> EAST
+        near = pair_distance(model, (20, 21))    # two pins
+        assert far > near

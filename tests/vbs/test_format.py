@@ -1,0 +1,105 @@
+"""Table I field widths and size accounting."""
+
+import pytest
+
+from repro.arch import ArchParams
+from repro.errors import VbsError
+from repro.utils.bitarray import BitArray
+from repro.vbs.format import ClusterRecord, VbsLayout
+
+
+class TestLayout:
+    def test_paper_m_bits(self, params5):
+        layout = VbsLayout(params5, 1, 10, 10)
+        assert layout.m_bits == 5  # Section II-B worked example
+
+    def test_dim_bits_table1(self, params5):
+        # ceil(log2(max(w, h))) per Table I.
+        assert VbsLayout(params5, 1, 35, 35).dim_bits == 6
+        assert VbsLayout(params5, 1, 79, 79).dim_bits == 7
+
+    def test_cluster_grid_partial(self, params5):
+        layout = VbsLayout(params5, 3, 10, 7)
+        assert layout.cluster_grid == (4, 3)
+        # The corner cluster covers only macro (9, 6): one member.
+        assert layout.valid_members(3, 2) == [(0, 0)]
+        # An east-edge cluster keeps its full column height.
+        assert layout.valid_members(3, 0) == [(0, 0), (0, 1), (0, 2)]
+
+    def test_valid_members_full_cluster(self, params5):
+        layout = VbsLayout(params5, 2, 10, 10)
+        assert layout.valid_members(0, 0) == [(0, 0), (1, 0), (0, 1), (1, 1)]
+
+    def test_record_sizes(self, params5):
+        layout = VbsLayout(params5, 1, 10, 10)
+        smart = layout.smart_record_bits(4)
+        expected = 2 * layout.pos_bits + layout.route_count_bits + 65 + 4 * 10
+        assert smart == expected
+        assert layout.raw_record_bits == (
+            2 * layout.pos_bits + layout.route_count_bits + 284
+        )
+
+    def test_break_even(self, params5):
+        layout = VbsLayout(params5, 1, 10, 10)
+        # (Nraw - NLB) / 2M = (284-65)/10 = 21 pairs after the logic field.
+        assert layout.record_break_even_pairs() == 21
+
+    def test_sentinel_is_all_ones(self, params5):
+        layout = VbsLayout(params5, 1, 10, 10)
+        assert layout.raw_sentinel == (1 << layout.route_count_bits) - 1
+        assert layout.max_routes == layout.raw_sentinel - 1
+
+    def test_rejects_degenerate(self, params5):
+        with pytest.raises(VbsError):
+            VbsLayout(params5, 1, 0, 5)
+        with pytest.raises(VbsError):
+            VbsLayout(params5, 0, 5, 5)
+
+
+class TestClusterRecord:
+    def _layout(self, params5):
+        return VbsLayout(params5, 1, 8, 8)
+
+    def test_smart_record_validates(self, params5):
+        layout = self._layout(params5)
+        rec = ClusterRecord(
+            (2, 3), raw=False, logic=BitArray(65), pairs=[(0, 5), (0, 27 - 5)]
+        )
+        rec.validate(layout)
+
+    def test_bad_position_rejected(self, params5):
+        layout = self._layout(params5)
+        rec = ClusterRecord((9, 0), raw=False, logic=BitArray(65), pairs=[])
+        with pytest.raises(VbsError):
+            rec.validate(layout)
+
+    def test_bad_logic_size_rejected(self, params5):
+        layout = self._layout(params5)
+        rec = ClusterRecord((0, 0), raw=False, logic=BitArray(64), pairs=[])
+        with pytest.raises(VbsError):
+            rec.validate(layout)
+
+    def test_endpoint_range_checked(self, params5):
+        layout = self._layout(params5)
+        rec = ClusterRecord(
+            (0, 0), raw=False, logic=BitArray(65), pairs=[(0, 99)]
+        )
+        with pytest.raises(VbsError):
+            rec.validate(layout)
+
+    def test_raw_record_needs_frames(self, params5):
+        layout = self._layout(params5)
+        rec = ClusterRecord((0, 0), raw=True, raw_frames=BitArray(284))
+        rec.validate(layout)
+        bad = ClusterRecord((0, 0), raw=True, raw_frames=BitArray(10))
+        with pytest.raises(VbsError):
+            bad.validate(layout)
+
+    def test_size_accounting(self, params5):
+        layout = self._layout(params5)
+        smart = ClusterRecord(
+            (0, 0), raw=False, logic=BitArray(65), pairs=[(0, 1)] * 3
+        )
+        assert smart.size_bits(layout) == layout.smart_record_bits(3)
+        raw = ClusterRecord((0, 0), raw=True, raw_frames=BitArray(284))
+        assert raw.size_bits(layout) == layout.raw_record_bits
