@@ -24,6 +24,32 @@ def test_fig4_encode_benchmark(benchmark, bench_flow, bench_config):
     benchmark.extra_info["raw_fallback_clusters"] = vbs.stats.clusters_raw
 
 
+def test_fig4_codec_picker_benchmark(benchmark, bench_flow, bench_config):
+    """Cost-driven codec selection: the registry beats single-coding vbsgen.
+
+    The picker chooses the smallest registered coding per cluster; the
+    zero-skip run-length codec must win on at least some sparse-logic
+    clusters of the benchmark netlist.
+    """
+    strict = encode_flow(bench_flow, bench_config, cluster_size=1)
+
+    vbs = benchmark(
+        encode_flow, bench_flow, bench_config, cluster_size=1, codecs="auto"
+    )
+
+    assert vbs.size_bits <= strict.size_bits
+    counts = vbs.stats.codec_counts
+    assert counts.get("rle", 0) > 0, (
+        "the fourth codec should win on sparse clusters"
+    )
+    benchmark.extra_info["codec_counts"] = counts
+    benchmark.extra_info["strict_bits"] = strict.size_bits
+    benchmark.extra_info["auto_bits"] = vbs.size_bits
+    benchmark.extra_info["picker_gain"] = round(
+        1 - vbs.size_bits / strict.size_bits, 4
+    )
+
+
 def test_fig4_decode_benchmark(benchmark, bench_flow, bench_config):
     vbs = encode_flow(bench_flow, bench_config, cluster_size=1)
     bits = vbs.to_bits()

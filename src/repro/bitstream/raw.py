@@ -45,6 +45,15 @@ class RawBitstream:
         """Raw size of a task without materializing it."""
         return width * height * params.nraw
 
+    def digest(self) -> str:
+        """Content digest of the frame payload (content addressing).
+
+        Raw loads bypass the runtime decode cache (there is nothing to
+        decode); this exists for external tooling that content-addresses
+        generated baselines, mirroring :meth:`BitArray.digest`.
+        """
+        return self.bits.digest()
+
     # -- frame access ---------------------------------------------------------------
 
     def _frame_offset(self, x: int, y: int) -> int:

@@ -4,6 +4,14 @@
 runs the offline flow at the requested architecture parameters, and writes
 a Virtual Bit-Stream container next to a summary of the achieved
 compression.
+
+``main`` is the ``repro`` umbrella command::
+
+    repro vbsgen design.blif -W 20 --codecs auto --workers 4
+    repro vbs inspect design.vbs
+
+``vbs inspect`` parses a container through the codec registry and prints
+the prelude, per-cluster codec tags, and the compression ratio.
 """
 
 from __future__ import annotations
@@ -17,14 +25,10 @@ from repro.bitstream.expand import expand_routing
 from repro.bitstream.raw import RawBitstream
 from repro.cad.flow import run_flow
 from repro.netlist.blif import parse_blif
-from repro.vbs.encode import encode_flow
+from repro.vbs.encode import VirtualBitstream, encode_flow
 
 
-def main_vbsgen(argv: "list[str] | None" = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="vbsgen",
-        description="Generate a Virtual Bit-Stream from a BLIF netlist.",
-    )
+def _add_vbsgen_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("blif", type=Path, help="input BLIF file")
     parser.add_argument("-o", "--output", type=Path, default=None,
                         help="output .vbs path (default: <blif>.vbs)")
@@ -32,10 +36,28 @@ def main_vbsgen(argv: "list[str] | None" = None) -> int:
     parser.add_argument("-K", "--lut-size", type=int, default=6)
     parser.add_argument("-c", "--cluster-size", type=int, default=1)
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--codecs", default=None,
+                        help="cost-driven codec picker: 'auto' or a "
+                             "comma-separated registry name list "
+                             "(default: paper-strict list+raw)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="encode pipeline worker threads")
+    parser.add_argument("--compact-logic", action="store_true",
+                        help="Section V presence-flagged logic coding")
     parser.add_argument("--raw-output", type=Path, default=None,
                         help="also write the raw bitstream baseline")
-    args = parser.parse_args(argv)
 
+
+def main_vbsgen(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="vbsgen",
+        description="Generate a Virtual Bit-Stream from a BLIF netlist.",
+    )
+    _add_vbsgen_args(parser)
+    return _run_vbsgen(parser.parse_args(argv))
+
+
+def _run_vbsgen(args: argparse.Namespace) -> int:
     netlist = parse_blif(args.blif.read_text(), args.blif.stem)
     params = ArchParams(channel_width=args.channel_width,
                         lut_size=args.lut_size)
@@ -44,11 +66,25 @@ def main_vbsgen(argv: "list[str] | None" = None) -> int:
     flow = run_flow(netlist, params, seed=args.seed)
     print(flow.summary())
 
+    codecs = args.codecs
+    if codecs is not None and codecs != "auto":
+        codecs = [name.strip() for name in codecs.split(",") if name.strip()]
     config = expand_routing(flow.design, flow.placement, flow.routing, flow.rrg)
-    vbs = encode_flow(flow, config, cluster_size=args.cluster_size)
+    vbs = encode_flow(
+        flow, config,
+        cluster_size=args.cluster_size,
+        compact_logic=args.compact_logic,
+        codecs=codecs,
+        workers=args.workers,
+    )
     out = args.output or args.blif.with_suffix(".vbs")
     out.write_bytes(vbs.to_bits().to_bytes())
     print(f"{vbs!r}\nwrote {out}")
+    if vbs.stats.codec_counts:
+        counts = ", ".join(
+            f"{name}={n}" for name, n in sorted(vbs.stats.codec_counts.items())
+        )
+        print(f"codecs: {counts}")
     if vbs.stats.clusters_raw:
         print(f"note: {vbs.stats.clusters_raw} cluster(s) used the raw fallback")
 
@@ -59,5 +95,64 @@ def main_vbsgen(argv: "list[str] | None" = None) -> int:
     return 0
 
 
+def _run_vbs_inspect(args: argparse.Namespace) -> int:
+    from repro.utils.bitarray import BitArray
+    from repro.vbs.codecs import codec_by_name
+    from repro.vbs.format import PRELUDE_BITS
+
+    data = args.file.read_bytes()
+    vbs = VirtualBitstream.from_bits(BitArray.from_bytes(data))
+    lay = vbs.layout
+    print(f"container: {args.file} ({len(data)} bytes)")
+    print("prelude:")
+    print(f"  cluster size    {lay.cluster_size}")
+    print(f"  channel width   {lay.params.channel_width}")
+    print(f"  lut size        {lay.params.lut_size}")
+    print(f"  compact logic   {lay.compact_logic}")
+    print(f"  task            {lay.width}x{lay.height} macros")
+    print(f"payload: {vbs.size_bits} bits Table I accounting "
+          f"(+{PRELUDE_BITS} prelude)")
+    print(f"records: {len(vbs.records)} listed cluster(s)")
+    counts = vbs.codec_tags()
+    for name in sorted(counts):
+        tag = codec_by_name(name).tag
+        print(f"  codec {name!r} (tag {tag}): {counts[name]} record(s)")
+    if args.per_cluster:
+        for rec in vbs.records:
+            name = rec.codec_name(lay)
+            print(f"  ({rec.pos[0]:>3},{rec.pos[1]:>3})  {name:<8}"
+                  f"{rec.size_bits(lay):>8} bits")
+    ratio = vbs.compression_ratio()
+    print(f"raw equivalent: {vbs.raw_equivalent_bits()} bits")
+    print(f"compression ratio: {ratio:.4f} ({ratio:.1%} of raw)")
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    """The ``repro`` umbrella command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Compressed-FPGA-configuration design flow and runtime.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("vbsgen", help="generate a VBS from a BLIF netlist")
+    _add_vbsgen_args(gen)
+    gen.set_defaults(func=_run_vbsgen)
+
+    vbs = sub.add_parser("vbs", help="Virtual Bit-Stream container tools")
+    vbs_sub = vbs.add_subparsers(dest="vbs_command", required=True)
+    inspect = vbs_sub.add_parser(
+        "inspect", help="print prelude, codec tags and compression ratio"
+    )
+    inspect.add_argument("file", type=Path, help=".vbs container file")
+    inspect.add_argument("--per-cluster", action="store_true",
+                         help="also list every cluster record")
+    inspect.set_defaults(func=_run_vbs_inspect)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
 if __name__ == "__main__":
-    sys.exit(main_vbsgen())
+    sys.exit(main())

@@ -2,7 +2,10 @@
 
 from repro.runtime.memory import ExternalMemory, StoredImage
 from repro.runtime.costmodel import (
+    CachedDecode,
     CostParams,
+    DecodeCache,
+    DecodeCacheStats,
     LoadCost,
     decode_cost,
     lpt_makespan,
@@ -14,7 +17,10 @@ from repro.runtime.manager import BEST_FIT, FIRST_FIT, FabricManager
 __all__ = [
     "ExternalMemory",
     "StoredImage",
+    "CachedDecode",
     "CostParams",
+    "DecodeCache",
+    "DecodeCacheStats",
     "LoadCost",
     "decode_cost",
     "lpt_makespan",

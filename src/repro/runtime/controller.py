@@ -10,6 +10,11 @@ and migration (re-decoding the same VBS at a new origin).
 All operations return cycle costs from :mod:`repro.runtime.costmodel`, so
 experiments can compare raw-versus-VBS load latency and decoder
 parallelism.
+
+Repeated and relocated loads of the same image are served from an LRU
+:class:`~repro.runtime.costmodel.DecodeCache` (content-digest keyed,
+origin-independent entries) and skip the de-virtualization replay
+entirely; see ``docs/architecture.md`` for the cache contract.
 """
 
 from __future__ import annotations
@@ -21,11 +26,19 @@ from repro.arch.fabric import FabricArch
 from repro.bitstream.config import FabricConfig
 from repro.bitstream.raw import RawBitstream
 from repro.errors import RuntimeManagementError
-from repro.runtime.costmodel import CostParams, LoadCost, decode_cost, write_cost
+from repro.runtime.costmodel import (
+    CachedDecode,
+    CostParams,
+    DecodeCache,
+    LoadCost,
+    decode_cost,
+    write_cost,
+)
 from repro.runtime.memory import ExternalMemory, StoredImage
 from repro.utils.bitarray import BitArray
 from repro.utils.geometry import Rect
 from repro.vbs.decode import DecodeStats, decode_vbs
+from repro.vbs.devirt import DecodeMemo
 from repro.vbs.encode import VirtualBitstream
 
 
@@ -48,6 +61,8 @@ class ReconfigurationController:
         fabric: FabricArch,
         memory: ExternalMemory,
         cost_params: Optional[CostParams] = None,
+        decode_cache: "DecodeCache | None" = None,
+        cache_capacity: int = 16,
     ):
         self.fabric = fabric
         self.memory = memory
@@ -57,14 +72,35 @@ class ReconfigurationController:
             fabric.params, Rect(0, 0, fabric.width, fabric.height)
         )
         self.resident: Dict[str, ResidentTask] = {}
+        #: Decode cache: repeated/relocated loads of the same image skip
+        #: ClusterDecoder replay.  ``cache_capacity=0`` disables it.
+        if decode_cache is not None:
+            self.decode_cache: Optional[DecodeCache] = decode_cache
+        else:
+            self.decode_cache = (
+                DecodeCache(cache_capacity) if cache_capacity > 0 else None
+            )
+        #: Cross-task cluster-level result reuse (identical lists decode
+        #: once even across different images sharing wiring patterns).
+        #: Bounded, unlike an encoder-run memo: the controller lives for
+        #: the whole serving session.  Set to None to disable reuse.
+        self.decode_memo: Optional[DecodeMemo] = DecodeMemo(max_entries=4096)
 
     # -- placement bookkeeping ----------------------------------------------------
 
-    def region_free(self, region: Rect) -> bool:
-        """True when ``region`` is inside the fabric and collision-free."""
+    def region_free(self, region: Rect, ignore: Optional[str] = None) -> bool:
+        """True when ``region`` is inside the fabric and collision-free.
+
+        ``ignore`` names a resident task whose footprint does not count as
+        a collision — the migration/defragmentation case, where a task may
+        slide into a region overlapping its own current position.
+        """
         if not self.fabric.bounds.contains_rect(region):
             return False
-        return all(not task.region.overlaps(region) for task in self.resident.values())
+        return all(
+            task.name == ignore or not task.region.overlaps(region)
+            for task in self.resident.values()
+        )
 
     def _claim_region(self, name: str, region: Rect) -> None:
         if not self.fabric.bounds.contains_rect(region):
@@ -100,6 +136,45 @@ class ReconfigurationController:
             self.config.logic.pop((cell.x, cell.y), None)
             self.config.closed.pop((cell.x, cell.y), None)
 
+    # -- de-virtualization with caching ------------------------------------------
+
+    def _decode_image(
+        self, image: StoredImage, origin: Tuple[int, int]
+    ) -> Tuple[FabricConfig, DecodeStats, bool]:
+        """De-virtualize a VBS image at ``origin``, through the cache.
+
+        Returns ``(config, stats, cache_hit)``.  The cache stores the
+        origin-(0, 0) expansion — position abstraction makes one entry
+        serve every placement — so a hit performs only a translation copy
+        and zero router work.
+        """
+        if self.decode_cache is None:
+            config, stats = decode_vbs(
+                image.bits, origin=origin, memo=self.decode_memo
+            )
+            return config, stats, False
+        key = DecodeCache.key_for(image)
+        entry = self.decode_cache.get(key)
+        if entry is not None:
+            return entry.config_at(origin), entry.stats, True
+        vbs = VirtualBitstream.from_bits(image.bits)
+        base, stats = decode_vbs(vbs, origin=(0, 0), memo=self.decode_memo)
+        entry = CachedDecode(
+            config=base,
+            stats=stats,
+            codec_tags=tuple(sorted(vbs.codec_tags())),
+            layout=(
+                vbs.layout.width,
+                vbs.layout.height,
+                vbs.layout.cluster_size,
+                vbs.layout.compact_logic,
+            ),
+        )
+        self.decode_cache.put(key, entry)
+        # Translate a copy even for origin (0, 0): the cached expansion
+        # must never alias the configuration being written to the fabric.
+        return entry.config_at(origin), stats, False
+
     # -- task lifecycle ---------------------------------------------------------------
 
     def load_task(self, name: str, origin: Tuple[int, int]) -> ResidentTask:
@@ -113,10 +188,13 @@ class ReconfigurationController:
         cost = LoadCost(fetch_cycles=fetch_cycles)
         stats: Optional[DecodeStats] = None
         if image.kind == "vbs":
-            task_config, stats = decode_vbs(image.bits, origin=origin)
-            cost.decode_cycles, cost.per_unit_cycles = decode_cost(
-                stats, self.cost_params
+            task_config, stats, cost.cache_hit = self._decode_image(
+                image, origin
             )
+            if not cost.cache_hit:
+                cost.decode_cycles, cost.per_unit_cycles = decode_cost(
+                    stats, self.cost_params
+                )
         else:
             raw = RawBitstream(
                 self.fabric.params, image.width, image.height, image.bits

@@ -14,15 +14,24 @@ statements into numbers:
 * with ``parallel_units`` decoders, per-cluster jobs are dispatched
   longest-first (LPT) and the decode time is the resulting makespan;
 * writing frames into the configuration layer costs
-  ``ceil(frame bits / config_port_bits)`` cycles.
+  ``ceil(frame bits / config_port_bits)`` cycles;
+* the controller's :class:`DecodeCache` (LRU, content-digest keyed) makes
+  repeated or relocated loads of the same image skip de-virtualization
+  entirely — a cache hit costs zero decode cycles, and
+  :class:`DecodeCacheStats` surfaces the hit/miss counters.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.vbs.decode import DecodeStats
+
+if TYPE_CHECKING:
+    from repro.bitstream.config import FabricConfig
+    from repro.runtime.memory import StoredImage
 
 
 @dataclass(frozen=True)
@@ -43,10 +52,105 @@ class LoadCost:
     decode_cycles: int = 0
     write_cycles: int = 0
     per_unit_cycles: List[int] = field(default_factory=list)
+    #: True when de-virtualization was skipped via the decode cache.
+    cache_hit: bool = False
 
     @property
     def total_cycles(self) -> int:
         return self.fetch_cycles + self.decode_cycles + self.write_cycles
+
+
+# -- the runtime decode cache ---------------------------------------------------
+
+
+@dataclass
+class DecodeCacheStats:
+    """Hit/miss counters of the controller's decode cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class CachedDecode:
+    """One cached de-virtualization: origin-independent expansion + stats.
+
+    ``config`` is decoded at origin (0, 0); position abstraction makes it
+    valid for every placement of the task — consumers translate a copy to
+    the target origin.  ``codec_tags`` and ``layout`` record which codings
+    and coding geometry produced the entry (cache introspection; the
+    digest key already pins them).
+    """
+
+    config: "FabricConfig"
+    stats: DecodeStats
+    codec_tags: Tuple[str, ...]
+    layout: Tuple[int, int, int, bool]  # (width, height, cluster_size, compact)
+
+    def config_at(self, origin: Tuple[int, int]) -> "FabricConfig":
+        """A translated copy of the cached expansion at ``origin``."""
+        return self.config.translated(origin[0], origin[1])
+
+
+#: Cache key: (image digest, image kind, origin-independent dimensions).
+CacheKey = Tuple[str, str, int, int]
+
+
+class DecodeCache:
+    """LRU cache of de-virtualized task images.
+
+    Repeated or relocated loads of the same image skip the
+    :class:`~repro.vbs.devirt.ClusterDecoder` replay entirely: the cached
+    origin-(0,0) expansion is translated to the requested origin, so the
+    second load of a task costs zero decode cycles.  Keys are content
+    digests, so re-publishing a changed image under the same name can
+    never serve stale frames.
+    """
+
+    def __init__(self, capacity: int = 16):
+        if capacity < 1:
+            raise ValueError("decode cache capacity must be >= 1")
+        self.capacity = capacity
+        self.stats = DecodeCacheStats()
+        self._entries: "OrderedDict[CacheKey, CachedDecode]" = OrderedDict()
+
+    @staticmethod
+    def key_for(image: "StoredImage") -> CacheKey:
+        """The cache key of a stored image (digest + kind + layout)."""
+        return (image.digest(), image.kind, image.width, image.height)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: CacheKey) -> Optional[CachedDecode]:
+        """Look up ``key``, counting the hit/miss and refreshing recency."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return entry
+
+    def put(self, key: CacheKey, entry: CachedDecode) -> None:
+        """Insert (or refresh) an entry, evicting the least recently used."""
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
 
 
 def lpt_makespan(jobs: List[int], units: int) -> Tuple[int, List[int]]:

@@ -13,6 +13,7 @@ from typing import List, Optional, Tuple
 
 from repro.errors import RuntimeManagementError
 from repro.runtime.controller import ReconfigurationController, ResidentTask
+from repro.runtime.costmodel import DecodeCacheStats
 from repro.utils.geometry import Rect
 
 #: Supported placement strategies.
@@ -43,24 +44,61 @@ class FabricManager:
             for x in range(fabric.width - w + 1)
         ]
 
-    def find_origin(self, w: int, h: int) -> Optional[Tuple[int, int]]:
+    def _free_perimeter(
+        self, region: Rect, ignore: Optional[str] = None
+    ) -> int:
+        """Free cells on the one-cell ring around ``region``.
+
+        The adjacency-aware best-fit score: cells of the surrounding ring
+        that are outside the fabric or covered by a resident task count as
+        *contact* (good — the placement hugs an edge or a neighbour);
+        whatever remains is free perimeter whose fragmentation potential
+        best-fit minimizes.
+        """
+        bounds = self.controller.fabric.bounds
+        occupied = [
+            t.region
+            for t in self.controller.resident.values()
+            if t.name != ignore
+        ]
+        free = 0
+        ring = (
+            [(x, region.y - 1) for x in range(region.x, region.x2)]
+            + [(x, region.y2) for x in range(region.x, region.x2)]
+            + [(region.x - 1, y) for y in range(region.y, region.y2)]
+            + [(region.x2, y) for y in range(region.y, region.y2)]
+        )
+        for (x, y) in ring:
+            if not bounds.contains(x, y):
+                continue  # fabric edge: contact
+            if any(r.contains(x, y) for r in occupied):
+                continue  # neighbouring task: contact
+            free += 1
+        return free
+
+    def find_origin(
+        self, w: int, h: int, ignore: Optional[str] = None
+    ) -> Optional[Tuple[int, int]]:
         """An origin where a ``w x h`` task fits, or None.
 
         First-fit returns the raster-first free origin; best-fit minimizes
-        the remaining bounding-box slack around resident tasks (a simple
-        fragmentation-avoidance heuristic).
+        the free perimeter around the placed rectangle (adjacency-aware
+        fragmentation avoidance), breaking ties toward the origin corner
+        and then raster order.
+
+        ``ignore`` excludes one resident task from collision and scoring —
+        pass the migrating task's own name so it may slide into a region
+        overlapping its current footprint.
         """
         best: Optional[Tuple[int, int]] = None
-        best_score: Optional[int] = None
+        best_score: Optional[Tuple[int, int]] = None
         for (x, y) in self._candidate_origins(w, h):
             region = Rect(x, y, w, h)
-            if not self.controller.region_free(region):
+            if not self.controller.region_free(region, ignore=ignore):
                 continue
             if self.strategy == FIRST_FIT:
                 return (x, y)
-            # Best-fit: prefer origins hugging the fabric corner and other
-            # tasks (minimize x + y plus free-perimeter estimate).
-            score = x + y
+            score = (self._free_perimeter(region, ignore=ignore), x + y)
             if best_score is None or score < best_score:
                 best, best_score = (x, y), score
         return best
@@ -84,7 +122,11 @@ class FabricManager:
 
         Tasks are revisited in raster order of their current origin and
         migrated to the first free origin (which can only be at or before
-        their current position), so the loop terminates in one pass.
+        their current position), so the loop terminates in one pass.  The
+        search ignores the migrating task's own footprint, so a task can
+        slide into a region overlapping its current one — without that, a
+        task bordered by its own cells could never move and trivial
+        fragmentation would survive.
         """
         moved = 0
         order = sorted(
@@ -93,7 +135,7 @@ class FabricManager:
         )
         for task in order:
             current = task.region
-            target = self.find_origin(current.w, current.h)
+            target = self.find_origin(current.w, current.h, ignore=task.name)
             if target is None:
                 continue
             if target == (current.x, current.y):
@@ -104,3 +146,11 @@ class FabricManager:
                 self.controller.migrate_task(task.name, target)
                 moved += 1
         return moved
+
+    # -- introspection -----------------------------------------------------------------
+
+    @property
+    def cache_stats(self) -> Optional[DecodeCacheStats]:
+        """Decode-cache hit/miss counters (None when caching is disabled)."""
+        cache = self.controller.decode_cache
+        return cache.stats if cache is not None else None

@@ -31,6 +31,19 @@ class StoredImage:
     def size_bits(self) -> int:
         return len(self.bits)
 
+    def digest(self) -> str:
+        """Content digest of the stored bits (decode-cache keying).
+
+        Computed once and memoized: images are immutable after ``store``,
+        and the decode cache keys every load by digest — re-hashing the
+        whole payload per load would erase the cache's win.
+        """
+        cached = self.__dict__.get("_digest")
+        if cached is None:
+            cached = self.bits.digest()
+            object.__setattr__(self, "_digest", cached)
+        return cached
+
 
 class ExternalMemory:
     """A name-addressed store with a per-cycle fetch bandwidth."""

@@ -156,6 +156,21 @@ class BitArray:
         """Packed byte representation; final byte zero-padded."""
         return bytes(self._buf)
 
+    def digest(self) -> str:
+        """Content-addressing digest (hex SHA-256 over length + bytes).
+
+        Two arrays share a digest exactly when they are equal, including
+        length — the bit count is hashed ahead of the payload so e.g. a
+        7-bit and an 8-bit array with identical bytes differ.  Used as the
+        cache key of the runtime decode cache.
+        """
+        import hashlib
+
+        h = hashlib.sha256()
+        h.update(self._nbits.to_bytes(8, "big"))
+        h.update(self._buf)
+        return h.hexdigest()
+
     def copy(self) -> "BitArray":
         dup = BitArray(0)
         dup._nbits = self._nbits

@@ -7,9 +7,22 @@ router the run-time controller executes (Section II-C), at any clustering
 granularity (Section IV-B).
 """
 
-from repro.vbs.format import ClusterRecord, VbsLayout, PRELUDE_BITS
+from repro.vbs.format import (
+    CODEC_TAG_BITS,
+    ClusterRecord,
+    VbsLayout,
+    PRELUDE_BITS,
+)
+from repro.vbs.codecs import (
+    ClusterCodec,
+    codec_by_name,
+    codec_by_tag,
+    pick_codec,
+    register_codec,
+    registered_codecs,
+)
 from repro.vbs.extract import Component, crossing_ios, extract_components, pin_io
-from repro.vbs.devirt import ClusterDecoder, DevirtResult
+from repro.vbs.devirt import ClusterDecoder, DecodeMemo, DevirtResult
 from repro.vbs.order import candidate_orders, pair_distance
 from repro.vbs.encode import (
     EncodeStats,
@@ -20,9 +33,17 @@ from repro.vbs.encode import (
 from repro.vbs.decode import DecodeStats, decode_at, decode_vbs
 
 __all__ = [
+    "CODEC_TAG_BITS",
+    "ClusterCodec",
     "ClusterRecord",
+    "DecodeMemo",
     "VbsLayout",
     "PRELUDE_BITS",
+    "codec_by_name",
+    "codec_by_tag",
+    "pick_codec",
+    "register_codec",
+    "registered_codecs",
     "Component",
     "crossing_ios",
     "extract_components",

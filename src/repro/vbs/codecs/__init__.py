@@ -1,0 +1,131 @@
+"""Pluggable cluster-codec registry.
+
+The container serializer dispatches every cluster record body through a
+codec looked up by wire tag (decode) or by name (encode).  Codecs register
+here; the built-in set reproduces the paper's Table I codings (connection
+list + raw fallback), the Section V compact-logic variant, and adds a
+zero-skip run-length coding of the logic field.
+
+``pick_codec`` is the cost-driven selector of the encode pipeline: among
+an allowed set of codecs it returns the one whose ``record_bits`` is
+smallest for a concrete record, with the wire tag as a deterministic
+tie-break.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.errors import VbsError
+from repro.vbs.codecs.base import ClusterCodec
+from repro.vbs.codecs.compact import CompactLogicCodec
+from repro.vbs.codecs.listing import ConnectionListCodec
+from repro.vbs.codecs.rawfallback import RawFallbackCodec
+from repro.vbs.codecs.rle import RunLengthLogicCodec
+from repro.vbs.format import CODEC_TAG_BITS, ClusterRecord, VbsLayout
+
+_BY_NAME: Dict[str, ClusterCodec] = {}
+_BY_TAG: Dict[int, ClusterCodec] = {}
+
+#: Name sets the encoder understands (``codecs=`` argument / CLI flag).
+AUTO = "auto"
+
+
+def register_codec(codec: ClusterCodec) -> ClusterCodec:
+    """Add ``codec`` to the registry; name and tag must both be free."""
+    if not (0 <= codec.tag < (1 << CODEC_TAG_BITS)):
+        raise VbsError(
+            f"codec {codec.name!r}: tag {codec.tag} outside the "
+            f"{CODEC_TAG_BITS}-bit tag space"
+        )
+    if codec.name in _BY_NAME:
+        raise VbsError(f"codec name {codec.name!r} already registered")
+    if codec.tag in _BY_TAG:
+        raise VbsError(
+            f"codec tag {codec.tag} already taken by "
+            f"{_BY_TAG[codec.tag].name!r}"
+        )
+    _BY_NAME[codec.name] = codec
+    _BY_TAG[codec.tag] = codec
+    return codec
+
+
+def codec_by_name(name: str) -> ClusterCodec:
+    try:
+        return _BY_NAME[name]
+    except KeyError:
+        raise VbsError(
+            f"unknown codec {name!r}; registered: {sorted(_BY_NAME)}"
+        ) from None
+
+
+def codec_by_tag(tag: int) -> ClusterCodec:
+    try:
+        return _BY_TAG[tag]
+    except KeyError:
+        raise VbsError(f"unknown codec tag {tag} in container") from None
+
+
+def registered_codecs() -> List[ClusterCodec]:
+    """Every registered codec, in tag order."""
+    return [_BY_TAG[t] for t in sorted(_BY_TAG)]
+
+
+def resolve_codecs(
+    names: "str | Sequence[str] | None",
+) -> Optional[List[ClusterCodec]]:
+    """Map a user codec selection to codec objects.
+
+    ``None`` means "legacy default" (the caller decides); ``"auto"`` means
+    every registered codec; otherwise an explicit name sequence.
+    """
+    if names is None:
+        return None
+    if isinstance(names, str):
+        if names == AUTO:
+            return registered_codecs()
+        names = [names]
+    return [codec_by_name(n) for n in names]
+
+
+def pick_codec(
+    rec: ClusterRecord,
+    layout: VbsLayout,
+    allowed: Iterable[ClusterCodec],
+) -> ClusterCodec:
+    """The cheapest applicable codec for ``rec`` (tag as tie-break)."""
+    best: Optional[ClusterCodec] = None
+    best_key = None
+    for codec in allowed:
+        if not codec.encodable(rec, layout):
+            continue
+        key = (codec.record_bits(rec, layout), codec.tag)
+        if best_key is None or key < best_key:
+            best, best_key = codec, key
+    if best is None:
+        raise VbsError(
+            f"no registered codec can encode the record at {rec.pos}"
+        )
+    return best
+
+
+# Built-in codings (tag order mirrors the legacy wire semantics).
+register_codec(ConnectionListCodec())
+register_codec(RawFallbackCodec())
+register_codec(CompactLogicCodec())
+register_codec(RunLengthLogicCodec())
+
+__all__ = [
+    "AUTO",
+    "ClusterCodec",
+    "CompactLogicCodec",
+    "ConnectionListCodec",
+    "RawFallbackCodec",
+    "RunLengthLogicCodec",
+    "codec_by_name",
+    "codec_by_tag",
+    "pick_codec",
+    "register_codec",
+    "registered_codecs",
+    "resolve_codecs",
+]

@@ -1,0 +1,71 @@
+"""The per-cluster codec protocol.
+
+A :class:`ClusterCodec` owns the *record body* of one coding of Table I —
+everything after the position and codec-tag fields of a cluster record.
+The container serializer (``VirtualBitstream.to_bits``/``from_bits``)
+writes the framing and dispatches the body through the registry, so a new
+coding is one subclass plus one ``register_codec`` call; the container
+format itself never changes again.
+
+Contract:
+
+* ``encode_record``/``decode_record`` must be exact inverses for every
+  record the codec accepts (``encodable`` true);
+* ``record_bits`` must equal the number of bits ``encode_record`` emits
+  plus the record framing (``layout.record_overhead_bits``) — the size
+  accounting of the paper's figures is computed from it without
+  serializing;
+* decoding must reconstruct a *normalized* record: full-length ``logic``
+  and ``raw_frames`` fields, so downstream consumers (the
+  de-virtualization router, the functional verifier) never see
+  codec-specific representations.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Tuple
+
+from repro.utils.bitarray import BitReader, BitWriter
+from repro.vbs.format import ClusterRecord, VbsLayout
+
+
+class ClusterCodec(ABC):
+    """One way of coding a cluster record body."""
+
+    #: Registry name (stable, user-facing; also ``ClusterRecord.codec``).
+    name: str
+    #: Wire tag written after the position fields (``CODEC_TAG_BITS`` wide).
+    tag: int
+    #: True when decoded records are raw-fallback records (``raw_frames``).
+    codes_raw: bool = False
+
+    @abstractmethod
+    def encode_record(
+        self, w: BitWriter, rec: ClusterRecord, layout: VbsLayout
+    ) -> None:
+        """Append the record body (everything after pos + tag) to ``w``."""
+
+    @abstractmethod
+    def decode_record(
+        self, r: BitReader, pos: Tuple[int, int], layout: VbsLayout
+    ) -> ClusterRecord:
+        """Parse one record body; the returned record has ``codec=name``."""
+
+    @abstractmethod
+    def record_bits(self, rec: ClusterRecord, layout: VbsLayout) -> int:
+        """Total record size in bits, framing included."""
+
+    def encodable(self, rec: ClusterRecord, layout: VbsLayout) -> bool:
+        """Whether this codec can represent ``rec`` (cost-picker filter)."""
+        if self.codes_raw:
+            return rec.raw and rec.raw_frames is not None
+        return (
+            not rec.raw
+            and rec.logic is not None
+            and rec.pairs is not None
+            and len(rec.pairs) <= layout.max_routes
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r}, tag={self.tag})"

@@ -1,0 +1,60 @@
+"""The Section V compact-logic coding (legacy VERSION 1 body).
+
+One presence flag per member macro slot; NLB logic bits only where the
+slice is non-zero — "smarter coding of the VBS to gain ... in size".
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.utils.bitarray import BitArray, BitReader, BitWriter
+from repro.vbs.codecs.base import ClusterCodec
+from repro.vbs.format import ClusterRecord, VbsLayout
+
+
+class CompactLogicCodec(ClusterCodec):
+    """Route count, presence-flagged logic field, (In, Out) pairs."""
+
+    name = "compact"
+    tag = 2
+
+    def encode_record(self, w: BitWriter, rec, layout) -> None:
+        w.write(len(rec.pairs), layout.route_count_bits)
+        nlb = layout.params.nlb
+        for k in range(layout.cluster_size * layout.cluster_size):
+            piece = rec.logic.slice(k * nlb, nlb)
+            if piece.count():
+                w.write(1, 1)
+                w.write_bits(piece)
+            else:
+                w.write(0, 1)
+        for a, b in rec.pairs:
+            w.write(a, layout.m_bits)
+            w.write(b, layout.m_bits)
+
+    def decode_record(
+        self, r: BitReader, pos: Tuple[int, int], layout: VbsLayout
+    ) -> ClusterRecord:
+        rc = r.read(layout.route_count_bits)
+        nlb = layout.params.nlb
+        logic = BitArray(layout.logic_bits_per_cluster)
+        for k in range(layout.cluster_size * layout.cluster_size):
+            if r.read(1):
+                logic.overwrite(k * nlb, r.read_bits(nlb))
+        pairs = [
+            (r.read(layout.m_bits), r.read(layout.m_bits)) for _ in range(rc)
+        ]
+        return ClusterRecord(
+            pos, raw=False, logic=logic, pairs=pairs, codec=self.name
+        )
+
+    def record_bits(self, rec: ClusterRecord, layout: VbsLayout) -> int:
+        n = layout.cluster_size * layout.cluster_size
+        return (
+            layout.record_overhead_bits
+            + layout.route_count_bits
+            + n
+            + rec.present_macros(layout) * layout.params.nlb
+            + len(rec.pairs or []) * 2 * layout.m_bits
+        )

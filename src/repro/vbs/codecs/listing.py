@@ -1,0 +1,43 @@
+"""The strict Table I connection-list coding (legacy VERSION 1 body)."""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.utils.bitarray import BitReader, BitWriter
+from repro.vbs.codecs.base import ClusterCodec
+from repro.vbs.format import ClusterRecord, VbsLayout
+
+
+class ConnectionListCodec(ClusterCodec):
+    """Route count, unconditional ``c^2 * NLB`` logic field, (In, Out) pairs."""
+
+    name = "list"
+    tag = 0
+
+    def encode_record(self, w: BitWriter, rec, layout) -> None:
+        w.write(len(rec.pairs), layout.route_count_bits)
+        w.write_bits(rec.logic)
+        for a, b in rec.pairs:
+            w.write(a, layout.m_bits)
+            w.write(b, layout.m_bits)
+
+    def decode_record(
+        self, r: BitReader, pos: Tuple[int, int], layout: VbsLayout
+    ) -> ClusterRecord:
+        rc = r.read(layout.route_count_bits)
+        logic = r.read_bits(layout.logic_bits_per_cluster)
+        pairs = [
+            (r.read(layout.m_bits), r.read(layout.m_bits)) for _ in range(rc)
+        ]
+        return ClusterRecord(
+            pos, raw=False, logic=logic, pairs=pairs, codec=self.name
+        )
+
+    def record_bits(self, rec: ClusterRecord, layout: VbsLayout) -> int:
+        return (
+            layout.record_overhead_bits
+            + layout.route_count_bits
+            + layout.logic_bits_per_cluster
+            + len(rec.pairs or []) * 2 * layout.m_bits
+        )

@@ -1,0 +1,41 @@
+"""The raw-coding fallback (Section III-B; legacy VERSION 1 body).
+
+The record body keeps the all-ones route-count sentinel of the VERSION 1
+layout ahead of the frames even though the codec tag already identifies
+the coding — the legacy body round-trips bit-identically, and the
+break-even accounting between raw and list records stays framing-neutral.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import VbsError
+from repro.utils.bitarray import BitReader, BitWriter
+from repro.vbs.codecs.base import ClusterCodec
+from repro.vbs.format import ClusterRecord, VbsLayout
+
+
+class RawFallbackCodec(ClusterCodec):
+    """Verbatim ``c^2 * Nraw`` macro frames in raster order."""
+
+    name = "raw"
+    tag = 1
+    codes_raw = True
+
+    def encode_record(self, w: BitWriter, rec, layout) -> None:
+        w.write(layout.raw_sentinel, layout.route_count_bits)
+        w.write_bits(rec.raw_frames)
+
+    def decode_record(
+        self, r: BitReader, pos: Tuple[int, int], layout: VbsLayout
+    ) -> ClusterRecord:
+        if r.read(layout.route_count_bits) != layout.raw_sentinel:
+            raise VbsError(
+                f"raw record at {pos}: route-count field is not the sentinel"
+            )
+        frames = r.read_bits(layout.raw_bits_per_cluster)
+        return ClusterRecord(pos, raw=True, raw_frames=frames, codec=self.name)
+
+    def record_bits(self, rec: ClusterRecord, layout: VbsLayout) -> int:
+        return layout.raw_record_bits

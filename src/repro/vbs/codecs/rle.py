@@ -1,0 +1,81 @@
+"""Zero-skip run-length coding of the logic field (registry addition).
+
+The compact-logic coding of Section V skips *whole member macros* whose
+logic slice is all-zero, but still pays the full NLB bits for a macro
+holding a single-minterm LUT.  This codec subdivides the ``c^2 * NLB``
+logic field into fixed ``CHUNK_BITS``-bit chunks: one presence flag per
+chunk, literal bits only for non-zero chunks.  Sparse truth tables (the
+common case for small logic functions mapped onto K-input LUTs) shrink
+far below both the strict Table I field and the compact-logic field; the
+cost picker selects it per cluster whenever it wins.
+
+The route-count and connection-pair fields are identical to the
+connection-list coding, so the codec composes with the same
+de-virtualization path.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.utils.bitarray import BitArray, BitReader, BitWriter
+from repro.vbs.codecs.base import ClusterCodec
+from repro.vbs.format import ClusterRecord, VbsLayout
+
+#: Zero-skip granularity over the logic field.
+CHUNK_BITS = 8
+
+
+class RunLengthLogicCodec(ClusterCodec):
+    """Route count, chunked zero-skip logic field, (In, Out) pairs."""
+
+    name = "rle"
+    tag = 3
+
+    def _chunks(self, layout: VbsLayout):
+        total = layout.logic_bits_per_cluster
+        offset = 0
+        while offset < total:
+            yield offset, min(CHUNK_BITS, total - offset)
+            offset += CHUNK_BITS
+
+    def encode_record(self, w: BitWriter, rec, layout) -> None:
+        w.write(len(rec.pairs), layout.route_count_bits)
+        for offset, width in self._chunks(layout):
+            piece = rec.logic.slice(offset, width)
+            if piece.count():
+                w.write(1, 1)
+                w.write_bits(piece)
+            else:
+                w.write(0, 1)
+        for a, b in rec.pairs:
+            w.write(a, layout.m_bits)
+            w.write(b, layout.m_bits)
+
+    def decode_record(
+        self, r: BitReader, pos: Tuple[int, int], layout: VbsLayout
+    ) -> ClusterRecord:
+        rc = r.read(layout.route_count_bits)
+        logic = BitArray(layout.logic_bits_per_cluster)
+        for offset, width in self._chunks(layout):
+            if r.read(1):
+                logic.overwrite(offset, r.read_bits(width))
+        pairs = [
+            (r.read(layout.m_bits), r.read(layout.m_bits)) for _ in range(rc)
+        ]
+        return ClusterRecord(
+            pos, raw=False, logic=logic, pairs=pairs, codec=self.name
+        )
+
+    def record_bits(self, rec: ClusterRecord, layout: VbsLayout) -> int:
+        logic_bits = 0
+        for offset, width in self._chunks(layout):
+            logic_bits += 1
+            if rec.logic.slice(offset, width).count():
+                logic_bits += width
+        return (
+            layout.record_overhead_bits
+            + layout.route_count_bits
+            + logic_bits
+            + len(rec.pairs or []) * 2 * layout.m_bits
+        )

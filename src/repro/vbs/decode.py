@@ -24,7 +24,7 @@ from repro.bitstream.config import FabricConfig
 from repro.errors import DevirtualizationError, VbsError
 from repro.utils.bitarray import BitArray
 from repro.utils.geometry import Rect
-from repro.vbs.devirt import ClusterDecoder
+from repro.vbs.devirt import ClusterDecoder, DecodeMemo
 from repro.vbs.encode import VirtualBitstream
 
 
@@ -34,6 +34,7 @@ class DecodeStats:
 
     clusters_decoded: int = 0
     clusters_raw: int = 0
+    clusters_reused: int = 0      # identical lists replayed from the memo
     connections_routed: int = 0
     connections_skipped: int = 0
     router_work: int = 0          # total BFS dequeues (sequential decoder)
@@ -46,11 +47,18 @@ def decode_vbs(
     vbs: "VirtualBitstream | BitArray",
     origin: Tuple[int, int] = (0, 0),
     params: Optional[ArchParams] = None,
+    memo: Optional[DecodeMemo] = None,
 ) -> Tuple[FabricConfig, DecodeStats]:
     """De-virtualize ``vbs`` into a :class:`FabricConfig` at ``origin``.
 
     ``vbs`` may be a parsed :class:`VirtualBitstream` or a raw container
     :class:`BitArray` (as fetched from external memory).
+
+    ``memo`` enables result reuse: clusters with identical connection
+    lists and member masks replay the first decode's closures instead of
+    re-running the router (their router work is reported as zero — no BFS
+    executes).  Pass a shared :class:`DecodeMemo` to extend reuse across
+    several decodes of related tasks.
     """
     if isinstance(vbs, BitArray):
         vbs = VirtualBitstream.from_bits(vbs, params=params)
@@ -86,9 +94,14 @@ def decode_vbs(
             continue
 
         stats.clusters_decoded += 1
-        decoder = ClusterDecoder(model, valid_macros=set(members))
         try:
-            result = decoder.decode(rec.pairs or [])
+            if memo is not None:
+                result, reused = memo.decode(model, rec.pairs or [],
+                                             set(members))
+            else:
+                decoder = ClusterDecoder(model, valid_macros=set(members))
+                result = decoder.decode(rec.pairs or [])
+                reused = False
         except DevirtualizationError as exc:
             raise VbsError(
                 f"cluster {rec.pos}: online de-virtualization failed — the "
@@ -96,9 +109,13 @@ def decode_vbs(
             ) from exc
         stats.connections_routed += result.connections_routed
         stats.connections_skipped += result.connections_skipped
-        stats.router_work += result.work
-        stats.per_cluster_work[rec.pos] = result.work
-        stats.max_cluster_work = max(stats.max_cluster_work, result.work)
+        if reused:
+            stats.clusters_reused += 1
+            stats.per_cluster_work[rec.pos] = 0
+        else:
+            stats.router_work += result.work
+            stats.per_cluster_work[rec.pos] = result.work
+            stats.max_cluster_work = max(stats.max_cluster_work, result.work)
 
         for (i, j), offsets in result.closed.items():
             gx, gy = ox + cx * c + i, oy + cy * c + j

@@ -55,6 +55,90 @@ Pair = Tuple[int, int]
 MAX_TRIES_PER_CONNECTION = 4
 
 
+class DecodeMemo:
+    """Result reuse across identical cluster decodes.
+
+    Two clusters with the same connection list (same order) and the same
+    valid-member mask de-virtualize to identical closures — the router is
+    deterministic.  Both the offline feedback loop (which replays many
+    clusters and candidate orders) and the run-time decoder (tasks are
+    full of repeated wiring patterns) hit the same keys over and over;
+    the memo returns the first run's :class:`DevirtResult` instead of
+    re-running the router.  Failed decodes are memoized too, so the
+    encoder's order search never retries a known-bad order.
+
+    Callers must treat returned results as immutable (they are shared).
+    Counter updates are approximate under concurrent encoding workers;
+    the decoded output never is.
+
+    ``max_entries`` bounds the memo for long-lived owners (the runtime
+    controller): insertion past the bound evicts in FIFO order.  The
+    default is unbounded, which suits one-shot encoder runs.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries < 1:
+            raise ValueError("memo bound must be >= 1")
+        self.max_entries = max_entries
+        #: (params, cluster size, connection order, member mask) ->
+        #: (result, None) on success or (None, error message) on failure.
+        self._entries: Dict[
+            tuple,
+            Tuple[Optional[DevirtResult], Optional[str]],
+        ] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _insert(
+        self,
+        key: tuple,
+        value: Tuple[Optional[DevirtResult], Optional[str]],
+    ) -> None:
+        if (
+            self.max_entries is not None
+            and key not in self._entries
+            and len(self._entries) >= self.max_entries
+        ):
+            self._entries.pop(next(iter(self._entries)))
+        self._entries[key] = value
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def decode(
+        self,
+        model: ClusterModel,
+        pairs: Sequence[Pair],
+        valid_macros: Optional[Set[Tuple[int, int]]] = None,
+    ) -> Tuple[DevirtResult, bool]:
+        """Decode (or replay) one list; returns ``(result, was_reused)``."""
+        # The model belongs in the key: a shared memo sees decodes of
+        # containers with different arch params or cluster sizes, whose
+        # identical-looking lists expand to different switch offsets.
+        key = (
+            model.params,
+            model.c,
+            tuple(pairs),
+            None if valid_macros is None else frozenset(valid_macros),
+        )
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            result, error = entry
+            if error is not None:
+                raise DevirtualizationError(error)
+            return result, True
+        self.misses += 1
+        decoder = ClusterDecoder(model, valid_macros=valid_macros)
+        try:
+            result = decoder.decode(list(pairs))
+        except DevirtualizationError as exc:
+            self._insert(key, (None, str(exc)))
+            raise
+        self._insert(key, (result, None))
+        return result, False
+
+
 @dataclass
 class DevirtResult:
     """Switch closures (per cluster-local macro) plus effort counters."""

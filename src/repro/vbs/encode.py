@@ -14,12 +14,26 @@ produces a :class:`VirtualBitstream`:
   handled correctly in all cases";
 * empty clusters are omitted entirely (the macro list of Table I carries
   positions, so the decoder zero-fills unlisted fabric).
+
+The encoder is a *batched pipeline*: each non-empty cluster is an
+independent work item (logic extraction, order search, record encoding,
+codec selection) driven either serially or through a
+``concurrent.futures`` worker pool (``workers=``), with output record
+ordering deterministic (raster) either way.  Identical cluster decodes
+are replayed from a shared :class:`~repro.vbs.devirt.DecodeMemo` instead
+of re-running the router.
+
+Record bodies are written and parsed by the pluggable codec registry
+(``repro.vbs.codecs``); ``codecs="auto"`` (or an explicit name list)
+enables the cost-driven per-cluster codec picker, while the default keeps
+the paper's strict Table I behavior (connection list + raw fallback,
+or the Section V compact-logic coding when ``compact_logic=True``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.arch.macro import get_cluster_model
 from repro.arch.params import ArchParams
@@ -32,11 +46,12 @@ from repro.cad.route import RoutingResult
 from repro.arch.rrg import RoutingGraph
 from repro.errors import DevirtualizationError, VbsError
 from repro.utils.bitarray import BitArray, BitReader, BitWriter
-from repro.vbs.devirt import ClusterDecoder
+from repro.vbs.devirt import DecodeMemo
 from repro.vbs.extract import extract_components
 from repro.vbs.format import (
     CHANNEL_BITS,
     CLUSTER_BITS,
+    CODEC_TAG_BITS,
     COMPACT_BITS,
     DIM_BITS,
     LUT_BITS,
@@ -60,7 +75,9 @@ class EncodeStats:
     pairs_total: int = 0
     orders_tried: int = 0
     offline_decode_work: int = 0
+    decode_reuse_hits: int = 0
     fallback_reasons: Dict[Tuple[int, int], str] = field(default_factory=dict)
+    codec_counts: Dict[str, int] = field(default_factory=dict)
 
 
 class VirtualBitstream:
@@ -103,10 +120,20 @@ class VirtualBitstream:
         """VBS size as a fraction of raw size (paper reports ~0.41 at c=1)."""
         return self.size_bits / self.raw_equivalent_bits()
 
+    def codec_tags(self) -> Dict[str, int]:
+        """Record count per codec name (registry introspection)."""
+        counts: Dict[str, int] = {}
+        for rec in self.records:
+            name = rec.codec_name(self.layout)
+            counts[name] = counts.get(name, 0) + 1
+        return counts
+
     # -- serialization ------------------------------------------------------------
 
     def to_bits(self) -> BitArray:
-        """Assemble the container binary."""
+        """Assemble the container binary (record bodies via the registry)."""
+        from repro.vbs.codecs import codec_by_name
+
         lay = self.layout
         w = BitWriter()
         w.write(MAGIC, MAGIC_BITS)
@@ -121,31 +148,12 @@ class VirtualBitstream:
         w.write(lay.width - 1, lay.dim_bits)
         w.write(lay.height - 1, lay.dim_bits)
         w.write(len(self.records), lay.count_bits)
-        nlb = lay.params.nlb
-        members = lay.cluster_size * lay.cluster_size
         for rec in self.records:
+            codec = codec_by_name(rec.codec_name(lay))
             w.write(rec.pos[0], lay.pos_bits)
             w.write(rec.pos[1], lay.pos_bits)
-            if rec.raw:
-                w.write(lay.raw_sentinel, lay.route_count_bits)
-                w.write_bits(rec.raw_frames)
-            else:
-                w.write(len(rec.pairs), lay.route_count_bits)
-                if lay.compact_logic:
-                    # Future-work coding (Section V): presence flag per
-                    # member slot, logic data only where non-zero.
-                    for k in range(members):
-                        piece = rec.logic.slice(k * nlb, nlb)
-                        if piece.count():
-                            w.write(1, 1)
-                            w.write_bits(piece)
-                        else:
-                            w.write(0, 1)
-                else:
-                    w.write_bits(rec.logic)
-                for a, b in rec.pairs:
-                    w.write(a, lay.m_bits)
-                    w.write(b, lay.m_bits)
+            w.write(codec.tag, CODEC_TAG_BITS)
+            codec.encode_record(w, rec, lay)
         return w.finish()
 
     @classmethod
@@ -153,11 +161,18 @@ class VirtualBitstream:
         cls, bits: BitArray, params: Optional[ArchParams] = None
     ) -> "VirtualBitstream":
         """Parse a container binary back into records."""
+        from repro.vbs.codecs import codec_by_tag
+
         r = BitReader(bits)
         if r.read(MAGIC_BITS) != MAGIC:
             raise VbsError("bad magic: not a Virtual Bit-Stream container")
-        if r.read(VERSION_BITS) != VERSION:
-            raise VbsError("unsupported VBS container version")
+        version = r.read(VERSION_BITS)
+        if version != VERSION:
+            raise VbsError(
+                f"unsupported VBS container version {version} "
+                f"(this build reads version {VERSION}; version 1 predates "
+                f"the per-record codec registry — re-encode the task)"
+            )
         cluster_size = r.read(CLUSTER_BITS)
         channel_width = r.read(CHANNEL_BITS)
         lut_size = r.read(LUT_BITS)
@@ -185,27 +200,8 @@ class VirtualBitstream:
         for _ in range(count):
             cx = r.read(lay.pos_bits)
             cy = r.read(lay.pos_bits)
-            rc = r.read(lay.route_count_bits)
-            if rc == lay.raw_sentinel:
-                frames = r.read_bits(lay.raw_bits_per_cluster)
-                records.append(
-                    ClusterRecord((cx, cy), raw=True, raw_frames=frames)
-                )
-            else:
-                if lay.compact_logic:
-                    logic = BitArray(lay.logic_bits_per_cluster)
-                    nlb = lay.params.nlb
-                    for k in range(lay.cluster_size * lay.cluster_size):
-                        if r.read(1):
-                            logic.overwrite(k * nlb, r.read_bits(nlb))
-                else:
-                    logic = r.read_bits(lay.logic_bits_per_cluster)
-                pairs = [
-                    (r.read(lay.m_bits), r.read(lay.m_bits)) for _ in range(rc)
-                ]
-                records.append(
-                    ClusterRecord((cx, cy), raw=False, logic=logic, pairs=pairs)
-                )
+            codec = codec_by_tag(r.read(CODEC_TAG_BITS))
+            records.append(codec.decode_record(r, (cx, cy), lay))
         return cls(lay, records)
 
     def __repr__(self) -> str:
@@ -250,6 +246,18 @@ def _cluster_raw_frames(
     return out
 
 
+@dataclass
+class _ClusterOutcome:
+    """One pipeline work item's result, merged into EncodeStats in order."""
+
+    record: ClusterRecord
+    pairs_total: int = 0
+    orders_tried: int = 0
+    offline_decode_work: int = 0
+    reuse_hits: int = 0
+    fallback_reason: Optional[str] = None
+
+
 def encode_design(
     design: PackedDesign,
     placement: Placement,
@@ -260,13 +268,26 @@ def encode_design(
     max_orders: int = 12,
     order_seed: int = 0,
     compact_logic: bool = False,
+    codecs: "str | Sequence[str] | None" = None,
+    workers: Optional[int] = None,
 ) -> VirtualBitstream:
     """Run vbsgen over a routed design at the given coding granularity.
 
     ``compact_logic`` enables the future-work coding of Section V (logic
     data only for macros that carry any); the default is the strict
     Table I layout used in the paper's figures.
+
+    ``codecs`` opts into the cost-driven codec picker: ``"auto"`` lets it
+    choose the smallest registered coding per cluster, an explicit name
+    sequence restricts the choice.  The raw coding is always available as
+    the guaranteed fallback — a cluster with no decodable order is coded
+    raw even when ``"raw"`` is not in the selection (Section III-B's
+    correctness guarantee), and a raw-only selection codes every cluster
+    raw.  ``workers`` > 1 drives the per-cluster work items through a
+    thread pool; records come back in raster order and the emitted
+    container is byte-identical to a serial run.
     """
+    from repro.vbs.codecs import codec_by_name, pick_codec, resolve_codecs
     from repro.vbs.order import candidate_orders
 
     fabric = placement.fabric
@@ -275,59 +296,103 @@ def encode_design(
                        compact_logic=compact_logic)
     model = get_cluster_model(params, cluster_size)
     components = extract_components(design, placement, routing, rrg, layout)
+    allowed = resolve_codecs(codecs)
+    memo = DecodeMemo()
 
-    stats = EncodeStats()
-    records: List[ClusterRecord] = []
-    cgw, cgh = layout.cluster_grid
+    def encode_one(pos: Tuple[int, int]) -> Optional[_ClusterOutcome]:
+        cx, cy = pos
+        comps = components.get((cx, cy), [])
+        logic = _cluster_logic(layout, config, cx, cy)
+        if not comps and logic.count() == 0:
+            return None  # empty cluster: omitted from the macro list
+        pairs: List[Pair] = [p for comp in comps for p in comp.pairs()]
+        outcome = _ClusterOutcome(record=None, pairs_total=len(pairs))
 
-    for cy in range(cgh):
-        for cx in range(cgw):
-            comps = components.get((cx, cy), [])
-            logic = _cluster_logic(layout, config, cx, cy)
-            if not comps and logic.count() == 0:
-                continue  # empty cluster: omitted from the macro list
-            stats.clusters_listed += 1
-            pairs: List[Pair] = [p for comp in comps for p in comp.pairs()]
-            stats.pairs_total += len(pairs)
-
-            record = None
-            if len(pairs) <= layout.max_routes:
-                valid = set(layout.valid_members(cx, cy))
-                tried_here = 0
-                for order in candidate_orders(
-                    pairs, model, max_orders=max_orders, seed=order_seed
-                ):
-                    tried_here += 1
-                    stats.orders_tried += 1
-                    decoder = ClusterDecoder(model, valid_macros=valid)
-                    try:
-                        result = decoder.decode(order)
-                    except DevirtualizationError:
-                        continue
-                    stats.offline_decode_work += result.work
-                    record = ClusterRecord(
-                        (cx, cy),
-                        raw=False,
-                        logic=logic,
-                        pairs=list(order),
-                        orders_tried=tried_here,
-                    )
-                    break
+        record: Optional[ClusterRecord] = None
+        if len(pairs) <= layout.max_routes:
+            valid = set(layout.valid_members(cx, cy))
+            for order in candidate_orders(
+                pairs, model, max_orders=max_orders, seed=order_seed
+            ):
+                outcome.orders_tried += 1
+                try:
+                    result, reused = memo.decode(model, order, valid)
+                except DevirtualizationError:
+                    continue
+                if reused:
+                    outcome.reuse_hits += 1
                 else:
-                    stats.fallback_reasons[(cx, cy)] = "no decodable order"
-            else:
-                stats.fallback_reasons[(cx, cy)] = (
-                    f"{len(pairs)} routes exceed the count field"
-                )
-
-            if record is None:
-                stats.clusters_raw += 1
+                    outcome.offline_decode_work += result.work
                 record = ClusterRecord(
                     (cx, cy),
-                    raw=True,
-                    raw_frames=_cluster_raw_frames(layout, config, cx, cy),
+                    raw=False,
+                    logic=logic,
+                    pairs=list(order),
+                    orders_tried=outcome.orders_tried,
                 )
-            records.append(record)
+                break
+            else:
+                outcome.fallback_reason = "no decodable order"
+        else:
+            outcome.fallback_reason = (
+                f"{len(pairs)} routes exceed the count field"
+            )
+
+        if record is not None and allowed is not None:
+            smart = [c for c in allowed if not c.codes_raw]
+            if not smart:
+                record = None  # raw-only selection: code every cluster raw
+            else:
+                best = pick_codec(record, layout, smart)
+                record.codec = best.name
+                # Raw competes on size too, but its record size is a layout
+                # constant — only materialize the frames when it wins.
+                if (
+                    any(c.codes_raw for c in allowed)
+                    and layout.raw_record_bits < record.size_bits(layout)
+                ):
+                    record = None
+        if record is None:
+            record = ClusterRecord(
+                (cx, cy),
+                raw=True,
+                raw_frames=_cluster_raw_frames(layout, config, cx, cy),
+                codec="raw",
+            )
+        outcome.record = record
+        return outcome
+
+    cgw, cgh = layout.cluster_grid
+    positions = [(cx, cy) for cy in range(cgh) for cx in range(cgw)]
+    if workers is not None and workers > 1:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            outcomes = list(pool.map(encode_one, positions))
+    else:
+        outcomes = [encode_one(pos) for pos in positions]
+
+    # Deterministic merge in raster order.
+    stats = EncodeStats()
+    records: List[ClusterRecord] = []
+    for outcome in outcomes:
+        if outcome is None:
+            continue
+        rec = outcome.record
+        stats.clusters_listed += 1
+        stats.pairs_total += outcome.pairs_total
+        stats.orders_tried += outcome.orders_tried
+        stats.offline_decode_work += outcome.offline_decode_work
+        stats.decode_reuse_hits += outcome.reuse_hits
+        if outcome.fallback_reason is not None:
+            stats.fallback_reasons[rec.pos] = outcome.fallback_reason
+        if rec.raw:
+            stats.clusters_raw += 1
+        name = rec.codec_name(layout)
+        stats.codec_counts[name] = stats.codec_counts.get(name, 0) + 1
+        # Fail fast on a codec that cannot carry its record.
+        codec_by_name(name)
+        records.append(rec)
 
     return VirtualBitstream(layout, records, stats)
 

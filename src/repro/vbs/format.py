@@ -27,6 +27,16 @@ architecture parameters and task dimensions so a VBS file is
 self-describing.  ``size_bits`` everywhere reports the Table I payload
 accounting used in the paper's figures, excluding the prelude.
 
+Since container VERSION 2 every cluster record carries an explicit
+``CODEC_TAG_BITS``-bit codec tag after its position fields, and the record
+body is read and written by the codec registered under that tag
+(``repro.vbs.codecs``).  The three legacy codings — connection list, raw
+fallback, and the Section V compact-logic variant — keep their VERSION 1
+record-body bit layouts exactly; the tag merely makes the choice explicit
+per record instead of implicit in the raw sentinel and the layout-wide
+compact flag, which is what lets new codecs (e.g. the zero-skip
+run-length coding) join without another container bump.
+
 Compact logic mode (the paper's future-work "smarter coding of the VBS to
 gain ... in size", Section V) replaces the unconditional ``c^2 * NLB``
 logic field by one presence bit per member macro followed by NLB bits for
@@ -48,8 +58,10 @@ from repro.utils.bitarray import BitArray, bits_for
 #: Container prelude field widths (not part of Table I accounting).
 MAGIC = 0xB5
 MAGIC_BITS = 8
-VERSION = 1
+VERSION = 2
 VERSION_BITS = 4
+#: Per-record codec selector (VERSION >= 2); room for eight codecs.
+CODEC_TAG_BITS = 3
 CLUSTER_BITS = 6
 CHANNEL_BITS = 8
 LUT_BITS = 4
@@ -156,6 +168,11 @@ class VbsLayout:
     def header_bits(self) -> int:
         return 2 * self.dim_bits + self.count_bits
 
+    @property
+    def record_overhead_bits(self) -> int:
+        """Per-record framing: position fields plus the codec tag."""
+        return 2 * self.pos_bits + CODEC_TAG_BITS
+
     def smart_record_bits(
         self, num_pairs: int, present_macros: Optional[int] = None
     ) -> int:
@@ -172,7 +189,7 @@ class VbsLayout:
         else:
             logic_bits = self.logic_bits_per_cluster
         return (
-            2 * self.pos_bits
+            self.record_overhead_bits
             + self.route_count_bits
             + logic_bits
             + num_pairs * 2 * self.m_bits
@@ -181,7 +198,11 @@ class VbsLayout:
     @property
     def raw_record_bits(self) -> int:
         """Payload bits of a raw-fallback cluster record."""
-        return 2 * self.pos_bits + self.route_count_bits + self.raw_bits_per_cluster
+        return (
+            self.record_overhead_bits
+            + self.route_count_bits
+            + self.raw_bits_per_cluster
+        )
 
     def record_break_even_pairs(self) -> int:
         """Pairs at which a smart record stops beating the raw record."""
@@ -199,12 +220,31 @@ class ClusterRecord:
     pairs: Optional[List[Tuple[int, int]]] = None
     raw_frames: Optional[BitArray] = None   # c^2 * Nraw bits (raw records)
     orders_tried: int = 1
+    #: Registered codec name; ``None`` falls back to the legacy choice
+    #: implied by ``raw`` and the layout-wide compact flag.
+    codec: Optional[str] = None
+
+    def codec_name(self, layout: VbsLayout) -> str:
+        """The registry name of the codec coding this record."""
+        if self.codec is not None:
+            return self.codec
+        if self.raw:
+            return "raw"
+        return "compact" if layout.compact_logic else "list"
 
     def validate(self, layout: VbsLayout) -> None:
         cgw, cgh = layout.cluster_grid
         cx, cy = self.pos
         if not (0 <= cx < cgw and 0 <= cy < cgh):
             raise VbsError(f"cluster position {self.pos} outside grid {cgw}x{cgh}")
+        if self.codec is not None:
+            from repro.vbs.codecs import codec_by_name
+
+            if codec_by_name(self.codec).codes_raw != self.raw:
+                raise VbsError(
+                    f"record at {self.pos}: codec {self.codec!r} disagrees "
+                    f"with raw={self.raw}"
+                )
         if self.raw:
             if self.raw_frames is None or len(self.raw_frames) != layout.raw_bits_per_cluster:
                 raise VbsError(f"raw record at {self.pos} has wrong frame size")
@@ -237,8 +277,6 @@ class ClusterRecord:
         )
 
     def size_bits(self, layout: VbsLayout) -> int:
-        if self.raw:
-            return layout.raw_record_bits
-        return layout.smart_record_bits(
-            len(self.pairs or []), self.present_macros(layout)
-        )
+        from repro.vbs.codecs import codec_by_name
+
+        return codec_by_name(self.codec_name(layout)).record_bits(self, layout)

@@ -6,7 +6,9 @@ from repro.bitstream import RawBitstream
 from repro.errors import RuntimeManagementError
 from repro.fabric import verify_connectivity
 from repro.runtime import (
+    BEST_FIT,
     CostParams,
+    DecodeCache,
     ExternalMemory,
     FabricManager,
     ReconfigurationController,
@@ -196,3 +198,169 @@ class TestFabricManager:
         moved = mgr.defragment()
         assert moved == 1
         assert mgr.controller.resident["small_raw"].region.x == 0
+
+
+def _geometry_controller(params8, width, height, **kwargs):
+    """An all-CLB fabric for pure placement-geometry tests."""
+    from repro.arch import FabricArch
+
+    fabric = FabricArch(
+        params8, width, height,
+        {(x, y): "clb" for x in range(width) for y in range(height)},
+    )
+    return ReconfigurationController(fabric, ExternalMemory(), **kwargs)
+
+
+def _store_blank_raw(ctrl, name, w, h):
+    """Publish an all-zero raw image of the requested footprint."""
+    bits = BitArray(w * h * ctrl.fabric.params.nraw)
+    ctrl.memory.store(name, bits, "raw", w, h)
+
+
+class TestDefragmentOverlap:
+    """find_origin must ignore the migrating task's own footprint."""
+
+    def test_task_slides_into_own_region(self, params8):
+        ctrl = _geometry_controller(params8, 6, 2)
+        _store_blank_raw(ctrl, "a", 4, 2)
+        ctrl.load_task("a", (1, 0))
+        mgr = FabricManager(ctrl)
+        # Every free 4x2 origin overlaps the task's current region; without
+        # self-exclusion the task is stuck and fragmentation survives.
+        assert mgr.find_origin(4, 2) is None
+        assert mgr.find_origin(4, 2, ignore="a") == (0, 0)
+        moved = mgr.defragment()
+        assert moved == 1
+        assert ctrl.resident["a"].region == Rect(0, 0, 4, 2)
+
+    def test_region_free_self_exclusion(self, params8):
+        ctrl = _geometry_controller(params8, 6, 2)
+        _store_blank_raw(ctrl, "a", 4, 2)
+        ctrl.load_task("a", (1, 0))
+        assert not ctrl.region_free(Rect(0, 0, 4, 2))
+        assert ctrl.region_free(Rect(0, 0, 4, 2), ignore="a")
+        assert ctrl.region_free(Rect(2, 0, 4, 2), ignore="a")
+
+
+class TestBestFit:
+    """Adjacency-aware best-fit vs raster first-fit."""
+
+    def _controller_with_gap(self, params8):
+        # 8x2 fabric, 1x2 blocker at x=4: a loose 4-wide gap at x=0..3 and
+        # a snug 3-wide gap at x=5..7.
+        ctrl = _geometry_controller(params8, 8, 2)
+        _store_blank_raw(ctrl, "blocker", 1, 2)
+        ctrl.load_task("blocker", (4, 0))
+        _store_blank_raw(ctrl, "t", 3, 2)
+        return ctrl
+
+    def test_first_fit_takes_raster_first(self, params8):
+        ctrl = self._controller_with_gap(params8)
+        task = FabricManager(ctrl).place_task("t")
+        assert (task.region.x, task.region.y) == (0, 0)
+
+    def test_best_fit_takes_snug_gap(self, params8):
+        ctrl = self._controller_with_gap(params8)
+        task = FabricManager(ctrl, strategy=BEST_FIT).place_task("t")
+        assert (task.region.x, task.region.y) == (5, 0)
+
+    def test_best_fit_empty_fabric_hugs_corner(self, params8):
+        ctrl = _geometry_controller(params8, 8, 2)
+        _store_blank_raw(ctrl, "t", 3, 2)
+        task = FabricManager(ctrl, strategy=BEST_FIT).place_task("t")
+        assert (task.region.x, task.region.y) == (0, 0)
+
+    def test_free_perimeter_scoring(self, params8):
+        ctrl = self._controller_with_gap(params8)
+        mgr = FabricManager(ctrl, strategy=BEST_FIT)
+        assert mgr._free_perimeter(Rect(5, 0, 3, 2)) == 0  # fully snug
+        assert mgr._free_perimeter(Rect(0, 0, 3, 2)) == 2  # open east side
+
+
+class TestDecodeCache:
+    def test_repeated_load_hits(self, controller):
+        first = controller.load_task("small", (0, 0))
+        assert not first.load_cost.cache_hit
+        assert first.load_cost.decode_cycles > 0
+        controller.unload_task("small")
+        second = controller.load_task("small", (0, 0))
+        assert second.load_cost.cache_hit
+        assert second.load_cost.decode_cycles == 0
+        stats = controller.decode_cache.stats
+        assert stats.hits == 1 and stats.misses == 1
+        assert stats.hit_rate == pytest.approx(0.5)
+
+    def test_relocated_hit_matches_decode(self, controller):
+        first = controller.load_task("small", (0, 0))
+        w = first.region.w
+        before = {
+            (c.x, c.y) for c in first.region.cells()
+            if not controller.config.is_empty_macro(c.x, c.y)
+        }
+        controller.unload_task("small")
+        moved = controller.load_task("small", (w, 0))
+        assert moved.load_cost.cache_hit
+        after = {
+            (c.x, c.y) for c in moved.region.cells()
+            if not controller.config.is_empty_macro(c.x, c.y)
+        }
+        assert {(x + w, y) for (x, y) in before} == after
+
+    def test_migration_replays_from_cache(self, controller):
+        task = controller.load_task("small", (0, 0))
+        moved = controller.migrate_task("small", (task.region.w, 0))
+        assert moved.load_cost.cache_hit
+        assert moved.load_cost.decode_cycles == 0
+        assert controller.decode_cache.stats.hits == 1
+
+    def test_cache_entry_metadata(self, controller, task_vbs):
+        controller.load_task("small", (0, 0))
+        (entry,) = controller.decode_cache._entries.values()
+        assert entry.layout == (
+            task_vbs.layout.width,
+            task_vbs.layout.height,
+            task_vbs.layout.cluster_size,
+            task_vbs.layout.compact_logic,
+        )
+        assert entry.codec_tags == tuple(sorted(task_vbs.codec_tags()))
+
+    def test_cache_disabled(self, small_flow, task_vbs, params8):
+        w = small_flow.fabric.width
+        ctrl = _geometry_controller(
+            small_flow.params, 2 * w + 2, w + 2, cache_capacity=0
+        )
+        ctrl.store_vbs("t", task_vbs)
+        assert ctrl.decode_cache is None
+        ctrl.load_task("t", (0, 0))
+        ctrl.unload_task("t")
+        again = ctrl.load_task("t", (0, 0))
+        assert not again.load_cost.cache_hit
+        assert again.load_cost.decode_cycles >= 0
+
+    def test_changed_image_same_name_misses(self, controller, small_flow,
+                                            small_config):
+        controller.load_task("small", (0, 0))
+        controller.unload_task("small")
+        # Re-publish different bits under the same name: the digest key
+        # must not serve the stale expansion.
+        other = encode_flow(small_flow, small_config, cluster_size=1,
+                            compact_logic=True)
+        controller.store_vbs("small", other)
+        again = controller.load_task("small", (0, 0))
+        assert not again.load_cost.cache_hit
+        assert controller.decode_cache.stats.misses == 2
+
+    def test_lru_eviction(self):
+        cache = DecodeCache(capacity=2)
+        for i in range(3):
+            cache.put((f"d{i}", "vbs", 1, 1), object())
+        assert len(cache) == 2
+        assert cache.stats.evictions == 1
+        assert cache.get(("d0", "vbs", 1, 1)) is None  # evicted
+        assert cache.get(("d2", "vbs", 1, 1)) is not None
+
+    def test_manager_surfaces_cache_stats(self, controller):
+        mgr = FabricManager(controller)
+        mgr.place_task("small")
+        assert mgr.cache_stats is controller.decode_cache.stats
+        assert mgr.cache_stats.misses == 1

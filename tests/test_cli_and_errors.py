@@ -59,6 +59,44 @@ class TestVbsgenCli:
         assert (tmp_path / "c2.vbs").exists()
 
 
+class TestReproCli:
+    @pytest.mark.integration
+    def test_vbs_inspect(self, tmp_path, capsys):
+        from repro.cli import main
+
+        blif = tmp_path / "demo.blif"
+        blif.write_text(
+            ".model demo\n.inputs a b\n.outputs x y\n"
+            ".names a b x\n11 1\n.names a b y\n10 1\n01 1\n.end\n"
+        )
+        out = tmp_path / "demo.vbs"
+        rc = main([
+            "vbsgen", str(blif), "-o", str(out), "-W", "8",
+            "--codecs", "auto", "--workers", "2",
+        ])
+        assert rc == 0
+        capsys.readouterr()
+
+        rc = main(["vbs", "inspect", str(out), "--per-cluster"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "prelude:" in text
+        assert "codec" in text
+        assert "compression ratio:" in text
+        # Per-cluster rows name registered codecs.
+        assert "'list'" in text or "'rle'" in text
+
+    @pytest.mark.integration
+    def test_inspect_rejects_garbage(self, tmp_path):
+        from repro.cli import main
+        from repro.errors import VbsError
+
+        bad = tmp_path / "junk.vbs"
+        bad.write_bytes(b"\x00" * 64)
+        with pytest.raises(VbsError):
+            main(["vbs", "inspect", str(bad)])
+
+
 class TestRunAllCli:
     @pytest.mark.integration
     def test_run_all_small(self, tmp_path, capsys):

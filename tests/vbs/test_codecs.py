@@ -1,0 +1,223 @@
+"""The pluggable cluster-codec registry.
+
+Covers registry lookup/registration rules, per-codec property round-trips
+(arbitrary records x every registered codec), size-accounting exactness,
+the cost picker, and mixed-codec container round-trips through
+``VirtualBitstream.from_bits``.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.arch import ArchParams
+from repro.errors import VbsError
+from repro.utils.bitarray import BitArray, BitReader, BitWriter
+from repro.vbs import (
+    VirtualBitstream,
+    codec_by_name,
+    codec_by_tag,
+    pick_codec,
+    register_codec,
+    registered_codecs,
+)
+from repro.vbs.codecs import resolve_codecs
+from repro.vbs.format import CODEC_TAG_BITS, ClusterRecord, VbsLayout
+
+COMMON = settings(
+    deadline=None, max_examples=30,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestRegistry:
+    def test_builtin_codecs_present(self):
+        names = {c.name for c in registered_codecs()}
+        assert {"list", "raw", "compact", "rle"} <= names
+
+    def test_lookup_by_name_and_tag_agree(self):
+        for codec in registered_codecs():
+            assert codec_by_name(codec.name) is codec
+            assert codec_by_tag(codec.tag) is codec
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(VbsError):
+            codec_by_name("zstd")
+
+    def test_unknown_tag_rejected(self):
+        used = {c.tag for c in registered_codecs()}
+        free = next(t for t in range(1 << CODEC_TAG_BITS) if t not in used)
+        with pytest.raises(VbsError):
+            codec_by_tag(free)
+
+    def test_duplicate_registration_rejected(self):
+        existing = registered_codecs()[0]
+        with pytest.raises(VbsError):
+            register_codec(existing)
+
+    def test_resolve_codecs(self):
+        assert resolve_codecs(None) is None
+        assert resolve_codecs("auto") == registered_codecs()
+        assert [c.name for c in resolve_codecs(["rle", "list"])] == [
+            "rle", "list",
+        ]
+
+
+def _layout(draw) -> VbsLayout:
+    params = ArchParams(channel_width=draw(st.integers(2, 8)))
+    return VbsLayout(
+        params,
+        draw(st.integers(1, 3)),
+        draw(st.integers(2, 10)),
+        draw(st.integers(2, 10)),
+        compact_logic=draw(st.booleans()),
+    )
+
+
+def _record(draw, layout: VbsLayout, raw: bool) -> ClusterRecord:
+    cgw, cgh = layout.cluster_grid
+    pos = (draw(st.integers(0, cgw - 1)), draw(st.integers(0, cgh - 1)))
+    if raw:
+        frames = BitArray(layout.raw_bits_per_cluster)
+        for idx in draw(st.lists(
+            st.integers(0, layout.raw_bits_per_cluster - 1), max_size=16
+        )):
+            frames[idx] = 1
+        return ClusterRecord(pos, raw=True, raw_frames=frames)
+    logic = BitArray(layout.logic_bits_per_cluster)
+    for idx in draw(st.lists(
+        st.integers(0, layout.logic_bits_per_cluster - 1), max_size=24
+    )):
+        logic[idx] = 1
+    io_limit = layout.params.cluster_io_count(layout.cluster_size)
+    n_pairs = draw(st.integers(0, min(8, layout.max_routes)))
+    pairs = [
+        (draw(st.integers(0, io_limit - 1)), draw(st.integers(0, io_limit - 1)))
+        for _ in range(n_pairs)
+    ]
+    return ClusterRecord(pos, raw=False, logic=logic, pairs=pairs)
+
+
+class TestCodecRoundTrips:
+    """Property: arbitrary records x every registered codec."""
+
+    @COMMON
+    @given(st.data())
+    def test_every_codec_roundtrips_bit_exactly(self, data):
+        layout = _layout(data.draw)
+        for codec in registered_codecs():
+            rec = _record(data.draw, layout, raw=codec.codes_raw)
+            assert codec.encodable(rec, layout)
+            w = BitWriter()
+            codec.encode_record(w, rec, layout)
+            bits = w.finish()
+            # Declared size = framing + emitted body, exactly.
+            assert codec.record_bits(rec, layout) == (
+                layout.record_overhead_bits + len(bits)
+            )
+            back = codec.decode_record(BitReader(bits), rec.pos, layout)
+            assert back.codec == codec.name
+            assert back.raw == rec.raw
+            if codec.codes_raw:
+                assert back.raw_frames == rec.raw_frames
+            else:
+                assert back.logic == rec.logic
+                assert back.pairs == rec.pairs
+
+    @COMMON
+    @given(st.data())
+    def test_mixed_codec_container_roundtrip(self, data):
+        layout = _layout(data.draw)
+        cgw, cgh = layout.cluster_grid
+        count = data.draw(st.integers(0, min(6, cgw * cgh)))
+        positions = data.draw(st.lists(
+            st.tuples(st.integers(0, cgw - 1), st.integers(0, cgh - 1)),
+            min_size=count, max_size=count, unique=True,
+        ))
+        records = []
+        for pos in sorted(positions, key=lambda p: (p[1], p[0])):
+            codec = data.draw(st.sampled_from(registered_codecs()))
+            rec = _record(data.draw, layout, raw=codec.codes_raw)
+            rec = ClusterRecord(
+                pos, raw=rec.raw, logic=rec.logic, pairs=rec.pairs,
+                raw_frames=rec.raw_frames, codec=codec.name,
+            )
+            records.append(rec)
+        vbs = VirtualBitstream(layout, records)
+        bits = vbs.to_bits()
+        assert len(bits) == vbs.container_bits
+        parsed = VirtualBitstream.from_bits(bits)
+        assert [r.codec for r in parsed.records] == [
+            r.codec for r in records
+        ]
+        assert parsed.size_bits == vbs.size_bits
+        # Re-encoding the parse is byte-identical (normalized records).
+        assert parsed.to_bits() == bits
+
+
+class TestCostPicker:
+    def _smart_record(self, layout, logic_bits=(), n_pairs=0):
+        logic = BitArray(layout.logic_bits_per_cluster)
+        for idx in logic_bits:
+            logic[idx] = 1
+        return ClusterRecord(
+            (0, 0), raw=False, logic=logic, pairs=[(0, 1)] * n_pairs
+        )
+
+    def test_picker_minimizes_bits(self):
+        layout = VbsLayout(ArchParams(channel_width=8), 1, 8, 8)
+        smart = [c for c in registered_codecs() if not c.codes_raw]
+        # Empty logic: rle (flag bits only) beats list (full field) and
+        # compact (one presence flag but same route/pair fields... still
+        # more than rle only when chunks < members is false) — just assert
+        # the picker's choice is the argmin.
+        rec = self._smart_record(layout, logic_bits=[0], n_pairs=2)
+        best = pick_codec(rec, layout, smart)
+        sizes = {c.name: c.record_bits(rec, layout) for c in smart}
+        assert sizes[best.name] == min(sizes.values())
+
+    def test_sparse_logic_prefers_rle(self):
+        layout = VbsLayout(ArchParams(channel_width=8), 1, 8, 8)
+        rec = self._smart_record(layout, logic_bits=[3], n_pairs=1)
+        smart = [c for c in registered_codecs() if not c.codes_raw]
+        assert pick_codec(rec, layout, smart).name == "rle"
+
+    def test_dense_logic_prefers_list(self):
+        layout = VbsLayout(ArchParams(channel_width=8), 1, 8, 8)
+        rec = self._smart_record(
+            layout, logic_bits=range(layout.logic_bits_per_cluster), n_pairs=1
+        )
+        smart = [c for c in registered_codecs() if not c.codes_raw]
+        assert pick_codec(rec, layout, smart).name == "list"
+
+    def test_no_applicable_codec_raises(self):
+        layout = VbsLayout(ArchParams(channel_width=8), 1, 8, 8)
+        raw_only = [codec_by_name("raw")]
+        rec = self._smart_record(layout)
+        with pytest.raises(VbsError):
+            pick_codec(rec, layout, raw_only)
+
+
+class TestRecordCodecConsistency:
+    def test_codec_raw_mismatch_rejected(self):
+        layout = VbsLayout(ArchParams(channel_width=8), 1, 8, 8)
+        rec = ClusterRecord(
+            (0, 0), raw=False, logic=BitArray(layout.logic_bits_per_cluster),
+            pairs=[], codec="raw",
+        )
+        with pytest.raises(VbsError):
+            rec.validate(layout)
+
+    def test_legacy_default_codec_names(self):
+        params = ArchParams(channel_width=8)
+        plain = VbsLayout(params, 1, 8, 8)
+        compact = VbsLayout(params, 1, 8, 8, compact_logic=True)
+        rec = ClusterRecord(
+            (0, 0), raw=False, logic=BitArray(plain.logic_bits_per_cluster),
+            pairs=[],
+        )
+        assert rec.codec_name(plain) == "list"
+        assert rec.codec_name(compact) == "compact"
+        raw_rec = ClusterRecord(
+            (0, 0), raw=True, raw_frames=BitArray(plain.raw_bits_per_cluster)
+        )
+        assert raw_rec.codec_name(plain) == "raw"

@@ -179,6 +179,94 @@ class TestCompactLogicMode:
         assert len(compact.to_bits()) == PRELUDE_BITS + compact.size_bits
 
 
+class TestCodecSelection:
+    """The cost-driven picker (codecs=) layered over the registry."""
+
+    def test_auto_never_larger_than_strict(self, small_flow, small_config):
+        strict = encode_flow(small_flow, small_config, cluster_size=1)
+        auto = encode_flow(
+            small_flow, small_config, cluster_size=1, codecs="auto"
+        )
+        assert auto.size_bits <= strict.size_bits
+        assert sum(auto.stats.codec_counts.values()) == len(auto.records)
+
+    def test_auto_roundtrip_decodes_identically(
+        self, small_flow, small_config
+    ):
+        strict = encode_flow(small_flow, small_config, cluster_size=1)
+        auto = encode_flow(
+            small_flow, small_config, cluster_size=1, codecs="auto"
+        )
+        a, _ = decode_vbs(VirtualBitstream.from_bits(strict.to_bits()))
+        b, _ = decode_vbs(VirtualBitstream.from_bits(auto.to_bits()))
+        assert a.content_equal(b)
+
+    def test_raw_only_selection(self, small_flow, small_config):
+        vbs = encode_flow(
+            small_flow, small_config, cluster_size=1, codecs=["raw"]
+        )
+        assert vbs.records and all(rec.raw for rec in vbs.records)
+        assert vbs.stats.codec_counts == {"raw": len(vbs.records)}
+        # Raw coding copies the expanded frames verbatim; the decoded task
+        # must still realize every net (the router may pick different but
+        # equivalent doglegs than the raw snapshot, so compare nets, not
+        # bits).
+        cfg, stats = decode_vbs(VirtualBitstream.from_bits(vbs.to_bits()))
+        assert stats.clusters_raw == len(vbs.records)
+        verify_connectivity(
+            small_flow.design, small_flow.placement, cfg, small_flow.fabric
+        )
+
+    def test_parallel_encode_byte_identical(self, small_flow, small_config):
+        serial = encode_flow(
+            small_flow, small_config, cluster_size=1, codecs="auto"
+        )
+        pooled = encode_flow(
+            small_flow, small_config, cluster_size=1, codecs="auto", workers=4
+        )
+        assert serial.to_bits() == pooled.to_bits()
+
+
+class TestDecodeMemo:
+    def test_identical_lists_reused(self, vbs1):
+        from repro.vbs import DecodeMemo
+
+        memo = DecodeMemo()
+        _cfg, plain = decode_vbs(vbs1)
+        cfg, stats = decode_vbs(vbs1, memo=memo)
+        # Same expansion, and the second decode against the warm memo
+        # performs zero router work.
+        _cfg2, stats2 = decode_vbs(vbs1, memo=memo)
+        assert cfg.content_equal(_cfg)
+        assert stats2.clusters_reused == stats2.clusters_decoded
+        assert stats2.router_work == 0
+        assert plain.clusters_decoded == stats.clusters_decoded
+
+    def test_memo_keys_on_model(self, params5, params8):
+        """Identical lists under different arch params must not alias."""
+        from repro.arch.macro import get_cluster_model
+        from repro.vbs import DecodeMemo
+
+        memo = DecodeMemo()
+        r5, reused5 = memo.decode(get_cluster_model(params5, 1), [(0, 1)])
+        r8, reused8 = memo.decode(get_cluster_model(params8, 1), [(0, 1)])
+        assert not reused5 and not reused8
+        fresh = DecodeMemo()
+        solo8, _ = fresh.decode(get_cluster_model(params8, 1), [(0, 1)])
+        assert r8.closed == solo8.closed
+
+    def test_memo_bound_evicts(self, params8):
+        from repro.arch.macro import get_cluster_model
+        from repro.vbs import DecodeMemo
+
+        model = get_cluster_model(params8, 1)
+        memo = DecodeMemo(max_entries=2)
+        for out_io in (1, 2, 3, 4):
+            memo.decode(model, [(0, out_io)])
+        assert len(memo) == 2
+        assert memo.misses == 4 and memo.hits == 0
+
+
 class TestClusterSweep:
     @pytest.mark.parametrize("cluster", [1, 2, 3, 4])
     def test_every_granularity_verifies(

@@ -5,7 +5,7 @@ import pytest
 from repro.arch import ArchParams
 from repro.errors import VbsError
 from repro.utils.bitarray import BitArray
-from repro.vbs.format import ClusterRecord, VbsLayout
+from repro.vbs.format import CODEC_TAG_BITS, ClusterRecord, VbsLayout
 
 
 class TestLayout:
@@ -33,10 +33,12 @@ class TestLayout:
     def test_record_sizes(self, params5):
         layout = VbsLayout(params5, 1, 10, 10)
         smart = layout.smart_record_bits(4)
-        expected = 2 * layout.pos_bits + layout.route_count_bits + 65 + 4 * 10
+        overhead = 2 * layout.pos_bits + CODEC_TAG_BITS
+        expected = overhead + layout.route_count_bits + 65 + 4 * 10
+        assert layout.record_overhead_bits == overhead
         assert smart == expected
         assert layout.raw_record_bits == (
-            2 * layout.pos_bits + layout.route_count_bits + 284
+            overhead + layout.route_count_bits + 284
         )
 
     def test_break_even(self, params5):
