@@ -50,6 +50,37 @@ def test_fig4_codec_picker_benchmark(benchmark, bench_flow, bench_config):
     )
 
 
+def test_fig4_codec_family_benchmark(benchmark, bench_flow, bench_config):
+    """The VERSION 3 family (dictionary/delta/Golomb) vs. the PR-1 set.
+
+    Monotone improvement on the benchmark netlist: the family may never
+    emit a larger container than the VERSION 2 codec set, and at least
+    one of the new codecs must win records.
+    """
+    pr1 = encode_flow(
+        bench_flow, bench_config, cluster_size=1,
+        codecs=["list", "raw", "compact", "rle"],
+    )
+
+    vbs = benchmark(
+        encode_flow, bench_flow, bench_config, cluster_size=1, codecs="auto"
+    )
+
+    assert vbs.size_bits <= pr1.size_bits
+    counts = vbs.stats.codec_counts
+    assert any(
+        counts.get(name, 0) for name in ("dict", "delta", "golomb", "eliasg")
+    ), "the VERSION 3 family should win records on the benchmark netlist"
+    benchmark.extra_info["codec_counts"] = counts
+    benchmark.extra_info["pr1_bits"] = pr1.size_bits
+    benchmark.extra_info["family_bits"] = vbs.size_bits
+    benchmark.extra_info["family_gain"] = round(
+        1 - vbs.size_bits / pr1.size_bits, 4
+    )
+    benchmark.extra_info["container_version"] = vbs.wire_version
+    benchmark.extra_info["dict_patterns"] = len(vbs.layout.dict_table)
+
+
 def test_fig4_decode_benchmark(benchmark, bench_flow, bench_config):
     vbs = encode_flow(bench_flow, bench_config, cluster_size=1)
     bits = vbs.to_bits()

@@ -95,7 +95,59 @@ def _run_vbsgen(args: argparse.Namespace) -> int:
     return 0
 
 
+def inspect_summary(vbs: VirtualBitstream, path: Path, num_bytes: int,
+                    per_cluster: bool = False) -> dict:
+    """JSON-ready container summary with schema-stable keys.
+
+    The key set is part of the tooling contract (asserted by the CLI
+    tests): additions are allowed, renames and removals are not.
+    """
+    from repro.vbs.codecs import codec_by_name
+    from repro.vbs.format import PRELUDE_BITS, CodecState
+
+    lay = vbs.layout
+    summary = {
+        "file": str(path),
+        "bytes": num_bytes,
+        "version": vbs.source_version or vbs.wire_version,
+        "prelude": {
+            "cluster_size": lay.cluster_size,
+            "channel_width": lay.params.channel_width,
+            "lut_size": lay.params.lut_size,
+            "compact_logic": lay.compact_logic,
+            "width": lay.width,
+            "height": lay.height,
+        },
+        "payload_bits": vbs.size_bits,
+        "prelude_bits": PRELUDE_BITS,
+        "dict_patterns": len(lay.dict_table),
+        "dict_section_bits": lay.dict_section_bits,
+        "records": len(vbs.records),
+        "codec_counts": {
+            name: count for name, count in sorted(vbs.codec_tags().items())
+        },
+        "raw_equivalent_bits": vbs.raw_equivalent_bits(),
+        "compression_ratio": vbs.compression_ratio(),
+    }
+    if per_cluster:
+        state = CodecState()
+        rows = []
+        for rec in vbs.records:
+            name = rec.codec_name(lay)
+            rows.append({
+                "pos": list(rec.pos),
+                "codec": name,
+                "tag": codec_by_name(name).tag,
+                "bits": rec.size_bits(lay, state=state),
+            })
+            state.observe(rec)
+        summary["per_cluster"] = rows
+    return summary
+
+
 def _run_vbs_inspect(args: argparse.Namespace) -> int:
+    import json
+
     from repro.utils.bitarray import BitArray
     from repro.vbs.codecs import codec_by_name
     from repro.vbs.format import PRELUDE_BITS
@@ -103,7 +155,14 @@ def _run_vbs_inspect(args: argparse.Namespace) -> int:
     data = args.file.read_bytes()
     vbs = VirtualBitstream.from_bits(BitArray.from_bytes(data))
     lay = vbs.layout
-    print(f"container: {args.file} ({len(data)} bytes)")
+    if args.json:
+        summary = inspect_summary(
+            vbs, args.file, len(data), per_cluster=args.per_cluster
+        )
+        print(json.dumps(summary, indent=1, sort_keys=True))
+        return 0
+    print(f"container: {args.file} ({len(data)} bytes, "
+          f"version {vbs.source_version})")
     print("prelude:")
     print(f"  cluster size    {lay.cluster_size}")
     print(f"  channel width   {lay.params.channel_width}")
@@ -112,16 +171,23 @@ def _run_vbs_inspect(args: argparse.Namespace) -> int:
     print(f"  task            {lay.width}x{lay.height} macros")
     print(f"payload: {vbs.size_bits} bits Table I accounting "
           f"(+{PRELUDE_BITS} prelude)")
+    if lay.dict_table:
+        print(f"dictionary: {len(lay.dict_table)} shared pattern(s), "
+              f"{lay.dict_section_bits} bits")
     print(f"records: {len(vbs.records)} listed cluster(s)")
     counts = vbs.codec_tags()
     for name in sorted(counts):
         tag = codec_by_name(name).tag
         print(f"  codec {name!r} (tag {tag}): {counts[name]} record(s)")
     if args.per_cluster:
+        from repro.vbs.format import CodecState
+
+        state = CodecState()
         for rec in vbs.records:
             name = rec.codec_name(lay)
             print(f"  ({rec.pos[0]:>3},{rec.pos[1]:>3})  {name:<8}"
-                  f"{rec.size_bits(lay):>8} bits")
+                  f"{rec.size_bits(lay, state=state):>8} bits")
+            state.observe(rec)
     ratio = vbs.compression_ratio()
     print(f"raw equivalent: {vbs.raw_equivalent_bits()} bits")
     print(f"compression ratio: {ratio:.4f} ({ratio:.1%} of raw)")
@@ -148,6 +214,8 @@ def main(argv: "list[str] | None" = None) -> int:
     inspect.add_argument("file", type=Path, help=".vbs container file")
     inspect.add_argument("--per-cluster", action="store_true",
                          help="also list every cluster record")
+    inspect.add_argument("--json", action="store_true",
+                         help="machine-readable summary (stable key schema)")
     inspect.set_defaults(func=_run_vbs_inspect)
 
     args = parser.parse_args(argv)

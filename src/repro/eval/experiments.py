@@ -32,7 +32,12 @@ from repro.eval.mcnc import MCNC_TABLE, circuit
 from repro.vbs.encode import encode_flow
 
 #: Bump to invalidate caches when result-affecting code changes.
-CACHE_VERSION = 3
+CACHE_VERSION = 4
+
+
+def format_codec_counts(counts: Dict[str, int]) -> str:
+    """Flatten a per-codec record-count map for CSV cells (stable order)."""
+    return ";".join(f"{name}={counts[name]}" for name in sorted(counts))
 
 DEFAULT_CLUSTERS = (1, 2, 3, 4, 5, 6, 8)
 EVAL_CHANNEL_WIDTH = 20  # the paper normalizes all circuits to 20 tracks
@@ -140,6 +145,7 @@ def evaluate_circuit(
             "clusters_raw": vbs.stats.clusters_raw,
             "pairs": vbs.stats.pairs_total,
             "orders_tried": vbs.stats.orders_tried,
+            "codec_counts": dict(sorted(vbs.codec_tags().items())),
             "decode_work": dstats.router_work,
             "decode_max_cluster_work": dstats.max_cluster_work,
             "encode_seconds": round(time.perf_counter() - t1, 2),
@@ -170,6 +176,9 @@ def run_fig4(
                 "vbs_bits": c1["vbs_bits"],
                 "ratio": c1["ratio"],
                 "clusters_raw": c1["clusters_raw"],
+                "codec_counts": format_codec_counts(
+                    c1.get("codec_counts", {})
+                ),
             }
         )
     return rows

@@ -58,7 +58,8 @@ def main(argv: "list[str] | None" = None) -> int:
     print()
     print(render_fig4(fig4))
     (results_dir / "fig4.csv").write_text(
-        to_csv(fig4, ["name", "raw_bits", "vbs_bits", "ratio", "clusters_raw"])
+        to_csv(fig4, ["name", "raw_bits", "vbs_bits", "ratio",
+                      "clusters_raw", "codec_counts"])
     )
 
     fig5 = run_fig5(names, results_dir, args.channel_width,

@@ -113,6 +113,24 @@ class BitArray:
     def __hash__(self) -> int:
         return hash((self._nbits, bytes(self._buf)))
 
+    def __xor__(self, other: "BitArray") -> "BitArray":
+        """Bitwise XOR of two equal-length arrays (byte-wise, so cheap).
+
+        Both operands keep their canonical zero padding past the end, so
+        the result's padding is zero too and equality stays canonical.
+        """
+        if not isinstance(other, BitArray):
+            return NotImplemented
+        if self._nbits != other._nbits:
+            raise ValueError(
+                f"cannot XOR a {self._nbits}-bit array with a "
+                f"{other._nbits}-bit array"
+            )
+        out = BitArray(0)
+        out._nbits = self._nbits
+        out._buf = bytearray(a ^ b for a, b in zip(self._buf, other._buf))
+        return out
+
     def __repr__(self) -> str:
         preview = "".join(str(b) for b in list(self)[:32])
         ell = "…" if self._nbits > 32 else ""
@@ -239,6 +257,16 @@ class BitReader:
     @property
     def remaining(self) -> int:
         return len(self._arr) - self._pos
+
+    def seek(self, position: int) -> None:
+        """Reposition the reader (used by the legacy VERSION 1 parser,
+        which must inspect the route-count field before it knows which
+        codec owns the record body)."""
+        if not 0 <= position <= len(self._arr):
+            raise ValueError(
+                f"seek position {position} outside [0, {len(self._arr)}]"
+            )
+        self._pos = position
 
     def read(self, width: int) -> int:
         """Consume and return the next ``width``-bit unsigned field."""

@@ -9,7 +9,11 @@ granularity (Section IV-B).
 
 from repro.vbs.format import (
     CODEC_TAG_BITS,
+    DICT_COUNT_BITS,
+    MAX_V2_TAG,
+    SUPPORTED_VERSIONS,
     ClusterRecord,
+    CodecState,
     VbsLayout,
     PRELUDE_BITS,
 )
@@ -34,8 +38,12 @@ from repro.vbs.decode import DecodeStats, decode_at, decode_vbs
 
 __all__ = [
     "CODEC_TAG_BITS",
+    "DICT_COUNT_BITS",
+    "MAX_V2_TAG",
+    "SUPPORTED_VERSIONS",
     "ClusterCodec",
     "ClusterRecord",
+    "CodecState",
     "DecodeMemo",
     "VbsLayout",
     "PRELUDE_BITS",

@@ -19,10 +19,18 @@ from typing import Dict, Iterable, List, Optional, Sequence
 from repro.errors import VbsError
 from repro.vbs.codecs.base import ClusterCodec
 from repro.vbs.codecs.compact import CompactLogicCodec
+from repro.vbs.codecs.delta import DeltaLogicCodec
+from repro.vbs.codecs.dictionary import DictionaryLogicCodec
+from repro.vbs.codecs.golomb import EliasGammaLogicCodec, GolombRiceLogicCodec
 from repro.vbs.codecs.listing import ConnectionListCodec
 from repro.vbs.codecs.rawfallback import RawFallbackCodec
 from repro.vbs.codecs.rle import RunLengthLogicCodec
-from repro.vbs.format import CODEC_TAG_BITS, ClusterRecord, VbsLayout
+from repro.vbs.format import (
+    CODEC_TAG_BITS,
+    ClusterRecord,
+    CodecState,
+    VbsLayout,
+)
 
 _BY_NAME: Dict[str, ClusterCodec] = {}
 _BY_TAG: Dict[int, ClusterCodec] = {}
@@ -93,7 +101,14 @@ def pick_codec(
     layout: VbsLayout,
     allowed: Iterable[ClusterCodec],
 ) -> ClusterCodec:
-    """The cheapest applicable codec for ``rec`` (tag as tie-break)."""
+    """The cheapest applicable codec for ``rec`` (tag as tie-break).
+
+    Costs are evaluated without container state, which is exact for
+    stateless codecs — the per-cluster pipeline's use case.  Stateful
+    codecs are assigned by the encoder's sequential family pass
+    (``repro.vbs.encode._family_selection``), which threads the real
+    raster-order state.
+    """
     best: Optional[ClusterCodec] = None
     best_key = None
     for codec in allowed:
@@ -109,17 +124,29 @@ def pick_codec(
     return best
 
 
-# Built-in codings (tag order mirrors the legacy wire semantics).
+# Built-in codings.  Tags 0-3 mirror the legacy wire semantics and are
+# the complete VERSION 2 set (MAX_V2_TAG); tags 4-7 are the VERSION 3
+# follow-on family.  The 3-bit tag space is now full — an eighth coding
+# needs a VERSION 4 container with a wider tag field.
 register_codec(ConnectionListCodec())
 register_codec(RawFallbackCodec())
 register_codec(CompactLogicCodec())
 register_codec(RunLengthLogicCodec())
+register_codec(DictionaryLogicCodec())
+register_codec(DeltaLogicCodec())
+register_codec(GolombRiceLogicCodec())
+register_codec(EliasGammaLogicCodec())
 
 __all__ = [
     "AUTO",
     "ClusterCodec",
+    "CodecState",
     "CompactLogicCodec",
     "ConnectionListCodec",
+    "DeltaLogicCodec",
+    "DictionaryLogicCodec",
+    "EliasGammaLogicCodec",
+    "GolombRiceLogicCodec",
     "RawFallbackCodec",
     "RunLengthLogicCodec",
     "codec_by_name",

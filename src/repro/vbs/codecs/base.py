@@ -10,11 +10,14 @@ format itself never changes again.
 Contract:
 
 * ``encode_record``/``decode_record`` must be exact inverses for every
-  record the codec accepts (``encodable`` true);
+  record the codec accepts (``encodable`` true), *under the same
+  container state* — the optional ``state`` argument carries the
+  raster-order :class:`~repro.vbs.format.CodecState` that stateful
+  codecs (``stateful = True``) code against; stateless codecs ignore it;
 * ``record_bits`` must equal the number of bits ``encode_record`` emits
   plus the record framing (``layout.record_overhead_bits``) — the size
   accounting of the paper's figures is computed from it without
-  serializing;
+  serializing — again for the same ``state``;
 * decoding must reconstruct a *normalized* record: full-length ``logic``
   and ``raw_frames`` fields, so downstream consumers (the
   de-virtualization router, the functional verifier) never see
@@ -24,10 +27,10 @@ Contract:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.utils.bitarray import BitReader, BitWriter
-from repro.vbs.format import ClusterRecord, VbsLayout
+from repro.vbs.format import ClusterRecord, CodecState, VbsLayout
 
 
 class ClusterCodec(ABC):
@@ -39,21 +42,43 @@ class ClusterCodec(ABC):
     tag: int
     #: True when decoded records are raw-fallback records (``raw_frames``).
     codes_raw: bool = False
+    #: True when the record body depends on :class:`CodecState` (the
+    #: raster-previous record).  Stateful codecs cannot be picked inside
+    #: the parallel per-cluster pipeline; the encoder assigns them in its
+    #: sequential family pass, and containers using them are VERSION 3.
+    stateful: bool = False
+    #: True when the codec references the container's shared dictionary
+    #: table (``layout.dict_table``) — also a VERSION 3 feature, assigned
+    #: by the encoder's two-pass family selection.
+    needs_dict: bool = False
 
     @abstractmethod
     def encode_record(
-        self, w: BitWriter, rec: ClusterRecord, layout: VbsLayout
+        self,
+        w: BitWriter,
+        rec: ClusterRecord,
+        layout: VbsLayout,
+        state: Optional[CodecState] = None,
     ) -> None:
         """Append the record body (everything after pos + tag) to ``w``."""
 
     @abstractmethod
     def decode_record(
-        self, r: BitReader, pos: Tuple[int, int], layout: VbsLayout
+        self,
+        r: BitReader,
+        pos: Tuple[int, int],
+        layout: VbsLayout,
+        state: Optional[CodecState] = None,
     ) -> ClusterRecord:
         """Parse one record body; the returned record has ``codec=name``."""
 
     @abstractmethod
-    def record_bits(self, rec: ClusterRecord, layout: VbsLayout) -> int:
+    def record_bits(
+        self,
+        rec: ClusterRecord,
+        layout: VbsLayout,
+        state: Optional[CodecState] = None,
+    ) -> int:
         """Total record size in bits, framing included."""
 
     def encodable(self, rec: ClusterRecord, layout: VbsLayout) -> bool:

@@ -19,7 +19,7 @@ class CompactLogicCodec(ClusterCodec):
     name = "compact"
     tag = 2
 
-    def encode_record(self, w: BitWriter, rec, layout) -> None:
+    def encode_record(self, w: BitWriter, rec, layout, state=None) -> None:
         w.write(len(rec.pairs), layout.route_count_bits)
         nlb = layout.params.nlb
         for k in range(layout.cluster_size * layout.cluster_size):
@@ -34,7 +34,8 @@ class CompactLogicCodec(ClusterCodec):
             w.write(b, layout.m_bits)
 
     def decode_record(
-        self, r: BitReader, pos: Tuple[int, int], layout: VbsLayout
+        self, r: BitReader, pos: Tuple[int, int], layout: VbsLayout,
+        state=None,
     ) -> ClusterRecord:
         rc = r.read(layout.route_count_bits)
         nlb = layout.params.nlb
@@ -49,7 +50,9 @@ class CompactLogicCodec(ClusterCodec):
             pos, raw=False, logic=logic, pairs=pairs, codec=self.name
         )
 
-    def record_bits(self, rec: ClusterRecord, layout: VbsLayout) -> int:
+    def record_bits(
+        self, rec: ClusterRecord, layout: VbsLayout, state=None
+    ) -> int:
         n = layout.cluster_size * layout.cluster_size
         return (
             layout.record_overhead_bits

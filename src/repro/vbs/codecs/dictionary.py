@@ -1,0 +1,84 @@
+"""Dictionary coding over a shared logic-pattern table (VERSION 3 family).
+
+Real tasks tile the same small set of truth tables across many clusters
+(an adder column, a register file slice, replicated datapath cells —
+the LZ-style redundancy the configuration-compression literature
+exploits).  The dictionary codec lifts those repeated ``c^2 * NLB``
+logic fields into a shared table written once in the container's
+VERSION 3 dictionary section; each record body then carries only a
+``layout.dict_index_bits``-wide table reference next to the usual route
+count and connection pairs.
+
+The codec itself is a pure table lookup — the intelligence lives in the
+encoder's two-pass family selection (``repro.vbs.encode``), which builds
+the table from pattern frequencies and only keeps it when the summed
+per-record savings beat the section cost (each pattern's storage plus
+the ``DICT_COUNT_BITS`` count field), so a dictionary container is never
+larger than the best table-free coding.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.errors import VbsError
+from repro.utils.bitarray import BitReader, BitWriter
+from repro.vbs.codecs.base import ClusterCodec
+from repro.vbs.format import ClusterRecord, CodecState, VbsLayout
+
+
+class DictionaryLogicCodec(ClusterCodec):
+    """Route count, shared-table pattern index, (In, Out) pairs."""
+
+    name = "dict"
+    tag = 4
+    needs_dict = True
+
+    def encodable(self, rec: ClusterRecord, layout: VbsLayout) -> bool:
+        return (
+            super().encodable(rec, layout)
+            and layout.dict_index(rec.logic) is not None
+        )
+
+    def encode_record(self, w, rec, layout, state=None) -> None:
+        index = layout.dict_index(rec.logic)
+        if index is None:
+            raise VbsError(
+                f"record at {rec.pos}: logic pattern not in the "
+                f"container dictionary table"
+            )
+        w.write(len(rec.pairs), layout.route_count_bits)
+        w.write(index, layout.dict_index_bits)
+        for a, b in rec.pairs:
+            w.write(a, layout.m_bits)
+            w.write(b, layout.m_bits)
+
+    def decode_record(
+        self,
+        r: BitReader,
+        pos: Tuple[int, int],
+        layout: VbsLayout,
+        state: Optional[CodecState] = None,
+    ) -> ClusterRecord:
+        rc = r.read(layout.route_count_bits)
+        index = r.read(layout.dict_index_bits)
+        if index >= len(layout.dict_table):
+            raise VbsError(
+                f"record at {pos}: dictionary reference {index} outside "
+                f"the {len(layout.dict_table)}-pattern table"
+            )
+        logic = layout.dict_table[index].copy()
+        pairs = [
+            (r.read(layout.m_bits), r.read(layout.m_bits)) for _ in range(rc)
+        ]
+        return ClusterRecord(
+            pos, raw=False, logic=logic, pairs=pairs, codec=self.name
+        )
+
+    def record_bits(self, rec, layout, state=None) -> int:
+        return (
+            layout.record_overhead_bits
+            + layout.route_count_bits
+            + layout.dict_index_bits
+            + len(rec.pairs or []) * 2 * layout.m_bits
+        )

@@ -1,0 +1,146 @@
+"""Golomb/Elias run-length codings of the logic field (VERSION 3 family).
+
+Where the ``rle`` codec spends one presence flag per fixed 8-bit chunk,
+these codecs code the logic field as a *run-length sequence*: a set-bit
+count (``bits_for(N + 1)`` wide for the ``N``-bit field) followed by the
+gaps between consecutive set bits in a self-delimiting integer code
+(``repro.vbs.codecs.varint``).  Sparse truth tables collapse to a few
+short gap codes; the all-zero field costs just the count field.
+
+Two variants are registered:
+
+* ``golomb`` — Golomb-Rice gaps with a per-record 3-bit parameter ``k``,
+  chosen by exhaustive scan to minimize the record (skipped when the
+  field has no set bits).  Rice adapts to dense fields (large ``k``
+  flattens the unary quotient), which gamma cannot.
+* ``eliasg`` — parameter-free Elias gamma gaps; one bit per gap of 1, so
+  an all-ones field costs ``N`` bits plus the count field.
+
+Route-count and connection-pair fields are identical to the
+connection-list coding, so both compose with the same de-virtualization
+path and the decode memo.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.errors import VbsError
+from repro.utils.bitarray import BitReader, BitWriter, bits_for
+from repro.vbs.codecs.base import ClusterCodec
+from repro.vbs.codecs.varint import (
+    RICE_K_BITS,
+    best_rice_k,
+    from_ones_gaps,
+    gamma_field_len,
+    ones_gaps,
+    read_gamma_field,
+    read_rice,
+    rice_len,
+    write_gamma_field,
+    write_rice,
+)
+from repro.vbs.format import ClusterRecord, CodecState, VbsLayout
+
+
+def _count_bits(layout: VbsLayout) -> int:
+    """Set-bit count field: codes 0..N inclusive for the N-bit field."""
+    return bits_for(layout.logic_bits_per_cluster + 1)
+
+
+class GolombRiceLogicCodec(ClusterCodec):
+    """Route count, Rice-coded set-bit gaps (per-record ``k``), pairs."""
+
+    name = "golomb"
+    tag = 6
+
+    def encode_record(self, w, rec, layout, state=None) -> None:
+        w.write(len(rec.pairs), layout.route_count_bits)
+        gaps = ones_gaps(rec.logic)
+        w.write(len(gaps), _count_bits(layout))
+        if gaps:
+            k = best_rice_k(gaps)
+            w.write(k, RICE_K_BITS)
+            for gap in gaps:
+                write_rice(w, gap - 1, k)
+        for a, b in rec.pairs:
+            w.write(a, layout.m_bits)
+            w.write(b, layout.m_bits)
+
+    def decode_record(
+        self,
+        r: BitReader,
+        pos: Tuple[int, int],
+        layout: VbsLayout,
+        state: Optional[CodecState] = None,
+    ) -> ClusterRecord:
+        rc = r.read(layout.route_count_bits)
+        count = r.read(_count_bits(layout))
+        if count > layout.logic_bits_per_cluster:
+            raise VbsError(
+                f"record at {pos}: {count} set bits claimed for a "
+                f"{layout.logic_bits_per_cluster}-bit logic field"
+            )
+        if count:
+            k = r.read(RICE_K_BITS)
+            gaps = (read_rice(r, k) + 1 for _ in range(count))
+        else:
+            gaps = iter(())
+        logic = from_ones_gaps(gaps, layout.logic_bits_per_cluster)
+        pairs = [
+            (r.read(layout.m_bits), r.read(layout.m_bits)) for _ in range(rc)
+        ]
+        return ClusterRecord(
+            pos, raw=False, logic=logic, pairs=pairs, codec=self.name
+        )
+
+    def record_bits(self, rec, layout, state=None) -> int:
+        gaps = ones_gaps(rec.logic)
+        logic_bits = _count_bits(layout)
+        if gaps:
+            k = best_rice_k(gaps)
+            logic_bits += RICE_K_BITS + sum(rice_len(g - 1, k) for g in gaps)
+        return (
+            layout.record_overhead_bits
+            + layout.route_count_bits
+            + logic_bits
+            + len(rec.pairs or []) * 2 * layout.m_bits
+        )
+
+
+class EliasGammaLogicCodec(ClusterCodec):
+    """Route count, Elias-gamma-coded set-bit gaps, pairs."""
+
+    name = "eliasg"
+    tag = 7
+
+    def encode_record(self, w, rec, layout, state=None) -> None:
+        w.write(len(rec.pairs), layout.route_count_bits)
+        write_gamma_field(w, rec.logic)
+        for a, b in rec.pairs:
+            w.write(a, layout.m_bits)
+            w.write(b, layout.m_bits)
+
+    def decode_record(
+        self,
+        r: BitReader,
+        pos: Tuple[int, int],
+        layout: VbsLayout,
+        state: Optional[CodecState] = None,
+    ) -> ClusterRecord:
+        rc = r.read(layout.route_count_bits)
+        logic = read_gamma_field(r, layout.logic_bits_per_cluster)
+        pairs = [
+            (r.read(layout.m_bits), r.read(layout.m_bits)) for _ in range(rc)
+        ]
+        return ClusterRecord(
+            pos, raw=False, logic=logic, pairs=pairs, codec=self.name
+        )
+
+    def record_bits(self, rec, layout, state=None) -> int:
+        return (
+            layout.record_overhead_bits
+            + layout.route_count_bits
+            + gamma_field_len(rec.logic)
+            + len(rec.pairs or []) * 2 * layout.m_bits
+        )

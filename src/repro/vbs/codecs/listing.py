@@ -15,7 +15,7 @@ class ConnectionListCodec(ClusterCodec):
     name = "list"
     tag = 0
 
-    def encode_record(self, w: BitWriter, rec, layout) -> None:
+    def encode_record(self, w: BitWriter, rec, layout, state=None) -> None:
         w.write(len(rec.pairs), layout.route_count_bits)
         w.write_bits(rec.logic)
         for a, b in rec.pairs:
@@ -23,7 +23,8 @@ class ConnectionListCodec(ClusterCodec):
             w.write(b, layout.m_bits)
 
     def decode_record(
-        self, r: BitReader, pos: Tuple[int, int], layout: VbsLayout
+        self, r: BitReader, pos: Tuple[int, int], layout: VbsLayout,
+        state=None,
     ) -> ClusterRecord:
         rc = r.read(layout.route_count_bits)
         logic = r.read_bits(layout.logic_bits_per_cluster)
@@ -34,7 +35,9 @@ class ConnectionListCodec(ClusterCodec):
             pos, raw=False, logic=logic, pairs=pairs, codec=self.name
         )
 
-    def record_bits(self, rec: ClusterRecord, layout: VbsLayout) -> int:
+    def record_bits(
+        self, rec: ClusterRecord, layout: VbsLayout, state=None
+    ) -> int:
         return (
             layout.record_overhead_bits
             + layout.route_count_bits

@@ -23,12 +23,13 @@ class RawFallbackCodec(ClusterCodec):
     tag = 1
     codes_raw = True
 
-    def encode_record(self, w: BitWriter, rec, layout) -> None:
+    def encode_record(self, w: BitWriter, rec, layout, state=None) -> None:
         w.write(layout.raw_sentinel, layout.route_count_bits)
         w.write_bits(rec.raw_frames)
 
     def decode_record(
-        self, r: BitReader, pos: Tuple[int, int], layout: VbsLayout
+        self, r: BitReader, pos: Tuple[int, int], layout: VbsLayout,
+        state=None,
     ) -> ClusterRecord:
         if r.read(layout.route_count_bits) != layout.raw_sentinel:
             raise VbsError(
@@ -37,5 +38,7 @@ class RawFallbackCodec(ClusterCodec):
         frames = r.read_bits(layout.raw_bits_per_cluster)
         return ClusterRecord(pos, raw=True, raw_frames=frames, codec=self.name)
 
-    def record_bits(self, rec: ClusterRecord, layout: VbsLayout) -> int:
+    def record_bits(
+        self, rec: ClusterRecord, layout: VbsLayout, state=None
+    ) -> int:
         return layout.raw_record_bits

@@ -39,7 +39,7 @@ class RunLengthLogicCodec(ClusterCodec):
             yield offset, min(CHUNK_BITS, total - offset)
             offset += CHUNK_BITS
 
-    def encode_record(self, w: BitWriter, rec, layout) -> None:
+    def encode_record(self, w: BitWriter, rec, layout, state=None) -> None:
         w.write(len(rec.pairs), layout.route_count_bits)
         for offset, width in self._chunks(layout):
             piece = rec.logic.slice(offset, width)
@@ -53,7 +53,8 @@ class RunLengthLogicCodec(ClusterCodec):
             w.write(b, layout.m_bits)
 
     def decode_record(
-        self, r: BitReader, pos: Tuple[int, int], layout: VbsLayout
+        self, r: BitReader, pos: Tuple[int, int], layout: VbsLayout,
+        state=None,
     ) -> ClusterRecord:
         rc = r.read(layout.route_count_bits)
         logic = BitArray(layout.logic_bits_per_cluster)
@@ -67,7 +68,9 @@ class RunLengthLogicCodec(ClusterCodec):
             pos, raw=False, logic=logic, pairs=pairs, codec=self.name
         )
 
-    def record_bits(self, rec: ClusterRecord, layout: VbsLayout) -> int:
+    def record_bits(
+        self, rec: ClusterRecord, layout: VbsLayout, state=None
+    ) -> int:
         logic_bits = 0
         for offset, width in self._chunks(layout):
             logic_bits += 1

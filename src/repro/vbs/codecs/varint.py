@@ -1,0 +1,165 @@
+"""Variable-length integer codes for run-length codecs.
+
+The fixed 8-bit chunking of the ``rle`` codec pays one flag per chunk no
+matter how the set bits cluster.  The Golomb/Elias family instead codes
+the *positions* of set bits as gaps between consecutive ones — the
+classic run-length view of a sparse bit field — using self-delimiting
+integer codes:
+
+* **Elias gamma** codes ``v >= 1`` as ``len(v) - 1`` zeros followed by
+  the ``len(v)`` binary digits of ``v`` (the leading one doubles as the
+  terminator): 1 -> ``1``, 2 -> ``010``, 5 -> ``00101``.
+* **Golomb-Rice** with parameter ``k`` codes ``v >= 0`` as the unary
+  quotient ``v >> k`` (that many ones and a zero) followed by the ``k``
+  low bits.  ``k = 0`` degenerates to plain unary.
+
+Both are exact-inverse pairs with closed-form lengths, so ``record_bits``
+never serializes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.errors import VbsError
+from repro.utils.bitarray import BitArray, BitReader, BitWriter, bits_for
+
+#: Width of the per-record Rice parameter field (k in 0..7).
+RICE_K_BITS = 3
+MAX_RICE_K = (1 << RICE_K_BITS) - 1
+
+
+def elias_gamma_len(value: int) -> int:
+    """Bits taken by the Elias gamma code of ``value`` (>= 1)."""
+    if value < 1:
+        raise ValueError(f"Elias gamma codes positive integers, got {value}")
+    return 2 * value.bit_length() - 1
+
+
+def write_elias_gamma(w: BitWriter, value: int) -> None:
+    if value < 1:
+        raise ValueError(f"Elias gamma codes positive integers, got {value}")
+    nbits = value.bit_length()
+    w.write(0, nbits - 1)
+    w.write(value, nbits)
+
+
+def read_elias_gamma(r: BitReader) -> int:
+    zeros = 0
+    while r.read(1) == 0:
+        zeros += 1
+    value = 1
+    for _ in range(zeros):
+        value = (value << 1) | r.read(1)
+    return value
+
+
+def rice_len(value: int, k: int) -> int:
+    """Bits taken by the Golomb-Rice code of ``value`` (>= 0) at ``k``."""
+    if value < 0:
+        raise ValueError(f"Rice codes non-negative integers, got {value}")
+    return (value >> k) + 1 + k
+
+
+def write_rice(w: BitWriter, value: int, k: int) -> None:
+    if value < 0:
+        raise ValueError(f"Rice codes non-negative integers, got {value}")
+    q = value >> k
+    for _ in range(q):
+        w.write(1, 1)
+    w.write(0, 1)
+    if k:
+        w.write(value & ((1 << k) - 1), k)
+
+
+def read_rice(r: BitReader, k: int) -> int:
+    q = 0
+    while r.read(1) == 1:
+        q += 1
+    rem = r.read(k) if k else 0
+    return (q << k) | rem
+
+
+def ones_gaps(bits: BitArray) -> List[int]:
+    """Gaps between consecutive set bits (first gap from position -1).
+
+    Every gap is >= 1 and their prefix sums recover the set-bit
+    positions, which is all a run-length decoder needs alongside the
+    total field width and the set-bit count.
+    """
+    gaps: List[int] = []
+    prev = -1
+    for i, bit in enumerate(bits):
+        if bit:
+            gaps.append(i - prev)
+            prev = i
+    return gaps
+
+
+def from_ones_gaps(gaps: Iterator[int], width: int) -> BitArray:
+    """Rebuild a bit field of ``width`` bits from its set-bit gaps.
+
+    A corrupted container can claim gap sums past the end of the field;
+    that is a wire-format error (:class:`VbsError`), not an internal
+    index fault — the decoders surface it like every other malformed
+    record body.
+    """
+    out = BitArray(width)
+    pos = -1
+    for gap in gaps:
+        pos += gap
+        if pos >= width:
+            raise VbsError(
+                f"run-length gap sum {pos} overruns the {width}-bit field "
+                f"(corrupted container?)"
+            )
+        out[pos] = 1
+    return out
+
+
+def gamma_field_len(bits: BitArray) -> int:
+    """Bits taken by :func:`write_gamma_field` for ``bits``."""
+    return bits_for(len(bits) + 1) + sum(
+        elias_gamma_len(g) for g in ones_gaps(bits)
+    )
+
+
+def write_gamma_field(w: BitWriter, bits: BitArray) -> None:
+    """The shared gamma-gap field frame: set-bit count (``bits_for(N+1)``
+    wide for an ``N``-bit field) followed by Elias-gamma gap codes.  Used
+    by the ``eliasg`` codec on the plain logic field and by ``delta`` on
+    the XOR residue — one frame definition, two codecs."""
+    gaps = ones_gaps(bits)
+    w.write(len(gaps), bits_for(len(bits) + 1))
+    for gap in gaps:
+        write_elias_gamma(w, gap)
+
+
+def read_gamma_field(r: BitReader, width: int) -> BitArray:
+    """Exact inverse of :func:`write_gamma_field` for a ``width``-bit
+    field; corrupted counts and gap overruns raise :class:`VbsError`."""
+    count = r.read(bits_for(width + 1))
+    if count > width:
+        raise VbsError(
+            f"{count} set bits claimed for a {width}-bit field "
+            f"(corrupted container?)"
+        )
+    return from_ones_gaps(
+        (read_elias_gamma(r) for _ in range(count)), width
+    )
+
+
+def best_rice_k(gaps: List[int]) -> int:
+    """The ``k`` minimizing the total Rice cost of ``gaps - 1`` values.
+
+    Deterministic: ties break toward the smaller ``k``.  An empty gap
+    list returns 0 (the parameter field is skipped entirely then).
+    """
+    if not gaps:
+        return 0
+    best_k, best_cost = 0, None
+    for k in range(MAX_RICE_K + 1):
+        cost = sum(rice_len(g - 1, k) for g in gaps)
+        if best_cost is None or cost < best_cost:
+            best_k, best_cost = k, cost
+    return best_k

@@ -41,6 +41,12 @@ class DecodeStats:
     max_cluster_work: int = 0     # worst single cluster (parallel critical path)
     raw_bits_copied: int = 0
     per_cluster_work: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    #: Record count per codec name — how the VERSION 3 family mix reaches
+    #: the run-time layer (surfaced by ``eval.run_all`` and the cost
+    #: benchmarks).  Stateful and dictionary records arrive normalized
+    #: from the container parse, so decoding effort here is identical
+    #: across smart codecs; the split is observability, not cost.
+    clusters_by_codec: Dict[str, int] = field(default_factory=dict)
 
 
 def decode_vbs(
@@ -75,6 +81,10 @@ def decode_vbs(
     for rec in vbs.records:
         cx, cy = rec.pos
         members = layout.valid_members(cx, cy)
+        codec_name = rec.codec_name(layout)
+        stats.clusters_by_codec[codec_name] = (
+            stats.clusters_by_codec.get(codec_name, 0) + 1
+        )
         if rec.raw:
             stats.clusters_raw += 1
             stats.raw_bits_copied += layout.raw_bits_per_cluster

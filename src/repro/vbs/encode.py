@@ -53,13 +53,16 @@ from repro.vbs.format import (
     CLUSTER_BITS,
     CODEC_TAG_BITS,
     COMPACT_BITS,
+    DICT_COUNT_BITS,
     DIM_BITS,
     LUT_BITS,
     MAGIC,
     MAGIC_BITS,
-    VERSION,
+    MAX_V2_TAG,
+    SUPPORTED_VERSIONS,
     VERSION_BITS,
     ClusterRecord,
+    CodecState,
     VbsLayout,
 )
 
@@ -92,23 +95,70 @@ class VirtualBitstream:
         self.layout = layout
         self.records = records
         self.stats = stats or EncodeStats()
+        #: Container version this object was parsed from (``from_bits``),
+        #: or None for freshly encoded streams (which serialize at
+        #: ``wire_version``).
+        self.source_version: Optional[int] = None
         for rec in records:
             rec.validate(layout)
 
     # -- size accounting -------------------------------------------------------
 
     @property
+    def wire_version(self) -> int:
+        """The container version ``to_bits()`` emits by default.
+
+        VERSION 3 exactly when the stream needs a VERSION 3 feature (a
+        dictionary section, or any record coded with a tag above
+        ``MAX_V2_TAG``); plain VERSION 2 otherwise, so containers using
+        only the legacy codec set stay readable by older builds.
+        """
+        from repro.vbs.codecs import codec_by_name
+        from repro.vbs.format import VERSION
+
+        if self.layout.dict_table:
+            return VERSION
+        for rec in self.records:
+            if codec_by_name(rec.codec_name(self.layout)).tag > MAX_V2_TAG:
+                return VERSION
+        return 2
+
+    @property
     def size_bits(self) -> int:
-        """Table I payload size — the quantity plotted in Figures 4 and 5."""
-        return self.layout.header_bits + sum(
-            rec.size_bits(self.layout) for rec in self.records
-        )
+        """Table I payload size — the quantity plotted in Figures 4 and 5.
+
+        The walk threads the raster-order :class:`CodecState` so stateful
+        records cost exactly what ``to_bits`` emits, and it includes the
+        VERSION 3 dictionary section (the shared table is real payload —
+        the compression figures must pay for it).
+        """
+        from repro.vbs.codecs import codec_by_name
+
+        state = CodecState()
+        total = self.layout.header_bits + self.layout.dict_section_bits
+        for rec in self.records:
+            codec = codec_by_name(rec.codec_name(self.layout))
+            total += codec.record_bits(rec, self.layout, state=state)
+            state.observe(rec)
+        return total
 
     @property
     def container_bits(self) -> int:
+        """Exact bit length of ``to_bits()`` at the default version.
+
+        A VERSION 3 container always carries the dictionary-section count
+        field; when the table is empty those ``DICT_COUNT_BITS`` are pure
+        container framing (like the prelude) and excluded from the
+        Table I ``size_bits`` accounting.
+        """
         from repro.vbs.format import PRELUDE_BITS
 
-        return PRELUDE_BITS + self.size_bits
+        extra = (
+            DICT_COUNT_BITS
+            if self.wire_version >= 3 and not self.layout.dict_table
+            else 0
+        )
+        return PRELUDE_BITS + self.size_bits + extra
 
     def raw_equivalent_bits(self) -> int:
         """Size of the raw bitstream of the same task (the BS of Figure 4)."""
@@ -130,14 +180,53 @@ class VirtualBitstream:
 
     # -- serialization ------------------------------------------------------------
 
-    def to_bits(self) -> BitArray:
-        """Assemble the container binary (record bodies via the registry)."""
+    def _require_version(self, version: int, needed: int) -> None:
+        """Reject a ``to_bits(version=...)`` the stream cannot satisfy."""
+        if version not in SUPPORTED_VERSIONS:
+            raise VbsError(
+                f"cannot write container version {version}; supported: "
+                f"{SUPPORTED_VERSIONS}"
+            )
+        if version == 1:
+            lay = self.layout
+            for rec in self.records:
+                name = rec.codec_name(lay)
+                legacy = "raw" if rec.raw else (
+                    "compact" if lay.compact_logic else "list"
+                )
+                if name != legacy:
+                    raise VbsError(
+                        f"record at {rec.pos} uses codec {name!r}; a "
+                        f"VERSION 1 container can only carry the implicit "
+                        f"{legacy!r} coding"
+                    )
+        elif version < needed:
+            raise VbsError(
+                f"stream needs container version {needed} "
+                f"(dictionary section or codec tags above {MAX_V2_TAG}); "
+                f"cannot write version {version}"
+            )
+
+    def to_bits(self, version: Optional[int] = None) -> BitArray:
+        """Assemble the container binary (record bodies via the registry).
+
+        ``version`` defaults to :attr:`wire_version` (the minimal version
+        able to carry the stream, never 1); pass 1 or 2 explicitly to
+        write a legacy container, which fails loudly when the stream uses
+        features that version cannot express.  VERSION 1 containers have
+        no codec tags, so their byte size is smaller than
+        ``container_bits`` (which reports tagged Table I accounting).
+        """
         from repro.vbs.codecs import codec_by_name
 
+        needed = self.wire_version  # one O(records) walk per serialization
+        if version is None:
+            version = needed
+        self._require_version(version, needed)
         lay = self.layout
         w = BitWriter()
         w.write(MAGIC, MAGIC_BITS)
-        w.write(VERSION, VERSION_BITS)
+        w.write(version, VERSION_BITS)
         w.write(lay.cluster_size, CLUSTER_BITS)
         w.write(lay.params.channel_width, CHANNEL_BITS)
         w.write(lay.params.lut_size, LUT_BITS)
@@ -145,33 +234,48 @@ class VirtualBitstream:
         w.write(lay.width, DIM_BITS)
         w.write(lay.height, DIM_BITS)
 
+        if version >= 3:
+            w.write(len(lay.dict_table), DICT_COUNT_BITS)
+            for pattern in lay.dict_table:
+                w.write_bits(pattern)
+
         w.write(lay.width - 1, lay.dim_bits)
         w.write(lay.height - 1, lay.dim_bits)
         w.write(len(self.records), lay.count_bits)
+        state = CodecState()
         for rec in self.records:
             codec = codec_by_name(rec.codec_name(lay))
             w.write(rec.pos[0], lay.pos_bits)
             w.write(rec.pos[1], lay.pos_bits)
-            w.write(codec.tag, CODEC_TAG_BITS)
-            codec.encode_record(w, rec, lay)
+            if version >= 2:
+                w.write(codec.tag, CODEC_TAG_BITS)
+            codec.encode_record(w, rec, lay, state=state)
+            state.observe(rec)
         return w.finish()
 
     @classmethod
     def from_bits(
         cls, bits: BitArray, params: Optional[ArchParams] = None
     ) -> "VirtualBitstream":
-        """Parse a container binary back into records."""
-        from repro.vbs.codecs import codec_by_tag
+        """Parse a container binary back into records.
+
+        Reads every supported version: the legacy tag-less VERSION 1
+        layout, the tagged VERSION 2 layout, and VERSION 3 with its
+        dictionary section and stateful-codec record walk.  Unknown
+        versions (a future format this build predates) are rejected at
+        the version field, before any payload is touched.
+        """
+        from repro.vbs.codecs import codec_by_name, codec_by_tag
 
         r = BitReader(bits)
         if r.read(MAGIC_BITS) != MAGIC:
             raise VbsError("bad magic: not a Virtual Bit-Stream container")
         version = r.read(VERSION_BITS)
-        if version != VERSION:
+        if version not in SUPPORTED_VERSIONS:
             raise VbsError(
-                f"unsupported VBS container version {version} "
-                f"(this build reads version {VERSION}; version 1 predates "
-                f"the per-record codec registry — re-encode the task)"
+                f"unsupported VBS container version {version} (this build "
+                f"reads versions {SUPPORTED_VERSIONS}) — refusing to parse "
+                f"a future format"
             )
         cluster_size = r.read(CLUSTER_BITS)
         channel_width = r.read(CHANNEL_BITS)
@@ -191,18 +295,49 @@ class VirtualBitstream:
         lay = VbsLayout(params, cluster_size, width, height,
                         compact_logic=compact)
 
+        if version >= 3:
+            n_patterns = r.read(DICT_COUNT_BITS)
+            patterns = tuple(
+                r.read_bits(lay.logic_bits_per_cluster)
+                for _ in range(n_patterns)
+            )
+            if patterns:
+                lay = lay.with_dict_table(patterns)
+
         if r.read(lay.dim_bits) != width - 1:
             raise VbsError("payload width disagrees with prelude")
         if r.read(lay.dim_bits) != height - 1:
             raise VbsError("payload height disagrees with prelude")
         count = r.read(lay.count_bits)
         records: List[ClusterRecord] = []
+        state = CodecState()
         for _ in range(count):
             cx = r.read(lay.pos_bits)
             cy = r.read(lay.pos_bits)
-            codec = codec_by_tag(r.read(CODEC_TAG_BITS))
-            records.append(codec.decode_record(r, (cx, cy), lay))
-        return cls(lay, records)
+            if version == 1:
+                # Tag-less layout: the route-count field doubles as the
+                # codec selector (raw sentinel vs. the layout-wide
+                # compact flag), so peek it and rewind.
+                mark = r.position
+                rc = r.read(lay.route_count_bits)
+                r.seek(mark)
+                name = "raw" if rc == lay.raw_sentinel else (
+                    "compact" if lay.compact_logic else "list"
+                )
+                codec = codec_by_name(name)
+            else:
+                codec = codec_by_tag(r.read(CODEC_TAG_BITS))
+                if version == 2 and codec.tag > MAX_V2_TAG:
+                    raise VbsError(
+                        f"codec {codec.name!r} (tag {codec.tag}) requires "
+                        f"a VERSION 3 container, found VERSION 2"
+                    )
+            rec = codec.decode_record(r, (cx, cy), lay, state=state)
+            state.observe(rec)
+            records.append(rec)
+        vbs = cls(lay, records)
+        vbs.source_version = version
+        return vbs
 
     def __repr__(self) -> str:
         return (
@@ -256,6 +391,185 @@ class _ClusterOutcome:
     offline_decode_work: int = 0
     reuse_hits: int = 0
     fallback_reason: Optional[str] = None
+    #: Raw frames held back for the sequential family pass: set when the
+    #: codec selection contains only container-level codecs (dictionary /
+    #: stateful), so the provisional record may still lose to the
+    #: guaranteed raw coding once the family costs are known.
+    raw_fallback_frames: Optional[BitArray] = None
+
+
+def _build_dict_table(
+    records: List[ClusterRecord],
+    layout: VbsLayout,
+    min_occurrences: int = 2,
+) -> Tuple[BitArray, ...]:
+    """Candidate shared logic-pattern table for the dictionary codec.
+
+    Patterns are collected from smart records in first-use raster order
+    and kept only while their summed per-record savings (current coding
+    vs. a dictionary reference) exceed the pattern's own table storage.
+    Dropping a pattern shrinks the reference field, so the selection is
+    re-evaluated until it is stable; the final table must also beat the
+    ``DICT_COUNT_BITS`` section framing or it is dropped entirely.  The
+    estimate is validated by the caller, which keeps the table only when
+    the fully state-threaded container actually gets smaller.
+    """
+    from repro.vbs.codecs import codec_by_name
+
+    dict_codec = codec_by_name("dict")
+    occurrences: Dict[BitArray, List[ClusterRecord]] = {}
+    order: List[BitArray] = []
+    for rec in records:
+        if rec.raw:
+            continue
+        if rec.logic not in occurrences:
+            occurrences[rec.logic] = []
+            order.append(rec.logic)
+        occurrences[rec.logic].append(rec)
+    candidates = [p for p in order if len(occurrences[p]) >= min_occurrences]
+    max_patterns = (1 << DICT_COUNT_BITS) - 1
+    if len(candidates) > max_patterns:
+        candidates = sorted(
+            candidates, key=lambda p: -len(occurrences[p])
+        )[:max_patterns]
+        candidates.sort(key=order.index)
+    while candidates:
+        trial = layout.with_dict_table(tuple(candidates))
+        keep: List[BitArray] = []
+        total_gain = 0
+        for pattern in candidates:
+            gain = -layout.logic_bits_per_cluster
+            for rec in occurrences[pattern]:
+                current = rec.size_bits(layout)
+                as_dict = dict_codec.record_bits(rec, trial)
+                if as_dict < current:
+                    gain += current - as_dict
+            if gain > 0:
+                keep.append(pattern)
+                total_gain += gain
+        if len(keep) == len(candidates):
+            if total_gain <= DICT_COUNT_BITS:
+                return ()
+            return tuple(keep)
+        candidates = keep
+    return ()
+
+
+def _family_selection(
+    records: List[ClusterRecord],
+    layout: VbsLayout,
+    family: List["object"],
+    raw_allowed: bool,
+    raw_frames: Dict[Tuple[int, int], BitArray],
+) -> Tuple[int, List[str]]:
+    """Sequential (raster-order) codec assignment over the whole container.
+
+    For every smart record the candidates are its current per-cluster
+    pick (absent for provisional records), every applicable family codec
+    costed against the threaded :class:`CodecState`, and — for
+    provisional records whose frames were held back — the guaranteed raw
+    coding.  Returns the total payload bits (header + dictionary section
+    + records) and the chosen codec name per record; nothing is mutated,
+    so the caller can compare selections under different layouts.
+    """
+    from repro.vbs.codecs import codec_by_name
+
+    raw_codec = codec_by_name("raw")
+    state = CodecState()
+    total = layout.header_bits + layout.dict_section_bits
+    assigns: List[str] = []
+    for rec in records:
+        if rec.raw:
+            total += rec.size_bits(layout)
+            assigns.append("raw")
+            continue
+        candidates = []
+        if rec.codec is not None:
+            current = codec_by_name(rec.codec)
+            candidates.append(
+                (current.record_bits(rec, layout, state=state),
+                 current.tag, current)
+            )
+        for codec in family:
+            if codec.encodable(rec, layout):
+                candidates.append(
+                    (codec.record_bits(rec, layout, state=state),
+                     codec.tag, codec)
+                )
+        frames = raw_frames.get(rec.pos)
+        if frames is not None and (raw_allowed or not candidates):
+            candidates.append(
+                (layout.raw_record_bits, raw_codec.tag, raw_codec)
+            )
+        if not candidates:
+            raise VbsError(
+                f"no selected codec can encode the record at {rec.pos}"
+            )
+        bits, _tag, chosen = min(candidates, key=lambda c: (c[0], c[1]))
+        total += bits
+        assigns.append(chosen.name)
+        if not chosen.codes_raw:
+            # Only records that stay smart advance the delta reference —
+            # mirror of the decoder's state walk.
+            state.observe(rec)
+    return total, assigns
+
+
+def _apply_family_assignment(
+    records: List[ClusterRecord],
+    assigns: List[str],
+    raw_frames: Dict[Tuple[int, int], BitArray],
+) -> List[ClusterRecord]:
+    out: List[ClusterRecord] = []
+    for rec, name in zip(records, assigns):
+        if not rec.raw and name == "raw":
+            rec = ClusterRecord(
+                rec.pos, raw=True, raw_frames=raw_frames[rec.pos],
+                codec="raw",
+            )
+        elif not rec.raw:
+            rec.codec = name
+        out.append(rec)
+    return out
+
+
+def _family_pass(
+    records: List[ClusterRecord],
+    layout: VbsLayout,
+    allowed: List["object"],
+    raw_frames: Dict[Tuple[int, int], BitArray],
+) -> Tuple[VbsLayout, List[ClusterRecord]]:
+    """The sequential second pass of the two-pass family encode.
+
+    Runs the container-level selection without a dictionary table, and —
+    when the dictionary codec is allowed — again with the candidate
+    table; keeps the table only when the full container (section
+    included) gets strictly smaller, which guarantees the family never
+    emits a larger stream than the per-cluster pick alone.
+    """
+    family = [
+        c for c in allowed
+        if not c.codes_raw and (c.stateful or c.needs_dict)
+    ]
+    if not family:
+        return layout, records
+    raw_allowed = any(c.codes_raw for c in allowed)
+    best_total, best_assigns = _family_selection(
+        records, layout, family, raw_allowed, raw_frames
+    )
+    best_layout = layout
+    if any(c.needs_dict for c in family):
+        table = _build_dict_table(records, layout)
+        if table:
+            trial = layout.with_dict_table(table)
+            total, assigns = _family_selection(
+                records, trial, family, raw_allowed, raw_frames
+            )
+            if total < best_total:
+                best_total, best_assigns, best_layout = total, assigns, trial
+    return best_layout, _apply_family_assignment(
+        records, best_assigns, raw_frames
+    )
 
 
 def encode_design(
@@ -286,6 +600,17 @@ def encode_design(
     raw.  ``workers`` > 1 drives the per-cluster work items through a
     thread pool; records come back in raster order and the emitted
     container is byte-identical to a serial run.
+
+    Container-level codecs (the dictionary codec's shared pattern table,
+    the stateful delta codec) are assigned by a *sequential second pass*
+    over the merged raster-order records — they cannot be chosen inside
+    the parallel pipeline because their cost depends on the whole
+    container.  The pass only ever switches a record to a strictly
+    smaller coding and only keeps a dictionary table that pays for its
+    own section, so ``codecs="auto"`` output is monotone: never larger
+    than the stateless codec set alone, and still byte-identical across
+    worker counts.  Containers that end up using a VERSION 3 feature
+    serialize as VERSION 3; all others remain VERSION 2.
     """
     from repro.vbs.codecs import codec_by_name, pick_codec, resolve_codecs
     from repro.vbs.order import candidate_orders
@@ -339,11 +664,16 @@ def encode_design(
             )
 
         if record is not None and allowed is not None:
-            smart = [c for c in allowed if not c.codes_raw]
-            if not smart:
-                record = None  # raw-only selection: code every cluster raw
-            else:
-                best = pick_codec(record, layout, smart)
+            stateless = [
+                c for c in allowed
+                if not c.codes_raw and not c.stateful and not c.needs_dict
+            ]
+            family = [
+                c for c in allowed
+                if not c.codes_raw and (c.stateful or c.needs_dict)
+            ]
+            if stateless:
+                best = pick_codec(record, layout, stateless)
                 record.codec = best.name
                 # Raw competes on size too, but its record size is a layout
                 # constant — only materialize the frames when it wins.
@@ -351,7 +681,27 @@ def encode_design(
                     any(c.codes_raw for c in allowed)
                     and layout.raw_record_bits < record.size_bits(layout)
                 ):
-                    record = None
+                    if family:
+                        # A family codec may still undercut raw (a delta
+                        # residue on a dense-but-repetitive cluster, a
+                        # dictionary reference) — keep the smart record
+                        # and let the sequential pass settle raw-vs-rest
+                        # with the frames held back.
+                        outcome.raw_fallback_frames = _cluster_raw_frames(
+                            layout, config, cx, cy
+                        )
+                    else:
+                        record = None
+            elif family:
+                # Only container-level codecs selected: keep the record
+                # provisional (codec unassigned) and hold the raw frames
+                # back for the sequential family pass, which owns the
+                # raw-versus-family decision.
+                outcome.raw_fallback_frames = _cluster_raw_frames(
+                    layout, config, cx, cy
+                )
+            else:
+                record = None  # raw-only selection: code every cluster raw
         if record is None:
             record = ClusterRecord(
                 (cx, cy),
@@ -375,6 +725,7 @@ def encode_design(
     # Deterministic merge in raster order.
     stats = EncodeStats()
     records: List[ClusterRecord] = []
+    raw_frames: Dict[Tuple[int, int], BitArray] = {}
     for outcome in outcomes:
         if outcome is None:
             continue
@@ -386,13 +737,22 @@ def encode_design(
         stats.decode_reuse_hits += outcome.reuse_hits
         if outcome.fallback_reason is not None:
             stats.fallback_reasons[rec.pos] = outcome.fallback_reason
+        if outcome.raw_fallback_frames is not None:
+            raw_frames[rec.pos] = outcome.raw_fallback_frames
+        records.append(rec)
+
+    # Sequential second pass: container-level codecs (dictionary table,
+    # delta state) are assigned over the merged raster-order record list.
+    if allowed is not None:
+        layout, records = _family_pass(records, layout, allowed, raw_frames)
+
+    for rec in records:
         if rec.raw:
             stats.clusters_raw += 1
         name = rec.codec_name(layout)
         stats.codec_counts[name] = stats.codec_counts.get(name, 0) + 1
         # Fail fast on a codec that cannot carry its record.
         codec_by_name(name)
-        records.append(rec)
 
     return VirtualBitstream(layout, records, stats)
 

@@ -37,6 +37,23 @@ per record instead of implicit in the raw sentinel and the layout-wide
 compact flag, which is what lets new codecs (e.g. the zero-skip
 run-length coding) join without another container bump.
 
+Container VERSION 3 adds two things on top of VERSION 2, both gated so
+old readers *safely reject* at the version field instead of mis-parsing:
+
+* a **dictionary section** between the prelude and the Table I header —
+  a ``DICT_COUNT_BITS`` pattern count followed by that many verbatim
+  ``c^2 * NLB`` logic patterns.  Records coded by the dictionary codec
+  reference these patterns by index instead of carrying a logic field;
+* **stateful codecs**: the container walk threads a :class:`CodecState`
+  through every record in raster order, so the delta codec can XOR-code
+  a record's logic field against the nearest preceding smart record.
+
+A container is written as VERSION 3 exactly when it needs either feature
+(a non-empty dictionary table, or any record coded with a tag above
+``MAX_V2_TAG``); everything else still serializes as VERSION 2, and the
+legacy VERSION 1 layout remains both readable and writable for archival
+round-trips (``to_bits(version=1)``).
+
 Compact logic mode (the paper's future-work "smarter coding of the VBS to
 gain ... in size", Section V) replaces the unconditional ``c^2 * NLB``
 logic field by one presence bit per member macro followed by NLB bits for
@@ -58,10 +75,20 @@ from repro.utils.bitarray import BitArray, bits_for
 #: Container prelude field widths (not part of Table I accounting).
 MAGIC = 0xB5
 MAGIC_BITS = 8
-VERSION = 2
+#: Latest container version this build writes (streams that need no
+#: VERSION 3 feature still serialize as VERSION 2 — see
+#: ``VirtualBitstream.wire_version``).
+VERSION = 3
 VERSION_BITS = 4
+#: Every container version this build can parse.
+SUPPORTED_VERSIONS = (1, 2, VERSION)
 #: Per-record codec selector (VERSION >= 2); room for eight codecs.
 CODEC_TAG_BITS = 3
+#: Highest codec tag a VERSION 2 container may carry (the PR-1 codec
+#: set); any higher tag forces VERSION 3 so old readers reject cleanly.
+MAX_V2_TAG = 3
+#: Dictionary-section pattern count field (VERSION 3).
+DICT_COUNT_BITS = 10
 CLUSTER_BITS = 6
 CHANNEL_BITS = 8
 LUT_BITS = 4
@@ -82,6 +109,11 @@ class VbsLayout:
     width: int
     height: int
     compact_logic: bool = False
+    #: Shared logic-pattern table of a VERSION 3 container (empty on
+    #: VERSION <= 2 layouts).  Entries are full ``c^2 * NLB`` fields in
+    #: first-use raster order; the dictionary codec references them by
+    #: index.
+    dict_table: Tuple[BitArray, ...] = ()
 
     def __post_init__(self) -> None:
         if self.width < 1 or self.height < 1:
@@ -90,6 +122,17 @@ class VbsLayout:
             raise VbsError("cluster size must be >= 1")
         if self.width >= (1 << DIM_BITS) or self.height >= (1 << DIM_BITS):
             raise VbsError("task dimensions exceed the container prelude range")
+        if len(self.dict_table) >= (1 << DICT_COUNT_BITS):
+            raise VbsError(
+                f"dictionary table of {len(self.dict_table)} patterns "
+                f"exceeds the {DICT_COUNT_BITS}-bit count field"
+            )
+        for i, pattern in enumerate(self.dict_table):
+            if len(pattern) != self.logic_bits_per_cluster:
+                raise VbsError(
+                    f"dictionary pattern {i} is {len(pattern)} bits, "
+                    f"expected {self.logic_bits_per_cluster}"
+                )
 
     # -- cluster grid ------------------------------------------------------------
 
@@ -162,6 +205,42 @@ class VbsLayout:
     def raw_bits_per_cluster(self) -> int:
         return self.cluster_size * self.cluster_size * self.params.nraw
 
+    # -- dictionary section (VERSION 3) ------------------------------------------
+
+    def with_dict_table(self, patterns: "Tuple[BitArray, ...]") -> "VbsLayout":
+        """This layout with a (possibly empty) shared pattern table."""
+        import dataclasses
+
+        return dataclasses.replace(self, dict_table=tuple(patterns))
+
+    @property
+    def dict_index_bits(self) -> int:
+        """Width of a dictionary-reference field (table must be non-empty)."""
+        if not self.dict_table:
+            raise VbsError("layout has no dictionary table")
+        return bits_for(len(self.dict_table))
+
+    def dict_index(self, logic: BitArray) -> Optional[int]:
+        """Table index of an exact-match logic pattern, or None."""
+        if not self.dict_table:
+            return None
+        lookup = getattr(self, "_dict_lookup", None)
+        if lookup is None:
+            lookup = {
+                pattern: i for i, pattern in enumerate(self.dict_table)
+            }
+            object.__setattr__(self, "_dict_lookup", lookup)
+        return lookup.get(logic)
+
+    @property
+    def dict_section_bits(self) -> int:
+        """Container cost of the shared table (0 when the table is empty —
+        an empty table writes no section at all because the container then
+        serializes as VERSION 2)."""
+        if not self.dict_table:
+            return 0
+        return DICT_COUNT_BITS + len(self.dict_table) * self.logic_bits_per_cluster
+
     # -- size accounting --------------------------------------------------------------
 
     @property
@@ -211,6 +290,28 @@ class VbsLayout:
 
 
 @dataclass
+class CodecState:
+    """Inter-record state threaded through a container walk in raster order.
+
+    ``prev_logic`` is the normalized logic field of the nearest preceding
+    *smart* (non-raw) record, or ``None`` at the start of the container.
+    Raw records do not update it — their frames never re-enter the logic
+    field, and the rule must be computable identically by the encoder, the
+    size accounting, and the decoder, which all walk the same record
+    sequence.  Stateless codecs ignore the state entirely; the delta
+    codec XOR-codes against ``prev_logic`` (treated as all-zeros when
+    ``None``).
+    """
+
+    prev_logic: Optional[BitArray] = None
+
+    def observe(self, rec: "ClusterRecord") -> None:
+        """Advance the state past ``rec`` (call after coding its body)."""
+        if not rec.raw and rec.logic is not None:
+            self.prev_logic = rec.logic
+
+
+@dataclass
 class ClusterRecord:
     """One listed cluster of a Virtual Bit-Stream."""
 
@@ -240,10 +341,16 @@ class ClusterRecord:
         if self.codec is not None:
             from repro.vbs.codecs import codec_by_name
 
-            if codec_by_name(self.codec).codes_raw != self.raw:
+            codec = codec_by_name(self.codec)
+            if codec.codes_raw != self.raw:
                 raise VbsError(
                     f"record at {self.pos}: codec {self.codec!r} disagrees "
                     f"with raw={self.raw}"
+                )
+            if not codec.encodable(self, layout):
+                raise VbsError(
+                    f"record at {self.pos}: codec {self.codec!r} cannot "
+                    f"represent this record under the container layout"
                 )
         if self.raw:
             if self.raw_frames is None or len(self.raw_frames) != layout.raw_bits_per_cluster:
@@ -276,7 +383,11 @@ class ClusterRecord:
             1 for k in range(n) if self.logic.slice(k * nlb, nlb).count()
         )
 
-    def size_bits(self, layout: VbsLayout) -> int:
+    def size_bits(
+        self, layout: VbsLayout, state: "Optional[CodecState]" = None
+    ) -> int:
         from repro.vbs.codecs import codec_by_name
 
-        return codec_by_name(self.codec_name(layout)).record_bits(self, layout)
+        return codec_by_name(self.codec_name(layout)).record_bits(
+            self, layout, state=state
+        )

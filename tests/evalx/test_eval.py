@@ -91,6 +91,23 @@ class TestRunners:
                           clusters=(1, 2), scale=0.08)
         assert [s["cluster"] for s in series] == [1, 2]
 
+    @pytest.mark.integration
+    def test_rows_carry_codec_counts(self, tmp_path):
+        row = evaluate_circuit(
+            "ex5p", tmp_path, channel_width=8, clusters=(1,), scale=0.08,
+        )
+        counts = row["clusters"]["1"]["codec_counts"]
+        assert counts and sum(counts.values()) == (
+            row["clusters"]["1"]["clusters_listed"]
+        )
+        fig4 = run_fig4(["ex5p"], tmp_path, channel_width=8, scale=0.08)
+        # The flattened per-codec record counts ride along in fig4 rows
+        # (and therefore in fig4.csv).
+        flat = fig4[0]["codec_counts"]
+        assert flat == ";".join(
+            f"{name}={counts[name]}" for name in sorted(counts)
+        )
+
 
 class TestRendering:
     def test_format_table(self):

@@ -87,6 +87,49 @@ class TestReproCli:
         assert "'list'" in text or "'rle'" in text
 
     @pytest.mark.integration
+    def test_vbs_inspect_json_schema(self, tmp_path, capsys):
+        """--json output keys are a tooling contract: additions are fine,
+        renames/removals are regressions this test pins."""
+        import json
+
+        from repro.cli import main
+
+        blif = tmp_path / "demo.blif"
+        blif.write_text(
+            ".model demo\n.inputs a b\n.outputs x y\n"
+            ".names a b x\n11 1\n.names a b y\n10 1\n01 1\n.end\n"
+        )
+        out = tmp_path / "demo.vbs"
+        rc = main(["vbsgen", str(blif), "-o", str(out), "-W", "8",
+                   "--codecs", "auto"])
+        assert rc == 0
+        capsys.readouterr()
+
+        rc = main(["vbs", "inspect", str(out), "--json", "--per-cluster"])
+        assert rc == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert set(summary) >= {
+            "file", "bytes", "version", "prelude", "payload_bits",
+            "prelude_bits", "dict_patterns", "dict_section_bits",
+            "records", "codec_counts", "raw_equivalent_bits",
+            "compression_ratio", "per_cluster",
+        }
+        assert set(summary["prelude"]) == {
+            "cluster_size", "channel_width", "lut_size", "compact_logic",
+            "width", "height",
+        }
+        assert summary["version"] in (2, 3)
+        assert summary["records"] == sum(summary["codec_counts"].values())
+        assert summary["records"] == len(summary["per_cluster"])
+        for rec in summary["per_cluster"]:
+            assert set(rec) == {"pos", "codec", "tag", "bits"}
+        assert 0.0 < summary["compression_ratio"] < 1.0
+        # Payload accounting in the JSON matches the per-record rows.
+        assert summary["payload_bits"] >= sum(
+            rec["bits"] for rec in summary["per_cluster"]
+        )
+
+    @pytest.mark.integration
     def test_inspect_rejects_garbage(self, tmp_path):
         from repro.cli import main
         from repro.errors import VbsError

@@ -32,7 +32,18 @@ COMMON = settings(
 class TestRegistry:
     def test_builtin_codecs_present(self):
         names = {c.name for c in registered_codecs()}
-        assert {"list", "raw", "compact", "rle"} <= names
+        assert {
+            "list", "raw", "compact", "rle",
+            "dict", "delta", "golomb", "eliasg",
+        } <= names
+
+    def test_family_tags_above_v2_limit(self):
+        from repro.vbs.format import MAX_V2_TAG
+
+        for name in ("dict", "delta", "golomb", "eliasg"):
+            assert codec_by_name(name).tag > MAX_V2_TAG
+        for name in ("list", "raw", "compact", "rle"):
+            assert codec_by_name(name).tag <= MAX_V2_TAG
 
     def test_lookup_by_name_and_tag_agree(self):
         for codec in registered_codecs():
@@ -44,10 +55,10 @@ class TestRegistry:
             codec_by_name("zstd")
 
     def test_unknown_tag_rejected(self):
-        used = {c.tag for c in registered_codecs()}
-        free = next(t for t in range(1 << CODEC_TAG_BITS) if t not in used)
+        # The 3-bit tag space is saturated since the VERSION 3 family;
+        # anything outside it must still fail loudly.
         with pytest.raises(VbsError):
-            codec_by_tag(free)
+            codec_by_tag(1 << CODEC_TAG_BITS)
 
     def test_duplicate_registration_rejected(self):
         existing = registered_codecs()[0]
@@ -106,15 +117,21 @@ class TestCodecRoundTrips:
         layout = _layout(data.draw)
         for codec in registered_codecs():
             rec = _record(data.draw, layout, raw=codec.codes_raw)
-            assert codec.encodable(rec, layout)
+            # The dictionary codec only applies when the container's
+            # shared table holds the record's pattern.
+            lay = (
+                layout.with_dict_table((rec.logic,))
+                if codec.needs_dict else layout
+            )
+            assert codec.encodable(rec, lay)
             w = BitWriter()
-            codec.encode_record(w, rec, layout)
+            codec.encode_record(w, rec, lay)
             bits = w.finish()
             # Declared size = framing + emitted body, exactly.
-            assert codec.record_bits(rec, layout) == (
-                layout.record_overhead_bits + len(bits)
+            assert codec.record_bits(rec, lay) == (
+                lay.record_overhead_bits + len(bits)
             )
-            back = codec.decode_record(BitReader(bits), rec.pos, layout)
+            back = codec.decode_record(BitReader(bits), rec.pos, lay)
             assert back.codec == codec.name
             assert back.raw == rec.raw
             if codec.codes_raw:
@@ -134,6 +151,7 @@ class TestCodecRoundTrips:
             min_size=count, max_size=count, unique=True,
         ))
         records = []
+        dict_patterns = []
         for pos in sorted(positions, key=lambda p: (p[1], p[0])):
             codec = data.draw(st.sampled_from(registered_codecs()))
             rec = _record(data.draw, layout, raw=codec.codes_raw)
@@ -141,16 +159,22 @@ class TestCodecRoundTrips:
                 pos, raw=rec.raw, logic=rec.logic, pairs=rec.pairs,
                 raw_frames=rec.raw_frames, codec=codec.name,
             )
+            if codec.needs_dict and rec.logic not in dict_patterns:
+                dict_patterns.append(rec.logic)
             records.append(rec)
+        if dict_patterns:
+            layout = layout.with_dict_table(tuple(dict_patterns))
         vbs = VirtualBitstream(layout, records)
         bits = vbs.to_bits()
         assert len(bits) == vbs.container_bits
         parsed = VirtualBitstream.from_bits(bits)
+        assert parsed.source_version == vbs.wire_version
         assert [r.codec for r in parsed.records] == [
             r.codec for r in records
         ]
         assert parsed.size_bits == vbs.size_bits
-        # Re-encoding the parse is byte-identical (normalized records).
+        # Re-encoding the parse is byte-identical (normalized records,
+        # and the raster state walk is reproducible).
         assert parsed.to_bits() == bits
 
 
@@ -165,28 +189,42 @@ class TestCostPicker:
 
     def test_picker_minimizes_bits(self):
         layout = VbsLayout(ArchParams(channel_width=8), 1, 8, 8)
-        smart = [c for c in registered_codecs() if not c.codes_raw]
-        # Empty logic: rle (flag bits only) beats list (full field) and
-        # compact (one presence flag but same route/pair fields... still
-        # more than rle only when chunks < members is false) — just assert
-        # the picker's choice is the argmin.
         rec = self._smart_record(layout, logic_bits=[0], n_pairs=2)
+        smart = [
+            c for c in registered_codecs()
+            if not c.codes_raw and c.encodable(rec, layout)
+        ]
         best = pick_codec(rec, layout, smart)
         sizes = {c.name: c.record_bits(rec, layout) for c in smart}
         assert sizes[best.name] == min(sizes.values())
 
-    def test_sparse_logic_prefers_rle(self):
+    def test_sparse_logic_prefers_rle_among_pr1_codecs(self):
         layout = VbsLayout(ArchParams(channel_width=8), 1, 8, 8)
         rec = self._smart_record(layout, logic_bits=[3], n_pairs=1)
-        smart = [c for c in registered_codecs() if not c.codes_raw]
+        smart = [codec_by_name(n) for n in ("list", "compact", "rle")]
         assert pick_codec(rec, layout, smart).name == "rle"
+
+    def test_sparse_logic_prefers_gap_coding_in_full_family(self):
+        # A single set bit costs one short gap code — the Golomb/Elias
+        # family must undercut the fixed 8-bit chunking of `rle`.
+        layout = VbsLayout(ArchParams(channel_width=8), 1, 8, 8)
+        rec = self._smart_record(layout, logic_bits=[3], n_pairs=1)
+        smart = [
+            c for c in registered_codecs()
+            if not c.codes_raw and c.encodable(rec, layout)
+        ]
+        best = pick_codec(rec, layout, smart)
+        assert best.name in {"golomb", "eliasg", "delta"}
+        assert best.record_bits(rec, layout) < codec_by_name(
+            "rle"
+        ).record_bits(rec, layout)
 
     def test_dense_logic_prefers_list(self):
         layout = VbsLayout(ArchParams(channel_width=8), 1, 8, 8)
         rec = self._smart_record(
             layout, logic_bits=range(layout.logic_bits_per_cluster), n_pairs=1
         )
-        smart = [c for c in registered_codecs() if not c.codes_raw]
+        smart = [codec_by_name(n) for n in ("list", "compact", "rle")]
         assert pick_codec(rec, layout, smart).name == "list"
 
     def test_no_applicable_codec_raises(self):

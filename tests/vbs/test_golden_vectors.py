@@ -1,0 +1,255 @@
+"""Golden-vector regression tests for the container wire format.
+
+Small canned ``.vbs`` byte strings for VERSION 1, 2 and 3 containers,
+checked in as hex.  Both directions are pinned: the encoder must emit
+these exact bytes for the canonical record sets, and the decoder must
+recover the exact pre-encode fields from them.  Any drift in field
+widths, field order, codec bodies, the dictionary section, or the
+raster state walk fails loudly here before it can corrupt containers
+already written to external memory.
+
+When a change *intentionally* alters the wire format, it must bump the
+container version and add a new golden vector — never rewrite an old
+one: old vectors are the promise that existing containers stay
+readable.
+"""
+
+import pytest
+
+from repro.arch import ArchParams
+from repro.errors import VbsError
+from repro.utils.bitarray import BitArray, BitWriter
+from repro.vbs.encode import VirtualBitstream
+from repro.vbs.format import (
+    CHANNEL_BITS,
+    CLUSTER_BITS,
+    CODEC_TAG_BITS,
+    COMPACT_BITS,
+    DIM_BITS,
+    LUT_BITS,
+    MAGIC,
+    MAGIC_BITS,
+    VERSION_BITS,
+    ClusterRecord,
+    VbsLayout,
+)
+
+#: Canonical containers: one 4x2-macro task at the paper's worked-example
+#: architecture (W = 5, 6-LUT), cluster size 1.
+GOLDEN_V1 = (
+    "b510415800080005a4050200000000000001014624f8000000000000000000000000"
+    "0000000000000000000000000000000000000000000001"
+)
+GOLDEN_V2 = (
+    "b520415800080005a60cb02030146243f00000000000000000000000000000000000"
+    "0000000000000000000000000000000000032860040000000000000084"
+)
+GOLDEN_V3 = "b530415800080004008820000000400000350208014a0041546106a47221ef0028"
+
+
+def _bits_with(n, positions):
+    arr = BitArray(n)
+    for p in positions:
+        arr[p] = 1
+    return arr
+
+
+@pytest.fixture(scope="module")
+def layout(params5):
+    return VbsLayout(params5, 1, 4, 2)
+
+
+def _v1_records(layout):
+    nlb = layout.logic_bits_per_cluster
+    nraw = layout.raw_bits_per_cluster
+    return [
+        ClusterRecord((0, 0), raw=False, logic=_bits_with(nlb, [0, 7, 64]),
+                      pairs=[(0, 5), (3, 2)]),
+        ClusterRecord((1, 0), raw=True,
+                      raw_frames=_bits_with(nraw, [0, 283])),
+    ]
+
+
+def _v2_records(layout):
+    nlb = layout.logic_bits_per_cluster
+    nraw = layout.raw_bits_per_cluster
+    return [
+        ClusterRecord((0, 0), raw=False, logic=_bits_with(nlb, [0, 7, 64]),
+                      pairs=[(0, 5), (3, 2)], codec="rle"),
+        ClusterRecord((1, 0), raw=True,
+                      raw_frames=_bits_with(nraw, [0, 283]), codec="raw"),
+        ClusterRecord((2, 1), raw=False, logic=_bits_with(nlb, [10]),
+                      pairs=[(1, 1)], codec="compact"),
+    ]
+
+
+def _v3_layout_and_records(layout):
+    nlb = layout.logic_bits_per_cluster
+    pattern = _bits_with(nlb, [3, 9, 40])
+    lay = layout.with_dict_table((pattern,))
+    records = [
+        ClusterRecord((0, 0), raw=False, logic=pattern.copy(),
+                      pairs=[(0, 1)], codec="dict"),
+        ClusterRecord((1, 0), raw=False,
+                      logic=_bits_with(nlb, [3, 9, 40, 41]),
+                      pairs=[], codec="delta"),
+        ClusterRecord((2, 0), raw=False, logic=_bits_with(nlb, [5, 6, 20]),
+                      pairs=[(2, 3)], codec="golomb"),
+        ClusterRecord((3, 1), raw=False, logic=_bits_with(nlb, [1]),
+                      pairs=[], codec="eliasg"),
+    ]
+    return lay, records
+
+
+def _assert_same_fields(parsed, expected):
+    assert len(parsed) == len(expected)
+    for a, b in zip(parsed, expected):
+        assert a.pos == b.pos
+        assert a.raw == b.raw
+        if b.raw:
+            assert a.raw_frames == b.raw_frames
+        else:
+            assert a.logic == b.logic
+            assert a.pairs == b.pairs
+
+
+class TestGoldenEncode:
+    """The encoder must reproduce the canned bytes bit for bit."""
+
+    def test_v1_bytes_exact(self, layout):
+        vbs = VirtualBitstream(layout, _v1_records(layout))
+        assert vbs.to_bits(version=1).to_bytes().hex() == GOLDEN_V1
+
+    def test_v2_bytes_exact(self, layout):
+        vbs = VirtualBitstream(layout, _v2_records(layout))
+        assert vbs.wire_version == 2
+        assert vbs.to_bits(version=2).to_bytes().hex() == GOLDEN_V2
+        assert vbs.to_bits().to_bytes().hex() == GOLDEN_V2  # default = auto
+
+    def test_v3_bytes_exact(self, layout):
+        lay, records = _v3_layout_and_records(layout)
+        vbs = VirtualBitstream(lay, records)
+        assert vbs.wire_version == 3
+        assert vbs.to_bits().to_bytes().hex() == GOLDEN_V3
+
+
+class TestGoldenDecode:
+    """The canned bytes must decode to the exact pre-encode fields."""
+
+    def test_v1_fields_exact(self, layout):
+        vbs = VirtualBitstream.from_bits(
+            BitArray.from_bytes(bytes.fromhex(GOLDEN_V1))
+        )
+        assert vbs.source_version == 1
+        assert vbs.layout.cluster_size == 1
+        assert (vbs.layout.width, vbs.layout.height) == (4, 2)
+        _assert_same_fields(vbs.records, _v1_records(layout))
+        # Legacy records resolve to the implicit codec names.
+        assert [r.codec for r in vbs.records] == ["list", "raw"]
+        # And the archival re-encode is byte-identical.
+        assert vbs.to_bits(version=1).to_bytes().hex() == GOLDEN_V1
+
+    def test_v2_fields_exact(self, layout):
+        vbs = VirtualBitstream.from_bits(
+            BitArray.from_bytes(bytes.fromhex(GOLDEN_V2))
+        )
+        assert vbs.source_version == 2
+        _assert_same_fields(vbs.records, _v2_records(layout))
+        assert [r.codec for r in vbs.records] == ["rle", "raw", "compact"]
+        assert vbs.to_bits().to_bytes().hex() == GOLDEN_V2
+
+    def test_v3_fields_exact(self, layout):
+        lay, records = _v3_layout_and_records(layout)
+        vbs = VirtualBitstream.from_bits(
+            BitArray.from_bytes(bytes.fromhex(GOLDEN_V3))
+        )
+        assert vbs.source_version == 3
+        assert vbs.layout.dict_table == lay.dict_table
+        # Dictionary references and delta residues expand back to the
+        # exact pre-encode logic fields (normalization contract).
+        _assert_same_fields(vbs.records, records)
+        assert [r.codec for r in vbs.records] == [
+            "dict", "delta", "golomb", "eliasg",
+        ]
+        assert vbs.to_bits().to_bytes().hex() == GOLDEN_V3
+
+
+class TestVersionGates:
+    """Safe rejection across format generations."""
+
+    def test_future_version_rejected(self):
+        data = bytearray(bytes.fromhex(GOLDEN_V1))
+        data[1] = (data[1] & 0x0F) | 0x40  # version nibble -> 4
+        with pytest.raises(VbsError, match="version"):
+            VirtualBitstream.from_bits(BitArray.from_bytes(bytes(data)))
+
+    def test_family_codec_cannot_write_v2(self, layout):
+        lay, records = _v3_layout_and_records(layout)
+        vbs = VirtualBitstream(lay, records)
+        with pytest.raises(VbsError, match="version 3"):
+            vbs.to_bits(version=2)
+        with pytest.raises(VbsError):
+            vbs.to_bits(version=1)
+
+    def test_v2_container_with_family_tag_rejected(self, params5):
+        # Hand-craft a VERSION 2 container whose first record claims the
+        # delta tag — a correct VERSION 2 reader must refuse before it
+        # touches the record body.
+        lay = VbsLayout(params5, 1, 4, 2)
+        w = BitWriter()
+        w.write(MAGIC, MAGIC_BITS)
+        w.write(2, VERSION_BITS)
+        w.write(lay.cluster_size, CLUSTER_BITS)
+        w.write(lay.params.channel_width, CHANNEL_BITS)
+        w.write(lay.params.lut_size, LUT_BITS)
+        w.write(0, COMPACT_BITS)
+        w.write(lay.width, DIM_BITS)
+        w.write(lay.height, DIM_BITS)
+        w.write(lay.width - 1, lay.dim_bits)
+        w.write(lay.height - 1, lay.dim_bits)
+        w.write(1, lay.count_bits)
+        w.write(0, lay.pos_bits)
+        w.write(0, lay.pos_bits)
+        w.write(5, CODEC_TAG_BITS)  # delta: a VERSION 3 codec
+        with pytest.raises(VbsError, match="VERSION 3"):
+            VirtualBitstream.from_bits(w.finish())
+
+    def test_v1_cannot_carry_tagged_codec(self, layout):
+        vbs = VirtualBitstream(layout, _v2_records(layout))
+        with pytest.raises(VbsError, match="VERSION 1"):
+            vbs.to_bits(version=1)
+
+    def test_unsupported_write_version_rejected(self, layout):
+        vbs = VirtualBitstream(layout, _v1_records(layout))
+        with pytest.raises(VbsError):
+            vbs.to_bits(version=4)
+
+    def test_corrupted_gap_count_raises_vbs_error(self, layout):
+        """A gap-coded record whose count field claims more set bits than
+        the logic field holds must fail as a wire-format error, not an
+        internal IndexError."""
+        lay, _records = _v3_layout_and_records(layout)
+        nlb = lay.logic_bits_per_cluster
+        w = BitWriter()
+        w.write(MAGIC, MAGIC_BITS)
+        w.write(3, VERSION_BITS)
+        w.write(lay.cluster_size, CLUSTER_BITS)
+        w.write(lay.params.channel_width, CHANNEL_BITS)
+        w.write(lay.params.lut_size, LUT_BITS)
+        w.write(0, COMPACT_BITS)
+        w.write(lay.width, DIM_BITS)
+        w.write(lay.height, DIM_BITS)
+        w.write(0, 10)  # empty dictionary section (DICT_COUNT_BITS)
+        w.write(lay.width - 1, lay.dim_bits)
+        w.write(lay.height - 1, lay.dim_bits)
+        w.write(1, lay.count_bits)
+        w.write(0, lay.pos_bits)
+        w.write(0, lay.pos_bits)
+        w.write(7, CODEC_TAG_BITS)           # eliasg
+        w.write(0, lay.route_count_bits)
+        count_bits = (nlb + 1 - 1).bit_length()
+        w.write((1 << count_bits) - 1, count_bits)  # count > NLB
+        for _ in range(2 * nlb):
+            w.write(1, 1)                    # gaps of 1, then overrun
+        with pytest.raises(VbsError):
+            VirtualBitstream.from_bits(w.finish(), params=layout.params)
