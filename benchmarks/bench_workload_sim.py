@@ -1,0 +1,66 @@
+"""A5 — runtime scale-out: multi-task workload replay through the manager.
+
+Replays seeded load/unload/migrate traces (hot-set reuse, round-robin
+churn, adversarial cache-thrashing) over a shared fabric and reports the
+decode-cache hit rate and the cost model's cycle budget per mix — the
+run-time half of the paper measured as a workload instead of a single
+load.  The trace and images are deterministic, so ``extra_info`` numbers
+are comparable across runs and machines.
+"""
+
+import pytest
+
+from repro.arch import FabricArch
+from repro.runtime import (
+    ExternalMemory,
+    FabricManager,
+    ReconfigurationController,
+    WorkloadSimulator,
+    generate_trace,
+)
+from repro.vbs import encode_flow
+
+TRACE_LENGTH = 60
+
+
+@pytest.fixture(scope="module")
+def workload_images(bench_flow, bench_config):
+    """Two container variants of the bench circuit (distinct digests)."""
+    return [
+        ("plain", encode_flow(bench_flow, bench_config, cluster_size=1)),
+        ("autoc", encode_flow(bench_flow, bench_config, cluster_size=1,
+                              codecs="auto")),
+    ]
+
+
+def _manager(bench_flow, images, capacity=16):
+    w, h = bench_flow.fabric.width, bench_flow.fabric.height
+    fabric = FabricArch(
+        bench_flow.params, w + w // 2 + 1, h + 1,
+        {(x, y): "clb"
+         for x in range(w + w // 2 + 1) for y in range(h + 1)},
+    )
+    ctrl = ReconfigurationController(
+        fabric, ExternalMemory(), cache_capacity=capacity
+    )
+    for name, vbs in images:
+        ctrl.store_vbs(name, vbs)
+    return FabricManager(ctrl)
+
+
+@pytest.mark.parametrize("kind", ["hot-set", "round-robin", "adversarial"])
+def test_workload_replay(benchmark, bench_flow, workload_images, kind):
+    names = [name for name, _v in workload_images]
+    # Capacity 1 under the adversarial mix forces the LRU worst case.
+    capacity = 1 if kind == "adversarial" else 16
+    trace = generate_trace(kind, names, TRACE_LENGTH, seed=1)
+
+    def replay():
+        mgr = _manager(bench_flow, workload_images, capacity=capacity)
+        return WorkloadSimulator(mgr).run(trace)
+
+    report = benchmark(replay)
+    benchmark.extra_info["hit_rate"] = report["cache"]["hit_rate"]
+    benchmark.extra_info["total_cycles"] = report["cycles"]["total"]
+    benchmark.extra_info["bytes_decoded"] = report["bytes_decoded"]
+    benchmark.extra_info["loads"] = report["events"]["loads"]

@@ -9,9 +9,14 @@ compression.
 
     repro vbsgen design.blif -W 20 --codecs auto --workers 4
     repro vbs inspect design.vbs
+    repro runtime simulate --kind hot-set --tasks 3 --length 40 --seed 1
 
 ``vbs inspect`` parses a container through the codec registry and prints
 the prelude, per-cluster codec tags, and the compression ratio.
+``runtime simulate`` replays a seeded multi-task workload trace through
+the fabric manager and reports cache hit rates, decoded bytes and the
+cost model's reconfiguration latency (``--json`` for the machine-readable
+report).
 """
 
 from __future__ import annotations
@@ -41,7 +46,11 @@ def _add_vbsgen_args(parser: argparse.ArgumentParser) -> None:
                              "comma-separated registry name list "
                              "(default: paper-strict list+raw)")
     parser.add_argument("--workers", type=int, default=None,
-                        help="encode pipeline worker threads")
+                        help="encode pipeline workers")
+    parser.add_argument("--backend", default="thread",
+                        choices=("thread", "process"),
+                        help="encode pipeline pool flavor (process sidesteps "
+                             "the GIL for the pure-Python router)")
     parser.add_argument("--compact-logic", action="store_true",
                         help="Section V presence-flagged logic coding")
     parser.add_argument("--raw-output", type=Path, default=None,
@@ -76,6 +85,7 @@ def _run_vbsgen(args: argparse.Namespace) -> int:
         compact_logic=args.compact_logic,
         codecs=codecs,
         workers=args.workers,
+        backend=args.backend,
     )
     out = args.output or args.blif.with_suffix(".vbs")
     out.write_bytes(vbs.to_bits().to_bytes())
@@ -194,6 +204,36 @@ def _run_vbs_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_runtime_simulate(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.runtime.manager import BEST_FIT, FIRST_FIT
+    from repro.runtime.workload import run_scenario, summarize_report
+
+    report = run_scenario(
+        kind=args.kind,
+        n_tasks=args.tasks,
+        length=args.length,
+        seed=args.seed,
+        channel_width=args.channel_width,
+        cluster_size=args.cluster_size,
+        cache_capacity=args.capacity,
+        cache_capacity_bytes=args.capacity_bytes or None,
+        memo_entries=args.memo_entries,
+        strategy=BEST_FIT if args.best_fit else FIRST_FIT,
+        codecs="auto" if args.auto_codecs else None,
+        cache_dir=str(args.cache_dir) if args.cache_dir else None,
+    )
+    print(summarize_report(report))
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(
+            json.dumps(report, indent=1, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.json}")
+    return 0
+
+
 def main(argv: "list[str] | None" = None) -> int:
     """The ``repro`` umbrella command."""
     parser = argparse.ArgumentParser(
@@ -217,6 +257,47 @@ def main(argv: "list[str] | None" = None) -> int:
     inspect.add_argument("--json", action="store_true",
                          help="machine-readable summary (stable key schema)")
     inspect.set_defaults(func=_run_vbs_inspect)
+
+    runtime = sub.add_parser("runtime", help="run-time manager tools")
+    runtime_sub = runtime.add_subparsers(dest="runtime_command", required=True)
+    sim = runtime_sub.add_parser(
+        "simulate",
+        help="replay a seeded multi-task workload trace through the "
+             "fabric manager",
+    )
+    # Literal duplicate of workload.TRACE_KINDS: every other subcommand
+    # defers its heavy imports into the _run_* handler, and generate_trace
+    # re-validates the kind, so a desync fails loudly there.
+    sim.add_argument("--kind", default="hot-set",
+                     choices=("hot-set", "round-robin", "adversarial"),
+                     help="arrival mix of the generated trace")
+    sim.add_argument("--tasks", type=int, default=3,
+                     help="synthetic task images to generate")
+    sim.add_argument("--length", type=int, default=40,
+                     help="trace length in events")
+    sim.add_argument("--seed", type=int, default=1)
+    sim.add_argument("-W", "--channel-width", type=int, default=8)
+    sim.add_argument("-c", "--cluster-size", type=int, default=1)
+    sim.add_argument("--capacity", type=int, default=16,
+                     help="decode cache entry capacity (0 disables the "
+                          "count bound; caching stays on if "
+                          "--capacity-bytes is set)")
+    sim.add_argument("--capacity-bytes", type=int, default=None,
+                     help="decode cache byte budget in expanded-image "
+                          "bytes (0 = no byte bound)")
+    sim.add_argument("--memo-entries", type=int, default=4096,
+                     help="controller DecodeMemo bound (0 disables reuse)")
+    sim.add_argument("--best-fit", action="store_true",
+                     help="adjacency-aware best-fit placement "
+                          "(default first-fit)")
+    sim.add_argument("--auto-codecs", action="store_true",
+                     help="encode task images with codecs=auto")
+    sim.add_argument("--cache-dir", type=Path, default=None,
+                     help="persist/restore decode-cache entries in this "
+                          "directory (cross-process reuse)")
+    sim.add_argument("--json", type=Path, default=None,
+                     help="also write the machine-readable report here")
+    sim.set_defaults(func=_run_runtime_simulate)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -24,6 +24,7 @@ from repro.eval.experiments import (
     run_fig4,
     run_fig5,
     run_table2,
+    run_workload,
 )
 from repro.eval.figures import render_fig4, render_fig5, render_table2, to_csv
 from repro.eval.mcnc import benchmark_names
@@ -43,6 +44,9 @@ def main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--results-dir", type=Path, default=Path("results"))
     parser.add_argument("--mcw", action="store_true",
                         help="also run the Table II MCW search (slow)")
+    parser.add_argument("--workload", action="store_true",
+                        help="also replay the runtime workload-simulator "
+                             "scenario (hot-set trace)")
     parser.add_argument("--seed", type=int, default=1)
     args = parser.parse_args(argv)
 
@@ -80,6 +84,18 @@ def main(argv: "list[str] | None" = None) -> int:
         (results_dir / "table2.csv").write_text(
             to_csv(table2, ["name", "size", "mcw_paper", "mcw_ours",
                             "lbs_paper", "lbs_ours"])
+        )
+
+    if args.workload:
+        from json import dumps
+
+        from repro.runtime.workload import summarize_report
+
+        report = run_workload(results_dir, seed=args.seed)
+        print()
+        print(summarize_report(report))
+        (results_dir / "workload.json").write_text(
+            dumps(report, indent=1, sort_keys=True) + "\n"
         )
 
     print(f"\n# done in {time.perf_counter() - t0:.1f}s; cache: {results_dir}/",

@@ -13,6 +13,16 @@ from repro.runtime.costmodel import (
 )
 from repro.runtime.controller import ReconfigurationController, ResidentTask
 from repro.runtime.manager import BEST_FIT, FIRST_FIT, FabricManager
+from repro.runtime.workload import (
+    TRACE_KINDS,
+    TraceEvent,
+    WorkloadSimulator,
+    WorkloadTrace,
+    generate_trace,
+    run_scenario,
+    summarize_report,
+    synthesize_task_images,
+)
 
 __all__ = [
     "ExternalMemory",
@@ -30,4 +40,12 @@ __all__ = [
     "BEST_FIT",
     "FIRST_FIT",
     "FabricManager",
+    "TRACE_KINDS",
+    "TraceEvent",
+    "WorkloadSimulator",
+    "WorkloadTrace",
+    "generate_trace",
+    "run_scenario",
+    "summarize_report",
+    "synthesize_task_images",
 ]

@@ -62,7 +62,9 @@ class ReconfigurationController:
         memory: ExternalMemory,
         cost_params: Optional[CostParams] = None,
         decode_cache: "DecodeCache | None" = None,
-        cache_capacity: int = 16,
+        cache_capacity: "int | None" = 16,
+        cache_capacity_bytes: Optional[int] = None,
+        memo_entries: Optional[int] = 4096,
     ):
         self.fabric = fabric
         self.memory = memory
@@ -73,18 +75,30 @@ class ReconfigurationController:
         )
         self.resident: Dict[str, ResidentTask] = {}
         #: Decode cache: repeated/relocated loads of the same image skip
-        #: ClusterDecoder replay.  ``cache_capacity=0`` disables it.
+        #: ClusterDecoder replay.  ``cache_capacity`` None or <=0 lifts
+        #: the entry-count bound; ``cache_capacity_bytes`` adds an
+        #: expanded-image byte budget (then the only bound).  With
+        #: neither bound the cache is disabled entirely.
         if decode_cache is not None:
             self.decode_cache: Optional[DecodeCache] = decode_cache
-        else:
+        elif cache_capacity is None or cache_capacity <= 0:
             self.decode_cache = (
-                DecodeCache(cache_capacity) if cache_capacity > 0 else None
+                DecodeCache(None, capacity_bytes=cache_capacity_bytes)
+                if cache_capacity_bytes is not None
+                else None
+            )
+        else:
+            self.decode_cache = DecodeCache(
+                cache_capacity, capacity_bytes=cache_capacity_bytes
             )
         #: Cross-task cluster-level result reuse (identical lists decode
         #: once even across different images sharing wiring patterns).
         #: Bounded, unlike an encoder-run memo: the controller lives for
-        #: the whole serving session.  Set to None to disable reuse.
-        self.decode_memo: Optional[DecodeMemo] = DecodeMemo(max_entries=4096)
+        #: the whole serving session.  ``memo_entries=0`` or ``None``
+        #: disables reuse entirely (every decode replays the router).
+        self.decode_memo: Optional[DecodeMemo] = (
+            DecodeMemo(max_entries=memo_entries) if memo_entries else None
+        )
 
     # -- placement bookkeeping ----------------------------------------------------
 

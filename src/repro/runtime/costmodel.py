@@ -19,12 +19,22 @@ statements into numbers:
   repeated or relocated loads of the same image skip de-virtualization
   entirely — a cache hit costs zero decode cycles, and
   :class:`DecodeCacheStats` surfaces the hit/miss counters.
+
+The cache is bounded either by entry count (``capacity``) or by the byte
+footprint of the cached expansions (``capacity_bytes``, entries weighted
+by :attr:`CachedDecode.expanded_bytes`), and can be persisted to a
+directory next to the ``eval`` results cache (``save``/``load``) so a
+fresh process starts warm.
 """
 
 from __future__ import annotations
 
+import hashlib
+import os
+import pickle
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from repro.vbs.decode import DecodeStats
@@ -70,6 +80,8 @@ class DecodeCacheStats:
     hits: int = 0
     misses: int = 0
     evictions: int = 0
+    #: Entries restored from a persisted cache directory (``load``).
+    restored: int = 0
 
     @property
     def lookups(self) -> int:
@@ -78,6 +90,16 @@ class DecodeCacheStats:
     @property
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
+
+
+def expanded_image_bytes(width: int, height: int, nraw: int) -> int:
+    """Raw-frame footprint of a ``width x height`` task, in bytes.
+
+    The single definition behind both the cache's byte-budget weights
+    and the workload report's decoded-byte accounting — what a hardware
+    configuration store would hold for the expansion.
+    """
+    return -(-(width * height * nraw) // 8)
 
 
 @dataclass
@@ -100,9 +122,36 @@ class CachedDecode:
         """A translated copy of the cached expansion at ``origin``."""
         return self.config.translated(origin[0], origin[1])
 
+    @property
+    def expanded_bytes(self) -> int:
+        """Byte footprint of the expanded image this entry stands for.
+
+        The raw-frame size of the task rectangle (``w * h * Nraw`` bits,
+        rounded up to bytes): what a hardware configuration store would
+        hold for the expansion, independent of Python object overhead —
+        deterministic, so the byte-budget eviction is reproducible.
+        """
+        region = self.config.region
+        return expanded_image_bytes(
+            region.w, region.h, self.config.params.nraw
+        )
+
 
 #: Cache key: (image digest, image kind, origin-independent dimensions).
 CacheKey = Tuple[str, str, int, int]
+
+#: Version stamp of the persisted entry-file format; files written by a
+#: different format version are silently skipped on ``load``.
+CACHE_FILE_FORMAT = 1
+
+#: Persisted entry-file prefix (``<prefix><keydigest>.pkl``).
+_CACHE_FILE_PREFIX = "decode_"
+
+
+def _entry_weight(entry: object) -> int:
+    """Byte weight of a cache entry (0 for foreign test doubles)."""
+    weight = getattr(entry, "expanded_bytes", 0)
+    return weight if isinstance(weight, int) and weight > 0 else 0
 
 
 class DecodeCache:
@@ -114,14 +163,38 @@ class DecodeCache:
     second load of a task costs zero decode cycles.  Keys are content
     digests, so re-publishing a changed image under the same name can
     never serve stale frames.
+
+    Bounds (at least one must be set):
+
+    * ``capacity`` — maximum entry count (``None`` = unbounded count);
+    * ``capacity_bytes`` — maximum summed :attr:`CachedDecode.expanded_bytes`
+      of the resident entries.  Eviction is LRU under either bound, and an
+      entry whose expansion alone exceeds the byte budget is never kept —
+      after any operation sequence ``total_bytes <= capacity_bytes`` holds.
+
+    ``save``/``load`` persist entries as individual version-stamped pickle
+    files in a directory (conventionally next to the ``eval`` results
+    cache), keyed by a digest of the cache key, so a fresh process — or a
+    sweep worker — starts with a warm cache.  Corrupt, truncated or
+    foreign files are skipped, never fatal.
     """
 
-    def __init__(self, capacity: int = 16):
-        if capacity < 1:
+    def __init__(
+        self,
+        capacity: Optional[int] = 16,
+        capacity_bytes: Optional[int] = None,
+    ):
+        if capacity is None and capacity_bytes is None:
+            raise ValueError("decode cache needs a capacity or a byte budget")
+        if capacity is not None and capacity < 1:
             raise ValueError("decode cache capacity must be >= 1")
+        if capacity_bytes is not None and capacity_bytes < 1:
+            raise ValueError("decode cache byte budget must be >= 1")
         self.capacity = capacity
+        self.capacity_bytes = capacity_bytes
         self.stats = DecodeCacheStats()
         self._entries: "OrderedDict[CacheKey, CachedDecode]" = OrderedDict()
+        self._total_bytes = 0
 
     @staticmethod
     def key_for(image: "StoredImage") -> CacheKey:
@@ -130,6 +203,15 @@ class DecodeCache:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    @property
+    def total_bytes(self) -> int:
+        """Summed expanded-image footprint of the resident entries."""
+        return self._total_bytes
+
+    def keys(self) -> "List[CacheKey]":
+        """Resident keys in LRU-to-MRU order (introspection/tests)."""
+        return list(self._entries)
 
     def get(self, key: CacheKey) -> Optional[CachedDecode]:
         """Look up ``key``, counting the hit/miss and refreshing recency."""
@@ -141,16 +223,127 @@ class DecodeCache:
         self.stats.hits += 1
         return entry
 
-    def put(self, key: CacheKey, entry: CachedDecode) -> None:
-        """Insert (or refresh) an entry, evicting the least recently used."""
-        self._entries[key] = entry
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+    def _evict_over_budget(self) -> None:
+        over_count = (
+            self.capacity is not None and len(self._entries) > self.capacity
+        )
+        over_bytes = (
+            self.capacity_bytes is not None
+            and self._total_bytes > self.capacity_bytes
+        )
+        while self._entries and (over_count or over_bytes):
+            _key, victim = self._entries.popitem(last=False)
+            self._total_bytes -= _entry_weight(victim)
             self.stats.evictions += 1
+            over_count = (
+                self.capacity is not None
+                and len(self._entries) > self.capacity
+            )
+            over_bytes = (
+                self.capacity_bytes is not None
+                and self._total_bytes > self.capacity_bytes
+            )
+
+    def _insert(self, key: CacheKey, entry: CachedDecode) -> None:
+        """Insert/refresh without touching hit/miss counters."""
+        weight = _entry_weight(entry)
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._total_bytes -= _entry_weight(old)
+        if self.capacity_bytes is not None and weight > self.capacity_bytes:
+            # An expansion that can never fit is rejected up front — it
+            # must not flush the resident working set on its way out.
+            self.stats.evictions += 1
+            return
+        self._entries[key] = entry
+        self._total_bytes += weight
+        self._evict_over_budget()
+
+    def put(self, key: CacheKey, entry: CachedDecode) -> None:
+        """Insert (or refresh) an entry, evicting the least recently used.
+
+        Under a byte budget an entry whose expansion alone exceeds
+        ``capacity_bytes`` is rejected outright (counted as an eviction)
+        without disturbing the resident entries — the budget is a hard
+        invariant, not advisory.
+        """
+        self._insert(key, entry)
 
     def clear(self) -> None:
         self._entries.clear()
+        self._total_bytes = 0
+
+    # -- persistence -------------------------------------------------------------
+
+    @staticmethod
+    def _file_for(directory: Path, key: CacheKey) -> Path:
+        tag = hashlib.sha256(repr(key).encode()).hexdigest()[:32]
+        return directory / f"{_CACHE_FILE_PREFIX}{tag}.pkl"
+
+    def save(self, directory: "Path | str") -> int:
+        """Persist every resident entry into ``directory``; returns count.
+
+        One version-stamped pickle file per entry, named by a digest of
+        the cache key (content-addressed like the entries themselves, so
+        concurrent savers of the same image write identical files).
+        Files are written to a temporary name and atomically renamed.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        written = 0
+        for key, entry in self._entries.items():
+            payload = {
+                "format": CACHE_FILE_FORMAT,
+                "key": key,
+                "entry": entry,
+            }
+            path = self._file_for(directory, key)
+            tmp = path.with_suffix(f".tmp{os.getpid()}")
+            tmp.write_bytes(pickle.dumps(payload))
+            os.replace(tmp, path)
+            written += 1
+        return written
+
+    def load(self, directory: "Path | str") -> int:
+        """Restore persisted entries from ``directory``; returns count.
+
+        Tolerant by construction: unreadable, truncated, wrongly-typed or
+        version-mismatched files are skipped.  Restored entries respect
+        both bounds (the budget invariant holds after a load) and do not
+        disturb the hit/miss counters — ``stats.restored`` and the return
+        value count only entries actually resident right after their own
+        insert (a file whose entry immediately falls over the budget is
+        not "restored").  Keys already resident are left untouched (the
+        live entry is at least as fresh).
+        """
+        directory = Path(directory)
+        if not directory.is_dir():
+            return 0
+        loaded = 0
+        for path in sorted(directory.glob(f"{_CACHE_FILE_PREFIX}*.pkl")):
+            try:
+                payload = pickle.loads(path.read_bytes())
+            except Exception:
+                continue  # corrupt/truncated/foreign file: never fatal
+            if (
+                not isinstance(payload, dict)
+                or payload.get("format") != CACHE_FILE_FORMAT
+            ):
+                continue
+            key, entry = payload.get("key"), payload.get("entry")
+            if (
+                not isinstance(key, tuple)
+                or len(key) != 4
+                or not isinstance(entry, CachedDecode)
+            ):
+                continue
+            if key in self._entries:
+                continue
+            self._insert(key, entry)
+            if key in self._entries:  # survived the bounds
+                self.stats.restored += 1
+                loaded += 1
+        return loaded
 
 
 def lpt_makespan(jobs: List[int], units: int) -> Tuple[int, List[int]]:

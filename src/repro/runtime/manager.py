@@ -105,12 +105,41 @@ class FabricManager:
 
     # -- high-level operations ----------------------------------------------------------
 
-    def place_task(self, name: str) -> ResidentTask:
-        """Load ``name`` from external memory at an automatically chosen spot."""
+    def make_room(self, w: int, h: int) -> Optional[List[str]]:
+        """Unload oldest-resident tasks until a ``w x h`` origin exists.
+
+        Victims are chosen in placement order (the controller's resident
+        dict preserves insertion order; a migration re-registers a task,
+        so "oldest" means oldest *placement*).  Returns the evicted task
+        names — possibly empty when a region is already free — or None
+        when even an empty fabric cannot host ``w x h``.
+        """
+        fabric = self.controller.fabric
+        if w > fabric.width or h > fabric.height:
+            return None  # infeasible even empty: evict nothing
+        evicted: List[str] = []
+        while self.find_origin(w, h) is None:
+            victim = next(iter(self.controller.resident), None)
+            if victim is None:
+                return None  # unreachable given the bounds check above
+            self.controller.unload_task(victim)
+            evicted.append(victim)
+        return evicted
+
+    def place_task(self, name: str, evict: bool = False) -> ResidentTask:
+        """Load ``name`` from external memory at an automatically chosen spot.
+
+        ``evict=True`` makes room by unloading oldest-resident tasks when
+        no free region exists (the workload simulator's arrival policy);
+        the default keeps the historical fail-fast behavior.
+        """
         image = self.controller.memory.image(name)
         if image is None:
             raise RuntimeManagementError(f"no image named {name!r} in memory")
         origin = self.find_origin(image.width, image.height)
+        if origin is None and evict:
+            if self.make_room(image.width, image.height) is not None:
+                origin = self.find_origin(image.width, image.height)
         if origin is None:
             raise RuntimeManagementError(
                 f"no free {image.width}x{image.height} region for task {name!r}"

@@ -1,0 +1,432 @@
+"""Trace-driven multi-task workload simulation over the runtime manager.
+
+The paper's run-time system exists to amortize de-virtualization cost
+across *repeated* task loads on a shared fabric — a behavior no single
+``load_task`` call can exhibit.  This module supplies the missing
+scenario layer: a seeded trace generator producing load/unload/migrate
+arrival sequences under several mixes, and a simulator replaying a trace
+through a :class:`~repro.runtime.manager.FabricManager`, accumulating the
+cost model's cycle budgets and the decode cache's counters into a
+structured, JSON-serializable report.
+
+Everything is deterministic: the generator derives every choice from
+``random.Random(f"{kind}:{seed}")``, the CAD flows behind the synthetic
+task images are seeded, and the cost model is integer arithmetic — the
+same seed always yields the identical report, which is what makes the
+reports usable as regression goldens (``tests/runtime/test_workload.py``)
+and as CI artifacts worth diffing.
+
+Arrival mixes (:data:`TRACE_KINDS`):
+
+* ``hot-set`` — a small hot set of tasks re-arrives with high
+  probability over a cold tail; the decode cache's bread and butter.
+* ``round-robin`` — every task cycles in order; exercises steady
+  migration-free churn at a hit rate set by cache capacity vs task count.
+* ``adversarial`` — distinct images are loaded and immediately unloaded
+  in a cycle longer than the cache; with ``cache_capacity`` below the
+  task count every lookup misses (LRU's worst case), pinning the
+  thrashing floor.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import RuntimeManagementError
+from repro.runtime.manager import FIRST_FIT, FabricManager
+
+#: Supported arrival mixes of :func:`generate_trace`.
+TRACE_KINDS = ("hot-set", "round-robin", "adversarial")
+
+#: Version stamp of the report schema (bump on renames/removals; key
+#: additions are compatible).
+REPORT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One runtime-manager request: ``op`` in load/unload/migrate."""
+
+    op: str
+    task: str
+
+
+@dataclass(frozen=True)
+class WorkloadTrace:
+    """A seeded, replayable sequence of task arrivals."""
+
+    kind: str
+    seed: int
+    tasks: Tuple[str, ...]
+    events: Tuple[TraceEvent, ...]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
+def generate_trace(
+    kind: str,
+    task_names: Sequence[str],
+    length: int,
+    seed: int = 0,
+    hot_fraction: float = 0.25,
+    hot_weight: float = 0.8,
+    max_resident: int = 2,
+) -> WorkloadTrace:
+    """Generate a ``length``-event trace under the requested arrival mix.
+
+    The generator tracks a symbolic resident set (bounded by
+    ``max_resident``) so emitted sequences are always *replayable*: a
+    load of a resident task is preceded by its unload (a task finishing
+    and re-arriving — the cache's reuse case), and arrivals past the
+    resident bound first unload the symbolically oldest task.  The
+    simulator still tolerates infeasible events defensively, but traces
+    from here never rely on that.
+    """
+    if kind not in TRACE_KINDS:
+        raise RuntimeManagementError(
+            f"unknown trace kind {kind!r}; known: {TRACE_KINDS}"
+        )
+    if not task_names:
+        raise RuntimeManagementError("trace needs at least one task name")
+    names = list(task_names)
+    rng = random.Random(f"{kind}:{seed}")
+    resident: List[str] = []  # symbolic, oldest first
+    events: List[TraceEvent] = []
+
+    n_hot = max(1, round(len(names) * hot_fraction))
+    hot, cold = names[:n_hot], names[n_hot:]
+    cursor = 0
+
+    def arrive(task: str) -> None:
+        """Emit the events of one task arrival (evict/reload as needed)."""
+        if task in resident:
+            resident.remove(task)
+            events.append(TraceEvent("unload", task))
+        while len(resident) >= max_resident:
+            victim = resident.pop(0)
+            events.append(TraceEvent("unload", victim))
+        events.append(TraceEvent("load", task))
+        resident.append(task)
+
+    while len(events) < length:
+        if kind == "hot-set":
+            if cold and rng.random() >= hot_weight:
+                task = rng.choice(cold)
+            else:
+                task = rng.choice(hot)
+            if task in resident and rng.random() < 0.25:
+                events.append(TraceEvent("migrate", task))
+                continue
+            arrive(task)
+        elif kind == "round-robin":
+            arrive(names[cursor % len(names)])
+            cursor += 1
+        else:  # adversarial cache-thrashing
+            task = names[cursor % len(names)]
+            cursor += 1
+            events.append(TraceEvent("load", task))
+            events.append(TraceEvent("unload", task))
+
+    return WorkloadTrace(
+        kind=kind,
+        seed=seed,
+        tasks=tuple(names),
+        events=tuple(events[:length]),
+    )
+
+
+class WorkloadSimulator:
+    """Replay a :class:`WorkloadTrace` through a :class:`FabricManager`.
+
+    Every image the trace names must already be stored in the
+    controller's external memory.  The simulator owns the arrival
+    policy — evicting oldest-resident tasks to make room, skipping
+    infeasible events — and charges every load/migrate with the cost
+    model's cycle breakdown, so the report's latency numbers are exactly
+    what the controller would have measured.
+    """
+
+    def __init__(self, manager: FabricManager):
+        self.manager = manager
+
+    # -- event handlers ---------------------------------------------------------
+
+    def _expanded_bytes(self, image) -> int:
+        from repro.runtime.costmodel import expanded_image_bytes
+
+        nraw = self.manager.controller.fabric.params.nraw
+        return expanded_image_bytes(image.width, image.height, nraw)
+
+    def _charge(self, totals: Dict[str, int], cost) -> None:
+        totals["fetch"] += cost.fetch_cycles
+        totals["decode"] += cost.decode_cycles
+        totals["write"] += cost.write_cycles
+        totals["total"] += cost.total_cycles
+
+    def run(self, trace: WorkloadTrace) -> dict:
+        """Replay ``trace``; return the structured report (JSON-safe)."""
+        mgr = self.manager
+        ctrl = mgr.controller
+        cache = ctrl.decode_cache
+        base_hits = cache.stats.hits if cache else 0
+        base_misses = cache.stats.misses if cache else 0
+        base_evictions = cache.stats.evictions if cache else 0
+
+        counts = {
+            "loads": 0, "unloads": 0, "migrations": 0,
+            "skipped": 0, "failed_loads": 0, "evictions_for_space": 0,
+        }
+        cycles = {"fetch": 0, "decode": 0, "write": 0, "total": 0}
+        load_cache_hits = 0
+        bytes_decoded = 0
+        per_task: Dict[str, Dict[str, int]] = {
+            name: {"loads": 0, "cache_hits": 0, "migrations": 0}
+            for name in trace.tasks
+        }
+
+        for event in trace.events:
+            name = event.task
+            if event.op == "load":
+                if name in ctrl.resident:
+                    counts["skipped"] += 1
+                    continue
+                image = ctrl.memory.image(name)
+                if image is None:
+                    counts["failed_loads"] += 1
+                    continue
+                # The manager's own eviction policy (make_room returns []
+                # when a region is already free), kept visible here only
+                # because the report counts the victims.
+                evicted = mgr.make_room(image.width, image.height)
+                if evicted is None:
+                    counts["failed_loads"] += 1
+                    continue
+                counts["evictions_for_space"] += len(evicted)
+                counts["unloads"] += len(evicted)
+                task = mgr.place_task(name)
+                counts["loads"] += 1
+                per_task[name]["loads"] += 1
+                self._charge(cycles, task.load_cost)
+                if task.load_cost.cache_hit:
+                    load_cache_hits += 1
+                    per_task[name]["cache_hits"] += 1
+                elif image.kind == "vbs":
+                    bytes_decoded += self._expanded_bytes(image)
+            elif event.op == "unload":
+                if name not in ctrl.resident:
+                    counts["skipped"] += 1
+                    continue
+                ctrl.unload_task(name)
+                counts["unloads"] += 1
+            elif event.op == "migrate":
+                resident = ctrl.resident.get(name)
+                if resident is None:
+                    counts["skipped"] += 1
+                    continue
+                region = resident.region
+                target = mgr.find_origin(region.w, region.h, ignore=name)
+                if target is None or target == (region.x, region.y):
+                    counts["skipped"] += 1
+                    continue
+                moved = ctrl.migrate_task(name, target)
+                counts["migrations"] += 1
+                per_task[name]["migrations"] += 1
+                self._charge(cycles, moved.load_cost)
+                if moved.load_cost.cache_hit:
+                    load_cache_hits += 1
+                    per_task[name]["cache_hits"] += 1
+                elif moved.image.kind == "vbs":
+                    # A migration that misses the cache replays the
+                    # decoder just like a load miss does.
+                    bytes_decoded += self._expanded_bytes(moved.image)
+            else:
+                raise RuntimeManagementError(
+                    f"unknown trace op {event.op!r}"
+                )
+
+        hits = (cache.stats.hits - base_hits) if cache else 0
+        misses = (cache.stats.misses - base_misses) if cache else 0
+        lookups = hits + misses
+        report = {
+            "report_version": REPORT_VERSION,
+            "trace": {
+                "kind": trace.kind,
+                "seed": trace.seed,
+                "length": len(trace.events),
+                "tasks": list(trace.tasks),
+            },
+            "events": counts,
+            "cache": {
+                "enabled": cache is not None,
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": (hits / lookups) if lookups else 0.0,
+                "evictions": (
+                    (cache.stats.evictions - base_evictions) if cache else 0
+                ),
+                "entries": len(cache) if cache else 0,
+                "bytes_in_cache": cache.total_bytes if cache else 0,
+                "capacity": cache.capacity if cache else 0,
+                "capacity_bytes": (
+                    cache.capacity_bytes if cache else None
+                ),
+            },
+            "cycles": cycles,
+            "load_cache_hits": load_cache_hits,
+            "bytes_decoded": bytes_decoded,
+            "per_task": {name: per_task[name] for name in sorted(per_task)},
+            "fabric": {
+                "width": ctrl.fabric.width,
+                "height": ctrl.fabric.height,
+                "utilization": ctrl.utilization(),
+                "resident_at_end": sorted(ctrl.resident),
+            },
+        }
+        return report
+
+
+# -- end-to-end scenario harness --------------------------------------------------
+
+
+def synthesize_task_images(
+    n_tasks: int = 3,
+    channel_width: int = 8,
+    cluster_size: int = 1,
+    seed: int = 1,
+    base_luts: int = 10,
+    codecs: "str | Sequence[str] | None" = None,
+) -> "List[Tuple[str, object]]":
+    """Deterministic synthetic task set: (name, VirtualBitstream) pairs.
+
+    Each task is a small generated circuit pushed through the full CAD
+    flow and vbsgen — real containers with real decode cost, sized to
+    stay interactive (a few seconds for the default three tasks).
+    """
+    from repro.arch.params import ArchParams
+    from repro.bitstream.expand import expand_routing
+    from repro.cad.flow import run_flow
+    from repro.netlist import CircuitSpec, generate_circuit
+    from repro.vbs.encode import encode_flow
+
+    params = ArchParams(channel_width=channel_width)
+    images = []
+    for i in range(n_tasks):
+        name = f"task{i}"
+        spec = CircuitSpec(
+            name,
+            n_luts=base_luts + 3 * i,
+            n_inputs=5 + (i % 3),
+            n_outputs=4,
+        )
+        netlist = generate_circuit(spec)
+        flow = run_flow(netlist, params, seed=seed + i)
+        config = expand_routing(
+            flow.design, flow.placement, flow.routing, flow.rrg
+        )
+        vbs = encode_flow(
+            flow, config, cluster_size=cluster_size, codecs=codecs
+        )
+        images.append((name, vbs))
+    return images
+
+
+def run_scenario(
+    kind: str = "hot-set",
+    n_tasks: int = 3,
+    length: int = 40,
+    seed: int = 1,
+    channel_width: int = 8,
+    cluster_size: int = 1,
+    cache_capacity: "int | None" = 16,
+    cache_capacity_bytes: Optional[int] = None,
+    memo_entries: Optional[int] = 4096,
+    strategy: str = FIRST_FIT,
+    codecs: "str | Sequence[str] | None" = None,
+    cache_dir: "str | None" = None,
+) -> dict:
+    """Build a synthetic multi-task scenario and replay one trace.
+
+    The one-call harness behind ``repro runtime simulate``, the eval
+    runner and the benchmark smoke job: synthesizes ``n_tasks`` VBS
+    images, sizes an all-CLB fabric with room for roughly one-and-a-half
+    tasks (so eviction pressure is real), generates the ``kind`` trace
+    and returns the simulator's report with the scenario parameters
+    attached.  ``cache_dir`` warms the decode cache from a persisted
+    directory before the replay and saves it back afterwards —
+    cross-process reuse next to the eval results cache.
+    """
+    from repro.arch.fabric import FabricArch
+    from repro.arch.params import ArchParams
+    from repro.runtime.controller import ReconfigurationController
+    from repro.runtime.memory import ExternalMemory
+
+    images = synthesize_task_images(
+        n_tasks=n_tasks,
+        channel_width=channel_width,
+        cluster_size=cluster_size,
+        seed=seed,
+        codecs=codecs,
+    )
+    max_w = max(vbs.layout.width for _name, vbs in images)
+    max_h = max(vbs.layout.height for _name, vbs in images)
+    fabric_w = max_w + max_w // 2 + 1
+    fabric_h = max_h + 1
+    params = ArchParams(channel_width=channel_width)
+    fabric = FabricArch(
+        params, fabric_w, fabric_h,
+        {(x, y): "clb" for x in range(fabric_w) for y in range(fabric_h)},
+    )
+    ctrl = ReconfigurationController(
+        fabric,
+        ExternalMemory(),
+        cache_capacity=cache_capacity,
+        cache_capacity_bytes=cache_capacity_bytes,
+        memo_entries=memo_entries,
+    )
+    restored = 0
+    if cache_dir is not None and ctrl.decode_cache is not None:
+        restored = ctrl.decode_cache.load(cache_dir)
+    for name, vbs in images:
+        ctrl.store_vbs(name, vbs)
+
+    trace = generate_trace(kind, [name for name, _v in images], length,
+                           seed=seed)
+    manager = FabricManager(ctrl, strategy=strategy)
+    report = WorkloadSimulator(manager).run(trace)
+    report["scenario"] = {
+        "n_tasks": n_tasks,
+        "channel_width": channel_width,
+        "cluster_size": cluster_size,
+        "strategy": strategy,
+        "memo_entries": memo_entries,
+        "cache_entries_restored": restored,
+        "image_bits": {
+            name: vbs.container_bits for name, vbs in images
+        },
+    }
+    if cache_dir is not None and ctrl.decode_cache is not None:
+        ctrl.decode_cache.save(cache_dir)
+    return report
+
+
+def summarize_report(report: dict) -> str:
+    """A terse human-readable digest of a simulation report."""
+    ev, ca, cy = report["events"], report["cache"], report["cycles"]
+    lines = [
+        f"trace: {report['trace']['kind']} seed={report['trace']['seed']} "
+        f"({report['trace']['length']} events, "
+        f"{len(report['trace']['tasks'])} tasks)",
+        f"events: {ev['loads']} loads, {ev['unloads']} unloads, "
+        f"{ev['migrations']} migrations, {ev['skipped']} skipped, "
+        f"{ev['evictions_for_space']} evictions for space",
+        f"cache: {ca['hits']} hits / {ca['misses']} misses "
+        f"(hit rate {ca['hit_rate']:.1%}), {ca['entries']} entries, "
+        f"{ca['bytes_in_cache']} bytes resident",
+        f"cycles: fetch {cy['fetch']}, decode {cy['decode']}, "
+        f"write {cy['write']} — total {cy['total']}",
+        f"bytes decoded: {report['bytes_decoded']}",
+    ]
+    return "\n".join(lines)

@@ -72,7 +72,9 @@ class DecodeMemo:
     the decoded output never is.
 
     ``max_entries`` bounds the memo for long-lived owners (the runtime
-    controller): insertion past the bound evicts in FIFO order.  The
+    controller, a sweep-shared encoder memo): insertion past the bound
+    evicts the least recently *used* entry — hits refresh recency, so a
+    hot wiring pattern survives a sweep over many containers.  The
     default is unbounded, which suits one-shot encoder runs.
     """
 
@@ -82,6 +84,7 @@ class DecodeMemo:
         self.max_entries = max_entries
         #: (params, cluster size, connection order, member mask) ->
         #: (result, None) on success or (None, error message) on failure.
+        #: Insertion-ordered; hits re-insert, so iteration order is LRU.
         self._entries: Dict[
             tuple,
             Tuple[Optional[DevirtResult], Optional[str]],
@@ -99,11 +102,34 @@ class DecodeMemo:
             and key not in self._entries
             and len(self._entries) >= self.max_entries
         ):
-            self._entries.pop(next(iter(self._entries)))
+            # Same race tolerance as _refresh: under concurrent workers
+            # the victim may vanish (or the dict resize) mid-eviction —
+            # the bound is then enforced by the next insert instead.
+            try:
+                self._entries.pop(next(iter(self._entries)), None)
+            except (StopIteration, RuntimeError):
+                pass
         self._entries[key] = value
+
+    def _refresh(self, key: tuple) -> None:
+        """Move ``key`` to the recent end (bounded memos evict LRU-first).
+
+        Tolerant of the key vanishing between the caller's ``get`` and
+        this pop — concurrent thread-pool workers share one memo, and a
+        racing eviction must cost at most a lost recency refresh, never
+        a crash.
+        """
+        if self.max_entries is not None:
+            value = self._entries.pop(key, None)
+            if value is not None:
+                self._entries[key] = value
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept — they describe history)."""
+        self._entries.clear()
 
     def decode(
         self,
@@ -124,6 +150,7 @@ class DecodeMemo:
         entry = self._entries.get(key)
         if entry is not None:
             self.hits += 1
+            self._refresh(key)
             result, error = entry
             if error is not None:
                 raise DevirtualizationError(error)

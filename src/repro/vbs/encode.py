@@ -381,21 +381,187 @@ def _cluster_raw_frames(
     return out
 
 
+@dataclass(frozen=True)
+class ClusterWorkItem:
+    """One picklable encode-pipeline work item (a non-empty cluster).
+
+    Everything a worker needs that is *specific to this cluster*: the
+    shared per-run inputs (layout, codec selection, order-search knobs)
+    travel once per worker in an :class:`EncodeContext`.  Raw frames are
+    deliberately absent — workers never see the full ``FabricConfig``;
+    the merge step materializes frames in the parent for outcomes that
+    need them, so process workers ship kilobytes, not the whole design.
+    """
+
+    pos: Tuple[int, int]
+    pairs: Tuple[Pair, ...]
+    logic: BitArray
+    valid_members: Tuple[Tuple[int, int], ...]
+
+
+@dataclass(frozen=True)
+class EncodeContext:
+    """Per-run shared inputs of the encode pipeline (picklable).
+
+    Sent once per worker process (pool initializer) instead of once per
+    item; the thread/serial drivers pass it by reference.  Codecs travel
+    by *name* — registry objects are process-local.
+    """
+
+    layout: VbsLayout
+    #: The caller's ``codecs`` selection verbatim (``"auto"``, a name
+    #: tuple, or None) — resolved against the registry worker-side.
+    codec_names: "str | Tuple[str, ...] | None"
+    max_orders: int
+    order_seed: int
+
+
 @dataclass
 class _ClusterOutcome:
-    """One pipeline work item's result, merged into EncodeStats in order."""
+    """One pipeline work item's result, merged into EncodeStats in order.
 
-    record: ClusterRecord
+    ``record`` is None when the cluster must be raw-coded — the parent
+    owns the configuration and materializes the frames during the merge
+    (workers cannot, and raw frames would bloat process-pool results).
+    """
+
+    pos: Tuple[int, int]
+    record: Optional[ClusterRecord]
     pairs_total: int = 0
     orders_tried: int = 0
     offline_decode_work: int = 0
     reuse_hits: int = 0
     fallback_reason: Optional[str] = None
-    #: Raw frames held back for the sequential family pass: set when the
-    #: codec selection contains only container-level codecs (dictionary /
+    #: Raw frames requested for the sequential family pass: set when the
+    #: codec selection contains container-level codecs (dictionary /
     #: stateful), so the provisional record may still lose to the
-    #: guaranteed raw coding once the family costs are known.
-    raw_fallback_frames: Optional[BitArray] = None
+    #: guaranteed raw coding once the family costs are known.  The parent
+    #: fills the frames in during the raster-order merge.
+    needs_raw_frames: bool = False
+
+
+def _encode_cluster(
+    item: ClusterWorkItem,
+    ctx: EncodeContext,
+    memo: Optional[DecodeMemo],
+) -> _ClusterOutcome:
+    """Encode one cluster work item (order search + codec selection).
+
+    Pure with respect to the run: identical items and context produce
+    identical outcomes regardless of which backend executes them, which
+    is what makes the emitted container byte-identical across serial,
+    thread-pool and process-pool drivers.
+    """
+    from repro.vbs.codecs import pick_codec, resolve_codecs
+    from repro.vbs.order import candidate_orders
+
+    layout = ctx.layout
+    allowed = resolve_codecs(ctx.codec_names)
+    model = get_cluster_model(layout.params, layout.cluster_size)
+    cx, cy = item.pos
+    pairs = list(item.pairs)
+    outcome = _ClusterOutcome(
+        pos=item.pos, record=None, pairs_total=len(pairs)
+    )
+
+    record: Optional[ClusterRecord] = None
+    if len(pairs) <= layout.max_routes:
+        valid = set(item.valid_members)
+        for order in candidate_orders(
+            pairs, model, max_orders=ctx.max_orders, seed=ctx.order_seed
+        ):
+            outcome.orders_tried += 1
+            try:
+                if memo is not None:
+                    result, reused = memo.decode(model, order, valid)
+                else:
+                    from repro.vbs.devirt import ClusterDecoder
+
+                    result = ClusterDecoder(
+                        model, valid_macros=valid
+                    ).decode(list(order))
+                    reused = False
+            except DevirtualizationError:
+                continue
+            if reused:
+                outcome.reuse_hits += 1
+            else:
+                outcome.offline_decode_work += result.work
+            record = ClusterRecord(
+                (cx, cy),
+                raw=False,
+                logic=item.logic,
+                pairs=list(order),
+                orders_tried=outcome.orders_tried,
+            )
+            break
+        else:
+            outcome.fallback_reason = "no decodable order"
+    else:
+        outcome.fallback_reason = (
+            f"{len(pairs)} routes exceed the count field"
+        )
+
+    if record is not None and allowed is not None:
+        stateless = [
+            c for c in allowed
+            if not c.codes_raw and not c.stateful and not c.needs_dict
+        ]
+        family = [
+            c for c in allowed
+            if not c.codes_raw and (c.stateful or c.needs_dict)
+        ]
+        if stateless:
+            best = pick_codec(record, layout, stateless)
+            record.codec = best.name
+            # Raw competes on size too, but its record size is a layout
+            # constant — only materialize the frames when it wins.
+            if (
+                any(c.codes_raw for c in allowed)
+                and layout.raw_record_bits < record.size_bits(layout)
+            ):
+                if family:
+                    # A family codec may still undercut raw (a delta
+                    # residue on a dense-but-repetitive cluster, a
+                    # dictionary reference) — keep the smart record
+                    # and let the sequential pass settle raw-vs-rest
+                    # with the frames held back.
+                    outcome.needs_raw_frames = True
+                else:
+                    record = None
+        elif family:
+            # Only container-level codecs selected: keep the record
+            # provisional (codec unassigned) and hold the raw frames
+            # back for the sequential family pass, which owns the
+            # raw-versus-family decision.
+            outcome.needs_raw_frames = True
+        else:
+            record = None  # raw-only selection: code every cluster raw
+    outcome.record = record
+    return outcome
+
+
+# -- process-pool worker plumbing -----------------------------------------------
+#
+# ``fork``-safe and ``spawn``-safe: the context is shipped through the
+# pool initializer exactly once per worker, and each worker keeps its own
+# DecodeMemo for the lifetime of the pool (cross-item reuse without
+# cross-process coordination; determinism is unaffected — the router is
+# deterministic, the memo only skips replays).
+
+_WORKER_CTX: Optional[EncodeContext] = None
+_WORKER_MEMO: Optional[DecodeMemo] = None
+
+
+def _process_worker_init(ctx: EncodeContext) -> None:
+    global _WORKER_CTX, _WORKER_MEMO
+    _WORKER_CTX = ctx
+    _WORKER_MEMO = DecodeMemo()
+
+
+def _process_encode_cluster(item: ClusterWorkItem) -> _ClusterOutcome:
+    assert _WORKER_CTX is not None, "pool initializer did not run"
+    return _encode_cluster(item, _WORKER_CTX, _WORKER_MEMO)
 
 
 def _build_dict_table(
@@ -584,6 +750,8 @@ def encode_design(
     compact_logic: bool = False,
     codecs: "str | Sequence[str] | None" = None,
     workers: Optional[int] = None,
+    backend: str = "thread",
+    memo: Optional[DecodeMemo] = None,
 ) -> VirtualBitstream:
     """Run vbsgen over a routed design at the given coding granularity.
 
@@ -598,8 +766,22 @@ def encode_design(
     raw even when ``"raw"`` is not in the selection (Section III-B's
     correctness guarantee), and a raw-only selection codes every cluster
     raw.  ``workers`` > 1 drives the per-cluster work items through a
-    thread pool; records come back in raster order and the emitted
+    worker pool; records come back in raster order and the emitted
     container is byte-identical to a serial run.
+
+    ``backend`` selects the pool flavor: ``"thread"`` (default; shares
+    the run's :class:`DecodeMemo`, GIL-bound for the pure-Python router)
+    or ``"process"``, which ships picklable :class:`ClusterWorkItem`\\ s
+    to a ``ProcessPoolExecutor`` — real parallelism for the router-heavy
+    order search.  Process workers keep a private per-process memo; the
+    caller-supplied ``memo`` is not consulted at all on that path
+    (memos do not cross process boundaries).
+
+    ``memo`` shares a :class:`DecodeMemo` *across* encode invocations —
+    a cluster-size or codec sweep over the same design replays identical
+    (order, mask) decodes from the first run instead of re-routing.
+    Ignored as a work-item cache under ``backend="process"`` (memos do
+    not cross process boundaries); pass it for serial/thread sweeps.
 
     Container-level codecs (the dictionary codec's shared pattern table,
     the stateful delta codec) are assigned by a *sequential second pass*
@@ -612,124 +794,84 @@ def encode_design(
     worker counts.  Containers that end up using a VERSION 3 feature
     serialize as VERSION 3; all others remain VERSION 2.
     """
-    from repro.vbs.codecs import codec_by_name, pick_codec, resolve_codecs
-    from repro.vbs.order import candidate_orders
+    from repro.vbs.codecs import codec_by_name, resolve_codecs
+
+    if backend not in ("thread", "process"):
+        raise VbsError(
+            f"unknown encode backend {backend!r}; use 'thread' or 'process'"
+        )
 
     fabric = placement.fabric
     params = fabric.params
     layout = VbsLayout(params, cluster_size, fabric.width, fabric.height,
                        compact_logic=compact_logic)
-    model = get_cluster_model(params, cluster_size)
     components = extract_components(design, placement, routing, rrg, layout)
-    allowed = resolve_codecs(codecs)
-    memo = DecodeMemo()
+    if codecs is None or isinstance(codecs, str):
+        codec_selection: "str | Tuple[str, ...] | None" = codecs
+    else:
+        codec_selection = tuple(codecs)
+    allowed = resolve_codecs(codec_selection)
+    ctx = EncodeContext(
+        layout=layout,
+        codec_names=codec_selection,
+        max_orders=max_orders,
+        order_seed=order_seed,
+    )
+    if memo is None:
+        memo = DecodeMemo()
 
-    def encode_one(pos: Tuple[int, int]) -> Optional[_ClusterOutcome]:
-        cx, cy = pos
-        comps = components.get((cx, cy), [])
-        logic = _cluster_logic(layout, config, cx, cy)
-        if not comps and logic.count() == 0:
-            return None  # empty cluster: omitted from the macro list
-        pairs: List[Pair] = [p for comp in comps for p in comp.pairs()]
-        outcome = _ClusterOutcome(record=None, pairs_total=len(pairs))
+    # Work-item construction is serial and cheap (bit extraction); the
+    # expensive order-search/router replay is what the pool runs.
+    cgw, cgh = layout.cluster_grid
+    items: List[ClusterWorkItem] = []
+    for cy in range(cgh):
+        for cx in range(cgw):
+            comps = components.get((cx, cy), [])
+            logic = _cluster_logic(layout, config, cx, cy)
+            if not comps and logic.count() == 0:
+                continue  # empty cluster: omitted from the macro list
+            items.append(ClusterWorkItem(
+                pos=(cx, cy),
+                pairs=tuple(p for comp in comps for p in comp.pairs()),
+                logic=logic,
+                valid_members=tuple(layout.valid_members(cx, cy)),
+            ))
 
-        record: Optional[ClusterRecord] = None
-        if len(pairs) <= layout.max_routes:
-            valid = set(layout.valid_members(cx, cy))
-            for order in candidate_orders(
-                pairs, model, max_orders=max_orders, seed=order_seed
-            ):
-                outcome.orders_tried += 1
-                try:
-                    result, reused = memo.decode(model, order, valid)
-                except DevirtualizationError:
-                    continue
-                if reused:
-                    outcome.reuse_hits += 1
-                else:
-                    outcome.offline_decode_work += result.work
-                record = ClusterRecord(
-                    (cx, cy),
-                    raw=False,
-                    logic=logic,
-                    pairs=list(order),
-                    orders_tried=outcome.orders_tried,
-                )
-                break
-            else:
-                outcome.fallback_reason = "no decodable order"
-        else:
-            outcome.fallback_reason = (
-                f"{len(pairs)} routes exceed the count field"
+    if workers is not None and workers > 1 and backend == "process":
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_process_worker_init,
+            initargs=(ctx,),
+        ) as pool:
+            outcomes = list(pool.map(_process_encode_cluster, items))
+    elif workers is not None and workers > 1:
+        from concurrent.futures import ThreadPoolExecutor
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            outcomes = list(
+                pool.map(lambda item: _encode_cluster(item, ctx, memo), items)
             )
+    else:
+        outcomes = [_encode_cluster(item, ctx, memo) for item in items]
 
-        if record is not None and allowed is not None:
-            stateless = [
-                c for c in allowed
-                if not c.codes_raw and not c.stateful and not c.needs_dict
-            ]
-            family = [
-                c for c in allowed
-                if not c.codes_raw and (c.stateful or c.needs_dict)
-            ]
-            if stateless:
-                best = pick_codec(record, layout, stateless)
-                record.codec = best.name
-                # Raw competes on size too, but its record size is a layout
-                # constant — only materialize the frames when it wins.
-                if (
-                    any(c.codes_raw for c in allowed)
-                    and layout.raw_record_bits < record.size_bits(layout)
-                ):
-                    if family:
-                        # A family codec may still undercut raw (a delta
-                        # residue on a dense-but-repetitive cluster, a
-                        # dictionary reference) — keep the smart record
-                        # and let the sequential pass settle raw-vs-rest
-                        # with the frames held back.
-                        outcome.raw_fallback_frames = _cluster_raw_frames(
-                            layout, config, cx, cy
-                        )
-                    else:
-                        record = None
-            elif family:
-                # Only container-level codecs selected: keep the record
-                # provisional (codec unassigned) and hold the raw frames
-                # back for the sequential family pass, which owns the
-                # raw-versus-family decision.
-                outcome.raw_fallback_frames = _cluster_raw_frames(
-                    layout, config, cx, cy
-                )
-            else:
-                record = None  # raw-only selection: code every cluster raw
-        if record is None:
-            record = ClusterRecord(
+    # Deterministic merge in raster order; raw frames are materialized
+    # here (the parent owns the configuration) for outcomes that fell
+    # back to raw coding or held frames back for the family pass.
+    stats = EncodeStats()
+    records: List[ClusterRecord] = []
+    raw_frames: Dict[Tuple[int, int], BitArray] = {}
+    for outcome in outcomes:
+        cx, cy = outcome.pos
+        rec = outcome.record
+        if rec is None:
+            rec = ClusterRecord(
                 (cx, cy),
                 raw=True,
                 raw_frames=_cluster_raw_frames(layout, config, cx, cy),
                 codec="raw",
             )
-        outcome.record = record
-        return outcome
-
-    cgw, cgh = layout.cluster_grid
-    positions = [(cx, cy) for cy in range(cgh) for cx in range(cgw)]
-    if workers is not None and workers > 1:
-        from concurrent.futures import ThreadPoolExecutor
-
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            outcomes = list(pool.map(encode_one, positions))
-    else:
-        outcomes = [encode_one(pos) for pos in positions]
-
-    # Deterministic merge in raster order.
-    stats = EncodeStats()
-    records: List[ClusterRecord] = []
-    raw_frames: Dict[Tuple[int, int], BitArray] = {}
-    for outcome in outcomes:
-        if outcome is None:
-            continue
-        rec = outcome.record
         stats.clusters_listed += 1
         stats.pairs_total += outcome.pairs_total
         stats.orders_tried += outcome.orders_tried
@@ -737,8 +879,8 @@ def encode_design(
         stats.decode_reuse_hits += outcome.reuse_hits
         if outcome.fallback_reason is not None:
             stats.fallback_reasons[rec.pos] = outcome.fallback_reason
-        if outcome.raw_fallback_frames is not None:
-            raw_frames[rec.pos] = outcome.raw_fallback_frames
+        if outcome.needs_raw_frames:
+            raw_frames[rec.pos] = _cluster_raw_frames(layout, config, cx, cy)
         records.append(rec)
 
     # Sequential second pass: container-level codecs (dictionary table,

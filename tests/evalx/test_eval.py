@@ -108,6 +108,19 @@ class TestRunners:
             f"{name}={counts[name]}" for name in sorted(counts)
         )
 
+    @pytest.mark.integration
+    def test_workload_runner_caches(self, tmp_path):
+        from repro.eval.experiments import run_workload
+
+        report = run_workload(tmp_path, n_tasks=2, length=8, seed=2)
+        assert report["events"]["loads"] > 0
+        # The decode cache persisted next to the results cache.
+        assert list((tmp_path / "decode_cache").glob("decode_*.pkl"))
+        # Second call comes from the versioned JSON cache (no new flows
+        # and no new simulation: identical object, including timestamps).
+        again = run_workload(tmp_path, n_tasks=2, length=8, seed=2)
+        assert again == report
+
 
 class TestRendering:
     def test_format_table(self):

@@ -1,0 +1,188 @@
+"""Encode-pipeline backends: byte identity, pickling, shared memo.
+
+The container a design encodes to must not depend on *how* the pipeline
+ran — serial, thread pool, or process pool must emit identical bytes for
+every codec selection (the offline/online feedback-loop contract says
+decode success is a function of the emitted list, so a backend-dependent
+container would be a correctness bug, not a performance detail).
+"""
+
+import pickle
+
+import pytest
+
+from repro.errors import VbsError
+from repro.vbs.devirt import DecodeMemo
+from repro.vbs.encode import (
+    ClusterWorkItem,
+    EncodeContext,
+    _encode_cluster,
+    encode_flow,
+)
+
+#: The matrix of the byte-identity guarantee: the paper-strict default,
+#: the full cost-driven picker, and the two container-level codecs that
+#: exercise the sequential family pass (held-back raw frames included).
+CODEC_SELECTIONS = [
+    None,
+    "auto",
+    ("dict", "list", "raw"),
+    ("delta", "list", "raw"),
+]
+
+
+def _ids(val):
+    return "paper" if val is None else str(val)
+
+
+class TestByteIdenticalBackends:
+    @pytest.mark.parametrize("codecs", CODEC_SELECTIONS, ids=_ids)
+    def test_serial_thread_process_agree(self, tiny_flow, tiny_config,
+                                         codecs):
+        serial = encode_flow(
+            tiny_flow, tiny_config, cluster_size=2, codecs=codecs
+        )
+        thread = encode_flow(
+            tiny_flow, tiny_config, cluster_size=2, codecs=codecs,
+            workers=3, backend="thread",
+        )
+        process = encode_flow(
+            tiny_flow, tiny_config, cluster_size=2, codecs=codecs,
+            workers=2, backend="process",
+        )
+        blob = serial.to_bits().to_bytes()
+        assert thread.to_bits().to_bytes() == blob
+        assert process.to_bits().to_bytes() == blob
+        # Deterministic merge: the stats that describe the *container*
+        # (not memo luck) agree too.
+        for vbs in (thread, process):
+            assert vbs.stats.clusters_listed == serial.stats.clusters_listed
+            assert vbs.stats.clusters_raw == serial.stats.clusters_raw
+            assert vbs.stats.codec_counts == serial.stats.codec_counts
+
+    def test_process_backend_cluster1(self, tiny_flow, tiny_config):
+        serial = encode_flow(tiny_flow, tiny_config, cluster_size=1,
+                             codecs="auto")
+        process = encode_flow(tiny_flow, tiny_config, cluster_size=1,
+                              codecs="auto", workers=2, backend="process")
+        assert process.to_bits().to_bytes() == serial.to_bits().to_bytes()
+
+    def test_unknown_backend_rejected(self, tiny_flow, tiny_config):
+        with pytest.raises(VbsError):
+            encode_flow(tiny_flow, tiny_config, workers=2, backend="mpi")
+
+    def test_backend_ignored_without_workers(self, tiny_flow, tiny_config):
+        # workers=None never spawns a pool, whatever the backend says.
+        vbs = encode_flow(tiny_flow, tiny_config, backend="process")
+        assert vbs.to_bits().to_bytes() == encode_flow(
+            tiny_flow, tiny_config
+        ).to_bits().to_bytes()
+
+
+class TestWorkItemPickling:
+    def _context_and_item(self, tiny_flow):
+        from repro.vbs.format import VbsLayout
+
+        layout = VbsLayout(
+            tiny_flow.params, 2, tiny_flow.fabric.width,
+            tiny_flow.fabric.height,
+        )
+        from repro.utils.bitarray import BitArray
+
+        item = ClusterWorkItem(
+            pos=(1, 0),
+            pairs=((0, 5), (3, 2)),
+            logic=BitArray(layout.logic_bits_per_cluster),
+            valid_members=tuple(layout.valid_members(1, 0)),
+        )
+        ctx = EncodeContext(
+            layout=layout, codec_names="auto", max_orders=12, order_seed=0
+        )
+        return ctx, item
+
+    def test_work_item_roundtrips(self, tiny_flow):
+        ctx, item = self._context_and_item(tiny_flow)
+        clone = pickle.loads(pickle.dumps(item))
+        assert clone == item
+
+    def test_context_roundtrips(self, tiny_flow):
+        ctx, _item = self._context_and_item(tiny_flow)
+        clone = pickle.loads(pickle.dumps(ctx))
+        assert clone.layout == ctx.layout
+        assert clone.codec_names == ctx.codec_names
+
+    def test_outcome_roundtrips(self, tiny_flow):
+        ctx, item = self._context_and_item(tiny_flow)
+        outcome = _encode_cluster(item, ctx, DecodeMemo())
+        clone = pickle.loads(pickle.dumps(outcome))
+        assert clone.pos == outcome.pos
+        assert clone.orders_tried == outcome.orders_tried
+        assert (clone.record is None) == (outcome.record is None)
+        if outcome.record is not None:
+            assert clone.record.pairs == outcome.record.pairs
+            assert clone.record.logic == outcome.record.logic
+
+
+class TestSharedMemoSweep:
+    def test_cross_invocation_reuse(self, tiny_flow, tiny_config):
+        memo = DecodeMemo()
+        first = encode_flow(tiny_flow, tiny_config, cluster_size=1,
+                            memo=memo)
+        second = encode_flow(tiny_flow, tiny_config, cluster_size=1,
+                             memo=memo)
+        assert second.stats.decode_reuse_hits >= first.stats.decode_reuse_hits
+        assert second.stats.decode_reuse_hits > 0
+        assert second.to_bits().to_bytes() == first.to_bits().to_bytes()
+
+    def test_shared_memo_does_not_change_bytes_across_sizes(
+        self, tiny_flow, tiny_config
+    ):
+        memo = DecodeMemo()
+        swept = [
+            encode_flow(tiny_flow, tiny_config, cluster_size=c, memo=memo)
+            for c in (1, 2)
+        ]
+        fresh = [
+            encode_flow(tiny_flow, tiny_config, cluster_size=c)
+            for c in (1, 2)
+        ]
+        for a, b in zip(swept, fresh):
+            assert a.to_bits().to_bytes() == b.to_bits().to_bytes()
+
+    def test_bounded_memo_refreshes_on_hit(self):
+        # LRU, not FIFO: a re-used entry must outlive colder ones.
+        from repro.arch import ArchParams, get_cluster_model
+
+        model = get_cluster_model(ArchParams(channel_width=5), 1)
+        memo = DecodeMemo(max_entries=2)
+        memo.decode(model, [(0, 5)])
+        memo.decode(model, [(1, 6)])
+        memo.decode(model, [(0, 5)])   # refresh the older entry
+        memo.decode(model, [(2, 7)])   # evicts (1, 6), not (0, 5)
+        _result, reused = memo.decode(model, [(0, 5)])
+        assert reused
+        assert len(memo) == 2
+
+    def test_bounded_memo_hits_survive_thread_races(self):
+        # Hits refresh recency by pop+reinsert; a racing eviction must
+        # cost at most a lost refresh, never a KeyError — the thread
+        # backend shares one memo across all workers.
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.arch import ArchParams, get_cluster_model
+        from repro.errors import DevirtualizationError
+
+        model = get_cluster_model(ArchParams(channel_width=5), 1)
+        memo = DecodeMemo(max_entries=2)
+        churn = [[(0, 5)], [(1, 6)], [(2, 7)], [(3, 8)]]
+
+        def hammer(worker: int) -> None:
+            for n in range(300):
+                try:
+                    memo.decode(model, churn[(worker + n) % len(churn)])
+                except DevirtualizationError:
+                    pass  # an unroutable churn pair is fine here
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            list(pool.map(hammer, range(8)))
+        assert len(memo) <= 2
