@@ -1,0 +1,76 @@
+"""V3-vs-V4 compression-ratio artifact (the CI bench-smoke job).
+
+Runs the cost-driven codec picker at both codec generations — the full
+VERSION 3 set versus the VERSION 4 family (wide tags, adaptive Rice,
+best-of-k delta) — over a reduced-scale eval corpus that includes the
+replicated-datapath workload the VERSION 4 codecs target, and writes the
+summed totals to a JSON artifact::
+
+    PYTHONPATH=src python benchmarks/bench_v4_ratio.py --out bench_v4_ratio.json
+
+The full-scale equivalent is written by ``python -m repro.eval.run_all``
+next to its figure CSVs (same schema, same ``v4_ratio_summary`` code
+path).  The gate: ``total_auto_v4_bits <= total_auto_v3_bits`` always
+(the encoder upgrades a container only when the wide framing pays), and
+strictly smaller on this corpus because the replicated datapath engages
+``delta-k``/``rice-a``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.eval.experiments import v4_ratio_summary
+
+#: Reduced-scale smoke corpus: one Table II proxy plus the synthetic
+#: replicated-datapath workload (see ``repro.eval.experiments.EVAL_EXTRAS``).
+SMOKE_NAMES = ("ex5p", "dpath")
+SMOKE_CLUSTERS = (1, 2, 3)
+SMOKE_SCALE = 0.08
+SMOKE_CHANNEL_WIDTH = 8
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path,
+                        default=Path("bench_v4_ratio.json"))
+    parser.add_argument("--results-dir", type=Path, default=None,
+                        help="reuse this eval cache (default: a temp dir)")
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    if args.results_dir is not None:
+        results_dir = args.results_dir
+        summary = _summarize(results_dir, args.seed)
+    else:
+        with tempfile.TemporaryDirectory() as tmp:
+            summary = _summarize(Path(tmp), args.seed)
+
+    args.out.write_text(json.dumps(summary, indent=1, sort_keys=True) + "\n")
+    print(f"V3 auto total: {summary['total_auto_v3_bits']} bits")
+    print(f"V4 auto total: {summary['total_auto_v4_bits']} bits")
+    print(f"improvement:   {summary['improvement_bits']} bits "
+          f"(ratio {summary['v4_over_v3_ratio']:.4f})")
+    print(f"wrote {args.out}")
+    if summary["total_auto_v4_bits"] > summary["total_auto_v3_bits"]:
+        print("ERROR: VERSION 4 family regressed the corpus total",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _summarize(results_dir: Path, seed: int) -> dict:
+    summary = v4_ratio_summary(
+        SMOKE_NAMES, results_dir, SMOKE_CHANNEL_WIDTH,
+        clusters=SMOKE_CLUSTERS, scale=SMOKE_SCALE, seed=seed,
+    )
+    summary["corpus"] = list(SMOKE_NAMES)
+    return summary
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -130,6 +130,8 @@ def inspect_summary(vbs: VirtualBitstream, path: Path, num_bytes: int,
         },
         "payload_bits": vbs.size_bits,
         "prelude_bits": PRELUDE_BITS,
+        "tag_bits": lay.tag_bits,
+        "shared_dict_id": lay.shared_dict_id,
         "dict_patterns": len(lay.dict_table),
         "dict_section_bits": lay.dict_section_bits,
         "records": len(vbs.records),
@@ -155,15 +157,86 @@ def inspect_summary(vbs: VirtualBitstream, path: Path, num_bytes: int,
     return summary
 
 
+def _peek_shared_reference(data: bytes) -> dict:
+    """Prelude and shared-dictionary id of a container whose external
+    table is unavailable — everything readable before the payload.
+
+    Reads through :func:`repro.vbs.format.read_prelude`, the single
+    owner of the prelude bit layout, so this peek cannot drift from the
+    real parser.
+    """
+    from repro.utils.bitarray import BitArray, BitReader
+    from repro.vbs.format import SHARED_DICT_ID_BITS, read_prelude
+
+    r = BitReader(BitArray.from_bytes(data))
+    prelude = read_prelude(r)
+    return {
+        "version": prelude.version,
+        "shared_dict_id": r.read(SHARED_DICT_ID_BITS),
+        "prelude": {
+            "cluster_size": prelude.cluster_size,
+            "channel_width": prelude.channel_width,
+            "lut_size": prelude.lut_size,
+            "compact_logic": prelude.compact_logic,
+            "width": prelude.width,
+            "height": prelude.height,
+        },
+    }
+
+
+def _print_prelude(prelude: dict) -> None:
+    """The human prelude block, shared by the full and stub inspects."""
+    print("prelude:")
+    print(f"  cluster size    {prelude['cluster_size']}")
+    print(f"  channel width   {prelude['channel_width']}")
+    print(f"  lut size        {prelude['lut_size']}")
+    print(f"  compact logic   {prelude['compact_logic']}")
+    print(f"  task            {prelude['width']}x{prelude['height']} macros")
+
+
+def _inspect_shared_stub(args: argparse.Namespace, data: bytes,
+                         reason: str) -> int:
+    """Reduced inspect output for an unresolvable shared-dict container.
+
+    The payload cannot be parsed without the task table (dictionary
+    records would fabricate logic), but the prelude and the reference
+    itself are still worth reporting — and the tool must not traceback
+    on the very containers VERSION 4 added.
+    """
+    import json
+
+    peek = _peek_shared_reference(data)
+    if args.json:
+        summary = {
+            "file": str(args.file),
+            "bytes": len(data),
+            "shared_table_unresolved": reason,
+            **peek,
+        }
+        print(json.dumps(summary, indent=1, sort_keys=True))
+        return 0
+    print(f"container: {args.file} ({len(data)} bytes, "
+          f"version {peek['version']})")
+    _print_prelude(peek["prelude"])
+    print(f"shared dictionary: id {peek['shared_dict_id']} — table not "
+          f"available, records not parsed")
+    print(f"({reason})")
+    return 0
+
+
 def _run_vbs_inspect(args: argparse.Namespace) -> int:
     import json
 
+    from repro.errors import SharedDictUnresolvedError
     from repro.utils.bitarray import BitArray
     from repro.vbs.codecs import codec_by_name
     from repro.vbs.format import PRELUDE_BITS
 
     data = args.file.read_bytes()
-    vbs = VirtualBitstream.from_bits(BitArray.from_bytes(data))
+    try:
+        vbs = VirtualBitstream.from_bits(BitArray.from_bytes(data))
+    except SharedDictUnresolvedError as exc:
+        return _inspect_shared_stub(args, data, str(exc))
     lay = vbs.layout
     if args.json:
         summary = inspect_summary(
@@ -173,16 +246,23 @@ def _run_vbs_inspect(args: argparse.Namespace) -> int:
         return 0
     print(f"container: {args.file} ({len(data)} bytes, "
           f"version {vbs.source_version})")
-    print("prelude:")
-    print(f"  cluster size    {lay.cluster_size}")
-    print(f"  channel width   {lay.params.channel_width}")
-    print(f"  lut size        {lay.params.lut_size}")
-    print(f"  compact logic   {lay.compact_logic}")
-    print(f"  task            {lay.width}x{lay.height} macros")
+    _print_prelude({
+        "cluster_size": lay.cluster_size,
+        "channel_width": lay.params.channel_width,
+        "lut_size": lay.params.lut_size,
+        "compact_logic": lay.compact_logic,
+        "width": lay.width,
+        "height": lay.height,
+    })
     print(f"payload: {vbs.size_bits} bits Table I accounting "
           f"(+{PRELUDE_BITS} prelude)")
-    if lay.dict_table:
-        print(f"dictionary: {len(lay.dict_table)} shared pattern(s), "
+    print(f"codec tag field: {lay.tag_bits} bits"
+          + (" (VERSION 4 wide tags)" if lay.tag_bits > 3 else ""))
+    if lay.shared_dict_id is not None:
+        print(f"shared dictionary: id {lay.shared_dict_id}, "
+              f"{len(lay.dict_table)} pattern(s) resolved externally")
+    elif lay.dict_table:
+        print(f"dictionary: {len(lay.dict_table)} embedded pattern(s), "
               f"{lay.dict_section_bits} bits")
     print(f"records: {len(vbs.records)} listed cluster(s)")
     counts = vbs.codec_tags()

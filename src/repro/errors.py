@@ -39,6 +39,16 @@ class VbsError(ReproError):
     """Virtual Bit-Stream coding or decoding failure."""
 
 
+class SharedDictUnresolvedError(VbsError):
+    """A VERSION 4 container references a shared dictionary the caller
+    cannot resolve.  Carries the id so tooling (e.g. ``repro vbs
+    inspect``) can report the reference without parsing the payload."""
+
+    def __init__(self, dict_id: int, message: str):
+        super().__init__(message)
+        self.dict_id = dict_id
+
+
 class DevirtualizationError(VbsError):
     """The online de-virtualization router could not expand a macro."""
 

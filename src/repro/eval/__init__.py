@@ -12,11 +12,14 @@ from repro.eval.mcnc import (
 from repro.eval.experiments import (
     DEFAULT_CLUSTERS,
     EVAL_CHANNEL_WIDTH,
+    EVAL_EXTRAS,
     evaluate_circuit,
+    extra_spec,
     flow_for,
     run_fig4,
     run_fig5,
     run_table2,
+    v4_ratio_summary,
 )
 from repro.eval.figures import (
     format_table,
@@ -37,11 +40,14 @@ __all__ = [
     "circuit",
     "DEFAULT_CLUSTERS",
     "EVAL_CHANNEL_WIDTH",
+    "EVAL_EXTRAS",
     "evaluate_circuit",
+    "extra_spec",
     "flow_for",
     "run_fig4",
     "run_fig5",
     "run_table2",
+    "v4_ratio_summary",
     "format_table",
     "geomean",
     "render_fig4",

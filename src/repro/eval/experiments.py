@@ -29,10 +29,35 @@ from repro.cad.flow import FlowResult, run_flow
 from repro.cad.mcw import find_mcw
 from repro.eval.figures import geomean
 from repro.eval.mcnc import MCNC_TABLE, circuit
+from repro.netlist.generate import CircuitSpec
+from repro.vbs.codecs import V3_CODECS
 from repro.vbs.encode import encode_flow
 
 #: Bump to invalidate caches when result-affecting code changes.
-CACHE_VERSION = 4
+CACHE_VERSION = 5
+
+#: Synthetic eval circuits beyond the MCNC proxy table — workloads the
+#: later codec families target.  ``dpath`` is a replicated datapath: a
+#: small truth-table vocabulary (``pattern_pool``) stamped across the
+#: fabric, the repetition structure real synthesized logic exhibits and
+#: the VERSION 4 best-of-k delta codec exploits.  ``run_all`` appends
+#: these to the figure corpora; they have no Table II row, so the MCW
+#: search skips them.
+EVAL_EXTRAS = ("dpath",)
+
+
+def extra_spec(name: str, scale: float = 1.0) -> CircuitSpec:
+    """The generator spec of a synthetic eval circuit."""
+    if name == "dpath":
+        n_luts = max(24, round(96 * scale))
+        return CircuitSpec(
+            "dpath",
+            n_luts=n_luts,
+            n_inputs=max(4, round(12 * scale)),
+            n_outputs=max(4, round(10 * scale)),
+            pattern_pool=3,
+        )
+    raise ValueError(f"unknown synthetic eval circuit {name!r}")
 
 
 def format_codec_counts(counts: Dict[str, int]) -> str:
@@ -66,10 +91,19 @@ def flow_for(
     scale: float = 1.0,
     seed: int = 1,
 ) -> FlowResult:
-    """Run the CAD flow for one MCNC proxy (no caching: returns live objects)."""
+    """Run the CAD flow for one eval circuit (no caching: live objects).
+
+    ``name`` is an MCNC proxy from Table II or one of the synthetic
+    :data:`EVAL_EXTRAS`.
+    """
+    from repro.netlist.generate import generate_circuit
+
+    params = ArchParams(channel_width=channel_width)
+    if name in EVAL_EXTRAS:
+        netlist = generate_circuit(extra_spec(name, scale))
+        return run_flow(netlist, params, seed=seed)
     bench = circuit(name)
     netlist = bench.netlist(scale)
-    params = ArchParams(channel_width=channel_width)
     logic_size = bench.size if scale == 1.0 else None
     big = bench.lbs * scale > 1200
     return run_flow(
@@ -130,14 +164,26 @@ def evaluate_circuit(
     if cached is not None:
         row["clusters"].update(cached.get("clusters", {}))
 
+    from repro.vbs.devirt import DecodeMemo
+
+    memo = DecodeMemo()
     for c in clusters:
         if str(c) in row["clusters"] and not force:
             continue
         t1 = time.perf_counter()
-        vbs = encode_flow(flow, config, cluster_size=c)
+        vbs = encode_flow(flow, config, cluster_size=c, memo=memo)
         from repro.vbs.decode import decode_vbs
 
         _cfg, dstats = decode_vbs(vbs)
+        # The cost-driven picker at both codec generations: the VERSION 3
+        # set versus the full family (VERSION 4 engages only where the
+        # wide tag field pays — the improvement column must be >= 0).
+        auto_v3 = encode_flow(
+            flow, config, cluster_size=c, codecs=list(V3_CODECS), memo=memo
+        )
+        auto_v4 = encode_flow(
+            flow, config, cluster_size=c, codecs="auto", memo=memo
+        )
         row["clusters"][str(c)] = {
             "vbs_bits": vbs.size_bits,
             "ratio": vbs.size_bits / raw_bits,
@@ -146,6 +192,12 @@ def evaluate_circuit(
             "pairs": vbs.stats.pairs_total,
             "orders_tried": vbs.stats.orders_tried,
             "codec_counts": dict(sorted(vbs.codec_tags().items())),
+            "auto_v3_bits": auto_v3.size_bits,
+            "auto_v4_bits": auto_v4.size_bits,
+            "auto_v4_version": auto_v4.wire_version,
+            "auto_v4_codec_counts": dict(
+                sorted(auto_v4.codec_tags().items())
+            ),
             "decode_work": dstats.router_work,
             "decode_max_cluster_work": dstats.max_cluster_work,
             "encode_seconds": round(time.perf_counter() - t1, 2),
@@ -179,9 +231,59 @@ def run_fig4(
                 "codec_counts": format_codec_counts(
                     c1.get("codec_counts", {})
                 ),
+                "auto_v3_bits": c1.get("auto_v3_bits", ""),
+                "auto_v4_bits": c1.get("auto_v4_bits", ""),
             }
         )
     return rows
+
+
+def v4_ratio_summary(
+    names: Sequence[str],
+    results_dir: Path,
+    channel_width: int = EVAL_CHANNEL_WIDTH,
+    clusters: Sequence[int] = DEFAULT_CLUSTERS,
+    scale: float = 1.0,
+    seed: int = 1,
+) -> dict:
+    """VERSION 3-vs-4 compression totals over the evaluated corpus.
+
+    Sums the cost-driven picker's payload bits at both codec generations
+    across every (circuit, cluster) point — the number the VERSION 4
+    acceptance gate watches: ``total_auto_v4_bits`` must never exceed
+    ``total_auto_v3_bits``, and improves strictly wherever the wide tag
+    field engages.  Reuses the per-circuit result cache, so calling this
+    after the figure runners costs no new flows.
+    """
+    per_circuit = []
+    total_v3 = total_v4 = 0
+    for name in names:
+        data = evaluate_circuit(
+            name, results_dir, channel_width, clusters, scale=scale,
+            seed=seed,
+        )
+        row = {"name": name, "clusters": {}}
+        for c in clusters:
+            cell = data["clusters"][str(c)]
+            row["clusters"][str(c)] = {
+                "auto_v3_bits": cell["auto_v3_bits"],
+                "auto_v4_bits": cell["auto_v4_bits"],
+                "auto_v4_version": cell["auto_v4_version"],
+            }
+            total_v3 += cell["auto_v3_bits"]
+            total_v4 += cell["auto_v4_bits"]
+        per_circuit.append(row)
+    return {
+        "cache_version": CACHE_VERSION,
+        "channel_width": channel_width,
+        "scale": scale,
+        "clusters": list(clusters),
+        "per_circuit": per_circuit,
+        "total_auto_v3_bits": total_v3,
+        "total_auto_v4_bits": total_v4,
+        "improvement_bits": total_v3 - total_v4,
+        "v4_over_v3_ratio": (total_v4 / total_v3) if total_v3 else 1.0,
+    }
 
 
 def run_fig5(

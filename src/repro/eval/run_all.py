@@ -21,10 +21,12 @@ from pathlib import Path
 from repro.eval.experiments import (
     DEFAULT_CLUSTERS,
     EVAL_CHANNEL_WIDTH,
+    EVAL_EXTRAS,
     run_fig4,
     run_fig5,
     run_table2,
     run_workload,
+    v4_ratio_summary,
 )
 from repro.eval.figures import render_fig4, render_fig5, render_table2, to_csv
 from repro.eval.mcnc import benchmark_names
@@ -51,6 +53,11 @@ def main(argv: "list[str] | None" = None) -> int:
     args = parser.parse_args(argv)
 
     names = tuple(args.names) if args.names else benchmark_names(args.subset)
+    if not args.names:
+        # The synthetic extras ride along with every subset run: the
+        # workloads the VERSION 4 codec family targets (replicated
+        # datapaths) have no MCNC row but belong in the corpus.
+        names = names + tuple(n for n in EVAL_EXTRAS if n not in names)
     results_dir = args.results_dir
     t0 = time.perf_counter()
 
@@ -63,7 +70,8 @@ def main(argv: "list[str] | None" = None) -> int:
     print(render_fig4(fig4))
     (results_dir / "fig4.csv").write_text(
         to_csv(fig4, ["name", "raw_bits", "vbs_bits", "ratio",
-                      "clusters_raw", "codec_counts"])
+                      "clusters_raw", "codec_counts",
+                      "auto_v3_bits", "auto_v4_bits"])
     )
 
     fig5 = run_fig5(names, results_dir, args.channel_width,
@@ -76,9 +84,23 @@ def main(argv: "list[str] | None" = None) -> int:
                       "avg_ratio", "avg_decode_work"])
     )
 
+    from json import dumps as _dumps
+
+    ratio = v4_ratio_summary(names, results_dir, args.channel_width,
+                             clusters=tuple(args.clusters),
+                             scale=args.scale, seed=args.seed)
+    (results_dir / "bench_v4_ratio.json").write_text(
+        _dumps(ratio, indent=1, sort_keys=True) + "\n"
+    )
+    print(f"\n# VERSION 3 -> 4 auto totals: "
+          f"{ratio['total_auto_v3_bits']} -> {ratio['total_auto_v4_bits']} "
+          f"bits ({ratio['improvement_bits']} saved)")
+
     if args.mcw:
-        table2 = run_table2(names, results_dir, scale=args.scale,
-                            seed=args.seed)
+        table2 = run_table2(
+            [n for n in names if n not in EVAL_EXTRAS], results_dir,
+            scale=args.scale, seed=args.seed,
+        )
         print()
         print(render_table2(table2))
         (results_dir / "table2.csv").write_text(

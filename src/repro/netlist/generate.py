@@ -55,6 +55,13 @@ class CircuitSpec:
     reach: float = 2.0
     fanin_weights: Tuple[float, ...] = field(default=DEFAULT_FANIN_WEIGHTS)
     seed: Optional[int] = None
+    #: Truth tables per arity are drawn from a pool of this many distinct
+    #: random functions instead of fresh-random per LUT (0 = off, the
+    #: historical fully-random behavior).  Real synthesized logic reuses
+    #: a small cell vocabulary heavily — adder slices, muxes, replicated
+    #: datapath tiles — which is the redundancy the dictionary/delta
+    #: codec family exploits; a pool makes the proxies reproduce it.
+    pattern_pool: int = 0
 
     def __post_init__(self) -> None:
         if self.n_luts < 1:
@@ -67,6 +74,8 @@ class CircuitSpec:
             raise NetlistError("cannot register more LUTs than exist")
         if not 0.0 <= self.locality <= 1.0:
             raise NetlistError("locality must be in [0, 1]")
+        if self.pattern_pool < 0:
+            raise NetlistError("pattern pool must be >= 0")
         if len(self.fanin_weights) > 2 ** self.lut_size:
             raise NetlistError("fanin weight vector wider than LUT")
 
@@ -164,6 +173,8 @@ def generate_circuit(spec: CircuitSpec) -> Netlist:
 
     luts: List[Lut] = []
     latches: List[Latch] = []
+    #: arity -> the spec's shared truth-table vocabulary (pattern_pool).
+    pools: Dict[int, List[int]] = {}
     for i in range(spec.n_luts):
         arity = rng.choices(arities, weights)[0]
         if i == 0:
@@ -174,7 +185,15 @@ def generate_circuit(spec: CircuitSpec) -> Netlist:
             net = pick_fanin(i, taken)
             taken.add(net)
             ins.append(net)
-        tt = rng.randrange(1, (1 << (1 << len(ins))) - 1) if ins else 1
+        if not ins:
+            tt = 1
+        elif spec.pattern_pool:
+            pool = pools.setdefault(len(ins), [])
+            if len(pool) < spec.pattern_pool:
+                pool.append(rng.randrange(1, (1 << (1 << len(ins))) - 1))
+            tt = rng.choice(pool)
+        else:
+            tt = rng.randrange(1, (1 << (1 << len(ins))) - 1)
         luts.append(Lut(f"lut{i}", tuple(ins), f"n{i}", tt))
         if i in registered:
             latches.append(Latch(f"ff{i}", f"n{i}", f"q{i}", init=0))

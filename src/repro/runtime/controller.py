@@ -20,7 +20,7 @@ entirely; see ``docs/architecture.md`` for the cache contract.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.arch.fabric import FabricArch
 from repro.bitstream.config import FabricConfig
@@ -41,6 +41,9 @@ from repro.vbs.decode import DecodeStats, decode_vbs
 from repro.vbs.devirt import DecodeMemo
 from repro.vbs.encode import VirtualBitstream
 
+if TYPE_CHECKING:
+    from repro.vbs.encode import TaskEncodeResult
+
 
 @dataclass
 class ResidentTask:
@@ -51,6 +54,10 @@ class ResidentTask:
     image: StoredImage
     load_cost: LoadCost
     decode_stats: Optional[DecodeStats]
+    #: VERSION 4 shared-dictionary id the image references (None for
+    #: self-contained containers).  The controller refcounts resident
+    #: tables by this field.
+    shared_dict_id: Optional[int] = None
 
 
 class ReconfigurationController:
@@ -99,6 +106,13 @@ class ReconfigurationController:
         self.decode_memo: Optional[DecodeMemo] = (
             DecodeMemo(max_entries=memo_entries) if memo_entries else None
         )
+        #: Resident shared-dictionary tables (VERSION 4 task tables),
+        #: faulted in from external memory on first reference and held
+        #: exactly while at least one resident task references them —
+        #: the refcounts below drop a table the moment its last
+        #: referencing container leaves the fabric.
+        self.shared_dicts: Dict[int, Tuple["BitArray", ...]] = {}
+        self._shared_dict_refs: Dict[int, int] = {}
 
     # -- placement bookkeeping ----------------------------------------------------
 
@@ -150,28 +164,105 @@ class ReconfigurationController:
             self.config.logic.pop((cell.x, cell.y), None)
             self.config.closed.pop((cell.x, cell.y), None)
 
+    # -- shared dictionaries (VERSION 4 task tables) ------------------------------
+
+    def resolve_shared_dict(self, dict_id: int):
+        """Shared-dictionary resolver handed to the container parser.
+
+        Serves the resident table when one is held, faulting it in from
+        external memory otherwise; returns None for an unknown id (the
+        parser turns that into a loud :class:`~repro.errors.VbsError`).
+
+        Republishing an id while resident tasks still reference its old
+        table is refused loudly: decoding new containers against the
+        stale resident copy (or evicted tasks' images against the new
+        one) would silently fabricate logic fields — the caller must
+        pick a fresh id or unload the referencing tasks first.
+        """
+        resident = self.shared_dicts.get(dict_id)
+        stored = self.memory.shared_dict(dict_id)
+        if resident is not None:
+            if stored is not None and stored != resident:
+                raise RuntimeManagementError(
+                    f"shared dictionary {dict_id} was republished while "
+                    f"{self._shared_dict_refs.get(dict_id, 0)} resident "
+                    f"task(s) still reference the old table"
+                )
+            return resident
+        return stored
+
+    def _retain_shared_dict(self, dict_id: int) -> None:
+        """Count one more resident container referencing ``dict_id``."""
+        if dict_id not in self._shared_dict_refs:
+            table = self.resolve_shared_dict(dict_id)
+            if table is None:
+                raise RuntimeManagementError(
+                    f"no shared dictionary with id {dict_id} in memory"
+                )
+            self.shared_dicts[dict_id] = table
+            self._shared_dict_refs[dict_id] = 0
+        self._shared_dict_refs[dict_id] += 1
+
+    def _release_shared_dict(self, dict_id: int) -> None:
+        """Drop the resident table when its last referencing task leaves."""
+        refs = self._shared_dict_refs.get(dict_id)
+        if refs is None:
+            return
+        if refs <= 1:
+            del self._shared_dict_refs[dict_id]
+            self.shared_dicts.pop(dict_id, None)
+        else:
+            self._shared_dict_refs[dict_id] = refs - 1
+
     # -- de-virtualization with caching ------------------------------------------
 
     def _decode_image(
         self, image: StoredImage, origin: Tuple[int, int]
-    ) -> Tuple[FabricConfig, DecodeStats, bool]:
+    ) -> Tuple[FabricConfig, DecodeStats, bool, Optional[int]]:
         """De-virtualize a VBS image at ``origin``, through the cache.
 
-        Returns ``(config, stats, cache_hit)``.  The cache stores the
-        origin-(0, 0) expansion — position abstraction makes one entry
-        serve every placement — so a hit performs only a translation copy
-        and zero router work.
+        Returns ``(config, stats, cache_hit, shared_dict_id)``.  The
+        cache stores the origin-(0, 0) expansion — position abstraction
+        makes one entry serve every placement — so a hit performs only a
+        translation copy and zero router work (the entry remembers the
+        shared-dictionary id so refcounting works without re-parsing).
+
+        A shared-dict entry is validated against the *currently
+        published* table before it is served: the container bytes digest
+        only the 16-bit id, so a republished id would otherwise hit a
+        stale expansion (including across processes via the persisted
+        cache).  A stale or unresolvable entry counts as a miss and is
+        re-decoded.
         """
-        if self.decode_cache is None:
-            config, stats = decode_vbs(
-                image.bits, origin=origin, memo=self.decode_memo
+        from repro.runtime.costmodel import shared_dict_digest
+
+        def _entry_fresh(entry: CachedDecode) -> bool:
+            if entry.shared_dict_id is None:
+                return True
+            table = self.resolve_shared_dict(entry.shared_dict_id)
+            return (
+                table is not None
+                and shared_dict_digest(table) == entry.shared_dict_digest
             )
-            return config, stats, False
+
+        if self.decode_cache is None:
+            vbs = VirtualBitstream.from_bits(
+                image.bits, shared_dicts=self.resolve_shared_dict
+            )
+            config, stats = decode_vbs(
+                vbs, origin=origin, memo=self.decode_memo
+            )
+            return config, stats, False, vbs.layout.shared_dict_id
         key = DecodeCache.key_for(image)
-        entry = self.decode_cache.get(key)
+        entry = self.decode_cache.get(key, validator=_entry_fresh)
         if entry is not None:
-            return entry.config_at(origin), entry.stats, True
-        vbs = VirtualBitstream.from_bits(image.bits)
+            return (
+                entry.config_at(origin), entry.stats, True,
+                entry.shared_dict_id,
+            )
+        vbs = VirtualBitstream.from_bits(
+            image.bits, shared_dicts=self.resolve_shared_dict
+        )
         base, stats = decode_vbs(vbs, origin=(0, 0), memo=self.decode_memo)
         entry = CachedDecode(
             config=base,
@@ -183,11 +274,17 @@ class ReconfigurationController:
                 vbs.layout.cluster_size,
                 vbs.layout.compact_logic,
             ),
+            shared_dict_id=vbs.layout.shared_dict_id,
+            shared_dict_digest=(
+                shared_dict_digest(vbs.layout.dict_table)
+                if vbs.layout.shared_dict_id is not None
+                else None
+            ),
         )
         self.decode_cache.put(key, entry)
         # Translate a copy even for origin (0, 0): the cached expansion
         # must never alias the configuration being written to the fabric.
-        return entry.config_at(origin), stats, False
+        return entry.config_at(origin), stats, False, vbs.layout.shared_dict_id
 
     # -- task lifecycle ---------------------------------------------------------------
 
@@ -201,9 +298,10 @@ class ReconfigurationController:
 
         cost = LoadCost(fetch_cycles=fetch_cycles)
         stats: Optional[DecodeStats] = None
+        shared_dict_id: Optional[int] = None
         if image.kind == "vbs":
-            task_config, stats, cost.cache_hit = self._decode_image(
-                image, origin
+            task_config, stats, cost.cache_hit, shared_dict_id = (
+                self._decode_image(image, origin)
             )
             if not cost.cache_hit:
                 cost.decode_cycles, cost.per_unit_cycles = decode_cost(
@@ -214,19 +312,35 @@ class ReconfigurationController:
                 self.fabric.params, image.width, image.height, image.bits
             )
             task_config = raw.to_config(origin)
+        # Retain the shared table *before* any fabric/resident mutation:
+        # a cache-hit load whose table has left external memory must fail
+        # cleanly, not leave a half-registered task behind.
+        if shared_dict_id is not None:
+            self._retain_shared_dict(shared_dict_id)
         bits_written = self._write_config(task_config)
         cost.write_cycles = write_cost(bits_written, self.cost_params)
 
-        task = ResidentTask(name, region, image, cost, stats)
+        task = ResidentTask(
+            name, region, image, cost, stats,
+            shared_dict_id=shared_dict_id,
+        )
         self.resident[name] = task
         return task
 
     def unload_task(self, name: str) -> None:
-        """Remove a task's configuration from the fabric."""
+        """Remove a task's configuration from the fabric.
+
+        A task referencing a shared dictionary releases its reference;
+        the resident table is dropped exactly when the last referencing
+        task leaves (it stays available in external memory for later
+        reloads).
+        """
         task = self.resident.pop(name, None)
         if task is None:
             raise RuntimeManagementError(f"task {name!r} is not loaded")
         self._clear_region(task.region)
+        if task.shared_dict_id is not None:
+            self._release_shared_dict(task.shared_dict_id)
 
     def migrate_task(self, name: str, new_origin: Tuple[int, int]) -> ResidentTask:
         """Relocate a task: clear its region and re-decode at the new origin.
@@ -250,6 +364,16 @@ class ReconfigurationController:
                     f"task {name}: migration target collides with "
                     f"{other.name}"
                 )
+        if task.shared_dict_id is not None:
+            # Validate the shared table *before* the unload, like every
+            # other migrate precondition: a republished id (the resolver
+            # raises) or a vanished table must fail while the task is
+            # still resident, never lose it between unload and reload.
+            if self.resolve_shared_dict(task.shared_dict_id) is None:
+                raise RuntimeManagementError(
+                    f"task {name}: shared dictionary "
+                    f"{task.shared_dict_id} is no longer available"
+                )
         self.unload_task(name)
         return self.load_task(name, new_origin)
 
@@ -260,6 +384,26 @@ class ReconfigurationController:
         return self.memory.store(
             name, vbs.to_bits(), "vbs", vbs.layout.width, vbs.layout.height
         )
+
+    def store_task(
+        self, names: "Sequence[str]", result: "TaskEncodeResult"
+    ) -> "list[StoredImage]":
+        """Publish a task-scope encode: every container plus, when the
+        task kept one, its shared dictionary table.
+
+        The table is stored *before* the images so a load can never
+        observe a container whose reference is unresolvable.
+        """
+        if len(names) != len(result.containers):
+            raise RuntimeManagementError(
+                f"{len(names)} names for {len(result.containers)} containers"
+            )
+        if result.shared:
+            self.memory.store_shared_dict(result.dict_id, result.table)
+        return [
+            self.store_vbs(name, vbs)
+            for name, vbs in zip(names, result.containers)
+        ]
 
     def store_raw(self, name: str, raw: RawBitstream) -> StoredImage:
         """Publish a raw bitstream into external memory (baseline path)."""

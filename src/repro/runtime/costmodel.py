@@ -117,6 +117,16 @@ class CachedDecode:
     stats: DecodeStats
     codec_tags: Tuple[str, ...]
     layout: Tuple[int, int, int, bool]  # (width, height, cluster_size, compact)
+    #: VERSION 4 shared-dictionary id the source container references
+    #: (None for self-contained containers).  Kept in the entry so a
+    #: cache hit can refcount resident task tables without re-parsing.
+    shared_dict_id: Optional[int] = None
+    #: Content digest of the resolved table the entry was decoded with.
+    #: The cache key digests only the container *bytes*, which for a
+    #: shared-dict container carry just the 16-bit id — the controller
+    #: validates hits against the currently-published table so a
+    #: republished id can never serve a stale expansion.
+    shared_dict_digest: Optional[str] = None
 
     def config_at(self, origin: Tuple[int, int]) -> "FabricConfig":
         """A translated copy of the cached expansion at ``origin``."""
@@ -137,12 +147,21 @@ class CachedDecode:
         )
 
 
+def shared_dict_digest(patterns) -> str:
+    """Content digest of a shared-dictionary table (order-sensitive)."""
+    h = hashlib.sha256()
+    for pattern in patterns:
+        h.update(pattern.digest().encode())
+    return h.hexdigest()
+
+
 #: Cache key: (image digest, image kind, origin-independent dimensions).
 CacheKey = Tuple[str, str, int, int]
 
 #: Version stamp of the persisted entry-file format; files written by a
-#: different format version are silently skipped on ``load``.
-CACHE_FILE_FORMAT = 1
+#: different format version are silently skipped on ``load``.  Format 2:
+#: entries carry ``shared_dict_id`` (VERSION 4 container support).
+CACHE_FILE_FORMAT = 2
 
 #: Persisted entry-file prefix (``<prefix><keydigest>.pkl``).
 _CACHE_FILE_PREFIX = "decode_"
@@ -213,10 +232,23 @@ class DecodeCache:
         """Resident keys in LRU-to-MRU order (introspection/tests)."""
         return list(self._entries)
 
-    def get(self, key: CacheKey) -> Optional[CachedDecode]:
-        """Look up ``key``, counting the hit/miss and refreshing recency."""
+    def get(self, key: CacheKey, validator=None) -> Optional[CachedDecode]:
+        """Look up ``key``, counting the hit/miss and refreshing recency.
+
+        ``validator`` (entry -> bool) guards hits whose validity depends
+        on state outside the keyed bytes — a shared-dictionary entry is
+        only as fresh as the external table it was decoded with.  A
+        rejected entry is dropped and the lookup counts as a miss, so
+        the caller re-decodes and ``put`` installs the fresh expansion.
+        """
         entry = self._entries.get(key)
         if entry is None:
+            self.stats.misses += 1
+            return None
+        if validator is not None and not validator(entry):
+            self._entries.pop(key)
+            self._total_bytes -= _entry_weight(entry)
+            self.stats.evictions += 1
             self.stats.misses += 1
             return None
         self._entries.move_to_end(key)

@@ -183,3 +183,13 @@ class FabricManager:
         """Decode-cache hit/miss counters (None when caching is disabled)."""
         cache = self.controller.decode_cache
         return cache.stats if cache is not None else None
+
+    @property
+    def shared_dict_ids(self) -> List[int]:
+        """Resident task-table ids (VERSION 4 shared dictionaries).
+
+        A table appears here exactly while at least one resident task
+        references it — eviction of the last referencing task drops it
+        (the controller's refcount contract).
+        """
+        return sorted(self.controller.shared_dicts)

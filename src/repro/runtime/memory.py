@@ -11,7 +11,7 @@ compressed-versus-raw load-time trade-off measurable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.errors import RuntimeManagementError
 from repro.utils.bitarray import BitArray
@@ -53,6 +53,10 @@ class ExternalMemory:
             raise RuntimeManagementError("bus width must be at least 1 bit")
         self.bus_bits = bus_bits
         self._images: Dict[str, StoredImage] = {}
+        #: Task-scope shared dictionaries (VERSION 4 containers reference
+        #: them by id).  Stored once per task next to the task's images —
+        #: the amortization the shared-dictionary design buys.
+        self._shared_dicts: Dict[int, Tuple[BitArray, ...]] = {}
 
     def store(
         self, name: str, bits: BitArray, kind: str, width: int, height: int
@@ -87,3 +91,47 @@ class ExternalMemory:
 
     def image(self, name: str) -> Optional[StoredImage]:
         return self._images.get(name)
+
+    # -- shared dictionaries (VERSION 4 task tables) -----------------------------
+
+    def store_shared_dict(
+        self, dict_id: int, patterns: Sequence[BitArray]
+    ) -> None:
+        """Publish a task's shared pattern table under ``dict_id``.
+
+        Replaces any previous table of that id — the caller owns id
+        allocation (the encoder's ``encode_task`` takes the id as an
+        argument precisely so the runtime can hand them out).
+        """
+        if dict_id < 1:
+            raise RuntimeManagementError(
+                f"shared dictionary id must be >= 1, got {dict_id}"
+            )
+        if not patterns:
+            raise RuntimeManagementError(
+                "a shared dictionary must hold at least one pattern"
+            )
+        self._shared_dicts[dict_id] = tuple(patterns)
+
+    def shared_dict(self, dict_id: int) -> Optional[Tuple[BitArray, ...]]:
+        """The stored table of ``dict_id``, or None."""
+        return self._shared_dicts.get(dict_id)
+
+    def remove_shared_dict(self, dict_id: int) -> None:
+        if dict_id not in self._shared_dicts:
+            raise RuntimeManagementError(
+                f"no shared dictionary with id {dict_id} in memory"
+            )
+        del self._shared_dicts[dict_id]
+
+    def shared_dict_ids(self) -> "list[int]":
+        return sorted(self._shared_dicts)
+
+    @property
+    def shared_dict_bits(self) -> int:
+        """Aggregate storage of every shared table (not in total_bits —
+        the tables are a separate, task-amortized region)."""
+        return sum(
+            sum(len(p) for p in table)
+            for table in self._shared_dicts.values()
+        )

@@ -9,16 +9,23 @@ granularity (Section IV-B).
 
 from repro.vbs.format import (
     CODEC_TAG_BITS,
+    DELTA_REF_BITS,
+    DELTA_REFS,
     DICT_COUNT_BITS,
     MAX_V2_TAG,
+    MAX_V3_TAG,
+    SHARED_DICT_ID_BITS,
     SUPPORTED_VERSIONS,
+    WIDE_CODEC_TAG_BITS,
     ClusterRecord,
     CodecState,
     VbsLayout,
     PRELUDE_BITS,
+    tag_bits_for_version,
 )
 from repro.vbs.codecs import (
     ClusterCodec,
+    V3_CODECS,
     codec_by_name,
     codec_by_tag,
     pick_codec,
@@ -30,17 +37,28 @@ from repro.vbs.devirt import ClusterDecoder, DecodeMemo, DevirtResult
 from repro.vbs.order import candidate_orders, pair_distance
 from repro.vbs.encode import (
     EncodeStats,
+    TaskEncodeResult,
     VirtualBitstream,
     encode_design,
     encode_flow,
+    encode_task,
 )
 from repro.vbs.decode import DecodeStats, decode_at, decode_vbs
 
 __all__ = [
     "CODEC_TAG_BITS",
+    "DELTA_REF_BITS",
+    "DELTA_REFS",
     "DICT_COUNT_BITS",
     "MAX_V2_TAG",
+    "MAX_V3_TAG",
+    "SHARED_DICT_ID_BITS",
     "SUPPORTED_VERSIONS",
+    "TaskEncodeResult",
+    "V3_CODECS",
+    "WIDE_CODEC_TAG_BITS",
+    "encode_task",
+    "tag_bits_for_version",
     "ClusterCodec",
     "ClusterRecord",
     "CodecState",

@@ -20,13 +20,16 @@ from repro.errors import VbsError
 from repro.vbs.codecs.base import ClusterCodec
 from repro.vbs.codecs.compact import CompactLogicCodec
 from repro.vbs.codecs.delta import DeltaLogicCodec
+from repro.vbs.codecs.delta_bestk import DeltaBestKCodec
 from repro.vbs.codecs.dictionary import DictionaryLogicCodec
 from repro.vbs.codecs.golomb import EliasGammaLogicCodec, GolombRiceLogicCodec
 from repro.vbs.codecs.listing import ConnectionListCodec
 from repro.vbs.codecs.rawfallback import RawFallbackCodec
+from repro.vbs.codecs.rice_adaptive import AdaptiveRiceLogicCodec
 from repro.vbs.codecs.rle import RunLengthLogicCodec
 from repro.vbs.format import (
-    CODEC_TAG_BITS,
+    MAX_V3_TAG,
+    WIDE_CODEC_TAG_BITS,
     ClusterRecord,
     CodecState,
     VbsLayout,
@@ -40,11 +43,16 @@ AUTO = "auto"
 
 
 def register_codec(codec: ClusterCodec) -> ClusterCodec:
-    """Add ``codec`` to the registry; name and tag must both be free."""
-    if not (0 <= codec.tag < (1 << CODEC_TAG_BITS)):
+    """Add ``codec`` to the registry; name and tag must both be free.
+
+    Tags up to ``MAX_V3_TAG`` fit the legacy 3-bit tag field; higher
+    tags are valid but force the containers that carry them to the
+    VERSION 4 wide tag field (``ClusterCodec.wide_tag``).
+    """
+    if not (0 <= codec.tag < (1 << WIDE_CODEC_TAG_BITS)):
         raise VbsError(
             f"codec {codec.name!r}: tag {codec.tag} outside the "
-            f"{CODEC_TAG_BITS}-bit tag space"
+            f"{WIDE_CODEC_TAG_BITS}-bit tag space"
         )
     if codec.name in _BY_NAME:
         raise VbsError(f"codec name {codec.name!r} already registered")
@@ -126,8 +134,9 @@ def pick_codec(
 
 # Built-in codings.  Tags 0-3 mirror the legacy wire semantics and are
 # the complete VERSION 2 set (MAX_V2_TAG); tags 4-7 are the VERSION 3
-# follow-on family.  The 3-bit tag space is now full — an eighth coding
-# needs a VERSION 4 container with a wider tag field.
+# follow-on family (the full 3-bit space, MAX_V3_TAG); tags 8+ need the
+# VERSION 4 wide tag field and are only assigned when the whole
+# container shrinks despite the wider framing.
 register_codec(ConnectionListCodec())
 register_codec(RawFallbackCodec())
 register_codec(CompactLogicCodec())
@@ -136,19 +145,30 @@ register_codec(DictionaryLogicCodec())
 register_codec(DeltaLogicCodec())
 register_codec(GolombRiceLogicCodec())
 register_codec(EliasGammaLogicCodec())
+register_codec(AdaptiveRiceLogicCodec())
+register_codec(DeltaBestKCodec())
+
+#: The complete VERSION <= 3 codec name set (tags 0..MAX_V3_TAG) — the
+#: baseline the VERSION 4 family must beat (eval rows, monotone tests).
+V3_CODECS = tuple(
+    c.name for c in registered_codecs() if c.tag <= MAX_V3_TAG
+)
 
 __all__ = [
     "AUTO",
+    "AdaptiveRiceLogicCodec",
     "ClusterCodec",
     "CodecState",
     "CompactLogicCodec",
     "ConnectionListCodec",
+    "DeltaBestKCodec",
     "DeltaLogicCodec",
     "DictionaryLogicCodec",
     "EliasGammaLogicCodec",
     "GolombRiceLogicCodec",
     "RawFallbackCodec",
     "RunLengthLogicCodec",
+    "V3_CODECS",
     "codec_by_name",
     "codec_by_tag",
     "pick_codec",

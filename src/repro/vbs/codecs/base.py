@@ -30,7 +30,13 @@ from abc import ABC, abstractmethod
 from typing import Optional, Tuple
 
 from repro.utils.bitarray import BitReader, BitWriter
-from repro.vbs.format import ClusterRecord, CodecState, VbsLayout
+from repro.vbs.format import (
+    MAX_V3_TAG,
+    WIDE_CODEC_TAG_BITS,
+    ClusterRecord,
+    CodecState,
+    VbsLayout,
+)
 
 
 class ClusterCodec(ABC):
@@ -51,6 +57,23 @@ class ClusterCodec(ABC):
     #: table (``layout.dict_table``) — also a VERSION 3 feature, assigned
     #: by the encoder's two-pass family selection.
     needs_dict: bool = False
+
+    @property
+    def wide_tag(self) -> bool:
+        """True when the wire tag needs the VERSION 4 wide tag field."""
+        return self.tag > MAX_V3_TAG
+
+    @property
+    def container_scoped(self) -> bool:
+        """True when choosing this codec is a whole-container decision.
+
+        Stateful and dictionary codecs depend on container state; wide-tag
+        codecs force the VERSION 4 framing (+2 tag bits on *every*
+        record).  None of them can be picked inside the parallel
+        per-cluster pipeline — the encoder's sequential family pass owns
+        them, so their container-level costs are weighed explicitly.
+        """
+        return self.stateful or self.needs_dict or self.wide_tag
 
     @abstractmethod
     def encode_record(
@@ -83,6 +106,8 @@ class ClusterCodec(ABC):
 
     def encodable(self, rec: ClusterRecord, layout: VbsLayout) -> bool:
         """Whether this codec can represent ``rec`` (cost-picker filter)."""
+        if self.wide_tag and layout.tag_bits < WIDE_CODEC_TAG_BITS:
+            return False  # the tag does not fit a VERSION <= 3 container
         if self.codes_raw:
             return rec.raw and rec.raw_frames is not None
         return (

@@ -1,0 +1,114 @@
+"""Best-of-k delta coding of the logic field (VERSION 4 family).
+
+The ``delta`` codec always references the raster-previous smart record —
+the right choice when a pattern tiles row-wise, the wrong one when the
+repetition period is longer (a datapath column repeating every few
+clusters, interleaved task regions).  ``delta-k`` keeps the last
+``DELTA_REFS`` smart logic fields in the :class:`CodecState` history and
+codes, per record, a ``DELTA_REF_BITS``-bit index naming which of them
+the XOR residue is taken against (missing history entries are all-zero
+references, so index 1+ at the start of a container degenerates to the
+``eliasg`` coding of the plain field).  The encoder scans all candidate
+references and keeps the one with the cheapest gamma-coded residue,
+breaking ties toward the most recent.
+
+Like every stateful codec the reference set is a pure function of the
+raster-order record walk, computed identically by the encoder, the size
+accounting, and the decoder.  The wire tag (9) needs the VERSION 4 wide
+tag field, so assignment happens in the encoder's sequential family
+pass, which weighs the +2-bits-per-record cost of the wide framing.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.utils.bitarray import BitArray, BitReader, BitWriter
+from repro.vbs.codecs.base import ClusterCodec
+from repro.vbs.codecs.varint import (
+    gamma_field_len,
+    read_gamma_field,
+    write_gamma_field,
+)
+from repro.vbs.format import (
+    DELTA_REF_BITS,
+    DELTA_REFS,
+    ClusterRecord,
+    CodecState,
+    VbsLayout,
+)
+
+
+class DeltaBestKCodec(ClusterCodec):
+    """Route count, 2-bit reference index, gap-coded XOR residue, pairs."""
+
+    name = "delta-k"
+    tag = 9
+    stateful = True
+
+    def _references(
+        self, layout: VbsLayout, state: Optional[CodecState]
+    ) -> List[BitArray]:
+        """The ``DELTA_REFS`` candidate references, newest first.
+
+        Slots beyond the recorded history are all-zero references — the
+        same degenerate reference the plain delta codec uses at the start
+        of a container.
+        """
+        history = tuple(state.history) if state is not None else ()
+        refs = list(history[:DELTA_REFS])
+        zeros = BitArray(layout.logic_bits_per_cluster)
+        while len(refs) < DELTA_REFS:
+            refs.append(zeros)
+        return refs
+
+    def _best_reference(
+        self, rec: ClusterRecord, layout: VbsLayout,
+        state: Optional[CodecState],
+    ) -> Tuple[int, BitArray, int]:
+        """(index, residue, residue bits) of the cheapest reference."""
+        best: Optional[Tuple[int, BitArray, int]] = None
+        for index, ref in enumerate(self._references(layout, state)):
+            residue = rec.logic ^ ref
+            cost = gamma_field_len(residue)
+            if best is None or cost < best[2]:
+                best = (index, residue, cost)
+        assert best is not None  # DELTA_REFS >= 1
+        return best
+
+    def encode_record(self, w, rec, layout, state=None) -> None:
+        w.write(len(rec.pairs), layout.route_count_bits)
+        index, residue, _cost = self._best_reference(rec, layout, state)
+        w.write(index, DELTA_REF_BITS)
+        write_gamma_field(w, residue)
+        for a, b in rec.pairs:
+            w.write(a, layout.m_bits)
+            w.write(b, layout.m_bits)
+
+    def decode_record(
+        self,
+        r: BitReader,
+        pos: Tuple[int, int],
+        layout: VbsLayout,
+        state: Optional[CodecState] = None,
+    ) -> ClusterRecord:
+        rc = r.read(layout.route_count_bits)
+        index = r.read(DELTA_REF_BITS)
+        residue = read_gamma_field(r, layout.logic_bits_per_cluster)
+        logic = residue ^ self._references(layout, state)[index]
+        pairs = [
+            (r.read(layout.m_bits), r.read(layout.m_bits)) for _ in range(rc)
+        ]
+        return ClusterRecord(
+            pos, raw=False, logic=logic, pairs=pairs, codec=self.name
+        )
+
+    def record_bits(self, rec, layout, state=None) -> int:
+        _index, _residue, cost = self._best_reference(rec, layout, state)
+        return (
+            layout.record_overhead_bits
+            + layout.route_count_bits
+            + DELTA_REF_BITS
+            + cost
+            + len(rec.pairs or []) * 2 * layout.m_bits
+        )

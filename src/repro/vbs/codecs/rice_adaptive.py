@@ -1,0 +1,113 @@
+"""Adaptive Golomb-Rice coding of the logic field (VERSION 4 family).
+
+The ``golomb`` codec commits to one Rice parameter per record, chosen by
+exhaustive scan — optimal for uniformly distributed set-bit gaps, but a
+real logic field often mixes regimes (a dense LUT block followed by a
+long empty stretch; a partially-used LUT whose truth table is periodic).
+``rice-a`` instead *context-models* the parameter over the gap run: the
+record transmits only a 3-bit seed ``k0`` for the first gap, and every
+later gap is coded at a ``k`` stepped by the quotient-driven
+:func:`~repro.vbs.codecs.varint.advance_adaptive_k` rule after each
+coded gap.  The walk is purely backward-driven, so the decoder
+reproduces the exact parameter sequence from the gaps it has already
+read — no side information beyond the seed.
+
+The wire tag (8) is the first to need the VERSION 4 wide tag field, so
+the codec is *container-scoped*: the encoder's sequential family pass
+only assigns it when the per-record savings beat the +2 tag bits every
+record of the container pays for the wide framing.
+
+Route-count and connection-pair fields are identical to the
+connection-list coding, so the codec composes with the same
+de-virtualization path and decode memo as the rest of the family.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.errors import VbsError
+from repro.utils.bitarray import BitReader, BitWriter, bits_for
+from repro.vbs.codecs.base import ClusterCodec
+from repro.vbs.codecs.varint import (
+    RICE_K_BITS,
+    adaptive_cost,
+    advance_adaptive_k,
+    best_adaptive_k0,
+    from_ones_gaps,
+    ones_gaps,
+    read_rice,
+    write_rice,
+)
+from repro.vbs.format import ClusterRecord, CodecState, VbsLayout
+
+
+def _count_bits(layout: VbsLayout) -> int:
+    """Set-bit count field: codes 0..N inclusive for the N-bit field."""
+    return bits_for(layout.logic_bits_per_cluster + 1)
+
+
+class AdaptiveRiceLogicCodec(ClusterCodec):
+    """Route count, seed ``k0``, context-adaptive Rice gaps, pairs."""
+
+    name = "rice-a"
+    tag = 8
+
+    def encode_record(self, w, rec, layout, state=None) -> None:
+        w.write(len(rec.pairs), layout.route_count_bits)
+        gaps = ones_gaps(rec.logic)
+        w.write(len(gaps), _count_bits(layout))
+        if gaps:
+            values = [g - 1 for g in gaps]
+            k = best_adaptive_k0(values)
+            w.write(k, RICE_K_BITS)
+            for value in values:
+                write_rice(w, value, k)
+                k = advance_adaptive_k(k, value)
+        for a, b in rec.pairs:
+            w.write(a, layout.m_bits)
+            w.write(b, layout.m_bits)
+
+    def decode_record(
+        self,
+        r: BitReader,
+        pos: Tuple[int, int],
+        layout: VbsLayout,
+        state: Optional[CodecState] = None,
+    ) -> ClusterRecord:
+        rc = r.read(layout.route_count_bits)
+        n_gaps = r.read(_count_bits(layout))
+        if n_gaps > layout.logic_bits_per_cluster:
+            raise VbsError(
+                f"record at {pos}: {n_gaps} set bits claimed for a "
+                f"{layout.logic_bits_per_cluster}-bit logic field"
+            )
+        gaps = []
+        if n_gaps:
+            k = r.read(RICE_K_BITS)
+            for _ in range(n_gaps):
+                value = read_rice(r, k)
+                gaps.append(value + 1)
+                k = advance_adaptive_k(k, value)
+        logic = from_ones_gaps(iter(gaps), layout.logic_bits_per_cluster)
+        pairs = [
+            (r.read(layout.m_bits), r.read(layout.m_bits)) for _ in range(rc)
+        ]
+        return ClusterRecord(
+            pos, raw=False, logic=logic, pairs=pairs, codec=self.name
+        )
+
+    def record_bits(self, rec, layout, state=None) -> int:
+        gaps = ones_gaps(rec.logic)
+        logic_bits = _count_bits(layout)
+        if gaps:
+            values = [g - 1 for g in gaps]
+            logic_bits += RICE_K_BITS + adaptive_cost(
+                values, best_adaptive_k0(values)
+            )
+        return (
+            layout.record_overhead_bits
+            + layout.route_count_bits
+            + logic_bits
+            + len(rec.pairs or []) * 2 * layout.m_bits
+        )

@@ -149,6 +149,60 @@ def read_gamma_field(r: BitReader, width: int) -> BitArray:
     )
 
 
+def advance_adaptive_k(k: int, value: int) -> int:
+    """The context-modeled Rice parameter after coding ``value`` at ``k``.
+
+    Quotient-driven, in the spirit of the MELCODE/FLAC run coders: a
+    unary quotient above 1 means the parameter is too small for the
+    local gap regime (every excess quotient bit was wasted), so ``k``
+    steps up; a zero quotient whose value would still fit one bit lower
+    steps ``k`` down.  Single steps keep the walk stable on mixed-density
+    fields, and the rule is purely backward-driven — the decoder
+    reproduces the exact parameter sequence from the values it has
+    already read.
+    """
+    quotient = value >> k
+    if quotient > 1:
+        return min(MAX_RICE_K, k + 1)
+    if quotient == 0 and k > 0 and value < (1 << (k - 1)):
+        return k - 1
+    return k
+
+
+def adaptive_ks(values: List[int], k0: int) -> List[int]:
+    """Per-value Rice parameters of the context-adaptive gap coder:
+    the transmitted seed ``k0`` for the first value, then
+    :func:`advance_adaptive_k` steps after every coded value."""
+    ks: List[int] = []
+    k = k0
+    for value in values:
+        ks.append(k)
+        k = advance_adaptive_k(k, value)
+    return ks
+
+
+def adaptive_cost(values: List[int], k0: int) -> int:
+    """Total Rice bits of ``values`` under the adaptive parameter walk."""
+    return sum(rice_len(v, k) for v, k in zip(values, adaptive_ks(values, k0)))
+
+
+def best_adaptive_k0(values: List[int]) -> int:
+    """The seed ``k0`` minimizing the adaptive total (ties -> smaller).
+
+    The step rule anchors the whole parameter walk to its seed, so the
+    exhaustive scan matters; it is as cheap as the ``golomb`` codec's
+    fixed-k scan.
+    """
+    if not values:
+        return 0
+    best_k, best_cost = 0, None
+    for k0 in range(MAX_RICE_K + 1):
+        cost = adaptive_cost(values, k0)
+        if best_cost is None or cost < best_cost:
+            best_k, best_cost = k0, cost
+    return best_k
+
+
 def best_rice_k(gaps: List[int]) -> int:
     """The ``k`` minimizing the total Rice cost of ``gaps - 1`` values.
 

@@ -54,6 +54,7 @@ def decode_vbs(
     origin: Tuple[int, int] = (0, 0),
     params: Optional[ArchParams] = None,
     memo: Optional[DecodeMemo] = None,
+    shared_dicts=None,
 ) -> Tuple[FabricConfig, DecodeStats]:
     """De-virtualize ``vbs`` into a :class:`FabricConfig` at ``origin``.
 
@@ -65,9 +66,16 @@ def decode_vbs(
     re-running the router (their router work is reported as zero — no BFS
     executes).  Pass a shared :class:`DecodeMemo` to extend reuse across
     several decodes of related tasks.
+
+    ``shared_dicts`` resolves a VERSION 4 shared-dictionary reference
+    when ``vbs`` arrives as raw container bits (see
+    :meth:`VirtualBitstream.from_bits`); parsed streams already carry
+    their resolved table.
     """
     if isinstance(vbs, BitArray):
-        vbs = VirtualBitstream.from_bits(vbs, params=params)
+        vbs = VirtualBitstream.from_bits(
+            vbs, params=params, shared_dicts=shared_dicts
+        )
     layout = vbs.layout
     arch = layout.params
     c = layout.cluster_size

@@ -89,6 +89,15 @@ class DecodeMemo:
             tuple,
             Tuple[Optional[DevirtResult], Optional[str]],
         ] = {}
+        #: Guards entry mutations only: the bound is a hard invariant
+        #: even under concurrent thread-pool workers.  Lookups and the
+        #: hit/miss counters stay lock-free (counters are approximate by
+        #: contract; two workers may still both decode a missed key, in
+        #: which case the second insert just overwrites the identical
+        #: deterministic result).
+        import threading
+
+        self._mutate = threading.Lock()
         self.hits = 0
         self.misses = 0
 
@@ -97,19 +106,17 @@ class DecodeMemo:
         key: tuple,
         value: Tuple[Optional[DevirtResult], Optional[str]],
     ) -> None:
-        if (
-            self.max_entries is not None
-            and key not in self._entries
-            and len(self._entries) >= self.max_entries
-        ):
-            # Same race tolerance as _refresh: under concurrent workers
-            # the victim may vanish (or the dict resize) mid-eviction —
-            # the bound is then enforced by the next insert instead.
-            try:
-                self._entries.pop(next(iter(self._entries)), None)
-            except (StopIteration, RuntimeError):
-                pass
-        self._entries[key] = value
+        with self._mutate:
+            while (
+                self.max_entries is not None
+                and key not in self._entries
+                and len(self._entries) >= self.max_entries
+            ):
+                victim = next(iter(self._entries), None)
+                if victim is None:
+                    break
+                self._entries.pop(victim, None)
+            self._entries[key] = value
 
     def _refresh(self, key: tuple) -> None:
         """Move ``key`` to the recent end (bounded memos evict LRU-first).
@@ -120,9 +127,10 @@ class DecodeMemo:
         a crash.
         """
         if self.max_entries is not None:
-            value = self._entries.pop(key, None)
-            if value is not None:
-                self._entries[key] = value
+            with self._mutate:
+                value = self._entries.pop(key, None)
+                if value is not None:
+                    self._entries[key] = value
 
     def __len__(self) -> int:
         return len(self._entries)

@@ -59,14 +59,49 @@ from repro.vbs.format import (
     MAGIC,
     MAGIC_BITS,
     MAX_V2_TAG,
+    MAX_V3_TAG,
+    SHARED_DICT_ID_BITS,
     SUPPORTED_VERSIONS,
     VERSION_BITS,
+    WIDE_CODEC_TAG_BITS,
     ClusterRecord,
     CodecState,
     VbsLayout,
+    tag_bits_for_version,
 )
 
 Pair = Tuple[int, int]
+
+#: How a VERSION 4 shared-dictionary id resolves to its pattern table: a
+#: mapping, a callable ``id -> patterns``, or None (no shared tables).
+SharedDictResolver = (
+    "Mapping[int, Sequence[BitArray]] | "
+    "Callable[[int], Optional[Sequence[BitArray]]] | None"
+)
+
+
+def _resolve_shared_dict(
+    shared_dicts: "SharedDictResolver", dict_id: int
+) -> Tuple[BitArray, ...]:
+    """Resolve a shared-dictionary reference or fail loudly."""
+    from repro.errors import SharedDictUnresolvedError
+
+    if shared_dicts is None:
+        raise SharedDictUnresolvedError(
+            dict_id,
+            f"container references shared dictionary id {dict_id} but no "
+            f"shared_dicts resolver was provided",
+        )
+    if callable(shared_dicts):
+        table = shared_dicts(dict_id)
+    else:
+        table = shared_dicts.get(dict_id)
+    if table is None:
+        raise SharedDictUnresolvedError(
+            dict_id,
+            f"shared dictionary id {dict_id} is unknown to the resolver",
+        )
+    return tuple(table)
 
 
 @dataclass
@@ -108,19 +143,25 @@ class VirtualBitstream:
     def wire_version(self) -> int:
         """The container version ``to_bits()`` emits by default.
 
-        VERSION 3 exactly when the stream needs a VERSION 3 feature (a
-        dictionary section, or any record coded with a tag above
-        ``MAX_V2_TAG``); plain VERSION 2 otherwise, so containers using
-        only the legacy codec set stay readable by older builds.
+        The lowest version able to carry the stream: VERSION 4 when it
+        uses the wide tag field or a shared dictionary reference,
+        VERSION 3 when it needs an embedded dictionary section or any
+        record coded with a tag above ``MAX_V2_TAG``, plain VERSION 2
+        otherwise — so containers using only older codec sets stay
+        readable by older builds.
         """
         from repro.vbs.codecs import codec_by_name
-        from repro.vbs.format import VERSION
 
+        if (
+            self.layout.shared_dict_id is not None
+            or self.layout.tag_bits == WIDE_CODEC_TAG_BITS
+        ):
+            return 4
         if self.layout.dict_table:
-            return VERSION
+            return 3
         for rec in self.records:
             if codec_by_name(rec.codec_name(self.layout)).tag > MAX_V2_TAG:
-                return VERSION
+                return 3
         return 2
 
     @property
@@ -146,18 +187,24 @@ class VirtualBitstream:
     def container_bits(self) -> int:
         """Exact bit length of ``to_bits()`` at the default version.
 
-        A VERSION 3 container always carries the dictionary-section count
-        field; when the table is empty those ``DICT_COUNT_BITS`` are pure
-        container framing (like the prelude) and excluded from the
-        Table I ``size_bits`` accounting.
+        Fields that carry no payload information are container framing,
+        excluded from the Table I ``size_bits`` accounting like the
+        prelude: a VERSION 3/4 container's empty-table count field, and
+        a VERSION 4 container's all-zero shared-dictionary id.  A
+        *non-zero* id is real payload (``layout.dict_section_bits``) —
+        it is what buys the container its external table.
         """
         from repro.vbs.format import PRELUDE_BITS
 
-        extra = (
-            DICT_COUNT_BITS
-            if self.wire_version >= 3 and not self.layout.dict_table
-            else 0
-        )
+        version = self.wire_version
+        extra = 0
+        if version >= 4:
+            if self.layout.shared_dict_id is None:
+                extra += SHARED_DICT_ID_BITS
+                if not self.layout.dict_table:
+                    extra += DICT_COUNT_BITS
+        elif version == 3 and not self.layout.dict_table:
+            extra += DICT_COUNT_BITS
         return PRELUDE_BITS + self.size_bits + extra
 
     def raw_equivalent_bits(self) -> int:
@@ -201,9 +248,14 @@ class VirtualBitstream:
                         f"{legacy!r} coding"
                     )
         elif version < needed:
+            reason = (
+                f"wide codec tags above {MAX_V3_TAG} or a shared "
+                f"dictionary reference"
+                if needed >= 4
+                else f"dictionary section or codec tags above {MAX_V2_TAG}"
+            )
             raise VbsError(
-                f"stream needs container version {needed} "
-                f"(dictionary section or codec tags above {MAX_V2_TAG}); "
+                f"stream needs container version {needed} ({reason}); "
                 f"cannot write version {version}"
             )
 
@@ -215,7 +267,10 @@ class VirtualBitstream:
         write a legacy container, which fails loudly when the stream uses
         features that version cannot express.  VERSION 1 containers have
         no codec tags, so their byte size is smaller than
-        ``container_bits`` (which reports tagged Table I accounting).
+        ``container_bits`` (which reports tagged Table I accounting);
+        conversely any stream may be *up-converted* by passing a higher
+        supported version — e.g. ``version=4`` writes a legacy stream
+        with wide tags, costing 2 extra bits per record.
         """
         from repro.vbs.codecs import codec_by_name
 
@@ -224,6 +279,7 @@ class VirtualBitstream:
             version = needed
         self._require_version(version, needed)
         lay = self.layout
+        tag_bits = tag_bits_for_version(version)
         w = BitWriter()
         w.write(MAGIC, MAGIC_BITS)
         w.write(version, VERSION_BITS)
@@ -234,7 +290,15 @@ class VirtualBitstream:
         w.write(lay.width, DIM_BITS)
         w.write(lay.height, DIM_BITS)
 
-        if version >= 3:
+        if version >= 4:
+            w.write(lay.shared_dict_id or 0, SHARED_DICT_ID_BITS)
+            if lay.shared_dict_id is None:
+                # Embedded dictionary section, exactly as VERSION 3; a
+                # shared table writes only the id above.
+                w.write(len(lay.dict_table), DICT_COUNT_BITS)
+                for pattern in lay.dict_table:
+                    w.write_bits(pattern)
+        elif version == 3:
             w.write(len(lay.dict_table), DICT_COUNT_BITS)
             for pattern in lay.dict_table:
                 w.write_bits(pattern)
@@ -248,54 +312,77 @@ class VirtualBitstream:
             w.write(rec.pos[0], lay.pos_bits)
             w.write(rec.pos[1], lay.pos_bits)
             if version >= 2:
-                w.write(codec.tag, CODEC_TAG_BITS)
+                w.write(codec.tag, tag_bits)
             codec.encode_record(w, rec, lay, state=state)
             state.observe(rec)
         return w.finish()
 
     @classmethod
     def from_bits(
-        cls, bits: BitArray, params: Optional[ArchParams] = None
+        cls,
+        bits: BitArray,
+        params: Optional[ArchParams] = None,
+        shared_dicts: "SharedDictResolver" = None,
     ) -> "VirtualBitstream":
         """Parse a container binary back into records.
 
         Reads every supported version: the legacy tag-less VERSION 1
-        layout, the tagged VERSION 2 layout, and VERSION 3 with its
-        dictionary section and stateful-codec record walk.  Unknown
-        versions (a future format this build predates) are rejected at
-        the version field, before any payload is touched.
+        layout, the tagged VERSION 2 layout, VERSION 3 with its
+        dictionary section and stateful-codec record walk, and VERSION 4
+        with wide codec tags and the shared-dictionary reference.
+        Unknown versions (a future format this build predates) are
+        rejected at the version field, before any payload is touched.
+
+        ``shared_dicts`` resolves a VERSION 4 shared-dictionary id to its
+        pattern table — a mapping or a callable ``id -> patterns`` (the
+        run-time controller passes its task-table store).  A container
+        that references a shared table fails loudly when no resolver is
+        given or the id is unknown: decoding without the table would
+        fabricate logic fields.
         """
         from repro.vbs.codecs import codec_by_name, codec_by_tag
 
+        from repro.vbs.format import read_prelude
+
         r = BitReader(bits)
-        if r.read(MAGIC_BITS) != MAGIC:
-            raise VbsError("bad magic: not a Virtual Bit-Stream container")
-        version = r.read(VERSION_BITS)
+        prelude = read_prelude(r)
+        version = prelude.version
         if version not in SUPPORTED_VERSIONS:
             raise VbsError(
                 f"unsupported VBS container version {version} (this build "
                 f"reads versions {SUPPORTED_VERSIONS}) — refusing to parse "
                 f"a future format"
             )
-        cluster_size = r.read(CLUSTER_BITS)
-        channel_width = r.read(CHANNEL_BITS)
-        lut_size = r.read(LUT_BITS)
-        compact = bool(r.read(COMPACT_BITS))
-        width = r.read(DIM_BITS)
-        height = r.read(DIM_BITS)
+        width, height = prelude.width, prelude.height
         if params is None:
-            params = ArchParams(channel_width=channel_width, lut_size=lut_size)
+            params = ArchParams(channel_width=prelude.channel_width,
+                                lut_size=prelude.lut_size)
         elif (
-            params.channel_width != channel_width
-            or params.lut_size != lut_size
+            params.channel_width != prelude.channel_width
+            or params.lut_size != prelude.lut_size
         ):
             raise VbsError(
                 "architecture parameters do not match the VBS prelude"
             )
-        lay = VbsLayout(params, cluster_size, width, height,
-                        compact_logic=compact)
+        lay = VbsLayout(params, prelude.cluster_size, width, height,
+                        compact_logic=prelude.compact_logic)
 
-        if version >= 3:
+        if version >= 4:
+            shared_id = r.read(SHARED_DICT_ID_BITS)
+            if shared_id:
+                lay = lay.with_shared_dict(
+                    shared_id, _resolve_shared_dict(shared_dicts, shared_id)
+                )
+            else:
+                n_patterns = r.read(DICT_COUNT_BITS)
+                patterns = tuple(
+                    r.read_bits(lay.logic_bits_per_cluster)
+                    for _ in range(n_patterns)
+                )
+                lay = lay.with_wide_tags()
+                if patterns:
+                    lay = lay.with_dict_table(patterns)
+        elif version == 3:
             n_patterns = r.read(DICT_COUNT_BITS)
             patterns = tuple(
                 r.read_bits(lay.logic_bits_per_cluster)
@@ -326,11 +413,18 @@ class VirtualBitstream:
                 )
                 codec = codec_by_name(name)
             else:
-                codec = codec_by_tag(r.read(CODEC_TAG_BITS))
+                codec = codec_by_tag(r.read(tag_bits_for_version(version)))
                 if version == 2 and codec.tag > MAX_V2_TAG:
                     raise VbsError(
                         f"codec {codec.name!r} (tag {codec.tag}) requires "
                         f"a VERSION 3 container, found VERSION 2"
+                    )
+                if version == 3 and codec.tag > MAX_V3_TAG:
+                    # Unreachable through a well-formed 3-bit field, but
+                    # mirrors the VERSION 2 gate for defense in depth.
+                    raise VbsError(
+                        f"codec {codec.name!r} (tag {codec.tag}) requires "
+                        f"a VERSION 4 container, found VERSION 3"
                     )
             rec = codec.decode_record(r, (cx, cy), lay, state=state)
             state.observe(rec)
@@ -505,11 +599,11 @@ def _encode_cluster(
     if record is not None and allowed is not None:
         stateless = [
             c for c in allowed
-            if not c.codes_raw and not c.stateful and not c.needs_dict
+            if not c.codes_raw and not c.container_scoped
         ]
         family = [
             c for c in allowed
-            if not c.codes_raw and (c.stateful or c.needs_dict)
+            if not c.codes_raw and c.container_scoped
         ]
         if stateless:
             best = pick_codec(record, layout, stateless)
@@ -559,39 +653,72 @@ def _process_worker_init(ctx: EncodeContext) -> None:
     _WORKER_MEMO = DecodeMemo()
 
 
-def _process_encode_cluster(item: ClusterWorkItem) -> _ClusterOutcome:
+#: Work-item chunks handed to each process worker are sized so every
+#: worker sees about this many chunks: small enough to balance uneven
+#: cluster costs across the pool, large enough to amortize the per-chunk
+#: pickle/submission overhead (chunksize 1 paid it per cluster).
+PROCESS_CHUNKS_PER_WORKER = 4
+
+
+def _chunk_work_items(
+    items: Sequence[ClusterWorkItem], workers: int
+) -> List[Tuple[ClusterWorkItem, ...]]:
+    """Contiguous raster-order chunks for the process backend.
+
+    One executor submission per chunk instead of one per cluster; the
+    flattened chunk sequence is exactly ``items``, so the merge stays
+    deterministic.
+    """
+    if not items:
+        return []
+    chunksize = max(
+        1, -(-len(items) // (workers * PROCESS_CHUNKS_PER_WORKER))
+    )
+    return [
+        tuple(items[i:i + chunksize])
+        for i in range(0, len(items), chunksize)
+    ]
+
+
+def _process_encode_chunk(
+    chunk: Tuple[ClusterWorkItem, ...],
+) -> List[_ClusterOutcome]:
     assert _WORKER_CTX is not None, "pool initializer did not run"
-    return _encode_cluster(item, _WORKER_CTX, _WORKER_MEMO)
+    return [_encode_cluster(item, _WORKER_CTX, _WORKER_MEMO) for item in chunk]
 
 
-def _build_dict_table(
-    records: List[ClusterRecord],
-    layout: VbsLayout,
+def _dict_table_candidates(
+    per_container: "List[Tuple[List[ClusterRecord], VbsLayout]]",
+    trial_for,
     min_occurrences: int = 2,
-) -> Tuple[BitArray, ...]:
-    """Candidate shared logic-pattern table for the dictionary codec.
+) -> Tuple[Tuple[BitArray, ...], int]:
+    """Iterative keep-if-it-pays pattern selection — the shared core of
+    the embedded (per-container) and external (task-scope) dictionary
+    builders.
 
     Patterns are collected from smart records in first-use raster order
-    and kept only while their summed per-record savings (current coding
-    vs. a dictionary reference) exceed the pattern's own table storage.
-    Dropping a pattern shrinks the reference field, so the selection is
-    re-evaluated until it is stable; the final table must also beat the
-    ``DICT_COUNT_BITS`` section framing or it is dropped entirely.  The
-    estimate is validated by the caller, which keeps the table only when
-    the fully state-threaded container actually gets smaller.
+    across every container and kept only while their summed per-record
+    savings (current coding vs. a dictionary reference, both costed
+    under ``trial_for(layout, table)``) exceed the pattern's own
+    storage.  Dropping a pattern shrinks the reference field, so the
+    selection is re-evaluated until stable.  Returns the stable table
+    and its estimated net gain; the callers validate against the fully
+    state-threaded selection and keep the table only when the container
+    (or the whole task) actually gets smaller.
     """
     from repro.vbs.codecs import codec_by_name
 
     dict_codec = codec_by_name("dict")
-    occurrences: Dict[BitArray, List[ClusterRecord]] = {}
+    occurrences: Dict[BitArray, List[Tuple[int, ClusterRecord]]] = {}
     order: List[BitArray] = []
-    for rec in records:
-        if rec.raw:
-            continue
-        if rec.logic not in occurrences:
-            occurrences[rec.logic] = []
-            order.append(rec.logic)
-        occurrences[rec.logic].append(rec)
+    for idx, (records, _layout) in enumerate(per_container):
+        for rec in records:
+            if rec.raw:
+                continue
+            if rec.logic not in occurrences:
+                occurrences[rec.logic] = []
+                order.append(rec.logic)
+            occurrences[rec.logic].append((idx, rec))
     candidates = [p for p in order if len(occurrences[p]) >= min_occurrences]
     max_patterns = (1 << DICT_COUNT_BITS) - 1
     if len(candidates) > max_patterns:
@@ -600,25 +727,46 @@ def _build_dict_table(
         )[:max_patterns]
         candidates.sort(key=order.index)
     while candidates:
-        trial = layout.with_dict_table(tuple(candidates))
+        trials = [
+            trial_for(layout, tuple(candidates))
+            for _records, layout in per_container
+        ]
         keep: List[BitArray] = []
         total_gain = 0
         for pattern in candidates:
-            gain = -layout.logic_bits_per_cluster
-            for rec in occurrences[pattern]:
-                current = rec.size_bits(layout)
-                as_dict = dict_codec.record_bits(rec, trial)
+            gain = -len(pattern)  # the pattern's own table storage
+            for idx, rec in occurrences[pattern]:
+                current = rec.size_bits(trials[idx])
+                as_dict = dict_codec.record_bits(rec, trials[idx])
                 if as_dict < current:
                     gain += current - as_dict
             if gain > 0:
                 keep.append(pattern)
                 total_gain += gain
         if len(keep) == len(candidates):
-            if total_gain <= DICT_COUNT_BITS:
-                return ()
-            return tuple(keep)
+            return tuple(keep), total_gain
         candidates = keep
-    return ()
+    return (), 0
+
+
+def _build_dict_table(
+    records: List[ClusterRecord],
+    layout: VbsLayout,
+    min_occurrences: int = 2,
+) -> Tuple[BitArray, ...]:
+    """Candidate embedded logic-pattern table for one container.
+
+    On top of the shared selection core, the final table must also beat
+    the ``DICT_COUNT_BITS`` section framing or it is dropped entirely.
+    """
+    table, total_gain = _dict_table_candidates(
+        [(records, layout)],
+        lambda lay, patterns: lay.with_dict_table(patterns),
+        min_occurrences,
+    )
+    if not table or total_gain <= DICT_COUNT_BITS:
+        return ()
+    return table
 
 
 def _family_selection(
@@ -699,42 +847,98 @@ def _apply_family_assignment(
     return out
 
 
+def _family_choice(
+    records: List[ClusterRecord],
+    layout: VbsLayout,
+    family: List["object"],
+    raw_allowed: bool,
+    raw_frames: Dict[Tuple[int, int], BitArray],
+) -> Tuple[int, List[str], VbsLayout]:
+    """Best (total, assigns, layout) under one tag-width regime.
+
+    Runs the container-level selection without a dictionary table, and —
+    when the dictionary codec is usable — again with the candidate
+    table; keeps the table only when the full container (section
+    included) gets strictly smaller.  Codecs whose tag does not fit the
+    regime's tag field are excluded.  Nothing is mutated.
+    """
+    usable = [
+        c for c in family
+        if not (c.wide_tag and layout.tag_bits == CODEC_TAG_BITS)
+    ]
+    best_total, best_assigns = _family_selection(
+        records, layout, usable, raw_allowed, raw_frames
+    )
+    best_layout = layout
+    if any(c.needs_dict for c in usable):
+        table = _build_dict_table(records, layout)
+        if table:
+            trial = layout.with_dict_table(table)
+            total, assigns = _family_selection(
+                records, trial, usable, raw_allowed, raw_frames
+            )
+            if total < best_total:
+                best_total, best_assigns, best_layout = total, assigns, trial
+    return best_total, best_assigns, best_layout
+
+
+def _family_pass_choice(
+    records: List[ClusterRecord],
+    layout: VbsLayout,
+    allowed: "Optional[List[object]]",
+    raw_frames: Dict[Tuple[int, int], BitArray],
+) -> Optional[Tuple[int, List[str], VbsLayout]]:
+    """The family pass as a pure decision: (total, assigns, layout).
+
+    Evaluates the container-level selection under the narrow (VERSION 3)
+    tag regime and — when a wide-tag codec is in the selection — again
+    under the VERSION 4 wide regime, where every record's framing costs
+    ``WIDE_CODEC_TAG_BITS - CODEC_TAG_BITS`` extra bits but the new
+    codecs compete.  The wide regime is kept only when the whole
+    container gets strictly smaller, so the family never emits a larger
+    stream than the per-cluster pick alone and never upgrades the
+    container version without paying for it.  Returns None when the
+    selection has no container-scoped codec (nothing to decide).
+    """
+    if allowed is None:
+        return None
+    family = [
+        c for c in allowed
+        if not c.codes_raw and c.container_scoped
+    ]
+    if not family:
+        return None
+    raw_allowed = any(c.codes_raw for c in allowed)
+    best_total, best_assigns, best_layout = _family_choice(
+        records, layout, family, raw_allowed, raw_frames
+    )
+    if (
+        layout.tag_bits == CODEC_TAG_BITS
+        and any(c.wide_tag for c in family)
+    ):
+        wide_total, wide_assigns, wide_layout = _family_choice(
+            records, layout.with_wide_tags(), family, raw_allowed, raw_frames
+        )
+        if wide_total < best_total:
+            best_total, best_assigns, best_layout = (
+                wide_total, wide_assigns, wide_layout
+            )
+    return best_total, best_assigns, best_layout
+
+
 def _family_pass(
     records: List[ClusterRecord],
     layout: VbsLayout,
     allowed: List["object"],
     raw_frames: Dict[Tuple[int, int], BitArray],
 ) -> Tuple[VbsLayout, List[ClusterRecord]]:
-    """The sequential second pass of the two-pass family encode.
-
-    Runs the container-level selection without a dictionary table, and —
-    when the dictionary codec is allowed — again with the candidate
-    table; keeps the table only when the full container (section
-    included) gets strictly smaller, which guarantees the family never
-    emits a larger stream than the per-cluster pick alone.
-    """
-    family = [
-        c for c in allowed
-        if not c.codes_raw and (c.stateful or c.needs_dict)
-    ]
-    if not family:
+    """The sequential second pass of the two-pass family encode."""
+    choice = _family_pass_choice(records, layout, allowed, raw_frames)
+    if choice is None:
         return layout, records
-    raw_allowed = any(c.codes_raw for c in allowed)
-    best_total, best_assigns = _family_selection(
-        records, layout, family, raw_allowed, raw_frames
-    )
-    best_layout = layout
-    if any(c.needs_dict for c in family):
-        table = _build_dict_table(records, layout)
-        if table:
-            trial = layout.with_dict_table(table)
-            total, assigns = _family_selection(
-                records, trial, family, raw_allowed, raw_frames
-            )
-            if total < best_total:
-                best_total, best_assigns, best_layout = total, assigns, trial
+    _total, assigns, best_layout = choice
     return best_layout, _apply_family_assignment(
-        records, best_assigns, raw_frames
+        records, assigns, raw_frames
     )
 
 
@@ -784,17 +988,92 @@ def encode_design(
     not cross process boundaries); pass it for serial/thread sweeps.
 
     Container-level codecs (the dictionary codec's shared pattern table,
-    the stateful delta codec) are assigned by a *sequential second pass*
-    over the merged raster-order records — they cannot be chosen inside
-    the parallel pipeline because their cost depends on the whole
-    container.  The pass only ever switches a record to a strictly
-    smaller coding and only keeps a dictionary table that pays for its
-    own section, so ``codecs="auto"`` output is monotone: never larger
-    than the stateless codec set alone, and still byte-identical across
-    worker counts.  Containers that end up using a VERSION 3 feature
-    serialize as VERSION 3; all others remain VERSION 2.
+    the stateful delta codecs, the wide-tag VERSION 4 codings) are
+    assigned by a *sequential second pass* over the merged raster-order
+    records — they cannot be chosen inside the parallel pipeline because
+    their cost depends on the whole container.  The pass only ever
+    switches a record to a strictly smaller coding, only keeps a
+    dictionary table that pays for its own section, and only adopts the
+    VERSION 4 wide tag field when the container shrinks despite the +2
+    framing bits per record — so ``codecs="auto"`` output is monotone:
+    never larger than the stateless codec set alone, and still
+    byte-identical across worker counts.  Containers serialize at the
+    lowest version able to carry them (2, 3 or 4).
     """
-    from repro.vbs.codecs import codec_by_name, resolve_codecs
+    pipeline = _encode_pipeline(
+        design, placement, routing, rrg, config,
+        cluster_size=cluster_size,
+        max_orders=max_orders,
+        order_seed=order_seed,
+        compact_logic=compact_logic,
+        codecs=codecs,
+        workers=workers,
+        backend=backend,
+        memo=memo,
+    )
+    layout, records = pipeline.layout, pipeline.records
+    if pipeline.allowed is not None:
+        layout, records = _family_pass(
+            records, layout, pipeline.allowed, pipeline.raw_frames
+        )
+    return _finalize_container(layout, records, pipeline.stats)
+
+
+@dataclass
+class _PipelineResult:
+    """The merged, pre-family state of one container's encode pipeline.
+
+    ``records`` carry their per-cluster stateless picks; ``raw_frames``
+    holds the frames the parallel pass held back for the sequential
+    family selection.  ``allowed`` is the resolved codec selection
+    (None = paper-strict legacy behavior, no family pass).
+    """
+
+    layout: VbsLayout
+    records: List[ClusterRecord]
+    stats: EncodeStats
+    raw_frames: Dict[Tuple[int, int], BitArray]
+    allowed: "Optional[List[object]]"
+
+
+def _finalize_container(
+    layout: VbsLayout,
+    records: List[ClusterRecord],
+    stats: EncodeStats,
+) -> VirtualBitstream:
+    """Count the final codec mix and assemble the container object."""
+    from repro.vbs.codecs import codec_by_name
+
+    for rec in records:
+        if rec.raw:
+            stats.clusters_raw += 1
+        name = rec.codec_name(layout)
+        stats.codec_counts[name] = stats.codec_counts.get(name, 0) + 1
+        # Fail fast on a codec that cannot carry its record.
+        codec_by_name(name)
+    return VirtualBitstream(layout, records, stats)
+
+
+def _encode_pipeline(
+    design: PackedDesign,
+    placement: Placement,
+    routing: RoutingResult,
+    rrg: RoutingGraph,
+    config: FabricConfig,
+    *,
+    cluster_size: int,
+    max_orders: int,
+    order_seed: int,
+    compact_logic: bool,
+    codecs: "str | Sequence[str] | None",
+    workers: Optional[int],
+    backend: str,
+    memo: Optional[DecodeMemo],
+) -> _PipelineResult:
+    """Everything before the sequential family pass: work-item
+    construction, the (possibly pooled) per-cluster encode, and the
+    deterministic raster-order merge."""
+    from repro.vbs.codecs import resolve_codecs
 
     if backend not in ("thread", "process"):
         raise VbsError(
@@ -840,12 +1119,17 @@ def encode_design(
     if workers is not None and workers > 1 and backend == "process":
         from concurrent.futures import ProcessPoolExecutor
 
+        chunks = _chunk_work_items(items, workers)
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_process_worker_init,
             initargs=(ctx,),
         ) as pool:
-            outcomes = list(pool.map(_process_encode_cluster, items))
+            outcomes = [
+                outcome
+                for batch in pool.map(_process_encode_chunk, chunks)
+                for outcome in batch
+            ]
     elif workers is not None and workers > 1:
         from concurrent.futures import ThreadPoolExecutor
 
@@ -883,20 +1167,7 @@ def encode_design(
             raw_frames[rec.pos] = _cluster_raw_frames(layout, config, cx, cy)
         records.append(rec)
 
-    # Sequential second pass: container-level codecs (dictionary table,
-    # delta state) are assigned over the merged raster-order record list.
-    if allowed is not None:
-        layout, records = _family_pass(records, layout, allowed, raw_frames)
-
-    for rec in records:
-        if rec.raw:
-            stats.clusters_raw += 1
-        name = rec.codec_name(layout)
-        stats.codec_counts[name] = stats.codec_counts.get(name, 0) + 1
-        # Fail fast on a codec that cannot carry its record.
-        codec_by_name(name)
-
-    return VirtualBitstream(layout, records, stats)
+    return _PipelineResult(layout, records, stats, raw_frames, allowed)
 
 
 def encode_flow(
@@ -914,4 +1185,201 @@ def encode_flow(
         config,
         cluster_size=cluster_size,
         **kwargs,
+    )
+
+
+# -- task-scope encoding (shared dictionary across containers) -------------------
+
+
+@dataclass
+class TaskEncodeResult:
+    """The containers of one multi-container task and their shared table.
+
+    ``table`` is empty when task-scope sharing did not pay — the
+    containers are then exactly the independent :func:`encode_design`
+    outputs and reference no external dictionary.  ``solo_bits`` and
+    ``shared_bits`` record both sides of the keep-if-it-pays decision in
+    Table I accounting (the shared side includes the external table's
+    storage once, since external memory holds it once per task).
+    """
+
+    containers: List[VirtualBitstream]
+    dict_id: int
+    table: Tuple[BitArray, ...]
+    solo_bits: int
+    shared_bits: int
+
+    @property
+    def shared(self) -> bool:
+        """True when the containers reference the external table."""
+        return bool(self.table)
+
+    @property
+    def table_bits(self) -> int:
+        """External storage of the shared table (0 when not kept)."""
+        return sum(len(pattern) for pattern in self.table)
+
+
+def _build_shared_dict_table(
+    per_container: List[Tuple[List[ClusterRecord], VbsLayout]],
+    dict_id: int,
+    min_occurrences: int = 2,
+) -> Tuple[BitArray, ...]:
+    """Candidate task-scope pattern table: the shared selection core with
+    occurrences counted *across* every container of the task, costs
+    evaluated under the shared trial layouts (wide tags, id reference),
+    and each pattern's external storage paid once.  The caller validates
+    the final table against the full state-threaded selection and keeps
+    it only when the whole task shrinks.
+    """
+    table, _total_gain = _dict_table_candidates(
+        per_container,
+        lambda lay, patterns: lay.with_shared_dict(dict_id, patterns),
+        min_occurrences,
+    )
+    return table
+
+
+def encode_task(
+    jobs: "Sequence[Tuple[FlowResult, FabricConfig]]",
+    dict_id: int,
+    cluster_size: int = 1,
+    max_orders: int = 12,
+    order_seed: int = 0,
+    compact_logic: bool = False,
+    codecs: "str | Sequence[str] | None" = "auto",
+    workers: Optional[int] = None,
+    backend: str = "thread",
+    memo: Optional[DecodeMemo] = None,
+) -> TaskEncodeResult:
+    """Encode several routed designs as *one task* sharing a dictionary.
+
+    The run-time manager's multi-task workloads load several containers
+    of the same task (replicated instances, multi-region partitions); a
+    pattern that repeats across those containers is stored once in
+    external memory under ``dict_id`` instead of once per container.
+    The encoder's keep-if-it-pays logic runs at task scope: every
+    container is first encoded independently (the solo baseline, byte
+    for byte what :func:`encode_design` would emit), then the
+    whole-task selection is re-evaluated with a shared candidate table —
+    and kept only when the summed container payloads *plus the external
+    table storage* get strictly smaller than the solo sum.  Containers
+    that adopt the table serialize as VERSION 4 with a non-zero
+    shared-dictionary id and must be decoded with a resolver that knows
+    ``dict_id`` (``VirtualBitstream.from_bits(..., shared_dicts=...)``;
+    the run-time controller wires its task-table store in
+    automatically).
+
+    All jobs must share architecture parameters, cluster size and the
+    compact-logic flag — a pattern table only makes sense over one
+    coding geometry.  The result is byte-identical across serial,
+    thread and process backends: the task-scope selection runs after
+    the deterministic raster-order merges.
+    """
+    if not jobs:
+        raise VbsError("encode_task needs at least one (flow, config) job")
+    if not (1 <= dict_id < (1 << SHARED_DICT_ID_BITS)):
+        raise VbsError(
+            f"shared dictionary id {dict_id} outside "
+            f"[1, {1 << SHARED_DICT_ID_BITS})"
+        )
+    if memo is None:
+        memo = DecodeMemo()
+    pipelines = [
+        _encode_pipeline(
+            flow.design, flow.placement, flow.routing, flow.rrg, config,
+            cluster_size=cluster_size,
+            max_orders=max_orders,
+            order_seed=order_seed,
+            compact_logic=compact_logic,
+            codecs=codecs,
+            workers=workers,
+            backend=backend,
+            memo=memo,
+        )
+        for flow, config in jobs
+    ]
+    base = pipelines[0].layout
+    for p in pipelines[1:]:
+        if (
+            p.layout.params != base.params
+            or p.layout.cluster_size != base.cluster_size
+            or p.layout.compact_logic != base.compact_logic
+        ):
+            raise VbsError(
+                "task containers must share architecture parameters, "
+                "cluster size and logic coding to share a dictionary"
+            )
+
+    # Solo baseline: the per-container family decision, not yet applied.
+    # Selections without container-scoped codecs (including the
+    # paper-strict ``codecs=None``) have nothing to decide — their total
+    # is a plain state-threaded size walk over the merged records.
+    solo_choices = [
+        _family_pass_choice(p.records, p.layout, p.allowed, p.raw_frames)
+        for p in pipelines
+    ]
+    solo_totals: List[int] = []
+    for p, choice in zip(pipelines, solo_choices):
+        if choice is not None:
+            solo_totals.append(choice[0])
+        else:
+            state = CodecState()
+            total = p.layout.header_bits + p.layout.dict_section_bits
+            for rec in p.records:
+                total += rec.size_bits(p.layout, state=state)
+                state.observe(rec)
+            solo_totals.append(total)
+
+    # Task-scope trial: one table shared by every container.
+    dict_allowed = pipelines[0].allowed is not None and any(
+        c.needs_dict and not c.codes_raw for c in pipelines[0].allowed
+    )
+    table: Tuple[BitArray, ...] = ()
+    shared_sum = sum(solo_totals)
+    shared_plan: Optional[List[Tuple[List[str], VbsLayout]]] = None
+    if dict_allowed:
+        candidates = _build_shared_dict_table(
+            [(p.records, p.layout) for p in pipelines], dict_id
+        )
+        if candidates:
+            plan: List[Tuple[List[str], VbsLayout]] = []
+            trial_sum = sum(len(pattern) for pattern in candidates)
+            for p in pipelines:
+                trial = p.layout.with_shared_dict(dict_id, candidates)
+                family = [
+                    c for c in p.allowed
+                    if not c.codes_raw and c.container_scoped
+                ]
+                raw_allowed = any(c.codes_raw for c in p.allowed)
+                total, assigns = _family_selection(
+                    p.records, trial, family, raw_allowed, p.raw_frames
+                )
+                trial_sum += total
+                plan.append((assigns, trial))
+            if trial_sum < sum(solo_totals):
+                table, shared_sum, shared_plan = candidates, trial_sum, plan
+
+    containers: List[VirtualBitstream] = []
+    for i, p in enumerate(pipelines):
+        if shared_plan is not None:
+            assigns, layout = shared_plan[i]
+            records = _apply_family_assignment(
+                p.records, assigns, p.raw_frames
+            )
+        elif solo_choices[i] is not None:
+            _total, assigns, layout = solo_choices[i]
+            records = _apply_family_assignment(
+                p.records, assigns, p.raw_frames
+            )
+        else:
+            records, layout = p.records, p.layout
+        containers.append(_finalize_container(layout, records, p.stats))
+
+    return TaskEncodeResult(
+        containers=containers,
+        dict_id=dict_id,
+        table=table,
+        solo_bits=sum(solo_totals),
+        shared_bits=shared_sum,
     )

@@ -54,6 +54,21 @@ A container is written as VERSION 3 exactly when it needs either feature
 legacy VERSION 1 layout remains both readable and writable for archival
 round-trips (``to_bits(version=1)``).
 
+Container VERSION 4 widens the per-record codec tag from
+``CODEC_TAG_BITS`` (3) to ``WIDE_CODEC_TAG_BITS`` (5) — the 3-bit space
+was saturated by the VERSION 3 family — and adds an optional **shared
+dictionary reference**: a ``SHARED_DICT_ID_BITS`` id field right after
+the prelude (0 = none).  A non-zero id means the container's pattern
+table is *not* embedded; it lives in the run-time manager's external
+memory under that id and is shared by every container of the same task,
+so the table's storage is paid once per task instead of once per
+container.  When the id is zero the embedded dictionary section follows
+exactly as in VERSION 3.  The tag width is version-gated: VERSION 1-3
+streams keep their byte-exact layouts, and a stream is only written as
+VERSION 4 when it uses a wide-tag codec (tag above ``MAX_V3_TAG``) or a
+shared dictionary reference — the encoder's family pass upgrades a
+container only when the wider framing pays for itself.
+
 Compact logic mode (the paper's future-work "smarter coding of the VBS to
 gain ... in size", Section V) replaces the unconditional ``c^2 * NLB``
 logic field by one presence bit per member macro followed by NLB bits for
@@ -76,19 +91,77 @@ from repro.utils.bitarray import BitArray, bits_for
 MAGIC = 0xB5
 MAGIC_BITS = 8
 #: Latest container version this build writes (streams that need no
-#: VERSION 3 feature still serialize as VERSION 2 — see
-#: ``VirtualBitstream.wire_version``).
-VERSION = 3
+#: VERSION 4/3 feature still serialize at the lowest version able to
+#: carry them — see ``VirtualBitstream.wire_version``).
+VERSION = 4
 VERSION_BITS = 4
 #: Every container version this build can parse.
-SUPPORTED_VERSIONS = (1, 2, VERSION)
-#: Per-record codec selector (VERSION >= 2); room for eight codecs.
+SUPPORTED_VERSIONS = (1, 2, 3, VERSION)
+#: Per-record codec selector of VERSION 2/3 containers; room for eight
+#: codecs — saturated by the VERSION 3 family.
 CODEC_TAG_BITS = 3
+#: Per-record codec selector of VERSION 4 containers (32 tags).
+WIDE_CODEC_TAG_BITS = 5
 #: Highest codec tag a VERSION 2 container may carry (the PR-1 codec
 #: set); any higher tag forces VERSION 3 so old readers reject cleanly.
 MAX_V2_TAG = 3
+#: Highest codec tag a VERSION <= 3 container can physically carry (the
+#: 3-bit field tops out at 7); any higher tag needs the VERSION 4 wide
+#: tag field, mirroring the VERSION 2 gate above.
+MAX_V3_TAG = 7
 #: Dictionary-section pattern count field (VERSION 3).
 DICT_COUNT_BITS = 10
+#: Shared-dictionary reference field of a VERSION 4 container: 0 means
+#: "no shared table", any other value names a task-scope pattern table
+#: owned by the run-time manager's external memory.
+SHARED_DICT_ID_BITS = 16
+#: Reference-index field of the best-of-k delta codec, and the number of
+#: preceding smart records the :class:`CodecState` history retains.
+DELTA_REF_BITS = 2
+DELTA_REFS = 1 << DELTA_REF_BITS
+
+
+def tag_bits_for_version(version: int) -> int:
+    """Width of the per-record codec tag field at ``version``."""
+    return WIDE_CODEC_TAG_BITS if version >= 4 else CODEC_TAG_BITS
+
+
+@dataclass(frozen=True)
+class PreludeFields:
+    """The fixed 63-bit container prelude, parsed.
+
+    The single owner of the prelude bit layout: the container parser and
+    any prelude-only peek (e.g. ``repro vbs inspect`` reporting on a
+    container whose shared table is unavailable) read through here, so
+    the wire knowledge cannot drift between them.
+    """
+
+    version: int
+    cluster_size: int
+    channel_width: int
+    lut_size: int
+    compact_logic: bool
+    width: int
+    height: int
+
+
+def read_prelude(r) -> PreludeFields:
+    """Parse the container prelude from a :class:`BitReader`.
+
+    Validates the magic; the caller owns the version gate (different
+    consumers accept different version sets).
+    """
+    if r.read(MAGIC_BITS) != MAGIC:
+        raise VbsError("bad magic: not a Virtual Bit-Stream container")
+    return PreludeFields(
+        version=r.read(VERSION_BITS),
+        cluster_size=r.read(CLUSTER_BITS),
+        channel_width=r.read(CHANNEL_BITS),
+        lut_size=r.read(LUT_BITS),
+        compact_logic=bool(r.read(COMPACT_BITS)),
+        width=r.read(DIM_BITS),
+        height=r.read(DIM_BITS),
+    )
 CLUSTER_BITS = 6
 CHANNEL_BITS = 8
 LUT_BITS = 4
@@ -109,11 +182,20 @@ class VbsLayout:
     width: int
     height: int
     compact_logic: bool = False
-    #: Shared logic-pattern table of a VERSION 3 container (empty on
+    #: Shared logic-pattern table of a VERSION 3/4 container (empty on
     #: VERSION <= 2 layouts).  Entries are full ``c^2 * NLB`` fields in
     #: first-use raster order; the dictionary codec references them by
-    #: index.
+    #: index.  On a layout with :attr:`shared_dict_id` set this holds the
+    #: *external* table's patterns (resolved at parse/encode time) — the
+    #: container then serializes only the id, never the patterns.
     dict_table: Tuple[BitArray, ...] = ()
+    #: Per-record codec-tag field width used by the size accounting:
+    #: ``CODEC_TAG_BITS`` for VERSION <= 3 containers,
+    #: ``WIDE_CODEC_TAG_BITS`` for VERSION 4.
+    tag_bits: int = CODEC_TAG_BITS
+    #: Task-scope shared-dictionary id of a VERSION 4 container, or None
+    #: (no shared table; ``dict_table`` is embedded when non-empty).
+    shared_dict_id: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.width < 1 or self.height < 1:
@@ -122,6 +204,22 @@ class VbsLayout:
             raise VbsError("cluster size must be >= 1")
         if self.width >= (1 << DIM_BITS) or self.height >= (1 << DIM_BITS):
             raise VbsError("task dimensions exceed the container prelude range")
+        if self.tag_bits not in (CODEC_TAG_BITS, WIDE_CODEC_TAG_BITS):
+            raise VbsError(
+                f"codec tag field must be {CODEC_TAG_BITS} or "
+                f"{WIDE_CODEC_TAG_BITS} bits, got {self.tag_bits}"
+            )
+        if self.shared_dict_id is not None:
+            if not (1 <= self.shared_dict_id < (1 << SHARED_DICT_ID_BITS)):
+                raise VbsError(
+                    f"shared dictionary id {self.shared_dict_id} outside "
+                    f"[1, {1 << SHARED_DICT_ID_BITS})"
+                )
+            if self.tag_bits != WIDE_CODEC_TAG_BITS:
+                raise VbsError(
+                    "a shared dictionary reference is a VERSION 4 feature; "
+                    "the layout must use the wide codec tag field"
+                )
         if len(self.dict_table) >= (1 << DICT_COUNT_BITS):
             raise VbsError(
                 f"dictionary table of {len(self.dict_table)} patterns "
@@ -205,13 +303,37 @@ class VbsLayout:
     def raw_bits_per_cluster(self) -> int:
         return self.cluster_size * self.cluster_size * self.params.nraw
 
-    # -- dictionary section (VERSION 3) ------------------------------------------
+    # -- dictionary section (VERSION 3/4) ----------------------------------------
 
     def with_dict_table(self, patterns: "Tuple[BitArray, ...]") -> "VbsLayout":
-        """This layout with a (possibly empty) shared pattern table."""
+        """This layout with a (possibly empty) embedded pattern table."""
         import dataclasses
 
         return dataclasses.replace(self, dict_table=tuple(patterns))
+
+    def with_wide_tags(self) -> "VbsLayout":
+        """This layout under VERSION 4 accounting (5-bit codec tags)."""
+        import dataclasses
+
+        return dataclasses.replace(self, tag_bits=WIDE_CODEC_TAG_BITS)
+
+    def with_shared_dict(
+        self, dict_id: int, patterns: "Tuple[BitArray, ...]"
+    ) -> "VbsLayout":
+        """This layout referencing an external task-scope pattern table.
+
+        Implies VERSION 4 (wide tags).  ``patterns`` is the resolved
+        content of the external table — needed for encoding and decoding
+        alike — but the container serializes only ``dict_id``.
+        """
+        import dataclasses
+
+        return dataclasses.replace(
+            self,
+            tag_bits=WIDE_CODEC_TAG_BITS,
+            shared_dict_id=dict_id,
+            dict_table=tuple(patterns),
+        )
 
     @property
     def dict_index_bits(self) -> int:
@@ -234,9 +356,17 @@ class VbsLayout:
 
     @property
     def dict_section_bits(self) -> int:
-        """Container cost of the shared table (0 when the table is empty —
-        an empty table writes no section at all because the container then
-        serializes as VERSION 2)."""
+        """Container cost of the pattern table.
+
+        A shared table costs the container only its
+        ``SHARED_DICT_ID_BITS`` reference — the patterns live once in
+        external memory, amortized over every container of the task.  An
+        embedded table costs its count field plus the verbatim patterns;
+        an empty table costs 0 (the container then serializes without a
+        section at all, as VERSION 2 when nothing else needs more).
+        """
+        if self.shared_dict_id is not None:
+            return SHARED_DICT_ID_BITS
         if not self.dict_table:
             return 0
         return DICT_COUNT_BITS + len(self.dict_table) * self.logic_bits_per_cluster
@@ -250,7 +380,7 @@ class VbsLayout:
     @property
     def record_overhead_bits(self) -> int:
         """Per-record framing: position fields plus the codec tag."""
-        return 2 * self.pos_bits + CODEC_TAG_BITS
+        return 2 * self.pos_bits + self.tag_bits
 
     def smart_record_bits(
         self, num_pairs: int, present_macros: Optional[int] = None
@@ -295,20 +425,30 @@ class CodecState:
 
     ``prev_logic`` is the normalized logic field of the nearest preceding
     *smart* (non-raw) record, or ``None`` at the start of the container.
-    Raw records do not update it — their frames never re-enter the logic
-    field, and the rule must be computable identically by the encoder, the
-    size accounting, and the decoder, which all walk the same record
-    sequence.  Stateless codecs ignore the state entirely; the delta
-    codec XOR-codes against ``prev_logic`` (treated as all-zeros when
-    ``None``).
+    ``history`` extends the same rule to the ``DELTA_REFS`` most recent
+    smart records (newest first) — the candidate reference set of the
+    best-of-k delta codec.  Raw records update neither — their frames
+    never re-enter the logic field, and the rule must be computable
+    identically by the encoder, the size accounting, and the decoder,
+    which all walk the same record sequence.  Stateless codecs ignore
+    the state entirely; the delta codec XOR-codes against ``prev_logic``
+    (treated as all-zeros when ``None``), ``delta-k`` against the
+    history entry its 2-bit reference index names (missing entries are
+    all-zeros references).
     """
 
     prev_logic: Optional[BitArray] = None
+    history: Tuple[BitArray, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.prev_logic is not None and not self.history:
+            self.history = (self.prev_logic,)
 
     def observe(self, rec: "ClusterRecord") -> None:
         """Advance the state past ``rec`` (call after coding its body)."""
         if not rec.raw and rec.logic is not None:
             self.prev_logic = rec.logic
+            self.history = (rec.logic,) + self.history[: DELTA_REFS - 1]
 
 
 @dataclass
@@ -346,6 +486,12 @@ class ClusterRecord:
                 raise VbsError(
                     f"record at {self.pos}: codec {self.codec!r} disagrees "
                     f"with raw={self.raw}"
+                )
+            if codec.tag > MAX_V3_TAG and layout.tag_bits < WIDE_CODEC_TAG_BITS:
+                raise VbsError(
+                    f"record at {self.pos}: codec {self.codec!r} (tag "
+                    f"{codec.tag}) does not fit the {layout.tag_bits}-bit "
+                    f"tag field; it needs a VERSION 4 wide-tag layout"
                 )
             if not codec.encodable(self, layout):
                 raise VbsError(

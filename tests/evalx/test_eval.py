@@ -109,6 +109,41 @@ class TestRunners:
         )
 
     @pytest.mark.integration
+    def test_rows_carry_auto_generation_columns(self, tmp_path):
+        """Every cluster cell records the cost-driven picker at both
+        codec generations, and VERSION 4 never regresses VERSION 3."""
+        row = evaluate_circuit(
+            "ex5p", tmp_path, channel_width=8, clusters=(1,), scale=0.08,
+        )
+        cell = row["clusters"]["1"]
+        assert cell["auto_v4_bits"] <= cell["auto_v3_bits"]
+        assert cell["auto_v4_version"] in (2, 3, 4)
+        fig4 = run_fig4(["ex5p"], tmp_path, channel_width=8, scale=0.08)
+        assert fig4[0]["auto_v3_bits"] == cell["auto_v3_bits"]
+        assert fig4[0]["auto_v4_bits"] == cell["auto_v4_bits"]
+
+    @pytest.mark.integration
+    def test_v4_ratio_summary_improves_on_replicated_corpus(self, tmp_path):
+        """The synthetic replicated-datapath extra engages the VERSION 4
+        family: the corpus total strictly improves over the best
+        VERSION 3 pick (the acceptance gate of the V4 codecs)."""
+        from repro.eval import EVAL_EXTRAS, v4_ratio_summary
+
+        assert "dpath" in EVAL_EXTRAS
+        summary = v4_ratio_summary(
+            ["dpath"], tmp_path, channel_width=8, clusters=(2, 3),
+            scale=0.25,
+        )
+        assert summary["total_auto_v4_bits"] < summary["total_auto_v3_bits"]
+        assert summary["improvement_bits"] > 0
+        versions = {
+            cell["auto_v4_version"]
+            for row in summary["per_circuit"]
+            for cell in row["clusters"].values()
+        }
+        assert 4 in versions
+
+    @pytest.mark.integration
     def test_workload_runner_caches(self, tmp_path):
         from repro.eval.experiments import run_workload
 

@@ -139,6 +139,44 @@ class TestReproCli:
         with pytest.raises(VbsError):
             main(["vbs", "inspect", str(bad)])
 
+    def test_inspect_shared_dict_container_without_table(self, tmp_path,
+                                                         capsys):
+        """Inspecting a VERSION 4 shared-dictionary container whose task
+        table is not at hand degrades to a prelude + reference summary
+        instead of a traceback (the payload is unparseable by design)."""
+        import json
+
+        from repro.arch import ArchParams
+        from repro.cli import main
+        from repro.utils.bitarray import BitArray
+        from repro.vbs import VirtualBitstream
+        from repro.vbs.format import ClusterRecord, VbsLayout
+
+        layout = VbsLayout(ArchParams(channel_width=5), 1, 4, 2)
+        pattern = BitArray(layout.logic_bits_per_cluster)
+        pattern[3] = 1
+        lay = layout.with_shared_dict(11, (pattern,))
+        vbs = VirtualBitstream(lay, [
+            ClusterRecord((0, 0), raw=False, logic=pattern.copy(),
+                          pairs=[], codec="dict"),
+        ])
+        out = tmp_path / "shared.vbs"
+        out.write_bytes(vbs.to_bits().to_bytes())
+
+        rc = main(["vbs", "inspect", str(out)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "shared dictionary: id 11" in text
+        assert "table not available" in text
+
+        rc = main(["vbs", "inspect", str(out), "--json"])
+        assert rc == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["version"] == 4
+        assert summary["shared_dict_id"] == 11
+        assert summary["prelude"]["width"] == 4
+        assert "shared_table_unresolved" in summary
+
 
 class TestRunAllCli:
     @pytest.mark.integration

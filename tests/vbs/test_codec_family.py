@@ -15,6 +15,10 @@ from repro.vbs import VirtualBitstream, decode_vbs, encode_flow
 #: The codec set of PR 1 (container VERSION 2) — the monotone baseline.
 PR1_CODECS = ["list", "raw", "compact", "rle"]
 
+#: The complete VERSION 3 set — the baseline the VERSION 4 wide-tag
+#: family must never lose to (and must strictly beat where it engages).
+from repro.vbs import V3_CODECS
+
 
 @pytest.fixture(scope="module")
 def family_vbs(small_flow, small_config):
@@ -101,6 +105,70 @@ class TestMonotoneImprovement:
             + first.size_bits(layout)
             + layout.raw_record_bits
         )
+
+    @pytest.mark.parametrize("cluster", [1, 2, 3])
+    def test_v4_family_never_larger_than_v3_set(
+        self, small_flow, small_config, cluster
+    ):
+        """The monotone chain across format generations: the VERSION 4
+        family never loses to the VERSION 3 set, which never loses to
+        the PR-1 set."""
+        pr1 = encode_flow(
+            small_flow, small_config, cluster_size=cluster, codecs=PR1_CODECS
+        )
+        v3 = encode_flow(
+            small_flow, small_config, cluster_size=cluster,
+            codecs=list(V3_CODECS),
+        )
+        v4 = encode_flow(
+            small_flow, small_config, cluster_size=cluster, codecs="auto"
+        )
+        assert v4.size_bits <= v3.size_bits <= pr1.size_bits
+        # The wide tag field is adopted only when it strictly pays.
+        if v4.wire_version == 4:
+            assert v4.size_bits < v3.size_bits
+        else:
+            assert v4.size_bits == v3.size_bits
+
+    def test_v4_strictly_improves_on_replicated_datapath(self):
+        """The workload the wide-tag codecs exist for: a replicated
+        datapath (small truth-table vocabulary stamped across the
+        fabric) whose near-duplicate cluster fields the best-of-k delta
+        reference exploits.  VERSION 4 must engage and strictly shrink
+        the container versus the full VERSION 3 pick."""
+        from repro.arch import ArchParams
+        from repro.bitstream import expand_routing
+        from repro.cad import run_flow
+        from repro.netlist import CircuitSpec, generate_circuit
+
+        spec = CircuitSpec(
+            "dpath-tile", n_luts=40, n_inputs=8, n_outputs=6,
+            pattern_pool=3,
+        )
+        flow = run_flow(generate_circuit(spec), ArchParams(channel_width=8),
+                        seed=1)
+        config = expand_routing(
+            flow.design, flow.placement, flow.routing, flow.rrg
+        )
+        improved = False
+        for cluster in (2, 3):
+            v3 = encode_flow(
+                flow, config, cluster_size=cluster, codecs=list(V3_CODECS)
+            )
+            v4 = encode_flow(flow, config, cluster_size=cluster,
+                             codecs="auto")
+            assert v4.size_bits <= v3.size_bits
+            if v4.wire_version == 4:
+                improved = True
+                assert v4.size_bits < v3.size_bits
+                used = set(v4.stats.codec_counts) & {"rice-a", "delta-k"}
+                assert used, v4.stats.codec_counts
+                # And the container round-trips through the wire.
+                parsed = VirtualBitstream.from_bits(v4.to_bits())
+                a, _ = decode_vbs(parsed)
+                b, _ = decode_vbs(v3)
+                assert a.content_equal(b)
+        assert improved
 
     def test_family_engages_new_codecs(self, family_vbs):
         """At least one VERSION 3 codec must actually win records on the

@@ -55,10 +55,14 @@ class TestRegistry:
             codec_by_name("zstd")
 
     def test_unknown_tag_rejected(self):
-        # The 3-bit tag space is saturated since the VERSION 3 family;
-        # anything outside it must still fail loudly.
+        # The VERSION 4 wide tag field opens 32 tags; unregistered ones
+        # must still fail loudly.
+        from repro.vbs.format import WIDE_CODEC_TAG_BITS
+
         with pytest.raises(VbsError):
-            codec_by_tag(1 << CODEC_TAG_BITS)
+            codec_by_tag((1 << WIDE_CODEC_TAG_BITS) - 1)
+        with pytest.raises(VbsError):
+            codec_by_tag(1 << WIDE_CODEC_TAG_BITS)
 
     def test_duplicate_registration_rejected(self):
         existing = registered_codecs()[0]
@@ -118,11 +122,14 @@ class TestCodecRoundTrips:
         for codec in registered_codecs():
             rec = _record(data.draw, layout, raw=codec.codes_raw)
             # The dictionary codec only applies when the container's
-            # shared table holds the record's pattern.
+            # shared table holds the record's pattern; wide-tag codecs
+            # only fit the VERSION 4 tag field.
             lay = (
                 layout.with_dict_table((rec.logic,))
                 if codec.needs_dict else layout
             )
+            if codec.wide_tag:
+                lay = lay.with_wide_tags()
             assert codec.encodable(rec, lay)
             w = BitWriter()
             codec.encode_record(w, rec, lay)
@@ -164,6 +171,10 @@ class TestCodecRoundTrips:
             records.append(rec)
         if dict_patterns:
             layout = layout.with_dict_table(tuple(dict_patterns))
+        from repro.vbs.codecs import codec_by_name
+
+        if any(codec_by_name(r.codec).wide_tag for r in records):
+            layout = layout.with_wide_tags()
         vbs = VirtualBitstream(layout, records)
         bits = vbs.to_bits()
         assert len(bits) == vbs.container_bits

@@ -14,8 +14,10 @@ import pytest
 from repro.errors import VbsError
 from repro.vbs.devirt import DecodeMemo
 from repro.vbs.encode import (
+    PROCESS_CHUNKS_PER_WORKER,
     ClusterWorkItem,
     EncodeContext,
+    _chunk_work_items,
     _encode_cluster,
     encode_flow,
 )
@@ -77,6 +79,53 @@ class TestByteIdenticalBackends:
         assert vbs.to_bits().to_bytes() == encode_flow(
             tiny_flow, tiny_config
         ).to_bits().to_bytes()
+
+
+class TestProcessChunking:
+    """The process backend schedules chunked work items (chunksize > 1):
+    one executor submission per chunk instead of one per cluster, with
+    the flattened chunk sequence exactly the raster-order item list."""
+
+    def test_chunks_batch_and_preserve_order(self):
+        items = list(range(37))  # the chunker never inspects items
+        chunks = _chunk_work_items(items, workers=4)
+        assert [x for chunk in chunks for x in chunk] == items
+        assert len(chunks) < len(items)          # chunksize > 1
+        sizes = {len(chunk) for chunk in chunks}
+        assert max(sizes) == -(-37 // (4 * PROCESS_CHUNKS_PER_WORKER))
+        assert _chunk_work_items([], workers=4) == []
+        # Tiny inputs degrade to one item per chunk, never zero chunks.
+        assert [x for c in _chunk_work_items([1, 2], 8) for x in c] == [1, 2]
+
+    def test_fewer_submissions_and_byte_identity(
+        self, tiny_flow, tiny_config, monkeypatch
+    ):
+        import concurrent.futures as cf
+
+        submissions = []
+        real_executor = cf.ProcessPoolExecutor
+
+        class CountingExecutor(real_executor):
+            def submit(self, fn, *args, **kwargs):
+                submissions.append(fn)
+                return super().submit(fn, *args, **kwargs)
+
+        monkeypatch.setattr(cf, "ProcessPoolExecutor", CountingExecutor)
+        workers = 2
+        pooled = encode_flow(
+            tiny_flow, tiny_config, cluster_size=1, codecs="auto",
+            workers=workers, backend="process",
+        )
+        serial = encode_flow(
+            tiny_flow, tiny_config, cluster_size=1, codecs="auto"
+        )
+        assert pooled.to_bits().to_bytes() == serial.to_bits().to_bytes()
+        n_items = serial.stats.clusters_listed
+        expected = -(-n_items // max(
+            1, -(-n_items // (workers * PROCESS_CHUNKS_PER_WORKER))
+        ))
+        assert len(submissions) == expected
+        assert len(submissions) < n_items
 
 
 class TestWorkItemPickling:
