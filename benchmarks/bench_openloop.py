@@ -1,0 +1,134 @@
+"""A6 — open-loop workload engine: latency percentiles under arrivals.
+
+Replays seeded Zipf-mix traces with Poisson arrival timestamps through
+the workload simulator's virtual clock and reports the latency
+percentiles, queue depths and server utilization the open-loop engine
+adds — the numbers a production-scale runtime manager is sized by.
+Everything is seeded, so ``extra_info`` values are comparable across
+runs and machines.
+
+Also runnable as a script (the CI bench-smoke artifact)::
+
+    python benchmarks/bench_openloop.py --out openloop-smoke.json
+
+which runs one short open-loop scenario, validates that the report
+carries the percentile/queue-depth schema, and writes the JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def _smoke_scenario(length: int = 14, seed: int = 1) -> dict:
+    from repro.runtime.workload import run_scenario
+
+    return run_scenario(
+        kind="zipf",
+        n_tasks=2,
+        length=length,
+        seed=seed,
+        arrivals="poisson",
+        mean_interarrival=1500,
+    )
+
+
+# -- pytest-benchmark harness ----------------------------------------------------
+
+try:
+    import pytest
+except ImportError:  # pragma: no cover - benchmarks always run under pytest
+    pytest = None
+
+if pytest is not None:
+    from repro.arch import FabricArch
+    from repro.runtime import (
+        ExternalMemory,
+        FabricManager,
+        ReconfigurationController,
+        WorkloadSimulator,
+        generate_trace,
+    )
+    from repro.vbs import encode_flow
+
+    TRACE_LENGTH = 60
+
+    @pytest.fixture(scope="module")
+    def openloop_images(bench_flow, bench_config):
+        """Two container variants of the bench circuit (distinct digests)."""
+        return [
+            ("plain", encode_flow(bench_flow, bench_config, cluster_size=1)),
+            ("autoc", encode_flow(bench_flow, bench_config, cluster_size=1,
+                                  codecs="auto")),
+        ]
+
+    def _manager(bench_flow, images):
+        w, h = bench_flow.fabric.width, bench_flow.fabric.height
+        fabric = FabricArch(
+            bench_flow.params, w + w // 2 + 1, h + 1,
+            {(x, y): "clb"
+             for x in range(w + w // 2 + 1) for y in range(h + 1)},
+        )
+        ctrl = ReconfigurationController(fabric, ExternalMemory())
+        for name, vbs in images:
+            ctrl.store_vbs(name, vbs)
+        return FabricManager(ctrl)
+
+    @pytest.mark.parametrize("mean_interarrival", [200, 5000])
+    def test_openloop_zipf_replay(benchmark, bench_flow, openloop_images,
+                                  mean_interarrival):
+        """Saturated (200-cycle gaps) vs relaxed (5000) arrival pressure."""
+        names = [name for name, _v in openloop_images]
+        trace = generate_trace(
+            "zipf", names, TRACE_LENGTH, seed=1,
+            arrivals="poisson", mean_interarrival=mean_interarrival,
+        )
+
+        def replay():
+            mgr = _manager(bench_flow, openloop_images)
+            return WorkloadSimulator(mgr).run(trace)
+
+        report = benchmark(replay)
+        benchmark.extra_info["p50_latency"] = report["latency"]["p50"]
+        benchmark.extra_info["p99_latency"] = report["latency"]["p99"]
+        benchmark.extra_info["max_queue_depth"] = report["queue"]["max_depth"]
+        benchmark.extra_info["utilization"] = report["clock"]["utilization"]
+
+
+# -- CI smoke artifact ------------------------------------------------------------
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Open-loop workload smoke artifact."
+    )
+    parser.add_argument("--out", default="openloop-smoke.json",
+                        help="output JSON path")
+    parser.add_argument("--length", type=int, default=14)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    report = _smoke_scenario(length=args.length, seed=args.seed)
+    latency = report.get("latency", {})
+    for field in ("p50", "p95", "p99"):
+        if field not in latency:
+            print(f"missing latency percentile {field!r} in the report",
+                  file=sys.stderr)
+            return 1
+    if "max_depth" not in report.get("queue", {}):
+        print("missing queue depth in the report", file=sys.stderr)
+        return 1
+    with open(args.out, "w") as fh:
+        json.dump(report, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"open-loop zipf trace: p50 {latency['p50']} / "
+          f"p95 {latency['p95']} / p99 {latency['p99']} cycles, "
+          f"max queue depth {report['queue']['max_depth']}")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,7 +34,7 @@ from repro.vbs.codecs import V3_CODECS
 from repro.vbs.encode import encode_flow
 
 #: Bump to invalidate caches when result-affecting code changes.
-CACHE_VERSION = 5
+CACHE_VERSION = 6
 
 #: Synthetic eval circuits beyond the MCNC proxy table — workloads the
 #: later codec families target.  ``dpath`` is a replicated datapath: a
@@ -326,18 +326,34 @@ def run_workload(
     length: int = 40,
     seed: int = 1,
     force: bool = False,
+    arrivals: "str | None" = None,
+    mean_interarrival: int = 2000,
+    zipf_alpha: float = 1.1,
+    task_scope: bool = False,
 ) -> dict:
     """One workload-simulator report, cached like the figure rows.
 
-    The decode cache is persisted under ``<results_dir>/decode_cache`` —
-    the cross-process reuse path: re-running the experiment (or any
-    other scenario over the same images) starts warm.  The report itself
-    is cached under the usual versioned JSON convention, so ``run_all``
-    replays are free.
+    The decode cache (and the controller's DecodeMemo) is persisted
+    under ``<results_dir>/decode_cache`` — the cross-process reuse path:
+    re-running the experiment (or any other scenario over the same
+    images) starts warm.  The report itself is cached under the usual
+    versioned JSON convention, so ``run_all`` replays are free.
+
+    ``arrivals="poisson"`` runs the open-loop engine (latency
+    percentiles, queue depths); ``task_scope=True`` replays over
+    multi-container ``encode_task`` groups instead of independent
+    images.  Open-loop/task-scope variants cache under distinct keys,
+    so the closed-loop report's key is unchanged.
     """
     from repro.runtime.workload import run_scenario
 
     key = f"workload_{kind}_t{n_tasks}_n{length}_seed{seed}"
+    if kind == "zipf":
+        key += f"_a{zipf_alpha:g}"
+    if arrivals is not None:
+        key += f"_{arrivals}{mean_interarrival}"
+    if task_scope:
+        key += "_taskscope"
     path = _cache_path(results_dir, key)
     cached = _load_cache(path)
     if cached is not None and not force:
@@ -349,6 +365,10 @@ def run_workload(
         length=length,
         seed=seed,
         cache_dir=str(results_dir / "decode_cache"),
+        arrivals=arrivals,
+        mean_interarrival=mean_interarrival,
+        zipf_alpha=zipf_alpha,
+        task_scope=task_scope,
     )
     report["cache_version"] = CACHE_VERSION
     path.write_text(json.dumps(report, indent=1, sort_keys=True))

@@ -119,6 +119,16 @@ def main(argv: "list[str] | None" = None) -> int:
         (results_dir / "workload.json").write_text(
             dumps(report, indent=1, sort_keys=True) + "\n"
         )
+        # The open-loop companion: a Zipf mix under Poisson arrivals,
+        # the latency-percentile view a deployment is sized by.
+        openloop = run_workload(
+            results_dir, kind="zipf", arrivals="poisson", seed=args.seed,
+        )
+        print()
+        print(summarize_report(openloop))
+        (results_dir / "openloop.json").write_text(
+            dumps(openloop, indent=1, sort_keys=True) + "\n"
+        )
 
     print(f"\n# done in {time.perf_counter() - t0:.1f}s; cache: {results_dir}/",
           flush=True)

@@ -9,11 +9,13 @@ from repro.runtime.costmodel import (
     LoadCost,
     decode_cost,
     lpt_makespan,
+    percentile,
     write_cost,
 )
 from repro.runtime.controller import ReconfigurationController, ResidentTask
 from repro.runtime.manager import BEST_FIT, FIRST_FIT, FabricManager
 from repro.runtime.workload import (
+    ARRIVAL_KINDS,
     TRACE_KINDS,
     TraceEvent,
     WorkloadSimulator,
@@ -22,6 +24,7 @@ from repro.runtime.workload import (
     run_scenario,
     summarize_report,
     synthesize_task_images,
+    synthesize_task_scope_images,
 )
 
 __all__ = [
@@ -34,12 +37,14 @@ __all__ = [
     "LoadCost",
     "decode_cost",
     "lpt_makespan",
+    "percentile",
     "write_cost",
     "ReconfigurationController",
     "ResidentTask",
     "BEST_FIT",
     "FIRST_FIT",
     "FabricManager",
+    "ARRIVAL_KINDS",
     "TRACE_KINDS",
     "TraceEvent",
     "WorkloadSimulator",
@@ -48,4 +53,5 @@ __all__ = [
     "run_scenario",
     "summarize_report",
     "synthesize_task_images",
+    "synthesize_task_scope_images",
 ]

@@ -113,6 +113,12 @@ class ReconfigurationController:
         #: referencing container leaves the fabric.
         self.shared_dicts: Dict[int, Tuple["BitArray", ...]] = {}
         self._shared_dict_refs: Dict[int, int] = {}
+        #: Lifecycle counters of the resident tables (the workload
+        #: simulator reports them as per-run deltas): ``faults`` counts
+        #: tables brought resident from external memory, ``drops`` counts
+        #: tables released when their last referencing task unloaded.
+        self.shared_dict_faults = 0
+        self.shared_dict_drops = 0
 
     # -- placement bookkeeping ----------------------------------------------------
 
@@ -201,6 +207,7 @@ class ReconfigurationController:
                 )
             self.shared_dicts[dict_id] = table
             self._shared_dict_refs[dict_id] = 0
+            self.shared_dict_faults += 1
         self._shared_dict_refs[dict_id] += 1
 
     def _release_shared_dict(self, dict_id: int) -> None:
@@ -211,6 +218,7 @@ class ReconfigurationController:
         if refs <= 1:
             del self._shared_dict_refs[dict_id]
             self.shared_dicts.pop(dict_id, None)
+            self.shared_dict_drops += 1
         else:
             self._shared_dict_refs[dict_id] = refs - 1
 

@@ -30,12 +30,13 @@ fresh process starts warm.
 from __future__ import annotations
 
 import hashlib
+import math
 import os
 import pickle
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
 from repro.vbs.decode import DecodeStats
 
@@ -376,6 +377,22 @@ class DecodeCache:
                 self.stats.restored += 1
                 loaded += 1
         return loaded
+
+
+def percentile(values: "Sequence[int]", p: float) -> int:
+    """Nearest-rank percentile of integer cycle samples.
+
+    The open-loop workload reports are sized by latency percentiles; the
+    nearest-rank definition (the smallest sample with at least ``p``
+    percent of the distribution at or below it) keeps the result an
+    actual observed sample — an integer cycle count, deterministic and
+    JSON-stable, never an interpolated float.  Empty input reports 0.
+    """
+    if not values:
+        return 0
+    ordered = sorted(values)
+    rank = min(max(1, math.ceil(p / 100.0 * len(ordered))), len(ordered))
+    return ordered[rank - 1]
 
 
 def lpt_makespan(jobs: List[int], units: int) -> Tuple[int, List[int]]:

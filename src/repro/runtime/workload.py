@@ -26,19 +26,45 @@ Arrival mixes (:data:`TRACE_KINDS`):
   in a cycle longer than the cache; with ``cache_capacity`` below the
   task count every lookup misses (LRU's worst case), pinning the
   thrashing floor.
+* ``zipf`` — task popularity follows a Zipf(α) law over the task list
+  order (rank 1 = first name); the skewed on-demand mix of an
+  algorithm-on-demand co-processor, between hot-set's two-class split
+  and round-robin's uniformity.
+
+Closed loop versus open loop: by default a trace is a pure *sequence* —
+the simulator replays one event after the other and reports summed cycle
+budgets.  ``arrivals="poisson"`` turns the same mixes into an
+**open-loop** trace: every request arrival is stamped with a virtual
+timestamp drawn from a seeded Poisson process (exponential
+inter-arrivals of mean ``mean_interarrival`` cycles, drawn from a
+*separate* rng stream so the task mix of a seed is identical with and
+without timestamps).  The simulator then runs a virtual clock — service
+time from the cost model, FIFO queueing when requests arrive faster
+than reconfiguration completes — and the report gains latency
+percentiles (p50/p95/p99), queue depths and per-phase breakdowns; see
+:class:`WorkloadSimulator`.
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import RuntimeManagementError
 from repro.runtime.manager import FIRST_FIT, FabricManager
 
 #: Supported arrival mixes of :func:`generate_trace`.
-TRACE_KINDS = ("hot-set", "round-robin", "adversarial")
+TRACE_KINDS = ("hot-set", "round-robin", "adversarial", "zipf")
+
+#: Supported open-loop arrival processes (``None`` = closed loop).
+ARRIVAL_KINDS = ("poisson",)
+
+#: File name of the persisted controller :class:`~repro.vbs.devirt.DecodeMemo`
+#: inside a ``cache_dir`` — deliberately outside the decode cache's
+#: ``decode_*.pkl`` entry-file namespace (its loader globs that prefix).
+MEMO_FILE_NAME = "devirt_memo.pkl"
 
 #: Version stamp of the report schema (bump on renames/removals; key
 #: additions are compatible).
@@ -47,23 +73,72 @@ REPORT_VERSION = 1
 
 @dataclass(frozen=True)
 class TraceEvent:
-    """One runtime-manager request: ``op`` in load/unload/migrate."""
+    """One runtime-manager request: ``op`` in load/unload/migrate.
+
+    ``at`` is the open-loop arrival timestamp in controller cycles
+    (``None`` in closed-loop traces).  Events emitted by one request
+    arrival — the eviction unloads preceding a load — share its stamp.
+    """
 
     op: str
     task: str
+    at: Optional[int] = None
 
 
 @dataclass(frozen=True)
 class WorkloadTrace:
-    """A seeded, replayable sequence of task arrivals."""
+    """A seeded, replayable sequence of task arrivals.
+
+    ``arrivals``/``mean_interarrival`` record the open-loop arrival
+    process the events were stamped with (``None`` for closed-loop
+    traces); ``zipf_alpha`` records the popularity skew of the ``zipf``
+    mix.
+    """
 
     kind: str
     seed: int
     tasks: Tuple[str, ...]
     events: Tuple[TraceEvent, ...]
+    arrivals: Optional[str] = None
+    mean_interarrival: Optional[int] = None
+    zipf_alpha: Optional[float] = None
 
     def __len__(self) -> int:
         return len(self.events)
+
+    @property
+    def open_loop(self) -> bool:
+        """True when the events carry arrival timestamps."""
+        return self.arrivals is not None
+
+
+def validate_trace_request(
+    kind: str,
+    arrivals: Optional[str] = None,
+    mean_interarrival: int = 2000,
+    zipf_alpha: float = 1.1,
+) -> None:
+    """Reject unknown mixes/arrival processes and bad parameters.
+
+    Shared by :func:`generate_trace` and the entry points that do
+    expensive work *before* generating a trace (``run_scenario``
+    synthesizes full CAD flows first) — a typo'd mix name must fail in
+    milliseconds, not after seconds of placement and routing.
+    """
+    if kind not in TRACE_KINDS:
+        raise RuntimeManagementError(
+            f"unknown trace kind {kind!r}; known: {TRACE_KINDS}"
+        )
+    if arrivals is not None and arrivals not in ARRIVAL_KINDS:
+        raise RuntimeManagementError(
+            f"unknown arrival process {arrivals!r}; known: {ARRIVAL_KINDS}"
+        )
+    if arrivals is not None and mean_interarrival < 1:
+        raise RuntimeManagementError(
+            "mean inter-arrival time must be at least one cycle"
+        )
+    if kind == "zipf" and zipf_alpha <= 0:
+        raise RuntimeManagementError("zipf alpha must be positive")
 
 
 def generate_trace(
@@ -74,6 +149,9 @@ def generate_trace(
     hot_fraction: float = 0.25,
     hot_weight: float = 0.8,
     max_resident: int = 2,
+    arrivals: Optional[str] = None,
+    mean_interarrival: int = 2000,
+    zipf_alpha: float = 1.1,
 ) -> WorkloadTrace:
     """Generate a ``length``-event trace under the requested arrival mix.
 
@@ -84,57 +162,84 @@ def generate_trace(
     resident bound first unload the symbolically oldest task.  The
     simulator still tolerates infeasible events defensively, but traces
     from here never rely on that.
+
+    ``arrivals="poisson"`` stamps every request arrival with a virtual
+    timestamp: inter-arrival gaps are exponential with mean
+    ``mean_interarrival`` cycles (rounded to whole cycles, at least 1),
+    drawn from a dedicated rng stream — the task mix of a given
+    ``(kind, seed)`` is byte-identical with and without timestamps.
+    ``zipf_alpha`` sets the popularity skew of the ``zipf`` mix (rank
+    ``r`` in the task list arrives with probability proportional to
+    ``r ** -alpha``).
     """
-    if kind not in TRACE_KINDS:
-        raise RuntimeManagementError(
-            f"unknown trace kind {kind!r}; known: {TRACE_KINDS}"
-        )
+    validate_trace_request(kind, arrivals, mean_interarrival, zipf_alpha)
     if not task_names:
         raise RuntimeManagementError("trace needs at least one task name")
     names = list(task_names)
     rng = random.Random(f"{kind}:{seed}")
+    #: Arrival clock stream, independent of the task-choice stream: the
+    #: open-loop variant of a seed replays the closed-loop task mix.
+    rng_arrivals = random.Random(f"arrivals:{kind}:{seed}")
+    now = 0
     resident: List[str] = []  # symbolic, oldest first
     events: List[TraceEvent] = []
 
     n_hot = max(1, round(len(names) * hot_fraction))
     hot, cold = names[:n_hot], names[n_hot:]
+    zipf_weights = [
+        (rank + 1) ** -zipf_alpha for rank in range(len(names))
+    ]
     cursor = 0
+
+    def emit(op: str, task: str) -> None:
+        events.append(TraceEvent(
+            op, task, at=now if arrivals is not None else None
+        ))
 
     def arrive(task: str) -> None:
         """Emit the events of one task arrival (evict/reload as needed)."""
         if task in resident:
             resident.remove(task)
-            events.append(TraceEvent("unload", task))
+            emit("unload", task)
         while len(resident) >= max_resident:
             victim = resident.pop(0)
-            events.append(TraceEvent("unload", victim))
-        events.append(TraceEvent("load", task))
+            emit("unload", victim)
+        emit("load", task)
         resident.append(task)
 
     while len(events) < length:
+        if arrivals is not None:
+            now += max(
+                1, round(rng_arrivals.expovariate(1.0 / mean_interarrival))
+            )
         if kind == "hot-set":
             if cold and rng.random() >= hot_weight:
                 task = rng.choice(cold)
             else:
                 task = rng.choice(hot)
             if task in resident and rng.random() < 0.25:
-                events.append(TraceEvent("migrate", task))
+                emit("migrate", task)
                 continue
             arrive(task)
+        elif kind == "zipf":
+            arrive(rng.choices(names, weights=zipf_weights)[0])
         elif kind == "round-robin":
             arrive(names[cursor % len(names)])
             cursor += 1
         else:  # adversarial cache-thrashing
             task = names[cursor % len(names)]
             cursor += 1
-            events.append(TraceEvent("load", task))
-            events.append(TraceEvent("unload", task))
+            emit("load", task)
+            emit("unload", task)
 
     return WorkloadTrace(
         kind=kind,
         seed=seed,
         tasks=tuple(names),
         events=tuple(events[:length]),
+        arrivals=arrivals,
+        mean_interarrival=mean_interarrival if arrivals is not None else None,
+        zipf_alpha=zipf_alpha if kind == "zipf" else None,
     )
 
 
@@ -147,10 +252,31 @@ class WorkloadSimulator:
     infeasible events — and charges every load/migrate with the cost
     model's cycle breakdown, so the report's latency numbers are exactly
     what the controller would have measured.
+
+    Open-loop traces (events stamped with arrival timestamps) are run
+    through a virtual clock: the reconfiguration controller is a single
+    FIFO server, a request's *service time* is its cost-model cycle
+    total, it starts at ``max(arrival, previous finish)`` (the
+    difference is its *queueing delay*), and its *latency* is
+    ``finish - arrival``.  The report then carries p50/p95/p99 latency,
+    queue depths sampled at every arrival, per-phase
+    (fetch/decode/write) percentiles and the clock's makespan — the
+    numbers a production deployment is sized by.  Closed-loop reports
+    are unchanged (the open-loop keys are simply absent).
+
+    ``observer`` is called after every processed event with the
+    :class:`TraceEvent` — the hook the lifecycle property tests use to
+    assert invariants (e.g. shared-dictionary refcounts) at every
+    intermediate state, not just at the end of the replay.
     """
 
-    def __init__(self, manager: FabricManager):
+    def __init__(
+        self,
+        manager: FabricManager,
+        observer: "Optional[Callable[[TraceEvent], None]]" = None,
+    ):
         self.manager = manager
+        self.observer = observer
 
     # -- event handlers ---------------------------------------------------------
 
@@ -166,86 +292,167 @@ class WorkloadSimulator:
         totals["write"] += cost.write_cycles
         totals["total"] += cost.total_cycles
 
+    def _apply_event(self, event: TraceEvent, state: dict):
+        """Process one trace event; returns the charged cost or None.
+
+        The return value is the :class:`~repro.runtime.costmodel.LoadCost`
+        of a reconfiguration request that actually executed (a load or a
+        migration) — what the open-loop clock charges as service time.
+        Skipped, failed and unload events return None (an unload is a
+        zero-service bookkeeping request in this model: clearing a
+        region is not metered by the cost model).
+        """
+        mgr = self.manager
+        ctrl = mgr.controller
+        counts = state["counts"]
+        per_task = state["per_task"]
+        name = event.task
+        if event.op == "load":
+            if name in ctrl.resident:
+                counts["skipped"] += 1
+                return None
+            image = ctrl.memory.image(name)
+            if image is None:
+                counts["failed_loads"] += 1
+                return None
+            # The manager's own eviction policy (make_room returns []
+            # when a region is already free), kept visible here only
+            # because the report counts the victims.
+            evicted = mgr.make_room(image.width, image.height)
+            if evicted is None:
+                counts["failed_loads"] += 1
+                return None
+            counts["evictions_for_space"] += len(evicted)
+            counts["unloads"] += len(evicted)
+            task = mgr.place_task(name)
+            counts["loads"] += 1
+            per_task[name]["loads"] += 1
+            self._charge(state["cycles"], task.load_cost)
+            if task.load_cost.cache_hit:
+                state["load_cache_hits"] += 1
+                per_task[name]["cache_hits"] += 1
+            elif image.kind == "vbs":
+                state["bytes_decoded"] += self._expanded_bytes(image)
+            return task.load_cost
+        if event.op == "unload":
+            if name not in ctrl.resident:
+                counts["skipped"] += 1
+                return None
+            ctrl.unload_task(name)
+            counts["unloads"] += 1
+            return None
+        if event.op == "migrate":
+            resident = ctrl.resident.get(name)
+            if resident is None:
+                counts["skipped"] += 1
+                return None
+            region = resident.region
+            target = mgr.find_origin(region.w, region.h, ignore=name)
+            if target is None or target == (region.x, region.y):
+                counts["skipped"] += 1
+                return None
+            moved = ctrl.migrate_task(name, target)
+            counts["migrations"] += 1
+            per_task[name]["migrations"] += 1
+            self._charge(state["cycles"], moved.load_cost)
+            if moved.load_cost.cache_hit:
+                state["load_cache_hits"] += 1
+                per_task[name]["cache_hits"] += 1
+            elif moved.image.kind == "vbs":
+                # A migration that misses the cache replays the
+                # decoder just like a load miss does.
+                state["bytes_decoded"] += self._expanded_bytes(moved.image)
+            return moved.load_cost
+        raise RuntimeManagementError(f"unknown trace op {event.op!r}")
+
     def run(self, trace: WorkloadTrace) -> dict:
         """Replay ``trace``; return the structured report (JSON-safe)."""
+        from collections import deque
+
+        from repro.runtime.costmodel import percentile
+
         mgr = self.manager
         ctrl = mgr.controller
         cache = ctrl.decode_cache
         base_hits = cache.stats.hits if cache else 0
         base_misses = cache.stats.misses if cache else 0
         base_evictions = cache.stats.evictions if cache else 0
+        base_dict_faults = ctrl.shared_dict_faults
+        base_dict_drops = ctrl.shared_dict_drops
 
-        counts = {
-            "loads": 0, "unloads": 0, "migrations": 0,
-            "skipped": 0, "failed_loads": 0, "evictions_for_space": 0,
+        state = {
+            "counts": {
+                "loads": 0, "unloads": 0, "migrations": 0,
+                "skipped": 0, "failed_loads": 0, "evictions_for_space": 0,
+            },
+            "cycles": {"fetch": 0, "decode": 0, "write": 0, "total": 0},
+            "load_cache_hits": 0,
+            "bytes_decoded": 0,
+            "per_task": {
+                name: {"loads": 0, "cache_hits": 0, "migrations": 0}
+                for name in trace.tasks
+            },
         }
-        cycles = {"fetch": 0, "decode": 0, "write": 0, "total": 0}
-        load_cache_hits = 0
-        bytes_decoded = 0
-        per_task: Dict[str, Dict[str, int]] = {
-            name: {"loads": 0, "cache_hits": 0, "migrations": 0}
-            for name in trace.tasks
+
+        # Virtual clock of the open-loop model: one FIFO reconfiguration
+        # server, service times from the cost model.  Events sharing a
+        # timestamp form one *request* (the generator stamps a load and
+        # the eviction unloads preceding it with the arrival's time, and
+        # distinct arrivals always get distinct stamps — gaps are >= 1
+        # cycle), so queue depth and the arrival count are per-request
+        # while the server still serializes every event.
+        open_loop = trace.open_loop
+        server_free = 0
+        busy_cycles = 0
+        makespan = 0
+        in_flight: "deque[int]" = deque()  # request finish times, monotone
+        latencies: List[int] = []
+        queue_waits: List[int] = []
+        phase_samples: Dict[str, List[int]] = {
+            "fetch": [], "decode": [], "write": [],
         }
+        depth_sum = 0
+        max_depth = 0
+        arrivals_seen = 0
+        last_at: Optional[int] = None
+        max_resident_tables = len(ctrl.shared_dicts)
 
         for event in trace.events:
-            name = event.task
-            if event.op == "load":
-                if name in ctrl.resident:
-                    counts["skipped"] += 1
-                    continue
-                image = ctrl.memory.image(name)
-                if image is None:
-                    counts["failed_loads"] += 1
-                    continue
-                # The manager's own eviction policy (make_room returns []
-                # when a region is already free), kept visible here only
-                # because the report counts the victims.
-                evicted = mgr.make_room(image.width, image.height)
-                if evicted is None:
-                    counts["failed_loads"] += 1
-                    continue
-                counts["evictions_for_space"] += len(evicted)
-                counts["unloads"] += len(evicted)
-                task = mgr.place_task(name)
-                counts["loads"] += 1
-                per_task[name]["loads"] += 1
-                self._charge(cycles, task.load_cost)
-                if task.load_cost.cache_hit:
-                    load_cache_hits += 1
-                    per_task[name]["cache_hits"] += 1
-                elif image.kind == "vbs":
-                    bytes_decoded += self._expanded_bytes(image)
-            elif event.op == "unload":
-                if name not in ctrl.resident:
-                    counts["skipped"] += 1
-                    continue
-                ctrl.unload_task(name)
-                counts["unloads"] += 1
-            elif event.op == "migrate":
-                resident = ctrl.resident.get(name)
-                if resident is None:
-                    counts["skipped"] += 1
-                    continue
-                region = resident.region
-                target = mgr.find_origin(region.w, region.h, ignore=name)
-                if target is None or target == (region.x, region.y):
-                    counts["skipped"] += 1
-                    continue
-                moved = ctrl.migrate_task(name, target)
-                counts["migrations"] += 1
-                per_task[name]["migrations"] += 1
-                self._charge(cycles, moved.load_cost)
-                if moved.load_cost.cache_hit:
-                    load_cache_hits += 1
-                    per_task[name]["cache_hits"] += 1
-                elif moved.image.kind == "vbs":
-                    # A migration that misses the cache replays the
-                    # decoder just like a load miss does.
-                    bytes_decoded += self._expanded_bytes(moved.image)
-            else:
-                raise RuntimeManagementError(
-                    f"unknown trace op {event.op!r}"
-                )
+            cost = self._apply_event(event, state)
+            if open_loop and event.at is not None:
+                at = event.at
+                new_request = at != last_at
+                last_at = at
+                if new_request:
+                    while in_flight and in_flight[0] <= at:
+                        in_flight.popleft()
+                start = max(at, server_free)
+                service = cost.total_cycles if cost is not None else 0
+                finish = start + service
+                server_free = finish
+                busy_cycles += service
+                makespan = max(makespan, finish)
+                if new_request:
+                    in_flight.append(finish)
+                    arrivals_seen += 1
+                    depth = len(in_flight)  # unfinished requests incl. self
+                    depth_sum += depth
+                    max_depth = max(max_depth, depth)
+                else:
+                    # A later event of the same request pushes the
+                    # request's finish time out.
+                    in_flight[-1] = finish
+                if cost is not None:  # a reconfiguration was serviced
+                    latencies.append(finish - at)
+                    queue_waits.append(start - at)
+                    phase_samples["fetch"].append(cost.fetch_cycles)
+                    phase_samples["decode"].append(cost.decode_cycles)
+                    phase_samples["write"].append(cost.write_cycles)
+            max_resident_tables = max(
+                max_resident_tables, len(ctrl.shared_dicts)
+            )
+            if self.observer is not None:
+                self.observer(event)
 
         hits = (cache.stats.hits - base_hits) if cache else 0
         misses = (cache.stats.misses - base_misses) if cache else 0
@@ -258,7 +465,7 @@ class WorkloadSimulator:
                 "length": len(trace.events),
                 "tasks": list(trace.tasks),
             },
-            "events": counts,
+            "events": state["counts"],
             "cache": {
                 "enabled": cache is not None,
                 "hits": hits,
@@ -274,10 +481,19 @@ class WorkloadSimulator:
                     cache.capacity_bytes if cache else None
                 ),
             },
-            "cycles": cycles,
-            "load_cache_hits": load_cache_hits,
-            "bytes_decoded": bytes_decoded,
-            "per_task": {name: per_task[name] for name in sorted(per_task)},
+            "cycles": state["cycles"],
+            "load_cache_hits": state["load_cache_hits"],
+            "bytes_decoded": state["bytes_decoded"],
+            "per_task": {
+                name: state["per_task"][name]
+                for name in sorted(state["per_task"])
+            },
+            "shared_dicts": {
+                "resident_at_end": sorted(ctrl.shared_dicts),
+                "max_resident": max_resident_tables,
+                "faults": ctrl.shared_dict_faults - base_dict_faults,
+                "drops": ctrl.shared_dict_drops - base_dict_drops,
+            },
             "fabric": {
                 "width": ctrl.fabric.width,
                 "height": ctrl.fabric.height,
@@ -285,6 +501,51 @@ class WorkloadSimulator:
                 "resident_at_end": sorted(ctrl.resident),
             },
         }
+        if open_loop:
+            report["trace"]["arrivals"] = trace.arrivals
+            report["trace"]["mean_interarrival"] = trace.mean_interarrival
+            if trace.zipf_alpha is not None:
+                report["trace"]["zipf_alpha"] = trace.zipf_alpha
+            report["latency"] = {
+                "unit": "cycles",
+                "requests": len(latencies),
+                "p50": percentile(latencies, 50),
+                "p95": percentile(latencies, 95),
+                "p99": percentile(latencies, 99),
+                "mean": (
+                    sum(latencies) / len(latencies) if latencies else 0.0
+                ),
+                "max": max(latencies) if latencies else 0,
+                "queueing": {
+                    "p50": percentile(queue_waits, 50),
+                    "p95": percentile(queue_waits, 95),
+                    "p99": percentile(queue_waits, 99),
+                    "max": max(queue_waits) if queue_waits else 0,
+                    "total": sum(queue_waits),
+                },
+                "phases": {
+                    phase: {
+                        "p50": percentile(samples, 50),
+                        "p95": percentile(samples, 95),
+                        "p99": percentile(samples, 99),
+                    }
+                    for phase, samples in phase_samples.items()
+                },
+            }
+            report["queue"] = {
+                "arrivals": arrivals_seen,
+                "max_depth": max_depth,
+                "mean_depth": (
+                    depth_sum / arrivals_seen if arrivals_seen else 0.0
+                ),
+            }
+            report["clock"] = {
+                "makespan": makespan,
+                "busy_cycles": busy_cycles,
+                "utilization": (
+                    busy_cycles / makespan if makespan else 0.0
+                ),
+            }
         return report
 
 
@@ -298,12 +559,19 @@ def synthesize_task_images(
     seed: int = 1,
     base_luts: int = 10,
     codecs: "str | Sequence[str] | None" = None,
-) -> "List[Tuple[str, object]]":
+    task_scope: bool = False,
+    containers_per_task: int = 2,
+):
     """Deterministic synthetic task set: (name, VirtualBitstream) pairs.
 
     Each task is a small generated circuit pushed through the full CAD
     flow and vbsgen — real containers with real decode cost, sized to
     stay interactive (a few seconds for the default three tasks).
+
+    ``task_scope=True`` switches to the multi-container ``encode_task``
+    mode and returns :func:`synthesize_task_scope_images`'s group list
+    instead — ``n_tasks`` task groups of ``containers_per_task``
+    containers each, every group sharing one external dictionary.
     """
     from repro.arch.params import ArchParams
     from repro.bitstream.expand import expand_routing
@@ -311,6 +579,15 @@ def synthesize_task_images(
     from repro.netlist import CircuitSpec, generate_circuit
     from repro.vbs.encode import encode_flow
 
+    if task_scope:
+        return synthesize_task_scope_images(
+            n_tasks=n_tasks,
+            containers_per_task=containers_per_task,
+            channel_width=channel_width,
+            cluster_size=cluster_size,
+            seed=seed,
+            codecs=codecs if codecs is not None else "auto",
+        )
     params = ArchParams(channel_width=channel_width)
     images = []
     for i in range(n_tasks):
@@ -333,6 +610,64 @@ def synthesize_task_images(
     return images
 
 
+def synthesize_task_scope_images(
+    n_tasks: int = 2,
+    containers_per_task: int = 2,
+    channel_width: int = 8,
+    cluster_size: int = 1,
+    seed: int = 1,
+    base_luts: int = 24,
+    codecs: "str | Sequence[str] | None" = "auto",
+):
+    """Deterministic multi-container task groups sharing dictionaries.
+
+    Each of the ``n_tasks`` groups is one replicated-datapath circuit
+    (a small truth-table vocabulary via ``CircuitSpec.pattern_pool``,
+    the repetition structure the dictionary codec exploits) placed and
+    routed ``containers_per_task`` times at different seeds — distinct
+    container bytes over a shared logic vocabulary, so the task-scope
+    ``encode_task`` keep-if-it-pays selection adopts one external table
+    per group.  Returns ``[(names, TaskEncodeResult), ...]`` with
+    container names ``task<g>.<c>`` and dictionary ids ``g + 1``;
+    publish each group with
+    :meth:`~repro.runtime.controller.ReconfigurationController.store_task`
+    so traces over the container names drive the shared-dictionary
+    refcount path under eviction pressure.
+    """
+    from repro.arch.params import ArchParams
+    from repro.bitstream.expand import expand_routing
+    from repro.cad.flow import run_flow
+    from repro.netlist import CircuitSpec, generate_circuit
+    from repro.vbs.encode import encode_task
+
+    params = ArchParams(channel_width=channel_width)
+    groups = []
+    for g in range(n_tasks):
+        spec = CircuitSpec(
+            f"task{g}",
+            n_luts=base_luts + 4 * g,
+            n_inputs=6,
+            n_outputs=4,
+            pattern_pool=3,
+        )
+        netlist = generate_circuit(spec)
+        jobs = []
+        for c in range(containers_per_task):
+            flow = run_flow(
+                netlist, params, seed=seed + g * containers_per_task + c
+            )
+            config = expand_routing(
+                flow.design, flow.placement, flow.routing, flow.rrg
+            )
+            jobs.append((flow, config))
+        result = encode_task(
+            jobs, dict_id=g + 1, cluster_size=cluster_size, codecs=codecs
+        )
+        names = [f"task{g}.{c}" for c in range(containers_per_task)]
+        groups.append((names, result))
+    return groups
+
+
 def run_scenario(
     kind: str = "hot-set",
     n_tasks: int = 3,
@@ -346,6 +681,11 @@ def run_scenario(
     strategy: str = FIRST_FIT,
     codecs: "str | Sequence[str] | None" = None,
     cache_dir: "str | None" = None,
+    arrivals: Optional[str] = None,
+    mean_interarrival: int = 2000,
+    zipf_alpha: float = 1.1,
+    task_scope: bool = False,
+    containers_per_task: int = 2,
 ) -> dict:
     """Build a synthetic multi-task scenario and replay one trace.
 
@@ -354,22 +694,51 @@ def run_scenario(
     images, sizes an all-CLB fabric with room for roughly one-and-a-half
     tasks (so eviction pressure is real), generates the ``kind`` trace
     and returns the simulator's report with the scenario parameters
-    attached.  ``cache_dir`` warms the decode cache from a persisted
-    directory before the replay and saves it back afterwards —
+    attached.  ``cache_dir`` warms the decode cache *and* the
+    controller's :class:`~repro.vbs.devirt.DecodeMemo` from a persisted
+    directory before the replay and saves both back afterwards —
     cross-process reuse next to the eval results cache.
+
+    ``arrivals="poisson"`` runs the open-loop engine (latency
+    percentiles, queue depths; see :class:`WorkloadSimulator`);
+    ``task_scope=True`` synthesizes ``n_tasks`` multi-container task
+    groups through ``encode_task`` instead of independent images, so the
+    trace (over ``n_tasks * containers_per_task`` container names)
+    exercises the VERSION 4 shared-dictionary refcount path under the
+    fabric's eviction pressure.
     """
     from repro.arch.fabric import FabricArch
     from repro.arch.params import ArchParams
     from repro.runtime.controller import ReconfigurationController
     from repro.runtime.memory import ExternalMemory
 
-    images = synthesize_task_images(
-        n_tasks=n_tasks,
-        channel_width=channel_width,
-        cluster_size=cluster_size,
-        seed=seed,
-        codecs=codecs,
-    )
+    # Fail on a bad mix/arrival request before the expensive synthesis.
+    validate_trace_request(kind, arrivals, mean_interarrival, zipf_alpha)
+
+    groups = []
+    if task_scope:
+        groups = synthesize_task_images(
+            n_tasks=n_tasks,
+            channel_width=channel_width,
+            cluster_size=cluster_size,
+            seed=seed,
+            codecs=codecs,
+            task_scope=True,
+            containers_per_task=containers_per_task,
+        )
+        images = [
+            (name, vbs)
+            for names, result in groups
+            for name, vbs in zip(names, result.containers)
+        ]
+    else:
+        images = synthesize_task_images(
+            n_tasks=n_tasks,
+            channel_width=channel_width,
+            cluster_size=cluster_size,
+            seed=seed,
+            codecs=codecs,
+        )
     max_w = max(vbs.layout.width for _name, vbs in images)
     max_h = max(vbs.layout.height for _name, vbs in images)
     fabric_w = max_w + max_w // 2 + 1
@@ -387,13 +756,26 @@ def run_scenario(
         memo_entries=memo_entries,
     )
     restored = 0
-    if cache_dir is not None and ctrl.decode_cache is not None:
-        restored = ctrl.decode_cache.load(cache_dir)
-    for name, vbs in images:
-        ctrl.store_vbs(name, vbs)
+    memo_restored = 0
+    if cache_dir is not None:
+        if ctrl.decode_cache is not None:
+            restored = ctrl.decode_cache.load(cache_dir)
+        if ctrl.decode_memo is not None:
+            memo_restored = ctrl.decode_memo.load(
+                Path(cache_dir) / MEMO_FILE_NAME
+            )
+    if task_scope:
+        for names, result in groups:
+            ctrl.store_task(names, result)
+    else:
+        for name, vbs in images:
+            ctrl.store_vbs(name, vbs)
 
-    trace = generate_trace(kind, [name for name, _v in images], length,
-                           seed=seed)
+    trace = generate_trace(
+        kind, [name for name, _v in images], length, seed=seed,
+        arrivals=arrivals, mean_interarrival=mean_interarrival,
+        zipf_alpha=zipf_alpha,
+    )
     manager = FabricManager(ctrl, strategy=strategy)
     report = WorkloadSimulator(manager).run(trace)
     report["scenario"] = {
@@ -403,17 +785,33 @@ def run_scenario(
         "strategy": strategy,
         "memo_entries": memo_entries,
         "cache_entries_restored": restored,
+        "memo_entries_restored": memo_restored,
+        "arrivals": arrivals,
+        "task_scope": task_scope,
         "image_bits": {
             name: vbs.container_bits for name, vbs in images
         },
     }
-    if cache_dir is not None and ctrl.decode_cache is not None:
-        ctrl.decode_cache.save(cache_dir)
+    if task_scope:
+        report["scenario"]["containers_per_task"] = containers_per_task
+        report["scenario"]["shared_dict_ids"] = sorted(
+            result.dict_id for _names, result in groups if result.shared
+        )
+    if cache_dir is not None:
+        if ctrl.decode_cache is not None:
+            ctrl.decode_cache.save(cache_dir)
+        if ctrl.decode_memo is not None:
+            ctrl.decode_memo.save(Path(cache_dir) / MEMO_FILE_NAME)
     return report
 
 
 def summarize_report(report: dict) -> str:
-    """A terse human-readable digest of a simulation report."""
+    """A terse human-readable digest of a simulation report.
+
+    Tolerates reports from older schema generations: the open-loop
+    (``latency``/``queue``/``clock``) and shared-dictionary sections are
+    rendered only when present.
+    """
     ev, ca, cy = report["events"], report["cache"], report["cycles"]
     lines = [
         f"trace: {report['trace']['kind']} seed={report['trace']['seed']} "
@@ -429,4 +827,26 @@ def summarize_report(report: dict) -> str:
         f"write {cy['write']} — total {cy['total']}",
         f"bytes decoded: {report['bytes_decoded']}",
     ]
+    la = report.get("latency")
+    if la is not None:
+        qu = report.get("queue", {})
+        ck = report.get("clock", {})
+        lines.append(
+            f"latency: p50 {la['p50']} / p95 {la['p95']} / p99 {la['p99']} "
+            f"cycles over {la['requests']} requests (max {la['max']}, "
+            f"queueing p95 {la['queueing']['p95']})"
+        )
+        lines.append(
+            f"queue: max depth {qu.get('max_depth', 0)}, "
+            f"mean {qu.get('mean_depth', 0.0):.2f}; "
+            f"server utilization {ck.get('utilization', 0.0):.1%} over "
+            f"{ck.get('makespan', 0)} cycles"
+        )
+    sd = report.get("shared_dicts")
+    if sd is not None and (sd["faults"] or sd["drops"]):
+        lines.append(
+            f"shared dicts: {sd['faults']} faults, {sd['drops']} drops, "
+            f"max {sd['max_resident']} resident, "
+            f"{sd['resident_at_end']} at end"
+        )
     return "\n".join(lines)

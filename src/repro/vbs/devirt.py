@@ -42,8 +42,11 @@ exact code, so offline success guarantees online success.
 
 from __future__ import annotations
 
+import os
+import pickle
 from collections import deque
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.arch.macro import ClusterModel
@@ -53,6 +56,11 @@ Pair = Tuple[int, int]
 
 #: Maximum times one connection may be re-attempted after rip-ups.
 MAX_TRIES_PER_CONNECTION = 4
+
+#: Version stamp of the persisted memo file; files written by a different
+#: format version are silently ignored on ``load`` (mirrors the decode
+#: cache's ``CACHE_FILE_FORMAT`` convention).
+MEMO_FILE_FORMAT = 1
 
 
 class DecodeMemo:
@@ -100,6 +108,8 @@ class DecodeMemo:
         self._mutate = threading.Lock()
         self.hits = 0
         self.misses = 0
+        #: Entries restored from a persisted memo file (``load``).
+        self.restored = 0
 
     def _insert(
         self,
@@ -138,6 +148,72 @@ class DecodeMemo:
     def clear(self) -> None:
         """Drop every entry (counters are kept — they describe history)."""
         self._entries.clear()
+
+    # -- persistence -------------------------------------------------------------
+
+    def save(self, path: "Path | str") -> int:
+        """Persist every entry into one version-stamped file; returns count.
+
+        The memo is the cross-run complement of the decode cache's
+        per-entry files: one pickle holding the whole LRU-ordered entry
+        map (keys embed the architecture parameters, so one file can mix
+        entries from different archs safely).  Written to a temporary
+        name and atomically renamed, like the cache files, so concurrent
+        savers never expose a torn file.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with self._mutate:
+            entries = list(self._entries.items())
+        payload = {"format": MEMO_FILE_FORMAT, "entries": entries}
+        tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
+        tmp.write_bytes(pickle.dumps(payload))
+        os.replace(tmp, path)
+        return len(entries)
+
+    def load(self, path: "Path | str") -> int:
+        """Restore persisted entries from ``path``; returns count.
+
+        Tolerant by construction: a missing, corrupt, truncated,
+        wrongly-typed or version-mismatched file restores nothing and is
+        never fatal.  Live entries are never displaced: keys already
+        resident are left untouched (the live entry is at least as
+        fresh) and a bounded memo only restores into its *free room*,
+        preferring the file's most-recently-used tail (the file is
+        LRU-to-MRU ordered).  The hit/miss counters are not disturbed —
+        ``restored`` counts entries that became resident.
+        """
+        try:
+            payload = pickle.loads(Path(path).read_bytes())
+        except Exception:
+            return 0  # corrupt/truncated/missing file: never fatal
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != MEMO_FILE_FORMAT
+            or not isinstance(payload.get("entries"), list)
+        ):
+            return 0
+        fresh: List[tuple] = []
+        for item in payload["entries"]:
+            if not (isinstance(item, tuple) and len(item) == 2):
+                continue
+            key, value = item
+            if not (isinstance(key, tuple) and len(key) == 4):
+                continue
+            if not (isinstance(value, tuple) and len(value) == 2):
+                continue
+            if key in self._entries:
+                continue
+            fresh.append((key, value))
+        if self.max_entries is not None:
+            room = self.max_entries - len(self._entries)
+            if room <= 0:
+                return 0
+            fresh = fresh[-room:]
+        for key, value in fresh:
+            self._insert(key, value)
+        self.restored += len(fresh)
+        return len(fresh)
 
     def decode(
         self,

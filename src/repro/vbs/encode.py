@@ -508,6 +508,11 @@ class EncodeContext:
     codec_names: "str | Tuple[str, ...] | None"
     max_orders: int
     order_seed: int
+    #: Persisted-memo warm start for process workers: each worker loads
+    #: this :meth:`DecodeMemo.save` file into its private memo at pool
+    #: init (memos do not cross process boundaries, but a file does).
+    #: ``None`` keeps the historical cold per-worker memo.
+    memo_path: Optional[str] = None
 
 
 @dataclass
@@ -651,6 +656,12 @@ def _process_worker_init(ctx: EncodeContext) -> None:
     global _WORKER_CTX, _WORKER_MEMO
     _WORKER_CTX = ctx
     _WORKER_MEMO = DecodeMemo()
+    if ctx.memo_path is not None:
+        # Warm start from the persisted memo (tolerant load: a corrupt
+        # or missing file just leaves the worker memo cold).  Worker
+        # discoveries stay private and die with the pool — only
+        # serial/thread runs extend the file.
+        _WORKER_MEMO.load(ctx.memo_path)
 
 
 #: Work-item chunks handed to each process worker are sized so every
@@ -956,6 +967,7 @@ def encode_design(
     workers: Optional[int] = None,
     backend: str = "thread",
     memo: Optional[DecodeMemo] = None,
+    memo_path: "str | None" = None,
 ) -> VirtualBitstream:
     """Run vbsgen over a routed design at the given coding granularity.
 
@@ -999,7 +1011,28 @@ def encode_design(
     never larger than the stateless codec set alone, and still
     byte-identical across worker counts.  Containers serialize at the
     lowest version able to carry them (2, 3 or 4).
+
+    ``memo_path`` persists the memo across *processes* the way ``memo``
+    shares it across invocations: the run warm-starts from the file
+    (tolerantly — a missing or corrupt file restores nothing) and
+    serial/thread runs save the extended memo back when done.  Process
+    workers mirror the warm start into their private per-worker memos
+    through the pool initializer; their discoveries are not persisted
+    (worker memos die with the pool), so a process run reads the file
+    without extending it.  Never changes the emitted bytes — the memo
+    only skips deterministic router replays.
     """
+    pooled_process = (
+        workers is not None and workers > 1 and backend == "process"
+    )
+    if memo is None:
+        memo = DecodeMemo()
+    if memo_path is not None and not pooled_process:
+        # Pooled-process runs never consult the parent memo (workers
+        # warm-start themselves through the pool initializer), so the
+        # parent skips both the load and the save — the file stays
+        # exactly as the last serial/thread run left it.
+        memo.load(memo_path)
     pipeline = _encode_pipeline(
         design, placement, routing, rrg, config,
         cluster_size=cluster_size,
@@ -1010,12 +1043,15 @@ def encode_design(
         workers=workers,
         backend=backend,
         memo=memo,
+        memo_path=memo_path,
     )
     layout, records = pipeline.layout, pipeline.records
     if pipeline.allowed is not None:
         layout, records = _family_pass(
             records, layout, pipeline.allowed, pipeline.raw_frames
         )
+    if memo_path is not None and not pooled_process:
+        memo.save(memo_path)
     return _finalize_container(layout, records, pipeline.stats)
 
 
@@ -1069,6 +1105,7 @@ def _encode_pipeline(
     workers: Optional[int],
     backend: str,
     memo: Optional[DecodeMemo],
+    memo_path: "str | None" = None,
 ) -> _PipelineResult:
     """Everything before the sequential family pass: work-item
     construction, the (possibly pooled) per-cluster encode, and the
@@ -1095,6 +1132,7 @@ def _encode_pipeline(
         codec_names=codec_selection,
         max_orders=max_orders,
         order_seed=order_seed,
+        memo_path=str(memo_path) if memo_path is not None else None,
     )
     if memo is None:
         memo = DecodeMemo()
@@ -1251,6 +1289,7 @@ def encode_task(
     workers: Optional[int] = None,
     backend: str = "thread",
     memo: Optional[DecodeMemo] = None,
+    memo_path: "str | None" = None,
 ) -> TaskEncodeResult:
     """Encode several routed designs as *one task* sharing a dictionary.
 
@@ -1274,7 +1313,9 @@ def encode_task(
     compact-logic flag — a pattern table only makes sense over one
     coding geometry.  The result is byte-identical across serial,
     thread and process backends: the task-scope selection runs after
-    the deterministic raster-order merges.
+    the deterministic raster-order merges.  ``memo``/``memo_path``
+    behave exactly as in :func:`encode_design` (cross-invocation and
+    persisted warm starts; bytes never change).
     """
     if not jobs:
         raise VbsError("encode_task needs at least one (flow, config) job")
@@ -1283,8 +1324,15 @@ def encode_task(
             f"shared dictionary id {dict_id} outside "
             f"[1, {1 << SHARED_DICT_ID_BITS})"
         )
+    pooled_process = (
+        workers is not None and workers > 1 and backend == "process"
+    )
     if memo is None:
         memo = DecodeMemo()
+    if memo_path is not None and not pooled_process:
+        # Same contract as encode_design: the parent memo is bypassed
+        # entirely on the pooled process path.
+        memo.load(memo_path)
     pipelines = [
         _encode_pipeline(
             flow.design, flow.placement, flow.routing, flow.rrg, config,
@@ -1296,6 +1344,7 @@ def encode_task(
             workers=workers,
             backend=backend,
             memo=memo,
+            memo_path=memo_path,
         )
         for flow, config in jobs
     ]
@@ -1376,6 +1425,8 @@ def encode_task(
             records, layout = p.records, p.layout
         containers.append(_finalize_container(layout, records, p.stats))
 
+    if memo_path is not None and not pooled_process:
+        memo.save(memo_path)
     return TaskEncodeResult(
         containers=containers,
         dict_id=dict_id,

@@ -127,6 +127,9 @@ class TestSimulatorDeterminism:
 #: trace generator's event stream, the simulator's eviction policy, the
 #: cache counters and the integer cost model all at once.
 GOLDEN_TRACE_SEED = 4
+# PR 5 regeneration: the report schema gained the always-present
+# "shared_dicts" section (VERSION 4 table lifecycle counters); every
+# pre-existing key is byte-identical to the PR 3 golden.
 GOLDEN_REPORT = (
     '{"bytes_decoded": 426, "cache": {"bytes_in_cache": 426, "capacity": 16,'
     ' "capacity_bytes": null, "enabled": true, "entries": 2, "evictions": 0,'
@@ -137,8 +140,9 @@ GOLDEN_REPORT = (
     ' "resident_at_end": ["b"], "utilization": 0.2857142857142857,'
     ' "width": 7}, "load_cache_hits": 7, "per_task": {"a": {"cache_hits": 6,'
     ' "loads": 7, "migrations": 0}, "b": {"cache_hits": 1, "loads": 2,'
-    ' "migrations": 0}}, "report_version": 1, "trace": {"kind": "hot-set",'
-    ' "length": 18, "seed": 4, "tasks": ["a", "b"]}}'
+    ' "migrations": 0}}, "report_version": 1, "shared_dicts": {"drops": 0,'
+    ' "faults": 0, "max_resident": 0, "resident_at_end": []}, "trace":'
+    ' {"kind": "hot-set", "length": 18, "seed": 4, "tasks": ["a", "b"]}}'
 )
 
 
@@ -149,6 +153,202 @@ class TestGoldenReport:
         )
         report = WorkloadSimulator(_manager(params5, images)).run(trace)
         assert json.dumps(report, sort_keys=True) == GOLDEN_REPORT
+
+
+#: The open-loop companion golden: the same 18-event hot-set trace with
+#: Poisson timestamps at a 60-cycle mean gap (far below the ~60-cycle
+#: service times, so the queue really builds).  Pins the arrival-clock
+#: stream, the FIFO server model, the nearest-rank percentiles and the
+#: queue-depth accounting on top of everything the closed-loop golden
+#: pins.  Regenerate ONLY for an intentional, documented change.
+GOLDEN_OPENLOOP_MEAN_GAP = 60
+GOLDEN_OPENLOOP_REPORT = (
+    '{"bytes_decoded": 426, "cache": {"bytes_in_cache": 426, "capacity": 16,'
+    ' "capacity_bytes": null, "enabled": true, "entries": 2, "evictions": 0,'
+    ' "hit_rate": 0.7777777777777778, "hits": 7, "misses": 2}, "clock":'
+    ' {"busy_cycles": 549, "makespan": 583, "utilization":'
+    ' 0.9416809605488851}, "cycles": {"decode": 0, "fetch": 63, "total": 549,'
+    ' "write": 486}, "events": {"evictions_for_space": 0, "failed_loads": 0,'
+    ' "loads": 9, "migrations": 0, "skipped": 1, "unloads": 8}, "fabric":'
+    ' {"height": 3, "resident_at_end": ["b"], "utilization":'
+    ' 0.2857142857142857, "width": 7}, "latency": {"max": 204, "mean":'
+    ' 137.77777777777777, "p50": 147, "p95": 204, "p99": 204, "phases":'
+    ' {"decode": {"p50": 0, "p95": 0, "p99": 0}, "fetch": {"p50": 7, "p95":'
+    ' 7, "p99": 7}, "write": {"p50": 54, "p95": 54, "p99": 54}}, "queueing":'
+    ' {"max": 143, "p50": 86, "p95": 143, "p99": 143, "total": 691},'
+    ' "requests": 9, "unit": "cycles"}, "load_cache_hits": 7, "per_task":'
+    ' {"a": {"cache_hits": 6, "loads": 7, "migrations": 0}, "b":'
+    ' {"cache_hits": 1, "loads": 2, "migrations": 0}}, "queue": {"arrivals":'
+    ' 11, "max_depth": 5, "mean_depth": 3.1818181818181817},'
+    ' "report_version": 1, "shared_dicts": {"drops": 0, "faults": 0,'
+    ' "max_resident": 0, "resident_at_end": []}, "trace": {"arrivals":'
+    ' "poisson", "kind": "hot-set", "length": 18, "mean_interarrival": 60,'
+    ' "seed": 4, "tasks": ["a", "b"]}}'
+)
+
+
+class TestOpenLoopGolden:
+    def test_open_loop_trace_end_to_end(self, params5, images):
+        trace = generate_trace(
+            "hot-set", [n for n, _v in images], 18, seed=GOLDEN_TRACE_SEED,
+            arrivals="poisson",
+            mean_interarrival=GOLDEN_OPENLOOP_MEAN_GAP,
+        )
+        report = WorkloadSimulator(_manager(params5, images)).run(trace)
+        assert json.dumps(report, sort_keys=True) == GOLDEN_OPENLOOP_REPORT
+
+
+class TestOpenLoopEngine:
+    def _trace(self, images, mean_gap, kind="hot-set", length=24, seed=7):
+        return generate_trace(
+            kind, [n for n, _v in images], length, seed=seed,
+            arrivals="poisson", mean_interarrival=mean_gap,
+        )
+
+    def test_unknown_arrival_process_rejected(self):
+        with pytest.raises(RuntimeManagementError):
+            generate_trace("hot-set", ["a"], 4, arrivals="bursty")
+
+    def test_bad_mean_interarrival_rejected(self):
+        with pytest.raises(RuntimeManagementError):
+            generate_trace("hot-set", ["a"], 4, arrivals="poisson",
+                           mean_interarrival=0)
+
+    def test_timestamps_monotone_and_shared_per_arrival(self, images):
+        trace = self._trace(images, 500)
+        stamps = [e.at for e in trace.events]
+        assert all(s is not None for s in stamps)
+        assert stamps == sorted(stamps)
+        # A load and the eviction unloads preceding it share one stamp,
+        # so distinct stamps number at most the count of arrivals.
+        assert len(set(stamps)) <= len(stamps)
+
+    def test_task_mix_identical_with_and_without_timestamps(self, images):
+        names = [n for n, _v in images]
+        closed = generate_trace("hot-set", names, 30, seed=9)
+        opened = generate_trace("hot-set", names, 30, seed=9,
+                                arrivals="poisson")
+        assert [(e.op, e.task) for e in closed.events] == [
+            (e.op, e.task) for e in opened.events
+        ]
+
+    def test_open_loop_report_is_deterministic(self, params5, images):
+        trace = self._trace(images, 80)
+        reports = [
+            WorkloadSimulator(_manager(params5, images)).run(trace)
+            for _ in range(2)
+        ]
+        assert json.dumps(reports[0], sort_keys=True) == json.dumps(
+            reports[1], sort_keys=True
+        )
+
+    def test_saturation_builds_queue_and_relaxation_drains_it(
+        self, params5, images
+    ):
+        # Arrivals far faster than the ~60-cycle services must queue;
+        # arrivals far slower must not.
+        tight = WorkloadSimulator(_manager(params5, images)).run(
+            self._trace(images, 10)
+        )
+        relaxed = WorkloadSimulator(_manager(params5, images)).run(
+            self._trace(images, 100000)
+        )
+        assert tight["queue"]["max_depth"] > 1
+        assert tight["latency"]["queueing"]["total"] > 0
+        assert relaxed["queue"]["max_depth"] == 1
+        assert relaxed["latency"]["queueing"]["total"] == 0
+        # Without queueing, latency is pure service time: the percentile
+        # of the phase sums matches the end-to-end percentile.
+        assert relaxed["latency"]["p99"] <= tight["latency"]["p99"]
+        assert relaxed["clock"]["utilization"] < tight["clock"]["utilization"]
+
+    def test_arrivals_counted_per_request_not_per_event(self, params5,
+                                                        images):
+        # Events sharing a timestamp (a load plus its eviction unloads)
+        # are one request: the queue section must not double-count them.
+        trace = self._trace(images, 500, kind="round-robin", length=30)
+        report = WorkloadSimulator(_manager(params5, images)).run(trace)
+        requests = len({e.at for e in trace.events})
+        assert report["queue"]["arrivals"] == requests
+        assert requests < len(trace.events)  # grouping really happened
+
+    def test_run_scenario_rejects_bad_mix_before_synthesis(self):
+        import time
+
+        from repro.runtime import run_scenario
+
+        start = time.perf_counter()
+        with pytest.raises(RuntimeManagementError):
+            run_scenario(kind="nope", n_tasks=2, length=8)
+        with pytest.raises(RuntimeManagementError):
+            run_scenario(arrivals="uniform", n_tasks=2, length=8)
+        # Validation must not pay for CAD flows first (they take
+        # seconds; rejection is effectively instant).
+        assert time.perf_counter() - start < 1.0
+
+    def test_percentiles_are_ordered_and_bounded(self, params5, images):
+        report = WorkloadSimulator(_manager(params5, images)).run(
+            self._trace(images, 40)
+        )
+        la = report["latency"]
+        assert la["p50"] <= la["p95"] <= la["p99"] <= la["max"]
+        assert la["requests"] > 0
+        for phase in ("fetch", "decode", "write"):
+            ph = la["phases"][phase]
+            assert ph["p50"] <= ph["p95"] <= ph["p99"]
+
+    def test_closed_loop_report_has_no_clock_sections(self, params5, images):
+        trace = generate_trace("hot-set", [n for n, _v in images], 12, seed=2)
+        report = WorkloadSimulator(_manager(params5, images)).run(trace)
+        assert "latency" not in report
+        assert "queue" not in report
+        assert "clock" not in report
+        assert "arrivals" not in report["trace"]
+
+
+class TestZipfMix:
+    def test_zipf_in_trace_kinds(self):
+        assert "zipf" in TRACE_KINDS
+
+    def test_zipf_records_alpha(self):
+        trace = generate_trace("zipf", ["a", "b", "c"], 20, seed=1,
+                               zipf_alpha=1.4)
+        assert trace.zipf_alpha == 1.4
+        assert all(e.op in ("load", "unload") for e in trace.events)
+
+    def test_bad_alpha_rejected(self):
+        with pytest.raises(RuntimeManagementError):
+            generate_trace("zipf", ["a"], 4, zipf_alpha=0.0)
+
+    def test_non_zipf_traces_do_not_record_alpha(self):
+        assert generate_trace("hot-set", ["a"], 4).zipf_alpha is None
+
+
+class TestSummarizeCompatibility:
+    def test_tolerates_pre_open_loop_reports(self, params5, images):
+        # A report written by the PR 3/4 schema: no latency, queue,
+        # clock or shared_dicts sections.  summarize_report must render
+        # it without tripping on the missing keys.
+        from repro.runtime.workload import summarize_report
+
+        trace = generate_trace("round-robin", [n for n, _v in images], 8)
+        report = WorkloadSimulator(_manager(params5, images)).run(trace)
+        for legacy_missing in ("latency", "queue", "clock", "shared_dicts"):
+            report.pop(legacy_missing, None)
+        text = summarize_report(report)
+        assert "hit rate" in text
+        assert "latency" not in text
+
+    def test_renders_open_loop_sections(self, params5, images):
+        from repro.runtime.workload import summarize_report
+
+        trace = generate_trace(
+            "hot-set", [n for n, _v in images], 18, seed=4,
+            arrivals="poisson", mean_interarrival=60,
+        )
+        report = WorkloadSimulator(_manager(params5, images)).run(trace)
+        text = summarize_report(report)
+        assert "p95" in text and "queue" in text and "utilization" in text
 
 
 class TestEvictionForSpace:
@@ -290,6 +490,29 @@ class TestRunScenario:
         assert second["cache"]["misses"] == 0
         assert second["bytes_decoded"] == 0
 
+    def test_cache_dir_warms_decode_memo(self, tmp_path):
+        from repro.runtime.workload import MEMO_FILE_NAME
+
+        first = run_scenario(kind="round-robin", n_tasks=2, length=8,
+                             seed=2, cache_capacity=1,
+                             cache_dir=str(tmp_path))
+        assert first["scenario"]["memo_entries_restored"] == 0
+        assert (tmp_path / MEMO_FILE_NAME).exists()
+        # Thrashing cache (capacity 1 over 2 tasks) forces re-decodes,
+        # which the restored memo now serves without router replays.
+        second = run_scenario(kind="round-robin", n_tasks=2, length=8,
+                              seed=2, cache_capacity=1,
+                              cache_dir=str(tmp_path))
+        assert second["scenario"]["memo_entries_restored"] > 0
+        # The memo never changes *what happens* — same event outcomes,
+        # same frames written — but the warm start is a real latency
+        # win: router replays the cold run paid are served from the
+        # memo (and the one restored cache entry) instead.
+        assert first["events"] == second["events"]
+        assert second["cycles"]["decode"] < first["cycles"]["decode"]
+        assert second["cycles"]["write"] == first["cycles"]["write"]
+        assert second["cycles"]["fetch"] == first["cycles"]["fetch"]
+
 
 class TestSimulateCli:
     def test_runtime_simulate_json(self, tmp_path, capsys):
@@ -306,3 +529,88 @@ class TestSimulateCli:
         assert report["trace"]["kind"] == "hot-set"
         text = capsys.readouterr().out
         assert "hit rate" in text and "cycles" in text
+
+    def test_unknown_mix_exits_nonzero(self, tmp_path, capsys):
+        # The regression this pins: an unknown mix name must exit
+        # non-zero (and write no artifact), never fall back silently.
+        from repro.cli import main
+
+        out = tmp_path / "report.json"
+        rc = main([
+            "runtime", "simulate", "--kind", "zipfian", "--tasks", "2",
+            "--length", "8", "--json", str(out),
+        ])
+        assert rc == 2
+        assert not out.exists()
+        assert "unknown trace kind" in capsys.readouterr().err
+
+    def test_unknown_arrivals_exits_nonzero(self, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "runtime", "simulate", "--arrivals", "bursty",
+            "--tasks", "2", "--length", "8",
+        ])
+        assert rc == 2
+        assert "unknown arrival process" in capsys.readouterr().err
+
+    def test_poisson_arrivals_report_percentiles(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "openloop.json"
+        rc = main([
+            "runtime", "simulate", "--kind", "zipf", "--arrivals",
+            "poisson", "--tasks", "2", "--length", "10", "--seed", "1",
+            "--mean-interarrival", "500", "--json", str(out),
+        ])
+        assert rc == 0
+        report = json.loads(out.read_text())
+        for field in ("p50", "p95", "p99"):
+            assert isinstance(report["latency"][field], int)
+        assert report["queue"]["max_depth"] >= 1
+        assert report["trace"]["arrivals"] == "poisson"
+        text = capsys.readouterr().out
+        assert "latency" in text and "queue" in text
+
+    def test_cli_open_loop_deterministic(self, tmp_path):
+        from repro.cli import main
+
+        outs = []
+        for tag in ("one", "two"):
+            out = tmp_path / f"{tag}.json"
+            rc = main([
+                "runtime", "simulate", "--arrivals", "poisson",
+                "--tasks", "2", "--length", "8", "--seed", "3",
+                "--json", str(out),
+            ])
+            assert rc == 0
+            outs.append(out.read_text())
+        assert outs[0] == outs[1]
+
+
+@pytest.mark.integration
+class TestTaskScopeScenario:
+    """Trace-driven shared-dictionary churn: the VERSION 4 refcount path
+    under the fabric's eviction pressure (ROADMAP open item 3)."""
+
+    def test_tight_capacity_exercises_drops(self):
+        report = run_scenario(
+            kind="hot-set", n_tasks=2, length=30, seed=3, task_scope=True,
+        )
+        sd = report["shared_dicts"]
+        assert report["scenario"]["task_scope"] is True
+        assert report["scenario"]["shared_dict_ids"]  # tables were kept
+        assert sd["faults"] >= 1
+        assert sd["drops"] >= 1  # a last-referencing unload happened
+        assert sd["max_resident"] >= 1
+        # Whatever is left resident is consistent with the final tasks.
+        assert sd["drops"] <= sd["faults"]
+
+    def test_task_scope_scenario_deterministic(self):
+        one = run_scenario(kind="round-robin", n_tasks=2, length=12,
+                           seed=5, task_scope=True)
+        two = run_scenario(kind="round-robin", n_tasks=2, length=12,
+                           seed=5, task_scope=True)
+        assert json.dumps(one, sort_keys=True) == json.dumps(
+            two, sort_keys=True
+        )

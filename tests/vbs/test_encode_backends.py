@@ -212,6 +212,160 @@ class TestSharedMemoSweep:
         assert reused
         assert len(memo) == 2
 
+class TestPersistedMemo:
+    """DecodeMemo save/load: warm starts across processes, bytes pinned.
+
+    The persisted memo mirrors the decode cache's contract one layer
+    down: version-stamped, corrupt-tolerant, restored entries skip the
+    router replay but can never change the emitted container (the
+    router is deterministic; the memo only short-circuits it).
+    """
+
+    def _encode(self, tiny_flow, tiny_config, memo, path, **kwargs):
+        return encode_flow(
+            tiny_flow, tiny_config, cluster_size=1, codecs="auto",
+            memo=memo, memo_path=str(path), **kwargs,
+        )
+
+    def test_cold_run_writes_versioned_file(self, tiny_flow, tiny_config,
+                                            tmp_path):
+        import pickle
+
+        from repro.vbs.devirt import MEMO_FILE_FORMAT
+
+        path = tmp_path / "memo.pkl"
+        self._encode(tiny_flow, tiny_config, DecodeMemo(), path)
+        payload = pickle.loads(path.read_bytes())
+        assert payload["format"] == MEMO_FILE_FORMAT
+        assert len(payload["entries"]) > 0
+
+    def test_warm_start_bytes_identical_and_hits_grow(
+        self, tiny_flow, tiny_config, tmp_path
+    ):
+        path = tmp_path / "memo.pkl"
+        cold_memo = DecodeMemo()
+        cold = self._encode(tiny_flow, tiny_config, cold_memo, path)
+        warm_memo = DecodeMemo()
+        warm = self._encode(tiny_flow, tiny_config, warm_memo, path)
+        assert warm.to_bits().to_bytes() == cold.to_bits().to_bytes()
+        assert warm_memo.restored > 0
+        # Every decode the cold run routed is replayed from the file.
+        assert warm_memo.hits > cold_memo.hits
+        assert warm_memo.misses == 0
+
+    @pytest.mark.parametrize("backend,workers", [
+        ("thread", 3), ("process", 2),
+    ])
+    def test_pooled_backends_unchanged_by_restored_memo(
+        self, tiny_flow, tiny_config, tmp_path, backend, workers
+    ):
+        path = tmp_path / "memo.pkl"
+        baseline = encode_flow(
+            tiny_flow, tiny_config, cluster_size=1, codecs="auto"
+        )
+        self._encode(tiny_flow, tiny_config, DecodeMemo(), path)  # seed it
+        pooled = self._encode(
+            tiny_flow, tiny_config, DecodeMemo(), path,
+            workers=workers, backend=backend,
+        )
+        assert pooled.to_bits().to_bytes() == baseline.to_bits().to_bytes()
+
+    def test_process_run_does_not_clobber_the_file(
+        self, tiny_flow, tiny_config, tmp_path
+    ):
+        path = tmp_path / "memo.pkl"
+        self._encode(tiny_flow, tiny_config, DecodeMemo(), path)
+        blob = path.read_bytes()
+        self._encode(
+            tiny_flow, tiny_config, DecodeMemo(), path,
+            workers=2, backend="process",
+        )
+        # Worker memos are private; the parent must leave the persisted
+        # file exactly as the serial run wrote it.
+        assert path.read_bytes() == blob
+
+    def test_corrupt_memo_file_tolerated(self, tiny_flow, tiny_config,
+                                         tmp_path):
+        path = tmp_path / "memo.pkl"
+        path.write_bytes(b"not a pickle")
+        memo = DecodeMemo()
+        vbs = self._encode(tiny_flow, tiny_config, memo, path)
+        assert memo.restored == 0
+        baseline = encode_flow(
+            tiny_flow, tiny_config, cluster_size=1, codecs="auto"
+        )
+        assert vbs.to_bits().to_bytes() == baseline.to_bits().to_bytes()
+        # The run repaired the file on its way out.
+        memo2 = DecodeMemo()
+        self._encode(tiny_flow, tiny_config, memo2, path)
+        assert memo2.restored > 0
+
+    def test_wrong_format_version_ignored(self, tmp_path):
+        import pickle
+
+        path = tmp_path / "memo.pkl"
+        path.write_bytes(pickle.dumps({"format": 999, "entries": []}))
+        memo = DecodeMemo()
+        assert memo.load(path) == 0
+
+    def test_load_respects_bound_and_existing_keys(self, tmp_path):
+        from repro.arch import ArchParams, get_cluster_model
+
+        model = get_cluster_model(ArchParams(channel_width=5), 1)
+        big = DecodeMemo()
+        big.decode(model, [(0, 5)])
+        big.decode(model, [(1, 6)])
+        big.decode(model, [(2, 7)])
+        path = tmp_path / "memo.pkl"
+        assert big.save(path) == 3
+        # A bounded memo restores only into its free room, preferring
+        # the file's MRU tail.
+        bounded = DecodeMemo(max_entries=2)
+        assert bounded.load(path) == 2
+        assert len(bounded) == 2
+        _res, reused = bounded.decode(model, [(2, 7)])  # the MRU entry
+        assert reused
+        # A live entry is never overwritten by a restore.
+        fresh = DecodeMemo()
+        fresh.decode(model, [(0, 5)])
+        assert fresh.load(path) == 2  # the shared key is skipped
+        assert len(fresh) == 3
+
+    def test_load_never_displaces_live_entries(self, tmp_path):
+        from repro.arch import ArchParams, get_cluster_model
+
+        model = get_cluster_model(ArchParams(channel_width=5), 1)
+        stale = DecodeMemo()
+        stale.decode(model, [(1, 6)])
+        stale.decode(model, [(2, 7)])
+        path = tmp_path / "memo.pkl"
+        stale.save(path)
+        # A full bounded memo keeps its (fresher) live entries; the
+        # file restores nothing rather than evicting them.
+        live = DecodeMemo(max_entries=1)
+        live.decode(model, [(0, 5)])
+        assert live.load(path) == 0
+        _res, reused = live.decode(model, [(0, 5)])
+        assert reused
+        assert len(live) == 1
+
+    def test_task_scope_encode_with_memo_path(self, tiny_flow, tiny_config,
+                                              tmp_path):
+        from repro.vbs.encode import encode_task
+
+        path = tmp_path / "memo.pkl"
+        jobs = [(tiny_flow, tiny_config)] * 2
+        cold = encode_task(jobs, dict_id=3, codecs="auto",
+                           memo_path=str(path))
+        warm_memo = DecodeMemo()
+        warm = encode_task(jobs, dict_id=3, codecs="auto", memo=warm_memo,
+                           memo_path=str(path))
+        assert warm_memo.restored > 0
+        for a, b in zip(cold.containers, warm.containers):
+            assert a.to_bits().to_bytes() == b.to_bits().to_bytes()
+
+
+class TestSharedMemoSweepRaces:
     def test_bounded_memo_hits_survive_thread_races(self):
         # Hits refresh recency by pop+reinsert; a racing eviction must
         # cost at most a lost refresh, never a KeyError — the thread
