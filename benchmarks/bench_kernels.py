@@ -1,0 +1,128 @@
+"""Bit-kernel backend speedup artifact (the CI kernel-smoke job).
+
+Times every vectorized kernel primitive against its pure-Python fallback
+on inputs sized like real container workloads and writes the per-kernel
+speedups to a JSON artifact::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py --out BENCH_kernels.json
+
+The gate: the geometric mean of the primitive speedups must be at least
+``--min-speedup`` (default 2) — a numpy backend slower than the batch
+fallback it replaces means the import-time binding or the small-input
+thresholds regressed.  Without numpy there is nothing to compare; the
+script reports the fallback-only backend and exits cleanly.
+
+An ``--end-to-end`` JSON file (encode/load wall-clock measurements taken
+with an interleaved before/after harness) is folded into the artifact
+verbatim when given; the committed ``BENCH_kernels.json`` carries one.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import random
+import sys
+import time
+from pathlib import Path
+
+from repro.utils import bitkernels as bk
+
+#: (kernel name, fallback thunk, vectorized thunk) built over one shared
+#: deterministic workload; sizes are far past the small-input thresholds
+#: so the vectorized branches run.
+_RNG_SEED = 20150905
+
+
+def _workloads():
+    rng = random.Random(_RNG_SEED)
+    buf = bytearray(rng.randrange(256) for _ in range(1 << 18))
+    other = bytearray(rng.randrange(256) for _ in range(1 << 18))
+    nbits = len(buf) * 8
+    positions = sorted(rng.sample(range(nbits), 50_000))
+    width = 13
+    values = [rng.randrange(1 << width) for _ in range(50_000)]
+    packed = bk.py_pack_fields(values, width)
+    cases = [
+        ("popcount", lambda: bk.py_popcount(buf),
+         lambda: bk.np_popcount(buf)),
+        ("xor_bytes", lambda: bk.py_xor_bytes(buf, other),
+         lambda: bk.np_xor_bytes(buf, other)),
+        ("find_ones", lambda: bk.py_find_ones(buf, nbits),
+         lambda: bk.np_find_ones(buf, nbits)),
+        ("set_bits", lambda: bk.py_set_bits(nbits, positions),
+         lambda: bk.np_set_bits(nbits, positions)),
+        ("pack_fields", lambda: bk.py_pack_fields(values, width),
+         lambda: bk.np_pack_fields(values, width)),
+        ("unpack_fields",
+         lambda: bk.py_unpack_fields(packed, 0, width, len(values)),
+         lambda: bk.np_unpack_fields(packed, 0, width, len(values))),
+    ]
+    return cases
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path, default=Path("BENCH_kernels.json"))
+    parser.add_argument("--repeats", type=int, default=7)
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="gate on the geomean primitive speedup")
+    parser.add_argument("--end-to-end", type=Path, default=None,
+                        help="JSON with encode/load wall-clock numbers to "
+                             "embed in the artifact")
+    args = parser.parse_args(argv)
+
+    summary: dict = {"backend": bk.BACKEND, "kernels": {}}
+    if args.end_to_end is not None:
+        summary["end_to_end"] = json.loads(args.end_to_end.read_text())
+
+    if not bk.HAVE_NUMPY:
+        summary["skipped"] = "numpy backend not active; nothing to compare"
+        args.out.write_text(json.dumps(summary, indent=1, sort_keys=True)
+                            + "\n")
+        print("numpy backend not active — fallback-only run, gate skipped")
+        print(f"wrote {args.out}")
+        return 0
+
+    speedups = []
+    for name, fallback, vectorized in _workloads():
+        # Sanity first: both paths must be bit-exact before being timed.
+        if fallback() != vectorized():
+            print(f"ERROR: {name}: backend results differ", file=sys.stderr)
+            return 1
+        t_py = _best_of(fallback, args.repeats)
+        t_np = _best_of(vectorized, args.repeats)
+        speedup = t_py / t_np if t_np > 0 else float("inf")
+        speedups.append(speedup)
+        summary["kernels"][name] = {
+            "python_s": round(t_py, 6),
+            "numpy_s": round(t_np, 6),
+            "speedup": round(speedup, 2),
+        }
+        print(f"{name:14s} python {t_py * 1e3:8.3f} ms   "
+              f"numpy {t_np * 1e3:8.3f} ms   {speedup:6.1f}x")
+
+    geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+    summary["geomean_speedup"] = round(geomean, 2)
+    args.out.write_text(json.dumps(summary, indent=1, sort_keys=True) + "\n")
+    print(f"geomean speedup: {geomean:.1f}x")
+    print(f"wrote {args.out}")
+    if geomean < args.min_speedup:
+        print(f"ERROR: geomean speedup {geomean:.2f}x below the "
+              f"{args.min_speedup}x gate", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

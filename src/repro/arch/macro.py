@@ -113,17 +113,22 @@ def iter_macro_junctions(params: ArchParams):
             offset += n
 
 
+@functools.lru_cache(maxsize=None)
+def _pair_offset_table(num_ends: int) -> Dict[Tuple[int, int], int]:
+    table: Dict[Tuple[int, int], int] = {}
+    index = 0
+    for i in range(num_ends):
+        for j in range(i + 1, num_ends):
+            table[(i, j)] = index
+            index += 1
+    return table
+
+
 def junction_pair_offset(num_ends: int, a: int, b: int) -> int:
     """Bit index (within a junction) of the switch joining ends ``a < b``."""
     if not 0 <= a < b < num_ends:
         raise ArchitectureError(f"bad junction pair ({a},{b}) of {num_ends}")
-    index = 0
-    for i in range(num_ends):
-        for j in range(i + 1, num_ends):
-            if (i, j) == (a, b):
-                return index
-            index += 1
-    raise ArchitectureError("unreachable")
+    return _pair_offset_table(num_ends)[(a, b)]
 
 
 class ClusterModel:
@@ -203,12 +208,14 @@ class ClusterModel:
         j, i = divmod(cell, self.c)
         return i, j, p
 
+    @functools.lru_cache(maxsize=None)
     def pin_line_segments(self, io: int) -> List[int]:
         """All segments of the pin line serving pin I/O ``io``.
 
         A block pin is only reachable through its own line, so these are the
         segments the de-virtualization router protects while other
-        connections are routed.
+        connections are routed.  Cached per model: the decoder asks for the
+        same pin lines once per cluster decode.
         """
         i, j, p = self.pin_io_fields(io)
         if p in self.params.chanx_pins:
@@ -256,6 +263,28 @@ class ClusterModel:
         for lst in self.adjacency:
             lst.sort()
 
+        # Set-wise BFS views of the adjacency: a neighbour bitmask per
+        # segment, and the first (lowest-id) switch joining each segment
+        # pair.  Bit order equals the sorted list order, so frontier
+        # expansion via mask intersection visits neighbours identically.
+        self.nbr_masks: List[int] = []
+        self.switch_to: List[Dict[int, int]] = []
+        for lst in self.adjacency:
+            mask = 0
+            first_sw: Dict[int, int] = {}
+            for nbr, sw_id in lst:
+                mask |= 1 << nbr
+                if nbr not in first_sw:
+                    first_sw[nbr] = sw_id
+            self.nbr_masks.append(mask)
+            self.switch_to.append(first_sw)
+
+        #: ((macro_i, macro_j), frame offset) per switch — the hot fields of
+        #: :class:`Switch` as plain tuples for the router's commit loop.
+        self.switch_cells: List[Tuple[Tuple[int, int], int]] = [
+            ((sw.macro_i, sw.macro_j), sw.offset) for sw in self.switches
+        ]
+
         # Black-box I/O numbering (see module docstring).
         for j in range(c):
             for t in range(W):
@@ -291,6 +320,20 @@ class ClusterModel:
         #: a neighbouring macro) and block pins (passing through would attach
         #: the net to the block).
         self.terminal_segs = frozenset(self.io_to_seg)
+        #: Flat per-segment membership of ``terminal_segs`` — the router's
+        #: BFS inner loop indexes this instead of hashing into the frozenset.
+        self.terminal_mask = [False] * len(self.seg_keys)
+        for seg in self.terminal_segs:
+            self.terminal_mask[seg] = True
+        #: Bit s set iff segment s is routable-through when every macro of
+        #: the cluster lies inside the task (the common case): not a
+        #: terminal.  Decoders with blocked cells mask further bits off.
+        full = (1 << len(self.seg_keys)) - 1
+        for seg in self.terminal_segs:
+            full &= ~(1 << seg)
+        self.clear_mask_full = full
+        #: First block-pin I/O number: ``io >= pin_io_base`` == is_pin_io.
+        self.pin_io_base = 4 * self.c * self.W
 
     # -- convenience ------------------------------------------------------------
 

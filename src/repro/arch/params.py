@@ -21,6 +21,7 @@ value of 284 bits per macro.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property, lru_cache
 
 from repro.errors import ArchitectureError
 from repro.utils.bitarray import bits_for
@@ -67,43 +68,44 @@ class ArchParams:
 
     # -- basic derived quantities ---------------------------------------------
 
-    @property
+    @cached_property
     def num_lb_pins(self) -> int:
         """``L``: logic-block pins per macro (K LUT inputs + 1 output)."""
         return self.lut_size + 1
 
-    @property
+    @cached_property
     def nlb(self) -> int:
         """``NLB``: logic-block configuration bits (truth table + FF bypass)."""
         return 2 ** self.lut_size + 1
 
-    @property
+    @cached_property
     def ns(self) -> int:
         """``NS``: 4-way switch-box points per macro (one per track)."""
         return self.channel_width
 
-    @property
+    @cached_property
     def nc_plus(self) -> int:
         """``NC+``: 4-way connection-box crossings per macro, ``L * (W - 1)``."""
         return self.num_lb_pins * (self.channel_width - 1)
 
-    @property
+    @cached_property
     def nct(self) -> int:
         """``NCT``: 3-way T-shaped line terminations per macro, ``L``."""
         return self.num_lb_pins
 
-    @property
+    @cached_property
     def nraw(self) -> int:
         """Eq. (1): raw configuration bits per macro."""
         return self.nlb + 6 * (self.ns + self.nc_plus) + 3 * self.nct
 
-    @property
+    @cached_property
     def routing_bits(self) -> int:
         """Raw routing bits per macro (everything except the logic data)."""
         return self.nraw - self.nlb
 
     # -- Virtual Bit-Stream I/O space (Section II-B) ---------------------------
 
+    @lru_cache(maxsize=None)
     def cluster_io_count(self, cluster_size: int = 1) -> int:
         """Black-box I/Os of a ``c x c`` macro cluster: ``4cW + c^2 L``.
 
@@ -115,6 +117,7 @@ class ArchParams:
             raise ArchitectureError("cluster size must be >= 1")
         return 4 * c * self.channel_width + c * c * self.num_lb_pins
 
+    @lru_cache(maxsize=None)
     def io_code_bits(self, cluster_size: int = 1) -> int:
         """``M = ceil(log2(4cW + c^2 L + 1))``: bits per connection endpoint.
 
@@ -123,6 +126,7 @@ class ArchParams:
         """
         return bits_for(self.cluster_io_count(cluster_size) + 1)
 
+    @lru_cache(maxsize=None)
     def connection_breakeven(self, cluster_size: int = 1) -> int:
         """Connections codable before VBS stops being smaller than raw.
 
@@ -133,6 +137,7 @@ class ArchParams:
         raw = self.nraw * c * c
         return raw // (2 * self.io_code_bits(cluster_size))
 
+    @lru_cache(maxsize=None)
     def max_routes(self, cluster_size: int = 1) -> int:
         """Upper bound on distinct routes inside a ``c x c`` cluster.
 
@@ -142,6 +147,7 @@ class ArchParams:
         """
         return self.cluster_io_count(cluster_size) // 2
 
+    @lru_cache(maxsize=None)
     def route_count_bits(self, cluster_size: int = 1) -> int:
         """Width of the per-macro/cluster route-count field, sentinel included.
 

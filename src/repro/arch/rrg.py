@@ -28,9 +28,11 @@ from __future__ import annotations
 
 from typing import Iterator, List, Tuple
 
-import numpy as np
-
 from repro.arch.fabric import FabricArch
+from repro.utils.bitkernels import HAVE_NUMPY
+
+if HAVE_NUMPY:
+    import numpy as np
 
 KIND_XTRK = 0
 KIND_YTRK = 1
@@ -119,26 +121,60 @@ class RoutingGraph:
                         for j in range(i + 1, len(wires)):
                             link(wires[i], wires[j])
 
-        src_a = np.asarray(src, dtype=np.int32)
-        dst_a = np.asarray(dst, dtype=np.int32)
-        order = np.argsort(src_a, kind="stable")
-        src_a = src_a[order]
-        dst_a = dst_a[order]
-        counts = np.bincount(src_a, minlength=self.num_nodes)
-        self.indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
-        np.cumsum(counts, out=self.indptr[1:])
-        self.nbrs = dst_a
-        self.num_edges = len(dst_a) // 2
+        if HAVE_NUMPY:
+            src_a = np.asarray(src, dtype=np.int32)
+            dst_a = np.asarray(dst, dtype=np.int32)
+            order = np.argsort(src_a, kind="stable")
+            src_a = src_a[order]
+            dst_a = dst_a[order]
+            counts = np.bincount(src_a, minlength=self.num_nodes)
+            self.indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
+            np.cumsum(counts, out=self.indptr[1:])
+            self.nbrs = dst_a
+            # Node positions (cell coordinates) for the A* heuristic.
+            cells = np.arange(self.num_nodes, dtype=np.int64) // self.per_cell
+            self.node_x = (cells % width).astype(np.int32)
+            self.node_y = (cells // width).astype(np.int32)
+        else:
+            # Pure-Python CSR via a stable counting sort — the same
+            # neighbour order as the stable argsort above.  array.array
+            # keeps the memory footprint and the ``.tolist()`` surface
+            # of the numpy arrays.
+            from array import array
 
-        # Node positions (cell coordinates) for the A* heuristic.
-        cells = np.arange(self.num_nodes, dtype=np.int64) // self.per_cell
-        self.node_x = (cells % width).astype(np.int32)
-        self.node_y = (cells // width).astype(np.int32)
+            n = self.num_nodes
+            counts = [0] * n
+            for a in src:
+                counts[a] += 1
+            indptr = [0] * (n + 1)
+            run = 0
+            for i, cnt in enumerate(counts):
+                run += cnt
+                indptr[i + 1] = run
+            nbrs = [0] * len(src)
+            cursor = indptr[:n]
+            for a, b in zip(src, dst):
+                nbrs[cursor[a]] = b
+                cursor[a] += 1
+            self.indptr = array("q", indptr)
+            self.nbrs = array("i", nbrs)
+            per_cell = self.per_cell
+            self.node_x = array(
+                "i", ((i // per_cell) % width for i in range(n))
+            )
+            self.node_y = array(
+                "i", ((i // per_cell) // width for i in range(n))
+            )
+        self.num_edges = len(self.nbrs) // 2
 
     # -- traversal -------------------------------------------------------------------
 
-    def neighbors(self, node: int) -> np.ndarray:
-        """Neighbour node ids of ``node`` (ascending order not guaranteed)."""
+    def neighbors(self, node: int) -> "np.ndarray":
+        """Neighbour node ids of ``node`` (ascending order not guaranteed).
+
+        An ``array.array`` slice on the pure-Python fallback — same
+        iteration, membership and ``.tolist()`` surface.
+        """
         return self.nbrs[self.indptr[node] : self.indptr[node + 1]]
 
     def degree(self, node: int) -> int:

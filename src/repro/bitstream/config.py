@@ -61,8 +61,18 @@ class FabricConfig:
         self.closed.setdefault(cell, set()).add(offset)
 
     def close_switches(self, x: int, y: int, offsets: Iterable[int]) -> None:
-        for off in offsets:
-            self.close_switch(x, y, off)
+        """Close a batch of switches in one call (one check, one set update)."""
+        offs = offsets if isinstance(offsets, (list, tuple)) else list(offsets)
+        if not offs:
+            return
+        if min(offs) < 0 or max(offs) >= self.params.routing_bits:
+            # Reproduce the per-switch behavior exactly: earlier offsets
+            # land before the first bad one raises.
+            for off in offs:
+                self.close_switch(x, y, off)
+            return
+        cell = self._check_cell(x, y)
+        self.closed.setdefault(cell, set()).update(offs)
 
     # -- queries --------------------------------------------------------------
 
@@ -81,12 +91,14 @@ class FabricConfig:
     def macro_frame(self, x: int, y: int) -> BitArray:
         """The full Nraw-bit raw frame of macro (x, y)."""
         self._check_cell(x, y)
-        frame = BitArray(self.params.nraw)
+        nlb = self.params.nlb
+        frame = BitArray.from_ones(
+            self.params.nraw,
+            [nlb + off for off in self.closed.get((x, y), ())],
+        )
         logic = self.logic.get((x, y))
         if logic is not None:
             frame.overwrite(0, logic)
-        for off in self.closed.get((x, y), ()):
-            frame[self.params.nlb + off] = 1
         return frame
 
     def total_closed_switches(self) -> int:

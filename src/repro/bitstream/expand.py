@@ -193,6 +193,7 @@ def expand_routing(
 
     junction_layout = list(iter_macro_junctions(params))
     for (x, y) in sorted(active):
+        cell_offsets: List[int] = []
         for offset, end_keys in junction_layout:
             ends_global = [
                 fabric.global_segment(x, y, key) for key in end_keys
@@ -207,10 +208,12 @@ def expand_routing(
                 if len(idxs) < 2:
                     continue
                 idxs.sort()
-                for a, b in zip(idxs, idxs[1:]):
-                    config.close_switch(
-                        x, y, offset + junction_pair_offset(n, a, b)
-                    )
+                cell_offsets.extend(
+                    offset + junction_pair_offset(n, a, b)
+                    for a, b in zip(idxs, idxs[1:])
+                )
+        if cell_offsets:
+            config.close_switches(x, y, cell_offsets)
 
     # Pass 3: logic data.
     _install_logic(design, placement, config)

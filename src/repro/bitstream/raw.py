@@ -95,15 +95,16 @@ class RawBitstream:
             self.params, Rect(ox, oy, self.width, self.height)
         )
         nlb = self.params.nlb
+        routing_bits = self.params.routing_bits
         for j in range(self.height):
             for i in range(self.width):
-                frame = self.frame(i, j)
-                logic = frame.slice(0, nlb)
+                base = self._frame_offset(i, j)
+                logic = self.bits.slice(base, nlb)
                 if logic.count():
                     config.set_logic(ox + i, oy + j, logic)
-                for off in range(self.params.routing_bits):
-                    if frame[nlb + off]:
-                        config.close_switch(ox + i, oy + j, off)
+                offsets = self.bits.slice(base + nlb, routing_bits).ones()
+                if offsets:
+                    config.close_switches(ox + i, oy + j, offsets)
         return config
 
     def __eq__(self, other: object) -> bool:

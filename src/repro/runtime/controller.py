@@ -152,18 +152,14 @@ class ReconfigurationController:
     # -- configuration writes --------------------------------------------------------
 
     def _write_config(self, task_config: FabricConfig) -> int:
-        bits_written = 0
-        nraw = self.fabric.params.nraw
-        for cell in task_config.region.cells():
-            x, y = cell
-            logic = task_config.logic.get((x, y))
-            closed = task_config.closed.get((x, y), set())
-            if logic is not None:
-                self.config.set_logic(x, y, logic.copy())
-            for off in closed:
-                self.config.close_switch(x, y, off)
-            bits_written += nraw
-        return bits_written
+        region = task_config.region
+        for (x, y), logic in task_config.logic.items():
+            self.config.set_logic(x, y, logic.copy())
+        for (x, y), closed in task_config.closed.items():
+            if closed:
+                self.config.close_switches(x, y, closed)
+        # Every frame of the region is written, occupied or not (Eq. 1).
+        return region.w * region.h * self.fabric.params.nraw
 
     def _clear_region(self, region: Rect) -> None:
         for cell in region.cells():

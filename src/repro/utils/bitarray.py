@@ -4,11 +4,20 @@ The paper's configuration formats are specified down to the bit (Table I and
 Eq. 1), so the codec layers need exact-width reads and writes.  ``BitArray``
 is a mutable, indexable vector of bits; ``BitWriter``/``BitReader`` stream
 fixed-width unsigned fields over it, most-significant bit first.
+
+All bulk operations delegate to :mod:`repro.utils.bitkernels`, which moves
+whole fields and byte spans per call (numpy block ops when available, big-int
+batch kernels otherwise) instead of looping one bit at a time.  The kernels
+are bit-exact with the original per-bit loops — byte-for-byte output is pinned
+by the golden vectors — so only speed changes here.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+import hashlib
+from typing import Iterable, Iterator, List, Sequence
+
+from . import bitkernels as _bk
 
 
 def bits_for(value_count: int) -> int:
@@ -57,9 +66,11 @@ class BitArray:
         """Build from an iterable of 0/1 integers."""
         items = list(bits)
         arr = cls(len(items))
-        for i, b in enumerate(items):
-            if b:
-                arr[i] = 1
+        acc = 0
+        for b in items:
+            acc = (acc << 1) | (1 if b else 0)
+        if items:
+            _bk.set_field(arr._buf, 0, len(items), acc)
         return arr
 
     @classmethod
@@ -75,6 +86,17 @@ class BitArray:
         arr._buf = bytearray(data[: (nbits + 7) // 8])
         if nbits % 8:
             arr._buf[-1] &= 0xFF << (8 - nbits % 8) & 0xFF
+        return arr
+
+    @classmethod
+    def from_ones(cls, nbits: int, positions: Sequence[int]) -> "BitArray":
+        """Build an ``nbits``-bit array with exactly ``positions`` set."""
+        for p in positions:
+            if not 0 <= p < nbits:
+                raise IndexError(f"bit index {p} out of range [0, {nbits})")
+        arr = cls(0)
+        arr._nbits = nbits
+        arr._buf = _bk.set_bits(nbits, positions)
         return arr
 
     # -- core protocol ---------------------------------------------------------
@@ -102,8 +124,9 @@ class BitArray:
             self._buf[idx >> 3] &= ~mask & 0xFF
 
     def __iter__(self) -> Iterator[int]:
+        buf = self._buf
         for i in range(self._nbits):
-            yield self[i]
+            yield (buf[i >> 3] >> (7 - (i & 7))) & 1
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, BitArray):
@@ -128,7 +151,7 @@ class BitArray:
             )
         out = BitArray(0)
         out._nbits = self._nbits
-        out._buf = bytearray(a ^ b for a, b in zip(self._buf, other._buf))
+        out._buf = _bk.xor_bytes(self._buf, other._buf)
         return out
 
     def __repr__(self) -> str:
@@ -140,13 +163,29 @@ class BitArray:
 
     def append(self, bit: int) -> None:
         """Append a single bit."""
-        self._nbits += 1
-        if (self._nbits + 7) // 8 > len(self._buf):
+        n = self._nbits
+        self._nbits = n + 1
+        if (n >> 3) >= len(self._buf):
             self._buf.append(0)
-        self[self._nbits - 1] = bit
+        if bit:
+            # Padding past the end is canonically zero, so only a set bit
+            # needs a write.
+            self._buf[n >> 3] |= 0x80 >> (n & 7)
 
     def extend(self, bits: Iterable[int]) -> None:
         """Append every bit from ``bits``."""
+        if isinstance(bits, BitArray):
+            n = bits._nbits
+            if not n:
+                return
+            old = self._nbits
+            new = old + n
+            need = (new + 7) >> 3
+            if need > len(self._buf):
+                self._buf.extend(bytes(need - len(self._buf)))
+            _bk.splice_bits(self._buf, old, bits._buf, n)
+            self._nbits = new
+            return
         for b in bits:
             self.append(b)
 
@@ -156,11 +195,18 @@ class BitArray:
             raise ValueError("width must be non-negative")
         if value < 0 or value >= (1 << width):
             raise ValueError(f"value {value} does not fit in {width} bits")
+        if 0 <= offset and offset + width <= self._nbits:
+            _bk.set_field(self._buf, offset, width, value)
+            return
+        # Out-of-range or negative offsets keep the legacy per-bit indexing
+        # semantics (wrapping, IndexError text).
         for i in range(width):
             self[offset + i] = (value >> (width - 1 - i)) & 1
 
     def get_field(self, offset: int, width: int) -> int:
         """Read a ``width``-bit big-endian field starting at ``offset``."""
+        if 0 <= offset and width >= 0 and offset + width <= self._nbits:
+            return _bk.get_field(self._buf, offset, width)
         value = 0
         for i in range(width):
             value = (value << 1) | self[offset + i]
@@ -168,7 +214,11 @@ class BitArray:
 
     def count(self) -> int:
         """Number of set bits (population count)."""
-        return sum(bin(b).count("1") for b in self._buf)
+        return _bk.popcount(self._buf)
+
+    def ones(self) -> List[int]:
+        """Ascending positions of all set bits."""
+        return _bk.find_ones(self._buf, self._nbits)
 
     def to_bytes(self) -> bytes:
         """Packed byte representation; final byte zero-padded."""
@@ -182,8 +232,6 @@ class BitArray:
         7-bit and an 8-bit array with identical bytes differ.  Used as the
         cache key of the runtime decode cache.
         """
-        import hashlib
-
         h = hashlib.sha256()
         h.update(self._nbits.to_bytes(8, "big"))
         h.update(self._buf)
@@ -201,9 +249,9 @@ class BitArray:
             raise IndexError(
                 f"slice [{offset}, {offset + width}) out of range [0, {self._nbits})"
             )
-        out = BitArray(width)
-        for i in range(width):
-            out[i] = self[offset + i]
+        out = BitArray(0)
+        out._nbits = width
+        out._buf = _bk.extract_bits(self._buf, offset, width)
         return out
 
     def overwrite(self, offset: int, other: "BitArray") -> None:
@@ -213,38 +261,114 @@ class BitArray:
                 f"overwrite [{offset}, {offset + len(other)}) out of range "
                 f"[0, {self._nbits})"
             )
-        for i in range(len(other)):
-            self[offset + i] = other[i]
+        _bk.splice_bits(self._buf, offset, other._buf, other._nbits)
 
 
 class BitWriter:
-    """Append-only stream of fixed-width unsigned fields over a BitArray."""
+    """Append-only stream of fixed-width unsigned fields over a BitArray.
+
+    Internally the writer accumulates into a big-int window spilled to a
+    ``bytearray`` in whole-byte chunks, so a ``write`` costs one shift-or
+    instead of ``width`` per-bit appends.  ``finish`` assembles the final
+    :class:`BitArray` without copying the byte buffer.
+    """
+
+    __slots__ = ("_bytes", "_acc", "_nacc", "_result")
+
+    # Spill the accumulator once it holds this many bits, keeping the
+    # big-int shifts cheap no matter how long the stream runs.
+    _SPILL_BITS = 512
 
     def __init__(self) -> None:
-        self._arr = BitArray(0)
+        self._bytes = bytearray()
+        self._acc = 0
+        self._nacc = 0
+        self._result: BitArray | None = None
+
+    def _spill(self) -> None:
+        nbytes = self._nacc >> 3
+        if nbytes:
+            rem = self._nacc & 7
+            self._bytes += (self._acc >> rem).to_bytes(nbytes, "big")
+            self._acc &= (1 << rem) - 1
+            self._nacc = rem
 
     def write(self, value: int, width: int) -> None:
         """Append ``value`` using exactly ``width`` bits (MSB first)."""
         if value < 0 or value >= (1 << width):
             raise ValueError(f"value {value} does not fit in {width} bits")
-        for i in range(width):
-            self._arr.append((value >> (width - 1 - i)) & 1)
+        self._acc = (self._acc << width) | value
+        self._nacc += width
+        if self._nacc >= self._SPILL_BITS:
+            self._spill()
+
+    def write_fields(self, values: Sequence[int], width: int) -> None:
+        """Append every value in ``values`` as a ``width``-bit field."""
+        if not values:
+            # Still validate the width the way ``write`` would.
+            1 << width
+            return
+        limit = 1 << width
+        if min(values) < 0 or max(values) >= limit:
+            for v in values:
+                if v < 0 or v >= limit:
+                    raise ValueError(f"value {v} does not fit in {width} bits")
+        self._append_packed(_bk.pack_fields(values, width), len(values) * width)
 
     def write_bits(self, bits: BitArray) -> None:
         """Append a raw run of bits."""
-        self._arr.extend(bits)
+        self._append_packed(bits._buf, len(bits))
+
+    def _append_packed(self, src, nbits: int) -> None:
+        """Append ``nbits`` bits from a packed MSB-first buffer."""
+        if nbits <= 0:
+            return
+        self._spill()
+        if self._nacc:
+            # Unaligned seam: merge through the accumulator.
+            value = int.from_bytes(src[: (nbits + 7) >> 3], "big") >> (
+                (-nbits) & 7
+            )
+            self._acc = (self._acc << nbits) | value
+            self._nacc += nbits
+            self._spill()
+        else:
+            # Byte-aligned: bulk-copy whole bytes, keep the tail in the
+            # accumulator.
+            full = nbits >> 3
+            if full:
+                self._bytes += src[:full]
+            rem = nbits & 7
+            if rem:
+                self._acc = src[full] >> (8 - rem)
+                self._nacc = rem
 
     @property
     def bit_length(self) -> int:
-        return len(self._arr)
+        if self._result is not None:
+            return len(self._result)
+        return (len(self._bytes) << 3) + self._nacc
 
     def finish(self) -> BitArray:
         """Return the accumulated bits.  The writer may not be reused."""
-        return self._arr
+        if self._result is None:
+            self._spill()
+            nbits = (len(self._bytes) << 3) + self._nacc
+            if self._nacc:
+                self._bytes.append((self._acc << (8 - self._nacc)) & 0xFF)
+                self._acc = 0
+                self._nacc = 0
+            arr = BitArray(0)
+            arr._nbits = nbits
+            arr._buf = self._bytes
+            self._result = arr
+        return self._result
 
 
 class BitReader:
     """Sequential reader of fixed-width unsigned fields from a BitArray."""
+
+    __slots__ = ("_arr", "_pos")
 
     def __init__(self, arr: BitArray, offset: int = 0):
         self._arr = arr
@@ -274,9 +398,44 @@ class BitReader:
             raise EOFError(
                 f"requested {width} bits but only {self.remaining} remain"
             )
-        value = self._arr.get_field(self._pos, width)
+        value = _bk.get_field(self._arr._buf, self._pos, width)
         self._pos += width
         return value
+
+    def read_fields(self, count: int, width: int) -> List[int]:
+        """Consume ``count`` consecutive ``width``-bit fields in one call."""
+        total = count * width
+        if total > self.remaining:
+            raise EOFError(
+                f"requested {total} bits but only {self.remaining} remain"
+            )
+        values = _bk.unpack_fields(self._arr._buf, self._pos, width, count)
+        self._pos += total
+        return values
+
+    def read_pairs(self, count: int, width: int) -> List[tuple]:
+        """Consume ``count`` pairs of ``width``-bit fields."""
+        flat = iter(self.read_fields(2 * count, width))
+        return list(zip(flat, flat))
+
+    def _read_unary(self, bit: int) -> int:
+        arr = self._arr
+        run = _bk.run_of(arr._buf, self._pos, arr._nbits, bit)
+        if self._pos + run >= arr._nbits:
+            # Match the per-bit loop this replaces: the run itself was
+            # consumed before the missing terminator was requested.
+            self._pos = arr._nbits
+            raise EOFError("requested 1 bits but only 0 remain")
+        self._pos += run + 1
+        return run
+
+    def read_unary_ones(self) -> int:
+        """Length of the run of 1-bits before the next 0 (consumes both)."""
+        return self._read_unary(1)
+
+    def read_unary_zeros(self) -> int:
+        """Length of the run of 0-bits before the next 1 (consumes both)."""
+        return self._read_unary(0)
 
     def read_bits(self, width: int) -> BitArray:
         """Consume and return the next ``width`` bits as a BitArray."""

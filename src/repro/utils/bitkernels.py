@@ -1,0 +1,410 @@
+"""Batch bit kernels: the speed layer under the bit-level containers.
+
+Every primitive here operates on *packed MSB-first* byte buffers — bit
+``i`` lives in byte ``i >> 3`` at in-byte position ``7 - (i & 7)``, the
+same layout :class:`~repro.utils.bitarray.BitArray` serializes to
+external memory — and moves whole fields, spans or scans per call
+instead of one bit per Python-level iteration:
+
+* ``get_field``/``set_field`` read/write an arbitrary-width big-endian
+  field through one ``int.from_bytes``/``int.to_bytes`` pair (C-speed
+  big-integer shift/merge at the byte seams);
+* ``extract_bits``/``splice_bits`` copy bit spans — byte-aligned spans
+  go through plain ``bytearray`` slice copies (memcpy), unaligned spans
+  through a single shift-merge;
+* ``pack_fields``/``unpack_fields`` move N equal-width fields in one
+  call;
+* ``popcount``, ``xor_bytes``, ``find_ones``, ``set_bits`` and
+  ``run_of`` are the whole-buffer scans behind ``BitArray.count``,
+  ``__xor__``, the run-length codecs and the unary decoders.
+
+Backend selection happens once at import: when numpy is importable the
+scan/batch primitives bind to numpy block implementations
+(``unpackbits``/``packbits``/``flatnonzero``); otherwise — or when the
+environment variable ``REPRO_NO_NUMPY=1`` forces it, which CI uses to
+keep the fallback green — everything binds to the pure-Python batch
+kernels.  Both backends are bit-exact by contract: every public
+primitive produces identical results on either path (the golden-vector
+and byte-identity suites pin this), so the choice is invisible except
+in speed.  The numpy wrappers fall through to the Python kernels below
+a small-input threshold where ufunc dispatch overhead would dominate;
+that, too, never changes results.
+
+The ``ref_*`` functions are the retained naive one-bit-at-a-time
+reference implementations (the semantics the original containers had);
+the property suite ``tests/property/test_bitkernels.py`` checks every
+kernel against them over randomized widths, offsets and seam
+alignments on both backends.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Sequence
+
+_np = None
+if os.environ.get("REPRO_NO_NUMPY", "") != "1":
+    try:
+        import numpy as _np  # type: ignore[no-redef]
+    except ImportError:
+        _np = None
+
+#: True when the numpy backend is active (import-time decision).
+HAVE_NUMPY = _np is not None
+#: Human-readable backend name, surfaced by benchmarks and diagnostics.
+BACKEND = "numpy" if HAVE_NUMPY else "python"
+
+#: Buffers below this many bytes skip the numpy wrappers — ufunc
+#: dispatch costs more than the whole operation on a few dozen bytes.
+_SMALL_BUF = 64
+#: Field batches below this many values likewise stay pure-Python.
+_SMALL_FIELDS = 64
+
+#: Set-bit positions within one byte value, MSB first.
+_BYTE_ONES = tuple(
+    tuple(i for i in range(8) if b & (0x80 >> i)) for b in range(256)
+)
+
+
+# -- pure-Python batch kernels ------------------------------------------------
+#
+# "Batch" here means one C-level big-integer or slice operation per call;
+# these are the fallback backend and the shared field machinery of the
+# numpy backend (single-field reads gain nothing from numpy).
+
+
+def py_get_field(buf, offset: int, width: int) -> int:
+    """Read a ``width``-bit big-endian field at bit ``offset`` (in range)."""
+    if width <= 0:
+        return 0
+    end = offset + width
+    first = offset >> 3
+    last = (end + 7) >> 3
+    span = int.from_bytes(buf[first:last], "big")
+    return (span >> ((last << 3) - end)) & ((1 << width) - 1)
+
+
+def py_set_field(buf, offset: int, width: int, value: int) -> None:
+    """Write a ``width``-bit big-endian field at bit ``offset`` (in range)."""
+    if width <= 0:
+        return
+    end = offset + width
+    first = offset >> 3
+    last = (end + 7) >> 3
+    shift = (last << 3) - end
+    mask = ((1 << width) - 1) << shift
+    span = int.from_bytes(buf[first:last], "big")
+    span = (span & ~mask) | ((value << shift) & mask)
+    buf[first:last] = span.to_bytes(last - first, "big")
+
+
+def py_extract_bits(buf, offset: int, width: int) -> bytearray:
+    """Copy bits ``[offset, offset+width)`` into a fresh packed buffer.
+
+    The result is ``ceil(width / 8)`` bytes with canonical zero padding
+    past the end — exactly a :class:`BitArray` backing buffer.
+    """
+    if width <= 0:
+        return bytearray(0)
+    out_bytes = (width + 7) >> 3
+    if not offset & 7:
+        first = offset >> 3
+        out = bytearray(buf[first:first + out_bytes])
+        pad = (-width) & 7
+        if pad:
+            out[-1] &= (0xFF << pad) & 0xFF
+        return out
+    value = py_get_field(buf, offset, width)
+    return bytearray((value << ((-width) & 7)).to_bytes(out_bytes, "big"))
+
+
+def py_splice_bits(dst, offset: int, src, width: int) -> None:
+    """Copy the first ``width`` bits of packed ``src`` into ``dst`` at
+    bit ``offset`` (both in range; ``dst`` bits outside the span keep
+    their values)."""
+    if width <= 0:
+        return
+    if not offset & 7 and not width & 7:
+        o = offset >> 3
+        dst[o:o + (width >> 3)] = src[:width >> 3]
+        return
+    nbytes = (width + 7) >> 3
+    value = int.from_bytes(src[:nbytes], "big") >> ((-width) & 7)
+    py_set_field(dst, offset, width, value)
+
+
+def py_popcount(buf) -> int:
+    """Number of set bits in the whole buffer."""
+    return int.from_bytes(buf, "big").bit_count()
+
+
+def py_xor_bytes(a, b) -> bytearray:
+    """Byte-wise XOR of two equal-length buffers."""
+    n = len(a)
+    if n != len(b):
+        raise ValueError(f"cannot XOR {n} bytes with {len(b)} bytes")
+    return bytearray(
+        (int.from_bytes(a, "big") ^ int.from_bytes(b, "big")).to_bytes(
+            n, "big"
+        )
+    )
+
+
+def py_find_ones(buf, nbits: int) -> List[int]:
+    """Ascending positions of the set bits among the first ``nbits``."""
+    out: List[int] = []
+    extend = out.extend
+    lut = _BYTE_ONES
+    base = 0
+    for b in buf:
+        if b:
+            extend([base + i for i in lut[b]])
+        base += 8
+    while out and out[-1] >= nbits:
+        out.pop()
+    return out
+
+
+def py_set_bits(nbits: int, positions: Sequence[int]) -> bytearray:
+    """A fresh packed ``nbits`` buffer with the listed positions set."""
+    out = bytearray((nbits + 7) >> 3)
+    for p in positions:
+        out[p >> 3] |= 0x80 >> (p & 7)
+    return out
+
+
+def py_pack_fields(values: Sequence[int], width: int) -> bytearray:
+    """Pack N ``width``-bit big-endian fields back to back (canonical
+    zero padding in the final byte)."""
+    n = len(values)
+    total = n * width
+    if total <= 0:
+        return bytearray(0)
+    mask = (1 << width) - 1
+    acc = 0
+    for v in values:
+        acc = (acc << width) | (v & mask)
+    return bytearray(
+        (acc << ((-total) & 7)).to_bytes((total + 7) >> 3, "big")
+    )
+
+
+def py_unpack_fields(buf, offset: int, width: int, count: int) -> List[int]:
+    """Read ``count`` consecutive ``width``-bit fields starting at
+    ``offset`` (in range) in one pass."""
+    if count <= 0:
+        return []
+    if width <= 0:
+        return [0] * count
+    total = width * count
+    big = py_get_field(buf, offset, total)
+    mask = (1 << width) - 1
+    out: List[int] = []
+    append = out.append
+    shift = total
+    for _ in range(count):
+        shift -= width
+        append((big >> shift) & mask)
+    return out
+
+
+def py_run_of(buf, pos: int, nbits: int, bit: int) -> int:
+    """Length of the run of ``bit`` starting at ``pos`` (capped at
+    ``nbits - pos``; 0 when ``pos`` is at or past the end)."""
+    if pos >= nbits:
+        return 0
+    byte_i = pos >> 3
+    # Transform so the first *non-matching* bit becomes the first set bit.
+    cur = buf[byte_i]
+    if bit:
+        cur ^= 0xFF
+    cur &= 0xFF >> (pos & 7)
+    if cur:
+        run = (8 - cur.bit_length()) - (pos & 7)
+        return min(run, nbits - pos)
+    run = 8 - (pos & 7)
+    byte_i += 1
+    nbytes = len(buf)
+    while byte_i < nbytes:
+        cur = buf[byte_i]
+        if bit:
+            cur ^= 0xFF
+        if cur:
+            run += 8 - cur.bit_length()
+            break
+        run += 8
+        byte_i += 1
+    return min(run, nbits - pos)
+
+
+# -- numpy batch kernels ------------------------------------------------------
+
+if HAVE_NUMPY:
+    _HAVE_BITWISE_COUNT = hasattr(_np, "bitwise_count")
+
+    def np_popcount(buf) -> int:
+        if len(buf) < _SMALL_BUF:
+            return py_popcount(buf)
+        arr = _np.frombuffer(bytes(buf), dtype=_np.uint8)
+        if _HAVE_BITWISE_COUNT:
+            return int(_np.bitwise_count(arr).sum())
+        return int(_np.unpackbits(arr).sum())
+
+    def np_xor_bytes(a, b) -> bytearray:
+        n = len(a)
+        if n != len(b):
+            raise ValueError(f"cannot XOR {n} bytes with {len(b)} bytes")
+        if n < _SMALL_BUF:
+            return py_xor_bytes(a, b)
+        av = _np.frombuffer(bytes(a), dtype=_np.uint8)
+        bv = _np.frombuffer(bytes(b), dtype=_np.uint8)
+        return bytearray(_np.bitwise_xor(av, bv).tobytes())
+
+    def np_find_ones(buf, nbits: int) -> List[int]:
+        if len(buf) < _SMALL_BUF:
+            return py_find_ones(buf, nbits)
+        bits = _np.unpackbits(_np.frombuffer(bytes(buf), dtype=_np.uint8))
+        return _np.flatnonzero(bits[:nbits]).tolist()
+
+    def np_set_bits(nbits: int, positions: Sequence[int]) -> bytearray:
+        if len(positions) < _SMALL_FIELDS:
+            return py_set_bits(nbits, positions)
+        nbytes = (nbits + 7) >> 3
+        bits = _np.zeros(nbytes << 3, dtype=_np.uint8)
+        bits[_np.asarray(positions, dtype=_np.int64)] = 1
+        return bytearray(_np.packbits(bits).tobytes())
+
+    def np_pack_fields(values: Sequence[int], width: int) -> bytearray:
+        n = len(values)
+        if width <= 0 or width > 64 or n < _SMALL_FIELDS:
+            return py_pack_fields(values, width)
+        arr = _np.asarray(values, dtype=_np.uint64)
+        if width < 64:
+            arr = arr & _np.uint64((1 << width) - 1)
+        bytes_be = arr.astype(">u8").view(_np.uint8).reshape(n, 8)
+        bits = _np.unpackbits(bytes_be, axis=1)[:, 64 - width:]
+        packed = _np.packbits(bits.reshape(-1))
+        return bytearray(packed.tobytes())
+
+    def np_unpack_fields(
+        buf, offset: int, width: int, count: int
+    ) -> List[int]:
+        # width 64 stays pure-Python: the power-of-two weights would
+        # need a 65-bit intermediate.
+        if width <= 0 or width > 63 or count < _SMALL_FIELDS:
+            return py_unpack_fields(buf, offset, width, count)
+        total = width * count
+        span = py_extract_bits(buf, offset, total)
+        bits = _np.unpackbits(
+            _np.frombuffer(bytes(span), dtype=_np.uint8), count=total
+        )
+        m = bits.reshape(count, width).astype(_np.uint64)
+        powers = _np.left_shift(
+            _np.uint64(1), _np.arange(width - 1, -1, -1, dtype=_np.uint64)
+        )
+        return (m * powers).sum(axis=1, dtype=_np.uint64).tolist()
+
+
+# -- import-time backend binding ---------------------------------------------
+
+get_field = py_get_field
+set_field = py_set_field
+extract_bits = py_extract_bits
+splice_bits = py_splice_bits
+run_of = py_run_of
+
+if HAVE_NUMPY:
+    popcount = np_popcount
+    xor_bytes = np_xor_bytes
+    find_ones = np_find_ones
+    set_bits = np_set_bits
+    pack_fields = np_pack_fields
+    unpack_fields = np_unpack_fields
+else:
+    popcount = py_popcount
+    xor_bytes = py_xor_bytes
+    find_ones = py_find_ones
+    set_bits = py_set_bits
+    pack_fields = py_pack_fields
+    unpack_fields = py_unpack_fields
+
+
+# -- retained naive reference (the property-suite oracle) ---------------------
+
+
+def _ref_bit(buf, i: int) -> int:
+    return (buf[i >> 3] >> (7 - (i & 7))) & 1
+
+
+def _ref_set_bit(buf, i: int, v: int) -> None:
+    mask = 0x80 >> (i & 7)
+    if v:
+        buf[i >> 3] |= mask
+    else:
+        buf[i >> 3] &= ~mask & 0xFF
+
+
+def ref_get_field(buf, offset: int, width: int) -> int:
+    value = 0
+    for i in range(width):
+        value = (value << 1) | _ref_bit(buf, offset + i)
+    return value
+
+
+def ref_set_field(buf, offset: int, width: int, value: int) -> None:
+    for i in range(width):
+        _ref_set_bit(buf, offset + i, (value >> (width - 1 - i)) & 1)
+
+
+def ref_extract_bits(buf, offset: int, width: int) -> bytearray:
+    out = bytearray((width + 7) >> 3)
+    for i in range(width):
+        if _ref_bit(buf, offset + i):
+            out[i >> 3] |= 0x80 >> (i & 7)
+    return out
+
+
+def ref_splice_bits(dst, offset: int, src, width: int) -> None:
+    for i in range(width):
+        _ref_set_bit(dst, offset + i, _ref_bit(src, i))
+
+
+def ref_popcount(buf) -> int:
+    return sum(bin(b).count("1") for b in buf)
+
+
+def ref_xor_bytes(a, b) -> bytearray:
+    if len(a) != len(b):
+        raise ValueError(f"cannot XOR {len(a)} bytes with {len(b)} bytes")
+    return bytearray(x ^ y for x, y in zip(a, b))
+
+
+def ref_find_ones(buf, nbits: int) -> List[int]:
+    return [i for i in range(nbits) if _ref_bit(buf, i)]
+
+
+def ref_set_bits(nbits: int, positions: Sequence[int]) -> bytearray:
+    out = bytearray((nbits + 7) >> 3)
+    for p in positions:
+        _ref_set_bit(out, p, 1)
+    return out
+
+
+def ref_pack_fields(values: Sequence[int], width: int) -> bytearray:
+    out = bytearray((len(values) * width + 7) >> 3)
+    for k, v in enumerate(values):
+        ref_set_field(out, k * width, width, v & ((1 << width) - 1) if width else 0)
+    return out if values and width else bytearray(0)
+
+
+def ref_unpack_fields(buf, offset: int, width: int, count: int) -> List[int]:
+    return [
+        ref_get_field(buf, offset + k * width, width) for k in range(count)
+    ]
+
+
+def ref_run_of(buf, pos: int, nbits: int, bit: int) -> int:
+    n = 0
+    while pos + n < nbits and _ref_bit(buf, pos + n) == bit:
+        n += 1
+    return n

@@ -22,16 +22,16 @@ class CompactLogicCodec(ClusterCodec):
     def encode_record(self, w: BitWriter, rec, layout, state=None) -> None:
         w.write(len(rec.pairs), layout.route_count_bits)
         nlb = layout.params.nlb
+        logic = rec.logic
         for k in range(layout.cluster_size * layout.cluster_size):
-            piece = rec.logic.slice(k * nlb, nlb)
-            if piece.count():
+            if logic.get_field(k * nlb, nlb):
                 w.write(1, 1)
-                w.write_bits(piece)
+                w.write_bits(logic.slice(k * nlb, nlb))
             else:
                 w.write(0, 1)
-        for a, b in rec.pairs:
-            w.write(a, layout.m_bits)
-            w.write(b, layout.m_bits)
+        w.write_fields(
+            [m for pair in rec.pairs for m in pair], layout.m_bits
+        )
 
     def decode_record(
         self, r: BitReader, pos: Tuple[int, int], layout: VbsLayout,
@@ -43,9 +43,7 @@ class CompactLogicCodec(ClusterCodec):
         for k in range(layout.cluster_size * layout.cluster_size):
             if r.read(1):
                 logic.overwrite(k * nlb, r.read_bits(nlb))
-        pairs = [
-            (r.read(layout.m_bits), r.read(layout.m_bits)) for _ in range(rc)
-        ]
+        pairs = r.read_pairs(rc, layout.m_bits)
         return ClusterRecord(
             pos, raw=False, logic=logic, pairs=pairs, codec=self.name
         )

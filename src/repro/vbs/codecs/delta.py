@@ -52,9 +52,9 @@ class DeltaLogicCodec(ClusterCodec):
     def encode_record(self, w, rec, layout, state=None) -> None:
         w.write(len(rec.pairs), layout.route_count_bits)
         write_gamma_field(w, self._residue(rec, layout, state))
-        for a, b in rec.pairs:
-            w.write(a, layout.m_bits)
-            w.write(b, layout.m_bits)
+        w.write_fields(
+            [m for pair in rec.pairs for m in pair], layout.m_bits
+        )
 
     def decode_record(
         self,
@@ -66,9 +66,7 @@ class DeltaLogicCodec(ClusterCodec):
         rc = r.read(layout.route_count_bits)
         residue = read_gamma_field(r, layout.logic_bits_per_cluster)
         logic = residue ^ self._reference(layout, state)
-        pairs = [
-            (r.read(layout.m_bits), r.read(layout.m_bits)) for _ in range(rc)
-        ]
+        pairs = r.read_pairs(rc, layout.m_bits)
         return ClusterRecord(
             pos, raw=False, logic=logic, pairs=pairs, codec=self.name
         )

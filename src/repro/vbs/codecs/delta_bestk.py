@@ -81,9 +81,9 @@ class DeltaBestKCodec(ClusterCodec):
         index, residue, _cost = self._best_reference(rec, layout, state)
         w.write(index, DELTA_REF_BITS)
         write_gamma_field(w, residue)
-        for a, b in rec.pairs:
-            w.write(a, layout.m_bits)
-            w.write(b, layout.m_bits)
+        w.write_fields(
+            [m for pair in rec.pairs for m in pair], layout.m_bits
+        )
 
     def decode_record(
         self,
@@ -96,9 +96,7 @@ class DeltaBestKCodec(ClusterCodec):
         index = r.read(DELTA_REF_BITS)
         residue = read_gamma_field(r, layout.logic_bits_per_cluster)
         logic = residue ^ self._references(layout, state)[index]
-        pairs = [
-            (r.read(layout.m_bits), r.read(layout.m_bits)) for _ in range(rc)
-        ]
+        pairs = r.read_pairs(rc, layout.m_bits)
         return ClusterRecord(
             pos, raw=False, logic=logic, pairs=pairs, codec=self.name
         )

@@ -49,9 +49,9 @@ class DictionaryLogicCodec(ClusterCodec):
             )
         w.write(len(rec.pairs), layout.route_count_bits)
         w.write(index, layout.dict_index_bits)
-        for a, b in rec.pairs:
-            w.write(a, layout.m_bits)
-            w.write(b, layout.m_bits)
+        w.write_fields(
+            [m for pair in rec.pairs for m in pair], layout.m_bits
+        )
 
     def decode_record(
         self,
@@ -68,9 +68,7 @@ class DictionaryLogicCodec(ClusterCodec):
                 f"the {len(layout.dict_table)}-pattern table"
             )
         logic = layout.dict_table[index].copy()
-        pairs = [
-            (r.read(layout.m_bits), r.read(layout.m_bits)) for _ in range(rc)
-        ]
+        pairs = r.read_pairs(rc, layout.m_bits)
         return ClusterRecord(
             pos, raw=False, logic=logic, pairs=pairs, codec=self.name
         )

@@ -63,9 +63,9 @@ class GolombRiceLogicCodec(ClusterCodec):
             w.write(k, RICE_K_BITS)
             for gap in gaps:
                 write_rice(w, gap - 1, k)
-        for a, b in rec.pairs:
-            w.write(a, layout.m_bits)
-            w.write(b, layout.m_bits)
+        w.write_fields(
+            [m for pair in rec.pairs for m in pair], layout.m_bits
+        )
 
     def decode_record(
         self,
@@ -87,9 +87,7 @@ class GolombRiceLogicCodec(ClusterCodec):
         else:
             gaps = iter(())
         logic = from_ones_gaps(gaps, layout.logic_bits_per_cluster)
-        pairs = [
-            (r.read(layout.m_bits), r.read(layout.m_bits)) for _ in range(rc)
-        ]
+        pairs = r.read_pairs(rc, layout.m_bits)
         return ClusterRecord(
             pos, raw=False, logic=logic, pairs=pairs, codec=self.name
         )
@@ -117,9 +115,9 @@ class EliasGammaLogicCodec(ClusterCodec):
     def encode_record(self, w, rec, layout, state=None) -> None:
         w.write(len(rec.pairs), layout.route_count_bits)
         write_gamma_field(w, rec.logic)
-        for a, b in rec.pairs:
-            w.write(a, layout.m_bits)
-            w.write(b, layout.m_bits)
+        w.write_fields(
+            [m for pair in rec.pairs for m in pair], layout.m_bits
+        )
 
     def decode_record(
         self,
@@ -130,9 +128,7 @@ class EliasGammaLogicCodec(ClusterCodec):
     ) -> ClusterRecord:
         rc = r.read(layout.route_count_bits)
         logic = read_gamma_field(r, layout.logic_bits_per_cluster)
-        pairs = [
-            (r.read(layout.m_bits), r.read(layout.m_bits)) for _ in range(rc)
-        ]
+        pairs = r.read_pairs(rc, layout.m_bits)
         return ClusterRecord(
             pos, raw=False, logic=logic, pairs=pairs, codec=self.name
         )

@@ -18,9 +18,9 @@ class ConnectionListCodec(ClusterCodec):
     def encode_record(self, w: BitWriter, rec, layout, state=None) -> None:
         w.write(len(rec.pairs), layout.route_count_bits)
         w.write_bits(rec.logic)
-        for a, b in rec.pairs:
-            w.write(a, layout.m_bits)
-            w.write(b, layout.m_bits)
+        w.write_fields(
+            [m for pair in rec.pairs for m in pair], layout.m_bits
+        )
 
     def decode_record(
         self, r: BitReader, pos: Tuple[int, int], layout: VbsLayout,
@@ -28,9 +28,7 @@ class ConnectionListCodec(ClusterCodec):
     ) -> ClusterRecord:
         rc = r.read(layout.route_count_bits)
         logic = r.read_bits(layout.logic_bits_per_cluster)
-        pairs = [
-            (r.read(layout.m_bits), r.read(layout.m_bits)) for _ in range(rc)
-        ]
+        pairs = r.read_pairs(rc, layout.m_bits)
         return ClusterRecord(
             pos, raw=False, logic=logic, pairs=pairs, codec=self.name
         )

@@ -64,9 +64,9 @@ class AdaptiveRiceLogicCodec(ClusterCodec):
             for value in values:
                 write_rice(w, value, k)
                 k = advance_adaptive_k(k, value)
-        for a, b in rec.pairs:
-            w.write(a, layout.m_bits)
-            w.write(b, layout.m_bits)
+        w.write_fields(
+            [m for pair in rec.pairs for m in pair], layout.m_bits
+        )
 
     def decode_record(
         self,
@@ -90,9 +90,7 @@ class AdaptiveRiceLogicCodec(ClusterCodec):
                 gaps.append(value + 1)
                 k = advance_adaptive_k(k, value)
         logic = from_ones_gaps(iter(gaps), layout.logic_bits_per_cluster)
-        pairs = [
-            (r.read(layout.m_bits), r.read(layout.m_bits)) for _ in range(rc)
-        ]
+        pairs = r.read_pairs(rc, layout.m_bits)
         return ClusterRecord(
             pos, raw=False, logic=logic, pairs=pairs, codec=self.name
         )

@@ -41,16 +41,19 @@ class RunLengthLogicCodec(ClusterCodec):
 
     def encode_record(self, w: BitWriter, rec, layout, state=None) -> None:
         w.write(len(rec.pairs), layout.route_count_bits)
+        logic = rec.logic
         for offset, width in self._chunks(layout):
-            piece = rec.logic.slice(offset, width)
-            if piece.count():
+            # An MSB-first field holds exactly the chunk's bits, so a
+            # field write emits the same stream as the old slice copy.
+            chunk = logic.get_field(offset, width)
+            if chunk:
                 w.write(1, 1)
-                w.write_bits(piece)
+                w.write(chunk, width)
             else:
                 w.write(0, 1)
-        for a, b in rec.pairs:
-            w.write(a, layout.m_bits)
-            w.write(b, layout.m_bits)
+        w.write_fields(
+            [m for pair in rec.pairs for m in pair], layout.m_bits
+        )
 
     def decode_record(
         self, r: BitReader, pos: Tuple[int, int], layout: VbsLayout,
@@ -60,10 +63,8 @@ class RunLengthLogicCodec(ClusterCodec):
         logic = BitArray(layout.logic_bits_per_cluster)
         for offset, width in self._chunks(layout):
             if r.read(1):
-                logic.overwrite(offset, r.read_bits(width))
-        pairs = [
-            (r.read(layout.m_bits), r.read(layout.m_bits)) for _ in range(rc)
-        ]
+                logic.set_field(offset, width, r.read(width))
+        pairs = r.read_pairs(rc, layout.m_bits)
         return ClusterRecord(
             pos, raw=False, logic=logic, pairs=pairs, codec=self.name
         )
@@ -74,7 +75,7 @@ class RunLengthLogicCodec(ClusterCodec):
         logic_bits = 0
         for offset, width in self._chunks(layout):
             logic_bits += 1
-            if rec.logic.slice(offset, width).count():
+            if rec.logic.get_field(offset, width):
                 logic_bits += width
         return (
             layout.record_overhead_bits

@@ -45,13 +45,8 @@ def write_elias_gamma(w: BitWriter, value: int) -> None:
 
 
 def read_elias_gamma(r: BitReader) -> int:
-    zeros = 0
-    while r.read(1) == 0:
-        zeros += 1
-    value = 1
-    for _ in range(zeros):
-        value = (value << 1) | r.read(1)
-    return value
+    zeros = r.read_unary_zeros()
+    return (1 << zeros) | r.read(zeros)
 
 
 def rice_len(value: int, k: int) -> int:
@@ -65,17 +60,15 @@ def write_rice(w: BitWriter, value: int, k: int) -> None:
     if value < 0:
         raise ValueError(f"Rice codes non-negative integers, got {value}")
     q = value >> k
-    for _ in range(q):
-        w.write(1, 1)
+    if q:
+        w.write((1 << q) - 1, q)
     w.write(0, 1)
     if k:
         w.write(value & ((1 << k) - 1), k)
 
 
 def read_rice(r: BitReader, k: int) -> int:
-    q = 0
-    while r.read(1) == 1:
-        q += 1
+    q = r.read_unary_ones()
     rem = r.read(k) if k else 0
     return (q << k) | rem
 
@@ -89,10 +82,9 @@ def ones_gaps(bits: BitArray) -> List[int]:
     """
     gaps: List[int] = []
     prev = -1
-    for i, bit in enumerate(bits):
-        if bit:
-            gaps.append(i - prev)
-            prev = i
+    for i in bits.ones():
+        gaps.append(i - prev)
+        prev = i
     return gaps
 
 
@@ -104,17 +96,19 @@ def from_ones_gaps(gaps: Iterator[int], width: int) -> BitArray:
     index fault — the decoders surface it like every other malformed
     record body.
     """
-    out = BitArray(width)
+    positions: List[int] = []
     pos = -1
     for gap in gaps:
         pos += gap
         if pos >= width:
+            # Raise before pulling further gaps off a lazy decoder — the
+            # reader position at the fault is part of the error contract.
             raise VbsError(
                 f"run-length gap sum {pos} overruns the {width}-bit field "
                 f"(corrupted container?)"
             )
-        out[pos] = 1
-    return out
+        positions.append(pos)
+    return BitArray.from_ones(width, positions)
 
 
 def gamma_field_len(bits: BitArray) -> int:

@@ -97,16 +97,14 @@ def decode_vbs(
             stats.clusters_raw += 1
             stats.raw_bits_copied += layout.raw_bits_per_cluster
             for (i, j) in members:
-                frame = rec.raw_frames.slice((j * c + i) * nraw, nraw)
+                base = (j * c + i) * nraw
                 gx, gy = ox + cx * c + i, oy + cy * c + j
-                logic = frame.slice(0, nlb)
+                logic = rec.raw_frames.slice(base, nlb)
                 if logic.count():
                     config.set_logic(gx, gy, logic)
-                offsets = [
-                    off
-                    for off in range(arch.routing_bits)
-                    if frame[nlb + off]
-                ]
+                offsets = rec.raw_frames.slice(
+                    base + nlb, arch.routing_bits
+                ).ones()
                 if offsets:
                     config.close_switches(gx, gy, offsets)
             continue
@@ -139,9 +137,12 @@ def decode_vbs(
             gx, gy = ox + cx * c + i, oy + cy * c + j
             config.close_switches(gx, gy, offsets)
         for (i, j) in members:
-            logic = rec.logic.slice((j * c + i) * nlb, nlb)
-            if logic.count():
-                config.set_logic(ox + cx * c + i, oy + cy * c + j, logic)
+            base = (j * c + i) * nlb
+            if rec.logic.get_field(base, nlb):
+                config.set_logic(
+                    ox + cx * c + i, oy + cy * c + j,
+                    rec.logic.slice(base, nlb),
+                )
 
     return config, stats
 

@@ -215,6 +215,37 @@ class DecodeMemo:
         self.restored += len(fresh)
         return len(fresh)
 
+    def snapshot_keys(self) -> frozenset:
+        """The keys currently resident — a baseline for :meth:`dump_delta`."""
+        with self._mutate:
+            return frozenset(self._entries)
+
+    def dump_delta(self, path: "Path | str", baseline: frozenset) -> int:
+        """Persist only the entries gained since ``baseline``; returns count.
+
+        Same file format as :meth:`save` (so :meth:`load` folds a delta
+        file like any other memo file), same atomic rename.  Process-pool
+        workers use this at exit: each dumps what it discovered beyond
+        its warm start into a private per-worker file, and the parent
+        merges the deltas into the shared persisted memo.  Writes nothing
+        when there is nothing new.
+        """
+        with self._mutate:
+            entries = [
+                (key, value)
+                for key, value in self._entries.items()
+                if key not in baseline
+            ]
+        if not entries:
+            return 0
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"format": MEMO_FILE_FORMAT, "entries": entries}
+        tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
+        tmp.write_bytes(pickle.dumps(payload))
+        os.replace(tmp, path)
+        return len(entries)
+
     def decode(
         self,
         model: ClusterModel,
@@ -276,15 +307,26 @@ class ClusterDecoder:
         valid_macros: Optional[Set[Tuple[int, int]]] = None,
     ):
         self.model = model
-        #: Net id per occupied segment (absent = free).
-        self._seg_net: Dict[int, int] = {}
+        nsegs = model.num_segments
+        #: Net id per segment (None = free).  Flat per-segment arrays keep
+        #: the BFS inner loop to plain list indexing — no hashing.
+        self._seg_net: List[Optional[int]] = [None] * nsegs
         self._net_segs: Dict[int, List[int]] = {}
         self._net_switches: Dict[int, List[Tuple[Tuple[int, int], int]]] = {}
         self._net_pairs: Dict[int, List[Pair]] = {}
         self._net_of_io: Dict[int, int] = {}
         self._next_net = 0
         self._result = DevirtResult()
-        self._protected: Dict[int, int] = {}
+        #: Protecting pin I/O per segment (None = unprotected).
+        self._protected: List[Optional[int]] = [None] * nsegs
+        self._own_mask: Dict[int, int] = {}
+        #: Generation-stamped visited/predecessor arrays reused across BFS
+        #: runs: bumping ``_gen`` invalidates every stamp at once, so no
+        #: per-search allocation or clearing.
+        self._stamp = [0] * nsegs
+        self._prev = [0] * nsegs
+        self._via = [0] * nsegs
+        self._gen = 0
         #: Segments outside the task rectangle are unusable (partial edge
         #: clusters); both encoder and decoder derive the same mask from the
         #: task dimensions, keeping the feedback-loop contract exact.
@@ -295,15 +337,35 @@ class ClusterDecoder:
                 (i, j) for i in range(model.c) for j in range(model.c)
             }
             self._blocked_cells = all_cells - set(valid_macros)
+        if not self._blocked_cells:
+            usable = [True] * nsegs
+            clear_mask = model.clear_mask_full
+        else:
+            blocked = self._blocked_cells
+            usable = [True] * nsegs
+            clear_mask = model.clear_mask_full
+            for seg, key in enumerate(model.seg_keys):
+                if (key[0], key[1]) in blocked:
+                    usable[seg] = False
+                    clear_mask &= ~(1 << seg)
+        self._usable = usable
+        #: Bit s set iff segment s is usable AND not endpoint-only — the
+        #: static part of the BFS pass/skip decision for a non-target
+        #: neighbour.
+        self._clear_mask = clear_mask
+        #: ``_clear_mask`` AND currently unoccupied, maintained by claim/
+        #: rip-up.  Valid as the whole non-target filter because every
+        #: segment of the searching net is a BFS seed (already visited), so
+        #: an unvisited neighbour is either free or owned by another net.
+        self._free_mask = clear_mask
+        #: ``_free_mask`` AND not pin-protected; kept in lockstep so the
+        #: protection-pass BFS starts from one value.
+        self._free_unprot_mask = clear_mask
 
     # -- helpers -----------------------------------------------------------------
 
     def _seg_usable(self, seg: int) -> bool:
-        if self._blocked_cells:
-            key = self.model.seg_keys[seg]
-            if (key[0], key[1]) in self._blocked_cells:
-                return False
-        return True
+        return self._usable[seg]
 
     def _io_seg(self, io: int) -> int:
         try:
@@ -320,6 +382,9 @@ class ClusterDecoder:
 
     def _claim(self, seg: int, net: int) -> None:
         self._seg_net[seg] = net
+        bit = ~(1 << seg)
+        self._free_mask &= bit
+        self._free_unprot_mask &= bit
         self._net_segs[net].append(seg)
 
     def _new_net(self) -> int:
@@ -332,23 +397,51 @@ class ClusterDecoder:
 
     def protect_pins(self, connections: Sequence[Pair]) -> None:
         """Pre-scan the list and protect the pin lines of listed block pins."""
-        self._protected = {}
+        model = self.model
+        pin_io_base = model.pin_io_base
+        io_count = model.io_count
+        pin_line_segments = model.pin_line_segments
+        protected: List[Optional[int]] = [None] * model.num_segments
+        own_mask: Dict[int, int] = {}
+        prot_mask = 0
         for pair in connections:
             for io in pair:
-                if self.model.is_pin_io(io):
-                    for seg in self.model.pin_line_segments(io):
-                        self._protected.setdefault(seg, io)
+                if pin_io_base <= io < io_count and io not in own_mask:
+                    owned = 0
+                    for seg in pin_line_segments(io):
+                        if protected[seg] is None:
+                            protected[seg] = io
+                            owned |= 1 << seg
+                    own_mask[io] = owned
+                    prot_mask |= owned
+        self._protected = protected
+        #: Per pin I/O: bitmask of the pin-line segments it protects (first
+        #: listed pin wins a contested segment) — the BFS re-allows these
+        #: with two mask ops instead of walking the line.
+        self._own_mask = own_mask
+        self._free_unprot_mask = self._free_mask & ~prot_mask
 
     # -- single connection ---------------------------------------------------------
 
     def _commit_path(self, path: List[Tuple[int, int]], net: int) -> None:
-        model = self.model
+        switch_cells = self.model.switch_cells
+        closed = self._result.closed
+        net_switches = self._net_switches[net]
+        net_segs = self._net_segs[net]
+        seg_net = self._seg_net
         for seg, switch_id in path[1:]:
-            sw = model.switches[switch_id]
-            self._result.close((sw.macro_i, sw.macro_j), sw.offset)
-            self._net_switches[net].append(((sw.macro_i, sw.macro_j), sw.offset))
-            if self._seg_net.get(seg) is None:
-                self._claim(seg, net)
+            macro, offset = switch_cells[switch_id]
+            members = closed.get(macro)
+            if members is None:
+                members = closed[macro] = set()
+            members.add(offset)
+            net_switches.append((macro, offset))
+            if seg_net[seg] is None:
+                seg_net[seg] = net
+                bit = ~(1 << seg)
+                self._free_mask &= bit
+                self._free_unprot_mask &= bit
+                net_segs.append(seg)
 
     def _route_pair(self, in_io: int, out_io: int) -> "Optional[List[int]]":
         """Route one pair.
@@ -360,8 +453,8 @@ class ClusterDecoder:
         model = self.model
         a = self._io_seg(in_io)
         b = self._io_seg(out_io)
-        net_a = self._seg_net.get(a)
-        net_b = self._seg_net.get(b)
+        net_a = self._seg_net[a]
+        net_b = self._seg_net[b]
 
         if net_a is not None and net_a == net_b:
             self._result.connections_skipped += 1
@@ -384,7 +477,12 @@ class ClusterDecoder:
             target = b
 
         sources = self._net_segs[net]
-        allowed = {io for io in (in_io, out_io) if model.is_pin_io(io)}
+        pin_io_base = model.pin_io_base
+        allowed = {
+            io
+            for io in (in_io, out_io)
+            if pin_io_base <= io < model.io_count
+        }
         path = self._bfs(sources, target, net, allowed, protection=True)
         if path is None:
             path = self._bfs(sources, target, net, allowed, protection=False)
@@ -419,47 +517,103 @@ class ClusterDecoder:
     ) -> "Optional[List[Tuple[int, int]]]":
         """Deterministic BFS; ``[(seed, -1), (seg, switch), ...]`` or None."""
         model = self.model
-        seg_net = self._seg_net
-        terminal = model.terminal_segs
-        protected = self._protected
-        came: Dict[int, Tuple[int, int]] = {}
-        queue = deque()
-        for seed in sorted(sources):
-            came[seed] = (-1, -1)
-            queue.append(seed)
-        work = 0
+        adjacency = model.adjacency
+        prev = self._prev
+        via = self._via
+        queue = sorted(sources)
+        push = queue.append
+        head = 0
         found = False
-        while queue:
-            seg = queue.popleft()
-            work += 1
-            if seg == target:
-                found = True
-                break
-            for nbr, switch_id in model.adjacency[seg]:
-                if nbr in came:
-                    continue
-                occupant = seg_net.get(nbr)
-                if occupant is not None and occupant != net and not through_others:
-                    continue
-                if nbr != target and nbr in terminal:
-                    continue  # endpoint-only segments
-                if protection:
-                    owner = protected.get(nbr)
-                    if owner is not None and owner not in allowed_pin_ios:
-                        continue  # reserved for a listed block pin
-                if not self._seg_usable(nbr):
-                    continue
-                came[nbr] = (seg, switch_id)
-                queue.append(nbr)
-        self._result.work += work
+
+        if through_others:
+            # Discovery pass (rare): the original predicate chain, verbatim,
+            # with the generation-stamped visited set.
+            stamp = self._stamp
+            self._gen += 1
+            gen = self._gen
+            for seed in queue:
+                stamp[seed] = gen
+                prev[seed] = -1
+                via[seed] = -1
+            seg_net = self._seg_net
+            terminal = model.terminal_mask
+            protected = self._protected
+            usable = self._usable
+            while head < len(queue):
+                seg = queue[head]
+                head += 1
+                if seg == target:
+                    found = True
+                    break
+                for nbr, switch_id in adjacency[seg]:
+                    if stamp[nbr] == gen:
+                        continue
+                    if nbr != target and terminal[nbr]:
+                        continue  # endpoint-only segments
+                    if protection:
+                        owner = protected[nbr]
+                        if owner is not None and owner not in allowed_pin_ios:
+                            continue  # reserved for a listed block pin
+                    if not usable[nbr]:
+                        continue
+                    stamp[nbr] = gen
+                    prev[nbr] = seg
+                    via[nbr] = switch_id
+                    push(nbr)
+        else:
+            # The common passes fold every accept/reject predicate into one
+            # per-search bitmask: bit s of ``ok`` is set iff s may still be
+            # pushed.  Exact because (a) an unvisited neighbour is never
+            # own-net occupied — every own-net segment is a seed; (b) the
+            # target is always free, usable, and (when protection is on)
+            # protected only by a pin of this very connection, so its bit is
+            # forced on; (c) clearing bits on push doubles as the visited
+            # set; (d) ascending bit order equals the sorted adjacency
+            # order, and ``switch_to`` keeps the first switch of a pair just
+            # as the first visit would.
+            if protection:
+                ok = self._free_unprot_mask
+                free = self._free_mask
+                own_mask = self._own_mask
+                for io in allowed_pin_ios:
+                    owned = own_mask.get(io)
+                    if owned:
+                        ok |= free & owned
+            else:
+                ok = self._free_mask
+            for seed in queue:
+                ok &= ~(1 << seed)
+                prev[seed] = -1
+                via[seed] = -1
+            ok |= 1 << target
+            nbr_masks = model.nbr_masks
+            switch_to = model.switch_to
+            while head < len(queue):
+                seg = queue[head]
+                head += 1
+                if seg == target:
+                    found = True
+                    break
+                cand = nbr_masks[seg] & ok
+                if cand:
+                    ok ^= cand
+                    first_sw = switch_to[seg]
+                    while cand:
+                        bit = cand & -cand
+                        cand ^= bit
+                        nbr = bit.bit_length() - 1
+                        prev[nbr] = seg
+                        via[nbr] = first_sw[nbr]
+                        push(nbr)
+
+        self._result.work += head
         if not found:
             return None
         path = []
         seg = target
         while seg != -1:
-            prev, switch_id = came[seg]
-            path.append((seg, switch_id))
-            seg = prev
+            path.append((seg, via[seg]))
+            seg = prev[seg]
         path.reverse()
         return path
 
@@ -476,10 +630,11 @@ class ClusterDecoder:
         )
         if path is None:
             return None
+        seg_net = self._seg_net
         blockers = {
-            self._seg_net[seg]
+            seg_net[seg]
             for seg, _sw in path
-            if seg in self._seg_net and self._seg_net[seg] != net
+            if seg_net[seg] is not None and seg_net[seg] != net
         }
         return sorted(blockers)
 
@@ -488,7 +643,11 @@ class ClusterDecoder:
     def _rip_up(self, net: int, keep_pairs: bool = True) -> List[Pair]:
         """Tear a net down; return its processed pairs for re-queueing."""
         for seg in self._net_segs.pop(net, []):
-            self._seg_net.pop(seg, None)
+            self._seg_net[seg] = None
+            free_bit = self._clear_mask & (1 << seg)
+            self._free_mask |= free_bit
+            if self._protected[seg] is None:
+                self._free_unprot_mask |= free_bit
         for macro, offset in self._net_switches.pop(net, []):
             self._result.open(macro, offset)
         pairs = self._net_pairs.pop(net, [])

@@ -513,6 +513,13 @@ class EncodeContext:
     #: init (memos do not cross process boundaries, but a file does).
     #: ``None`` keeps the historical cold per-worker memo.
     memo_path: Optional[str] = None
+    #: Merge-on-exit scratch directory: when set, each process worker
+    #: dumps the memo entries it discovered beyond its warm start into
+    #: ``merge_dir/worker-<pid>.pkl`` at interpreter exit, and the parent
+    #: folds the per-worker deltas into the shared memo after the pool
+    #: shuts down.  ``None`` (thread/serial runs, or no ``memo_path``)
+    #: disables the dump.
+    merge_dir: Optional[str] = None
 
 
 @dataclass
@@ -658,10 +665,27 @@ def _process_worker_init(ctx: EncodeContext) -> None:
     _WORKER_MEMO = DecodeMemo()
     if ctx.memo_path is not None:
         # Warm start from the persisted memo (tolerant load: a corrupt
-        # or missing file just leaves the worker memo cold).  Worker
-        # discoveries stay private and die with the pool — only
-        # serial/thread runs extend the file.
+        # or missing file just leaves the worker memo cold).
         _WORKER_MEMO.load(ctx.memo_path)
+    if ctx.merge_dir is not None:
+        # Merge-on-exit: dump everything discovered beyond the warm
+        # start into a per-worker delta file when the worker exits.
+        # Pool workers leave through ``os._exit`` (multiprocessing's
+        # ``_bootstrap``), which skips ``atexit`` — the hook that does
+        # run there is ``multiprocessing.util``'s finalizer registry,
+        # on both fork and spawn.  The parent folds the deltas into the
+        # persisted memo after the pool shuts down.
+        import os as _os
+        from multiprocessing import util as _mp_util
+        from pathlib import Path as _Path
+
+        memo = _WORKER_MEMO
+        baseline = memo.snapshot_keys()
+        delta_path = _Path(ctx.merge_dir) / f"worker-{_os.getpid()}.pkl"
+        _mp_util.Finalize(
+            None, memo.dump_delta, args=(delta_path, baseline),
+            exitpriority=0,
+        )
 
 
 #: Work-item chunks handed to each process worker are sized so every
@@ -990,8 +1014,10 @@ def encode_design(
     or ``"process"``, which ships picklable :class:`ClusterWorkItem`\\ s
     to a ``ProcessPoolExecutor`` — real parallelism for the router-heavy
     order search.  Process workers keep a private per-process memo; the
-    caller-supplied ``memo`` is not consulted at all on that path
-    (memos do not cross process boundaries).
+    caller-supplied ``memo`` is not consulted for work items on that
+    path (live memos do not cross process boundaries), though with
+    ``memo_path`` set the worker deltas are folded back into it after
+    the pool exits.
 
     ``memo`` shares a :class:`DecodeMemo` *across* encode invocations —
     a cluster-size or codec sweep over the same design replays identical
@@ -1014,24 +1040,23 @@ def encode_design(
 
     ``memo_path`` persists the memo across *processes* the way ``memo``
     shares it across invocations: the run warm-starts from the file
-    (tolerantly — a missing or corrupt file restores nothing) and
-    serial/thread runs save the extended memo back when done.  Process
-    workers mirror the warm start into their private per-worker memos
-    through the pool initializer; their discoveries are not persisted
-    (worker memos die with the pool), so a process run reads the file
-    without extending it.  Never changes the emitted bytes — the memo
-    only skips deterministic router replays.
+    (tolerantly — a missing or corrupt file restores nothing) and saves
+    the extended memo back when done.  Process workers mirror the warm
+    start into their private per-worker memos through the pool
+    initializer and dump what they discovered beyond it into per-worker
+    delta files at exit; the parent folds the deltas into the shared
+    memo after the pool shuts down, so pool discoveries warm subsequent
+    runs exactly like serial/thread ones.  Never changes the emitted
+    bytes — the memo only skips deterministic router replays.
     """
-    pooled_process = (
-        workers is not None and workers > 1 and backend == "process"
-    )
     if memo is None:
         memo = DecodeMemo()
-    if memo_path is not None and not pooled_process:
-        # Pooled-process runs never consult the parent memo (workers
-        # warm-start themselves through the pool initializer), so the
-        # parent skips both the load and the save — the file stays
-        # exactly as the last serial/thread run left it.
+    if memo_path is not None:
+        # On the pooled process path the parent memo is not consulted
+        # for work items (workers warm-start themselves through the pool
+        # initializer), but the parent still loads the file so the
+        # post-pool save preserves its entries alongside the merged
+        # worker deltas.
         memo.load(memo_path)
     pipeline = _encode_pipeline(
         design, placement, routing, rrg, config,
@@ -1050,7 +1075,7 @@ def encode_design(
         layout, records = _family_pass(
             records, layout, pipeline.allowed, pipeline.raw_frames
         )
-    if memo_path is not None and not pooled_process:
+    if memo_path is not None:
         memo.save(memo_path)
     return _finalize_container(layout, records, pipeline.stats)
 
@@ -1155,19 +1180,41 @@ def _encode_pipeline(
             ))
 
     if workers is not None and workers > 1 and backend == "process":
+        import shutil
+        import tempfile
         from concurrent.futures import ProcessPoolExecutor
+        from dataclasses import replace as _dc_replace
+        from pathlib import Path as _Path
 
+        merge_dir: Optional[str] = None
+        if ctx.memo_path is not None:
+            # Stage per-worker delta files next to the persisted memo so
+            # the atomic renames stay on one filesystem.
+            merge_dir = tempfile.mkdtemp(
+                prefix="memo-merge-", dir=str(_Path(ctx.memo_path).parent)
+            )
+            ctx = _dc_replace(ctx, merge_dir=merge_dir)
         chunks = _chunk_work_items(items, workers)
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_process_worker_init,
-            initargs=(ctx,),
-        ) as pool:
-            outcomes = [
-                outcome
-                for batch in pool.map(_process_encode_chunk, chunks)
-                for outcome in batch
-            ]
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_process_worker_init,
+                initargs=(ctx,),
+            ) as pool:
+                outcomes = [
+                    outcome
+                    for batch in pool.map(_process_encode_chunk, chunks)
+                    for outcome in batch
+                ]
+            if merge_dir is not None:
+                # Fold worker discoveries into the parent memo (sorted
+                # for determinism; overlapping keys carry identical
+                # deterministic results, first file wins).
+                for delta in sorted(_Path(merge_dir).glob("worker-*.pkl")):
+                    memo.load(delta)
+        finally:
+            if merge_dir is not None:
+                shutil.rmtree(merge_dir, ignore_errors=True)
     elif workers is not None and workers > 1:
         from concurrent.futures import ThreadPoolExecutor
 
@@ -1324,14 +1371,12 @@ def encode_task(
             f"shared dictionary id {dict_id} outside "
             f"[1, {1 << SHARED_DICT_ID_BITS})"
         )
-    pooled_process = (
-        workers is not None and workers > 1 and backend == "process"
-    )
     if memo is None:
         memo = DecodeMemo()
-    if memo_path is not None and not pooled_process:
-        # Same contract as encode_design: the parent memo is bypassed
-        # entirely on the pooled process path.
+    if memo_path is not None:
+        # Same contract as encode_design: worker deltas are merged into
+        # this memo by each pipeline, and the save below persists the
+        # union.
         memo.load(memo_path)
     pipelines = [
         _encode_pipeline(
@@ -1425,7 +1470,7 @@ def encode_task(
             records, layout = p.records, p.layout
         containers.append(_finalize_container(layout, records, p.stats))
 
-    if memo_path is not None and not pooled_process:
+    if memo_path is not None:
         memo.save(memo_path)
     return TaskEncodeResult(
         containers=containers,

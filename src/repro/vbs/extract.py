@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
-from repro.arch.rrg import KIND_LINE, RoutingGraph
+from repro.arch.rrg import RoutingGraph
 from repro.bitstream.expand import edge_junction_cell
 from repro.cad.pack import PackedDesign
 from repro.cad.place import Placement
@@ -90,68 +90,115 @@ def extract_components(
     """
     by_cluster: Dict[Cell, List[Component]] = {}
 
+    # Node decoding, junction lookup and I/O numbering are inlined integer
+    # arithmetic here (see repro.arch.rrg for the node id layout): the walk
+    # visits every routed edge and the tiny helpers dominate its runtime.
+    per_cell = rrg.per_cell
+    fw = rrg.fabric.width
+    fh = rrg.fabric.height
+    W = rrg.W
+    W2 = 2 * W
+    c = layout.cluster_size
+    L = layout.params.num_lb_pins
+    pin_base = 4 * c * W
+    west, east, south, north = 0, c * W, 2 * c * W, 3 * c * W
+
+    def cross(fx: int, fy: int, tx: int, ty: int, track: int):
+        # Inline of crossing_ios over pre-localized layout constants.
+        if tx == fx + 1 and ty == fy:
+            return east + (fy % c) * W + track, west + (ty % c) * W + track
+        if tx == fx - 1 and ty == fy:
+            return west + (fy % c) * W + track, east + (ty % c) * W + track
+        if tx == fx and ty == fy + 1:
+            return north + (fx % c) * W + track, south + (tx % c) * W + track
+        if tx == fx and ty == fy - 1:
+            return south + (fx % c) * W + track, north + (tx % c) * W + track
+        raise VbsError(f"cells {(fx, fy)} and {(tx, ty)} are not neighbours")
+
     for net_name in sorted(routing.trees):
         tree = routing.trees[net_name]
         children = tree.children_map()
         sink_set = set(tree.sinks)
+        source = tree.source
 
-        src_kind, src_pin = rrg.node_kind(tree.source)
-        if src_kind != KIND_LINE:
+        cell, k = divmod(source, per_cell)
+        if k < W2:
             raise VbsError(f"net {net_name}: source is not a pin line")
-        sx, sy = rrg.node_cell(tree.source)
-        src_cluster = layout.cluster_of_cell(sx, sy)
+        sy, sx = divmod(cell, fw)
+        src_cluster = (sx // c, sy // c)
         root_comp = Component(
-            net_name, src_cluster, pin_io(layout, sx, sy, src_pin)
+            net_name,
+            src_cluster,
+            pin_base + ((sy % c) * c + sx % c) * L + (k - W2),
         )
         by_cluster.setdefault(src_cluster, []).append(root_comp)
 
         # Iterative DFS carrying the active component.
-        stack: List[Tuple[int, Component]] = [(tree.source, root_comp)]
+        stack: List[Tuple[int, Component]] = [(source, root_comp)]
         while stack:
             node, comp = stack.pop()
-            kind, idx = rrg.node_kind(node)
-            if node != tree.source and node in sink_set and kind == KIND_LINE:
-                x, y = rrg.node_cell(node)
-                comp.exits.append(pin_io(layout, x, y, idx))
-            for child in reversed(children.get(node, [])):
-                child_comp = self_comp = comp
-                junction = edge_junction_cell(rrg, node, child)
+            ncell, nk = divmod(node, per_cell)
+            ny, nx = divmod(ncell, fw)
+            if node != source and nk >= W2 and node in sink_set:
+                comp.exits.append(
+                    pin_base + ((ny % c) * c + nx % c) * L + (nk - W2)
+                )
+            kids = children.get(node)
+            if not kids:
+                continue
+            for child in reversed(kids):
+                child_comp = comp
+                ccell, ck = divmod(child, per_cell)
+                cy, cx = divmod(ccell, fw)
+                # Junction macro of edge (node, child): a pin line's own
+                # cell, else the unique shared switch-box cell of the two
+                # track wires (each track reaches its own cell plus the
+                # east/north neighbour when in bounds).
+                if nk >= W2:
+                    jx, jy = nx, ny
+                elif ck >= W2:
+                    jx, jy = cx, cy
+                else:
+                    if nk < W:
+                        u2x, u2y = nx + 1, ny
+                    else:
+                        u2x, u2y = nx, ny + 1
+                    if ck < W:
+                        v2x, v2y = cx + 1, cy
+                    else:
+                        v2x, v2y = cx, cy + 1
+                    v2_ok = v2x < fw and v2y < fh
+                    m1 = (nx == cx and ny == cy) or (
+                        v2_ok and nx == v2x and ny == v2y
+                    )
+                    m2 = (u2x < fw and u2y < fh) and (
+                        (u2x == cx and u2y == cy)
+                        or (v2_ok and u2x == v2x and u2y == v2y)
+                    )
+                    if m1 and not m2:
+                        jx, jy = nx, ny
+                    elif m2 and not m1:
+                        jx, jy = u2x, u2y
+                    else:
+                        # Zero or ambiguous matches: defer to the slow
+                        # helper for its exact diagnostics.
+                        jx, jy = edge_junction_cell(rrg, node, child)
+                jcx, jcy = jx // c, jy // c
                 # Leg 1: owner(node) -> junction macro.
-                owner_u = rrg.node_cell(node)
-                if layout.cluster_of_cell(*owner_u) != layout.cluster_of_cell(
-                    *junction
-                ):
-                    _ukind, utrack = rrg.node_kind(node)
-                    exit_io, entry_io = crossing_ios(
-                        layout, owner_u, junction, utrack
-                    )
-                    self_comp.exits.append(exit_io)
-                    child_comp = Component(
-                        net_name,
-                        layout.cluster_of_cell(*junction),
-                        entry_io,
-                    )
-                    by_cluster.setdefault(child_comp.cluster, []).append(
-                        child_comp
-                    )
+                if nx // c != jcx or ny // c != jcy:
+                    utrack = nk if nk < W else nk - W if nk < W2 else nk - W2
+                    exit_io, entry_io = cross(nx, ny, jx, jy, utrack)
+                    comp.exits.append(exit_io)
+                    child_comp = Component(net_name, (jcx, jcy), entry_io)
+                    by_cluster.setdefault((jcx, jcy), []).append(child_comp)
                 # Leg 2: junction macro -> owner(child).
-                owner_v = rrg.node_cell(child)
-                if layout.cluster_of_cell(*junction) != layout.cluster_of_cell(
-                    *owner_v
-                ):
-                    _vkind, vtrack = rrg.node_kind(child)
-                    exit_io, entry_io = crossing_ios(
-                        layout, junction, owner_v, vtrack
-                    )
+                ccx, ccy = cx // c, cy // c
+                if jcx != ccx or jcy != ccy:
+                    vtrack = ck if ck < W else ck - W if ck < W2 else ck - W2
+                    exit_io, entry_io = cross(jx, jy, cx, cy, vtrack)
                     child_comp.exits.append(exit_io)
-                    child_comp = Component(
-                        net_name,
-                        layout.cluster_of_cell(*owner_v),
-                        entry_io,
-                    )
-                    by_cluster.setdefault(child_comp.cluster, []).append(
-                        child_comp
-                    )
+                    child_comp = Component(net_name, (ccx, ccy), entry_io)
+                    by_cluster.setdefault((ccx, ccy), []).append(child_comp)
                 stack.append((child, child_comp))
 
     # Components with no exits carry no information (a net entering and

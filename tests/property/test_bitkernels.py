@@ -1,0 +1,230 @@
+"""Property suite: every batch bit kernel against the naive reference.
+
+The ``ref_*`` functions in :mod:`repro.utils.bitkernels` are the retained
+one-bit-at-a-time implementations — the semantics the containers had
+before the kernel layer.  Each property drives a kernel and its oracle
+with the same randomized buffers, widths, offsets and seam alignments
+and demands bit-exact agreement, on the pure-Python backend and (when
+numpy is importable) the numpy backend in the same run.  Sizes straddle
+the small-input thresholds so both the fallback and the vectorized
+branches of every numpy wrapper are exercised.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+import repro.utils.bitkernels as bk
+
+COMMON = settings(
+    deadline=None, max_examples=80,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# (name, kernel) per primitive: the pure-Python kernel always, the numpy
+# wrapper when that backend is importable.  Field/span/scan primitives
+# without a numpy variant are shared machinery — still pinned to the
+# reference on their own.
+def _impls(py_name, np_name=None):
+    impls = [pytest.param(getattr(bk, py_name), id=py_name)]
+    if np_name is not None and bk.HAVE_NUMPY:
+        impls.append(pytest.param(getattr(bk, np_name), id=np_name))
+    return impls
+
+
+# Buffers up to a few hundred bits: past the 64-byte / 64-field numpy
+# thresholds, with plenty of unaligned-seam cases below them.
+buffers = st.binary(min_size=1, max_size=96).map(bytearray)
+# Field widths: 0 and 1 are the classic off-by-one traps; > 64 exercises
+# the multi-word big-integer path.
+widths = st.integers(0, 80)
+
+
+@st.composite
+def buffer_and_span(draw):
+    """A buffer plus an in-range (offset, width) bit span inside it."""
+    buf = draw(buffers)
+    nbits = len(buf) * 8
+    offset = draw(st.integers(0, nbits))
+    width = draw(st.integers(0, nbits - offset))
+    return buf, offset, width
+
+
+class TestFieldKernels:
+    @COMMON
+    @given(buffer_and_span())
+    def test_get_field_matches_reference(self, bos):
+        buf, offset, width = bos
+        assert bk.get_field(buf, offset, width) == bk.ref_get_field(
+            buf, offset, width
+        )
+
+    @COMMON
+    @given(buffer_and_span(), st.integers(0, (1 << 96) - 1))
+    def test_set_field_matches_reference(self, bos, value):
+        buf, offset, width = bos
+        a, b = bytearray(buf), bytearray(buf)
+        bk.set_field(a, offset, width, value & ((1 << width) - 1) if width
+                     else 0)
+        bk.ref_set_field(b, offset, width, value & ((1 << width) - 1) if width
+                         else 0)
+        assert a == b
+
+    @COMMON
+    @given(buffer_and_span())
+    def test_get_after_set_roundtrips(self, bos):
+        buf, offset, width = bos
+        value = ((1 << width) - 1) & 0x5A5A5A5A5A5A5A5A5A5A
+        bk.set_field(buf, offset, width, value)
+        assert bk.get_field(buf, offset, width) == value
+
+
+class TestSpanKernels:
+    @COMMON
+    @given(buffer_and_span())
+    def test_extract_bits_matches_reference(self, bos):
+        buf, offset, width = bos
+        assert bk.extract_bits(buf, offset, width) == bk.ref_extract_bits(
+            buf, offset, width
+        )
+
+    @COMMON
+    @given(buffer_and_span(), buffers)
+    def test_splice_bits_matches_reference(self, bos, src):
+        dst, offset, width = bos
+        width = min(width, len(src) * 8)
+        a, b = bytearray(dst), bytearray(dst)
+        bk.splice_bits(a, offset, src, width)
+        bk.ref_splice_bits(b, offset, src, width)
+        assert a == b
+
+    @COMMON
+    @given(buffer_and_span())
+    def test_splice_inverts_extract(self, bos):
+        buf, offset, width = bos
+        span = bk.extract_bits(buf, offset, width)
+        copy = bytearray(buf)
+        bk.splice_bits(copy, offset, span, width)
+        assert copy == buf
+
+
+class TestScanKernels:
+    @COMMON
+    @given(buffers)
+    @pytest.mark.parametrize("popcount", _impls("py_popcount", "np_popcount"))
+    def test_popcount_matches_reference(self, popcount, buf):
+        assert popcount(buf) == bk.ref_popcount(buf)
+
+    @COMMON
+    @given(buffers, buffers)
+    @pytest.mark.parametrize("xor_bytes", _impls("py_xor_bytes", "np_xor_bytes"))
+    def test_xor_matches_reference(self, xor_bytes, a, b):
+        n = min(len(a), len(b))
+        a, b = a[:n], b[:n]
+        assert xor_bytes(a, b) == bk.ref_xor_bytes(a, b)
+
+    @COMMON
+    @given(buffers, st.integers(0, 16))
+    @pytest.mark.parametrize("find_ones", _impls("py_find_ones", "np_find_ones"))
+    def test_find_ones_matches_reference(self, find_ones, buf, slack):
+        nbits = max(0, len(buf) * 8 - slack)
+        assert find_ones(buf, nbits) == bk.ref_find_ones(buf, nbits)
+
+    @COMMON
+    @given(st.integers(1, 800).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(st.integers(0, n - 1), max_size=120),
+        )
+    ))
+    @pytest.mark.parametrize("set_bits", _impls("py_set_bits", "np_set_bits"))
+    def test_set_bits_matches_reference(self, set_bits, case):
+        nbits, positions = case
+        assert set_bits(nbits, positions) == bk.ref_set_bits(nbits, positions)
+
+    @COMMON
+    @given(buffer_and_span(), st.integers(0, 1))
+    def test_run_of_matches_reference(self, bos, bit):
+        buf, pos, width = bos
+        nbits = pos + width  # any in-range logical length
+        assert bk.run_of(buf, pos, nbits, bit) == bk.ref_run_of(
+            buf, pos, nbits, bit
+        )
+
+
+class TestBatchFieldKernels:
+    @COMMON
+    @given(st.integers(1, 80).flatmap(
+        lambda w: st.tuples(
+            st.just(w),
+            st.lists(st.integers(0, (1 << w) - 1), max_size=120),
+        )
+    ))
+    @pytest.mark.parametrize(
+        "pack_fields", _impls("py_pack_fields", "np_pack_fields")
+    )
+    def test_pack_fields_matches_reference(self, pack_fields, case):
+        width, values = case
+        assert pack_fields(values, width) == bk.ref_pack_fields(values, width)
+
+    @COMMON
+    @given(buffers, st.integers(1, 80), st.integers(0, 7))
+    @pytest.mark.parametrize(
+        "unpack_fields", _impls("py_unpack_fields", "np_unpack_fields")
+    )
+    def test_unpack_fields_matches_reference(
+        self, unpack_fields, buf, width, offset
+    ):
+        nbits = len(buf) * 8
+        if offset > nbits:
+            offset = nbits
+        count = (nbits - offset) // width
+        assert unpack_fields(buf, offset, width, count) == (
+            bk.ref_unpack_fields(buf, offset, width, count)
+        )
+
+    @COMMON
+    @given(st.integers(1, 64).flatmap(
+        lambda w: st.tuples(
+            st.just(w),
+            st.lists(st.integers(0, (1 << w) - 1), max_size=120),
+        )
+    ))
+    def test_unpack_inverts_pack(self, case):
+        width, values = case
+        packed = bk.pack_fields(values, width)
+        assert bk.unpack_fields(packed, 0, width, len(values)) == values
+
+
+class TestBackendContract:
+    def test_backend_name_consistent(self):
+        assert bk.BACKEND == ("numpy" if bk.HAVE_NUMPY else "python")
+
+    @pytest.mark.skipif(not bk.HAVE_NUMPY, reason="numpy backend not active")
+    def test_numpy_and_python_agree_on_large_inputs(self):
+        # One deterministic case comfortably past every small-input
+        # threshold, so the vectorized branches themselves run.
+        import random
+
+        rng = random.Random(20150905)
+        buf = bytearray(rng.randrange(256) for _ in range(512))
+        nbits = len(buf) * 8
+        assert bk.np_popcount(buf) == bk.py_popcount(buf)
+        assert bk.np_xor_bytes(buf, buf[::-1]) == bk.py_xor_bytes(
+            buf, buf[::-1]
+        )
+        assert bk.np_find_ones(buf, nbits - 3) == bk.py_find_ones(
+            buf, nbits - 3
+        )
+        positions = sorted(rng.sample(range(nbits), 200))
+        assert bk.np_set_bits(nbits, positions) == bk.py_set_bits(
+            nbits, positions
+        )
+        for width in (1, 7, 13, 32, 63):
+            values = [rng.randrange(1 << width) for _ in range(150)]
+            assert bk.np_pack_fields(values, width) == bk.py_pack_fields(
+                values, width
+            )
+            packed = bk.py_pack_fields(values, width)
+            assert bk.np_unpack_fields(packed, 0, width, 150) == (
+                bk.py_unpack_fields(packed, 0, width, 150)
+            )

@@ -270,19 +270,44 @@ class TestPersistedMemo:
         )
         assert pooled.to_bits().to_bytes() == baseline.to_bits().to_bytes()
 
-    def test_process_run_does_not_clobber_the_file(
+    def test_process_run_merges_worker_deltas(
         self, tiny_flow, tiny_config, tmp_path
     ):
+        import pickle
+
         path = tmp_path / "memo.pkl"
-        self._encode(tiny_flow, tiny_config, DecodeMemo(), path)
-        blob = path.read_bytes()
+        # Cold process run: every persisted entry was discovered inside
+        # a pool worker and merged on exit.
         self._encode(
             tiny_flow, tiny_config, DecodeMemo(), path,
             workers=2, backend="process",
         )
-        # Worker memos are private; the parent must leave the persisted
-        # file exactly as the serial run wrote it.
-        assert path.read_bytes() == blob
+        payload = pickle.loads(path.read_bytes())
+        assert len(payload["entries"]) > 0
+        # The merged file warms a subsequent serial run completely.
+        warm_memo = DecodeMemo()
+        self._encode(tiny_flow, tiny_config, warm_memo, path)
+        assert warm_memo.restored > 0
+        assert warm_memo.misses == 0
+        # No merge scratch directory is left behind.
+        assert list(tmp_path.glob("memo-merge-*")) == []
+
+    def test_process_run_never_loses_entries(
+        self, tiny_flow, tiny_config, tmp_path
+    ):
+        import pickle
+
+        path = tmp_path / "memo.pkl"
+        self._encode(tiny_flow, tiny_config, DecodeMemo(), path)
+        before = dict(pickle.loads(path.read_bytes())["entries"])
+        self._encode(
+            tiny_flow, tiny_config, DecodeMemo(), path,
+            workers=2, backend="process",
+        )
+        after = dict(pickle.loads(path.read_bytes())["entries"])
+        # The parent folds its own warm start and the worker deltas into
+        # one file: everything the serial run persisted must survive.
+        assert set(before) <= set(after)
 
     def test_corrupt_memo_file_tolerated(self, tiny_flow, tiny_config,
                                          tmp_path):
