@@ -22,7 +22,12 @@ import json
 import sys
 
 
-def _smoke_scenario(length: int = 14, seed: int = 1) -> dict:
+def _smoke_scenario(
+    length: int = 14,
+    seed: int = 1,
+    shards: int = 1,
+    router: str = "hash",
+) -> dict:
     from repro.runtime.workload import run_scenario
 
     return run_scenario(
@@ -32,6 +37,8 @@ def _smoke_scenario(length: int = 14, seed: int = 1) -> dict:
         seed=seed,
         arrivals="poisson",
         mean_interarrival=1500,
+        shards=shards,
+        router=router,
     )
 
 
@@ -96,6 +103,44 @@ if pytest is not None:
         benchmark.extra_info["max_queue_depth"] = report["queue"]["max_depth"]
         benchmark.extra_info["utilization"] = report["clock"]["utilization"]
 
+    @pytest.mark.parametrize("router", ["hash", "load"])
+    def test_openloop_fleet_replay(benchmark, bench_flow, openloop_images,
+                                   router):
+        """Four-shard fleet replay of a saturating trace (k servers)."""
+        from repro.runtime import FleetManager
+
+        names = [name for name, _v in openloop_images]
+        trace = generate_trace(
+            "zipf", names, TRACE_LENGTH, seed=1,
+            arrivals="poisson", mean_interarrival=200,
+        )
+
+        def _fleet():
+            w, h = bench_flow.fabric.width, bench_flow.fabric.height
+            memory = ExternalMemory()
+            managers = []
+            for _shard in range(4):
+                fabric = FabricArch(
+                    bench_flow.params, w + w // 2 + 1, h + 1,
+                    {(x, y): "clb"
+                     for x in range(w + w // 2 + 1) for y in range(h + 1)},
+                )
+                managers.append(FabricManager(
+                    ReconfigurationController(fabric, memory)
+                ))
+            for name, vbs in openloop_images:
+                managers[0].controller.store_vbs(name, vbs)
+            return FleetManager(managers, router=router)
+
+        def replay():
+            return WorkloadSimulator(fleet=_fleet()).run(trace)
+
+        report = benchmark(replay)
+        benchmark.extra_info["p99_latency"] = report["latency"]["p99"]
+        benchmark.extra_info["fleet_utilization"] = (
+            report["clock"]["utilization"]
+        )
+
 
 # -- CI smoke artifact ------------------------------------------------------------
 
@@ -108,10 +153,18 @@ def main(argv: "list[str] | None" = None) -> int:
                         help="output JSON path")
     parser.add_argument("--length", type=int, default=14)
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--shards", type=int, default=1,
+                        help="fabric shards (a >1 count also validates "
+                             "the fleet/per-shard report schema)")
+    parser.add_argument("--router", default="hash",
+                        help="fleet placement router (hash or load)")
     args = parser.parse_args(argv)
 
-    report = _smoke_scenario(length=args.length, seed=args.seed)
-    latency = report.get("latency", {})
+    report = _smoke_scenario(
+        length=args.length, seed=args.seed,
+        shards=args.shards, router=args.router,
+    )
+    latency = report.get("latency") or {}
     for field in ("p50", "p95", "p99"):
         if field not in latency:
             print(f"missing latency percentile {field!r} in the report",
@@ -120,6 +173,18 @@ def main(argv: "list[str] | None" = None) -> int:
     if "max_depth" not in report.get("queue", {}):
         print("missing queue depth in the report", file=sys.stderr)
         return 1
+    if args.shards > 1:
+        fleet = report.get("fleet", {})
+        shards = report.get("shards", [])
+        if fleet.get("shards") != args.shards or len(shards) != args.shards:
+            print("missing fleet/per-shard sections in the report",
+                  file=sys.stderr)
+            return 1
+        for shard in shards:
+            if "latency" not in shard or "clock" not in shard:
+                print(f"shard {shard.get('shard')} is missing its "
+                      f"latency/clock sections", file=sys.stderr)
+                return 1
     with open(args.out, "w") as fh:
         json.dump(report, fh, indent=1, sort_keys=True)
         fh.write("\n")

@@ -310,6 +310,9 @@ def _run_runtime_simulate(args: argparse.Namespace) -> int:
             zipf_alpha=args.zipf_alpha,
             task_scope=args.task_scope,
             containers_per_task=args.containers_per_task,
+            shards=args.shards,
+            router=args.router,
+            migrate_backlog=args.migrate_backlog,
         )
     except RuntimeManagementError as exc:
         # An unknown mix/arrival name (or any scenario misconfiguration)
@@ -380,6 +383,20 @@ def main(argv: "list[str] | None" = None) -> int:
                      help="mean Poisson inter-arrival gap in cycles")
     sim.add_argument("--zipf-alpha", type=float, default=1.1,
                      help="popularity skew of the zipf mix")
+    # Like --kind, the shard count and router name are validated in the
+    # handler (exit 2 with a stderr message on a non-positive count or an
+    # unknown router), not by argparse choices — see the note above.
+    sim.add_argument("--shards", type=int, default=1,
+                     help="fabric shards in the fleet (1 = the single-"
+                          "fabric simulator, byte-identical report)")
+    sim.add_argument("--router", default="hash",
+                     help="fleet placement router: 'hash' (consistent "
+                          "hashing on the task name) or 'load' "
+                          "(least-loaded shard by recorded queue depth "
+                          "and latency)")
+    sim.add_argument("--migrate-backlog", type=int, default=None,
+                     help="cross-shard saturation migration threshold in "
+                          "backlog cycles (default: migration off)")
     sim.add_argument("--task-scope", action="store_true",
                      help="synthesize multi-container task groups through "
                           "encode_task (VERSION 4 shared dictionaries "

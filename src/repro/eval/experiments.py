@@ -330,6 +330,8 @@ def run_workload(
     mean_interarrival: int = 2000,
     zipf_alpha: float = 1.1,
     task_scope: bool = False,
+    shards: int = 1,
+    router: str = "hash",
 ) -> dict:
     """One workload-simulator report, cached like the figure rows.
 
@@ -342,8 +344,10 @@ def run_workload(
     ``arrivals="poisson"`` runs the open-loop engine (latency
     percentiles, queue depths); ``task_scope=True`` replays over
     multi-container ``encode_task`` groups instead of independent
-    images.  Open-loop/task-scope variants cache under distinct keys,
-    so the closed-loop report's key is unchanged.
+    images.  ``shards > 1`` replays the same trace across a sharded
+    fabric fleet under the ``router`` placement policy.  Open-loop,
+    task-scope and fleet variants cache under distinct keys, so the
+    closed-loop report's key is unchanged.
     """
     from repro.runtime.workload import run_scenario
 
@@ -354,6 +358,8 @@ def run_workload(
         key += f"_{arrivals}{mean_interarrival}"
     if task_scope:
         key += "_taskscope"
+    if shards > 1:
+        key += f"_s{shards}{router}"
     path = _cache_path(results_dir, key)
     cached = _load_cache(path)
     if cached is not None and not force:
@@ -369,6 +375,8 @@ def run_workload(
         mean_interarrival=mean_interarrival,
         zipf_alpha=zipf_alpha,
         task_scope=task_scope,
+        shards=shards,
+        router=router,
     )
     report["cache_version"] = CACHE_VERSION
     path.write_text(json.dumps(report, indent=1, sort_keys=True))

@@ -129,6 +129,18 @@ def main(argv: "list[str] | None" = None) -> int:
         (results_dir / "openloop.json").write_text(
             dumps(openloop, indent=1, sort_keys=True) + "\n"
         )
+        # The fleet companion: the same Zipf/Poisson trace across four
+        # fabric shards behind the consistent-hash router — per-shard
+        # and fleet-wide percentile sections side by side.
+        fleet = run_workload(
+            results_dir, kind="zipf", arrivals="poisson", seed=args.seed,
+            shards=4, router="hash",
+        )
+        print()
+        print(summarize_report(fleet))
+        (results_dir / "fleet.json").write_text(
+            dumps(fleet, indent=1, sort_keys=True) + "\n"
+        )
 
     print(f"\n# done in {time.perf_counter() - t0:.1f}s; cache: {results_dir}/",
           flush=True)

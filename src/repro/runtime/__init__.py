@@ -13,6 +13,15 @@ from repro.runtime.costmodel import (
     write_cost,
 )
 from repro.runtime.controller import ReconfigurationController, ResidentTask
+from repro.runtime.fleet import (
+    ROUTER_KINDS,
+    ConsistentHashRouter,
+    FleetManager,
+    LoadAwareRouter,
+    make_router,
+    simulate_fleet,
+    validate_fleet_request,
+)
 from repro.runtime.manager import BEST_FIT, FIRST_FIT, FabricManager
 from repro.runtime.workload import (
     ARRIVAL_KINDS,
@@ -41,6 +50,13 @@ __all__ = [
     "write_cost",
     "ReconfigurationController",
     "ResidentTask",
+    "ROUTER_KINDS",
+    "ConsistentHashRouter",
+    "FleetManager",
+    "LoadAwareRouter",
+    "make_router",
+    "simulate_fleet",
+    "validate_fleet_request",
     "BEST_FIT",
     "FIRST_FIT",
     "FabricManager",

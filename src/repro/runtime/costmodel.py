@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
+from repro.errors import RuntimeManagementError
 from repro.vbs.decode import DecodeStats
 
 if TYPE_CHECKING:
@@ -256,6 +257,16 @@ class DecodeCache:
         self.stats.hits += 1
         return entry
 
+    def peek(self, key: CacheKey) -> Optional[CachedDecode]:
+        """Look up ``key`` without counting stats or refreshing recency.
+
+        The fleet's cross-shard migration uses this to copy a warm entry
+        from the hot shard's cache into the destination shard's — an
+        administrative transfer, not a decode lookup, so it must not
+        perturb either cache's hit/miss accounting.
+        """
+        return self._entries.get(key)
+
     def _evict_over_budget(self) -> None:
         over_count = (
             self.capacity is not None and len(self._entries) > self.capacity
@@ -386,10 +397,15 @@ def percentile(values: "Sequence[int]", p: float) -> int:
     nearest-rank definition (the smallest sample with at least ``p``
     percent of the distribution at or below it) keeps the result an
     actual observed sample — an integer cycle count, deterministic and
-    JSON-stable, never an interpolated float.  Empty input reports 0.
+    JSON-stable, never an interpolated float.  An empty sample set has
+    no percentiles — reporting a fabricated 0 would read as "zero
+    latency", so it is rejected loudly; report builders emit ``null``
+    latency sections for zero-request traces instead.
     """
     if not values:
-        return 0
+        raise RuntimeManagementError(
+            "percentile of an empty sample set is undefined"
+        )
     ordered = sorted(values)
     rank = min(max(1, math.ceil(p / 100.0 * len(ordered))), len(ordered))
     return ordered[rank - 1]

@@ -1,0 +1,692 @@
+"""Sharded fabric fleet behind a pluggable placement router.
+
+One :class:`~repro.runtime.manager.FabricManager` is the scaling ceiling
+of the paper's runtime: a single reconfiguration controller serializes
+every decode-and-place.  The fleet tier fronts N independent fabric
+shards — each its own controller, decode cache and decode memo — behind
+a placement router, while VERSION 4 shared dictionaries stay *fleet
+scope*: published once into the one :class:`ExternalMemory` all shards
+share and resolved from any shard, with the shard-local refcounts
+rolling up into a fleet-level view (a table is fleet-resident while at
+least one shard references it).
+
+Router policies (:data:`ROUTER_KINDS`):
+
+* ``hash`` — consistent hashing on the task name (sha256 over a ring of
+  virtual nodes; deterministic across processes, unlike Python's salted
+  ``hash``).  A task's home shard never depends on arrival order, so a
+  re-arriving task lands where its decode-cache entry already is.
+* ``load`` — route to the least-loaded shard by the *recorded* state of
+  the fleet: current server backlog (open-loop clock), resident task
+  count, mean recorded latency, then serviced-request count, with the
+  shard index as the deterministic tie-break.
+
+When a shard saturates (its server backlog exceeds the coldest shard's
+by ``migrate_backlog`` cycles), the fleet migrates the hot shard's
+oldest resident task onto the coldest shard — the digest-keyed decode
+cache entry travels with it, so the re-place is a warm hit, not a
+replay.
+
+:func:`simulate_fleet` replays one workload trace across the fleet with
+one virtual FIFO reconfiguration server per shard (the open-loop model
+of :class:`~repro.runtime.workload.WorkloadSimulator`, k-way); the
+report carries both per-shard and fleet-wide latency/queue/utilization
+sections.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_left
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import RuntimeManagementError
+from repro.runtime.controller import ResidentTask
+from repro.runtime.costmodel import DecodeCache
+from repro.runtime.manager import FabricManager
+
+#: Supported placement-router policies.
+ROUTER_KINDS = ("hash", "load")
+
+
+def validate_fleet_request(shards: int, router: str) -> None:
+    """Reject bad fleet parameters before any expensive work.
+
+    Shared by :func:`~repro.runtime.workload.run_scenario` and the CLI —
+    a typo'd router name or a non-positive shard count must fail in
+    milliseconds (exit 2 at the CLI), not after seconds of synthesis.
+    """
+    if shards < 1:
+        raise RuntimeManagementError(
+            f"shard count must be at least 1 (got {shards})"
+        )
+    if router not in ROUTER_KINDS:
+        raise RuntimeManagementError(
+            f"unknown placement router {router!r}; known: {ROUTER_KINDS}"
+        )
+
+
+def _hash_point(label: str) -> int:
+    """A 64-bit ring position — sha256, never the salted built-in hash."""
+    return int.from_bytes(
+        hashlib.sha256(label.encode()).digest()[:8], "big"
+    )
+
+
+class ConsistentHashRouter:
+    """Consistent hashing on the task name over a virtual-node ring.
+
+    Each shard owns ``replicas`` points on a 64-bit ring; a task maps to
+    the first point at or clockwise-after its own hash.  Adding a shard
+    moves only the tasks falling into its new arcs — and, because the
+    mapping ignores fleet state entirely, a task always re-arrives at
+    the shard whose decode cache served it before.
+    """
+
+    name = "hash"
+
+    def __init__(self, n_shards: int, replicas: int = 64):
+        points: List[Tuple[int, int]] = []
+        for shard in range(n_shards):
+            for replica in range(replicas):
+                points.append((_hash_point(f"shard{shard}:{replica}"), shard))
+        points.sort()
+        self._ring = points
+
+    def choose(self, task: str, fleet: "FleetManager") -> int:
+        point = _hash_point(task)
+        idx = bisect_left(self._ring, (point, -1))
+        if idx == len(self._ring):
+            idx = 0  # wrap around the ring
+        return self._ring[idx][1]
+
+
+class LoadAwareRouter:
+    """Route new placements to the least-loaded shard.
+
+    Load is judged from *recorded* fleet state, coldest first: current
+    server backlog in cycles (the open-loop clock; zero in closed-loop
+    replays), resident task count, mean recorded request latency, total
+    serviced requests, and finally the shard index — a fully
+    deterministic ordering, so seeded replays stay reproducible.
+    """
+
+    name = "load"
+
+    def choose(self, task: str, fleet: "FleetManager") -> int:
+        def coldness(shard: int):
+            recorded = fleet.recorded[shard]
+            return (
+                fleet.backlog(shard),
+                len(fleet.shards[shard].controller.resident),
+                sum(recorded) / len(recorded) if recorded else 0.0,
+                fleet.serviced[shard],
+                shard,
+            )
+
+        return min(range(fleet.n_shards), key=coldness)
+
+
+def make_router(router: "str | object", n_shards: int):
+    """Resolve a router policy name (or pass a router object through)."""
+    if not isinstance(router, str):
+        return router
+    validate_fleet_request(n_shards, router)
+    if router == "hash":
+        return ConsistentHashRouter(n_shards)
+    return LoadAwareRouter()
+
+
+class FleetManager:
+    """N fabric shards sharing one external memory, behind a router.
+
+    Every shard is a full :class:`FabricManager` stack (controller,
+    decode cache, decode memo) over its own fabric; all shards must
+    share one :class:`~repro.runtime.memory.ExternalMemory` — that store
+    *is* the fleet-scope tier where task images and VERSION 4 shared
+    dictionaries are published once and resolved from any shard.
+
+    The fleet rolls the shard-local shared-dictionary refcounts up into
+    fleet-level accounting: :meth:`resident_shared_dicts` is the union
+    of the shards' resident tables, :meth:`shared_dict_refcounts` counts
+    referencing shards per table, and the ``fleet_dict_faults`` /
+    ``fleet_dict_drops`` counters tick exactly when a table becomes
+    fleet-resident (first shard to reference it) or stops being
+    fleet-resident (last shard releases it) — a table referenced by two
+    shards survives either one dropping its copy.
+
+    ``migrate_backlog`` arms cross-shard saturation migration during
+    open-loop replays: when the hottest shard's server backlog exceeds
+    the coldest's by at least that many cycles, the hot shard's oldest
+    resident task is re-placed on the coldest shard (decode-cache entry
+    copied along, so warmth survives the move).  ``None`` disables it.
+    """
+
+    def __init__(
+        self,
+        shards: Sequence[FabricManager],
+        router: "str | object" = "hash",
+        migrate_backlog: Optional[int] = None,
+    ):
+        managers = list(shards)
+        if not managers:
+            raise RuntimeManagementError("a fleet needs at least one shard")
+        memory = managers[0].controller.memory
+        for mgr in managers[1:]:
+            if mgr.controller.memory is not memory:
+                raise RuntimeManagementError(
+                    "fleet shards must share one external memory (the "
+                    "fleet-scope image and dictionary store)"
+                )
+        if migrate_backlog is not None and migrate_backlog < 1:
+            raise RuntimeManagementError(
+                "migration backlog threshold must be at least one cycle"
+            )
+        self.shards = managers
+        self.memory = memory
+        self.router = make_router(router, len(managers))
+        self.migrate_backlog = migrate_backlog
+        #: Last known home shard of every task the fleet ever placed —
+        #: bookkeeping requests (unload/migrate) for a task not resident
+        #: anywhere are routed (and counted) at its last home.
+        self.task_shard: Dict[str, int] = {}
+        #: Virtual-clock state recorded by the open-loop replay (and read
+        #: back by the load-aware router): current time, per-shard server
+        #: free times, per-shard recorded latencies and serviced counts.
+        self.now = 0
+        self.server_free = [0] * len(managers)
+        self.recorded: List[List[int]] = [[] for _ in managers]
+        self.serviced = [0] * len(managers)
+        self.cross_migrations = 0
+        #: Fleet-scope shared-dictionary lifecycle counters (see class
+        #: docstring); updated by :meth:`sync_shared_dicts`.
+        self.fleet_dict_faults = 0
+        self.fleet_dict_drops = 0
+        self._dict_resident: Set[int] = set()
+        self.max_resident_tables = 0
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    def backlog(self, shard: int) -> int:
+        """Cycles of queued work on ``shard``'s server at fleet time."""
+        return max(0, self.server_free[shard] - self.now)
+
+    # -- fleet-scope publishing (the shared external memory) -----------------------
+
+    def store_vbs(self, name, vbs):
+        """Publish a VBS once, fleet-wide (every shard resolves it)."""
+        return self.shards[0].controller.store_vbs(name, vbs)
+
+    def store_task(self, names, result):
+        """Publish a task-scope encode (containers + shared table) once."""
+        return self.shards[0].controller.store_task(names, result)
+
+    def store_raw(self, name, raw):
+        """Publish a raw bitstream once, fleet-wide."""
+        return self.shards[0].controller.store_raw(name, raw)
+
+    # -- routing and task lifecycle ------------------------------------------------
+
+    def shard_of(self, name: str) -> Optional[int]:
+        """The shard where ``name`` is resident, or None."""
+        for index, mgr in enumerate(self.shards):
+            if name in mgr.controller.resident:
+                return index
+        return None
+
+    def route(self, name: str) -> int:
+        """The shard a request for ``name`` belongs on.
+
+        A resident task is sticky to its shard; a new placement asks the
+        router.
+        """
+        resident = self.shard_of(name)
+        if resident is not None:
+            return resident
+        return self.router.choose(name, self)
+
+    def place_task(
+        self, name: str, evict: bool = True
+    ) -> Tuple[int, ResidentTask]:
+        """Route and place ``name``; returns ``(shard, resident task)``."""
+        shard = self.route(name)
+        task = self.shards[shard].place_task(name, evict=evict)
+        self.task_shard[name] = shard
+        self.sync_shared_dicts()
+        return shard, task
+
+    def unload_task(self, name: str) -> int:
+        """Unload ``name`` from its shard; returns the shard index."""
+        shard = self.shard_of(name)
+        if shard is None:
+            raise RuntimeManagementError(
+                f"task {name!r} is not loaded on any shard"
+            )
+        self.shards[shard].controller.unload_task(name)
+        self.sync_shared_dicts()
+        return shard
+
+    def can_host(self, shard: int, name: str) -> bool:
+        """True when ``shard``'s fabric can hold ``name`` at all."""
+        image = self.memory.image(name)
+        if image is None:
+            return False
+        fabric = self.shards[shard].controller.fabric
+        return image.width <= fabric.width and image.height <= fabric.height
+
+    def migrate_across(self, name: str, dst: int) -> ResidentTask:
+        """Re-place a resident task on shard ``dst``, keeping cache warmth.
+
+        The digest-keyed decode-cache entry is copied from the source
+        shard's cache into the destination's *before* the move, so the
+        re-place is a warm hit (zero decode cycles) whenever the source
+        still held the expansion.  The destination evicts its own oldest
+        residents if it must make room.
+        """
+        src = self.shard_of(name)
+        if src is None:
+            raise RuntimeManagementError(
+                f"task {name!r} is not loaded on any shard"
+            )
+        if not 0 <= dst < self.n_shards:
+            raise RuntimeManagementError(f"no shard {dst} in this fleet")
+        if src == dst:
+            return self.shards[src].controller.resident[name]
+        if not self.can_host(dst, name):
+            raise RuntimeManagementError(
+                f"task {name!r} cannot fit shard {dst}'s fabric"
+            )
+        src_ctrl = self.shards[src].controller
+        dst_ctrl = self.shards[dst].controller
+        image = src_ctrl.resident[name].image
+        if (
+            src_ctrl.decode_cache is not None
+            and dst_ctrl.decode_cache is not None
+        ):
+            entry = src_ctrl.decode_cache.peek(DecodeCache.key_for(image))
+            if entry is not None:
+                dst_ctrl.decode_cache.put(DecodeCache.key_for(image), entry)
+        src_ctrl.unload_task(name)
+        # Feasibility was checked above, so evict=True cannot fail here.
+        task = self.shards[dst].place_task(name, evict=True)
+        self.task_shard[name] = dst
+        self.cross_migrations += 1
+        self.sync_shared_dicts()
+        return task
+
+    # -- fleet-scope shared-dictionary roll-up --------------------------------------
+
+    def resident_shared_dicts(self) -> Set[int]:
+        """Tables resident on at least one shard (the fleet-level view)."""
+        resident: Set[int] = set()
+        for mgr in self.shards:
+            resident.update(mgr.controller.shared_dicts)
+        return resident
+
+    def shared_dict_refcounts(self) -> Dict[int, int]:
+        """Referencing-shard count per fleet-resident table."""
+        counts: Dict[int, int] = {}
+        for mgr in self.shards:
+            for dict_id in mgr.controller.shared_dicts:
+                counts[dict_id] = counts.get(dict_id, 0) + 1
+        return counts
+
+    def sync_shared_dicts(self) -> None:
+        """Fold the shards' table residency into the fleet counters.
+
+        Called after every fleet-level mutation (and after every replay
+        event): a table entering the union is one fleet fault, a table
+        leaving it is one fleet drop — by construction a drop happens
+        only when *no* shard references the table any more.
+        """
+        current = self.resident_shared_dicts()
+        self.fleet_dict_faults += len(current - self._dict_resident)
+        self.fleet_dict_drops += len(self._dict_resident - current)
+        self._dict_resident = current
+        self.max_resident_tables = max(
+            self.max_resident_tables, len(current)
+        )
+
+    def utilization(self) -> List[float]:
+        """Per-shard fabric utilization (fraction of covered macros)."""
+        return [mgr.controller.utilization() for mgr in self.shards]
+
+
+# -- fleet replay ------------------------------------------------------------------
+
+
+def _route_event(fleet: FleetManager, event) -> int:
+    """The shard an event is processed (and accounted) on."""
+    resident = fleet.shard_of(event.task)
+    if resident is not None:
+        return resident
+    if event.op == "load":
+        return fleet.router.choose(event.task, fleet)
+    # A bookkeeping request for a task resident nowhere: account it at
+    # the task's last home (shard 0 for a task never placed).
+    return fleet.task_shard.get(event.task, 0)
+
+
+def _maybe_migrate(fleet: FleetManager, clocks: List[dict]) -> None:
+    """One saturation-migration attempt at the current fleet time."""
+    if fleet.migrate_backlog is None or fleet.n_shards < 2:
+        return
+    backlogs = [fleet.backlog(s) for s in range(fleet.n_shards)]
+    hot = max(range(fleet.n_shards), key=lambda s: (backlogs[s], -s))
+    cold = min(range(fleet.n_shards), key=lambda s: (backlogs[s], s))
+    if hot == cold or backlogs[hot] - backlogs[cold] < fleet.migrate_backlog:
+        return
+    victim = next(
+        (
+            name
+            for name in fleet.shards[hot].controller.resident
+            if fleet.can_host(cold, name)
+        ),
+        None,
+    )
+    if victim is None:
+        return
+    task = fleet.migrate_across(victim, cold)
+    # The re-place is real reconfiguration work on the cold shard's
+    # server: charge its cost there (usually a cache hit — the entry
+    # travelled with the task — so fetch+write cycles, zero decode).
+    clock = clocks[cold]
+    start = max(fleet.now, fleet.server_free[cold])
+    finish = start + task.load_cost.total_cycles
+    fleet.server_free[cold] = finish
+    clock["busy"] += task.load_cost.total_cycles
+    clock["makespan"] = max(clock["makespan"], finish)
+    clock["state"]["counts"]["migrations"] += 1
+    clock["state"]["per_task"][victim]["migrations"] += 1
+    cycles = clock["state"]["cycles"]
+    cycles["fetch"] += task.load_cost.fetch_cycles
+    cycles["decode"] += task.load_cost.decode_cycles
+    cycles["write"] += task.load_cost.write_cycles
+    cycles["total"] += task.load_cost.total_cycles
+    if task.load_cost.cache_hit:
+        clock["state"]["load_cache_hits"] += 1
+        clock["state"]["per_task"][victim]["cache_hits"] += 1
+
+
+def simulate_fleet(
+    fleet: FleetManager,
+    trace,
+    observer: "Optional[Callable]" = None,
+) -> dict:
+    """Replay ``trace`` across the fleet; return the structured report.
+
+    Each shard is one virtual FIFO reconfiguration server (the open-loop
+    model of the single-fabric simulator, k-way): an event routes to its
+    shard, its service time is charged on that shard's clock, and events
+    sharing an arrival stamp *on the same shard* form one request.  The
+    report carries the familiar fleet-wide sections (events, cycles,
+    cache, latency, queue, clock — aggregated) plus a ``fleet`` section
+    (router, migrations, fleet-scope dictionary lifecycle) and a
+    ``shards`` list with every shard's own report sections.
+    """
+    from collections import deque
+
+    from repro.runtime.workload import (
+        REPORT_VERSION,
+        apply_trace_event,
+        latency_section,
+        new_sim_state,
+    )
+
+    open_loop = trace.open_loop
+    n = fleet.n_shards
+    fleet.sync_shared_dicts()  # baseline the roll-up before the replay
+    base_faults = fleet.fleet_dict_faults
+    base_drops = fleet.fleet_dict_drops
+    cache_base = []
+    for mgr in fleet.shards:
+        cache = mgr.controller.decode_cache
+        cache_base.append(
+            (cache.stats.hits, cache.stats.misses, cache.stats.evictions)
+            if cache
+            else (0, 0, 0)
+        )
+
+    clocks: List[dict] = [
+        {
+            "state": new_sim_state(trace.tasks),
+            "busy": 0,
+            "makespan": 0,
+            "in_flight": deque(),
+            "latencies": [],
+            "queue_waits": [],
+            "phases": {"fetch": [], "decode": [], "write": []},
+            "depth_sum": 0,
+            "max_depth": 0,
+            "arrivals": 0,
+            "last_at": None,
+        }
+        for _ in range(n)
+    ]
+
+    for event in trace.events:
+        if open_loop and event.at is not None:
+            fleet.now = event.at
+        shard = _route_event(fleet, event)
+        clock = clocks[shard]
+        cost = apply_trace_event(fleet.shards[shard], event, clock["state"])
+        if event.op == "load":
+            fleet.task_shard[event.task] = shard
+        if open_loop and event.at is not None:
+            at = event.at
+            new_request = at != clock["last_at"]
+            clock["last_at"] = at
+            in_flight = clock["in_flight"]
+            if new_request:
+                while in_flight and in_flight[0] <= at:
+                    in_flight.popleft()
+            start = max(at, fleet.server_free[shard])
+            service = cost.total_cycles if cost is not None else 0
+            finish = start + service
+            fleet.server_free[shard] = finish
+            clock["busy"] += service
+            clock["makespan"] = max(clock["makespan"], finish)
+            if new_request:
+                in_flight.append(finish)
+                clock["arrivals"] += 1
+                depth = len(in_flight)
+                clock["depth_sum"] += depth
+                clock["max_depth"] = max(clock["max_depth"], depth)
+            else:
+                in_flight[-1] = finish
+            if cost is not None:
+                clock["latencies"].append(finish - at)
+                clock["queue_waits"].append(start - at)
+                clock["phases"]["fetch"].append(cost.fetch_cycles)
+                clock["phases"]["decode"].append(cost.decode_cycles)
+                clock["phases"]["write"].append(cost.write_cycles)
+                fleet.recorded[shard].append(finish - at)
+                fleet.serviced[shard] += 1
+            _maybe_migrate(fleet, clocks)
+        fleet.sync_shared_dicts()
+        if observer is not None:
+            observer(event)
+
+    # -- report assembly ---------------------------------------------------------
+
+    def summed(key: str) -> Dict[str, int]:
+        totals: Dict[str, int] = {}
+        for clock in clocks:
+            for field, value in clock["state"][key].items():
+                totals[field] = totals.get(field, 0) + value
+        return totals
+
+    shard_sections = []
+    all_latencies: List[int] = []
+    all_queue_waits: List[int] = []
+    all_phases: Dict[str, List[int]] = {"fetch": [], "decode": [], "write": []}
+    for index, (mgr, clock) in enumerate(zip(fleet.shards, clocks)):
+        ctrl = mgr.controller
+        cache = ctrl.decode_cache
+        hits0, misses0, evictions0 = cache_base[index]
+        hits = (cache.stats.hits - hits0) if cache else 0
+        misses = (cache.stats.misses - misses0) if cache else 0
+        lookups = hits + misses
+        section = {
+            "shard": index,
+            "events": clock["state"]["counts"],
+            "cycles": clock["state"]["cycles"],
+            "load_cache_hits": clock["state"]["load_cache_hits"],
+            "bytes_decoded": clock["state"]["bytes_decoded"],
+            "cache": {
+                "enabled": cache is not None,
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": (hits / lookups) if lookups else 0.0,
+                "evictions": (
+                    (cache.stats.evictions - evictions0) if cache else 0
+                ),
+                "entries": len(cache) if cache else 0,
+                "bytes_in_cache": cache.total_bytes if cache else 0,
+            },
+            "shared_dicts": {
+                "resident_at_end": sorted(ctrl.shared_dicts),
+            },
+            "fabric": {
+                "width": ctrl.fabric.width,
+                "height": ctrl.fabric.height,
+                "utilization": ctrl.utilization(),
+                "resident_at_end": sorted(ctrl.resident),
+            },
+        }
+        if open_loop:
+            section["latency"] = latency_section(
+                clock["latencies"], clock["queue_waits"], clock["phases"]
+            )
+            section["queue"] = {
+                "arrivals": clock["arrivals"],
+                "max_depth": clock["max_depth"],
+                "mean_depth": (
+                    clock["depth_sum"] / clock["arrivals"]
+                    if clock["arrivals"]
+                    else 0.0
+                ),
+            }
+            section["clock"] = {
+                "makespan": clock["makespan"],
+                "busy_cycles": clock["busy"],
+                "utilization": (
+                    clock["busy"] / clock["makespan"]
+                    if clock["makespan"]
+                    else 0.0
+                ),
+            }
+        shard_sections.append(section)
+        all_latencies.extend(clock["latencies"])
+        all_queue_waits.extend(clock["queue_waits"])
+        for phase in all_phases:
+            all_phases[phase].extend(clock["phases"][phase])
+
+    agg_cache = {
+        "enabled": any(s["cache"]["enabled"] for s in shard_sections),
+        "hits": sum(s["cache"]["hits"] for s in shard_sections),
+        "misses": sum(s["cache"]["misses"] for s in shard_sections),
+        "evictions": sum(s["cache"]["evictions"] for s in shard_sections),
+        "entries": sum(s["cache"]["entries"] for s in shard_sections),
+        "bytes_in_cache": sum(
+            s["cache"]["bytes_in_cache"] for s in shard_sections
+        ),
+    }
+    lookups = agg_cache["hits"] + agg_cache["misses"]
+    agg_cache["hit_rate"] = (
+        agg_cache["hits"] / lookups if lookups else 0.0
+    )
+
+    per_task: Dict[str, Dict[str, int]] = {}
+    for clock in clocks:
+        for name, counters in clock["state"]["per_task"].items():
+            merged = per_task.setdefault(
+                name, {"loads": 0, "cache_hits": 0, "migrations": 0}
+            )
+            for field, value in counters.items():
+                merged[field] += value
+
+    refcounts = fleet.shared_dict_refcounts()
+    report = {
+        "report_version": REPORT_VERSION,
+        "trace": {
+            "kind": trace.kind,
+            "seed": trace.seed,
+            "length": len(trace.events),
+            "tasks": list(trace.tasks),
+        },
+        "fleet": {
+            "shards": n,
+            "router": fleet.router.name,
+            "cross_migrations": fleet.cross_migrations,
+            "migrate_backlog": fleet.migrate_backlog,
+            "shared_dicts": {
+                "resident_at_end": sorted(fleet.resident_shared_dicts()),
+                "max_resident": fleet.max_resident_tables,
+                "faults": fleet.fleet_dict_faults - base_faults,
+                "drops": fleet.fleet_dict_drops - base_drops,
+                "referencing_shards": {
+                    str(dict_id): refcounts[dict_id]
+                    for dict_id in sorted(refcounts)
+                },
+            },
+        },
+        "events": summed("counts"),
+        "cache": agg_cache,
+        "cycles": summed("cycles"),
+        "load_cache_hits": sum(
+            clock["state"]["load_cache_hits"] for clock in clocks
+        ),
+        "bytes_decoded": sum(
+            clock["state"]["bytes_decoded"] for clock in clocks
+        ),
+        "per_task": {name: per_task[name] for name in sorted(per_task)},
+        "shared_dicts": {
+            "resident_at_end": sorted(fleet.resident_shared_dicts()),
+            "max_resident": fleet.max_resident_tables,
+            "faults": fleet.fleet_dict_faults - base_faults,
+            "drops": fleet.fleet_dict_drops - base_drops,
+        },
+        "fabric": {
+            "width": fleet.shards[0].controller.fabric.width,
+            "height": fleet.shards[0].controller.fabric.height,
+            "utilization": (
+                sum(fleet.utilization()) / n
+            ),
+            "resident_at_end": sorted(
+                name
+                for mgr in fleet.shards
+                for name in mgr.controller.resident
+            ),
+        },
+        "shards": shard_sections,
+    }
+    if open_loop:
+        report["trace"]["arrivals"] = trace.arrivals
+        report["trace"]["mean_interarrival"] = trace.mean_interarrival
+        if trace.zipf_alpha is not None:
+            report["trace"]["zipf_alpha"] = trace.zipf_alpha
+        report["latency"] = latency_section(
+            all_latencies, all_queue_waits, all_phases
+        )
+        arrivals = sum(clock["arrivals"] for clock in clocks)
+        report["queue"] = {
+            "arrivals": arrivals,
+            "max_depth": max(clock["max_depth"] for clock in clocks),
+            "mean_depth": (
+                sum(clock["depth_sum"] for clock in clocks) / arrivals
+                if arrivals
+                else 0.0
+            ),
+        }
+        makespan = max(clock["makespan"] for clock in clocks)
+        busy = sum(clock["busy"] for clock in clocks)
+        report["clock"] = {
+            "makespan": makespan,
+            "busy_cycles": busy,
+            # k parallel servers: a fully-loaded fleet sits at 1.0.
+            "utilization": busy / (n * makespan) if makespan else 0.0,
+        }
+    return report

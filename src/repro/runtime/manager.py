@@ -136,6 +136,14 @@ class FabricManager:
         image = self.controller.memory.image(name)
         if image is None:
             raise RuntimeManagementError(f"no image named {name!r} in memory")
+        if name in self.controller.resident:
+            # Re-placing a resident task: release its own region first so
+            # the search can reuse it.  Without this the stale footprint
+            # blocks the search and ``evict=True`` unloads unrelated
+            # victims before load_task rejects the duplicate anyway.  The
+            # freed region always fits the image (it held it), so the
+            # re-place below cannot fail and the task is never lost.
+            self.controller.unload_task(name)
         origin = self.find_origin(image.width, image.height)
         if origin is None and evict:
             if self.make_room(image.width, image.height) is not None:

@@ -243,6 +243,154 @@ def generate_trace(
     )
 
 
+def _expanded_bytes(manager: FabricManager, image) -> int:
+    from repro.runtime.costmodel import expanded_image_bytes
+
+    nraw = manager.controller.fabric.params.nraw
+    return expanded_image_bytes(image.width, image.height, nraw)
+
+
+def _charge(totals: Dict[str, int], cost) -> None:
+    totals["fetch"] += cost.fetch_cycles
+    totals["decode"] += cost.decode_cycles
+    totals["write"] += cost.write_cycles
+    totals["total"] += cost.total_cycles
+
+
+def new_sim_state(task_names: Sequence[str]) -> dict:
+    """A fresh per-replay accumulator (one per shard in fleet runs)."""
+    return {
+        "counts": {
+            "loads": 0, "unloads": 0, "migrations": 0,
+            "skipped": 0, "failed_loads": 0, "evictions_for_space": 0,
+        },
+        "cycles": {"fetch": 0, "decode": 0, "write": 0, "total": 0},
+        "load_cache_hits": 0,
+        "bytes_decoded": 0,
+        "per_task": {
+            name: {"loads": 0, "cache_hits": 0, "migrations": 0}
+            for name in task_names
+        },
+    }
+
+
+def apply_trace_event(manager: FabricManager, event: TraceEvent, state: dict):
+    """Process one trace event on ``manager``; returns the cost or None.
+
+    The single definition of the simulator's arrival policy, shared by
+    the one-fabric :class:`WorkloadSimulator` replay and the fleet's
+    per-shard replay (:mod:`repro.runtime.fleet`).  The return value is
+    the :class:`~repro.runtime.costmodel.LoadCost` of a reconfiguration
+    request that actually executed (a load or a migration) — what the
+    open-loop clock charges as service time.  Skipped, failed and unload
+    events return None (an unload is a zero-service bookkeeping request
+    in this model: clearing a region is not metered by the cost model).
+    """
+    mgr = manager
+    ctrl = mgr.controller
+    counts = state["counts"]
+    per_task = state["per_task"]
+    name = event.task
+    if event.op == "load":
+        if name in ctrl.resident:
+            counts["skipped"] += 1
+            return None
+        image = ctrl.memory.image(name)
+        if image is None:
+            counts["failed_loads"] += 1
+            return None
+        # The manager's own eviction policy (make_room returns []
+        # when a region is already free), kept visible here only
+        # because the report counts the victims.
+        evicted = mgr.make_room(image.width, image.height)
+        if evicted is None:
+            counts["failed_loads"] += 1
+            return None
+        counts["evictions_for_space"] += len(evicted)
+        counts["unloads"] += len(evicted)
+        task = mgr.place_task(name)
+        counts["loads"] += 1
+        per_task[name]["loads"] += 1
+        _charge(state["cycles"], task.load_cost)
+        if task.load_cost.cache_hit:
+            state["load_cache_hits"] += 1
+            per_task[name]["cache_hits"] += 1
+        elif image.kind == "vbs":
+            state["bytes_decoded"] += _expanded_bytes(mgr, image)
+        return task.load_cost
+    if event.op == "unload":
+        if name not in ctrl.resident:
+            counts["skipped"] += 1
+            return None
+        ctrl.unload_task(name)
+        counts["unloads"] += 1
+        return None
+    if event.op == "migrate":
+        resident = ctrl.resident.get(name)
+        if resident is None:
+            counts["skipped"] += 1
+            return None
+        region = resident.region
+        target = mgr.find_origin(region.w, region.h, ignore=name)
+        if target is None or target == (region.x, region.y):
+            counts["skipped"] += 1
+            return None
+        moved = ctrl.migrate_task(name, target)
+        counts["migrations"] += 1
+        per_task[name]["migrations"] += 1
+        _charge(state["cycles"], moved.load_cost)
+        if moved.load_cost.cache_hit:
+            state["load_cache_hits"] += 1
+            per_task[name]["cache_hits"] += 1
+        elif moved.image.kind == "vbs":
+            # A migration that misses the cache replays the
+            # decoder just like a load miss does.
+            state["bytes_decoded"] += _expanded_bytes(mgr, moved.image)
+        return moved.load_cost
+    raise RuntimeManagementError(f"unknown trace op {event.op!r}")
+
+
+def latency_section(
+    latencies: List[int],
+    queue_waits: List[int],
+    phase_samples: Dict[str, List[int]],
+) -> Optional[dict]:
+    """The report's latency block, or None for zero serviced requests.
+
+    A replay that serviced no reconfigurations has no latency
+    distribution: the section is null (``percentile`` rejects empty
+    samples), never a fabricated all-zero block.
+    """
+    from repro.runtime.costmodel import percentile
+
+    if not latencies:
+        return None
+    return {
+        "unit": "cycles",
+        "requests": len(latencies),
+        "p50": percentile(latencies, 50),
+        "p95": percentile(latencies, 95),
+        "p99": percentile(latencies, 99),
+        "mean": sum(latencies) / len(latencies),
+        "max": max(latencies),
+        "queueing": {
+            "p50": percentile(queue_waits, 50),
+            "p95": percentile(queue_waits, 95),
+            "p99": percentile(queue_waits, 99),
+            "max": max(queue_waits),
+            "total": sum(queue_waits),
+        },
+        "phases": {
+            phase: {
+                "p50": percentile(samples, 50),
+                "p95": percentile(samples, 95),
+                "p99": percentile(samples, 99),
+            }
+            for phase, samples in phase_samples.items()
+        },
+    }
+
+
 class WorkloadSimulator:
     """Replay a :class:`WorkloadTrace` through a :class:`FabricManager`.
 
@@ -268,108 +416,42 @@ class WorkloadSimulator:
     :class:`TraceEvent` — the hook the lifecycle property tests use to
     assert invariants (e.g. shared-dictionary refcounts) at every
     intermediate state, not just at the end of the replay.
+
+    ``fleet`` (instead of ``manager``) replays the trace across a
+    sharded :class:`~repro.runtime.fleet.FleetManager` with one virtual
+    reconfiguration server per shard; the report then carries per-shard
+    *and* fleet-wide sections (see :mod:`repro.runtime.fleet`).
     """
 
     def __init__(
         self,
-        manager: FabricManager,
+        manager: "Optional[FabricManager]" = None,
         observer: "Optional[Callable[[TraceEvent], None]]" = None,
+        fleet=None,
     ):
+        if (manager is None) == (fleet is None):
+            raise RuntimeManagementError(
+                "WorkloadSimulator needs exactly one of manager= or fleet="
+            )
         self.manager = manager
+        self.fleet = fleet
         self.observer = observer
 
     # -- event handlers ---------------------------------------------------------
 
-    def _expanded_bytes(self, image) -> int:
-        from repro.runtime.costmodel import expanded_image_bytes
-
-        nraw = self.manager.controller.fabric.params.nraw
-        return expanded_image_bytes(image.width, image.height, nraw)
-
-    def _charge(self, totals: Dict[str, int], cost) -> None:
-        totals["fetch"] += cost.fetch_cycles
-        totals["decode"] += cost.decode_cycles
-        totals["write"] += cost.write_cycles
-        totals["total"] += cost.total_cycles
-
     def _apply_event(self, event: TraceEvent, state: dict):
-        """Process one trace event; returns the charged cost or None.
-
-        The return value is the :class:`~repro.runtime.costmodel.LoadCost`
-        of a reconfiguration request that actually executed (a load or a
-        migration) — what the open-loop clock charges as service time.
-        Skipped, failed and unload events return None (an unload is a
-        zero-service bookkeeping request in this model: clearing a
-        region is not metered by the cost model).
-        """
-        mgr = self.manager
-        ctrl = mgr.controller
-        counts = state["counts"]
-        per_task = state["per_task"]
-        name = event.task
-        if event.op == "load":
-            if name in ctrl.resident:
-                counts["skipped"] += 1
-                return None
-            image = ctrl.memory.image(name)
-            if image is None:
-                counts["failed_loads"] += 1
-                return None
-            # The manager's own eviction policy (make_room returns []
-            # when a region is already free), kept visible here only
-            # because the report counts the victims.
-            evicted = mgr.make_room(image.width, image.height)
-            if evicted is None:
-                counts["failed_loads"] += 1
-                return None
-            counts["evictions_for_space"] += len(evicted)
-            counts["unloads"] += len(evicted)
-            task = mgr.place_task(name)
-            counts["loads"] += 1
-            per_task[name]["loads"] += 1
-            self._charge(state["cycles"], task.load_cost)
-            if task.load_cost.cache_hit:
-                state["load_cache_hits"] += 1
-                per_task[name]["cache_hits"] += 1
-            elif image.kind == "vbs":
-                state["bytes_decoded"] += self._expanded_bytes(image)
-            return task.load_cost
-        if event.op == "unload":
-            if name not in ctrl.resident:
-                counts["skipped"] += 1
-                return None
-            ctrl.unload_task(name)
-            counts["unloads"] += 1
-            return None
-        if event.op == "migrate":
-            resident = ctrl.resident.get(name)
-            if resident is None:
-                counts["skipped"] += 1
-                return None
-            region = resident.region
-            target = mgr.find_origin(region.w, region.h, ignore=name)
-            if target is None or target == (region.x, region.y):
-                counts["skipped"] += 1
-                return None
-            moved = ctrl.migrate_task(name, target)
-            counts["migrations"] += 1
-            per_task[name]["migrations"] += 1
-            self._charge(state["cycles"], moved.load_cost)
-            if moved.load_cost.cache_hit:
-                state["load_cache_hits"] += 1
-                per_task[name]["cache_hits"] += 1
-            elif moved.image.kind == "vbs":
-                # A migration that misses the cache replays the
-                # decoder just like a load miss does.
-                state["bytes_decoded"] += self._expanded_bytes(moved.image)
-            return moved.load_cost
-        raise RuntimeManagementError(f"unknown trace op {event.op!r}")
+        return apply_trace_event(self.manager, event, state)
 
     def run(self, trace: WorkloadTrace) -> dict:
         """Replay ``trace``; return the structured report (JSON-safe)."""
         from collections import deque
 
-        from repro.runtime.costmodel import percentile
+        if self.fleet is not None:
+            from repro.runtime.fleet import simulate_fleet
+
+            return simulate_fleet(
+                self.fleet, trace, observer=self.observer
+            )
 
         mgr = self.manager
         ctrl = mgr.controller
@@ -380,19 +462,7 @@ class WorkloadSimulator:
         base_dict_faults = ctrl.shared_dict_faults
         base_dict_drops = ctrl.shared_dict_drops
 
-        state = {
-            "counts": {
-                "loads": 0, "unloads": 0, "migrations": 0,
-                "skipped": 0, "failed_loads": 0, "evictions_for_space": 0,
-            },
-            "cycles": {"fetch": 0, "decode": 0, "write": 0, "total": 0},
-            "load_cache_hits": 0,
-            "bytes_decoded": 0,
-            "per_task": {
-                name: {"loads": 0, "cache_hits": 0, "migrations": 0}
-                for name in trace.tasks
-            },
-        }
+        state = new_sim_state(trace.tasks)
 
         # Virtual clock of the open-loop model: one FIFO reconfiguration
         # server, service times from the cost model.  Events sharing a
@@ -506,32 +576,9 @@ class WorkloadSimulator:
             report["trace"]["mean_interarrival"] = trace.mean_interarrival
             if trace.zipf_alpha is not None:
                 report["trace"]["zipf_alpha"] = trace.zipf_alpha
-            report["latency"] = {
-                "unit": "cycles",
-                "requests": len(latencies),
-                "p50": percentile(latencies, 50),
-                "p95": percentile(latencies, 95),
-                "p99": percentile(latencies, 99),
-                "mean": (
-                    sum(latencies) / len(latencies) if latencies else 0.0
-                ),
-                "max": max(latencies) if latencies else 0,
-                "queueing": {
-                    "p50": percentile(queue_waits, 50),
-                    "p95": percentile(queue_waits, 95),
-                    "p99": percentile(queue_waits, 99),
-                    "max": max(queue_waits) if queue_waits else 0,
-                    "total": sum(queue_waits),
-                },
-                "phases": {
-                    phase: {
-                        "p50": percentile(samples, 50),
-                        "p95": percentile(samples, 95),
-                        "p99": percentile(samples, 99),
-                    }
-                    for phase, samples in phase_samples.items()
-                },
-            }
+            report["latency"] = latency_section(
+                latencies, queue_waits, phase_samples
+            )
             report["queue"] = {
                 "arrivals": arrivals_seen,
                 "max_depth": max_depth,
@@ -686,6 +733,9 @@ def run_scenario(
     zipf_alpha: float = 1.1,
     task_scope: bool = False,
     containers_per_task: int = 2,
+    shards: int = 1,
+    router: str = "hash",
+    migrate_backlog: Optional[int] = None,
 ) -> dict:
     """Build a synthetic multi-task scenario and replay one trace.
 
@@ -706,14 +756,24 @@ def run_scenario(
     trace (over ``n_tasks * containers_per_task`` container names)
     exercises the VERSION 4 shared-dictionary refcount path under the
     fabric's eviction pressure.
+
+    ``shards > 1`` replays the trace across a sharded fabric fleet
+    (:mod:`repro.runtime.fleet`): every shard gets its own identically
+    sized fabric, controller, decode cache and memo, all sharing one
+    external memory where images and shared dictionaries are published
+    once; ``router`` picks the placement policy and ``migrate_backlog``
+    arms cross-shard saturation migration.  The ``shards == 1`` default
+    is byte-identical to the historical single-fabric report.
     """
     from repro.arch.fabric import FabricArch
     from repro.arch.params import ArchParams
     from repro.runtime.controller import ReconfigurationController
+    from repro.runtime.fleet import FleetManager, validate_fleet_request
     from repro.runtime.memory import ExternalMemory
 
-    # Fail on a bad mix/arrival request before the expensive synthesis.
+    # Fail on a bad mix/arrival/fleet request before expensive synthesis.
     validate_trace_request(kind, arrivals, mean_interarrival, zipf_alpha)
+    validate_fleet_request(shards, router)
 
     groups = []
     if task_scope:
@@ -744,40 +804,68 @@ def run_scenario(
     fabric_w = max_w + max_w // 2 + 1
     fabric_h = max_h + 1
     params = ArchParams(channel_width=channel_width)
-    fabric = FabricArch(
-        params, fabric_w, fabric_h,
-        {(x, y): "clb" for x in range(fabric_w) for y in range(fabric_h)},
-    )
-    ctrl = ReconfigurationController(
-        fabric,
-        ExternalMemory(),
-        cache_capacity=cache_capacity,
-        cache_capacity_bytes=cache_capacity_bytes,
-        memo_entries=memo_entries,
-    )
+    memory = ExternalMemory()
+
+    def _build_fabric():
+        return FabricArch(
+            params, fabric_w, fabric_h,
+            {(x, y): "clb"
+             for x in range(fabric_w) for y in range(fabric_h)},
+        )
+
+    def _shard_cache_dir(index: int) -> "str | None":
+        if cache_dir is None:
+            return None
+        # Single-fabric runs keep the historical flat layout; fleet
+        # shards persist into per-shard subdirectories so every shard's
+        # cache and memo stay isolated (and deterministic) across runs.
+        if shards == 1:
+            return str(cache_dir)
+        return str(Path(cache_dir) / f"shard-{index}")
+
     restored = 0
     memo_restored = 0
-    if cache_dir is not None:
-        if ctrl.decode_cache is not None:
-            restored = ctrl.decode_cache.load(cache_dir)
-        if ctrl.decode_memo is not None:
-            memo_restored = ctrl.decode_memo.load(
-                Path(cache_dir) / MEMO_FILE_NAME
-            )
+    managers = []
+    for index in range(shards):
+        ctrl = ReconfigurationController(
+            _build_fabric(),
+            memory,
+            cache_capacity=cache_capacity,
+            cache_capacity_bytes=cache_capacity_bytes,
+            memo_entries=memo_entries,
+        )
+        shard_dir = _shard_cache_dir(index)
+        if shard_dir is not None:
+            if ctrl.decode_cache is not None:
+                restored += ctrl.decode_cache.load(shard_dir)
+            if ctrl.decode_memo is not None:
+                memo_restored += ctrl.decode_memo.load(
+                    Path(shard_dir) / MEMO_FILE_NAME
+                )
+        managers.append(FabricManager(ctrl, strategy=strategy))
+
+    # Images (and VERSION 4 shared tables) are published exactly once:
+    # all shards resolve from the one shared external memory.
+    publish = managers[0].controller
     if task_scope:
         for names, result in groups:
-            ctrl.store_task(names, result)
+            publish.store_task(names, result)
     else:
         for name, vbs in images:
-            ctrl.store_vbs(name, vbs)
+            publish.store_vbs(name, vbs)
 
     trace = generate_trace(
         kind, [name for name, _v in images], length, seed=seed,
         arrivals=arrivals, mean_interarrival=mean_interarrival,
         zipf_alpha=zipf_alpha,
     )
-    manager = FabricManager(ctrl, strategy=strategy)
-    report = WorkloadSimulator(manager).run(trace)
+    if shards == 1:
+        report = WorkloadSimulator(managers[0]).run(trace)
+    else:
+        fleet = FleetManager(
+            managers, router=router, migrate_backlog=migrate_backlog
+        )
+        report = WorkloadSimulator(fleet=fleet).run(trace)
     report["scenario"] = {
         "n_tasks": n_tasks,
         "channel_width": channel_width,
@@ -797,11 +885,18 @@ def run_scenario(
         report["scenario"]["shared_dict_ids"] = sorted(
             result.dict_id for _names, result in groups if result.shared
         )
+    if shards > 1:
+        report["scenario"]["shards"] = shards
+        report["scenario"]["router"] = router
+        report["scenario"]["migrate_backlog"] = migrate_backlog
     if cache_dir is not None:
-        if ctrl.decode_cache is not None:
-            ctrl.decode_cache.save(cache_dir)
-        if ctrl.decode_memo is not None:
-            ctrl.decode_memo.save(Path(cache_dir) / MEMO_FILE_NAME)
+        for index, manager in enumerate(managers):
+            ctrl = manager.controller
+            shard_dir = _shard_cache_dir(index)
+            if ctrl.decode_cache is not None:
+                ctrl.decode_cache.save(shard_dir)
+            if ctrl.decode_memo is not None:
+                ctrl.decode_memo.save(Path(shard_dir) / MEMO_FILE_NAME)
     return report
 
 
@@ -842,6 +937,23 @@ def summarize_report(report: dict) -> str:
             f"server utilization {ck.get('utilization', 0.0):.1%} over "
             f"{ck.get('makespan', 0)} cycles"
         )
+    fleet = report.get("fleet")
+    if fleet is not None:
+        shard_p99 = [
+            (
+                str(shard["latency"]["p99"])
+                if shard.get("latency") is not None
+                else "-"
+            )
+            for shard in report.get("shards", [])
+        ]
+        line = (
+            f"fleet: {fleet['shards']} shards via {fleet['router']} router, "
+            f"{fleet['cross_migrations']} cross-shard migrations"
+        )
+        if any(p != "-" for p in shard_p99):
+            line += f"; per-shard p99 [{', '.join(shard_p99)}]"
+        lines.append(line)
     sd = report.get("shared_dicts")
     if sd is not None and (sd["faults"] or sd["drops"]):
         lines.append(

@@ -171,7 +171,7 @@ class DecodeMemo:
         os.replace(tmp, path)
         return len(entries)
 
-    def load(self, path: "Path | str") -> int:
+    def load(self, path: "Path | str", run_id: Optional[str] = None) -> int:
         """Restore persisted entries from ``path``; returns count.
 
         Tolerant by construction: a missing, corrupt, truncated,
@@ -182,6 +182,12 @@ class DecodeMemo:
         preferring the file's most-recently-used tail (the file is
         LRU-to-MRU ordered).  The hit/miss counters are not disturbed —
         ``restored`` counts entries that became resident.
+
+        ``run_id`` restricts the load to delta files stamped by that
+        pool run (:meth:`dump_delta`): a file carrying a different stamp
+        — or none, like a stale delta left behind by a crashed run —
+        restores nothing.  ``None`` accepts any file (the regular
+        persisted-memo case).
         """
         try:
             payload = pickle.loads(Path(path).read_bytes())
@@ -193,6 +199,8 @@ class DecodeMemo:
             or not isinstance(payload.get("entries"), list)
         ):
             return 0
+        if run_id is not None and payload.get("run") != run_id:
+            return 0  # foreign/stale delta: never merged
         fresh: List[tuple] = []
         for item in payload["entries"]:
             if not (isinstance(item, tuple) and len(item) == 2):
@@ -220,7 +228,12 @@ class DecodeMemo:
         with self._mutate:
             return frozenset(self._entries)
 
-    def dump_delta(self, path: "Path | str", baseline: frozenset) -> int:
+    def dump_delta(
+        self,
+        path: "Path | str",
+        baseline: frozenset,
+        run_id: Optional[str] = None,
+    ) -> int:
         """Persist only the entries gained since ``baseline``; returns count.
 
         Same file format as :meth:`save` (so :meth:`load` folds a delta
@@ -229,6 +242,11 @@ class DecodeMemo:
         its warm start into a private per-worker file, and the parent
         merges the deltas into the shared persisted memo.  Writes nothing
         when there is nothing new.
+
+        ``run_id`` stamps the payload with the pool run that produced it;
+        the parent merges with ``load(path, run_id=...)`` so a stale
+        delta left behind by a crashed or killed run can never be folded
+        into a later run's memo.
         """
         with self._mutate:
             entries = [
@@ -241,6 +259,8 @@ class DecodeMemo:
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         payload = {"format": MEMO_FILE_FORMAT, "entries": entries}
+        if run_id is not None:
+            payload["run"] = run_id
         tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
         tmp.write_bytes(pickle.dumps(payload))
         os.replace(tmp, path)

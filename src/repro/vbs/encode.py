@@ -32,6 +32,7 @@ or the Section V compact-logic coding when ``compact_logic=True``).
 
 from __future__ import annotations
 
+import uuid
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -515,11 +516,16 @@ class EncodeContext:
     memo_path: Optional[str] = None
     #: Merge-on-exit scratch directory: when set, each process worker
     #: dumps the memo entries it discovered beyond its warm start into
-    #: ``merge_dir/worker-<pid>.pkl`` at interpreter exit, and the parent
-    #: folds the per-worker deltas into the shared memo after the pool
-    #: shuts down.  ``None`` (thread/serial runs, or no ``memo_path``)
-    #: disables the dump.
+    #: ``merge_dir/worker-<run_id>-<pid>.pkl`` at interpreter exit, and
+    #: the parent folds the per-worker deltas into the shared memo after
+    #: the pool shuts down.  ``None`` (thread/serial runs, or no
+    #: ``memo_path``) disables the dump.
     merge_dir: Optional[str] = None
+    #: Identity of this pool run, stamped into delta file names and
+    #: payloads.  The parent merges only deltas carrying its own stamp,
+    #: so stale files left in a scratch directory by a crashed or killed
+    #: run are never folded into a later run's memo.
+    run_id: Optional[str] = None
 
 
 @dataclass
@@ -681,11 +687,33 @@ def _process_worker_init(ctx: EncodeContext) -> None:
 
         memo = _WORKER_MEMO
         baseline = memo.snapshot_keys()
-        delta_path = _Path(ctx.merge_dir) / f"worker-{_os.getpid()}.pkl"
+        tag = f"{ctx.run_id}-" if ctx.run_id is not None else ""
+        delta_path = _Path(ctx.merge_dir) / f"worker-{tag}{_os.getpid()}.pkl"
         _mp_util.Finalize(
-            None, memo.dump_delta, args=(delta_path, baseline),
+            None, memo.dump_delta,
+            args=(delta_path, baseline, ctx.run_id),
             exitpriority=0,
         )
+
+
+def _merge_worker_deltas(
+    memo: DecodeMemo, merge_dir: str, run_id: Optional[str]
+) -> int:
+    """Fold this run's per-worker delta files into ``memo``; returns count.
+
+    Every ``worker-*.pkl`` in the scratch directory is considered (sorted
+    for determinism; overlapping keys carry identical deterministic
+    results, first file wins), but only deltas whose payload carries this
+    run's ``run_id`` stamp restore anything — a stale delta left behind
+    by a crashed or killed pool run, which shares the name pattern but
+    not the stamp, is ignored rather than folded into a foreign memo.
+    """
+    from pathlib import Path
+
+    merged = 0
+    for delta in sorted(Path(merge_dir).glob("worker-*.pkl")):
+        merged += memo.load(delta, run_id=run_id)
+    return merged
 
 
 #: Work-item chunks handed to each process worker are sized so every
@@ -1187,13 +1215,15 @@ def _encode_pipeline(
         from pathlib import Path as _Path
 
         merge_dir: Optional[str] = None
+        run_id: Optional[str] = None
         if ctx.memo_path is not None:
             # Stage per-worker delta files next to the persisted memo so
             # the atomic renames stay on one filesystem.
             merge_dir = tempfile.mkdtemp(
                 prefix="memo-merge-", dir=str(_Path(ctx.memo_path).parent)
             )
-            ctx = _dc_replace(ctx, merge_dir=merge_dir)
+            run_id = uuid.uuid4().hex
+            ctx = _dc_replace(ctx, merge_dir=merge_dir, run_id=run_id)
         chunks = _chunk_work_items(items, workers)
         try:
             with ProcessPoolExecutor(
@@ -1207,11 +1237,7 @@ def _encode_pipeline(
                     for outcome in batch
                 ]
             if merge_dir is not None:
-                # Fold worker discoveries into the parent memo (sorted
-                # for determinism; overlapping keys carry identical
-                # deterministic results, first file wins).
-                for delta in sorted(_Path(merge_dir).glob("worker-*.pkl")):
-                    memo.load(delta)
+                _merge_worker_deltas(memo, merge_dir, run_id)
         finally:
             if merge_dir is not None:
                 shutil.rmtree(merge_dir, ignore_errors=True)

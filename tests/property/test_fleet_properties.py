@@ -1,0 +1,205 @@
+"""Fleet-scope shared-dictionary lifecycle under cross-shard churn.
+
+The single-controller invariant (tables resident iff referenced by a
+resident task) rolls up one level: at *every* intermediate fleet state —
+asserted through the simulator's ``observer`` hook across a shard-count
+x eviction-churn x seed grid — each shard's resident tables equal the
+tables its own residents reference, the fleet-level union equals the
+tables referenced by at least one shard, and the per-table
+referencing-shard counts agree with a from-scratch recount.  A table
+referenced by two shards must survive either shard dropping its copy;
+it leaves the fleet exactly when the *last* referencing shard does.
+"""
+
+import json
+
+import pytest
+
+from repro.arch import ArchParams, FabricArch
+from repro.runtime import (
+    ExternalMemory,
+    FabricManager,
+    FleetManager,
+    ReconfigurationController,
+    WorkloadSimulator,
+    generate_trace,
+    synthesize_task_scope_images,
+)
+
+
+@pytest.fixture(scope="module")
+def task_groups():
+    """Two 2-container task groups, each sharing one external table."""
+    groups = synthesize_task_scope_images(
+        n_tasks=2, containers_per_task=2, seed=1
+    )
+    for _names, result in groups:
+        assert result.shared  # the sweep is vacuous without kept tables
+    return groups
+
+
+def _fleet(task_groups, n_shards, fabric_w, fabric_h, capacity, router):
+    params = ArchParams(channel_width=8)
+    memory = ExternalMemory()
+    managers = []
+    for _ in range(n_shards):
+        fabric = FabricArch(
+            params, fabric_w, fabric_h,
+            {(x, y): "clb"
+             for x in range(fabric_w) for y in range(fabric_h)},
+        )
+        managers.append(FabricManager(ReconfigurationController(
+            fabric, memory, cache_capacity=capacity
+        )))
+    fleet = FleetManager(managers, router=router)
+    for names, result in task_groups:
+        fleet.store_task(names, result)
+    return fleet
+
+
+class TestFleetDictLifecycleUnderChurn:
+    """Seeded trace x shard-count x capacity grid over real tasks."""
+
+    #: (shard count, fabric head-room factor in halves, decode-cache
+    #: capacity): tight fabrics churn tables on every switch, roomy
+    #: ones keep sibling containers co-resident — across one, two and
+    #: three shards so tables get referenced from several shards at
+    #: once (the roll-up's interesting regime).
+    GRID = [(1, 2, 1), (2, 2, 1), (2, 3, 16), (3, 2, 16), (3, 4, 16)]
+
+    @pytest.mark.parametrize("kind", ["hot-set", "round-robin", "zipf",
+                                      "adversarial"])
+    @pytest.mark.parametrize("n_shards,headroom,capacity", GRID)
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    @pytest.mark.parametrize("router", ["hash", "load"])
+    def test_fleet_refcount_invariant_at_every_event(
+        self, task_groups, kind, n_shards, headroom, capacity, seed,
+        router
+    ):
+        images = [
+            (name, vbs)
+            for names, result in task_groups
+            for name, vbs in zip(names, result.containers)
+        ]
+        max_w = max(vbs.layout.width for _n, vbs in images)
+        max_h = max(vbs.layout.height for _n, vbs in images)
+        fleet = _fleet(
+            task_groups, n_shards,
+            max_w * headroom // 2 + 1, max_h + 1, capacity, router,
+        )
+
+        def check_invariant(_event):
+            union = set()
+            recount = {}
+            for mgr in fleet.shards:
+                ctrl = mgr.controller
+                referenced = {
+                    task.shared_dict_id
+                    for task in ctrl.resident.values()
+                    if task.shared_dict_id is not None
+                }
+                # Shard-local invariant survives the fleet tier: each
+                # controller still holds exactly what its residents use.
+                assert set(ctrl.shared_dicts) == referenced
+                union |= referenced
+                for dict_id in referenced:
+                    recount[dict_id] = recount.get(dict_id, 0) + 1
+            # Fleet roll-up: resident tables == tables referenced by at
+            # least one shard, refcounts == referencing-shard recount.
+            assert fleet.resident_shared_dicts() == union
+            assert fleet.shared_dict_refcounts() == recount
+
+        trace = generate_trace(
+            kind, [n for n, _v in images], 40, seed=seed
+        )
+        report = WorkloadSimulator(
+            fleet=fleet, observer=check_invariant
+        ).run(trace)
+        sd = report["fleet"]["shared_dicts"]
+        assert sd["drops"] <= sd["faults"]
+        assert set(sd["resident_at_end"]) == fleet.resident_shared_dicts()
+        assert sd["referencing_shards"] == {
+            str(k): v for k, v in fleet.shared_dict_refcounts().items()
+        }
+
+    def test_multi_shard_reference_survives_single_shard_drop(
+        self, task_groups
+    ):
+        """A table referenced from two shards outlives either copy: the
+        fleet drop ticks only at the last releasing shard."""
+        images = [
+            (name, vbs)
+            for names, result in task_groups
+            for name, vbs in zip(names, result.containers)
+        ]
+        max_w = max(vbs.layout.width for _n, vbs in images)
+        max_h = max(vbs.layout.height for _n, vbs in images)
+        fleet = _fleet(task_groups, 2, max_w + 1, max_h + 1, 16, "hash")
+        names, _result = task_groups[0]
+        sibling_a, sibling_b = names[0], names[1]
+        # Pin the two sibling containers on *different* shards.
+        fleet.shards[0].place_task(sibling_a)
+        fleet.shards[1].place_task(sibling_b)
+        dict_id = fleet.shards[0].controller.resident[
+            sibling_a
+        ].shared_dict_id
+        assert dict_id is not None
+        fleet.sync_shared_dicts()
+        assert fleet.shared_dict_refcounts()[dict_id] == 2
+        drops_before = fleet.fleet_dict_drops
+        fleet.shards[0].controller.unload_task(sibling_a)
+        fleet.sync_shared_dicts()
+        # Shard 0 released its copy, but shard 1 still references it:
+        # fleet-resident, zero fleet drops.
+        assert dict_id in fleet.resident_shared_dicts()
+        assert fleet.shared_dict_refcounts()[dict_id] == 1
+        assert fleet.fleet_dict_drops == drops_before
+        fleet.shards[1].controller.unload_task(sibling_b)
+        fleet.sync_shared_dicts()
+        assert dict_id not in fleet.resident_shared_dicts()
+        assert fleet.fleet_dict_drops == drops_before + 1
+
+    def test_sweep_exercises_cross_shard_residency(self, task_groups):
+        """The grid is not vacuous: some replay really does hold one
+        table on two shards at once (else the roll-up is untested)."""
+        images = [
+            (name, vbs)
+            for names, result in task_groups
+            for name, vbs in zip(names, result.containers)
+        ]
+        max_w = max(vbs.layout.width for _n, vbs in images)
+        max_h = max(vbs.layout.height for _n, vbs in images)
+        seen_multi = []
+
+        fleet = _fleet(task_groups, 3, max_w + 1, max_h + 1, 16, "hash")
+
+        def spot_multi(_event):
+            if any(v >= 2 for v in fleet.shared_dict_refcounts().values()):
+                seen_multi.append(True)
+
+        trace = generate_trace(
+            "round-robin", [n for n, _v in images], 40, seed=1
+        )
+        WorkloadSimulator(fleet=fleet, observer=spot_multi).run(trace)
+        assert seen_multi
+
+    def test_fleet_report_deterministic_under_churn(self, task_groups):
+        images = [
+            (name, vbs)
+            for names, result in task_groups
+            for name, vbs in zip(names, result.containers)
+        ]
+        max_w = max(vbs.layout.width for _n, vbs in images)
+        max_h = max(vbs.layout.height for _n, vbs in images)
+        trace = generate_trace(
+            "zipf", [n for n, _v in images], 40, seed=7,
+            arrivals="poisson", mean_interarrival=300,
+        )
+        reports = [
+            WorkloadSimulator(fleet=_fleet(
+                task_groups, 2, max_w + 1, max_h + 1, 16, "load"
+            )).run(trace)
+            for _ in range(2)
+        ]
+        assert json.dumps(reports[0], sort_keys=True) == \
+               json.dumps(reports[1], sort_keys=True)

@@ -399,6 +399,22 @@ class TestEvictionForSpace:
         mgr = _manager(params5, images)
         assert mgr.make_room(3, 2) == []
 
+    def test_replace_resident_task_spares_unrelated_victims(
+        self, params5, images
+    ):
+        # Regression: ``place_task(name, evict=True)`` on an already-
+        # resident task used to evict *unrelated* victims — the task's
+        # own stale footprint blocked the region search, make_room
+        # unloaded the oldest resident, and load_task then rejected the
+        # duplicate anyway, losing the victim for nothing.  Re-placing
+        # must reuse the task's own region and leave siblings alone.
+        mgr = _manager(params5, images)  # 7x3: both 3x2 tasks fit, no spare
+        mgr.place_task("b")  # oldest — the old code's collateral victim
+        mgr.place_task("a")
+        task = mgr.place_task("a", evict=True)
+        assert task.name == "a"
+        assert sorted(mgr.controller.resident) == ["a", "b"]
+
 
 class TestControllerMemoParameter:
     """The DecodeMemo bound is a constructor knob; 0/None disable reuse."""
@@ -571,6 +587,28 @@ class TestSimulateCli:
         assert report["trace"]["arrivals"] == "poisson"
         text = capsys.readouterr().out
         assert "latency" in text and "queue" in text
+
+    def test_empty_open_loop_trace_reports_null_latency(self, tmp_path):
+        # Regression: percentile([]) used to raise a bare IndexError out
+        # of the report assembly.  An empty trace is a valid scenario:
+        # the report carries ``latency: null`` instead of percentiles.
+        from repro.cli import main
+        from repro.errors import RuntimeManagementError
+        from repro.runtime.costmodel import percentile
+
+        with pytest.raises(RuntimeManagementError, match="empty"):
+            percentile([], 99)
+
+        out = tmp_path / "empty.json"
+        rc = main([
+            "runtime", "simulate", "--kind", "zipf", "--arrivals",
+            "poisson", "--tasks", "2", "--length", "0", "--seed", "1",
+            "--json", str(out),
+        ])
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["latency"] is None
+        assert report["queue"]["arrivals"] == 0
 
     def test_cli_open_loop_deterministic(self, tmp_path):
         from repro.cli import main

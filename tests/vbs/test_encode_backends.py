@@ -309,6 +309,49 @@ class TestPersistedMemo:
         # one file: everything the serial run persisted must survive.
         assert set(before) <= set(after)
 
+    def test_stale_foreign_delta_never_merged(self, tmp_path):
+        # Regression: the merge-on-exit fold globbed *every*
+        # ``worker-*.pkl`` in the scratch directory, so a delta left by
+        # a crashed earlier run was silently folded into this run's
+        # memo.  Deltas are now stamped with a per-run id and the fold
+        # ignores foreign (or unstamped pre-run-id) files.
+        from repro.arch import ArchParams, get_cluster_model
+        from repro.vbs.encode import _merge_worker_deltas
+
+        model = get_cluster_model(ArchParams(channel_width=5), 1)
+        stale = DecodeMemo()
+        stale.decode(model, [(0, 5)])
+        assert stale.dump_delta(tmp_path / "worker-deadbeef-41.pkl",
+                                frozenset(), run_id="deadbeef") == 1
+        unstamped = DecodeMemo()
+        unstamped.decode(model, [(1, 6)])
+        assert unstamped.dump_delta(tmp_path / "worker-42.pkl",
+                                    frozenset()) == 1
+        fresh = DecodeMemo()
+        fresh.decode(model, [(2, 7)])
+        assert fresh.dump_delta(tmp_path / "worker-cafe-43.pkl",
+                                frozenset(), run_id="cafe") == 1
+
+        memo = DecodeMemo()
+        assert _merge_worker_deltas(memo, tmp_path, "cafe") == 1
+        _res, reused = memo.decode(model, [(2, 7)])
+        assert reused  # this run's delta was folded
+        _res, stale_hit = memo.decode(model, [(0, 5)])
+        assert not stale_hit  # the crashed run's delta was not
+
+    def test_load_rejects_foreign_run_stamp(self, tmp_path):
+        from repro.arch import ArchParams, get_cluster_model
+
+        model = get_cluster_model(ArchParams(channel_width=5), 1)
+        src = DecodeMemo()
+        src.decode(model, [(0, 5)])
+        path = tmp_path / "worker-abc-7.pkl"
+        src.dump_delta(path, frozenset(), run_id="abc")
+        assert DecodeMemo().load(path, run_id="other") == 0
+        assert DecodeMemo().load(path, run_id="abc") == 1
+        # run-agnostic loads (the plain persisted-memo path) still fold.
+        assert DecodeMemo().load(path) == 1
+
     def test_corrupt_memo_file_tolerated(self, tiny_flow, tiny_config,
                                          tmp_path):
         path = tmp_path / "memo.pkl"
