@@ -27,6 +27,8 @@ def _smoke_scenario(
     seed: int = 1,
     shards: int = 1,
     router: str = "hash",
+    servers: int = 1,
+    policy: "str | None" = None,
 ) -> dict:
     from repro.runtime.workload import run_scenario
 
@@ -39,6 +41,8 @@ def _smoke_scenario(
         mean_interarrival=1500,
         shards=shards,
         router=router,
+        servers=servers,
+        policy=policy,
     )
 
 
@@ -158,11 +162,19 @@ def main(argv: "list[str] | None" = None) -> int:
                              "the fleet/per-shard report schema)")
     parser.add_argument("--router", default="hash",
                         help="fleet placement router (hash or load)")
+    parser.add_argument("--servers", type=int, default=1,
+                        help="parallel reconfiguration servers on the "
+                             "open-loop clock")
+    parser.add_argument("--policy", default=None,
+                        help="admission policy (none, drop-cold, "
+                             "defer-cold or priority; single-fabric "
+                             "runs only)")
     args = parser.parse_args(argv)
 
     report = _smoke_scenario(
         length=args.length, seed=args.seed,
         shards=args.shards, router=args.router,
+        servers=args.servers, policy=args.policy,
     )
     latency = report.get("latency") or {}
     for field in ("p50", "p95", "p99"):
@@ -172,6 +184,14 @@ def main(argv: "list[str] | None" = None) -> int:
             return 1
     if "max_depth" not in report.get("queue", {}):
         print("missing queue depth in the report", file=sys.stderr)
+        return 1
+    if args.servers > 1 and args.shards == 1 \
+            and report.get("clock", {}).get("servers") != args.servers:
+        print("missing k-server tag in the clock section",
+              file=sys.stderr)
+        return 1
+    if args.policy not in (None, "none") and "admission" not in report:
+        print("missing admission section in the report", file=sys.stderr)
         return 1
     if args.shards > 1:
         fleet = report.get("fleet", {})

@@ -34,7 +34,7 @@ from repro.vbs.codecs import V3_CODECS
 from repro.vbs.encode import encode_flow
 
 #: Bump to invalidate caches when result-affecting code changes.
-CACHE_VERSION = 6
+CACHE_VERSION = 7
 
 #: Synthetic eval circuits beyond the MCNC proxy table — workloads the
 #: later codec families target.  ``dpath`` is a replicated datapath: a
@@ -381,6 +381,58 @@ def run_workload(
     report["cache_version"] = CACHE_VERSION
     path.write_text(json.dumps(report, indent=1, sort_keys=True))
     return report
+
+
+def run_sweep(
+    results_dir: Path,
+    kind: str = "zipf",
+    n_tasks: int = 3,
+    length: int = 30,
+    seed: int = 3,
+    base_interarrival: int = 20000,
+    factor: float = 4.0,
+    steps: int = 6,
+    servers: int = 1,
+    policy: "str | None" = None,
+    force: bool = False,
+) -> dict:
+    """One saturation-knee sweep report, cached like the figure rows.
+
+    Replays the seeded trace at a geometric ladder of arrival rates
+    (fresh simulator state per rate — see
+    :func:`~repro.runtime.workload.run_sweep_scenario`) and locates the
+    saturation knee; ``run_all --workload`` persists the result as
+    ``knee.json`` next to the other workload artifacts.
+    """
+    from repro.runtime.workload import run_sweep_scenario
+
+    key = (
+        f"sweep_{kind}_t{n_tasks}_n{length}_seed{seed}"
+        f"_b{base_interarrival}_f{factor:g}_x{steps}"
+    )
+    if servers != 1:
+        key += f"_k{servers}"
+    if policy not in (None, "none"):
+        key += f"_{policy}"
+    path = _cache_path(results_dir, key)
+    cached = _load_cache(path)
+    if cached is not None and not force:
+        return cached
+
+    sweep = run_sweep_scenario(
+        kind=kind,
+        n_tasks=n_tasks,
+        length=length,
+        seed=seed,
+        base_interarrival=base_interarrival,
+        factor=factor,
+        steps=steps,
+        servers=servers,
+        policy=policy,
+    )
+    sweep["cache_version"] = CACHE_VERSION
+    path.write_text(json.dumps(sweep, indent=1, sort_keys=True))
+    return sweep
 
 
 def run_table2(

@@ -411,6 +411,52 @@ def percentile(values: "Sequence[int]", p: float) -> int:
     return ordered[rank - 1]
 
 
+def locate_knee(
+    rows: "Sequence[dict]",
+    utilization_floor: float = 0.95,
+    p99_factor: float = 3.0,
+) -> Optional[dict]:
+    """The saturation knee of an arrival-rate sweep, or None.
+
+    ``rows`` are per-rate measurements ordered relaxed-to-aggressive
+    (decreasing ``mean_interarrival``), each carrying ``utilization``
+    and ``p99`` (``None`` p99 = the rate serviced nothing).  The knee is
+    the first rate where the server is effectively saturated
+    (``utilization >= utilization_floor``) *and* the tail has blown up
+    (``p99 >= p99_factor`` times the most relaxed rate's p99) — the
+    operating point a deployment must stay below.  Deterministic: pure
+    arithmetic over the rows, no fitting.
+    """
+    if not (0.0 < utilization_floor <= 1.0):
+        raise RuntimeManagementError(
+            "knee utilization floor must be in (0, 1]"
+        )
+    if p99_factor <= 1.0:
+        raise RuntimeManagementError(
+            "knee p99 factor must exceed 1 (the relaxed baseline)"
+        )
+    baseline = next(
+        (row["p99"] for row in rows if row.get("p99") is not None), None
+    )
+    if baseline is None:
+        return None
+    for index, row in enumerate(rows):
+        if row.get("p99") is None:
+            continue
+        if (
+            row["utilization"] >= utilization_floor
+            and row["p99"] >= p99_factor * baseline
+        ):
+            return {
+                "index": index,
+                "mean_interarrival": row["mean_interarrival"],
+                "utilization": row["utilization"],
+                "p99": row["p99"],
+                "p99_over_relaxed": row["p99"] / baseline,
+            }
+    return None
+
+
 def lpt_makespan(jobs: List[int], units: int) -> Tuple[int, List[int]]:
     """Longest-processing-time-first schedule; returns (makespan, loads)."""
     loads = [0] * max(1, units)

@@ -106,9 +106,12 @@ class LoadAwareRouter:
 
     Load is judged from *recorded* fleet state, coldest first: current
     server backlog in cycles (the open-loop clock; zero in closed-loop
-    replays), resident task count, mean recorded request latency, total
-    serviced requests, and finally the shard index — a fully
-    deterministic ordering, so seeded replays stay reproducible.
+    replays), the policy store's expected cold-request latency at the
+    shard's observed queue depth (0.0 for a fleet without a store — the
+    ordering is then unchanged from the pre-store router), resident
+    task count, mean recorded request latency, total serviced requests,
+    and finally the shard index — a fully deterministic ordering, so
+    seeded replays stay reproducible.
     """
 
     name = "load"
@@ -116,8 +119,15 @@ class LoadAwareRouter:
     def choose(self, task: str, fleet: "FleetManager") -> int:
         def coldness(shard: int):
             recorded = fleet.recorded[shard]
+            store = fleet.policy_store
+            predicted = (
+                store.expected_latency(False, fleet.queue_depths[shard])
+                if store is not None
+                else 0.0
+            )
             return (
                 fleet.backlog(shard),
+                predicted,
                 len(fleet.shards[shard].controller.resident),
                 sum(recorded) / len(recorded) if recorded else 0.0,
                 fleet.serviced[shard],
@@ -167,6 +177,8 @@ class FleetManager:
         shards: Sequence[FabricManager],
         router: "str | object" = "hash",
         migrate_backlog: Optional[int] = None,
+        servers: int = 1,
+        policy_store=None,
     ):
         managers = list(shards)
         if not managers:
@@ -182,21 +194,36 @@ class FleetManager:
             raise RuntimeManagementError(
                 "migration backlog threshold must be at least one cycle"
             )
+        if servers < 1:
+            raise RuntimeManagementError(
+                f"server count must be at least 1 (got {servers})"
+            )
         self.shards = managers
         self.memory = memory
         self.router = make_router(router, len(managers))
         self.migrate_backlog = migrate_backlog
+        #: Parallel reconfiguration servers per shard (the open-loop
+        #: clock runs one min-heap of k server-free times per shard).
+        self.servers = servers
+        #: Optional :class:`~repro.runtime.admission.PolicyStore` the
+        #: replay records every serviced request into (hot = cache hit)
+        #: and the load-aware router reads predicted latencies from.
+        self.policy_store = policy_store
         #: Last known home shard of every task the fleet ever placed —
         #: bookkeeping requests (unload/migrate) for a task not resident
         #: anywhere are routed (and counted) at its last home.
         self.task_shard: Dict[str, int] = {}
         #: Virtual-clock state recorded by the open-loop replay (and read
         #: back by the load-aware router): current time, per-shard server
-        #: free times, per-shard recorded latencies and serviced counts.
+        #: free times (a k-entry min-heap per shard), per-shard recorded
+        #: latencies, serviced counts and last observed queue depths.
         self.now = 0
-        self.server_free = [0] * len(managers)
+        self.server_free: List[List[int]] = [
+            [0] * servers for _ in managers
+        ]
         self.recorded: List[List[int]] = [[] for _ in managers]
         self.serviced = [0] * len(managers)
+        self.queue_depths = [0] * len(managers)
         self.cross_migrations = 0
         #: Fleet-scope shared-dictionary lifecycle counters (see class
         #: docstring); updated by :meth:`sync_shared_dicts`.
@@ -210,8 +237,8 @@ class FleetManager:
         return len(self.shards)
 
     def backlog(self, shard: int) -> int:
-        """Cycles of queued work on ``shard``'s server at fleet time."""
-        return max(0, self.server_free[shard] - self.now)
+        """Cycles until ``shard``'s earliest server frees, at fleet time."""
+        return max(0, min(self.server_free[shard]) - self.now)
 
     # -- fleet-scope publishing (the shared external memory) -----------------------
 
@@ -388,26 +415,57 @@ def _maybe_migrate(fleet: FleetManager, clocks: List[dict]) -> None:
     )
     if victim is None:
         return
+    import heapq
+    from bisect import insort
+
     task = fleet.migrate_across(victim, cold)
     # The re-place is real reconfiguration work on the cold shard's
     # server: charge its cost there (usually a cache hit — the entry
-    # travelled with the task — so fetch+write cycles, zero decode).
+    # travelled with the task — so fetch+write cycles, zero decode) AND
+    # account it as a request in the cold shard's queue/latency
+    # sections.  Charging the clock without the request bookkeeping
+    # used to under-report queue depth, p99 and serviced counts exactly
+    # when migrations fired.
     clock = clocks[cold]
-    start = max(fleet.now, fleet.server_free[cold])
-    finish = start + task.load_cost.total_cycles
-    fleet.server_free[cold] = finish
-    clock["busy"] += task.load_cost.total_cycles
+    cost = task.load_cost
+    free = fleet.server_free[cold]
+    start = max(fleet.now, free[0])
+    finish = start + cost.total_cycles
+    heapq.heapreplace(free, finish)
+    clock["busy"] += cost.total_cycles
     clock["makespan"] = max(clock["makespan"], finish)
     clock["state"]["counts"]["migrations"] += 1
     clock["state"]["per_task"][victim]["migrations"] += 1
     cycles = clock["state"]["cycles"]
-    cycles["fetch"] += task.load_cost.fetch_cycles
-    cycles["decode"] += task.load_cost.decode_cycles
-    cycles["write"] += task.load_cost.write_cycles
-    cycles["total"] += task.load_cost.total_cycles
-    if task.load_cost.cache_hit:
+    cycles["fetch"] += cost.fetch_cycles
+    cycles["decode"] += cost.decode_cycles
+    cycles["write"] += cost.write_cycles
+    cycles["total"] += cost.total_cycles
+    if cost.cache_hit:
         clock["state"]["load_cache_hits"] += 1
         clock["state"]["per_task"][victim]["cache_hits"] += 1
+    # Request bookkeeping: the migration arrives at the current fleet
+    # time and occupies one cold-shard server like any other request.
+    in_flight = clock["in_flight"]
+    while in_flight and in_flight[0] <= fleet.now:
+        in_flight.pop(0)
+    depth_at_door = len(in_flight)
+    insort(in_flight, finish)
+    clock["arrivals"] += 1
+    depth = len(in_flight)
+    clock["depth_sum"] += depth
+    clock["max_depth"] = max(clock["max_depth"], depth)
+    latency = finish - fleet.now
+    clock["latencies"].append(latency)
+    clock["queue_waits"].append(start - fleet.now)
+    clock["phases"]["fetch"].append(cost.fetch_cycles)
+    clock["phases"]["decode"].append(cost.decode_cycles)
+    clock["phases"]["write"].append(cost.write_cycles)
+    fleet.recorded[cold].append(latency)
+    fleet.serviced[cold] += 1
+    fleet.queue_depths[cold] = depth
+    if fleet.policy_store is not None:
+        fleet.policy_store.record(cost.cache_hit, depth_at_door, latency)
 
 
 def simulate_fleet(
@@ -426,7 +484,8 @@ def simulate_fleet(
     (router, migrations, fleet-scope dictionary lifecycle) and a
     ``shards`` list with every shard's own report sections.
     """
-    from collections import deque
+    import heapq
+    from bisect import bisect_left, insort
 
     from repro.runtime.workload import (
         REPORT_VERSION,
@@ -437,6 +496,13 @@ def simulate_fleet(
 
     open_loop = trace.open_loop
     n = fleet.n_shards
+    servers = fleet.servers
+    if fleet.migrate_backlog is not None and not open_loop:
+        raise RuntimeManagementError(
+            "migrate_backlog needs an open-loop trace (closed-loop "
+            "replays have no backlog clock, so saturation migration "
+            "would silently never fire)"
+        )
     fleet.sync_shared_dicts()  # baseline the roll-up before the replay
     base_faults = fleet.fleet_dict_faults
     base_drops = fleet.fleet_dict_drops
@@ -454,7 +520,7 @@ def simulate_fleet(
             "state": new_sim_state(trace.tasks),
             "busy": 0,
             "makespan": 0,
-            "in_flight": deque(),
+            "in_flight": [],  # request finish times, sorted
             "latencies": [],
             "queue_waits": [],
             "phases": {"fetch": [], "decode": [], "write": []},
@@ -462,6 +528,12 @@ def simulate_fleet(
             "max_depth": 0,
             "arrivals": 0,
             "last_at": None,
+            #: The running finish time of the shard's current request —
+            #: later events of the same arrival chain on the same
+            #: server, and the request's in-flight entry tracks its
+            #: final finish.
+            "cur_finish": 0,
+            "door_depth": 0,
         }
         for _ in range(n)
     ]
@@ -479,31 +551,59 @@ def simulate_fleet(
             new_request = at != clock["last_at"]
             clock["last_at"] = at
             in_flight = clock["in_flight"]
+            free = fleet.server_free[shard]
             if new_request:
                 while in_flight and in_flight[0] <= at:
-                    in_flight.popleft()
-            start = max(at, fleet.server_free[shard])
+                    in_flight.pop(0)
+                clock["door_depth"] = len(in_flight)
+                start = max(at, free[0])
+                slot = 0
+            else:
+                # A later event of the same request runs back-to-back
+                # on the server its first event was dispatched to —
+                # unless a migration claimed that slot meanwhile, in
+                # which case it chains behind the earliest-free server
+                # (the historical scalar-clock behavior at k=1).
+                prev = clock["cur_finish"]
+                if prev in free:
+                    slot = free.index(prev)
+                    start = prev
+                else:
+                    slot = 0
+                    start = max(prev, free[0])
             service = cost.total_cycles if cost is not None else 0
             finish = start + service
-            fleet.server_free[shard] = finish
             clock["busy"] += service
             clock["makespan"] = max(clock["makespan"], finish)
+            free[slot] = finish
+            heapq.heapify(free)
             if new_request:
-                in_flight.append(finish)
+                insort(in_flight, finish)
                 clock["arrivals"] += 1
                 depth = len(in_flight)
                 clock["depth_sum"] += depth
                 clock["max_depth"] = max(clock["max_depth"], depth)
             else:
-                in_flight[-1] = finish
+                prev = clock["cur_finish"]
+                i = bisect_left(in_flight, prev)
+                if i < len(in_flight) and in_flight[i] == prev:
+                    in_flight.pop(i)
+                insort(in_flight, finish)
+            clock["cur_finish"] = finish
+            fleet.queue_depths[shard] = len(in_flight)
             if cost is not None:
-                clock["latencies"].append(finish - at)
+                latency = finish - at
+                clock["latencies"].append(latency)
                 clock["queue_waits"].append(start - at)
                 clock["phases"]["fetch"].append(cost.fetch_cycles)
                 clock["phases"]["decode"].append(cost.decode_cycles)
                 clock["phases"]["write"].append(cost.write_cycles)
-                fleet.recorded[shard].append(finish - at)
+                fleet.recorded[shard].append(latency)
                 fleet.serviced[shard] += 1
+                if fleet.policy_store is not None:
+                    fleet.policy_store.record(
+                        cost.cache_hit, clock["door_depth"], latency
+                    )
             _maybe_migrate(fleet, clocks)
         fleet.sync_shared_dicts()
         if observer is not None:
@@ -573,11 +673,13 @@ def simulate_fleet(
                 "makespan": clock["makespan"],
                 "busy_cycles": clock["busy"],
                 "utilization": (
-                    clock["busy"] / clock["makespan"]
+                    clock["busy"] / (servers * clock["makespan"])
                     if clock["makespan"]
                     else 0.0
                 ),
             }
+            if servers > 1:
+                section["clock"]["servers"] = servers
         shard_sections.append(section)
         all_latencies.extend(clock["latencies"])
         all_queue_waits.extend(clock["queue_waits"])
@@ -622,6 +724,11 @@ def simulate_fleet(
             "router": fleet.router.name,
             "cross_migrations": fleet.cross_migrations,
             "migrate_backlog": fleet.migrate_backlog,
+            # Explicit, so a report can never silently claim migration
+            # coverage a closed-loop replay would not have delivered.
+            "migrations_armed": (
+                fleet.migrate_backlog is not None and open_loop
+            ),
             "shared_dicts": {
                 "resident_at_end": sorted(fleet.resident_shared_dicts()),
                 "max_resident": fleet.max_resident_tables,
@@ -686,7 +793,11 @@ def simulate_fleet(
         report["clock"] = {
             "makespan": makespan,
             "busy_cycles": busy,
-            # k parallel servers: a fully-loaded fleet sits at 1.0.
-            "utilization": busy / (n * makespan) if makespan else 0.0,
+            # n shards x k servers each: a fully-loaded fleet sits at 1.0.
+            "utilization": (
+                busy / (n * servers * makespan) if makespan else 0.0
+            ),
         }
+        if servers > 1:
+            report["clock"]["servers"] = servers
     return report

@@ -117,6 +117,8 @@ def validate_trace_request(
     arrivals: Optional[str] = None,
     mean_interarrival: int = 2000,
     zipf_alpha: float = 1.1,
+    length: int = 1,
+    max_resident: int = 1,
 ) -> None:
     """Reject unknown mixes/arrival processes and bad parameters.
 
@@ -124,6 +126,13 @@ def validate_trace_request(
     expensive work *before* generating a trace (``run_scenario``
     synthesizes full CAD flows first) — a typo'd mix name must fail in
     milliseconds, not after seconds of placement and routing.
+
+    ``length`` and ``max_resident`` must both be at least 1: a
+    zero-length trace is a request for nothing (callers that need the
+    degenerate empty report can hand-build a :class:`WorkloadTrace`),
+    and ``max_resident=0`` used to escape as a bare ``IndexError`` from
+    the generator's eviction loop — no task can ever become resident,
+    so the symbolic victim pop underflowed.
     """
     if kind not in TRACE_KINDS:
         raise RuntimeManagementError(
@@ -139,6 +148,14 @@ def validate_trace_request(
         )
     if kind == "zipf" and zipf_alpha <= 0:
         raise RuntimeManagementError("zipf alpha must be positive")
+    if length < 1:
+        raise RuntimeManagementError(
+            f"trace length must be at least one event (got {length})"
+        )
+    if max_resident < 1:
+        raise RuntimeManagementError(
+            f"max_resident must be at least one task (got {max_resident})"
+        )
 
 
 def generate_trace(
@@ -172,7 +189,10 @@ def generate_trace(
     ``r`` in the task list arrives with probability proportional to
     ``r ** -alpha``).
     """
-    validate_trace_request(kind, arrivals, mean_interarrival, zipf_alpha)
+    validate_trace_request(
+        kind, arrivals, mean_interarrival, zipf_alpha,
+        length=length, max_resident=max_resident,
+    )
     if not task_names:
         raise RuntimeManagementError("trace needs at least one task name")
     names = list(task_names)
@@ -391,6 +411,35 @@ def latency_section(
     }
 
 
+def _request_subject(manager: FabricManager, events) -> Tuple[str, bool]:
+    """The arriving task of one request group, and whether it is *hot*.
+
+    A request group is the events sharing one arrival stamp: the
+    eviction unloads preceding a load, then the load itself (or a lone
+    migrate).  The subject is the task the arrival is *for* — the last
+    load/migrate in the group — and it is hot when serving it is cheap:
+    already fabric-resident, or its expansion sits warm in the decode
+    cache (checked with :meth:`DecodeCache.peek`, which perturbs no
+    hit/miss accounting).
+    """
+    subject = events[-1].task
+    for event in events:
+        if event.op in ("load", "migrate"):
+            subject = event.task
+    ctrl = manager.controller
+    if subject in ctrl.resident:
+        return subject, True
+    cache = ctrl.decode_cache
+    if cache is not None:
+        from repro.runtime.costmodel import DecodeCache
+
+        image = ctrl.memory.image(subject)
+        if image is not None and image.kind == "vbs":
+            if cache.peek(DecodeCache.key_for(image)) is not None:
+                return subject, True
+    return subject, False
+
+
 class WorkloadSimulator:
     """Replay a :class:`WorkloadTrace` through a :class:`FabricManager`.
 
@@ -402,15 +451,28 @@ class WorkloadSimulator:
     what the controller would have measured.
 
     Open-loop traces (events stamped with arrival timestamps) are run
-    through a virtual clock: the reconfiguration controller is a single
-    FIFO server, a request's *service time* is its cost-model cycle
-    total, it starts at ``max(arrival, previous finish)`` (the
-    difference is its *queueing delay*), and its *latency* is
-    ``finish - arrival``.  The report then carries p50/p95/p99 latency,
-    queue depths sampled at every arrival, per-phase
-    (fetch/decode/write) percentiles and the clock's makespan — the
+    through a virtual clock: the reconfiguration controller is a bank
+    of ``servers`` parallel FIFO servers (default 1 — the historical
+    single-server model, byte-identical reports), a request's *service
+    time* is its cost-model cycle total, it starts at ``max(arrival,
+    earliest server-free time)`` (the difference is its *queueing
+    delay*), and its *latency* is ``finish - arrival``.  The report
+    then carries p50/p95/p99 latency, queue depths sampled at every
+    arrival, per-phase (fetch/decode/write) percentiles and the clock's
+    makespan, with utilization normalized by the server count — the
     numbers a production deployment is sized by.  Closed-loop reports
     are unchanged (the open-loop keys are simply absent).
+
+    ``policy`` arms admission control at the arrival door (a
+    :data:`~repro.runtime.admission.POLICY_KINDS` name or an
+    :class:`~repro.runtime.admission.AdmissionPolicy` instance;
+    requires an open-loop trace): cold requests past the queue-depth
+    threshold are dropped or deferred, or dispatched on a background
+    lane under ``priority`` — see :mod:`repro.runtime.admission`.  The
+    report gains an ``admission`` section with per-policy counters and
+    the recorded-latency policy store's digest.  Dropped requests never
+    reach the fabric manager (and the observer never sees their
+    events).
 
     ``observer`` is called after every processed event with the
     :class:`TraceEvent` — the hook the lifecycle property tests use to
@@ -419,8 +481,11 @@ class WorkloadSimulator:
 
     ``fleet`` (instead of ``manager``) replays the trace across a
     sharded :class:`~repro.runtime.fleet.FleetManager` with one virtual
-    reconfiguration server per shard; the report then carries per-shard
-    *and* fleet-wide sections (see :mod:`repro.runtime.fleet`).
+    reconfiguration server bank per shard; the report then carries
+    per-shard *and* fleet-wide sections (see
+    :mod:`repro.runtime.fleet`).  A fleet's server count lives on the
+    :class:`FleetManager` itself, so ``servers``/``policy`` here apply
+    to single-manager replays only.
     """
 
     def __init__(
@@ -428,14 +493,36 @@ class WorkloadSimulator:
         manager: "Optional[FabricManager]" = None,
         observer: "Optional[Callable[[TraceEvent], None]]" = None,
         fleet=None,
+        servers: int = 1,
+        policy=None,
+        queue_threshold: int = 4,
     ):
+        from repro.runtime.admission import make_policy
+
         if (manager is None) == (fleet is None):
             raise RuntimeManagementError(
                 "WorkloadSimulator needs exactly one of manager= or fleet="
             )
+        if servers < 1:
+            raise RuntimeManagementError(
+                f"server count must be at least 1 (got {servers})"
+            )
+        resolved = make_policy(policy, queue_threshold=queue_threshold)
+        if fleet is not None and servers != 1:
+            raise RuntimeManagementError(
+                "a fleet's server count is set on the FleetManager "
+                "(servers= here applies to single-manager replays)"
+            )
+        if fleet is not None and resolved is not None:
+            raise RuntimeManagementError(
+                "admission policies apply to single-manager replays "
+                "(fleet admission is routed per shard, not at one door)"
+            )
         self.manager = manager
         self.fleet = fleet
         self.observer = observer
+        self.servers = servers
+        self.policy = resolved
 
     # -- event handlers ---------------------------------------------------------
 
@@ -444,7 +531,8 @@ class WorkloadSimulator:
 
     def run(self, trace: WorkloadTrace) -> dict:
         """Replay ``trace``; return the structured report (JSON-safe)."""
-        from collections import deque
+        import heapq
+        from bisect import insort
 
         if self.fleet is not None:
             from repro.runtime.fleet import simulate_fleet
@@ -456,6 +544,12 @@ class WorkloadSimulator:
         mgr = self.manager
         ctrl = mgr.controller
         cache = ctrl.decode_cache
+        policy = self.policy
+        if policy is not None and not trace.open_loop:
+            raise RuntimeManagementError(
+                "admission policies need an open-loop trace "
+                "(closed-loop replays have no arrival clock)"
+            )
         base_hits = cache.stats.hits if cache else 0
         base_misses = cache.stats.misses if cache else 0
         base_evictions = cache.stats.evictions if cache else 0
@@ -464,18 +558,23 @@ class WorkloadSimulator:
 
         state = new_sim_state(trace.tasks)
 
-        # Virtual clock of the open-loop model: one FIFO reconfiguration
-        # server, service times from the cost model.  Events sharing a
+        # Virtual clock of the open-loop model: a bank of ``servers``
+        # FIFO reconfiguration servers (a min-heap of server-free
+        # times), service times from the cost model.  Events sharing a
         # timestamp form one *request* (the generator stamps a load and
         # the eviction unloads preceding it with the arrival's time, and
         # distinct arrivals always get distinct stamps — gaps are >= 1
-        # cycle), so queue depth and the arrival count are per-request
-        # while the server still serializes every event.
+        # cycle), so queue depth and the arrival count are per-request;
+        # a request's events run back-to-back on the one server it was
+        # dispatched to.  With k > 1, requests finish out of arrival
+        # order, so the in-flight finish times live in a sorted list
+        # rather than the historical monotone deque.
         open_loop = trace.open_loop
-        server_free = 0
+        servers = self.servers
+        server_free: List[int] = [0] * servers  # min-heap of free times
         busy_cycles = 0
         makespan = 0
-        in_flight: "deque[int]" = deque()  # request finish times, monotone
+        in_flight: List[int] = []  # request finish times, sorted
         latencies: List[int] = []
         queue_waits: List[int] = []
         phase_samples: Dict[str, List[int]] = {
@@ -484,45 +583,138 @@ class WorkloadSimulator:
         depth_sum = 0
         max_depth = 0
         arrivals_seen = 0
-        last_at: Optional[int] = None
+        admitted = 0
+        deferred = 0
+        dropped = 0
+        lane_counts = {"hot": 0, "cold": 0}
         max_resident_tables = len(ctrl.shared_dicts)
 
-        for event in trace.events:
+        def _apply(event: TraceEvent):
+            nonlocal max_resident_tables
             cost = self._apply_event(event, state)
-            if open_loop and event.at is not None:
-                at = event.at
-                new_request = at != last_at
-                last_at = at
-                if new_request:
-                    while in_flight and in_flight[0] <= at:
-                        in_flight.popleft()
-                start = max(at, server_free)
-                service = cost.total_cycles if cost is not None else 0
-                finish = start + service
-                server_free = finish
-                busy_cycles += service
-                makespan = max(makespan, finish)
-                if new_request:
-                    in_flight.append(finish)
-                    arrivals_seen += 1
-                    depth = len(in_flight)  # unfinished requests incl. self
-                    depth_sum += depth
-                    max_depth = max(max_depth, depth)
-                else:
-                    # A later event of the same request pushes the
-                    # request's finish time out.
-                    in_flight[-1] = finish
-                if cost is not None:  # a reconfiguration was serviced
-                    latencies.append(finish - at)
-                    queue_waits.append(start - at)
-                    phase_samples["fetch"].append(cost.fetch_cycles)
-                    phase_samples["decode"].append(cost.decode_cycles)
-                    phase_samples["write"].append(cost.write_cycles)
             max_resident_tables = max(
                 max_resident_tables, len(ctrl.shared_dicts)
             )
             if self.observer is not None:
                 self.observer(event)
+            return cost
+
+        # Deferred request groups awaiting re-admission:
+        # (retry_at, seq, original arrival, events, attempts so far).
+        pending: List[tuple] = []
+        seq = 0
+
+        def _dispatch(arrival: int, clock_at: int, events, defers: int):
+            """Admit (or drop/defer) one request group arriving now.
+
+            ``arrival`` is the group's original trace stamp — latency
+            and queueing are measured against it, so deferral delay
+            shows up as queueing, honestly.  ``clock_at`` is when the
+            group is at the door (later than ``arrival`` for retries).
+            """
+            nonlocal seq, admitted, deferred, dropped, arrivals_seen
+            nonlocal depth_sum, max_depth, busy_cycles, makespan
+            while in_flight and in_flight[0] <= clock_at:
+                in_flight.pop(0)
+            door_depth = len(in_flight)
+            hot = True
+            if policy is not None:
+                _subject, hot = _request_subject(mgr, events)
+                decision = policy.decide(hot, door_depth)
+                if decision == "drop":
+                    # The request never reaches the fabric manager.
+                    dropped += 1
+                    return
+                if decision == "defer" and defers < policy.max_defers:
+                    deferred += 1
+                    retry_at = max(clock_at + 1, server_free[0])
+                    heapq.heappush(
+                        pending,
+                        (retry_at, seq, arrival, events, defers + 1),
+                    )
+                    seq += 1
+                    return
+                admitted += 1
+                lane_counts["hot" if hot else "cold"] += 1
+            # Priority's background lane: a cold request yields to every
+            # server's queued work instead of taking the earliest-free
+            # slot.  At k=1 both lanes are the same server — plain FIFO.
+            background = (
+                policy is not None
+                and policy.kind == "priority"
+                and not hot
+            )
+            if background:
+                idx = max(
+                    range(servers), key=lambda i: (server_free[i], -i)
+                )
+                cursor = max(clock_at, server_free[idx])
+            else:
+                cursor = max(clock_at, server_free[0])
+            finish = cursor
+            for event in events:
+                cost = _apply(event)
+                if event.at is None:
+                    continue
+                start = cursor
+                service = cost.total_cycles if cost is not None else 0
+                finish = start + service
+                cursor = finish
+                busy_cycles += service
+                makespan = max(makespan, finish)
+                if cost is not None:  # a reconfiguration was serviced
+                    latency = finish - arrival
+                    latencies.append(latency)
+                    queue_waits.append(start - arrival)
+                    phase_samples["fetch"].append(cost.fetch_cycles)
+                    phase_samples["decode"].append(cost.decode_cycles)
+                    phase_samples["write"].append(cost.write_cycles)
+                    if policy is not None:
+                        policy.store.record(hot, door_depth, latency)
+            if background:
+                server_free[idx] = finish
+                heapq.heapify(server_free)
+            else:
+                heapq.heapreplace(server_free, finish)
+            insort(in_flight, finish)
+            arrivals_seen += 1
+            depth = len(in_flight)  # unfinished requests incl. self
+            depth_sum += depth
+            max_depth = max(max_depth, depth)
+
+        if not open_loop:
+            for event in trace.events:
+                _apply(event)
+        else:
+            # Group consecutive events sharing an arrival stamp into
+            # request groups; untimed events ride with the group they
+            # follow (applied off-clock, the historical behavior).
+            groups: List[tuple] = []
+            cur_at: Optional[int] = None
+            for event in trace.events:
+                if event.at is not None and event.at != cur_at:
+                    cur_at = event.at
+                    groups.append((cur_at, [event]))
+                elif groups:
+                    groups[-1][1].append(event)
+                else:
+                    groups.append((None, [event]))
+            for at, events in groups:
+                if at is None:
+                    for event in events:
+                        _apply(event)
+                    continue
+                while pending and pending[0][0] <= at:
+                    retry_at, _s, orig_at, pev, pdefers = heapq.heappop(
+                        pending
+                    )
+                    _dispatch(orig_at, retry_at, pev, pdefers)
+                _dispatch(at, at, events, 0)
+            while pending:
+                retry_at, _s, orig_at, pev, pdefers = heapq.heappop(
+                    pending
+                )
+                _dispatch(orig_at, retry_at, pev, pdefers)
 
         hits = (cache.stats.hits - base_hits) if cache else 0
         misses = (cache.stats.misses - base_misses) if cache else 0
@@ -590,9 +782,21 @@ class WorkloadSimulator:
                 "makespan": makespan,
                 "busy_cycles": busy_cycles,
                 "utilization": (
-                    busy_cycles / makespan if makespan else 0.0
+                    busy_cycles / (servers * makespan) if makespan else 0.0
                 ),
             }
+            if servers > 1:
+                report["clock"]["servers"] = servers
+            if policy is not None:
+                report["admission"] = {
+                    "policy": policy.kind,
+                    "queue_threshold": policy.queue_threshold,
+                    "admitted": admitted,
+                    "deferred": deferred,
+                    "dropped": dropped,
+                    "lanes": dict(lane_counts),
+                    "store": policy.store.snapshot(),
+                }
         return report
 
 
@@ -736,6 +940,9 @@ def run_scenario(
     shards: int = 1,
     router: str = "hash",
     migrate_backlog: Optional[int] = None,
+    servers: int = 1,
+    policy: "str | None" = None,
+    queue_threshold: int = 4,
 ) -> dict:
     """Build a synthetic multi-task scenario and replay one trace.
 
@@ -764,16 +971,65 @@ def run_scenario(
     once; ``router`` picks the placement policy and ``migrate_backlog``
     arms cross-shard saturation migration.  The ``shards == 1`` default
     is byte-identical to the historical single-fabric report.
+
+    ``servers`` widens every fabric's reconfiguration controller to a
+    bank of k parallel virtual servers (open-loop clock only), and
+    ``policy``/``queue_threshold`` arm admission control at the arrival
+    door (single-fabric open-loop runs; see
+    :mod:`repro.runtime.admission`).
     """
     from repro.arch.fabric import FabricArch
     from repro.arch.params import ArchParams
+    from repro.runtime.admission import (
+        AdmissionPolicy,
+        validate_policy_request,
+    )
     from repro.runtime.controller import ReconfigurationController
     from repro.runtime.fleet import FleetManager, validate_fleet_request
     from repro.runtime.memory import ExternalMemory
 
-    # Fail on a bad mix/arrival/fleet request before expensive synthesis.
-    validate_trace_request(kind, arrivals, mean_interarrival, zipf_alpha)
+    # Fail on a bad mix/arrival/fleet/policy request before expensive
+    # synthesis.
+    validate_trace_request(
+        kind, arrivals, mean_interarrival, zipf_alpha, length=length
+    )
     validate_fleet_request(shards, router)
+    if servers < 1:
+        raise RuntimeManagementError(
+            f"server count must be at least 1 (got {servers})"
+        )
+    if isinstance(policy, AdmissionPolicy):
+        # A pre-built policy instance (e.g. sharing one store across
+        # replays) is always armed — even the base admit-everything
+        # policy reports its admission section and records latencies.
+        policy_armed = True
+        policy_name = policy.kind
+    else:
+        policy_armed = policy is not None and policy != "none"
+        policy_name = policy
+        if policy is not None:
+            validate_policy_request(policy, queue_threshold)
+    if policy_armed and arrivals is None:
+        raise RuntimeManagementError(
+            "admission policies need an open-loop trace "
+            "(pass arrivals='poisson')"
+        )
+    if policy_armed and shards > 1:
+        raise RuntimeManagementError(
+            "admission policies apply to single-fabric runs "
+            "(fleet admission is routed per shard, not at one door)"
+        )
+    if migrate_backlog is not None and shards == 1:
+        raise RuntimeManagementError(
+            "migrate_backlog needs a fleet (shards >= 2) to migrate "
+            "between"
+        )
+    if migrate_backlog is not None and arrivals is None:
+        raise RuntimeManagementError(
+            "migrate_backlog needs an open-loop trace "
+            "(closed-loop replays have no backlog clock; "
+            "pass arrivals='poisson')"
+        )
 
     groups = []
     if task_scope:
@@ -860,10 +1116,18 @@ def run_scenario(
         zipf_alpha=zipf_alpha,
     )
     if shards == 1:
-        report = WorkloadSimulator(managers[0]).run(trace)
+        report = WorkloadSimulator(
+            managers[0],
+            servers=servers,
+            policy=policy,
+            queue_threshold=queue_threshold,
+        ).run(trace)
     else:
         fleet = FleetManager(
-            managers, router=router, migrate_backlog=migrate_backlog
+            managers,
+            router=router,
+            migrate_backlog=migrate_backlog,
+            servers=servers,
         )
         report = WorkloadSimulator(fleet=fleet).run(trace)
     report["scenario"] = {
@@ -889,6 +1153,11 @@ def run_scenario(
         report["scenario"]["shards"] = shards
         report["scenario"]["router"] = router
         report["scenario"]["migrate_backlog"] = migrate_backlog
+    if servers != 1:
+        report["scenario"]["servers"] = servers
+    if policy_armed:
+        report["scenario"]["policy"] = policy_name
+        report["scenario"]["queue_threshold"] = queue_threshold
     if cache_dir is not None:
         for index, manager in enumerate(managers):
             ctrl = manager.controller
@@ -898,6 +1167,224 @@ def run_scenario(
             if ctrl.decode_memo is not None:
                 ctrl.decode_memo.save(Path(shard_dir) / MEMO_FILE_NAME)
     return report
+
+
+def sweep_arrival_rates(
+    run_at: "Callable[[int], dict]",
+    base_interarrival: int,
+    factor: float = 2.0,
+    steps: int = 5,
+    knee_utilization: float = 0.95,
+    knee_p99_factor: float = 3.0,
+) -> dict:
+    """Replay one workload at a geometric ladder of arrival rates.
+
+    ``run_at(mean_interarrival)`` must produce an open-loop simulation
+    report (fresh state per call — warm caches would let earlier,
+    relaxed rates subsidize later, aggressive ones).  The ladder starts
+    at ``base_interarrival`` and divides by ``factor`` each step,
+    rounding to whole cycles and stopping early once the gap bottoms
+    out; rows are therefore ordered relaxed-to-aggressive, which is
+    what :func:`~repro.runtime.costmodel.locate_knee` expects.  The
+    returned sweep report carries per-rate utilization/latency/queue
+    rows and the located saturation knee (or ``None`` when the swept
+    range never saturates).
+    """
+    from repro.runtime.costmodel import locate_knee
+
+    if base_interarrival < 1:
+        raise RuntimeManagementError(
+            "sweep base inter-arrival must be at least one cycle"
+        )
+    if factor <= 1.0:
+        raise RuntimeManagementError(
+            "sweep factor must exceed 1 (each step must tighten the rate)"
+        )
+    if steps < 2:
+        raise RuntimeManagementError(
+            "a sweep needs at least two rates to locate a knee between"
+        )
+    ladder: List[int] = []
+    for i in range(steps):
+        gap = max(1, round(base_interarrival / factor ** i))
+        if ladder and gap >= ladder[-1]:
+            break  # rounding bottomed out; further steps repeat
+        ladder.append(gap)
+    rows: List[dict] = []
+    for gap in ladder:
+        report = run_at(gap)
+        la = report.get("latency") or {}
+        qu = report.get("queue") or {}
+        ck = report.get("clock") or {}
+        rows.append({
+            "mean_interarrival": gap,
+            "arrival_rate": 1.0 / gap,
+            "utilization": ck.get("utilization", 0.0),
+            "p50": la.get("p50"),
+            "p99": la.get("p99"),
+            "max_latency": la.get("max"),
+            "requests": la.get("requests", 0),
+            "max_depth": qu.get("max_depth", 0),
+            "makespan": ck.get("makespan", 0),
+        })
+    return {
+        "sweep_version": 1,
+        "base_interarrival": base_interarrival,
+        "factor": factor,
+        "steps": len(rows),
+        "rates": rows,
+        "relaxed_p99": rows[0]["p99"] if rows else None,
+        "knee": locate_knee(rows, knee_utilization, knee_p99_factor),
+    }
+
+
+def run_sweep_scenario(
+    kind: str = "zipf",
+    n_tasks: int = 4,
+    length: int = 40,
+    seed: int = 3,
+    channel_width: int = 8,
+    cluster_size: int = 1,
+    cache_capacity: "int | None" = 16,
+    memo_entries: Optional[int] = 4096,
+    strategy: str = FIRST_FIT,
+    codecs: "str | Sequence[str] | None" = None,
+    base_interarrival: int = 2000,
+    factor: float = 2.0,
+    steps: int = 5,
+    zipf_alpha: float = 1.1,
+    servers: int = 1,
+    policy: "str | None" = None,
+    queue_threshold: int = 4,
+    knee_utilization: float = 0.95,
+    knee_p99_factor: float = 3.0,
+) -> dict:
+    """Synthesize one scenario and sweep it to its saturation knee.
+
+    The harness behind ``repro runtime sweep``: task images are
+    synthesized *once*, then every rate on the ladder gets a fresh
+    fabric, controller, decode cache and memo over the shared external
+    memory — so rates differ only in arrival pressure, never in cache
+    warmth.  The trace's task mix is byte-identical across rates (the
+    arrival clock draws from its own rng stream), making the knee a
+    pure function of the scenario parameters.
+    """
+    from repro.arch.fabric import FabricArch
+    from repro.arch.params import ArchParams
+    from repro.runtime.admission import (
+        AdmissionPolicy,
+        validate_policy_request,
+    )
+    from repro.runtime.controller import ReconfigurationController
+    from repro.runtime.memory import ExternalMemory
+
+    validate_trace_request(
+        kind, "poisson", base_interarrival, zipf_alpha, length=length
+    )
+    if servers < 1:
+        raise RuntimeManagementError(
+            f"server count must be at least 1 (got {servers})"
+        )
+    if isinstance(policy, AdmissionPolicy):
+        policy_name = policy.kind
+    else:
+        policy_name = policy
+        if policy is not None:
+            validate_policy_request(policy, queue_threshold)
+
+    images = synthesize_task_images(
+        n_tasks=n_tasks,
+        channel_width=channel_width,
+        cluster_size=cluster_size,
+        seed=seed,
+        codecs=codecs,
+    )
+    names = [name for name, _v in images]
+    max_w = max(vbs.layout.width for _name, vbs in images)
+    max_h = max(vbs.layout.height for _name, vbs in images)
+    fabric_w = max_w + max_w // 2 + 1
+    fabric_h = max_h + 1
+    params = ArchParams(channel_width=channel_width)
+    memory = ExternalMemory()
+
+    def _build_controller():
+        fabric = FabricArch(
+            params, fabric_w, fabric_h,
+            {(x, y): "clb"
+             for x in range(fabric_w) for y in range(fabric_h)},
+        )
+        return ReconfigurationController(
+            fabric, memory,
+            cache_capacity=cache_capacity,
+            memo_entries=memo_entries,
+        )
+
+    publisher = _build_controller()
+    for name, vbs in images:
+        publisher.store_vbs(name, vbs)
+
+    def run_at(gap: int) -> dict:
+        manager = FabricManager(_build_controller(), strategy=strategy)
+        trace = generate_trace(
+            kind, names, length, seed=seed,
+            arrivals="poisson", mean_interarrival=gap,
+            zipf_alpha=zipf_alpha,
+        )
+        return WorkloadSimulator(
+            manager,
+            servers=servers,
+            policy=policy,
+            queue_threshold=queue_threshold,
+        ).run(trace)
+
+    sweep = sweep_arrival_rates(
+        run_at, base_interarrival,
+        factor=factor, steps=steps,
+        knee_utilization=knee_utilization,
+        knee_p99_factor=knee_p99_factor,
+    )
+    sweep["trace"] = {
+        "kind": kind, "seed": seed, "length": length, "tasks": names,
+    }
+    sweep["servers"] = servers
+    sweep["policy"] = (
+        policy_name if policy_name not in (None, "none") else "none"
+    )
+    sweep["scenario"] = {
+        "n_tasks": n_tasks,
+        "channel_width": channel_width,
+        "cluster_size": cluster_size,
+        "strategy": strategy,
+    }
+    return sweep
+
+
+def summarize_sweep(sweep: dict) -> str:
+    """A terse human-readable digest of an arrival-rate sweep report."""
+    tr = sweep.get("trace", {})
+    lines = [
+        f"sweep: {tr.get('kind', '?')} seed={tr.get('seed', '?')} "
+        f"({tr.get('length', '?')} events) x {sweep['steps']} rates, "
+        f"servers={sweep.get('servers', 1)}, "
+        f"policy={sweep.get('policy', 'none')}",
+    ]
+    for row in sweep["rates"]:
+        p99 = row["p99"] if row["p99"] is not None else "-"
+        lines.append(
+            f"  gap {row['mean_interarrival']}: "
+            f"utilization {row['utilization']:.1%}, p99 {p99}, "
+            f"max depth {row['max_depth']}"
+        )
+    knee = sweep.get("knee")
+    if knee is None:
+        lines.append("knee: not reached within the swept range")
+    else:
+        lines.append(
+            f"knee: gap {knee['mean_interarrival']} "
+            f"(utilization {knee['utilization']:.1%}, p99 {knee['p99']}, "
+            f"{knee['p99_over_relaxed']:.1f}x relaxed)"
+        )
+    return "\n".join(lines)
 
 
 def summarize_report(report: dict) -> str:
@@ -931,11 +1418,27 @@ def summarize_report(report: dict) -> str:
             f"cycles over {la['requests']} requests (max {la['max']}, "
             f"queueing p95 {la['queueing']['p95']})"
         )
+        bank = (
+            f"{ck['servers']}-server utilization"
+            if ck.get("servers", 1) > 1
+            else "server utilization"
+        )
         lines.append(
             f"queue: max depth {qu.get('max_depth', 0)}, "
             f"mean {qu.get('mean_depth', 0.0):.2f}; "
-            f"server utilization {ck.get('utilization', 0.0):.1%} over "
+            f"{bank} {ck.get('utilization', 0.0):.1%} over "
             f"{ck.get('makespan', 0)} cycles"
+        )
+    ad = report.get("admission")
+    if ad is not None:
+        lanes = ad.get("lanes", {})
+        lines.append(
+            f"admission: {ad['policy']} "
+            f"(threshold {ad['queue_threshold']}) — "
+            f"{ad['admitted']} admitted "
+            f"({lanes.get('hot', 0)} hot / {lanes.get('cold', 0)} cold), "
+            f"{ad['deferred']} deferred, {ad['dropped']} dropped; "
+            f"store holds {ad['store']['samples']} samples"
         )
     fleet = report.get("fleet")
     if fleet is not None:

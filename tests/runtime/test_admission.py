@@ -1,0 +1,607 @@
+"""Admission/QoS layer: policies, the recorded-latency store, sweeps.
+
+The load-bearing properties: ``policy="none"``/``servers=1`` leave the
+report byte-identical to the pre-QoS simulator, k parallel servers
+strictly cut the tail at a saturating arrival rate, drop-cold and
+defer-cold strictly bound the queue depth while the *hot* tail does not
+regress, and the saturation-knee sweep is a pure deterministic function
+of its scenario parameters.
+"""
+
+import json
+
+import pytest
+
+from repro.arch import FabricArch
+from repro.errors import RuntimeManagementError
+from repro.runtime import (
+    AdmissionPolicy,
+    DeferColdPolicy,
+    DropColdPolicy,
+    ExternalMemory,
+    FabricManager,
+    FleetManager,
+    POLICY_KINDS,
+    PolicyStore,
+    PriorityPolicy,
+    ReconfigurationController,
+    WorkloadSimulator,
+    generate_trace,
+    locate_knee,
+    make_policy,
+    run_scenario,
+    run_sweep_scenario,
+    summarize_sweep,
+    sweep_arrival_rates,
+    validate_policy_request,
+)
+from repro.utils.bitarray import BitArray
+from repro.vbs.encode import VirtualBitstream
+from repro.vbs.format import ClusterRecord, VbsLayout
+
+
+def _logic(layout, positions):
+    arr = BitArray(layout.logic_bits_per_cluster)
+    for p in positions:
+        arr[p] = 1
+    return arr
+
+
+def _image(params, bits_a, bits_b):
+    """A hand-built 3x2 VBS (logic-only records decode with zero routing)."""
+    layout = VbsLayout(params, 1, 3, 2)
+    records = [
+        ClusterRecord((0, 0), raw=False, logic=_logic(layout, bits_a),
+                      pairs=[]),
+        ClusterRecord((2, 1), raw=False, logic=_logic(layout, bits_b),
+                      pairs=[]),
+    ]
+    return VirtualBitstream(layout, records)
+
+
+@pytest.fixture(scope="module")
+def images(params5):
+    """Two distinct-digest task images, no CAD flow involved."""
+    return [
+        ("a", _image(params5, [0, 7], [3])),
+        ("b", _image(params5, [1, 2], [5, 6])),
+    ]
+
+
+def _manager(params5, images, width=7, height=3, **ctrl_kwargs):
+    memory = ExternalMemory()
+    fabric = FabricArch(
+        params5, width, height,
+        {(x, y): "clb" for x in range(width) for y in range(height)},
+    )
+    manager = FabricManager(
+        ReconfigurationController(fabric, memory, **ctrl_kwargs)
+    )
+    for name, vbs in images:
+        manager.controller.store_vbs(name, vbs)
+    return manager
+
+
+def _churn_trace(images, length=30, seed=4, gap=2):
+    """Zipf/Poisson arrivals with forced evictions (max_resident=1), so
+    the mix carries both hot re-arrivals and cold reloads."""
+    return generate_trace(
+        "zipf", [n for n, _v in images], length, seed=seed,
+        arrivals="poisson", mean_interarrival=gap, max_resident=1,
+    )
+
+
+class TestPolicyStore:
+    def test_bucket_mapping(self):
+        cases = {0: 0, 1: 1, 2: 2, 3: 2, 4: 4, 7: 4, 8: 8, 15: 8,
+                 16: 16, 100: 16, -5: 0}
+        for depth, bucket in cases.items():
+            assert PolicyStore.bucket(depth) == bucket, depth
+
+    def test_record_and_len(self):
+        store = PolicyStore()
+        assert len(store) == 0
+        store.record(True, 0, 100)
+        store.record(True, 3, 200)
+        store.record(False, 9, 5000)
+        assert len(store) == 3
+
+    def test_expected_latency_falls_back_to_pooled_then_zero(self):
+        store = PolicyStore()
+        # Nothing recorded at all: a knowledge-free reader must not
+        # prefer any shard or threshold over another.
+        assert store.expected_latency(True, 0) == 0.0
+        store.record(True, 0, 100)
+        store.record(True, 0, 300)
+        # Exact cell.
+        assert store.expected_latency(True, 0) == 200.0
+        # Empty bucket of a known temperature: pooled fallback.
+        assert store.expected_latency(True, 16) == 200.0
+        # The other temperature has no samples anywhere.
+        assert store.expected_latency(False, 0) == 0.0
+
+    def test_tail_latency_none_on_empty(self):
+        store = PolicyStore()
+        assert store.tail_latency(False, 0) is None
+        for latency in (10, 20, 30, 40):
+            store.record(False, 2, latency)
+        assert store.tail_latency(False, 2) == 40
+        assert store.tail_latency(False, 2, p=50) == 20
+        # Pooled fallback serves unseen buckets too.
+        assert store.tail_latency(False, 16) == 40
+
+    def test_snapshot_is_json_safe(self):
+        store = PolicyStore()
+        store.record(True, 0, 100)
+        store.record(False, 5, 900)
+        snap = store.snapshot()
+        assert snap["samples"] == 2
+        assert set(snap["cells"]) == {"hot@0", "cold@4"}
+        assert snap["cells"]["cold@4"] == {
+            "count": 1, "mean": 900.0, "p99": 900,
+        }
+        json.dumps(snap)  # must round-trip without a custom encoder
+
+
+class TestPolicyValidation:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(RuntimeManagementError,
+                           match="unknown admission policy"):
+            validate_policy_request("lifo")
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(RuntimeManagementError,
+                           match="queue threshold"):
+            validate_policy_request("drop-cold", queue_threshold=0)
+        with pytest.raises(RuntimeManagementError,
+                           match="queue threshold"):
+            DropColdPolicy(queue_threshold=-1)
+
+    def test_bad_deferral_bound_rejected(self):
+        with pytest.raises(RuntimeManagementError,
+                           match="deferral bound"):
+            DeferColdPolicy(max_defers=0)
+
+    def test_make_policy_resolution(self):
+        assert make_policy(None) is None
+        assert make_policy("none") is None
+        for name in POLICY_KINDS[1:]:
+            policy = make_policy(name, queue_threshold=2)
+            assert policy is not None
+            assert policy.kind == name
+            assert policy.queue_threshold == 2
+        with pytest.raises(RuntimeManagementError,
+                           match="unknown admission policy"):
+            make_policy("fifo")
+
+    def test_make_policy_instance_and_store_passthrough(self):
+        store = PolicyStore()
+        built = DropColdPolicy(queue_threshold=3, store=store)
+        assert make_policy(built) is built
+        assert make_policy("defer-cold", store=store).store is store
+        # A fresh store per policy unless shared explicitly.
+        assert make_policy("drop-cold").store is not store
+
+    def test_decide_triggers(self):
+        drop = DropColdPolicy(queue_threshold=4)
+        defer = DeferColdPolicy(queue_threshold=4)
+        for policy, verdict in ((drop, "drop"), (defer, "defer")):
+            assert policy.decide(hot=False, depth=4) == verdict
+            assert policy.decide(hot=False, depth=9) == verdict
+            assert policy.decide(hot=False, depth=3) == "admit"
+            assert policy.decide(hot=True, depth=100) == "admit"
+        # The base policy and priority never shed anything at the door.
+        assert AdmissionPolicy().decide(False, 100) == "admit"
+        assert PriorityPolicy().decide(False, 100) == "admit"
+
+
+class TestSimulatorAdmission:
+    def test_no_policy_no_admission_section(self, params5, images):
+        report = WorkloadSimulator(_manager(params5, images)).run(
+            _churn_trace(images)
+        )
+        assert "admission" not in report
+        assert "servers" not in report["clock"]
+
+    def test_none_string_is_unarmed(self, params5, images):
+        plain = WorkloadSimulator(_manager(params5, images)).run(
+            _churn_trace(images)
+        )
+        named = WorkloadSimulator(
+            _manager(params5, images), policy="none"
+        ).run(_churn_trace(images))
+        assert json.dumps(plain, sort_keys=True) == \
+               json.dumps(named, sort_keys=True)
+
+    def test_armed_base_policy_admits_everything(self, params5, images):
+        report = WorkloadSimulator(
+            _manager(params5, images), policy=AdmissionPolicy()
+        ).run(_churn_trace(images))
+        ad = report["admission"]
+        assert ad["policy"] == "none"
+        assert ad["dropped"] == 0 and ad["deferred"] == 0
+        assert ad["admitted"] == report["queue"]["arrivals"]
+        assert ad["lanes"]["hot"] + ad["lanes"]["cold"] == ad["admitted"]
+        # Every serviced request was filed in the knowledge base.
+        assert ad["store"]["samples"] == report["latency"]["requests"]
+
+    def test_drop_cold_sheds_load(self, params5, images):
+        # No decode cache: temperature is fabric residency alone, and
+        # max_resident=1 churn guarantees cold reloads under pressure.
+        baseline = WorkloadSimulator(
+            _manager(params5, images, cache_capacity=0),
+            policy=AdmissionPolicy(),
+        ).run(_churn_trace(images))
+        report = WorkloadSimulator(
+            _manager(params5, images, cache_capacity=0),
+            policy="drop-cold", queue_threshold=1,
+        ).run(_churn_trace(images))
+        ad = report["admission"]
+        assert ad["policy"] == "drop-cold"
+        assert ad["dropped"] >= 1
+        assert ad["deferred"] == 0
+        # Door conservation: every arriving group is admitted or dropped.
+        assert ad["admitted"] + ad["dropped"] == \
+               baseline["queue"]["arrivals"]
+        assert report["queue"]["arrivals"] == ad["admitted"]
+        # Dropped requests never reach the fabric manager.
+        assert report["events"]["loads"] < baseline["events"]["loads"]
+
+    def test_defer_cold_retries_without_loss(self, params5, images):
+        baseline = WorkloadSimulator(
+            _manager(params5, images, cache_capacity=0),
+            policy=AdmissionPolicy(),
+        ).run(_churn_trace(images))
+        report = WorkloadSimulator(
+            _manager(params5, images, cache_capacity=0),
+            policy="defer-cold", queue_threshold=1,
+        ).run(_churn_trace(images))
+        ad = report["admission"]
+        assert ad["policy"] == "defer-cold"
+        assert ad["deferred"] >= 1
+        assert ad["dropped"] == 0
+        # Deferral sheds nothing: every group is eventually admitted.
+        assert ad["admitted"] == baseline["queue"]["arrivals"]
+        assert report["queue"]["arrivals"] == ad["admitted"]
+
+    def test_priority_policy_counts_lanes(self, params5, images):
+        report = WorkloadSimulator(
+            _manager(params5, images, cache_capacity=0),
+            policy="priority", servers=2,
+        ).run(_churn_trace(images))
+        ad = report["admission"]
+        assert ad["policy"] == "priority"
+        assert ad["dropped"] == 0 and ad["deferred"] == 0
+        assert ad["lanes"]["cold"] >= 1  # churn forces cold reloads
+        assert ad["lanes"]["hot"] + ad["lanes"]["cold"] == ad["admitted"]
+
+    def test_policy_needs_open_loop_trace(self, params5, images):
+        closed = generate_trace(
+            "round-robin", [n for n, _v in images], 8, seed=1
+        )
+        sim = WorkloadSimulator(
+            _manager(params5, images), policy="drop-cold"
+        )
+        with pytest.raises(RuntimeManagementError, match="open-loop"):
+            sim.run(closed)
+
+    def test_constructor_rejects_bad_combinations(self, params5, images):
+        manager = _manager(params5, images)
+        with pytest.raises(RuntimeManagementError, match="server count"):
+            WorkloadSimulator(manager, servers=0)
+        fleet = FleetManager([manager])
+        with pytest.raises(RuntimeManagementError,
+                           match="set on the FleetManager"):
+            WorkloadSimulator(fleet=fleet, servers=2)
+        with pytest.raises(RuntimeManagementError,
+                           match="single-manager"):
+            WorkloadSimulator(fleet=fleet, policy="drop-cold")
+
+    def test_parallel_servers_preserve_event_totals(self, params5, images):
+        trace = _churn_trace(images, length=40, seed=6)
+        one = WorkloadSimulator(_manager(params5, images)).run(trace)
+        three = WorkloadSimulator(
+            _manager(params5, images), servers=3
+        ).run(trace)
+        # Same trace, same application order: only the clock differs.
+        assert three["events"] == one["events"]
+        assert three["per_task"] == one["per_task"]
+        assert "servers" not in one["clock"]
+        assert three["clock"]["servers"] == 3
+        assert three["clock"]["makespan"] <= one["clock"]["makespan"]
+        assert 0.0 <= three["clock"]["utilization"] <= 1.0
+
+
+@pytest.mark.integration
+class TestAdmissionAcceptance:
+    """run_scenario-level QoS contract: byte-identity when unarmed,
+    strictly lower p99 with k servers, strictly bounded queue depth
+    under drop/defer with no hot-tail regression."""
+
+    SATURATING = dict(kind="zipf", n_tasks=4, length=40, seed=3,
+                      arrivals="poisson", mean_interarrival=200)
+    # Admission comparison runs at seed=2: same saturating pressure,
+    # a task mix where shedding cold work helps the hot tail.
+    ADMISSION = dict(kind="zipf", n_tasks=4, length=40, seed=2,
+                     arrivals="poisson", mean_interarrival=200)
+
+    def test_servers_one_is_byte_identical(self):
+        legacy = run_scenario(**self.SATURATING)
+        explicit = run_scenario(**self.SATURATING, servers=1)
+        assert json.dumps(legacy, sort_keys=True) == \
+               json.dumps(explicit, sort_keys=True)
+        assert "servers" not in explicit["scenario"]
+        assert "servers" not in explicit["clock"]
+
+    def test_policy_none_is_byte_identical(self):
+        legacy = run_scenario(**self.SATURATING)
+        named = run_scenario(**self.SATURATING, policy="none")
+        assert json.dumps(legacy, sort_keys=True) == \
+               json.dumps(named, sort_keys=True)
+        assert "admission" not in named
+        assert "policy" not in named["scenario"]
+
+    def test_four_servers_cut_the_tail_at_saturation(self):
+        single = run_scenario(**self.SATURATING)
+        quad = run_scenario(**self.SATURATING, servers=4)
+        # The acceptance criterion: k parallel reconfiguration servers
+        # strictly improve the tail at a saturating arrival rate.
+        assert quad["latency"]["p99"] < single["latency"]["p99"]
+        assert quad["queue"]["max_depth"] <= single["queue"]["max_depth"]
+        assert quad["clock"]["servers"] == 4
+        assert quad["scenario"]["servers"] == 4
+        # Utilization is normalized per server: k idle lanes show up as
+        # lower utilization, never a value past 1.
+        assert 0.0 < quad["clock"]["utilization"] <= 1.0
+
+    @pytest.mark.parametrize("policy_cls", [DropColdPolicy,
+                                            DeferColdPolicy])
+    def test_admission_bounds_queue_without_hot_regression(
+        self, policy_cls
+    ):
+        # Shared-store instances: the baseline replay files its hot/cold
+        # latencies in one knowledge base, the policy replay in another,
+        # so the hot tails are comparable afterwards.
+        base_store = PolicyStore()
+        baseline = run_scenario(
+            **self.ADMISSION,
+            policy=AdmissionPolicy(store=base_store),
+        )
+        store = PolicyStore()
+        report = run_scenario(
+            **self.ADMISSION,
+            policy=policy_cls(queue_threshold=4, store=store),
+        )
+        ad = report["admission"]
+        assert ad["policy"] == policy_cls.kind
+        assert ad["queue_threshold"] == 4
+        shed = ad["dropped"] if policy_cls is DropColdPolicy \
+            else ad["deferred"]
+        assert shed >= 1
+        # The acceptance criterion: shedding cold work strictly bounds
+        # the queue while the hot tail does not regress.
+        assert report["queue"]["max_depth"] < \
+               baseline["queue"]["max_depth"]
+        hot_p99 = store.tail_latency(True, 0)
+        base_hot_p99 = base_store.tail_latency(True, 0)
+        assert hot_p99 is not None and base_hot_p99 is not None
+        assert hot_p99 <= base_hot_p99
+
+    def test_policy_needs_arrivals_and_one_fabric(self):
+        with pytest.raises(RuntimeManagementError, match="open-loop"):
+            run_scenario(kind="zipf", n_tasks=2, length=8, seed=1,
+                         policy="drop-cold")
+        with pytest.raises(RuntimeManagementError,
+                           match="single-fabric"):
+            run_scenario(**self.SATURATING, shards=2, router="hash",
+                         policy="drop-cold")
+
+
+class TestKneeLocation:
+    @staticmethod
+    def _row(gap, utilization, p99):
+        return {"mean_interarrival": gap, "utilization": utilization,
+                "p99": p99}
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(RuntimeManagementError,
+                           match="utilization floor"):
+            locate_knee([], utilization_floor=0.0)
+        with pytest.raises(RuntimeManagementError, match="p99 factor"):
+            locate_knee([], p99_factor=1.0)
+
+    def test_no_serviced_rate_no_knee(self):
+        rows = [self._row(100, 0.0, None), self._row(50, 0.0, None)]
+        assert locate_knee(rows) is None
+
+    def test_first_qualifying_row_wins(self):
+        rows = [
+            self._row(400, 0.40, 100),   # relaxed baseline
+            self._row(200, 0.96, 250),   # saturated but tail held
+            self._row(100, 0.97, 330),   # knee: >= 3x relaxed
+            self._row(50, 0.99, 900),
+        ]
+        knee = locate_knee(rows)
+        assert knee["index"] == 2
+        assert knee["mean_interarrival"] == 100
+        assert knee["p99_over_relaxed"] == pytest.approx(3.3)
+
+    def test_unsaturated_sweep_has_no_knee(self):
+        rows = [self._row(400, 0.40, 100), self._row(200, 0.60, 120)]
+        assert locate_knee(rows) is None
+
+
+class TestArrivalSweep:
+    def test_bad_parameters_rejected(self):
+        run_at = lambda gap: {}
+        with pytest.raises(RuntimeManagementError,
+                           match="base inter-arrival"):
+            sweep_arrival_rates(run_at, 0)
+        with pytest.raises(RuntimeManagementError, match="factor"):
+            sweep_arrival_rates(run_at, 100, factor=1.0)
+        with pytest.raises(RuntimeManagementError,
+                           match="at least two rates"):
+            sweep_arrival_rates(run_at, 100, steps=1)
+
+    def test_ladder_stops_when_rounding_bottoms_out(self):
+        seen = []
+
+        def run_at(gap):
+            seen.append(gap)
+            return {"latency": None, "queue": None, "clock": None}
+
+        sweep = sweep_arrival_rates(run_at, 4, factor=2.0, steps=6)
+        # 4 -> 2 -> 1; further rungs would repeat gap 1 and are cut.
+        assert seen == [4, 2, 1]
+        assert sweep["steps"] == 3
+        assert [r["mean_interarrival"] for r in sweep["rates"]] == seen
+        assert sweep["relaxed_p99"] is None
+        assert sweep["knee"] is None
+
+    def test_rows_and_knee_from_reports(self):
+        canned = {
+            1000: (0.30, 100, 3),
+            500: (0.80, 180, 6),
+            250: (0.98, 450, 14),  # knee: saturated, 4.5x relaxed
+        }
+
+        def run_at(gap):
+            utilization, p99, depth = canned[gap]
+            return {
+                "latency": {"p50": p99 // 2, "p99": p99, "max": p99,
+                            "requests": 20},
+                "queue": {"max_depth": depth},
+                "clock": {"utilization": utilization, "makespan": 9000},
+            }
+
+        sweep = sweep_arrival_rates(run_at, 1000, factor=2.0, steps=3)
+        assert [r["arrival_rate"] for r in sweep["rates"]] == \
+               [1 / 1000, 1 / 500, 1 / 250]
+        assert sweep["relaxed_p99"] == 100
+        assert sweep["knee"]["index"] == 2
+        assert sweep["knee"]["mean_interarrival"] == 250
+        text = summarize_sweep(sweep)
+        assert "knee: gap 250" in text
+        assert "max depth 14" in text
+
+    def test_summary_reports_missing_knee(self):
+        sweep = sweep_arrival_rates(
+            lambda gap: {"latency": None, "queue": None, "clock": None},
+            10, factor=2.0, steps=2,
+        )
+        assert "knee: not reached" in summarize_sweep(sweep)
+
+
+@pytest.mark.integration
+class TestSweepScenario:
+    # The pinned deterministic knee of the CI smoke configuration
+    # (single server, 30-event trace): gap 78, rung 4 of the ladder
+    # 20000 -> 5000 -> 1250 -> 312 -> 78 -> 20.
+    KNEE_SWEEP = dict(n_tasks=3, length=30, seed=3,
+                      base_interarrival=20000, factor=4.0, steps=6)
+
+    def test_knee_is_pinned_and_deterministic(self):
+        sweep = run_sweep_scenario(**self.KNEE_SWEEP)
+        gaps = [r["mean_interarrival"] for r in sweep["rates"]]
+        assert gaps == [20000, 5000, 1250, 312, 78, 20]
+        knee = sweep["knee"]
+        assert knee is not None
+        assert knee["index"] == 4
+        assert knee["mean_interarrival"] == 78
+        assert knee["utilization"] >= 0.95
+        assert knee["p99_over_relaxed"] >= 3.0
+        again = run_sweep_scenario(**self.KNEE_SWEEP)
+        assert json.dumps(sweep, sort_keys=True) == \
+               json.dumps(again, sort_keys=True)
+
+    def test_relaxed_rates_stay_unsaturated(self):
+        sweep = run_sweep_scenario(**self.KNEE_SWEEP)
+        knee = sweep["knee"]
+        for row in sweep["rates"][:knee["index"]]:
+            assert (
+                row["utilization"] < 0.95
+                or row["p99"] < 3.0 * sweep["relaxed_p99"]
+            )
+
+    def test_sweep_carries_scenario_parameters(self):
+        sweep = run_sweep_scenario(**self.KNEE_SWEEP, servers=2,
+                                   policy="drop-cold")
+        assert sweep["servers"] == 2
+        assert sweep["policy"] == "drop-cold"
+        assert sweep["trace"]["kind"] == "zipf"
+        assert sweep["trace"]["seed"] == 3
+
+
+class TestSweepCli:
+    def test_sweep_writes_validated_artifact(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "sweep.json"
+        rc = main([
+            "runtime", "sweep", "--tasks", "2", "--length", "12",
+            "--seed", "1", "--base-interarrival", "400",
+            "--factor", "2", "--steps", "3", "--json", str(out),
+        ])
+        assert rc == 0
+        sweep = json.loads(out.read_text())
+        assert sweep["sweep_version"] == 1
+        gaps = [r["mean_interarrival"] for r in sweep["rates"]]
+        assert gaps == sorted(gaps, reverse=True)
+        assert len(set(gaps)) == len(gaps)
+        assert "sweep: zipf" in capsys.readouterr().out
+
+    def test_require_knee_exits_one_when_unsaturated(self, tmp_path,
+                                                     capsys):
+        from repro.cli import main
+
+        out = tmp_path / "sweep.json"
+        # Two relaxed rungs cannot saturate the clock: the gate trips.
+        rc = main([
+            "runtime", "sweep", "--tasks", "2", "--length", "10",
+            "--seed", "1", "--base-interarrival", "100000",
+            "--factor", "2", "--steps", "2", "--require-knee",
+            "--json", str(out),
+        ])
+        assert rc == 1
+        assert not out.exists()
+        assert "no saturation knee" in capsys.readouterr().err
+
+    def test_sweep_validation_exits_two(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "sweep.json"
+        rc = main([
+            "runtime", "sweep", "--tasks", "2", "--length", "10",
+            "--steps", "1", "--json", str(out),
+        ])
+        assert rc == 2
+        assert not out.exists()
+        assert "at least two rates" in capsys.readouterr().err
+
+    def test_unknown_policy_exits_two(self, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "runtime", "simulate", "--tasks", "2", "--length", "8",
+            "--arrivals", "poisson", "--policy", "lifo",
+        ])
+        assert rc == 2
+        assert "unknown admission policy" in capsys.readouterr().err
+
+    def test_simulate_reports_admission_section(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.json"
+        rc = main([
+            "runtime", "simulate", "--kind", "zipf", "--tasks", "3",
+            "--length", "16", "--seed", "2", "--arrivals", "poisson",
+            "--mean-interarrival", "200", "--policy", "drop-cold",
+            "--queue-threshold", "2", "--servers", "2",
+            "--json", str(out),
+        ])
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert report["admission"]["policy"] == "drop-cold"
+        assert report["admission"]["queue_threshold"] == 2
+        assert report["clock"]["servers"] == 2
+        assert "admission: drop-cold" in capsys.readouterr().out

@@ -19,8 +19,11 @@ from repro.runtime import (
     FabricManager,
     FleetManager,
     LoadAwareRouter,
+    PolicyStore,
     ReconfigurationController,
+    TraceEvent,
     WorkloadSimulator,
+    WorkloadTrace,
     generate_trace,
     run_scenario,
     validate_fleet_request,
@@ -135,8 +138,8 @@ class TestRouters:
     def test_load_router_picks_coldest_backlog(self, params5, images):
         managers = _shard_managers(params5, images, 3)
         fleet = FleetManager(managers, router="load")
-        fleet.server_free[0] = 500  # shard 0 is busy at fleet time 0
-        fleet.server_free[1] = 200
+        fleet.server_free[0] = [500]  # shard 0 is busy at fleet time 0
+        fleet.server_free[1] = [200]
         assert fleet.router.choose("a", fleet) == 2
 
     def test_load_router_ties_break_by_index(self, params5, images):
@@ -257,6 +260,68 @@ class TestMigration:
             fleet.migrate_across("a", 1)
         assert fleet.shard_of("a") == 0
 
+    def test_migration_accounted_as_cold_shard_request(
+        self, params5, images
+    ):
+        # One load pinned to shard 0 builds instant backlog; shard 1 is
+        # idle, so the saturation migration fires immediately.  The
+        # re-place must show up as a *request* on the cold shard —
+        # charging its clock while leaving arrivals/latency empty was
+        # the historical under-reporting bug.
+        class PinRouter:
+            name = "pin"
+
+            def choose(self, task, fleet):
+                return 0
+
+        trace = WorkloadTrace(
+            kind="zipf", seed=0, tasks=("a",),
+            events=(TraceEvent("load", "a", at=0),),
+            arrivals="poisson", mean_interarrival=1,
+        )
+        fleet = FleetManager(
+            _shard_managers(params5, images, 2),
+            router=PinRouter(), migrate_backlog=1,
+        )
+        report = WorkloadSimulator(fleet=fleet).run(trace)
+        assert report["fleet"]["cross_migrations"] == 1
+        cold = report["shards"][1]
+        assert cold["fabric"]["resident_at_end"] == ["a"]
+        assert cold["clock"]["busy_cycles"] > 0
+        assert cold["queue"]["arrivals"] == 1
+        assert cold["latency"]["requests"] == 1
+        assert cold["latency"]["p99"] >= cold["clock"]["busy_cycles"]
+        # Both the fleet-wide and per-task dictionaries see it too.
+        assert report["latency"]["requests"] == 2
+        assert report["queue"]["arrivals"] == 2
+        assert report["events"]["migrations"] == 1
+        assert report["per_task"]["a"]["migrations"] == 1
+        # And the load-aware knowledge base, when the fleet carries one.
+        store = PolicyStore()
+        fleet2 = FleetManager(
+            _shard_managers(params5, images, 2),
+            router=PinRouter(), migrate_backlog=1, policy_store=store,
+        )
+        WorkloadSimulator(fleet=fleet2).run(trace)
+        assert len(store) == 2
+
+    def test_closed_loop_migration_fails_fast(self, params5, images):
+        # A closed-loop trace has no backlog clock: arming migration on
+        # one must raise instead of silently never firing.
+        trace = generate_trace("round-robin", [n for n, _v in images],
+                               8, seed=1)
+        fleet = FleetManager(_shard_managers(params5, images, 2),
+                             migrate_backlog=1)
+        with pytest.raises(RuntimeManagementError,
+                           match="open-loop trace"):
+            WorkloadSimulator(fleet=fleet).run(trace)
+
+    def test_closed_loop_migration_rejected_by_scenario(self):
+        with pytest.raises(RuntimeManagementError,
+                           match="open-loop trace"):
+            run_scenario(kind="zipf", n_tasks=2, length=8, seed=1,
+                         shards=2, router="hash", migrate_backlog=1)
+
 
 class TestFleetSimulation:
     def test_fleet_of_one_matches_single_simulator(self, params5, images):
@@ -323,6 +388,30 @@ class TestFleetSimulation:
         assert busy  # someone serviced the trace
         for shard in idle:
             assert shard["clock"]["busy_cycles"] == 0
+
+    def test_k_servers_per_shard(self, params5, images):
+        trace = generate_trace(
+            "zipf", [n for n, _v in images], 24, seed=5,
+            arrivals="poisson", mean_interarrival=2,
+        )
+        one = WorkloadSimulator(
+            fleet=FleetManager(_shard_managers(params5, images, 2))
+        ).run(trace)
+        two = WorkloadSimulator(
+            fleet=FleetManager(_shard_managers(params5, images, 2),
+                               servers=2)
+        ).run(trace)
+        # servers=1 stays schema-identical; k>1 tags every clock and
+        # normalizes utilization per server.
+        assert "servers" not in one["clock"]
+        assert all("servers" not in s["clock"] for s in one["shards"])
+        assert two["clock"]["servers"] == 2
+        assert all(s["clock"]["servers"] == 2 for s in two["shards"])
+        assert two["clock"]["makespan"] <= one["clock"]["makespan"]
+        for section in (two, *two["shards"]):
+            assert 0.0 <= section["clock"]["utilization"] <= 1.0
+        with pytest.raises(RuntimeManagementError, match="server count"):
+            FleetManager(_shard_managers(params5, images, 2), servers=0)
 
 
 @pytest.mark.integration
@@ -392,9 +481,26 @@ class TestScenarioAcceptance:
                               migrate_backlog=1)
         assert report["scenario"]["migrate_backlog"] == 1
         assert report["fleet"]["migrate_backlog"] == 1
+        assert report["fleet"]["migrations_armed"] is True
         assert report["fleet"]["cross_migrations"] >= 0
         migrations = report["events"]["migrations"]
         assert migrations >= report["fleet"]["cross_migrations"]
+        # Migrations are accounted as requests: the fleet-wide latency
+        # and queue sections must stay the exact sum of the per-shard
+        # views even with saturation migration in play.
+        assert report["latency"]["requests"] == sum(
+            (s["latency"] or {}).get("requests", 0)
+            for s in report["shards"]
+        )
+        assert report["queue"]["arrivals"] == sum(
+            s["queue"]["arrivals"] for s in report["shards"]
+        )
+
+    def test_unarmed_migration_reported_as_such(self):
+        report = run_scenario(**self.SATURATING, shards=2, router="hash")
+        assert report["fleet"]["migrate_backlog"] is None
+        assert report["fleet"]["migrations_armed"] is False
+        assert report["fleet"]["cross_migrations"] == 0
 
 
 class TestFleetCli:
@@ -420,6 +526,22 @@ class TestFleetCli:
         assert rc == 2
         assert not out.exists()
         assert "unknown placement router" in capsys.readouterr().err
+
+    def test_closed_loop_migrate_backlog_exits_two(self, tmp_path,
+                                                   capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.json"
+        # No --arrivals: a closed-loop replay cannot fire saturation
+        # migration, so arming it must fail loudly, not no-op.
+        rc = main([
+            "runtime", "simulate", "--tasks", "2", "--length", "8",
+            "--shards", "2", "--migrate-backlog", "1",
+            "--json", str(out),
+        ])
+        assert rc == 2
+        assert not out.exists()
+        assert "open-loop trace" in capsys.readouterr().err
 
     def test_fleet_simulate_json(self, tmp_path, capsys):
         from repro.cli import main

@@ -350,6 +350,59 @@ class TestSummarizeCompatibility:
         text = summarize_report(report)
         assert "p95" in text and "queue" in text and "utilization" in text
 
+    def test_tolerates_null_latency_report(self, params5, images):
+        # An empty open-loop trace reports ``latency: null`` — the
+        # degenerate-but-valid schema.  The summary must skip the
+        # latency/queue lines instead of subscripting None.
+        from repro.runtime.workload import (
+            WorkloadTrace,
+            summarize_report,
+        )
+
+        trace = WorkloadTrace(
+            kind="zipf", seed=1, tasks=("a", "b"), events=(),
+            arrivals="poisson", mean_interarrival=500, zipf_alpha=1.1,
+        )
+        report = WorkloadSimulator(_manager(params5, images)).run(trace)
+        assert report["latency"] is None
+        text = summarize_report(report)
+        assert "0 events" in text
+        assert "p95" not in text and "queue" not in text
+
+    def test_renders_k_server_bank(self, params5, images):
+        from repro.runtime.workload import summarize_report
+
+        trace = generate_trace(
+            "hot-set", [n for n, _v in images], 18, seed=4,
+            arrivals="poisson", mean_interarrival=60,
+        )
+        report = WorkloadSimulator(
+            _manager(params5, images), servers=3
+        ).run(trace)
+        text = summarize_report(report)
+        assert "3-server utilization" in text
+        single = WorkloadSimulator(_manager(params5, images)).run(trace)
+        assert "server utilization" in summarize_report(single)
+        assert "3-server" not in summarize_report(single)
+
+    def test_renders_admission_line(self, params5, images):
+        from repro.runtime.workload import summarize_report
+
+        trace = generate_trace(
+            "zipf", [n for n, _v in images], 20, seed=4,
+            arrivals="poisson", mean_interarrival=2, max_resident=1,
+        )
+        report = WorkloadSimulator(
+            _manager(params5, images), policy="defer-cold",
+            queue_threshold=2,
+        ).run(trace)
+        text = summarize_report(report)
+        assert "admission: defer-cold (threshold 2)" in text
+        assert "store holds" in text
+        # Reports with no admission section render no such line.
+        plain = WorkloadSimulator(_manager(params5, images)).run(trace)
+        assert "admission:" not in summarize_report(plain)
+
 
 class TestEvictionForSpace:
     """A fabric with room for one 3x2 task forces make-room evictions."""
@@ -588,16 +641,33 @@ class TestSimulateCli:
         text = capsys.readouterr().out
         assert "latency" in text and "queue" in text
 
-    def test_empty_open_loop_trace_reports_null_latency(self, tmp_path):
+    def test_empty_open_loop_trace_reports_null_latency(
+        self, params5, images
+    ):
         # Regression: percentile([]) used to raise a bare IndexError out
-        # of the report assembly.  An empty trace is a valid scenario:
-        # the report carries ``latency: null`` instead of percentiles.
-        from repro.cli import main
+        # of the report assembly.  A hand-built empty trace is still a
+        # valid replay: the report carries ``latency: null`` instead of
+        # percentiles (the generator itself now rejects length < 1).
         from repro.errors import RuntimeManagementError
         from repro.runtime.costmodel import percentile
+        from repro.runtime.workload import WorkloadSimulator, WorkloadTrace
 
         with pytest.raises(RuntimeManagementError, match="empty"):
             percentile([], 99)
+
+        trace = WorkloadTrace(
+            kind="zipf", seed=1, tasks=("a", "b"), events=(),
+            arrivals="poisson", mean_interarrival=500, zipf_alpha=1.1,
+        )
+        report = WorkloadSimulator(_manager(params5, images)).run(trace)
+        assert report["latency"] is None
+        assert report["queue"]["arrivals"] == 0
+        assert report["clock"]["utilization"] == 0.0
+
+    def test_zero_length_trace_exits_2(self, tmp_path, capsys):
+        # The generator's length floor: ``--length 0`` is a request for
+        # nothing and must fail loudly, not emit an empty artifact.
+        from repro.cli import main
 
         out = tmp_path / "empty.json"
         rc = main([
@@ -605,10 +675,9 @@ class TestSimulateCli:
             "poisson", "--tasks", "2", "--length", "0", "--seed", "1",
             "--json", str(out),
         ])
-        assert rc == 0
-        report = json.loads(out.read_text())
-        assert report["latency"] is None
-        assert report["queue"]["arrivals"] == 0
+        assert rc == 2
+        assert "length" in capsys.readouterr().err
+        assert not out.exists()
 
     def test_cli_open_loop_deterministic(self, tmp_path):
         from repro.cli import main
