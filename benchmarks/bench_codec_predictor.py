@@ -1,0 +1,153 @@
+"""Codec-predictor trial-reduction artifact (the CI bench-smoke job).
+
+Encodes a reduced-scale eval corpus twice with ``codecs="auto"`` — once
+exhaustively (no predictor) and once replaying a predictor store warmed
+on the same corpus — and writes the per-point and total trial counts to
+a JSON artifact::
+
+    PYTHONPATH=src python benchmarks/bench_codec_predictor.py \
+        --out predictor-smoke.json
+
+Two gates, both hard failures (exit 1):
+
+* **Bytes unchanged.**  Every container produced under the warm store
+  must be byte-identical to the exhaustive encode — the predictor's
+  verify-and-fallback contract (see ``repro.vbs.predictor``).
+* **>= 2x fewer trials.**  Summed across the corpus, the warm replay
+  must charge at most half the exhaustive ``family_trials``.  The gate
+  is on the totals, not per point: small cluster-3 points sit just
+  under 2x on their own while the corpus total clears it comfortably.
+
+The conservation law ``warm_trials + warm_skipped == exhaustive_trials``
+is also checked per point — the predictor only ever *skips* trials, it
+never invents or double-counts them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.eval.experiments import flow_for
+from repro.bitstream.expand import expand_routing
+from repro.vbs.encode import encode_flow
+from repro.vbs.devirt import DecodeMemo
+from repro.vbs.predictor import CodecPredictor
+
+#: Reduced-scale smoke corpus: one Table II proxy plus the synthetic
+#: replicated-datapath workload (see ``repro.eval.experiments.EVAL_EXTRAS``).
+SMOKE_NAMES = ("ex5p", "dpath")
+SMOKE_CLUSTERS = (1, 2, 3)
+SMOKE_SCALE = 0.08
+SMOKE_CHANNEL_WIDTH = 8
+
+#: Minimum exhaustive/warm trial ratio over the corpus total.
+MIN_TRIAL_RATIO = 2.0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path,
+                        default=Path("predictor-smoke.json"))
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+
+    summary = _summarize(args.seed)
+    args.out.write_text(json.dumps(summary, indent=1, sort_keys=True) + "\n")
+
+    total = summary["totals"]
+    print(f"exhaustive trials: {total['exhaustive_trials']}")
+    print(f"warm trials:       {total['warm_trials']} "
+          f"(skipped {total['warm_skipped']})")
+    print(f"trial ratio:       {total['trial_ratio']:.2f}x")
+    print(f"wrote {args.out}")
+
+    failed = False
+    if not summary["all_bytes_match"]:
+        bad = [f"{p['name']}/c{p['cluster']}"
+               for p in summary["points"] if not p["bytes_match"]]
+        print(f"ERROR: warm replay changed bytes at {', '.join(bad)}",
+              file=sys.stderr)
+        failed = True
+    if total["trial_ratio"] < MIN_TRIAL_RATIO:
+        print(f"ERROR: warm replay saved only "
+              f"{total['trial_ratio']:.2f}x trials "
+              f"(< {MIN_TRIAL_RATIO:.0f}x gate)", file=sys.stderr)
+        failed = True
+    return 1 if failed else 0
+
+
+def _summarize(seed: int) -> dict:
+    predictor = CodecPredictor()
+    memo = DecodeMemo()
+    points = []
+    jobs = []
+    for name in SMOKE_NAMES:
+        flow = flow_for(name, SMOKE_CHANNEL_WIDTH, SMOKE_SCALE, seed)
+        config = expand_routing(
+            flow.design, flow.placement, flow.routing, flow.rrg
+        )
+        jobs.append((name, flow, config))
+
+    # Pass 1: exhaustive baseline.  Pass 2: the same encode with a cold
+    # predictor — byte-identical by construction, and it warms the
+    # store.  Pass 3: warm replay, the measured configuration.
+    for name, flow, config in jobs:
+        for c in SMOKE_CLUSTERS:
+            exhaustive = encode_flow(
+                flow, config, cluster_size=c, codecs="auto", memo=memo
+            )
+            encode_flow(
+                flow, config, cluster_size=c, codecs="auto", memo=memo,
+                predictor=predictor,
+            )
+    for name, flow, config in jobs:
+        for c in SMOKE_CLUSTERS:
+            exhaustive = encode_flow(
+                flow, config, cluster_size=c, codecs="auto", memo=memo
+            )
+            warm = encode_flow(
+                flow, config, cluster_size=c, codecs="auto", memo=memo,
+                predictor=predictor,
+            )
+            ex_bytes = exhaustive.to_bits().to_bytes()
+            warm_bytes = warm.to_bits().to_bytes()
+            conserved = (
+                warm.stats.family_trials + warm.stats.family_trials_skipped
+                == exhaustive.stats.family_trials
+            )
+            points.append({
+                "name": name,
+                "cluster": c,
+                "size_bits": exhaustive.size_bits,
+                "exhaustive_trials": exhaustive.stats.family_trials,
+                "warm_trials": warm.stats.family_trials,
+                "warm_skipped": warm.stats.family_trials_skipped,
+                "bytes_match": warm_bytes == ex_bytes,
+                "trials_conserved": conserved,
+            })
+
+    ex_total = sum(p["exhaustive_trials"] for p in points)
+    warm_total = sum(p["warm_trials"] for p in points)
+    return {
+        "corpus": list(SMOKE_NAMES),
+        "clusters": list(SMOKE_CLUSTERS),
+        "scale": SMOKE_SCALE,
+        "channel_width": SMOKE_CHANNEL_WIDTH,
+        "points": points,
+        "all_bytes_match": all(p["bytes_match"] for p in points),
+        "all_trials_conserved": all(p["trials_conserved"] for p in points),
+        "totals": {
+            "exhaustive_trials": ex_total,
+            "warm_trials": warm_total,
+            "warm_skipped": sum(p["warm_skipped"] for p in points),
+            "trial_ratio": (ex_total / warm_total) if warm_total else 0.0,
+        },
+        "predictor_cells": len(predictor.snapshot()),
+    }
+
+
+if __name__ == "__main__":
+    sys.exit(main())

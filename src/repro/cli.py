@@ -55,6 +55,10 @@ def _add_vbsgen_args(parser: argparse.ArgumentParser) -> None:
                         help="Section V presence-flagged logic coding")
     parser.add_argument("--raw-output", type=Path, default=None,
                         help="also write the raw bitstream baseline")
+    parser.add_argument("--predictor-store", type=Path, default=None,
+                        help="persistable feature->codec predictor store "
+                             "(JSON): warm-starts the family pass's codec "
+                             "shortlists and is saved back extended")
 
 
 def main_vbsgen(argv: "list[str] | None" = None) -> int:
@@ -67,6 +71,21 @@ def main_vbsgen(argv: "list[str] | None" = None) -> int:
 
 
 def _run_vbsgen(args: argparse.Namespace) -> int:
+    from repro.errors import VbsError
+    from repro.vbs.codecs import resolve_codecs
+
+    codecs = args.codecs
+    if codecs is not None and codecs != "auto":
+        codecs = [name.strip() for name in codecs.split(",") if name.strip()]
+    try:
+        # A typo'd codec name must fail in milliseconds, exit 2, before
+        # the expensive CAD flow runs — the registry is the one source
+        # of valid names, so the check cannot drift as codecs are added.
+        resolve_codecs(codecs)
+    except VbsError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
     netlist = parse_blif(args.blif.read_text(), args.blif.stem)
     params = ArchParams(channel_width=args.channel_width,
                         lut_size=args.lut_size)
@@ -75,9 +94,12 @@ def _run_vbsgen(args: argparse.Namespace) -> int:
     flow = run_flow(netlist, params, seed=args.seed)
     print(flow.summary())
 
-    codecs = args.codecs
-    if codecs is not None and codecs != "auto":
-        codecs = [name.strip() for name in codecs.split(",") if name.strip()]
+    predictor = None
+    if args.predictor_store is not None:
+        from repro.vbs.predictor import CodecPredictor
+
+        predictor = CodecPredictor()
+        predictor.load(args.predictor_store)
     config = expand_routing(flow.design, flow.placement, flow.routing, flow.rrg)
     vbs = encode_flow(
         flow, config,
@@ -86,6 +108,7 @@ def _run_vbsgen(args: argparse.Namespace) -> int:
         codecs=codecs,
         workers=args.workers,
         backend=args.backend,
+        predictor=predictor,
     )
     out = args.output or args.blif.with_suffix(".vbs")
     out.write_bytes(vbs.to_bits().to_bytes())
@@ -97,6 +120,14 @@ def _run_vbsgen(args: argparse.Namespace) -> int:
         print(f"codecs: {counts}")
     if vbs.stats.clusters_raw:
         print(f"note: {vbs.stats.clusters_raw} cluster(s) used the raw fallback")
+    if predictor is not None:
+        predictor.save(args.predictor_store)
+        skipped = vbs.stats.family_trials_skipped
+        print(f"predictor: {vbs.stats.family_trials} codec trials, "
+              f"{skipped} skipped "
+              f"({len(predictor)} cells, {predictor.hits} hits, "
+              f"{predictor.misses} cold, {predictor.fallbacks} re-trials); "
+              f"store saved to {args.predictor_store}")
 
     if args.raw_output is not None:
         raw = RawBitstream.from_config(config)
@@ -201,7 +232,9 @@ def _inspect_shared_stub(args: argparse.Namespace, data: bytes,
     The payload cannot be parsed without the task table (dictionary
     records would fabricate logic), but the prelude and the reference
     itself are still worth reporting — and the tool must not traceback
-    on the very containers VERSION 4 added.
+    on the very containers VERSION 4 added.  The exit code is 2 with the
+    unresolved id named on stderr: an inspect that could not parse the
+    records is a failed inspect, and scripts must be able to tell.
     """
     import json
 
@@ -214,14 +247,16 @@ def _inspect_shared_stub(args: argparse.Namespace, data: bytes,
             **peek,
         }
         print(json.dumps(summary, indent=1, sort_keys=True))
-        return 0
-    print(f"container: {args.file} ({len(data)} bytes, "
-          f"version {peek['version']})")
-    _print_prelude(peek["prelude"])
-    print(f"shared dictionary: id {peek['shared_dict_id']} — table not "
-          f"available, records not parsed")
-    print(f"({reason})")
-    return 0
+    else:
+        print(f"container: {args.file} ({len(data)} bytes, "
+              f"version {peek['version']})")
+        _print_prelude(peek["prelude"])
+        print(f"shared dictionary: id {peek['shared_dict_id']} — table not "
+              f"available, records not parsed")
+        print(f"({reason})")
+    print(f"error: cannot resolve shared dictionary id "
+          f"{peek['shared_dict_id']}: {reason}", file=sys.stderr)
+    return 2
 
 
 def _run_vbs_inspect(args: argparse.Namespace) -> int:

@@ -34,7 +34,7 @@ from repro.vbs.codecs import V3_CODECS
 from repro.vbs.encode import encode_flow
 
 #: Bump to invalidate caches when result-affecting code changes.
-CACHE_VERSION = 7
+CACHE_VERSION = 8
 
 #: Synthetic eval circuits beyond the MCNC proxy table — workloads the
 #: later codec families target.  ``dpath`` is a replicated datapath: a
@@ -198,6 +198,7 @@ def evaluate_circuit(
             "auto_v4_codec_counts": dict(
                 sorted(auto_v4.codec_tags().items())
             ),
+            "auto_v4_family_trials": auto_v4.stats.family_trials,
             "decode_work": dstats.router_work,
             "decode_max_cluster_work": dstats.max_cluster_work,
             "encode_seconds": round(time.perf_counter() - t1, 2),
@@ -233,6 +234,12 @@ def run_fig4(
                 ),
                 "auto_v3_bits": c1.get("auto_v3_bits", ""),
                 "auto_v4_bits": c1.get("auto_v4_bits", ""),
+                "auto_v4_codec_counts": format_codec_counts(
+                    c1.get("auto_v4_codec_counts", {})
+                ),
+                "auto_v4_family_trials": c1.get(
+                    "auto_v4_family_trials", ""
+                ),
             }
         )
     return rows

@@ -72,7 +72,8 @@ def main(argv: "list[str] | None" = None) -> int:
     (results_dir / "fig4.csv").write_text(
         to_csv(fig4, ["name", "raw_bits", "vbs_bits", "ratio",
                       "clusters_raw", "codec_counts",
-                      "auto_v3_bits", "auto_v4_bits"])
+                      "auto_v3_bits", "auto_v4_bits",
+                      "auto_v4_codec_counts", "auto_v4_family_trials"])
     )
 
     fig5 = run_fig5(names, results_dir, args.channel_width,

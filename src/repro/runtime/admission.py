@@ -106,13 +106,26 @@ class PolicyStore:
             for latency in samples
         ]
 
+    def has_samples(self, hot: bool, depth: int) -> bool:
+        """Whether the exact (temperature, depth bucket) cell was measured.
+
+        :meth:`expected_latency` answers *something* for any class as
+        soon as one sample of the temperature exists (pooled fallback)
+        and 0.0 before that — readers comparing classes must be able to
+        tell a measured prediction from a pooled guess or the
+        no-knowledge zero, or a never-measured class looks infinitely
+        fast (the load-aware router bug this method fixes).
+        """
+        return bool(self._samples.get((bool(hot), self.bucket(depth))))
+
     def expected_latency(self, hot: bool, depth: int) -> float:
         """Mean recorded latency of a (temperature, load) class.
 
         Falls back to the temperature's pooled mean when the exact
         bucket is empty, and to 0.0 when nothing was recorded at all —
         a reader with no knowledge must not prefer any shard or
-        threshold over another.
+        threshold over another.  Use :meth:`has_samples` to distinguish
+        a measured answer from those fallbacks.
         """
         samples = self._samples.get((bool(hot), self.bucket(depth)))
         if not samples:

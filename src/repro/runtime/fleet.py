@@ -104,14 +104,18 @@ class ConsistentHashRouter:
 class LoadAwareRouter:
     """Route new placements to the least-loaded shard.
 
-    Load is judged from *recorded* fleet state, coldest first: current
-    server backlog in cycles (the open-loop clock; zero in closed-loop
-    replays), the policy store's expected cold-request latency at the
-    shard's observed queue depth (0.0 for a fleet without a store — the
-    ordering is then unchanged from the pre-store router), resident
-    task count, mean recorded request latency, total serviced requests,
-    and finally the shard index — a fully deterministic ordering, so
-    seeded replays stay reproducible.
+    Load is judged from *recorded* fleet state, coldest first.  When the
+    fleet carries a policy store, shards whose cold-request latency was
+    *measured* at their current queue depth
+    (:meth:`PolicyStore.has_samples`) are trusted ahead of shards whose
+    estimate is a pooled guess or the no-knowledge 0.0 — an unmeasured
+    class must not look infinitely fast next to a measured-fast one.
+    The full ordering is then (has-samples, predicted cold latency,
+    server backlog in cycles, resident task count, mean recorded
+    request latency, total serviced requests, shard index) — fully
+    deterministic, so seeded replays stay reproducible.  A fleet
+    without a store degenerates to the pre-store ordering (backlog
+    first).
     """
 
     name = "load"
@@ -120,14 +124,16 @@ class LoadAwareRouter:
         def coldness(shard: int):
             recorded = fleet.recorded[shard]
             store = fleet.policy_store
-            predicted = (
-                store.expected_latency(False, fleet.queue_depths[shard])
-                if store is not None
-                else 0.0
-            )
+            depth = fleet.queue_depths[shard]
+            if store is not None:
+                measured = store.has_samples(False, depth)
+                predicted = store.expected_latency(False, depth)
+            else:
+                measured, predicted = False, 0.0
             return (
-                fleet.backlog(shard),
+                0 if measured else 1,
                 predicted,
+                fleet.backlog(shard),
                 len(fleet.shards[shard].controller.resident),
                 sum(recorded) / len(recorded) if recorded else 0.0,
                 fleet.serviced[shard],

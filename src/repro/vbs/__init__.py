@@ -44,6 +44,7 @@ from repro.vbs.encode import (
     encode_task,
 )
 from repro.vbs.decode import DecodeStats, decode_at, decode_vbs
+from repro.vbs.predictor import CodecPredictor, cluster_key, pool_entropy_bucket
 
 __all__ = [
     "CODEC_TAG_BITS",
@@ -85,4 +86,7 @@ __all__ = [
     "DecodeStats",
     "decode_at",
     "decode_vbs",
+    "CodecPredictor",
+    "cluster_key",
+    "pool_entropy_bucket",
 ]

@@ -21,9 +21,11 @@ from repro.vbs.codecs.base import ClusterCodec
 from repro.vbs.codecs.compact import CompactLogicCodec
 from repro.vbs.codecs.delta import DeltaLogicCodec
 from repro.vbs.codecs.delta_bestk import DeltaBestKCodec
+from repro.vbs.codecs.dict_delta import DictDeltaCodec
 from repro.vbs.codecs.dictionary import DictionaryLogicCodec
 from repro.vbs.codecs.golomb import EliasGammaLogicCodec, GolombRiceLogicCodec
 from repro.vbs.codecs.listing import ConnectionListCodec
+from repro.vbs.codecs.raw_delta import RawDeltaCodec
 from repro.vbs.codecs.rawfallback import RawFallbackCodec
 from repro.vbs.codecs.rice_adaptive import AdaptiveRiceLogicCodec
 from repro.vbs.codecs.rle import RunLengthLogicCodec
@@ -147,6 +149,8 @@ register_codec(GolombRiceLogicCodec())
 register_codec(EliasGammaLogicCodec())
 register_codec(AdaptiveRiceLogicCodec())
 register_codec(DeltaBestKCodec())
+register_codec(DictDeltaCodec())
+register_codec(RawDeltaCodec())
 
 #: The complete VERSION <= 3 codec name set (tags 0..MAX_V3_TAG) — the
 #: baseline the VERSION 4 family must beat (eval rows, monotone tests).
@@ -163,9 +167,11 @@ __all__ = [
     "ConnectionListCodec",
     "DeltaBestKCodec",
     "DeltaLogicCodec",
+    "DictDeltaCodec",
     "DictionaryLogicCodec",
     "EliasGammaLogicCodec",
     "GolombRiceLogicCodec",
+    "RawDeltaCodec",
     "RawFallbackCodec",
     "RunLengthLogicCodec",
     "V3_CODECS",

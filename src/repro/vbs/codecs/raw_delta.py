@@ -1,0 +1,75 @@
+"""Raw-frame delta coding (VERSION 4 family).
+
+Raw-fallback clusters are where the family pass has historically given
+up: the ``raw`` codec stores the verbatim ``c^2 * Nraw`` frames no
+matter how repetitive they are.  Yet the clusters that *fall back* to
+raw tend to come in look-alike groups — the same congested tile
+repeated across a datapath, the same unroutable macro stamped down a
+column — so consecutive raw records are often near-identical.
+``raw-delta`` XOR-codes a raw record's frames against the frames of the
+nearest preceding raw record (:attr:`CodecState.prev_raw`; all-zeros at
+the first raw record, where the coding degenerates to a gamma-gap
+coding of the plain frames) and writes the residue with the shared
+gamma-gap frame of ``varint``.
+
+Decoded records are normalized raw records (full-length ``raw_frames``,
+``raw=True``), so downstream consumers never see the residue.  The
+reference chain is a pure function of the raster-order record walk —
+raw records advance ``prev_raw``, smart records never do — computed
+identically by the encoder's family selection, the size accounting, and
+the decoder.  The codec needs no route-count sentinel: its wire tag
+(11, VERSION 4 wide field) already names the coding.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.utils.bitarray import BitArray, BitReader, BitWriter
+from repro.vbs.codecs.base import ClusterCodec
+from repro.vbs.codecs.varint import (
+    gamma_field_len,
+    read_gamma_field,
+    write_gamma_field,
+)
+from repro.vbs.format import ClusterRecord, CodecState, VbsLayout
+
+
+class RawDeltaCodec(ClusterCodec):
+    """Gap-coded XOR residue vs. the previous raw record's frames."""
+
+    name = "raw-delta"
+    tag = 11
+    codes_raw = True
+    stateful = True
+
+    def _reference(
+        self, layout: VbsLayout, state: Optional[CodecState]
+    ) -> BitArray:
+        if state is not None and state.prev_raw is not None:
+            return state.prev_raw
+        return BitArray(layout.raw_bits_per_cluster)
+
+    def encode_record(self, w: BitWriter, rec, layout, state=None) -> None:
+        write_gamma_field(
+            w, rec.raw_frames ^ self._reference(layout, state)
+        )
+
+    def decode_record(
+        self,
+        r: BitReader,
+        pos: Tuple[int, int],
+        layout: VbsLayout,
+        state: Optional[CodecState] = None,
+    ) -> ClusterRecord:
+        residue = read_gamma_field(r, layout.raw_bits_per_cluster)
+        frames = residue ^ self._reference(layout, state)
+        return ClusterRecord(
+            pos, raw=True, raw_frames=frames, codec=self.name
+        )
+
+    def record_bits(self, rec, layout, state=None) -> int:
+        return (
+            layout.record_overhead_bits
+            + gamma_field_len(rec.raw_frames ^ self._reference(layout, state))
+        )

@@ -117,6 +117,13 @@ class EncodeStats:
     decode_reuse_hits: int = 0
     fallback_reasons: Dict[Tuple[int, int], str] = field(default_factory=dict)
     codec_counts: Dict[str, int] = field(default_factory=dict)
+    #: Codec cost evaluations performed by the sequential family pass
+    #: (every ``record_bits`` trial, across every trial layout), and the
+    #: evaluations a warm :class:`~repro.vbs.predictor.CodecPredictor`
+    #: shortlist avoided.  ``family_trials`` alone measures the
+    #: exhaustive pass; their sum is what it would have cost.
+    family_trials: int = 0
+    family_trials_skipped: int = 0
 
 
 class VirtualBitstream:
@@ -619,10 +626,10 @@ def _encode_cluster(
             c for c in allowed
             if not c.codes_raw and not c.container_scoped
         ]
-        family = [
-            c for c in allowed
-            if not c.codes_raw and c.container_scoped
-        ]
+        # Container-scoped codecs — including raw-coding ones like
+        # ``raw-delta`` — are the sequential family pass's business; here
+        # they only decide whether the frames must be held back.
+        family = [c for c in allowed if c.container_scoped]
         if stateless:
             best = pick_codec(record, layout, stateless)
             record.codec = best.name
@@ -838,57 +845,166 @@ def _family_selection(
     family: List["object"],
     raw_allowed: bool,
     raw_frames: Dict[Tuple[int, int], BitArray],
+    predictor: "Optional[object]" = None,
+    stats: Optional[EncodeStats] = None,
 ) -> Tuple[int, List[str]]:
     """Sequential (raster-order) codec assignment over the whole container.
 
     For every smart record the candidates are its current per-cluster
-    pick (absent for provisional records), every applicable family codec
-    costed against the threaded :class:`CodecState`, and — for
-    provisional records whose frames were held back — the guaranteed raw
-    coding.  Returns the total payload bits (header + dictionary section
-    + records) and the chosen codec name per record; nothing is mutated,
-    so the caller can compare selections under different layouts.
+    pick (absent for provisional records; skipped when the trial layout
+    cannot carry it), every applicable family codec costed against the
+    threaded :class:`CodecState` — each codec at most once, even when
+    the current pick is also in the family list — and, for records whose
+    frames were held back, the guaranteed raw coding.  Raw records
+    compete too: raw-coding family codecs (``raw-delta``) may re-code
+    them against the raw-side state.  Returns the total payload bits
+    (header + dictionary section + records) and the chosen codec name
+    per record; nothing is mutated, so the caller can compare selections
+    under different layouts.
+
+    ``predictor`` (a :class:`~repro.vbs.predictor.CodecPredictor`)
+    shortlists the costed candidates per record from its recorded
+    feature→winner cells instead of trialling the whole family, with the
+    verify-and-fallback contract documented in ``repro.vbs.predictor``;
+    the record's current pick and the raw fallback always stay costed,
+    so the monotone guarantees survive any store content.  ``stats``
+    accumulates the trial counters either way.
     """
     from repro.vbs.codecs import codec_by_name
 
+    if predictor is not None:
+        from repro.vbs.predictor import cluster_key, pool_entropy_bucket
+
+        pool = pool_entropy_bucket(records)
     raw_codec = codec_by_name("raw")
     state = CodecState()
     total = layout.header_bits + layout.dict_section_bits
     assigns: List[str] = []
     for rec in records:
-        if rec.raw:
-            total += rec.size_bits(layout)
-            assigns.append("raw")
-            continue
-        candidates = []
-        if rec.codec is not None:
-            current = codec_by_name(rec.codec)
-            candidates.append(
-                (current.record_bits(rec, layout, state=state),
-                 current.tag, current)
-            )
-        for codec in family:
-            if codec.encodable(rec, layout):
-                candidates.append(
-                    (codec.record_bits(rec, layout, state=state),
-                     codec.tag, codec)
-                )
         frames = raw_frames.get(rec.pos)
-        if frames is not None and (raw_allowed or not candidates):
-            candidates.append(
-                (layout.raw_record_bits, raw_codec.tag, raw_codec)
+        if rec.raw:
+            raw_rec: Optional[ClusterRecord] = rec
+        elif frames is not None:
+            raw_rec = ClusterRecord(
+                rec.pos, raw=True, raw_frames=frames, codec="raw"
             )
-        if not candidates:
+        else:
+            raw_rec = None
+        # The applicable set: (codec, record-to-cost) pairs, each codec
+        # at most once.
+        applicable: List[Tuple["object", ClusterRecord]] = []
+        seen = set()
+        if rec.raw:
+            applicable.append((raw_codec, rec))
+            seen.add(raw_codec.name)
+            for codec in family:
+                if (
+                    codec.name not in seen
+                    and codec.codes_raw
+                    and codec.encodable(rec, layout)
+                ):
+                    applicable.append((codec, rec))
+                    seen.add(codec.name)
+        else:
+            if rec.codec is not None:
+                current = codec_by_name(rec.codec)
+                # A trial layout can invalidate the per-cluster pick
+                # (e.g. a dictionary pick under a table the trial
+                # dropped) — never cost a codec that cannot encode.
+                if current.encodable(rec, layout):
+                    applicable.append((current, rec))
+                    seen.add(current.name)
+            for codec in family:
+                if codec.name in seen:
+                    # Dedupe: the current pick may itself be in the
+                    # family list; costing it twice would double-count
+                    # nothing today but breaks the trial accounting.
+                    continue
+                if codec.codes_raw:
+                    if (
+                        raw_rec is not None
+                        and raw_allowed
+                        and codec.encodable(raw_rec, layout)
+                    ):
+                        applicable.append((codec, raw_rec))
+                        seen.add(codec.name)
+                elif codec.encodable(rec, layout):
+                    applicable.append((codec, rec))
+                    seen.add(codec.name)
+            if raw_rec is not None and raw_codec.name not in seen and (
+                raw_allowed or not applicable
+            ):
+                applicable.append((raw_codec, raw_rec))
+        if not applicable:
             raise VbsError(
                 f"no selected codec can encode the record at {rec.pos}"
             )
-        bits, _tag, chosen = min(candidates, key=lambda c: (c[0], c[1]))
-        total += bits
+
+        costs: Dict[str, int] = {}
+
+        def bits_of(entry) -> int:
+            codec, target = entry
+            if codec.name not in costs:
+                costs[codec.name] = codec.record_bits(
+                    target, layout, state=state
+                )
+                if stats is not None:
+                    stats.family_trials += 1
+            return costs[codec.name]
+
+        def best_of(entries):
+            return min(entries, key=lambda e: (bits_of(e), e[0].tag))
+
+        if predictor is None or len(applicable) == 1:
+            chosen, target = best_of(applicable)
+        else:
+            key = cluster_key(
+                rec, layout, pool, has_frames=raw_rec is not None
+            )
+            ranked = predictor.shortlist(key)
+            if ranked is None:
+                # Cold key: the full trial runs and teaches the store.
+                predictor.misses += 1
+                chosen, target = best_of(applicable)
+            else:
+                keep = set(ranked)
+                keep.add(raw_codec.name)
+                if rec.codec is not None:
+                    keep.add(rec.codec)
+                short = [e for e in applicable if e[0].name in keep]
+                chosen, target = best_of(short)
+                fallback = False
+                if len(short) < len(applicable):
+                    predicted = next(
+                        (e for e in short if e[0].name == ranked[0]), None
+                    )
+                    others = [e for e in short if e is not predicted]
+                    if predicted is None:
+                        fallback = True
+                    elif others:
+                        upset = bits_of(predicted) - min(
+                            bits_of(e) for e in others
+                        )
+                        fallback = upset > predictor.margin_bits
+                if fallback:
+                    # The store's pick lost the shortlist by more than
+                    # the margin: distrust the cell, re-run everything.
+                    predictor.fallbacks += 1
+                    chosen, target = best_of(applicable)
+                else:
+                    predictor.hits += 1
+                    if stats is not None:
+                        stats.family_trials_skipped += (
+                            len(applicable) - len(short)
+                        )
+            predictor.record(key, chosen.name)
+
+        total += bits_of((chosen, target))
         assigns.append(chosen.name)
-        if not chosen.codes_raw:
-            # Only records that stay smart advance the delta reference —
-            # mirror of the decoder's state walk.
-            state.observe(rec)
+        # Advance the state exactly as the decoder will see this record:
+        # smart records extend the logic-side references, records that
+        # are (or become) raw extend the raw-side reference.
+        state.observe(target if chosen.codes_raw else rec)
     return total, assigns
 
 
@@ -897,14 +1013,26 @@ def _apply_family_assignment(
     assigns: List[str],
     raw_frames: Dict[Tuple[int, int], BitArray],
 ) -> List[ClusterRecord]:
+    from repro.vbs.codecs import codec_by_name
+
     out: List[ClusterRecord] = []
     for rec, name in zip(records, assigns):
-        if not rec.raw and name == "raw":
+        if rec.raw:
+            # Raw stays raw; a raw-coding family codec (raw-delta) may
+            # re-code it.  Never mutate in place — the caller reuses the
+            # merged records across trial plans.
+            if rec.codec != name:
+                rec = ClusterRecord(
+                    rec.pos, raw=True, raw_frames=rec.raw_frames,
+                    codec=name,
+                )
+        elif codec_by_name(name).codes_raw:
+            # Demoted to the raw side under whichever raw coding won.
             rec = ClusterRecord(
                 rec.pos, raw=True, raw_frames=raw_frames[rec.pos],
-                codec="raw",
+                codec=name,
             )
-        elif not rec.raw:
+        else:
             rec.codec = name
         out.append(rec)
     return out
@@ -916,21 +1044,24 @@ def _family_choice(
     family: List["object"],
     raw_allowed: bool,
     raw_frames: Dict[Tuple[int, int], BitArray],
+    predictor: "Optional[object]" = None,
+    stats: Optional[EncodeStats] = None,
 ) -> Tuple[int, List[str], VbsLayout]:
     """Best (total, assigns, layout) under one tag-width regime.
 
     Runs the container-level selection without a dictionary table, and —
-    when the dictionary codec is usable — again with the candidate
-    table; keeps the table only when the full container (section
-    included) gets strictly smaller.  Codecs whose tag does not fit the
-    regime's tag field are excluded.  Nothing is mutated.
+    when a dictionary codec is usable — again with the candidate table;
+    keeps the table only when the full container (section included) gets
+    strictly smaller.  Codecs whose tag does not fit the regime's tag
+    field are excluded.  Nothing is mutated.
     """
     usable = [
         c for c in family
         if not (c.wide_tag and layout.tag_bits == CODEC_TAG_BITS)
     ]
     best_total, best_assigns = _family_selection(
-        records, layout, usable, raw_allowed, raw_frames
+        records, layout, usable, raw_allowed, raw_frames,
+        predictor=predictor, stats=stats,
     )
     best_layout = layout
     if any(c.needs_dict for c in usable):
@@ -938,7 +1069,8 @@ def _family_choice(
         if table:
             trial = layout.with_dict_table(table)
             total, assigns = _family_selection(
-                records, trial, usable, raw_allowed, raw_frames
+                records, trial, usable, raw_allowed, raw_frames,
+                predictor=predictor, stats=stats,
             )
             if total < best_total:
                 best_total, best_assigns, best_layout = total, assigns, trial
@@ -950,6 +1082,8 @@ def _family_pass_choice(
     layout: VbsLayout,
     allowed: "Optional[List[object]]",
     raw_frames: Dict[Tuple[int, int], BitArray],
+    predictor: "Optional[object]" = None,
+    stats: Optional[EncodeStats] = None,
 ) -> Optional[Tuple[int, List[str], VbsLayout]]:
     """The family pass as a pure decision: (total, assigns, layout).
 
@@ -965,22 +1099,21 @@ def _family_pass_choice(
     """
     if allowed is None:
         return None
-    family = [
-        c for c in allowed
-        if not c.codes_raw and c.container_scoped
-    ]
+    family = [c for c in allowed if c.container_scoped]
     if not family:
         return None
     raw_allowed = any(c.codes_raw for c in allowed)
     best_total, best_assigns, best_layout = _family_choice(
-        records, layout, family, raw_allowed, raw_frames
+        records, layout, family, raw_allowed, raw_frames,
+        predictor=predictor, stats=stats,
     )
     if (
         layout.tag_bits == CODEC_TAG_BITS
         and any(c.wide_tag for c in family)
     ):
         wide_total, wide_assigns, wide_layout = _family_choice(
-            records, layout.with_wide_tags(), family, raw_allowed, raw_frames
+            records, layout.with_wide_tags(), family, raw_allowed,
+            raw_frames, predictor=predictor, stats=stats,
         )
         if wide_total < best_total:
             best_total, best_assigns, best_layout = (
@@ -994,9 +1127,14 @@ def _family_pass(
     layout: VbsLayout,
     allowed: List["object"],
     raw_frames: Dict[Tuple[int, int], BitArray],
+    predictor: "Optional[object]" = None,
+    stats: Optional[EncodeStats] = None,
 ) -> Tuple[VbsLayout, List[ClusterRecord]]:
     """The sequential second pass of the two-pass family encode."""
-    choice = _family_pass_choice(records, layout, allowed, raw_frames)
+    choice = _family_pass_choice(
+        records, layout, allowed, raw_frames,
+        predictor=predictor, stats=stats,
+    )
     if choice is None:
         return layout, records
     _total, assigns, best_layout = choice
@@ -1020,6 +1158,7 @@ def encode_design(
     backend: str = "thread",
     memo: Optional[DecodeMemo] = None,
     memo_path: "str | None" = None,
+    predictor: "Optional[object]" = None,
 ) -> VirtualBitstream:
     """Run vbsgen over a routed design at the given coding granularity.
 
@@ -1076,7 +1215,21 @@ def encode_design(
     memo after the pool shuts down, so pool discoveries warm subsequent
     runs exactly like serial/thread ones.  Never changes the emitted
     bytes — the memo only skips deterministic router replays.
+
+    ``predictor`` shares a :class:`~repro.vbs.predictor.CodecPredictor`
+    across invocations the way ``memo`` shares decode work: the family
+    pass shortlists its per-record codec trials from the store's
+    recorded winners (full trial on cold keys, verify-and-fallback on
+    warm ones) and files every settled winner back.  A warm store cuts
+    the trial count — tracked in ``stats.family_trials`` /
+    ``family_trials_skipped`` — and replaying a corpus the store was
+    warmed on emits byte-identical containers to the exhaustive pass.
+    Consultation is frozen at entry (``begin_session``): wins recorded
+    during this encode teach the next one, so a cold store *is* the
+    exhaustive pass, bit for bit.
     """
+    if predictor is not None:
+        predictor.begin_session()
     if memo is None:
         memo = DecodeMemo()
     if memo_path is not None:
@@ -1101,7 +1254,8 @@ def encode_design(
     layout, records = pipeline.layout, pipeline.records
     if pipeline.allowed is not None:
         layout, records = _family_pass(
-            records, layout, pipeline.allowed, pipeline.raw_frames
+            records, layout, pipeline.allowed, pipeline.raw_frames,
+            predictor=predictor, stats=pipeline.stats,
         )
     if memo_path is not None:
         memo.save(memo_path)
@@ -1363,6 +1517,7 @@ def encode_task(
     backend: str = "thread",
     memo: Optional[DecodeMemo] = None,
     memo_path: "str | None" = None,
+    predictor: "Optional[object]" = None,
 ) -> TaskEncodeResult:
     """Encode several routed designs as *one task* sharing a dictionary.
 
@@ -1392,6 +1547,8 @@ def encode_task(
     """
     if not jobs:
         raise VbsError("encode_task needs at least one (flow, config) job")
+    if predictor is not None:
+        predictor.begin_session()
     if not (1 <= dict_id < (1 << SHARED_DICT_ID_BITS)):
         raise VbsError(
             f"shared dictionary id {dict_id} outside "
@@ -1436,7 +1593,10 @@ def encode_task(
     # paper-strict ``codecs=None``) have nothing to decide — their total
     # is a plain state-threaded size walk over the merged records.
     solo_choices = [
-        _family_pass_choice(p.records, p.layout, p.allowed, p.raw_frames)
+        _family_pass_choice(
+            p.records, p.layout, p.allowed, p.raw_frames,
+            predictor=predictor, stats=p.stats,
+        )
         for p in pipelines
     ]
     solo_totals: List[int] = []
@@ -1467,13 +1627,11 @@ def encode_task(
             trial_sum = sum(len(pattern) for pattern in candidates)
             for p in pipelines:
                 trial = p.layout.with_shared_dict(dict_id, candidates)
-                family = [
-                    c for c in p.allowed
-                    if not c.codes_raw and c.container_scoped
-                ]
+                family = [c for c in p.allowed if c.container_scoped]
                 raw_allowed = any(c.codes_raw for c in p.allowed)
                 total, assigns = _family_selection(
-                    p.records, trial, family, raw_allowed, p.raw_frames
+                    p.records, trial, family, raw_allowed, p.raw_frames,
+                    predictor=predictor, stats=p.stats,
                 )
                 trial_sum += total
                 plan.append((assigns, trial))

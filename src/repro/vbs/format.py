@@ -427,18 +427,23 @@ class CodecState:
     *smart* (non-raw) record, or ``None`` at the start of the container.
     ``history`` extends the same rule to the ``DELTA_REFS`` most recent
     smart records (newest first) — the candidate reference set of the
-    best-of-k delta codec.  Raw records update neither — their frames
-    never re-enter the logic field, and the rule must be computable
-    identically by the encoder, the size accounting, and the decoder,
-    which all walk the same record sequence.  Stateless codecs ignore
-    the state entirely; the delta codec XOR-codes against ``prev_logic``
-    (treated as all-zeros when ``None``), ``delta-k`` against the
-    history entry its 2-bit reference index names (missing entries are
-    all-zeros references).
+    best-of-k delta codec.  ``prev_raw`` mirrors the rule on the raw
+    side: the frames of the nearest preceding *raw* record, the
+    reference of the ``raw-delta`` codec.  Raw records never touch the
+    logic-side state and smart records never touch ``prev_raw`` — the
+    two reference chains are independent, and both rules must be
+    computable identically by the encoder, the size accounting, and the
+    decoder, which all walk the same record sequence.  Stateless codecs
+    ignore the state entirely; the delta codec XOR-codes against
+    ``prev_logic`` (treated as all-zeros when ``None``), ``delta-k``
+    against the history entry its 2-bit reference index names (missing
+    entries are all-zeros references), ``raw-delta`` against
+    ``prev_raw`` (all-zeros when ``None``).
     """
 
     prev_logic: Optional[BitArray] = None
     history: Tuple[BitArray, ...] = ()
+    prev_raw: Optional[BitArray] = None
 
     def __post_init__(self) -> None:
         if self.prev_logic is not None and not self.history:
@@ -449,6 +454,8 @@ class CodecState:
         if not rec.raw and rec.logic is not None:
             self.prev_logic = rec.logic
             self.history = (rec.logic,) + self.history[: DELTA_REFS - 1]
+        elif rec.raw and rec.raw_frames is not None:
+            self.prev_raw = rec.raw_frames
 
 
 @dataclass

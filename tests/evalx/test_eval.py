@@ -121,6 +121,16 @@ class TestRunners:
         fig4 = run_fig4(["ex5p"], tmp_path, channel_width=8, scale=0.08)
         assert fig4[0]["auto_v3_bits"] == cell["auto_v3_bits"]
         assert fig4[0]["auto_v4_bits"] == cell["auto_v4_bits"]
+        # The exhaustive trial count rides along too — the denominator
+        # of the predictor's trial-reduction claims.
+        assert cell["auto_v4_family_trials"] > 0
+        assert fig4[0]["auto_v4_family_trials"] == (
+            cell["auto_v4_family_trials"]
+        )
+        counts = cell["auto_v4_codec_counts"]
+        assert fig4[0]["auto_v4_codec_counts"] == ";".join(
+            f"{name}={counts[name]}" for name in sorted(counts)
+        )
 
     @pytest.mark.integration
     def test_v4_ratio_summary_improves_on_replicated_corpus(self, tmp_path):

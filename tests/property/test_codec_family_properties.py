@@ -318,3 +318,75 @@ class TestFamilyContainers:
             else:
                 assert a.logic == b.logic and a.pairs == b.pairs
         assert parsed.to_bits(version=1) == b1
+
+
+class TestPredictorFeatures:
+    """Feature extraction behind the codec predictor: a deterministic
+    pure function of (record, layout, pool bucket), independently
+    re-derived here from a naive reference.  The whole property suite
+    also runs under ``REPRO_NO_NUMPY=1`` in CI, so this sweep doubles as
+    the cross-backend determinism check."""
+
+    @COMMON
+    @given(st.data())
+    def test_key_matches_naive_reference(self, data):
+        from repro.vbs.predictor import cluster_key
+
+        layout = _layout(data.draw)
+        raw = data.draw(st.booleans())
+        rec = _record(data.draw, layout, raw=raw)
+        pool = data.draw(st.integers(0, 8))
+        has_frames = data.draw(st.booleans())
+        key = cluster_key(rec, layout, pool, has_frames=has_frames)
+        # Pure and deterministic: recomputing (and recomputing on a
+        # field-level copy) yields the same string.
+        assert cluster_key(rec, layout, pool, has_frames=has_frames) == key
+
+        field = rec.raw_frames if raw else rec.logic
+        as_bits = [1 if field[i] else 0 for i in range(len(field))]
+        density = (sum(as_bits) * 16) // len(as_bits)
+        blocks = sum(
+            1 for run in "".join(map(str, as_bits)).split("0") if run
+        )
+        pairs = len(rec.pairs or [])
+        parts = key[1:].split(".")
+        assert key[0] == ("r" if raw else "s")
+        assert parts[0] == str(density)
+        assert parts[1] == str(blocks.bit_length())
+        assert parts[2] == str(pairs.bit_length())
+        assert parts[3] == "15"  # no dictionary table on these layouts
+        assert parts[4] == str(pool)
+        assert parts[5] == f"0{1 if (raw or has_frames) else 0}"
+
+    @COMMON
+    @given(st.data())
+    def test_dict_distance_feature(self, data):
+        """With a table present, the distance field is the bucketed
+        minimum popcount distance over the table — and an exact hit is
+        bucket 0."""
+        from repro.vbs.predictor import cluster_key
+
+        layout = _layout(data.draw)
+        rec = _record(data.draw, layout, raw=False)
+        other = _logic_field(data.draw, layout.logic_bits_per_cluster)
+        lay = layout.with_dict_table((rec.logic.copy(), other))
+        key = cluster_key(rec, lay, 0)
+        assert key.split(".")[3] == "0"
+        far = layout.with_dict_table((other,))
+        dist = (rec.logic ^ other).count()
+        expected = min(15, dist.bit_length())
+        assert cluster_key(rec, far, 0).split(".")[3] == str(expected)
+
+    @COMMON
+    @given(st.data())
+    def test_pool_bucket_range_and_determinism(self, data):
+        from repro.vbs.predictor import pool_entropy_bucket
+
+        layout = _layout(data.draw)
+        n = data.draw(st.integers(1, 6))
+        records = [_record(data.draw, layout, raw=data.draw(st.booleans()))
+                   for _ in range(n)]
+        bucket = pool_entropy_bucket(records)
+        assert 0 <= bucket <= 8
+        assert pool_entropy_bucket(records) == bucket
+        assert pool_entropy_bucket(list(reversed(records))) == bucket

@@ -120,6 +120,24 @@ class TestPolicyStore:
         # The other temperature has no samples anywhere.
         assert store.expected_latency(False, 0) == 0.0
 
+    def test_has_samples_distinguishes_measurement_from_fallback(self):
+        """``expected_latency`` answers something for any class once one
+        sample of the temperature exists; ``has_samples`` is how readers
+        tell that measured answer from the pooled guess / zero."""
+        store = PolicyStore()
+        assert not store.has_samples(True, 0)
+        store.record(True, 0, 100)
+        assert store.has_samples(True, 0)
+        # Same temperature, unmeasured bucket: pooled answer, no sample.
+        assert store.expected_latency(True, 16) == 100.0
+        assert not store.has_samples(True, 16)
+        # Other temperature: zero answer, no sample.
+        assert not store.has_samples(False, 0)
+        # Depths bucket together exactly like record() files them.
+        store.record(False, 3, 50)
+        assert store.has_samples(False, 2)
+        assert not store.has_samples(False, 4)
+
     def test_tail_latency_none_on_empty(self):
         store = PolicyStore()
         assert store.tail_latency(False, 0) is None

@@ -142,6 +142,41 @@ class TestRouters:
         fleet.server_free[1] = [200]
         assert fleet.router.choose("a", fleet) == 2
 
+    def test_load_router_prefers_measured_over_unmeasured_guess(
+        self, params5, images
+    ):
+        """The knowledge-base regression: a shard whose (cold, depth)
+        class was never measured used to win the routing on the strength
+        of ``expected_latency``'s pooled-fallback guess — or the
+        no-knowledge 0.0 — beating a shard with a *measured* (higher)
+        latency.  The ordering now trusts measured cells first."""
+        store = PolicyStore()
+        store.record(False, 1, 10)    # cold@1: measured, cheap
+        store.record(False, 0, 100)   # cold@0: measured, expensive
+        managers = _shard_managers(params5, images, 2)
+        fleet = FleetManager(managers, router="load", policy_store=store)
+        fleet.queue_depths[0] = 4     # bucket 4 empty -> pooled guess 55
+        fleet.queue_depths[1] = 0     # bucket 0 measured at 100
+        # Shard 0's 55 is a guess; shard 1's 100 is a measurement.  The
+        # old (predicted, backlog) ordering picked shard 0.
+        assert store.expected_latency(False, 4) < store.expected_latency(
+            False, 0
+        )
+        assert fleet.router.choose("a", fleet) == 1
+
+    def test_load_router_zero_knowledge_store_is_neutral(
+        self, params5, images
+    ):
+        """An empty store must not perturb the pre-store ordering: every
+        shard is equally unmeasured (predicted 0.0), so backlog decides
+        exactly as in a storeless fleet."""
+        managers = _shard_managers(params5, images, 3)
+        fleet = FleetManager(managers, router="load",
+                             policy_store=PolicyStore())
+        fleet.server_free[0] = [500]
+        fleet.server_free[1] = [200]
+        assert fleet.router.choose("a", fleet) == 2
+
     def test_load_router_ties_break_by_index(self, params5, images):
         managers = _shard_managers(params5, images, 3)
         fleet = FleetManager(managers, router="load")

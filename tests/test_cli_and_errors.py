@@ -58,6 +58,59 @@ class TestVbsgenCli:
         assert rc == 0
         assert (tmp_path / "c2.vbs").exists()
 
+    def test_vbsgen_unknown_codec_exits_2_before_cad(self, tmp_path,
+                                                     capsys):
+        """A typo'd --codecs name must fail in milliseconds with a
+        friendly exit 2, not traceback after minutes of CAD flow."""
+        from repro.cli import main_vbsgen
+
+        blif = tmp_path / "c3.blif"
+        blif.write_text(
+            ".model c3\n.inputs a\n.outputs z\n.names a z\n1 1\n.end\n"
+        )
+        rc = main_vbsgen([str(blif), "-W", "8", "--codecs", "lzma"])
+        assert rc == 2
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert "lzma" in captured.err
+        # The flow never ran: no container was written.
+        assert not (tmp_path / "c3.vbs").exists()
+
+    @pytest.mark.integration
+    def test_vbsgen_predictor_store_roundtrip(self, tmp_path, capsys):
+        """--predictor-store warms a store on the first run and replays
+        it on the second: same bytes out, fewer trials, file updated."""
+        import json
+
+        from repro.cli import main_vbsgen
+
+        blif = tmp_path / "p1.blif"
+        blif.write_text(
+            ".model p1\n.inputs a b\n.outputs x y\n"
+            ".names a b x\n11 1\n.names a b y\n10 1\n01 1\n.end\n"
+        )
+        out = tmp_path / "p1.vbs"
+        store = tmp_path / "predictor.json"
+        rc = main_vbsgen([
+            str(blif), "-o", str(out), "-W", "8", "--codecs", "auto",
+            "--predictor-store", str(store),
+        ])
+        assert rc == 0
+        assert store.exists()
+        payload = json.loads(store.read_text())
+        assert payload["cells"]
+        cold_bytes = out.read_bytes()
+        first = capsys.readouterr().out
+        assert "predictor:" in first
+
+        rc = main_vbsgen([
+            str(blif), "-o", str(out), "-W", "8", "--codecs", "auto",
+            "--predictor-store", str(store),
+        ])
+        assert rc == 0
+        assert out.read_bytes() == cold_bytes
+        assert "predictor:" in capsys.readouterr().out
+
 
 class TestReproCli:
     @pytest.mark.integration
@@ -143,7 +196,9 @@ class TestReproCli:
                                                          capsys):
         """Inspecting a VERSION 4 shared-dictionary container whose task
         table is not at hand degrades to a prelude + reference summary
-        instead of a traceback (the payload is unparseable by design)."""
+        instead of a traceback (the payload is unparseable by design) —
+        and exits 2 with the unresolved id named on stderr, because an
+        inspect that could not parse the records is a failed inspect."""
         import json
 
         from repro.arch import ArchParams
@@ -164,14 +219,17 @@ class TestReproCli:
         out.write_bytes(vbs.to_bits().to_bytes())
 
         rc = main(["vbs", "inspect", str(out)])
-        assert rc == 0
-        text = capsys.readouterr().out
-        assert "shared dictionary: id 11" in text
-        assert "table not available" in text
+        assert rc == 2
+        captured = capsys.readouterr()
+        assert "shared dictionary: id 11" in captured.out
+        assert "table not available" in captured.out
+        assert "error: cannot resolve shared dictionary id 11" in captured.err
 
         rc = main(["vbs", "inspect", str(out), "--json"])
-        assert rc == 0
-        summary = json.loads(capsys.readouterr().out)
+        assert rc == 2
+        captured = capsys.readouterr()
+        assert "cannot resolve shared dictionary id 11" in captured.err
+        summary = json.loads(captured.out)
         assert summary["version"] == 4
         assert summary["shared_dict_id"] == 11
         assert summary["prelude"]["width"] == 4

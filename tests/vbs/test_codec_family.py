@@ -179,6 +179,211 @@ class TestMonotoneImprovement:
         assert family_vbs.wire_version == 3
 
 
+def _pool_records(layout, logics):
+    from repro.vbs.format import ClusterRecord
+
+    return [
+        ClusterRecord((i % layout.width, i // layout.width), raw=False,
+                      logic=logic.copy(), pairs=[], codec="list")
+        for i, logic in enumerate(logics)
+    ]
+
+
+class TestCodecFrontier:
+    """The VERSION 4 frontier additions: dict-delta and raw-delta."""
+
+    def _pool_workload(self, layout):
+        """A replicated-pool workload with one near-miss cluster: two
+        patterns repeat exactly (the table pays for itself), the B run
+        flushes A out of the delta history, and the final record is A
+        plus one extra set bit — reachable cheaply only through the
+        dictionary."""
+        from repro.utils.bitarray import BitArray
+
+        nlb = layout.logic_bits_per_cluster
+
+        def bits_with(positions):
+            arr = BitArray(nlb)
+            for p in positions:
+                arr[p] = 1
+            return arr
+
+        a = bits_with([2, 9, 17, 25, 33, 41, 49, 57, 60, 63])
+        b = bits_with([5, 12, 20, 28, 36, 44, 52, 58, 61, 64])
+        near = a.copy()
+        near[55] = 1
+        return [a, a, a, b, b, b, b, near]
+
+    def test_dict_delta_strictly_wins_near_miss_pool(self):
+        """The workload dict-delta exists for: the near-miss record's
+        nearest dictionary pattern is out of delta range (the history
+        holds only B), so the 1-bit XOR residue against the table must
+        win — and the whole container must get strictly smaller than
+        the same family without dict-delta."""
+        from repro.arch import ArchParams
+        from repro.vbs.codecs import registered_codecs
+        from repro.vbs.encode import _family_pass, _family_pass_choice
+        from repro.vbs.format import VbsLayout
+
+        layout = VbsLayout(ArchParams(channel_width=8), 1, 8, 8)
+        logics = self._pool_workload(layout)
+        allowed = list(registered_codecs())
+        lay, out = _family_pass(
+            _pool_records(layout, logics), layout, allowed, {}
+        )
+        assert [r.codec for r in out][-1] == "dict-delta"
+        assert lay.dict_table  # the exact repeats keep the table paying
+        with_dd = _family_pass_choice(
+            _pool_records(layout, logics), layout, allowed, {}
+        )
+        without_dd = _family_pass_choice(
+            _pool_records(layout, logics), layout,
+            [c for c in allowed if c.name != "dict-delta"], {},
+        )
+        assert with_dd[0] < without_dd[0]
+
+    def test_dict_delta_roundtrips_through_container(self):
+        """The family's dict-delta selection survives the wire."""
+        from repro.arch import ArchParams
+        from repro.vbs.codecs import registered_codecs
+        from repro.vbs.encode import _family_pass
+        from repro.vbs.format import VbsLayout
+
+        layout = VbsLayout(ArchParams(channel_width=8), 1, 8, 8)
+        logics = self._pool_workload(layout)
+        lay, out = _family_pass(
+            _pool_records(layout, logics), layout,
+            list(registered_codecs()), {},
+        )
+        vbs = VirtualBitstream(lay, out)
+        assert vbs.wire_version == 4
+        parsed = VirtualBitstream.from_bits(vbs.to_bits())
+        assert [r.codec for r in parsed.records] == [r.codec for r in out]
+        assert [r.logic for r in parsed.records] == logics
+        assert parsed.to_bits() == vbs.to_bits()
+
+    def test_raw_delta_strictly_wins_on_raw_chain(self):
+        """Two near-identical raw clusters: the XOR link between
+        consecutive raw frames (and the sparse first frame against the
+        all-zero reference) must beat verbatim raw records."""
+        from repro.arch import ArchParams
+        from repro.utils.bitarray import BitArray
+        from repro.vbs.codecs import codec_by_name
+        from repro.vbs.encode import _family_selection
+        from repro.vbs.format import ClusterRecord, VbsLayout
+
+        layout = VbsLayout(ArchParams(channel_width=8), 1, 8, 8)
+        layout = layout.with_wide_tags()
+        frames = BitArray(layout.raw_bits_per_cluster)
+        for p in range(0, len(frames), 7):
+            frames[p] = 1
+        frames2 = frames.copy()
+        frames2[3] = 1
+        recs = [
+            ClusterRecord((0, 0), raw=True, raw_frames=frames,
+                          codec="raw"),
+            ClusterRecord((1, 0), raw=True, raw_frames=frames2,
+                          codec="raw"),
+        ]
+        total, assigns = _family_selection(
+            recs, layout, [codec_by_name("raw-delta")], True, {}
+        )
+        assert assigns == ["raw-delta", "raw-delta"]
+        assert total < layout.header_bits + 2 * layout.raw_record_bits
+
+    def test_raw_delta_engages_on_replicated_datapath(self):
+        """raw-delta must win records on a pinned eval circuit: the
+        replicated datapath at coarse clustering, where near-duplicate
+        clusters fall back raw and the consecutive-frame XOR link pays.
+        The engaged container still round-trips and decodes identically
+        to the family without raw-delta."""
+        from repro.arch import ArchParams
+        from repro.bitstream import expand_routing
+        from repro.cad import run_flow
+        from repro.netlist import CircuitSpec, generate_circuit
+        from repro.vbs.codecs import registered_codecs
+
+        spec = CircuitSpec(
+            "dpath-tile", n_luts=40, n_inputs=8, n_outputs=6,
+            pattern_pool=3,
+        )
+        flow = run_flow(generate_circuit(spec), ArchParams(channel_width=8),
+                        seed=1)
+        config = expand_routing(
+            flow.design, flow.placement, flow.routing, flow.rrg
+        )
+        full = encode_flow(flow, config, cluster_size=3, codecs="auto")
+        assert full.stats.codec_counts.get("raw-delta", 0) > 0
+        reduced = encode_flow(
+            flow, config, cluster_size=3,
+            codecs=[c.name for c in registered_codecs()
+                    if c.name != "raw-delta"],
+        )
+        # Strictly smaller with raw-delta in the family, same decode.
+        assert full.size_bits < reduced.size_bits
+        a, _ = decode_vbs(VirtualBitstream.from_bits(full.to_bits()))
+        b, _ = decode_vbs(reduced)
+        assert a.content_equal(b)
+
+
+class TestFamilyTrialAccounting:
+    """The satellite-2 regressions: the sequential selection must cost
+    each codec at most once per record and never cost the per-cluster
+    pick under a trial layout that cannot carry it."""
+
+    def test_current_pick_costed_once_when_also_in_family(self):
+        """``rec.codec`` in the family list used to be costed twice —
+        once as the current pick, once as a family candidate.  The
+        trial counter pins the dedupe: one record, one overlapping
+        codec, exactly one raw fallback → exactly two trials."""
+        from repro.arch import ArchParams
+        from repro.utils.bitarray import BitArray
+        from repro.vbs.codecs import codec_by_name
+        from repro.vbs.encode import EncodeStats, _family_selection
+        from repro.vbs.format import ClusterRecord, VbsLayout
+
+        layout = VbsLayout(ArchParams(channel_width=8), 1, 8, 8)
+        nlb = layout.logic_bits_per_cluster
+        logic = BitArray(nlb)
+        logic[3] = 1
+        rec = ClusterRecord((0, 0), raw=False, logic=logic, pairs=[],
+                            codec="delta")
+        frames = {(0, 0): BitArray(layout.raw_bits_per_cluster)}
+        stats = EncodeStats()
+        _total, assigns = _family_selection(
+            [rec], layout, [codec_by_name("delta")], True, frames,
+            stats=stats,
+        )
+        # delta (current pick == family member, deduped) + raw fallback.
+        assert stats.family_trials == 2
+        assert assigns[0] in ("delta", "raw")
+
+    def test_unencodable_current_pick_skipped_under_trial_layout(self):
+        """A record whose per-cluster pick was ``dict`` must survive a
+        trial layout without the pattern table: the stale pick is
+        skipped (not costed, not crashed on) and a family codec wins."""
+        from repro.arch import ArchParams
+        from repro.utils.bitarray import BitArray
+        from repro.vbs.codecs import codec_by_name
+        from repro.vbs.encode import EncodeStats, _family_selection
+        from repro.vbs.format import ClusterRecord, VbsLayout
+
+        layout = VbsLayout(ArchParams(channel_width=8), 1, 8, 8)
+        nlb = layout.logic_bits_per_cluster
+        logic = BitArray(nlb)
+        logic[3] = 1
+        # The pick says "dict", but this trial layout has no table.
+        rec = ClusterRecord((0, 0), raw=False, logic=logic, pairs=[],
+                            codec="dict")
+        stats = EncodeStats()
+        _total, assigns = _family_selection(
+            [rec], layout, [codec_by_name("delta")], False, {},
+            stats=stats,
+        )
+        assert assigns == ["delta"]
+        assert stats.family_trials == 1
+
+
 class TestFamilyCorrectness:
     def test_decodes_identically_to_pr1(self, small_flow, small_config):
         pr1 = encode_flow(

@@ -53,6 +53,12 @@ GOLDEN_V4 = (
 GOLDEN_V4_SHARED = "b5404158000800040013a60410028404a40020a8"
 #: The shared-dictionary id and table GOLDEN_V4_SHARED references.
 SHARED_ID = 9
+#: The codec-frontier additions (dict-delta, raw-delta) in one VERSION 4
+#: container: a near-miss dictionary reference plus a raw-delta chain.
+GOLDEN_V4_FRONTIER = (
+    "b540415800080004000000882000000040000034c142020b4024580a011b95804064"
+    "80"
+)
 
 
 def _bits_with(n, positions):
@@ -144,6 +150,29 @@ def _v4_shared_layout_and_records(layout):
     return lay, records
 
 
+def _v4_frontier_layout_and_records(layout):
+    nlb = layout.logic_bits_per_cluster
+    nraw = layout.raw_bits_per_cluster
+    pattern = _bits_with(nlb, [3, 9, 40])
+    lay = layout.with_dict_table((pattern,)).with_wide_tags()
+    records = [
+        # One extra set bit off the dictionary pattern: a dict-delta
+        # reference (index + 1-bit XOR residue).
+        ClusterRecord((0, 0), raw=False,
+                      logic=_bits_with(nlb, [3, 9, 40, 44]),
+                      pairs=[(0, 2)], codec="dict-delta"),
+        # A raw-delta chain: the first record deltas against the
+        # all-zero reference, the second against the first's frames.
+        ClusterRecord((1, 0), raw=True,
+                      raw_frames=_bits_with(nraw, [0, 283]),
+                      codec="raw-delta"),
+        ClusterRecord((2, 1), raw=True,
+                      raw_frames=_bits_with(nraw, [0, 200, 283]),
+                      codec="raw-delta"),
+    ]
+    return lay, records
+
+
 def _assert_same_fields(parsed, expected):
     assert len(parsed) == len(expected)
     for a, b in zip(parsed, expected):
@@ -180,6 +209,13 @@ class TestGoldenEncode:
         vbs = VirtualBitstream(lay, records)
         assert vbs.wire_version == 4
         assert vbs.to_bits().to_bytes().hex() == GOLDEN_V4
+        assert len(vbs.to_bits()) == vbs.container_bits
+
+    def test_v4_frontier_bytes_exact(self, layout):
+        lay, records = _v4_frontier_layout_and_records(layout)
+        vbs = VirtualBitstream(lay, records)
+        assert vbs.wire_version == 4
+        assert vbs.to_bits().to_bytes().hex() == GOLDEN_V4_FRONTIER
         assert len(vbs.to_bits()) == vbs.container_bits
 
     def test_v4_shared_bytes_exact(self, layout):
@@ -254,6 +290,21 @@ class TestGoldenDecode:
             "rice-a", "delta-k", "raw", "list",
         ]
         assert vbs.to_bits().to_bytes().hex() == GOLDEN_V4
+
+    def test_v4_frontier_fields_exact(self, layout):
+        lay, records = _v4_frontier_layout_and_records(layout)
+        vbs = VirtualBitstream.from_bits(
+            BitArray.from_bytes(bytes.fromhex(GOLDEN_V4_FRONTIER))
+        )
+        assert vbs.source_version == 4
+        assert vbs.layout.dict_table == lay.dict_table
+        # The dict-delta residue and both raw-delta links expand back to
+        # the exact pre-encode fields (normalization contract).
+        _assert_same_fields(vbs.records, records)
+        assert [r.codec for r in vbs.records] == [
+            "dict-delta", "raw-delta", "raw-delta",
+        ]
+        assert vbs.to_bits().to_bytes().hex() == GOLDEN_V4_FRONTIER
 
     def test_v4_shared_fields_exact(self, layout):
         lay, records = _v4_shared_layout_and_records(layout)
@@ -483,5 +534,6 @@ class TestCrossVersionConformance:
 
         names = {c.name for c in registered_codecs()}
         assert {"list", "raw", "compact", "rle", "dict", "delta",
-                "golomb", "eliasg", "rice-a", "delta-k"} <= names
+                "golomb", "eliasg", "rice-a", "delta-k",
+                "dict-delta", "raw-delta"} <= names
         assert SUPPORTED_VERSIONS == (1, 2, 3, 4)

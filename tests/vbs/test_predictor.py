@@ -1,0 +1,329 @@
+"""The feature→codec predictor: keys, store, and the encode contract.
+
+The load-bearing guarantees, in increasing strength:
+
+* feature extraction is a deterministic pure function of
+  (record, layout, pool bucket) — identical under ``REPRO_NO_NUMPY=1``;
+* the store round-trips through JSON tolerantly (missing/corrupt files
+  restore nothing, loads merge);
+* an encode under a **cold** store is byte-identical to the exhaustive
+  family pass — the predictor never guesses without evidence, and wins
+  recorded mid-encode teach the *next* session only;
+* a **warm** replay of the corpus the store was warmed on is
+  byte-identical with measurably fewer codec trials — the acceptance
+  criterion of the whole subsystem;
+* a **poisoned** store cannot change the bytes: verify-and-fallback
+  re-runs the full trial whenever the store's pick loses the shortlist.
+"""
+
+import json
+
+import pytest
+
+from repro.arch import ArchParams
+from repro.utils.bitarray import BitArray
+from repro.vbs import CodecPredictor, cluster_key, encode_flow, pool_entropy_bucket
+from repro.vbs.format import ClusterRecord, VbsLayout
+from repro.vbs.predictor import STORE_VERSION, _one_blocks
+
+
+def _bits(n, positions):
+    arr = BitArray(n)
+    for p in positions:
+        arr[p] = 1
+    return arr
+
+
+@pytest.fixture(scope="module")
+def layout(params8):
+    return VbsLayout(params8, 1, 8, 8)
+
+
+class TestFeatureExtraction:
+    """Keys are pinned: a drift silently invalidates every saved store."""
+
+    def test_smart_record_key_pinned(self, layout):
+        nlb = layout.logic_bits_per_cluster
+        rec = ClusterRecord((0, 0), raw=False,
+                            logic=_bits(nlb, [2, 3, 4, 9, 17]),
+                            pairs=[(0, 3), (1, 1)], codec="list")
+        assert cluster_key(rec, layout, pool_bucket=4) == "s1.2.2.15.4.00"
+        # A dictionary table one bit away moves only the distance field.
+        pattern = rec.logic.copy()
+        pattern[40] = 1
+        with_table = layout.with_dict_table((pattern,))
+        assert cluster_key(rec, with_table, 4) == "s1.2.2.1.4.00"
+        # Wide tags and a raw option move only the regime suffix.
+        key = cluster_key(rec, layout.with_wide_tags(), 4, has_frames=True)
+        assert key == "s1.2.2.15.4.11"
+
+    def test_raw_record_key_pinned(self, layout):
+        rec = ClusterRecord(
+            (1, 0), raw=True,
+            raw_frames=_bits(layout.raw_bits_per_cluster, [0, 50, 51, 52]),
+            codec="raw",
+        )
+        assert cluster_key(rec, layout, pool_bucket=0) == "r0.2.0.15.0.01"
+
+    def test_one_blocks_matches_naive_reference(self, layout):
+        """The run-structure feature against a string-scan reference,
+        over a deterministic sweep of bit patterns."""
+        n = layout.logic_bits_per_cluster
+        sweeps = [
+            [], [0], [n - 1], list(range(n)),
+            [0, 1, 2, 10, 11, 40], [2, 4, 6, 8], [5, 6, 7, 20, 21, 60],
+        ]
+        # A multiplicative-congruential scatter keeps the sweep
+        # deterministic without an RNG import.
+        sweeps.append(sorted({(17 * k + 3) % n for k in range(25)}))
+        for positions in sweeps:
+            field = _bits(n, positions)
+            naive = "".join(
+                "1" if field[i] else "0" for i in range(n)
+            ).split("0")
+            assert _one_blocks(field) == sum(1 for run in naive if run)
+
+    def test_keys_identical_across_backends(self, layout):
+        """The key function must not depend on the bit-kernel backend;
+        this file also runs under REPRO_NO_NUMPY=1 in CI, where these
+        exact strings are re-asserted."""
+        n = layout.logic_bits_per_cluster
+        expected = {
+            (): "s0.0.0.15.0.00",
+            (0,): "s0.1.0.15.0.00",
+            (0, 1, 2): "s0.1.0.15.0.00",
+            (3, 9, 40, 44): "s0.3.0.15.0.00",
+            tuple(range(0, n, 2)): "s8.6.0.15.0.00",
+        }
+        for positions, key in expected.items():
+            rec = ClusterRecord((0, 0), raw=False,
+                                logic=_bits(n, list(positions)),
+                                pairs=[], codec="list")
+            assert cluster_key(rec, layout, 0) == key, positions
+
+    def test_pool_entropy_bucket(self, layout):
+        n = layout.logic_bits_per_cluster
+        a, b = _bits(n, [1]), _bits(n, [2])
+        mk = lambda logic, i: ClusterRecord(
+            (i, 0), raw=False, logic=logic.copy(), pairs=[], codec="list"
+        )
+        assert pool_entropy_bucket([]) == 0
+        assert pool_entropy_bucket([mk(a, 0), mk(a, 1)]) == 4
+        assert pool_entropy_bucket([mk(a, 0), mk(b, 1)]) == 8
+        assert pool_entropy_bucket(
+            [mk(a, 0), mk(a, 1), mk(a, 2), mk(b, 3)]
+        ) == 4
+        # Raw records are invisible to the pool proxy.
+        raw = ClusterRecord((9, 0), raw=True,
+                            raw_frames=_bits(layout.raw_bits_per_cluster, []),
+                            codec="raw")
+        assert pool_entropy_bucket([mk(a, 0), raw]) == 8
+
+
+class TestStore:
+    def test_record_and_shortlist_ordering(self):
+        pred = CodecPredictor()
+        assert pred.shortlist("k") is None
+        assert pred.predict("k") is None
+        pred.record("k", "delta")
+        pred.record("k", "dict")
+        pred.record("k", "dict")
+        assert pred.shortlist("k") == ["dict", "delta"]
+        assert pred.predict("k") == "dict"
+        # Ties break by name, deterministically.
+        pred.record("k", "delta")
+        assert pred.shortlist("k") == ["delta", "dict"]
+        assert len(pred) == 1
+        assert pred.samples == 4
+
+    def test_negative_margin_rejected(self):
+        with pytest.raises(ValueError, match="margin"):
+            CodecPredictor(margin_bits=-1)
+
+    def test_save_load_roundtrip(self, tmp_path):
+        pred = CodecPredictor()
+        pred.record("a", "delta")
+        pred.record("a", "delta")
+        pred.record("b", "rle")
+        path = tmp_path / "store.json"
+        pred.save(path)
+        fresh = CodecPredictor()
+        assert fresh.load(path) == 2
+        assert fresh.shortlist("a") == ["delta"]
+        assert fresh.samples == 3
+        # Loading again merges (win counts add up).
+        assert fresh.load(path) == 2
+        assert fresh.samples == 6
+
+    def test_load_tolerates_missing_and_corrupt(self, tmp_path):
+        pred = CodecPredictor()
+        assert pred.load(tmp_path / "nope.json") == 0
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert pred.load(bad) == 0
+        wrong = tmp_path / "wrong.json"
+        wrong.write_text(json.dumps(
+            {"version": STORE_VERSION + 1, "cells": {"a": {"delta": 1}}}
+        ))
+        assert pred.load(wrong) == 0
+        junk = tmp_path / "junk.json"
+        junk.write_text(json.dumps(
+            {"version": STORE_VERSION,
+             "cells": {"a": "oops", "b": {"rle": "x", "dict": 2}}}
+        ))
+        # Non-dict cells are skipped, non-int wins dropped.
+        assert pred.load(junk) == 1
+        assert pred.shortlist("b") == ["dict"]
+        assert len(pred) == 1
+
+    def test_session_freeze_semantics(self):
+        """Wins recorded inside a session are invisible to shortlists
+        until the next ``begin_session`` — the property the cold
+        byte-identity proof stands on."""
+        pred = CodecPredictor()
+        pred.record("old", "rle")
+        pred.begin_session()
+        pred.record("new", "delta")
+        pred.record("old", "dict")
+        pred.record("old", "dict")
+        assert pred.shortlist("new") is None          # cold this session
+        assert pred.shortlist("old") == ["rle"]       # pre-session view
+        pred.begin_session()
+        assert pred.shortlist("new") == ["delta"]
+        assert pred.shortlist("old") == ["dict", "rle"]
+
+    def test_snapshot_digest(self):
+        pred = CodecPredictor()
+        pred.record("a", "delta")
+        pred.hits, pred.misses, pred.fallbacks = 3, 2, 1
+        assert pred.snapshot() == {
+            "cells": 1, "samples": 1, "hits": 3, "misses": 2,
+            "fallbacks": 1,
+        }
+
+
+class TestEncodeContract:
+    """The predictor through ``encode_flow``: byte identity, fewer trials."""
+
+    @pytest.fixture(scope="class")
+    def exhaustive(self, small_flow, small_config):
+        return encode_flow(
+            small_flow, small_config, cluster_size=1, codecs="auto"
+        )
+
+    def test_cold_store_is_exhaustive_bit_for_bit(
+        self, small_flow, small_config, exhaustive
+    ):
+        cold = CodecPredictor()
+        vbs = encode_flow(
+            small_flow, small_config, cluster_size=1, codecs="auto",
+            predictor=cold,
+        )
+        assert vbs.to_bits() == exhaustive.to_bits()
+        # Every selection ran the full trial: same count, nothing
+        # shortlisted away.
+        assert vbs.stats.family_trials == exhaustive.stats.family_trials
+        assert vbs.stats.family_trials_skipped == 0
+        assert cold.hits == 0
+        assert len(cold) > 0  # ...but the store did learn.
+
+    def test_warm_replay_byte_identical_with_fewer_trials(
+        self, small_flow, small_config, exhaustive
+    ):
+        pred = CodecPredictor()
+        encode_flow(small_flow, small_config, cluster_size=1, codecs="auto",
+                    predictor=pred)
+        pred.hits = pred.misses = pred.fallbacks = 0
+        warm = encode_flow(
+            small_flow, small_config, cluster_size=1, codecs="auto",
+            predictor=pred,
+        )
+        assert warm.to_bits() == exhaustive.to_bits()
+        assert warm.stats.family_trials < exhaustive.stats.family_trials
+        assert warm.stats.family_trials_skipped > 0
+        assert pred.hits > 0
+        assert pred.misses == 0  # every key was seen during warm-up
+        # The conservation law: trials run + trials skipped = the
+        # exhaustive count.
+        assert (
+            warm.stats.family_trials + warm.stats.family_trials_skipped
+            == exhaustive.stats.family_trials
+        )
+
+    def test_warm_store_replays_through_save_load(
+        self, small_flow, small_config, exhaustive, tmp_path
+    ):
+        pred = CodecPredictor()
+        encode_flow(small_flow, small_config, cluster_size=1, codecs="auto",
+                    predictor=pred)
+        path = tmp_path / "predictor.json"
+        pred.save(path)
+        reloaded = CodecPredictor()
+        assert reloaded.load(path) == len(pred)
+        vbs = encode_flow(
+            small_flow, small_config, cluster_size=1, codecs="auto",
+            predictor=reloaded,
+        )
+        assert vbs.to_bits() == exhaustive.to_bits()
+        assert vbs.stats.family_trials < exhaustive.stats.family_trials
+
+    def test_monotone_chain_extends_to_warm_predictor(
+        self, small_flow, small_config
+    ):
+        """The monotonicity ladder gains a rung: warm-predictor auto is
+        byte-identical to auto, so it inherits auto ≤ V3 set ≤ PR-1
+        set — never larger than the per-cluster stateless pick."""
+        from repro.vbs import V3_CODECS
+
+        pred = CodecPredictor()
+        encode_flow(small_flow, small_config, cluster_size=2, codecs="auto",
+                    predictor=pred)
+        warm = encode_flow(
+            small_flow, small_config, cluster_size=2, codecs="auto",
+            predictor=pred,
+        )
+        v3 = encode_flow(
+            small_flow, small_config, cluster_size=2,
+            codecs=list(V3_CODECS),
+        )
+        pr1 = encode_flow(
+            small_flow, small_config, cluster_size=2,
+            codecs=["list", "raw", "compact", "rle"],
+        )
+        assert warm.size_bits <= v3.size_bits <= pr1.size_bits
+
+    def test_poisoned_store_cannot_change_bytes(
+        self, small_flow, small_config, exhaustive
+    ):
+        """Verify-and-fallback: a store whose recorded winners are never
+        on the table (a codec name from a different registry vintage,
+        say) must cost full re-trials, not bytes — the predicted pick is
+        absent from every costed shortlist, which is an automatic
+        fallback."""
+        pred = CodecPredictor()
+        encode_flow(small_flow, small_config, cluster_size=1, codecs="auto",
+                    predictor=pred)
+        poisoned = CodecPredictor()
+        for key in list(pred._cells):
+            poisoned.record(key, "retired-codec")
+        vbs = encode_flow(
+            small_flow, small_config, cluster_size=1, codecs="auto",
+            predictor=poisoned,
+        )
+        assert vbs.to_bits() == exhaustive.to_bits()
+        assert poisoned.fallbacks > 0
+
+    def test_margin_still_byte_identical_on_warmed_corpus(
+        self, small_flow, small_config, exhaustive
+    ):
+        """A non-zero verify margin only tolerates upsets *within* the
+        shortlist; replaying the warmed corpus the true winner is in
+        the shortlist, so the bytes still cannot move."""
+        pred = CodecPredictor(margin_bits=4)
+        encode_flow(small_flow, small_config, cluster_size=1, codecs="auto",
+                    predictor=pred)
+        warm = encode_flow(
+            small_flow, small_config, cluster_size=1, codecs="auto",
+            predictor=pred,
+        )
+        assert warm.to_bits() == exhaustive.to_bits()
