@@ -1,0 +1,118 @@
+"""Tile-pattern RRG memory artifact (the CI rrg-smoke job).
+
+Measures the retained memory of the explicit CSR :class:`RoutingGraph`
+against the :class:`TilePatternRoutingGraph` on a ladder of square
+fabrics, verifies the two are adjacency-identical at every size, and
+writes the per-size reductions to a JSON artifact::
+
+    PYTHONPATH=src python benchmarks/bench_rrg_compress.py --out rrg-smoke.json
+
+The gate: the compressed graph must retain at least ``--min-reduction``
+(default 4) times less memory than the explicit CSR on the largest
+fabric measured — the whole point of the pattern representation is that
+its footprint is O(tile classes), not O(nodes + edges), so a reduction
+that small means per-node state crept back in.
+
+Also reports the router-construction footprint on the largest fabric:
+:class:`PathFinderRouter` must allocate O(1) at construction (sparse
+dicts), not copies of the graph.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tracemalloc
+from pathlib import Path
+
+from repro.arch.fabric import FabricArch
+from repro.arch.params import ArchParams
+from repro.arch.rrg import RoutingGraph, TilePatternRoutingGraph
+from repro.cad.route import PathFinderRouter
+
+#: Square fabric edge lengths measured (logic + ring).  The paper's
+#: normalized experiments run at W=20, so the ladder does too.
+SIZES = (16, 32, 64)
+CHANNEL_WIDTH = 20
+
+
+def _retained(build) -> "tuple[object, int]":
+    """Build through ``build()`` and report bytes still allocated after."""
+    tracemalloc.start()
+    tracemalloc.clear_traces()
+    obj = build()
+    current, _peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return obj, current
+
+
+def _verify_adjacency(explicit: RoutingGraph,
+                      compressed: TilePatternRoutingGraph,
+                      sample_stride: int) -> bool:
+    """Node-for-node neighbor equality (values AND order)."""
+    for node in range(0, explicit.num_nodes, sample_stride):
+        if explicit.neighbor_list(node) != compressed.neighbor_list(node):
+            return False
+    return explicit.num_edges == compressed.num_edges
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=Path, default=Path("BENCH_rrg.json"))
+    parser.add_argument("--min-reduction", type=float, default=4.0,
+                        help="gate on the largest fabric's memory reduction")
+    parser.add_argument("--sizes", type=int, nargs="*", default=list(SIZES))
+    args = parser.parse_args(argv)
+
+    params = ArchParams(channel_width=CHANNEL_WIDTH)
+    summary: dict = {"channel_width": CHANNEL_WIDTH, "fabrics": {}}
+    reduction = 0.0
+
+    for n in sorted(args.sizes):
+        fabric = FabricArch(params, n, n, {})
+        explicit, explicit_bytes = _retained(
+            lambda: RoutingGraph(fabric))
+        compressed, compressed_bytes = _retained(
+            lambda: TilePatternRoutingGraph(fabric))
+        # The smallest fabric is verified exhaustively; larger ones are
+        # sampled — the pattern table is size-independent, so a per-node
+        # divergence at scale would already show at the dense check.
+        stride = 1 if n == min(args.sizes) else 97
+        if not _verify_adjacency(explicit, compressed, stride):
+            print(f"ERROR: {n}x{n}: adjacency mismatch", file=sys.stderr)
+            return 1
+        reduction = explicit_bytes / max(1, compressed_bytes)
+        summary["fabrics"][f"{n}x{n}"] = {
+            "nodes": explicit.num_nodes,
+            "edges": explicit.num_edges,
+            "explicit_bytes": explicit_bytes,
+            "compressed_bytes": compressed_bytes,
+            "reduction": round(reduction, 2),
+        }
+        print(f"{n:3d}x{n:<3d} {explicit.num_nodes:9d} nodes   "
+              f"explicit {explicit_bytes / 1e6:8.2f} MB   "
+              f"compressed {compressed_bytes / 1e3:8.1f} kB   "
+              f"{reduction:7.1f}x")
+
+    # Router construction on the largest fabric must be O(1): no CSR
+    # copies, no per-node arrays.
+    router, router_bytes = _retained(
+        lambda: PathFinderRouter(compressed))
+    summary["router_construct_bytes"] = router_bytes
+    print(f"router construction over the largest graph retains "
+          f"{router_bytes} bytes")
+
+    summary["largest_reduction"] = round(reduction, 2)
+    args.out.write_text(json.dumps(summary, indent=1, sort_keys=True) + "\n")
+    print(f"wrote {args.out}")
+    if reduction < args.min_reduction:
+        print(f"ERROR: memory reduction {reduction:.1f}x on the largest "
+              f"fabric is below the {args.min_reduction}x gate",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,7 +22,15 @@ from repro.arch.blocktype import (
 )
 from repro.arch.macro import ClusterModel, Switch, get_cluster_model, get_macro_model
 from repro.arch.fabric import FabricArch
-from repro.arch.rrg import RoutingGraph, KIND_XTRK, KIND_YTRK, KIND_LINE
+from repro.arch.rrg import (
+    RoutingGraph,
+    TilePatternRoutingGraph,
+    routing_graph_for,
+    clear_routing_graph_cache,
+    KIND_XTRK,
+    KIND_YTRK,
+    KIND_LINE,
+)
 
 __all__ = [
     "ArchParams",
@@ -43,6 +51,9 @@ __all__ = [
     "get_macro_model",
     "FabricArch",
     "RoutingGraph",
+    "TilePatternRoutingGraph",
+    "routing_graph_for",
+    "clear_routing_graph_cache",
     "KIND_XTRK",
     "KIND_YTRK",
     "KIND_LINE",

@@ -43,6 +43,7 @@ class FabricArch:
             if tname not in self.block_types:
                 raise ArchitectureError(f"unknown block type {tname!r} at ({x},{y})")
         self._type_map = dict(type_map)
+        self._structure_key: "Tuple | None" = None
 
     # -- constructors -----------------------------------------------------------
 
@@ -60,6 +61,22 @@ class FabricArch:
         return cls(params, side, side, type_map)
 
     # -- queries ----------------------------------------------------------------
+
+    def structure_key(self) -> Tuple:
+        """Hashable identity of the fabric's structure.
+
+        Two fabrics with equal keys have identical parameters, dimensions
+        and cell typing — and therefore identical routing graphs; the
+        RRG cache (:func:`repro.arch.rrg.routing_graph_for`) keys on it.
+        """
+        if self._structure_key is None:
+            self._structure_key = (
+                self.params,
+                self.width,
+                self.height,
+                frozenset(self._type_map.items()),
+            )
+        return self._structure_key
 
     @property
     def bounds(self) -> Rect:

@@ -22,13 +22,32 @@ Edges (undirected, stored in CSR form):
 * switch box at SB(x,y): all pairs among the up-to-four same-index wires
   meeting there — ``XTRK(x-1,y,t)``, ``XTRK(x,y,t)``, ``YTRK(x,y-1,t)``,
   ``YTRK(x,y,t)`` (a *disjoint* switch box: the track index is preserved).
+
+Two implementations share the interface:
+
+* :class:`RoutingGraph` materializes the explicit CSR — O(V+E) memory,
+  fastest per-node access, and the reference adjacency everything else is
+  pinned against.
+* :class:`TilePatternRoutingGraph` stores only the deduplicated *tile
+  patterns* (interior / edge / corner classes keyed by the presence of the
+  four neighbour cells) and derives any node's neighbours as
+  ``pattern + cell_offset`` on demand — O(patterns) memory, node-for-node
+  identical to the explicit build including neighbour order.
+
+:func:`routing_graph_for` is the fabric-keyed cache in front of both: the
+CAD flow, the MCW search and the task harness all fetch graphs through it
+so one arch point builds one graph, and giant fabrics automatically get
+the compressed representation.
 """
 
 from __future__ import annotations
 
-from typing import Iterator, List, Tuple
+import threading
+from collections import OrderedDict
+from typing import Dict, Iterator, List, Tuple
 
 from repro.arch.fabric import FabricArch
+from repro.errors import RoutingError
 from repro.utils.bitkernels import HAVE_NUMPY
 
 if HAVE_NUMPY:
@@ -38,9 +57,24 @@ KIND_XTRK = 0
 KIND_YTRK = 1
 KIND_LINE = 2
 
+#: Largest node id the explicit CSR can store (int32 neighbour arrays).
+MAX_EXPLICIT_NODES = 2**31 - 1
 
-class RoutingGraph:
-    """CSR adjacency over the track-level routing resources of a fabric."""
+#: ``routing_graph_for(compressed=None)`` switches to the tile-pattern
+#: representation at this node count: past it the explicit CSR costs tens
+#: of megabytes while the patterns stay constant-size.
+COMPRESSED_AUTO_NODES = 200_000
+
+
+class _RoutingGraphBase:
+    """Node-id arithmetic and naming shared by both representations."""
+
+    fabric: FabricArch
+    W: int
+    L: int
+    per_cell: int
+    num_nodes: int
+    num_edges: int
 
     def __init__(self, fabric: FabricArch):
         self.fabric = fabric
@@ -49,7 +83,6 @@ class RoutingGraph:
         self.L = p.num_lb_pins
         self.per_cell = 2 * self.W + self.L
         self.num_nodes = fabric.width * fabric.height * self.per_cell
-        self._build(fabric)
 
     # -- node id helpers ----------------------------------------------------------
 
@@ -67,6 +100,14 @@ class RoutingGraph:
         y, x = divmod(cell, self.fabric.width)
         return x, y
 
+    def node_x_of(self, node: int) -> int:
+        """Cell x coordinate of a node (computed, no array lookup)."""
+        return (node // self.per_cell) % self.fabric.width
+
+    def node_y_of(self, node: int) -> int:
+        """Cell y coordinate of a node (computed, no array lookup)."""
+        return (node // self.per_cell) // self.fabric.width
+
     def node_kind(self, node: int) -> Tuple[int, int]:
         """Return (kind, index): kind XTRK/YTRK with track, or LINE with pin."""
         k = node % self.per_cell
@@ -82,9 +123,44 @@ class RoutingGraph:
         name = {KIND_XTRK: "XTRK", KIND_YTRK: "YTRK", KIND_LINE: "LINE"}[kind]
         return f"{name}({x},{y},{idx})"
 
+    # -- traversal (implemented by subclasses) -------------------------------------
+
+    def neighbor_list(self, node: int) -> List[int]:
+        raise NotImplementedError
+
+    def degree(self, node: int) -> int:
+        raise NotImplementedError
+
+    def iter_edges(self) -> Iterator[Tuple[int, int]]:
+        """Each undirected edge exactly once (a < b), in CSR order."""
+        for a in range(self.num_nodes):
+            for b in self.neighbor_list(a):
+                if a < b:
+                    yield a, b
+
+
+class RoutingGraph(_RoutingGraphBase):
+    """CSR adjacency over the track-level routing resources of a fabric."""
+
+    def __init__(self, fabric: FabricArch):
+        super().__init__(fabric)
+        self._build(fabric)
+
     # -- construction --------------------------------------------------------------
 
     def _build(self, fabric: FabricArch) -> None:
+        if self.num_nodes > MAX_EXPLICIT_NODES:
+            # The CSR stores node ids in int32 (numpy) / array("i")
+            # (fallback); a larger id space would wrap silently and
+            # corrupt the adjacency.  Giant fabrics must use the
+            # tile-pattern representation instead.
+            raise RoutingError(
+                f"{fabric.width}x{fabric.height} fabric at "
+                f"W={self.W} has {self.num_nodes} routing nodes, more than "
+                f"the explicit CSR's int32 id space ({MAX_EXPLICIT_NODES}); "
+                f"use TilePatternRoutingGraph (routing_graph_for picks it "
+                f"automatically)"
+            )
         W, L = self.W, self.L
         width, height = fabric.width, fabric.height
         chanx = fabric.params.chanx_pins
@@ -177,12 +253,234 @@ class RoutingGraph:
         """
         return self.nbrs[self.indptr[node] : self.indptr[node + 1]]
 
+    def neighbor_list(self, node: int) -> List[int]:
+        """Neighbours as a plain list of Python ints (router hot path)."""
+        return self.nbrs[self.indptr[node] : self.indptr[node + 1]].tolist()
+
     def degree(self, node: int) -> int:
         return int(self.indptr[node + 1] - self.indptr[node])
 
     def iter_edges(self) -> Iterator[Tuple[int, int]]:
-        """Each undirected edge exactly once (a < b)."""
+        """Each undirected edge exactly once (a < b), in CSR order."""
+        if HAVE_NUMPY:
+            src = np.repeat(
+                np.arange(self.num_nodes, dtype=np.int64),
+                np.diff(self.indptr),
+            )
+            keep = src < self.nbrs
+            yield from zip(src[keep].tolist(), self.nbrs[keep].tolist())
+            return
         for a in range(self.num_nodes):
             for b in self.neighbors(a):
                 if a < b:
                     yield a, int(b)
+
+
+def _tile_pattern(
+    params, has_west: bool, has_east: bool, has_south: bool, has_north: bool
+) -> List[List[Tuple[int, int, int]]]:
+    """Per-local-node neighbour template of one tile class.
+
+    Replays the explicit builder's edge generation over the smallest
+    window of cells that reproduces the focus cell's surroundings
+    (present/absent west, east, south, north neighbours) and collects the
+    directed edges leaving the focus cell, in global append order — which
+    is exactly the neighbour order the stable CSR sort produces.  Entries
+    are ``(dx, dy, k)``: neighbour = local node ``k`` of the cell offset
+    by ``(dx, dy)``.
+    """
+    W = params.channel_width
+    L = params.num_lb_pins
+    chanx = params.chanx_pins
+    chany = params.chany_pins
+    per_cell = 2 * W + L
+
+    fx = 1 if has_west else 0
+    fy = 1 if has_south else 0
+    vw = fx + 1 + (1 if has_east else 0)
+    vh = fy + 1 + (1 if has_north else 0)
+
+    def xt(x: int, y: int, t: int) -> Tuple[int, int, int]:
+        return (x, y, t)
+
+    def yt(x: int, y: int, t: int) -> Tuple[int, int, int]:
+        return (x, y, W + t)
+
+    def ln(x: int, y: int, p: int) -> Tuple[int, int, int]:
+        return (x, y, 2 * W + p)
+
+    edges: List[Tuple[Tuple[int, int, int], Tuple[int, int, int]]] = []
+
+    def link(a, b) -> None:
+        edges.append((a, b))
+        edges.append((b, a))
+
+    # The exact loop structure of RoutingGraph._build over the window.
+    for y in range(vh):
+        for x in range(vw):
+            for p in chanx:
+                l = ln(x, y, p)
+                for t in range(W):
+                    link(l, xt(x, y, t))
+            for p in chany:
+                l = ln(x, y, p)
+                for t in range(W):
+                    link(l, yt(x, y, t))
+            for t in range(W):
+                wires = [xt(x, y, t), yt(x, y, t)]
+                if x > 0:
+                    wires.append(xt(x - 1, y, t))
+                if y > 0:
+                    wires.append(yt(x, y - 1, t))
+                for i in range(len(wires)):
+                    for j in range(i + 1, len(wires)):
+                        link(wires[i], wires[j])
+
+    rows: List[List[Tuple[int, int, int]]] = [[] for _ in range(per_cell)]
+    for (sx, sy, sk), (dx, dy, dk) in edges:
+        if sx == fx and sy == fy:
+            rows[sk].append((dx - fx, dy - fy, dk))
+    return rows
+
+
+class TilePatternRoutingGraph(_RoutingGraphBase):
+    """Tile-pattern adjacency: O(patterns) memory instead of O(V+E).
+
+    The fabric is tile-regular, so a node's neighbour list depends only
+    on its local index and on which of the cell's four neighbour cells
+    exist — at most nine distinct tile classes (interior, four edges,
+    four corners) for any grid.  Each class stores, per local node, the
+    precomputed *node-id offsets* of its neighbours; ``neighbors(n)`` is
+    ``[n + off for off in pattern]``.
+
+    Pinned node-for-node identical (values *and* order) to
+    :class:`RoutingGraph` by the equivalence property suite.
+    """
+
+    def __init__(self, fabric: FabricArch):
+        super().__init__(fabric)
+        width, height = fabric.width, fabric.height
+        per_cell = self.per_cell
+
+        # Reachable flag pairs along each axis (width/height 1 and 2
+        # collapse edge and corner classes).
+        def axis_flags(extent: int) -> List[Tuple[bool, bool]]:
+            if extent == 1:
+                return [(False, False)]
+            flags = [(False, True), (True, False)]
+            if extent > 2:
+                flags.append((True, True))
+            return flags
+
+        # mask -> per-k tuple of node-id offsets (dy*width + dx cells
+        # away, local index k2):  neighbour = node + offset.
+        self._offsets: Dict[int, List[Tuple[int, ...]]] = {}
+        self._degrees: Dict[int, List[int]] = {}
+        directed_per_mask: Dict[int, int] = {}
+        for hw, he in axis_flags(width):
+            for hs, hn in axis_flags(height):
+                mask = (hw << 0) | (he << 1) | (hs << 2) | (hn << 3)
+                rows = _tile_pattern(fabric.params, hw, he, hs, hn)
+                self._offsets[mask] = [
+                    tuple(
+                        (dy * width + dx) * per_cell + k2 - k
+                        for dx, dy, k2 in row
+                    )
+                    for k, row in enumerate(rows)
+                ]
+                self._degrees[mask] = [len(row) for row in rows]
+                directed_per_mask[mask] = sum(len(row) for row in rows)
+
+        # Edge count without enumerating cells: class populations are a
+        # product of the per-axis position counts.
+        def axis_counts(extent: int) -> Dict[Tuple[bool, bool], int]:
+            if extent == 1:
+                return {(False, False): 1}
+            counts = {(False, True): 1, (True, False): 1}
+            if extent > 2:
+                counts[(True, True)] = extent - 2
+            return counts
+
+        directed = 0
+        for (hw, he), cx in axis_counts(width).items():
+            for (hs, hn), cy in axis_counts(height).items():
+                mask = (hw << 0) | (he << 1) | (hs << 2) | (hn << 3)
+                directed += cx * cy * directed_per_mask[mask]
+        self.num_edges = directed // 2
+
+    def _mask_of(self, x: int, y: int) -> int:
+        width, height = self.fabric.width, self.fabric.height
+        return (
+            (x > 0)
+            | ((x < width - 1) << 1)
+            | ((y > 0) << 2)
+            | ((y < height - 1) << 3)
+        )
+
+    # -- traversal -------------------------------------------------------------------
+
+    def neighbor_list(self, node: int) -> List[int]:
+        cell, k = divmod(node, self.per_cell)
+        y, x = divmod(cell, self.fabric.width)
+        return [node + off for off in self._offsets[self._mask_of(x, y)][k]]
+
+    def neighbors(self, node: int) -> List[int]:
+        """Neighbour node ids (a plain list: same iteration/membership)."""
+        return self.neighbor_list(node)
+
+    def degree(self, node: int) -> int:
+        cell, k = divmod(node, self.per_cell)
+        y, x = divmod(cell, self.fabric.width)
+        return self._degrees[self._mask_of(x, y)][k]
+
+
+# -- fabric-keyed graph cache ----------------------------------------------------
+
+_RRG_CACHE: "OrderedDict[tuple, _RoutingGraphBase]" = OrderedDict()
+_RRG_CACHE_CAPACITY = 8
+_RRG_CACHE_LOCK = threading.Lock()
+
+
+def routing_graph_for(
+    fabric: FabricArch, compressed: "bool | None" = None
+) -> _RoutingGraphBase:
+    """The routing graph of ``fabric``, built once per arch point.
+
+    ``compressed=None`` (the default) picks the representation by size:
+    explicit CSR below :data:`COMPRESSED_AUTO_NODES` routing nodes (the
+    fastest per-node access for ordinary fabrics), tile patterns above it
+    (constant memory for giant fabrics).  Graphs are cached under the
+    fabric's structural key — params, dimensions and cell types — so the
+    MCW search's repeated widths and the task harness's grids reuse one
+    graph per arch point.  Both representations are adjacency-identical,
+    so a cache hit can never change a routing result.
+    """
+    if compressed is None:
+        per_cell = 2 * fabric.params.channel_width + fabric.params.num_lb_pins
+        compressed = (
+            fabric.width * fabric.height * per_cell >= COMPRESSED_AUTO_NODES
+        )
+    key = fabric.structure_key() + (bool(compressed),)
+    with _RRG_CACHE_LOCK:
+        graph = _RRG_CACHE.get(key)
+        if graph is not None:
+            _RRG_CACHE.move_to_end(key)
+            return graph
+    graph = (
+        TilePatternRoutingGraph(fabric) if compressed else RoutingGraph(fabric)
+    )
+    with _RRG_CACHE_LOCK:
+        existing = _RRG_CACHE.get(key)
+        if existing is not None:
+            _RRG_CACHE.move_to_end(key)
+            return existing
+        _RRG_CACHE[key] = graph
+        while len(_RRG_CACHE) > _RRG_CACHE_CAPACITY:
+            _RRG_CACHE.popitem(last=False)
+    return graph
+
+
+def clear_routing_graph_cache() -> None:
+    """Drop every cached graph (tests and memory-measurement harnesses)."""
+    with _RRG_CACHE_LOCK:
+        _RRG_CACHE.clear()

@@ -16,7 +16,7 @@ from typing import Optional
 
 from repro.arch.fabric import FabricArch
 from repro.arch.params import ArchParams
-from repro.arch.rrg import RoutingGraph
+from repro.arch.rrg import RoutingGraph, routing_graph_for
 from repro.cad.pack import PackedDesign, pack
 from repro.cad.place import Placement, place
 from repro.cad.route import RoutingResult, route_design
@@ -103,7 +103,7 @@ def run_flow(
     placement = place(
         design, fabric, seed=seed, inner_num=place_inner_num, fast=place_fast
     )
-    rrg = RoutingGraph(fabric)
+    rrg = routing_graph_for(fabric)
     routing = route_design(design, placement, rrg, **(router_kwargs or {}))
     return FlowResult(
         netlist=netlist,

@@ -14,7 +14,7 @@ from typing import Dict, Optional
 
 from repro.arch.fabric import FabricArch
 from repro.arch.params import ArchParams
-from repro.arch.rrg import RoutingGraph
+from repro.arch.rrg import routing_graph_for
 from repro.cad.pack import PackedDesign
 from repro.cad.place import Placement, place
 from repro.cad.route import PathFinderRouter, RoutingResult, net_terminals
@@ -50,7 +50,9 @@ def _attempt(
         {(p.x, p.y): placement.fabric.type_name_at(p.x, p.y)
          for p in placement.fabric.cells()},
     )
-    rrg = RoutingGraph(fabric)
+    # The fabric-keyed cache makes repeated attempts at one width (and
+    # any later flow at the same arch point) reuse a single graph.
+    rrg = routing_graph_for(fabric)
     relocated = Placement(
         design, fabric, placement.locations, placement.cost, placement.seed
     )

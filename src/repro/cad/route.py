@@ -133,17 +133,21 @@ class PathFinderRouter:
         self.astar_fac = astar_fac
         self.bb_margin = bb_margin
 
-        n = rrg.num_nodes
-        self._indptr: List[int] = rrg.indptr.tolist()
-        self._nbrs: List[int] = rrg.nbrs.tolist()
-        self._nx: List[int] = rrg.node_x.tolist()
-        self._ny: List[int] = rrg.node_y.tolist()
-        self._occ = [0] * n
-        self._hist = [0.0] * n
-        self._gbest = [0.0] * n
-        self._came = [-1] * n
-        self._visit = [0] * n
-        self._epoch = 0
+        # Per-node state is sparse: dicts keyed by node id, populated
+        # only for nodes the search actually touches.  Construction is
+        # O(1) and routing memory scales with the explored region, not
+        # the fabric — the property that makes giant fabrics (via the
+        # tile-pattern RRG, which has no CSR to copy) routable at all.
+        self._per_cell = rrg.per_cell
+        self._width = rrg.fabric.width
+        self._adj: Dict[int, List[int]] = {}
+        self._occ: Dict[int, int] = {}
+        self._hist: Dict[int, float] = {}
+
+    def _node_xy(self, node: int) -> Tuple[int, int]:
+        cell = node // self._per_cell
+        y, x = divmod(cell, self._width)
+        return x, y
 
     # -- single-net routing ------------------------------------------------------
 
@@ -155,31 +159,37 @@ class PathFinderRouter:
         bbox: Rect,
     ) -> Optional[Dict[int, int]]:
         """Route one net; returns the parent map or None when stuck."""
-        indptr, nbrs = self._indptr, self._nbrs
-        nx, ny = self._nx, self._ny
-        occ, hist = self._occ, self._hist
-        gbest, came, visit = self._gbest, self._came, self._visit
+        adj = self._adj
+        neighbor_list = self.rrg.neighbor_list
+        occ_get = self._occ.get
+        hist_get = self._hist.get
         hist_fac, astar_fac = self.hist_fac, self.astar_fac
+        per_cell, width = self._per_cell, self._width
 
         tree_nodes: List[int] = [source]
         tree_set = {source}
         parent: Dict[int, int] = {}
 
+        src_x, src_y = self._node_xy(source)
+
+        def dist_to_source(s: int) -> int:
+            x, y = self._node_xy(s)
+            return abs(x - src_x) + abs(y - src_y)
+
         # Farthest sink first grows a trunk the others can reuse.
-        order = sorted(
-            sinks,
-            key=lambda s: (-(abs(nx[s] - nx[source]) + abs(ny[s] - ny[source])), s),
-        )
+        order = sorted(sinks, key=lambda s: (-dist_to_source(s), s))
         for sink in order:
-            self._epoch += 1
-            epoch = self._epoch
-            sx, sy = nx[sink], ny[sink]
+            sx, sy = self._node_xy(sink)
+            # Fresh per-search maps: cost-to-come and predecessor exist
+            # only for visited nodes (the epoch-array reset, made sparse).
+            gbest: Dict[int, float] = {}
+            came: Dict[int, int] = {}
             heap: List[Tuple[float, float, int]] = []
             for node in tree_nodes:
-                h = astar_fac * (abs(nx[node] - sx) + abs(ny[node] - sy))
+                x, y = self._node_xy(node)
+                h = astar_fac * (abs(x - sx) + abs(y - sy))
                 gbest[node] = 0.0
                 came[node] = -1
-                visit[node] = epoch
                 heap.append((h, 0.0, node))
             heapq.heapify(heap)
 
@@ -189,24 +199,28 @@ class PathFinderRouter:
                 if node == sink:
                     found = True
                     break
-                if visit[node] == epoch and g > gbest[node]:
+                if g > gbest[node]:
                     continue  # stale entry
-                for ei in range(indptr[node], indptr[node + 1]):
-                    nb = nbrs[ei]
-                    bx, by = nx[nb], ny[nb]
+                nbs = adj.get(node)
+                if nbs is None:
+                    nbs = adj[node] = neighbor_list(node)
+                for nb in nbs:
+                    cell = nb // per_cell
+                    by = cell // width
+                    bx = cell - by * width
                     if not (
                         bbox.x <= bx < bbox.x2 and bbox.y <= by < bbox.y2
                     ):
                         continue
                     # Congestion-aware node cost (capacity 1 everywhere).
-                    over = occ[nb]
-                    cost = (1.0 + hist_fac * hist[nb]) * (
+                    over = occ_get(nb, 0)
+                    cost = (1.0 + hist_fac * hist_get(nb, 0.0)) * (
                         1.0 + pres_fac * over
                     )
                     ng = g + cost
-                    if visit[nb] == epoch and gbest[nb] <= ng:
+                    old = gbest.get(nb)
+                    if old is not None and old <= ng:
                         continue
-                    visit[nb] = epoch
                     gbest[nb] = ng
                     came[nb] = node
                     h = astar_fac * (abs(bx - sx) + abs(by - sy))
@@ -243,10 +257,12 @@ class PathFinderRouter:
         fabric_box = Rect(0, 0, rrg.fabric.width, rrg.fabric.height)
         names = sorted(terminals)
         trees: Dict[str, RouteTree] = {}
+        occ = self._occ
+        hist = self._hist
 
         def net_bbox(name: str, margin: int) -> Rect:
             src, sinks = terminals[name]
-            pts = [(self._nx[n], self._ny[n]) for n in [src] + list(sinks)]
+            pts = [self._node_xy(n) for n in [src] + list(sinks)]
             return Rect.spanning(pts).expanded(margin, fabric_box)
 
         pres_fac = self.pres_fac_first
@@ -256,10 +272,10 @@ class PathFinderRouter:
                 src, sinks = terminals[name]
                 tree = trees.get(name)
                 if tree is not None:
-                    if all(self._occ[n] <= 1 for n in tree.nodes):
+                    if all(occ.get(n, 0) <= 1 for n in tree.nodes):
                         continue  # keep conflict-free nets as they are
                     for n in tree.nodes:
-                        self._occ[n] -= 1
+                        occ[n] -= 1
                 parent = self._route_net(src, sinks, pres_fac, net_bbox(name, margin))
                 if parent is None and full_bbox_retry:
                     parent = self._route_net(src, sinks, pres_fac, fabric_box)
@@ -271,21 +287,23 @@ class PathFinderRouter:
                 tree = RouteTree(name, src, list(sinks), parent)
                 trees[name] = tree
                 for n in tree.nodes:
-                    self._occ[n] += 1
+                    occ[n] = occ.get(n, 0) + 1
 
-            over_nodes = [n for n, o in enumerate(self._occ) if o > 1]
+            over_nodes = [n for n, o in occ.items() if o > 1]
             if not over_nodes:
                 wl = sum(t.wirelength() for t in trees.values())
                 return RoutingResult(
-                    trees, rrg.W, iteration, wl, max(self._occ, default=0)
+                    trees, rrg.W, iteration, wl,
+                    max(occ.values(), default=0),
                 )
             for n in over_nodes:
-                self._hist[n] += self._occ[n] - 1
+                hist[n] = hist.get(n, 0.0) + occ[n] - 1
             pres_fac *= self.pres_fac_mult
 
         raise UnroutableError(
             f"congestion unresolved after {self.max_iterations} iterations "
-            f"at W={rrg.W} ({sum(1 for o in self._occ if o > 1)} overused nodes)"
+            f"at W={rrg.W} "
+            f"({sum(1 for o in occ.values() if o > 1)} overused nodes)"
         )
 
 

@@ -10,13 +10,16 @@ compression.
     repro vbsgen design.blif -W 20 --codecs auto --workers 4
     repro vbs inspect design.vbs
     repro runtime simulate --kind hot-set --tasks 3 --length 40 --seed 1
+    repro tasks check suites/smoke.json
 
 ``vbs inspect`` parses a container through the codec registry and prints
 the prelude, per-cluster codec tags, and the compression ratio.
 ``runtime simulate`` replays a seeded multi-task workload trace through
 the fabric manager and reports cache hit rates, decoded bytes and the
 cost model's reconfiguration latency (``--json`` for the machine-readable
-report).
+report).  ``tasks run``/``tasks check`` drive the declarative suite
+harness (``repro.eval.tasks``): expand a suite file's grids, run every
+point, and gate on QoR deltas against committed goldens.
 """
 
 from __future__ import annotations
@@ -425,6 +428,81 @@ def _run_runtime_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_tasks_run(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.eval.tasks import TaskSuiteError, run_suite, save_golden
+
+    try:
+        report = run_suite(
+            args.suite, args.results_dir, force=args.force,
+            progress=lambda p: print(f"  {p.key}"),
+        )
+    except TaskSuiteError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"suite {report.suite['name']}: {len(report.points)} point(s)")
+    if args.update_golden:
+        path = save_golden(report)
+        print(f"wrote golden {path}")
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(
+            json.dumps(report.to_json(), indent=1, sort_keys=True) + "\n"
+        )
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _run_tasks_check(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.eval.tasks import (
+        TaskSuiteError,
+        compare_to_golden,
+        load_golden,
+        run_suite,
+        summarize_comparison,
+    )
+
+    try:
+        report = run_suite(
+            args.suite, args.results_dir, force=args.force,
+            progress=lambda p: print(f"  {p.key}"),
+        )
+        golden = load_golden(report.suite_path, report.suite)
+    except TaskSuiteError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if golden is None:
+        # A check without goldens must not silently pass — that is how
+        # QoR drift goes unnoticed until it compounds.
+        print(f"error: no golden results for {args.suite} "
+              f"(run `repro tasks run {args.suite} --update-golden`)",
+              file=sys.stderr)
+        return 2
+    comparison = compare_to_golden(report, golden)
+    print(summarize_comparison(comparison))
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(json.dumps(
+            {"suite": report.suite["name"], **comparison},
+            indent=1, sort_keys=True,
+        ) + "\n")
+        print(f"wrote {args.json}")
+    return 0 if comparison["passed"] else 1
+
+
+def _add_tasks_point_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("suite", type=Path, help="suite JSON file")
+    parser.add_argument("--results-dir", type=Path, default=Path("results"),
+                        help="point-cache root (default: results/)")
+    parser.add_argument("--force", action="store_true",
+                        help="recompute every point, ignoring the cache")
+    parser.add_argument("--json", type=Path, default=None,
+                        help="also write the machine-readable report here")
+
+
 def main(argv: "list[str] | None" = None) -> int:
     """The ``repro`` umbrella command."""
     parser = argparse.ArgumentParser(
@@ -583,6 +661,29 @@ def main(argv: "list[str] | None" = None) -> int:
     sweep.add_argument("--json", type=Path, default=None,
                        help="also write the machine-readable sweep here")
     sweep.set_defaults(func=_run_runtime_sweep)
+
+    tasks = sub.add_parser(
+        "tasks",
+        help="declarative evaluation suites (arch x circuit x codec grids)",
+    )
+    tasks_sub = tasks.add_subparsers(dest="tasks_command", required=True)
+    trun = tasks_sub.add_parser(
+        "run",
+        help="expand a suite file and run every point through the "
+             "cached eval pipeline",
+    )
+    _add_tasks_point_args(trun)
+    trun.add_argument("--update-golden", action="store_true",
+                      help="record this run's metrics as the suite's "
+                           "golden results")
+    trun.set_defaults(func=_run_tasks_run)
+    tcheck = tasks_sub.add_parser(
+        "check",
+        help="run a suite and compare QoR against its golden results "
+             "(exit 1 on any out-of-tolerance delta)",
+    )
+    _add_tasks_point_args(tcheck)
+    tcheck.set_defaults(func=_run_tasks_check)
 
     args = parser.parse_args(argv)
     return args.func(args)

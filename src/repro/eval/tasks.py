@@ -1,0 +1,482 @@
+"""Declarative task suites: arch x circuit x codec x workload grids.
+
+A *suite* is a JSON file describing a grid of evaluation points in the
+style of VTR's ``run_vtr_task`` task lists and rad_gen's parameter-sweep
+configs: instead of hand-listing experiments, the suite declares the axes
+and the harness expands the cross product, runs every point through the
+cached eval pipeline, parses the QoR metrics, and compares them against a
+committed *golden* results file.
+
+Suite schema (all keys except ``name`` and ``grids`` optional)::
+
+    {
+      "format": 1,
+      "name": "smoke",
+      "description": "...",
+      "defaults": {"channel_width": 8, "cluster": 1, "codecs": "paper",
+                   "scale": 1.0, "seed": 1},
+      "grids": [
+        {"circuit": ["ex5p", {"name": "t1", "n_luts": 14,
+                              "n_inputs": 6, "n_outputs": 4}],
+         "channel_width": [5, 8],
+         "cluster": [1, 2],
+         "codecs": ["paper", "auto"]},
+        {"type": "workload",
+         "kind": ["hot-set"], "tasks": [2], "length": [12], "seed": [1]}
+      ],
+      "tolerances": {"ratio": {"rel": 0.0}},
+      "golden": "golden/smoke.json"
+    }
+
+Grid axes multiply (every combination is one point).  A grid's ``type``
+is ``flow`` (default: place-and-route one circuit, encode it, record
+compression/QoR metrics) or ``workload`` (replay a seeded trace through
+the runtime simulator, record cache/cycle metrics).  ``circuit`` entries
+are either corpus names (MCNC proxies / :data:`~repro.eval.experiments.
+EVAL_EXTRAS`) or inline :class:`~repro.netlist.generate.CircuitSpec`
+dicts — the latter keep smoke suites hermetic and fast.
+
+Point results are cached under ``<results-dir>/tasks/`` with the same
+versioned-JSON convention as the figure runners, so re-running a suite
+only computes what is missing.  ``repro tasks run`` executes a suite
+(``--update-golden`` records the goldens); ``repro tasks check`` also
+compares against the golden file and fails on any QoR regression beyond
+the declared tolerances — deterministic metrics default to exact match.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from itertools import product
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+#: Accepted suite-file format versions.
+SUITE_FORMATS = (1,)
+
+#: Golden-file format version.
+GOLDEN_FORMAT = 1
+
+#: Flow-point axes with their defaults (also the allowed key set).
+_FLOW_AXES = {
+    "circuit": None,  # required
+    "channel_width": 8,
+    "cluster": 1,
+    "codecs": "paper",
+    "scale": 1.0,
+    "seed": 1,
+}
+
+#: Workload-point axes with their defaults.
+_WORKLOAD_AXES = {
+    "kind": "hot-set",
+    "tasks": 2,
+    "length": 12,
+    "seed": 1,
+    "channel_width": 8,
+    "cluster": 1,
+    "arrivals": None,
+    "mean_interarrival": 2000,
+}
+
+
+class TaskSuiteError(ReproError):
+    """Malformed suite file, unknown axis, or missing golden results."""
+
+
+@dataclass(frozen=True)
+class TaskPoint:
+    """One expanded grid point: a stable key plus its parameters."""
+
+    kind: str  # "flow" | "workload"
+    key: str
+    params: Tuple[Tuple[str, object], ...]
+
+    @property
+    def param_dict(self) -> Dict[str, object]:
+        return dict(self.params)
+
+
+@dataclass
+class SuiteReport:
+    """Everything one suite run produced."""
+
+    suite: dict
+    suite_path: Path
+    points: "Dict[str, dict]" = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return {
+            "format": GOLDEN_FORMAT,
+            "suite": self.suite["name"],
+            "points": {k: dict(v) for k, v in sorted(self.points.items())},
+        }
+
+
+# -- suite loading and expansion --------------------------------------------------
+
+
+def load_suite(path: Path) -> dict:
+    """Parse and validate a suite file."""
+    try:
+        suite = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise TaskSuiteError(f"cannot read suite {path}: {exc}")
+    if not isinstance(suite, dict):
+        raise TaskSuiteError(f"suite {path} is not a JSON object")
+    if suite.get("format", 1) not in SUITE_FORMATS:
+        raise TaskSuiteError(
+            f"suite {path}: unsupported format {suite.get('format')!r}"
+        )
+    if not suite.get("name"):
+        raise TaskSuiteError(f"suite {path}: missing 'name'")
+    grids = suite.get("grids")
+    if not isinstance(grids, list) or not grids:
+        raise TaskSuiteError(f"suite {path}: 'grids' must be a non-empty list")
+    for i, grid in enumerate(grids):
+        if not isinstance(grid, dict):
+            raise TaskSuiteError(f"suite {path}: grid #{i} is not an object")
+        gtype = grid.get("type", "flow")
+        axes = _FLOW_AXES if gtype == "flow" else (
+            _WORKLOAD_AXES if gtype == "workload" else None
+        )
+        if axes is None:
+            raise TaskSuiteError(
+                f"suite {path}: grid #{i} has unknown type {gtype!r}"
+            )
+        for axis in grid:
+            if axis == "type":
+                continue
+            if axis not in axes:
+                raise TaskSuiteError(
+                    f"suite {path}: grid #{i} has unknown axis {axis!r} "
+                    f"for type {gtype!r} (known: {', '.join(sorted(axes))})"
+                )
+        if gtype == "flow" and "circuit" not in grid:
+            raise TaskSuiteError(
+                f"suite {path}: flow grid #{i} needs a 'circuit' axis"
+            )
+    return suite
+
+
+def _circuit_key(circuit) -> str:
+    """Stable short label of a circuit axis value (name or inline spec)."""
+    if isinstance(circuit, str):
+        return circuit
+    if isinstance(circuit, dict) and circuit.get("name"):
+        return str(circuit["name"])
+    raise TaskSuiteError(f"bad circuit entry {circuit!r} (name or spec dict)")
+
+
+def expand_points(suite: dict) -> List[TaskPoint]:
+    """Cross-product every grid into a sorted, de-duplicated point list."""
+    defaults = suite.get("defaults", {})
+    points: Dict[str, TaskPoint] = {}
+    for grid in suite["grids"]:
+        gtype = grid.get("type", "flow")
+        axes = _FLOW_AXES if gtype == "flow" else _WORKLOAD_AXES
+        values = {}
+        for axis, default in axes.items():
+            v = grid.get(axis, defaults.get(axis, default))
+            if not isinstance(v, list):
+                v = [v]
+            if axis == "circuit" and any(x is None for x in v):
+                raise TaskSuiteError("flow grid: 'circuit' may not be null")
+            values[axis] = v
+        names = sorted(values)
+        for combo in product(*(values[a] for a in names)):
+            params = tuple(zip(names, combo))
+            pd = dict(params)
+            if gtype == "flow":
+                key = (
+                    f"flow/{_circuit_key(pd['circuit'])}"
+                    f"/W{pd['channel_width']}/c{pd['cluster']}"
+                    f"/{pd['codecs']}/s{pd['scale']:g}/seed{pd['seed']}"
+                )
+            else:
+                key = (
+                    f"workload/{pd['kind']}/t{pd['tasks']}/n{pd['length']}"
+                    f"/W{pd['channel_width']}/c{pd['cluster']}"
+                    f"/seed{pd['seed']}"
+                )
+                if pd.get("arrivals"):
+                    key += f"/{pd['arrivals']}{pd['mean_interarrival']}"
+            points[key] = TaskPoint(gtype, key, params)
+    return [points[k] for k in sorted(points)]
+
+
+# -- point execution --------------------------------------------------------------
+
+#: In-process flow cache: grids share one placed-and-routed flow per
+#: (circuit, width, scale, seed) arch point across codec/cluster axes.
+_FLOW_CACHE: Dict[tuple, object] = {}
+
+
+def _flow_for_point(pd: dict):
+    from repro.arch.params import ArchParams
+    from repro.cad.flow import run_flow
+    from repro.eval.experiments import flow_for
+    from repro.netlist.generate import CircuitSpec, generate_circuit
+
+    circuit = pd["circuit"]
+    if isinstance(circuit, str):
+        cache_key = (circuit, pd["channel_width"], pd["scale"], pd["seed"])
+        if cache_key not in _FLOW_CACHE:
+            _FLOW_CACHE[cache_key] = flow_for(
+                circuit, pd["channel_width"], pd["scale"], pd["seed"]
+            )
+        return _FLOW_CACHE[cache_key]
+    spec_kwargs = dict(circuit)
+    cache_key = (
+        tuple(sorted(spec_kwargs.items())),
+        pd["channel_width"],
+        pd["seed"],
+    )
+    if cache_key not in _FLOW_CACHE:
+        netlist = generate_circuit(CircuitSpec(**spec_kwargs))
+        params = ArchParams(channel_width=pd["channel_width"])
+        _FLOW_CACHE[cache_key] = run_flow(netlist, params, seed=pd["seed"])
+    return _FLOW_CACHE[cache_key]
+
+
+def _resolve_codecs(codecs: str):
+    from repro.vbs.codecs import V3_CODECS
+
+    if codecs == "paper":
+        return None
+    if codecs == "auto":
+        return "auto"
+    if codecs == "v3":
+        return list(V3_CODECS)
+    return [name.strip() for name in codecs.split(",") if name.strip()]
+
+
+def _run_flow_point(pd: dict) -> dict:
+    """QoR metrics of one flow point (all deterministic for a seed)."""
+    from repro.bitstream.expand import expand_routing
+    from repro.bitstream.raw import RawBitstream
+    from repro.eval.experiments import format_codec_counts
+    from repro.vbs.encode import encode_flow
+
+    flow = _flow_for_point(pd)
+    config = expand_routing(
+        flow.design, flow.placement, flow.routing, flow.rrg
+    )
+    raw_bits = RawBitstream.size_for(
+        flow.params, flow.fabric.width, flow.fabric.height
+    )
+    vbs = encode_flow(
+        flow, config,
+        cluster_size=pd["cluster"],
+        codecs=_resolve_codecs(pd["codecs"]),
+    )
+    return {
+        "lbs": flow.design.num_clbs,
+        "nets": len(flow.routing.trees),
+        "route_iterations": flow.routing.iterations,
+        "wirelength": flow.routing.total_wirelength,
+        "raw_bits": raw_bits,
+        "vbs_bits": vbs.size_bits,
+        "ratio": round(vbs.size_bits / raw_bits, 6),
+        "clusters_raw": vbs.stats.clusters_raw,
+        "codec_counts": format_codec_counts(dict(vbs.codec_tags())),
+    }
+
+
+def _run_workload_point(pd: dict) -> dict:
+    """Runtime-simulator metrics of one workload point."""
+    from repro.runtime.workload import run_scenario
+
+    report = run_scenario(
+        kind=pd["kind"],
+        n_tasks=pd["tasks"],
+        length=pd["length"],
+        seed=pd["seed"],
+        channel_width=pd["channel_width"],
+        cluster_size=pd["cluster"],
+        arrivals=pd["arrivals"],
+        mean_interarrival=pd["mean_interarrival"],
+    )
+    metrics = {
+        "loads": report["events"]["loads"],
+        "unloads": report["events"]["unloads"],
+        "cache_hits": report["cache"]["hits"],
+        "cache_misses": report["cache"]["misses"],
+        "bytes_decoded": report["bytes_decoded"],
+        "total_cycles": report["cycles"]["total"],
+    }
+    latency = report.get("latency")
+    if latency:
+        metrics["p99_latency"] = latency["p99"]
+    return metrics
+
+
+def _point_cache_path(results_dir: Path, suite_name: str, key: str) -> Path:
+    digest = hashlib.sha256(key.encode()).hexdigest()[:12]
+    safe = key.replace("/", "_").replace(":", "_")
+    d = results_dir / "tasks" / suite_name
+    d.mkdir(parents=True, exist_ok=True)
+    return d / f"{safe}-{digest}.json"
+
+
+def run_point(
+    point: TaskPoint,
+    results_dir: Path,
+    suite_name: str,
+    force: bool = False,
+) -> dict:
+    """Run (or load from cache) one expanded point's metrics."""
+    from repro.eval.experiments import CACHE_VERSION
+
+    path = _point_cache_path(results_dir, suite_name, point.key)
+    if path.exists() and not force:
+        try:
+            cached = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            cached = None
+        if cached is not None and cached.get("cache_version") == CACHE_VERSION:
+            return cached["metrics"]
+    pd = point.param_dict
+    metrics = (
+        _run_flow_point(pd) if point.kind == "flow"
+        else _run_workload_point(pd)
+    )
+    path.write_text(json.dumps(
+        {"cache_version": CACHE_VERSION, "key": point.key,
+         "metrics": metrics},
+        indent=1, sort_keys=True,
+    ))
+    return metrics
+
+
+def run_suite(
+    suite_path: Path,
+    results_dir: Path,
+    force: bool = False,
+    progress=None,
+) -> SuiteReport:
+    """Expand and execute every point of a suite."""
+    suite = load_suite(suite_path)
+    report = SuiteReport(suite, Path(suite_path))
+    for point in expand_points(suite):
+        if progress is not None:
+            progress(point)
+        report.points[point.key] = run_point(
+            point, Path(results_dir), suite["name"], force=force
+        )
+    return report
+
+
+# -- golden comparison -------------------------------------------------------------
+
+
+def golden_path(suite_path: Path, suite: dict) -> Path:
+    """Golden-results location: suite-relative ``golden`` key, or a
+    ``<suite>.golden.json`` sibling."""
+    suite_path = Path(suite_path)
+    rel = suite.get("golden")
+    if rel:
+        return (suite_path.parent / rel).resolve()
+    return suite_path.with_suffix(".golden.json")
+
+
+def save_golden(report: SuiteReport) -> Path:
+    path = golden_path(report.suite_path, report.suite)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(report.to_json(), indent=1, sort_keys=True)
+                    + "\n")
+    return path
+
+
+def load_golden(suite_path: Path, suite: dict) -> Optional[dict]:
+    path = golden_path(suite_path, suite)
+    if not path.exists():
+        return None
+    try:
+        golden = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise TaskSuiteError(f"corrupt golden file {path}: {exc}")
+    if golden.get("format") != GOLDEN_FORMAT:
+        raise TaskSuiteError(
+            f"golden file {path}: unsupported format {golden.get('format')!r}"
+        )
+    return golden
+
+
+def _within_tolerance(metric: str, old, new, tolerances: dict) -> bool:
+    if isinstance(old, str) or isinstance(new, str):
+        return old == new
+    tol = tolerances.get(metric, {})
+    abs_tol = tol.get("abs", 0)
+    rel_tol = tol.get("rel", 0.0)
+    delta = abs(new - old)
+    return delta <= abs_tol or (old != 0 and delta / abs(old) <= rel_tol)
+
+
+def compare_to_golden(report: SuiteReport, golden: dict) -> dict:
+    """Per-point QoR deltas versus the golden results.
+
+    Returns ``{"passed": bool, "regressions": [...], "deltas": {...}}``.
+    A regression is a metric outside its declared tolerance, a point
+    missing from the golden file, or a golden point the suite no longer
+    produces (stale goldens hide drift).
+    """
+    tolerances = report.suite.get("tolerances", {})
+    gpoints = golden.get("points", {})
+    regressions: List[str] = []
+    deltas: Dict[str, dict] = {}
+    for key, metrics in sorted(report.points.items()):
+        gold = gpoints.get(key)
+        if gold is None:
+            regressions.append(f"{key}: not in golden (run --update-golden)")
+            continue
+        row = {}
+        for metric, new in sorted(metrics.items()):
+            old = gold.get(metric)
+            if old is None:
+                regressions.append(f"{key}: metric {metric!r} not in golden")
+                continue
+            if isinstance(new, str) or isinstance(old, str):
+                row[metric] = {"golden": old, "got": new,
+                               "ok": old == new}
+            else:
+                row[metric] = {"golden": old, "got": new,
+                               "delta": round(new - old, 9),
+                               "ok": _within_tolerance(
+                                   metric, old, new, tolerances)}
+            if not row[metric]["ok"]:
+                regressions.append(
+                    f"{key}: {metric} {old!r} -> {new!r} "
+                    f"(outside tolerance)"
+                )
+        deltas[key] = row
+    for key in sorted(gpoints):
+        if key not in report.points:
+            regressions.append(f"golden point {key} no longer produced")
+    return {
+        "passed": not regressions,
+        "regressions": regressions,
+        "deltas": deltas,
+    }
+
+
+def summarize_comparison(comparison: dict) -> str:
+    """Human-readable QoR-vs-golden digest."""
+    lines = []
+    n_pts = len(comparison["deltas"])
+    n_metrics = sum(len(v) for v in comparison["deltas"].values())
+    changed = sum(
+        1 for row in comparison["deltas"].values()
+        for cell in row.values() if cell.get("delta") not in (0, None)
+    )
+    lines.append(
+        f"golden check: {n_pts} points, {n_metrics} metrics, "
+        f"{changed} drifted, {len(comparison['regressions'])} regression(s)"
+    )
+    for reg in comparison["regressions"]:
+        lines.append(f"  REGRESSION {reg}")
+    return "\n".join(lines)

@@ -1,0 +1,120 @@
+"""Tile-pattern RRG: equivalence with the explicit CSR, guards, cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.fabric import FabricArch
+from repro.arch.params import ArchParams
+from repro.arch.rrg import (
+    COMPRESSED_AUTO_NODES,
+    MAX_EXPLICIT_NODES,
+    RoutingGraph,
+    TilePatternRoutingGraph,
+    clear_routing_graph_cache,
+    routing_graph_for,
+)
+from repro.errors import RoutingError
+
+#: Every boundary-degeneracy class a grid can hit: 1-wide, 2-wide (no
+#: interior column), odd/even, and square/rectangular shapes.
+SHAPES = [(1, 1), (1, 4), (2, 2), (2, 5), (3, 3), (4, 2), (5, 4), (6, 6)]
+
+
+@pytest.mark.parametrize("w", [3, 5])
+@pytest.mark.parametrize("shape", SHAPES)
+def test_compressed_matches_explicit(shape, w):
+    """Node-for-node identical adjacency — values AND neighbor order."""
+    fabric = FabricArch(ArchParams(channel_width=w), shape[0], shape[1], {})
+    explicit = RoutingGraph(fabric)
+    compressed = TilePatternRoutingGraph(fabric)
+    assert compressed.num_nodes == explicit.num_nodes
+    assert compressed.num_edges == explicit.num_edges
+    for node in range(explicit.num_nodes):
+        assert compressed.neighbor_list(node) == explicit.neighbor_list(node)
+        assert compressed.degree(node) == explicit.degree(node)
+
+
+def test_compressed_iter_edges_matches(params5):
+    fabric = FabricArch(params5, 4, 3, {})
+    explicit = RoutingGraph(fabric)
+    compressed = TilePatternRoutingGraph(fabric)
+    assert list(compressed.iter_edges()) == list(explicit.iter_edges())
+
+
+def test_compressed_id_helpers_match(params5):
+    fabric = FabricArch(params5, 3, 3, {})
+    explicit = RoutingGraph(fabric)
+    compressed = TilePatternRoutingGraph(fabric)
+    for node in range(explicit.num_nodes):
+        assert compressed.node_kind(node) == explicit.node_kind(node)
+        assert compressed.node_str(node) == explicit.node_str(node)
+        assert compressed.node_x_of(node) == explicit.node_x_of(node)
+        assert compressed.node_y_of(node) == explicit.node_y_of(node)
+
+
+def test_explicit_build_rejects_int32_overflow():
+    """A fabric past the CSR's id space fails fast with a clear error."""
+    fabric = FabricArch(ArchParams(channel_width=20), 10**5, 10**5, {})
+    with pytest.raises(RoutingError, match="int32"):
+        RoutingGraph(fabric)
+
+
+def test_compressed_handles_id_space_past_int32():
+    """The pattern graph has no CSR, so giant fabrics just work."""
+    fabric = FabricArch(ArchParams(channel_width=20), 10**5, 10**5, {})
+    rrg = TilePatternRoutingGraph(fabric)
+    assert rrg.num_nodes > MAX_EXPLICIT_NODES
+    # An interior node deep in the fabric still yields sane neighbors.
+    node = rrg.xtrk(50_000, 50_000, 0)
+    nbs = rrg.neighbor_list(node)
+    assert nbs and all(0 <= n < rrg.num_nodes for n in nbs)
+
+
+class TestRoutingGraphCache:
+    def setup_method(self):
+        clear_routing_graph_cache()
+
+    def teardown_method(self):
+        clear_routing_graph_cache()
+
+    def test_same_structure_reuses_graph(self, params8):
+        a = routing_graph_for(FabricArch(params8, 3, 3, {}))
+        b = routing_graph_for(FabricArch(params8, 3, 3, {}))
+        assert a is b
+
+    def test_different_structure_rebuilds(self, params8, params5):
+        a = routing_graph_for(FabricArch(params8, 3, 3, {}))
+        assert routing_graph_for(FabricArch(params8, 4, 3, {})) is not a
+        assert routing_graph_for(FabricArch(params5, 3, 3, {})) is not a
+
+    def test_compressed_flag_is_part_of_the_key(self, params8):
+        fabric = FabricArch(params8, 3, 3, {})
+        explicit = routing_graph_for(fabric, compressed=False)
+        compressed = routing_graph_for(fabric, compressed=True)
+        assert isinstance(explicit, RoutingGraph)
+        assert isinstance(compressed, TilePatternRoutingGraph)
+        assert explicit is not compressed
+        assert routing_graph_for(fabric, compressed=True) is compressed
+
+    def test_auto_picks_compressed_past_threshold(self, params8):
+        small = routing_graph_for(FabricArch(params8, 3, 3, {}))
+        assert isinstance(small, RoutingGraph)
+        # 200x200 at W=8 is past COMPRESSED_AUTO_NODES.
+        big_fabric = FabricArch(params8, 200, 200, {})
+        big = routing_graph_for(big_fabric)
+        assert isinstance(big, TilePatternRoutingGraph)
+        assert big.num_nodes > COMPRESSED_AUTO_NODES
+
+    def test_clear_forgets_entries(self, params8):
+        fabric = FabricArch(params8, 3, 3, {})
+        a = routing_graph_for(fabric)
+        clear_routing_graph_cache()
+        assert routing_graph_for(fabric) is not a
+
+    def test_lru_eviction_keeps_recent(self, params5):
+        fabrics = [FabricArch(params5, 3 + i, 3, {}) for i in range(9)]
+        graphs = [routing_graph_for(f) for f in fabrics]
+        # Capacity is 8: the first entry fell out, the last eight stayed.
+        assert routing_graph_for(fabrics[0]) is not graphs[0]
+        assert routing_graph_for(fabrics[-1]) is graphs[-1]

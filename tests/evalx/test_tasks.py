@@ -1,0 +1,221 @@
+"""Declarative task suites: parsing, expansion, goldens, CLI gating."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.eval.tasks import (
+    TaskSuiteError,
+    compare_to_golden,
+    expand_points,
+    golden_path,
+    load_golden,
+    load_suite,
+    run_suite,
+    save_golden,
+    summarize_comparison,
+)
+
+#: A two-point flow grid over one inline circuit, plus one workload
+#: point — small enough that the whole file's tests run in seconds.
+SUITE = {
+    "format": 1,
+    "name": "unit",
+    "defaults": {"channel_width": 8, "seed": 11},
+    "grids": [
+        {
+            "circuit": [{"name": "tiny", "n_luts": 14,
+                         "n_inputs": 6, "n_outputs": 4}],
+            "codecs": ["paper", "auto"],
+        },
+        {"type": "workload", "tasks": [2], "length": [8]},
+    ],
+    "tolerances": {"ratio": {"rel": 0.02}},
+}
+
+
+@pytest.fixture()
+def suite_file(tmp_path):
+    path = tmp_path / "unit.json"
+    path.write_text(json.dumps(SUITE))
+    return path
+
+
+class TestSuiteParsing:
+    def test_rejects_bad_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(TaskSuiteError, match="cannot read"):
+            load_suite(path)
+
+    def test_rejects_unknown_format(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text(json.dumps({"format": 99, "name": "x",
+                                    "grids": [{"circuit": ["ex5p"]}]}))
+        with pytest.raises(TaskSuiteError, match="format"):
+            load_suite(path)
+
+    def test_rejects_unknown_axis(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text(json.dumps(
+            {"name": "x", "grids": [{"circuit": ["ex5p"], "wat": [1]}]}
+        ))
+        with pytest.raises(TaskSuiteError, match="unknown axis 'wat'"):
+            load_suite(path)
+
+    def test_rejects_flow_grid_without_circuit(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text(json.dumps({"name": "x", "grids": [{"cluster": [1]}]}))
+        with pytest.raises(TaskSuiteError, match="circuit"):
+            load_suite(path)
+
+    def test_rejects_unknown_grid_type(self, tmp_path):
+        path = tmp_path / "s.json"
+        path.write_text(json.dumps(
+            {"name": "x", "grids": [{"type": "mystery"}]}
+        ))
+        with pytest.raises(TaskSuiteError, match="unknown type"):
+            load_suite(path)
+
+
+class TestExpansion:
+    def test_cross_product_with_defaults(self, suite_file):
+        points = expand_points(load_suite(suite_file))
+        keys = [p.key for p in points]
+        assert keys == sorted(keys)
+        assert keys == [
+            "flow/tiny/W8/c1/auto/s1/seed11",
+            "flow/tiny/W8/c1/paper/s1/seed11",
+            "workload/hot-set/t2/n8/W8/c1/seed11",
+        ]
+        flow = points[0].param_dict
+        assert flow["channel_width"] == 8  # suite default
+        assert flow["seed"] == 11  # suite defaults apply to every grid type
+        wl = points[-1].param_dict
+        assert wl["kind"] == "hot-set"  # axis default fills unset axes
+
+    def test_duplicate_points_collapse(self, tmp_path):
+        doubled = dict(SUITE, grids=[SUITE["grids"][0], SUITE["grids"][0]])
+        path = tmp_path / "d.json"
+        path.write_text(json.dumps(doubled))
+        assert len(expand_points(load_suite(path))) == 2
+
+
+class TestRunAndGolden:
+    def test_run_caches_and_compares_clean(self, suite_file, tmp_path):
+        results = tmp_path / "results"
+        report = run_suite(suite_file, results)
+        assert len(report.points) == 3
+        flow_metrics = report.points["flow/tiny/W8/c1/paper/s1/seed11"]
+        assert flow_metrics["lbs"] == 14
+        assert 0 < flow_metrics["ratio"] < 1
+        wl_metrics = report.points["workload/hot-set/t2/n8/W8/c1/seed11"]
+        assert wl_metrics["loads"] > 0
+
+        save_golden(report)
+        golden = load_golden(suite_file, report.suite)
+        comparison = compare_to_golden(report, golden)
+        assert comparison["passed"]
+        assert "0 regression(s)" in summarize_comparison(comparison)
+
+        # Second run comes from the point cache: identical metrics.
+        again = run_suite(suite_file, results)
+        assert again.points == report.points
+
+    def test_tolerances_and_regressions(self, suite_file, tmp_path):
+        report = run_suite(suite_file, tmp_path / "results")
+        golden = save_golden(report)
+        data = json.loads(golden.read_text())
+        key = "flow/tiny/W8/c1/paper/s1/seed11"
+        # Within the declared 2% ratio tolerance: not a regression.
+        data["points"][key]["ratio"] *= 1.01
+        # wirelength has no tolerance: exact match required.
+        data["points"][key]["wirelength"] += 1
+        golden.write_text(json.dumps(data))
+        comparison = compare_to_golden(
+            report, load_golden(suite_file, report.suite)
+        )
+        assert not comparison["passed"]
+        assert any("wirelength" in r for r in comparison["regressions"])
+        assert not any("ratio" in r for r in comparison["regressions"])
+
+    def test_missing_and_stale_points_are_regressions(
+        self, suite_file, tmp_path
+    ):
+        report = run_suite(suite_file, tmp_path / "results")
+        golden_file = save_golden(report)
+        data = json.loads(golden_file.read_text())
+        data["points"]["flow/ghost/W8/c1/paper/s1/seed1"] = {"lbs": 1}
+        del data["points"]["workload/hot-set/t2/n8/W8/c1/seed11"]
+        golden_file.write_text(json.dumps(data))
+        comparison = compare_to_golden(
+            report, load_golden(suite_file, report.suite)
+        )
+        assert not comparison["passed"]
+        assert any("not in golden" in r for r in comparison["regressions"])
+        assert any("no longer produced" in r
+                   for r in comparison["regressions"])
+
+    def test_golden_path_defaults_to_sibling(self, tmp_path):
+        assert golden_path(tmp_path / "s.json", {"name": "s"}) == (
+            tmp_path / "s.golden.json"
+        )
+        assert golden_path(
+            tmp_path / "s.json", {"golden": "g/s.json"}
+        ) == (tmp_path / "g" / "s.json").resolve()
+
+
+class TestTasksCli:
+    def test_run_then_check_roundtrip(self, suite_file, tmp_path):
+        results = str(tmp_path / "results")
+        assert main(["tasks", "run", str(suite_file),
+                     "--results-dir", results, "--update-golden"]) == 0
+        out = tmp_path / "check.json"
+        assert main(["tasks", "check", str(suite_file),
+                     "--results-dir", results, "--json", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload["passed"] is True
+        assert payload["suite"] == "unit"
+
+    def test_check_without_golden_exits_2(self, suite_file, tmp_path, capsys):
+        rc = main(["tasks", "check", str(suite_file),
+                   "--results-dir", str(tmp_path / "results")])
+        assert rc == 2
+        assert "no golden" in capsys.readouterr().err
+
+    def test_check_regression_exits_1(self, suite_file, tmp_path):
+        results = str(tmp_path / "results")
+        assert main(["tasks", "run", str(suite_file),
+                     "--results-dir", results, "--update-golden"]) == 0
+        golden = suite_file.parent / "unit.golden.json"
+        data = json.loads(golden.read_text())
+        for metrics in data["points"].values():
+            if "wirelength" in metrics:
+                metrics["wirelength"] += 5
+        golden.write_text(json.dumps(data))
+        assert main(["tasks", "check", str(suite_file),
+                     "--results-dir", results]) == 1
+
+    def test_bad_suite_exits_2(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        rc = main(["tasks", "run", str(bad),
+                   "--results-dir", str(tmp_path / "r")])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+
+def test_committed_smoke_suite_is_valid():
+    """The suite and golden shipped with the repo must stay loadable and
+    mutually consistent (every suite point has a golden row)."""
+    from pathlib import Path
+
+    suite_path = Path(__file__).resolve().parents[2] / "suites" / "smoke.json"
+    suite = load_suite(suite_path)
+    points = expand_points(suite)
+    golden = load_golden(suite_path, suite)
+    assert golden is not None
+    assert sorted(golden["points"]) == [p.key for p in points]
